@@ -1,0 +1,144 @@
+(** Benchmark harness: one Bechamel test per reproduced table/figure.
+
+    Two things happen here:
+
+    1. every experiment of the registry (Tables I–IV, Figures 1/3/4-5,
+       Theorems C.1/D.1/E.1, the clock-sync substrate, the X trade-off and
+       the baseline comparison) is run once and its report — the rows/series
+       the paper publishes — is printed;
+    2. each experiment is then benchmarked under Bechamel (wall-clock per
+       full run-family execution), demonstrating that regenerating the
+       paper's entire evaluation costs milliseconds of simulated-adversary
+       time.
+
+    Latency numbers inside the reports are *simulated ticks* — exact by
+    construction — so "paper vs measured" is about shape identity, not
+    wall-clock. *)
+
+open Bechamel
+open Toolkit
+
+let reports () =
+  List.map
+    (fun (e : Experiments.Registry.entry) -> e.run ())
+    (Experiments.Registry.all ())
+
+let tests =
+  List.map
+    (fun (e : Experiments.Registry.entry) ->
+      Test.make ~name:e.id (Staged.stage (fun () -> ignore (e.run ()))))
+    (Experiments.Registry.all ())
+
+(* Raw engine throughput: one full 5-process, 15-operation simulated run of
+   Algorithm 1 per iteration, per data type — how much simulated work a
+   host-second buys. *)
+module Throughput (D : Spec.Data_type.SAMPLED) = struct
+  module Alg = Core.Algorithm1.Make (D)
+  module Engine = Sim.Engine.Make (Alg)
+
+  let n = 5
+  let params = Core.Params.make ~n ~d:1200 ~u:400 ~eps:320 ~x:0 ()
+
+  let script =
+    List.concat_map
+      (fun pid ->
+        List.mapi
+          (fun i op -> Sim.Workload.at pid op ((pid * 150) + (i * 2000)))
+          (List.filteri (fun i _ -> i < 3) D.sample_ops))
+      [ 0; 1; 2; 3; 4 ]
+
+  let test =
+    Test.make
+      ~name:("engine-" ^ D.name)
+      (Staged.stage (fun () ->
+           ignore
+             (Engine.run ~config:params ~n ~offsets:[| 0; 80; 160; 240; 320 |]
+                ~delay:(Sim.Delay.constant 1000) script)))
+end
+
+module T_reg = Throughput (Spec.Register)
+module T_queue = Throughput (Spec.Fifo_queue)
+module T_stack = Throughput (Spec.Lifo_stack)
+module T_tree = Throughput (Spec.Rooted_tree)
+module T_bst = Throughput (Spec.Bst)
+module T_kv = Throughput (Spec.Kv_map)
+
+(* Linearizability-checker cost on a highly concurrent history: 18 mutually
+   overlapping register operations — the memoized Wing–Gong search must stay
+   polynomial-ish in practice. *)
+module Lin_bench = struct
+  module L = Linearize.Make (Spec.Register)
+
+  let history : L.entry list =
+    List.init 18 (fun i ->
+        let pid = i mod 6 in
+        let base = 100 * (i / 6) in
+        {
+          L.pid;
+          op = (if i mod 3 = 0 then Spec.Register.Write i
+                else if i mod 3 = 1 then Spec.Register.Rmw i
+                else Spec.Register.Read);
+          result =
+            (if i mod 3 = 0 then Spec.Register.Ack else Spec.Register.Value 0);
+          invoke = base;
+          response = base + 5000 (* everything overlaps *);
+        })
+
+  let test =
+    Test.make ~name:"wing-gong-18-concurrent"
+      (Staged.stage (fun () -> ignore (L.check history)))
+end
+
+let throughput_tests =
+  [
+    T_reg.test;
+    T_queue.test;
+    T_stack.test;
+    T_tree.test;
+    T_bst.test;
+    T_kv.test;
+    Lin_bench.test;
+  ]
+
+let benchmark () =
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let grouped =
+    Test.make_grouped ~name:"bench"
+      [
+        Test.make_grouped ~name:"experiments" tests;
+        Test.make_grouped ~name:"throughput" throughput_tests;
+      ]
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let () =
+  Format.printf "=== Paper artifacts (Tables I-IV, Figures 1-17) ===@.@.";
+  let rs = reports () in
+  List.iter (fun r -> Format.printf "%a@." Experiments.Report.pp r) rs;
+  let bad = List.filter (fun (r : Experiments.Report.t) -> not r.ok) rs in
+  Format.printf "=== Experiment verdicts: %d/%d OK%s ===@.@."
+    (List.length rs - List.length bad)
+    (List.length rs)
+    (if bad = [] then ""
+     else
+       " (MISMATCH: "
+       ^ String.concat ", " (List.map (fun (r : Experiments.Report.t) -> r.id) bad)
+       ^ ")");
+  Format.printf "=== Wall-clock cost per experiment (Bechamel OLS) ===@.";
+  let results = benchmark () in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] ->
+          Format.printf "  %-28s %10.3f ms/run (r²=%s)@." name (est /. 1e6)
+            (match Analyze.OLS.r_square ols with
+            | Some r2 -> Printf.sprintf "%.3f" r2
+            | None -> "n/a")
+      | _ -> Format.printf "  %-28s (no estimate)@." name)
+    results;
+  if bad <> [] then exit 1

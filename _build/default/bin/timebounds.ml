@@ -1,0 +1,166 @@
+(** [timebounds] — command-line front end for the reproduction.
+
+    - [timebounds list] — every reproducible table/figure;
+    - [timebounds experiment <id>...] — run experiments (default: all);
+    - [timebounds tables] — print Tables I–IV with formulas evaluated;
+    - [timebounds classify <object>] — Chapter II classification summary;
+    - [timebounds derive <object>] — derive an object's bound table from
+      its operation algebra;
+    - [timebounds graph <object> [--dot]] — its commutativity graph. *)
+
+open Cmdliner
+
+let list_cmd =
+  let doc = "List every reproducible table and figure." in
+  let run () =
+    List.iter
+      (fun (e : Experiments.Registry.entry) ->
+        Format.printf "%-10s %s@." e.id e.title)
+      (Experiments.Registry.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let experiment_cmd =
+  let doc = "Run experiments by id (all when no id is given)." in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
+  let run ids =
+    let entries =
+      match ids with
+      | [] -> Experiments.Registry.all ()
+      | ids ->
+          List.filter_map
+            (fun id ->
+              match Experiments.Registry.find id with
+              | Some e -> Some e
+              | None ->
+                  Format.eprintf "unknown experiment %s (try `timebounds list`)@." id;
+                  None)
+            ids
+    in
+    let reports = List.map (fun (e : Experiments.Registry.entry) -> e.run ()) entries in
+    List.iter (fun r -> Format.printf "%a@." Experiments.Report.pp r) reports;
+    let failed = List.filter (fun (r : Experiments.Report.t) -> not r.ok) reports in
+    if failed <> [] then begin
+      Format.printf "MISMATCHES: %s@."
+        (String.concat ", " (List.map (fun (r : Experiments.Report.t) -> r.id) failed));
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ ids)
+
+let tables_cmd =
+  let doc = "Print Tables I-IV with bound formulas evaluated." in
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"number of processes") in
+  let d = Arg.(value & opt int 1200 & info [ "d" ] ~doc:"delay upper bound") in
+  let u = Arg.(value & opt int 400 & info [ "u" ] ~doc:"delay uncertainty") in
+  let run n d u =
+    let eps = Core.Params.optimal_eps ~n ~u in
+    let params = Core.Params.make ~n ~d ~u ~eps ~x:0 () in
+    List.iter
+      (fun t -> Format.printf "%a@." (Bounds.Formulas.pp_table params) t)
+      Bounds.Formulas.all_tables
+  in
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ n $ d $ u)
+
+let classify_cmd =
+  let doc =
+    "Classify the operations of an object \
+     (register|queue|stack|stack-obs|set|tree|bst|array|log|kv|pqueue)."
+  in
+  let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
+  let run obj =
+    let summarize (type s o r)
+        (module D : Spec.Data_type.SAMPLED with type state = s and type op = o and type result = r) =
+      let module C = Classify.Checkers.Make (D) in
+      Format.printf "%s:@." D.name;
+      List.iter
+        (fun ty -> Format.printf "  %a@." C.pp_summary (C.summarize ty))
+        D.op_types
+    in
+    match obj with
+    | "register" -> summarize (module Spec.Register)
+    | "queue" -> summarize (module Spec.Fifo_queue)
+    | "stack" -> summarize (module Spec.Lifo_stack)
+    | "stack-obs" -> summarize (module Spec.Lifo_stack_obs)
+    | "set" -> summarize (module Spec.Int_set)
+    | "tree" -> summarize (module Spec.Rooted_tree)
+    | "bst" -> summarize (module Spec.Bst)
+    | "array" -> summarize (module Spec.Update_array)
+    | "log" -> summarize (module Spec.Append_log)
+    | "kv" -> summarize (module Spec.Kv_map)
+    | "pqueue" -> summarize (module Spec.Priority_queue)
+    | other ->
+        Format.eprintf "unknown object %s@." other;
+        exit 1
+  in
+  Cmd.v (Cmd.info "classify" ~doc) Term.(const run $ obj)
+
+let derive_cmd =
+  let doc =
+    "Derive the bound table of an object from its operation algebra \
+     (register|queue|stack|stack-obs|set|tree|bst|array|log|kv)."
+  in
+  let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
+  let run obj =
+    let params = Core.Params.make ~n:5 ~d:1200 ~u:400 ~eps:320 ~x:0 () in
+    let show (type s o r)
+        (module D : Spec.Data_type.SAMPLED with type state = s and type op = o and type result = r) =
+      let module Dv = Bounds.Derive.Make (D) in
+      Format.printf "%s (derived at n=5 d=1200 u=400 ε=320 X=0):@." D.name;
+      List.iter
+        (fun row -> Format.printf "  %a@." (Bounds.Derive.pp_row params) row)
+        (Dv.derive ())
+    in
+    match obj with
+    | "register" -> show (module Spec.Register)
+    | "queue" -> show (module Spec.Fifo_queue)
+    | "stack" -> show (module Spec.Lifo_stack)
+    | "stack-obs" -> show (module Spec.Lifo_stack_obs)
+    | "set" -> show (module Spec.Int_set)
+    | "tree" -> show (module Spec.Rooted_tree)
+    | "bst" -> show (module Spec.Bst)
+    | "array" -> show (module Spec.Update_array)
+    | "log" -> show (module Spec.Append_log)
+    | "kv" -> show (module Spec.Kv_map)
+    | other ->
+        Format.eprintf "unknown object %s@." other;
+        exit 1
+  in
+  Cmd.v (Cmd.info "derive" ~doc) Term.(const run $ obj)
+
+let graph_cmd =
+  let doc = "Print an object's commutativity graph (Kosa-style); --dot for Graphviz." in
+  let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
+  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"emit Graphviz DOT") in
+  let run obj dot =
+    let show (type s o r)
+        (module D : Spec.Data_type.SAMPLED with type state = s and type op = o and type result = r) =
+      let module B = Classify.Commutativity_graph.Build (D) in
+      let g = B.build () in
+      if dot then print_string (Classify.Commutativity_graph.to_dot g)
+      else Format.printf "%a" Classify.Commutativity_graph.pp g
+    in
+    match obj with
+    | "register" -> show (module Spec.Register)
+    | "queue" -> show (module Spec.Fifo_queue)
+    | "stack" -> show (module Spec.Lifo_stack)
+    | "set" -> show (module Spec.Int_set)
+    | "tree" -> show (module Spec.Rooted_tree)
+    | "bst" -> show (module Spec.Bst)
+    | "array" -> show (module Spec.Update_array)
+    | "log" -> show (module Spec.Append_log)
+    | "kv" -> show (module Spec.Kv_map)
+    | "pqueue" -> show (module Spec.Priority_queue)
+    | other ->
+        Format.eprintf "unknown object %s@." other;
+        exit 1
+  in
+  Cmd.v (Cmd.info "graph" ~doc) Term.(const run $ obj $ dot)
+
+let main =
+  let doc = "Reproduction of \"Time Bounds for Shared Objects in Partially Synchronous Systems\"" in
+  Cmd.group
+    (Cmd.info "timebounds" ~doc)
+    [ list_cmd; experiment_cmd; tables_cmd; classify_cmd; derive_cmd; graph_cmd ]
+
+let () = exit (Cmd.eval main)

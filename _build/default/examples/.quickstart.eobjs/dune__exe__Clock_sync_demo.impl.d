@@ -1,0 +1,1 @@
+examples/clock_sync_demo.ml: Array Clocksync Core Format Linearize List Prelude Sim Spec String

@@ -1,0 +1,1 @@
+examples/clock_sync_demo.mli:

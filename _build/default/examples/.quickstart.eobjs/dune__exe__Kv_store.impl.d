@@ -1,0 +1,1 @@
+examples/kv_store.ml: Core Format Linearize List Prelude Sim Spec

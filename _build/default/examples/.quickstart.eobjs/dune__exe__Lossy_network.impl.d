@@ -1,0 +1,1 @@
+examples/lossy_network.ml: Core Format Linearize List Sim Spec

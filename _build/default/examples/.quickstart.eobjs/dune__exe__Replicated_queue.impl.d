@@ -1,0 +1,1 @@
+examples/replicated_queue.ml: Core Format Int Linearize List Prelude Sim Spec String

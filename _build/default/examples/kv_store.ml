@@ -1,0 +1,71 @@
+(* A replicated key-value store on an arbitrary data type, comparing
+   Algorithm 1 against the folklore 2d centralized implementation.
+
+     dune exec examples/kv_store.exe
+
+   The same workload — puts, gets, deletes and atomic swaps from 4 clients —
+   runs under both implementations.  Algorithm 1 answers puts in ε + X and
+   everything else within d + ε; the centralized baseline pays 2d for every
+   operation.  Both histories are checked linearizable. *)
+
+module D = Spec.Kv_map
+module Alg = Core.Algorithm1.Make (D)
+module Alg_engine = Sim.Engine.Make (Alg)
+module Central = Core.Centralized.Make (D)
+module Central_engine = Sim.Engine.Make (Central)
+module Lin = Linearize.Make (D)
+
+let n = 5
+let d = 1200
+let u = 400
+let eps = Core.Params.optimal_eps ~n ~u
+let params = Core.Params.make ~n ~d ~u ~eps ~x:0 ()
+
+(* Clients p1..p4 (p0 is the centralized coordinator in the baseline, so it
+   takes no client operations — a fair comparison). *)
+let script =
+  let open D in
+  List.concat
+    [
+      Sim.Workload.seq 1 0 [ Put (1, 10); Get 1; Swap (1, 11) ];
+      Sim.Workload.seq 2 200 [ Put (2, 20); Get 2; Del 2 ];
+      Sim.Workload.seq 3 400 [ Get 1; Put (3, 30); Swap (3, 31) ];
+      Sim.Workload.seq 4 600 [ Put (1, 12); Get 3; Get 1 ];
+    ]
+
+let class_latency trace kind =
+  Sim.Trace.max_latency ~f:(fun r -> D.classify r.op = kind) trace
+
+let report name (trace : (D.op, D.result, 'm) Sim.Trace.t) =
+  let lin =
+    match Lin.check_trace trace with
+    | Lin.Linearizable _ -> "linearizable ✓"
+    | Lin.Not_linearizable _ -> "VIOLATION ✗"
+  in
+  Format.printf "%-12s puts %4d | gets %4d | swaps %4d  (%s)@." name
+    (class_latency trace Spec.Data_type.Pure_mutator)
+    (class_latency trace Spec.Data_type.Pure_accessor)
+    (class_latency trace Spec.Data_type.Other)
+    lin
+
+let () =
+  let rng = Prelude.Rng.make 41 in
+  let offsets = [| 0; eps; 0; eps / 2; eps |] in
+  let a =
+    Alg_engine.run ~config:params ~n ~offsets
+      ~delay:(Sim.Delay.random rng ~d ~u) ~check_delays:(d, u) script
+  in
+  let c =
+    Central_engine.run ~config:params ~n ~offsets
+      ~delay:(Sim.Delay.random (Prelude.Rng.make 42) ~d ~u) ~check_delays:(d, u)
+      script
+  in
+  Format.printf "KV store, %d client ops, d=%d u=%d ε=%d X=0 (worst-case latencies in ticks)@."
+    (List.length script) d u eps;
+  report "algorithm 1" a.trace;
+  report "centralized" c.trace;
+  Format.printf
+    "@.puts are %dx faster under Algorithm 1; reads/swaps beat 2d by %d ticks.@."
+    (class_latency c.trace Spec.Data_type.Pure_mutator
+    / max 1 (class_latency a.trace Spec.Data_type.Pure_mutator))
+    ((2 * d) - (d + eps))

@@ -1,0 +1,1 @@
+lib/bounds/derive.ml: Classify Data_type Format Formulas List Prelude Printf Spec String

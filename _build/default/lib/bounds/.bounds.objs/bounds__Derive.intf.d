@@ -1,0 +1,1 @@
+lib/bounds/derive.mli: Core Data_type Format Formulas Spec

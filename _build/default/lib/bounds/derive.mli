@@ -1,0 +1,34 @@
+(** Deriving the bound tables from the algebra: classify each operation
+    type of a data type (Chapter II) and apply the matching theorem
+    (C.1, D.1 at the achievable k, E.1 with its hypotheses A/B/C checked
+    executably) to produce the thesis' table rows mechanically.  Tests
+    assert the derived tables agree with the transcribed Tables I–IV — and
+    the derivation also exposes where the thesis needs extra assumptions
+    (top-only stack peek, order-observable tree deletes); see
+    EXPERIMENTS.md. *)
+
+open Spec
+
+type derived_row = {
+  subject : string;  (** operation type, or ["op + aop"] for a pair *)
+  lower : Formulas.formula option;
+  upper : Formulas.formula;
+  rationale : string;
+}
+
+val pp_row : Core.Params.t -> Format.formatter -> derived_row -> unit
+
+module Make (D : Data_type.SAMPLED) : sig
+  val e1_hypotheses : string -> string -> bool
+  (** Do the mutator and accessor types satisfy assumptions A, B and C of
+      Theorem E.1 for a single (ρ, op1, op2) in the sample universe? *)
+
+  val derive_op : string -> derived_row
+  val derive_pair : string -> string -> derived_row option
+
+  val derive : unit -> derived_row list
+  (** One row per operation type plus one per applicable
+      ⟨pure mutator, pure accessor⟩ immediately non-commuting pair. *)
+
+  val find : derived_row list -> string -> derived_row option
+end

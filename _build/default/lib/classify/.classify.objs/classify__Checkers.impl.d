@@ -1,0 +1,1 @@
+lib/classify/checkers.ml: Data_type Format Fun List Prelude Printf Spec String

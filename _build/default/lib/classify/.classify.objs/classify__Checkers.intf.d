@@ -1,0 +1,1 @@
+lib/classify/checkers.mli: Data_type Format Spec

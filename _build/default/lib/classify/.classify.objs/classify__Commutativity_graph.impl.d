@@ -1,0 +1,1 @@
+lib/classify/commutativity_graph.ml: Buffer Checkers Data_type Format List Printf Spec String

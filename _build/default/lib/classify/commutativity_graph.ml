@@ -1,0 +1,92 @@
+(** The commutativity graph of an object's operation types.
+
+    Kosa [3] (the thesis' §I.B) extends the pairwise lower-bound arguments
+    to a *graph* whose nodes are an object's operation types and whose
+    edges mark pairs that immediately do not commute; bound results then
+    propagate along graph structure.  This module materializes that graph
+    from the executable classification, annotates each node with its
+    Chapter II summary, and renders the whole thing for inspection (plain
+    text or Graphviz DOT). *)
+
+open Spec
+
+type node = {
+  op_ty : string;
+  kind : string;  (** pure-mutator / pure-accessor / other *)
+  strongly_insc : bool;  (** self-loop: strongly imm. non-self-commuting *)
+  insc : bool;
+}
+
+type edge = {
+  a : string;
+  b : string;
+  note : string;  (** witness note from the classifier *)
+}
+
+type t = { object_name : string; nodes : node list; edges : edge list }
+
+module Build (D : Data_type.SAMPLED) = struct
+  module C = Checkers.Make (D)
+
+  let node ty =
+    let kind =
+      if C.is_pure_mutator ty then "pure-mutator"
+      else if C.is_pure_accessor ty then "pure-accessor"
+      else "other"
+    in
+    {
+      op_ty = ty;
+      kind;
+      strongly_insc = C.strongly_immediately_non_self_commuting ty <> None;
+      insc = C.immediately_non_self_commuting ty <> None;
+    }
+
+  (* One undirected edge per unordered pair of distinct types that
+     immediately do not commute. *)
+  let edges () =
+    let rec pairs = function
+      | [] -> []
+      | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+    in
+    List.filter_map
+      (fun (a, b) ->
+        match C.immediately_non_commuting a b with
+        | Some w -> Some { a; b; note = w.note }
+        | None -> None)
+      (pairs D.op_types)
+
+  let build () = { object_name = D.name; nodes = List.map node D.op_types; edges = edges () }
+end
+
+let pp fmt g =
+  Format.fprintf fmt "commutativity graph of %s:@." g.object_name;
+  List.iter
+    (fun n ->
+      Format.fprintf fmt "  %-14s %-13s%s@." n.op_ty n.kind
+        (if n.strongly_insc then " [strongly non-self-commuting]"
+         else if n.insc then " [non-self-commuting]"
+         else ""))
+    g.nodes;
+  if g.edges = [] then Format.fprintf fmt "  (all pairs immediately commute)@."
+  else
+    List.iter
+      (fun e -> Format.fprintf fmt "  %s —✗— %s  (%s)@." e.a e.b e.note)
+      g.edges
+
+(** Graphviz rendering: double circles mark strongly non-self-commuting
+    types (subject to Theorem C.1), solid edges mark immediately
+    non-commuting pairs. *)
+let to_dot g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" (String.map (function '-' -> '_' | c -> c) g.object_name));
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s [label=\"%s\\n%s\"%s];\n" n.op_ty n.op_ty n.kind
+           (if n.strongly_insc then " shape=doublecircle" else "")))
+    g.nodes;
+  List.iter
+    (fun e -> Buffer.add_string buf (Printf.sprintf "  %s -- %s;\n" e.a e.b))
+    g.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/clocksync/lundelius_lynch.ml: Array List Prelude Sim

@@ -1,0 +1,99 @@
+(** The Lundelius–Lynch clock synchronization algorithm — the substrate the
+    paper's Chapter V assumes ("clocks synchronized to within the optimal
+    ε"; reference [6] of the thesis).
+
+    Every process broadcasts its clock reading; a receiver estimates the
+    sender's offset by assuming the message took the midpoint delay
+    d − u/2, so each pairwise estimate errs by at most u/2 in either
+    direction.  Each process then shifts its clock by the average of the
+    estimated offsets (counting itself as 0).  The residual worst-case skew
+    is (1 − 1/n)·u — exactly the optimal ε the upper bounds of Chapter V
+    are stated with — and an adversary choosing extreme delays can force it.
+
+    Integer arithmetic: estimates average with truncating division, so
+    measured skews may exceed the bound by at most 1 tick; tests use [u]
+    divisible by [2·n] and adversaries that keep the averages integral. *)
+
+type config = { d : int; u : int }
+
+module Protocol = struct
+  type nonrec config = config
+
+  type state = {
+    pid : int;
+    n : int;
+    estimates : (int * int) list;  (** (source pid, estimated c_src − c_self) *)
+    pending : bool;
+  }
+
+  type op = Start
+  type result = Adjustment of int
+  type msg = Clock_reading of Prelude.Ticks.t
+  type timer = unit
+
+  let name = "lundelius-lynch"
+  let init (_ : config) ~n ~pid = { pid; n; estimates = []; pending = false }
+  let equal_timer () () = true
+
+  let finish st =
+    if st.pending && List.length st.estimates = st.n - 1 then
+      (* Average of the estimated offsets to every process, self included
+         as 0. *)
+      let sum = List.fold_left (fun acc (_, e) -> acc + e) 0 st.estimates in
+      ( { st with pending = false },
+        [ Sim.Action.Respond (Adjustment (sum / st.n)) ] )
+    else (st, [])
+
+  let on_invoke (_ : config) st ~clock Start =
+    let st = { st with pending = true } in
+    if st.n = 1 then ({ st with pending = false }, [ Sim.Action.Respond (Adjustment 0) ])
+    else
+      let st, acts = finish st in
+      (st, Sim.Action.Broadcast (Clock_reading clock) :: acts)
+
+  let on_message (cfg : config) st ~clock ~src (Clock_reading sent) =
+    (* If the message took exactly d − u/2, the sender's clock now reads
+       sent + (d − u/2); the difference to our clock estimates its offset. *)
+    let estimate = sent + (cfg.d - (cfg.u / 2)) - clock in
+    finish { st with estimates = (src, estimate) :: st.estimates }
+
+  let on_timer (_ : config) st ~clock:_ () = (st, [])
+end
+
+module Engine = Sim.Engine.Make (Protocol)
+
+(** Run one synchronization round.  Returns the per-process adjustments. *)
+let synchronize ~n ~d ~u ~offsets ~delay : int array =
+  let script = List.init n (fun pid -> Sim.Workload.at pid Protocol.Start 0) in
+  let out =
+    Engine.run ~config:{ d; u } ~n ~offsets ~delay
+      ~check_delays:(d, u) script
+  in
+  let adjustments = Array.make n 0 in
+  List.iter
+    (fun (r : (Protocol.op, Protocol.result) Sim.Trace.op_record) ->
+      match r.result with
+      | Some (Protocol.Adjustment a) -> adjustments.(r.pid) <- a
+      | None -> failwith "clock sync did not complete")
+    out.trace.ops;
+  adjustments
+
+let skew offsets =
+  Array.fold_left max offsets.(0) offsets - Array.fold_left min offsets.(0) offsets
+
+(** Skew of the corrected clocks after one round. *)
+let achieved_skew ~n ~d ~u ~offsets ~delay =
+  let adj = synchronize ~n ~d ~u ~offsets ~delay in
+  skew (Array.init n (fun i -> offsets.(i) + adj.(i)))
+
+(** The optimum (1 − 1/n)·u, which is also the ε Algorithm 1 is meant to
+    run with. *)
+let optimal_skew ~n ~u = u - (u / n)
+
+(** An adversary forcing the worst case: all messages *into* [victim] are
+    slow (delay d) and all messages out of it are fast (d − u), so everyone
+    under-estimates the victim's clock maximally while the victim
+    over-estimates everyone else's. *)
+let adversarial_delay ~d ~u ~victim : Sim.Delay.t =
+ fun ~src ~dst ~send_time:_ ~index:_ ->
+  if dst = victim then d else if src = victim then d - u else d - (u / 2)

@@ -1,0 +1,43 @@
+(** The Lundelius–Lynch clock synchronization algorithm — the substrate
+    behind the paper's "clocks synchronized to within the optimal ε"
+    premise (Chapter V; thesis reference [6]).
+
+    One round: every process broadcasts its clock; receivers estimate each
+    sender's offset assuming the midpoint delay d − u/2 (error ≤ u/2
+    either way) and shift their clock by the average estimate.  Residual
+    worst-case skew: (1 − 1/n)·u, tight.
+
+    Integer arithmetic: averages truncate, so measured skews may exceed the
+    real-valued bound by a tick per estimate. *)
+
+type config = { d : int; u : int }
+
+module Protocol : sig
+  type op = Start
+  type result = Adjustment of int
+
+  include
+    Sim.Protocol.S
+      with type config = config
+       and type op := op
+       and type result := result
+end
+
+module Engine : module type of Sim.Engine.Make (Protocol)
+
+val synchronize :
+  n:int -> d:int -> u:int -> offsets:int array -> delay:Sim.Delay.t -> int array
+(** Run one round; per-process clock adjustments. *)
+
+val skew : int array -> int
+(** Max − min of an offset vector. *)
+
+val achieved_skew :
+  n:int -> d:int -> u:int -> offsets:int array -> delay:Sim.Delay.t -> int
+(** Skew of the corrected clocks after one round. *)
+
+val optimal_skew : n:int -> u:int -> int
+(** (1 − 1/n)·u — also the ε Algorithm 1 is meant to run with. *)
+
+val adversarial_delay : d:int -> u:int -> victim:int -> Sim.Delay.t
+(** Delays forcing the worst case: slow into [victim], fast out of it. *)

@@ -1,0 +1,1 @@
+lib/core/algorithm1.ml: Data_type List Params Prelude Sim Spec

@@ -1,0 +1,1 @@
+lib/core/centralized.ml: Data_type Params Sim Spec

@@ -1,0 +1,1 @@
+lib/core/centralized.mli: Data_type Params Sim Spec

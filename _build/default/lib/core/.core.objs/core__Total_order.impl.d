@@ -1,0 +1,1 @@
+lib/core/total_order.ml: Algorithm1 Data_type Spec

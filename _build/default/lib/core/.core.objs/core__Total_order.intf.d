@@ -1,0 +1,1 @@
+lib/core/total_order.mli: Data_type Params Sim Spec

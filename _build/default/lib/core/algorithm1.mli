@@ -1,0 +1,53 @@
+(** Algorithm 1 of Chapter V: a linearizable implementation of an arbitrary
+    deterministic data type with sub-2d operation latencies.
+
+    Every process keeps a full copy of the object; operations are handled
+    by {!Spec.Data_type.kind}:
+
+    - **OOP** (read-modify-write, dequeue, pop, …): timestamped
+      ⟨clock, pid⟩, broadcast, buffered in the [To_Execute] priority queue
+      everywhere and executed in global timestamp order; the invoker
+      responds when its own copy executes the operation — within d + ε.
+    - **MOP** (write, push, enqueue, insert, …): disseminated the same way
+      but acknowledged by a timer ε + X after invocation — a pure mutator's
+      return value carries no information, only its ordering matters.
+    - **AOP** (read, peek, search, …): never broadcast; timestamped X
+      *earlier* than the invocation, the invoker waits d + ε − X, applies
+      every buffered smaller-timestamped operation and answers locally.
+
+    With {!Params.standard_timing} this is a faithful transcription of the
+    paper's pseudocode; the experiments also run it with weakened timing to
+    exhibit the lower bounds. *)
+
+open Spec
+
+module Make (D : Data_type.S) : sig
+  type entry = { op : D.op; ts : Prelude.Stamp.t }
+
+  module Queue : module type of Prelude.Heap.Make (struct
+    type t = entry
+
+    let compare a b = Prelude.Stamp.compare a.ts b.ts
+  end)
+
+  type pending =
+    | Idle
+    | Waiting_oop of entry
+    | Waiting_mop of entry
+    | Waiting_aop of entry
+
+  type state = {
+    pid : int;
+    local_obj : D.state;  (** this process's replica of the object *)
+    to_execute : Queue.t;  (** received but not yet executed, keyed by ts *)
+    pending : pending;
+  }
+
+  include
+    Sim.Protocol.S
+      with type config = Params.t
+       and type state := state
+       and type op = D.op
+       and type result = D.result
+       and type msg = entry
+end

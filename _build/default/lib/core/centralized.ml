@@ -1,0 +1,38 @@
+(** The folklore centralized implementation (Chapter I.A.3): a designated
+    coordinator (process 0) holds the object; every operation is shipped to
+    it and the result shipped back, costing up to 2d per operation.
+    Linearization point: the coordinator's application of the operation.
+    This is the baseline Algorithm 1 is measured against. *)
+
+open Spec
+
+module Make (D : Data_type.S) = struct
+  type config = Params.t
+
+  let coordinator = 0
+
+  type state = { pid : int; obj : D.state (* used by the coordinator only *) }
+  type op = D.op
+  type result = D.result
+  type msg = Request of D.op | Reply of D.result
+  type timer = unit
+
+  let name = "centralized"
+  let init (_ : config) ~n:_ ~pid = { pid; obj = D.initial }
+  let equal_timer () () = true
+
+  let on_invoke (_ : config) st ~clock:_ op =
+    if st.pid = coordinator then
+      let obj', r = D.apply st.obj op in
+      ({ st with obj = obj' }, [ Sim.Action.Respond r ])
+    else (st, [ Sim.Action.Send (coordinator, Request op) ])
+
+  let on_message (_ : config) st ~clock:_ ~src msg =
+    match msg with
+    | Request op ->
+        let obj', r = D.apply st.obj op in
+        ({ st with obj = obj' }, [ Sim.Action.Send (src, Reply r) ])
+    | Reply r -> (st, [ Sim.Action.Respond r ])
+
+  let on_timer (_ : config) st ~clock:_ () = (st, [])
+end

@@ -1,0 +1,16 @@
+(** The folklore centralized implementation (Chapter I.A.3): a designated
+    coordinator (process 0) holds the object; every operation is shipped to
+    it and the result shipped back — up to 2d per operation.  This is the
+    baseline Algorithm 1's sub-2d latencies are measured against. *)
+
+open Spec
+
+module Make (D : Data_type.S) : sig
+  val coordinator : int
+
+  include
+    Sim.Protocol.S
+      with type config = Params.t
+       and type op = D.op
+       and type result = D.result
+end

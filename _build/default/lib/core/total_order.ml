@@ -1,0 +1,27 @@
+(** Total-order-broadcast baseline (Chapter I.A.3's alternative): every
+    operation — accessors included — is timestamped, broadcast and executed
+    in timestamp order, responding only once the invoker's own copy executes
+    it.  Equivalently, Algorithm 1 with every operation treated as an OOP.
+    Every operation therefore costs up to d + ε, so the per-class speedups
+    of Algorithm 1 (ε + X for mutators, d + ε − X for accessors) vanish.
+
+    This is the *best case* for a TOB-based scheme in this model; the paper
+    notes (citing Attiya–Welch) that a TOB built on point-to-point messages
+    is no faster than the centralized scheme, so comparing against this
+    idealized version only understates Algorithm 1's advantage. *)
+
+open Spec
+
+module Uniform (D : Data_type.S) = struct
+  include D
+
+  (* Treat every operation as "other": timestamp, broadcast, execute in
+     order, respond on execution. *)
+  let classify (_ : op) = Data_type.Other
+end
+
+module Make (D : Data_type.S) = struct
+  include Algorithm1.Make (Uniform (D))
+
+  let name = "total-order-broadcast"
+end

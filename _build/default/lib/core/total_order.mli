@@ -1,0 +1,21 @@
+(** Total-order-broadcast baseline (Chapter I.A.3's alternative): every
+    operation — pure accessors and mutators included — is timestamped,
+    broadcast and executed in timestamp order, responding only when the
+    invoker's own copy executes it, i.e. Algorithm 1 with every operation
+    treated as an OOP.  Every operation costs up to d + ε, so the per-class
+    speedups of Algorithm 1 vanish.  This is the *best case* for a
+    TOB-based scheme in this model. *)
+
+open Spec
+
+module Uniform (D : Data_type.S) : sig
+  include Data_type.S with type state = D.state and type op = D.op and type result = D.result
+end
+
+module Make (D : Data_type.S) : sig
+  include
+    Sim.Protocol.S
+      with type config = Params.t
+       and type op = D.op
+       and type result = D.result
+end

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Core Harness Report Runs Sim Spec

@@ -1,0 +1,1 @@
+lib/experiments/baselines.ml: Array Core Data_type Linearize List Printf Register Report Sim Spec

@@ -1,0 +1,1 @@
+lib/experiments/drift.ml: Core Linearize List Printf Report Sim Spec

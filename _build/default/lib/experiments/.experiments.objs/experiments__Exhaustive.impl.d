@@ -1,0 +1,1 @@
+lib/experiments/exhaustive.ml: Array Core Harness List Printf Report Runs Sim Spec String

@@ -1,0 +1,1 @@
+lib/experiments/fig_folklore.ml: Core Harness List Report Runs Sim Spec

@@ -1,0 +1,1 @@
+lib/experiments/fig_modified_shift.ml: Array Core Harness List Report Runs Sim Spec

@@ -1,0 +1,1 @@
+lib/experiments/fig_shift.ml: Array Core Harness Report Runs Sim Spec

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Core Data_type Format Linearize List Option Runs Sim Spec

@@ -1,0 +1,1 @@
+lib/experiments/lossy.ml: Core Format Linearize List Prelude Printf Report Sim Spec

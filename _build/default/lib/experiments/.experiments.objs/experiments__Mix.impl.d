@@ -1,0 +1,1 @@
+lib/experiments/mix.ml: Array Core Fun Linearize List Prelude Report Sim Spec

@@ -1,0 +1,1 @@
+lib/experiments/sc_separation.ml: Core Harness Linearize Report Runs Sim Spec

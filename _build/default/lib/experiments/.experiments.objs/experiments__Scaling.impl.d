@@ -1,0 +1,1 @@
+lib/experiments/scaling.ml: Array Core Linearize List Report Sim Spec

@@ -1,0 +1,1 @@
+lib/experiments/sync_experiment.ml: Array Clocksync List Prelude Printf Report Sim

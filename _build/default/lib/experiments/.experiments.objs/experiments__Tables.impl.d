@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Array Bounds Core Data_type Fifo_queue Harness Hashtbl Lifo_stack List Option Prelude Printf Register Report Rooted_tree Sim Spec String

@@ -1,0 +1,1 @@
+lib/experiments/thm_c1.ml: Array Core Data_type Format Harness List Printf Report Runs Sim Spec

@@ -1,0 +1,1 @@
+lib/experiments/thm_d1.ml: Array Core Data_type Harness List Printf Report Runs Sim Spec String

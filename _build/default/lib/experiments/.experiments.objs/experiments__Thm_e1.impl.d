@@ -1,0 +1,1 @@
+lib/experiments/thm_e1.ml: Array Core Data_type Harness List Option Printf Report Runs Sim Spec

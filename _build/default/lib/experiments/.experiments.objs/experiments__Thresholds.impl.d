@@ -1,0 +1,1 @@
+lib/experiments/thresholds.ml: Core List Printf Report Spec Thm_c1 Thm_d1 Thm_e1

@@ -1,0 +1,1 @@
+lib/experiments/tradeoff.ml: Array Core Harness List Report Runs Sim Spec

@@ -1,0 +1,79 @@
+(** Baseline comparison (Chapter I.A.3): Algorithm 1 vs the folklore 2d
+    centralized implementation vs an idealized total-order broadcast.
+
+    The headline claim of the thesis — operations can beat 2d — in
+    measurable form, on the same register workload (clients p1…p4; the
+    centralized coordinator p0 takes no client ops so its free local
+    operations don't flatter it):
+
+    - Algorithm 1 at X = 0: writes ε, reads d + ε, rmw ≤ d + ε;
+    - TOB: everything d + ε (accessors and mutators pay full dissemination);
+    - centralized: everything 2d. *)
+
+open Spec
+
+module A = Sim.Engine.Make (Core.Algorithm1.Make (Register))
+module C = Sim.Engine.Make (Core.Centralized.Make (Register))
+module T = Sim.Engine.Make (Core.Total_order.Make (Register))
+module Lin = Linearize.Make (Register)
+
+let n = 5
+let d = 1200
+let u = 400
+let eps = Core.Params.optimal_eps ~n ~u
+let params = Core.Params.make ~n ~d ~u ~eps ~x:0 ()
+
+let script =
+  let open Register in
+  List.concat
+    [
+      Sim.Workload.seq 1 0 [ Write 1; Read; Rmw 2 ];
+      Sim.Workload.seq 2 200 [ Read; Write 3; Rmw 4 ];
+      Sim.Workload.seq 3 400 [ Rmw 5; Read; Write 6 ];
+      Sim.Workload.seq 4 600 [ Write 7; Rmw 8; Read ];
+    ]
+
+let worst_by_kind (trace : (Register.op, Register.result, 'm) Sim.Trace.t) kind =
+  Sim.Trace.max_latency ~f:(fun r -> Register.classify r.op = kind) trace
+
+let measure name run b =
+  let trace = run () in
+  let lin = Lin.(is_linearizable (check_trace trace)) in
+  let mut = worst_by_kind trace Data_type.Pure_mutator in
+  let acc = worst_by_kind trace Data_type.Pure_accessor in
+  let oop = worst_by_kind trace Data_type.Other in
+  Report.line b "%-22s write %5d | read %5d | rmw %5d %s" name mut acc oop
+    (if lin then "" else "(NOT LINEARIZABLE)");
+  (mut, acc, oop, lin)
+
+let offsets = Array.make n 0
+let delay () = Sim.Delay.constant d
+
+let run () =
+  let b = Report.builder () in
+  Report.line b "register workload, 12 client ops, n=%d d=%d u=%d ε=%d X=0" n d u eps;
+  let am, aa, ao, al =
+    measure "algorithm 1" (fun () -> (A.run ~config:params ~n ~offsets ~delay:(delay ()) script).trace) b
+  in
+  let tm, ta, to_, tl =
+    measure "total-order broadcast" (fun () -> (T.run ~config:params ~n ~offsets ~delay:(delay ()) script).trace) b
+  in
+  let cm, ca, co, cl =
+    measure "centralized (2d)" (fun () -> (C.run ~config:params ~n ~offsets ~delay:(delay ()) script).trace) b
+  in
+  ignore (Report.expect b ~what:"all three implementations linearizable" (al && tl && cl));
+  ignore
+    (Report.expect b
+       ~what:
+         (Printf.sprintf "mutators: algorithm 1 (%d = ε) ≪ TOB (%d = d+ε) < centralized (%d = 2d)"
+            am tm cm)
+       (am = eps && tm = d + eps && cm = 2 * d && am < tm && tm < cm));
+  ignore
+    (Report.expect b
+       ~what:"accessors: algorithm 1 and TOB (d+ε) < centralized (2d)"
+       (aa = d + eps && ta = d + eps && ca = 2 * d));
+  ignore
+    (Report.expect b ~what:"rmw: algorithm 1 and TOB (≤ d+ε) < centralized (2d)"
+       (ao <= d + eps && to_ <= d + eps && co = 2 * d));
+  Report.finish b ~id:"baselines"
+    ~title:"Algorithm 1 vs centralized (2d) vs total-order broadcast"

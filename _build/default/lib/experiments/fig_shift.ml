@@ -1,0 +1,80 @@
+(** Figure 3: the standard time shift, executed.
+
+    The classic u/2 lower-bound argument for writes: take a run R1 in which
+    p0's write(5) completes before p1's write(7) is invoked (so a later read
+    must return 7); shift p0's entire view 2·|write| + 2 later.  With
+    symmetric original delays d − u/2, the shifted delays stay admissible as
+    long as the shift is at most u/2 — formula (4.1).  Since no process can
+    tell the difference, the read still returns 7 in the shifted run, whose
+    real-time order now demands 5: a violation.  A write faster than u/2 is
+    therefore incorrect, and the experiment shows both halves:
+
+    - a fast write (latency 50 < u/2 = 200) is caught: the shifted run is
+      admissible and non-linearizable;
+    - the standard write (ε + X = 200 ≥ u/2 at optimal ε) cannot be framed:
+      the required shift exceeds u/2 and the shifted run is inadmissible. *)
+
+module H = Harness.Make (Spec.Register)
+
+let d = 1000
+let u = 400
+let n = 2
+let eps = Core.Params.optimal_eps ~n ~u (* 200 = u/2 *)
+let t0 = 1000
+
+let base_config ~write_latency : Spec.Register.op Runs.Config.t =
+  Runs.Config.make ~n ~d ~u ~eps
+    ~delays:(Array.make_matrix n n (d - (u / 2)))
+    ~script:
+      [
+        Sim.Workload.at 0 (Spec.Register.Write 5) t0;
+        (* invoked as soon as write(5) responds *)
+        Sim.Workload.at 1 (Spec.Register.Write 7) (t0 + write_latency);
+        (* probe long after everything settles *)
+        Sim.Workload.at 1 Spec.Register.Read 10_000;
+      ]
+    ()
+
+let attempt b ~label ~params ~write_latency =
+  let cfg = base_config ~write_latency in
+  let r1 = H.execute ~params cfg in
+  Report.line b "%s R1: %s" label (H.history_line r1);
+  let ok1 =
+    Report.expect b
+      ~what:(label ^ " R1 linearizable (read sees the later write 7)")
+      (H.is_linearizable r1 && H.result_of r1 2 = Some (Spec.Register.Value 7))
+  in
+  (* Shift p0's view so write(5) is now invoked strictly after write(7)
+     completes. *)
+  let shift_amount = (2 * write_latency) + 2 in
+  let shifted = Runs.Config.shift cfg ~x:[| shift_amount; 0 |] in
+  if Runs.Config.is_admissible shifted then begin
+    let r2 = H.execute ~params shifted in
+    Report.line b "%s R2 = shift(R1,[%d;0]): %s" label shift_amount
+      (H.history_line r2);
+    let violated =
+      Report.expect b
+        ~what:
+          (label
+         ^ " shifted run admissible and non-linearizable (read still 7, order flipped)")
+        (not (H.is_linearizable r2))
+    in
+    ok1 && violated
+  end
+  else begin
+    Report.line b
+      "%s shift by %d would need delays outside [%d,%d] or skew > ε — the \
+       adversary cannot build R2"
+      label shift_amount (d - u) d;
+    ok1
+  end
+
+let run () =
+  let b = Report.builder () in
+  let fast = Core.Params.faster_mutator (Core.Params.make ~n ~d ~u ~eps ~x:0 ()) ~latency:50 in
+  ignore (attempt b ~label:"[fast |write|=50]" ~params:fast ~write_latency:50);
+  let standard = Core.Params.make ~n ~d ~u ~eps ~x:0 () in
+  let survived = attempt b ~label:"[standard |write|=ε+X=200]" ~params:standard ~write_latency:200 in
+  ignore
+    (Report.expect b ~what:"standard write (= u/2 at optimal ε) survives the shift adversary" survived);
+  Report.finish b ~id:"fig3" ~title:"Standard time shift (write lower bound u/2)"

@@ -1,0 +1,80 @@
+(** Shared plumbing for the experiments: for a given data type, instantiate
+    Algorithm 1, the simulator engine and the linearizability checker, and
+    run {!Runs.Config} configurations (the representation every Chapter IV
+    construction manipulates). *)
+
+open Spec
+
+module Make (D : Data_type.S) = struct
+  module Alg = Core.Algorithm1.Make (D)
+  module Engine = Sim.Engine.Make (Alg)
+  module Lin = Linearize.Make (D)
+
+  type execution = {
+    outcome : Engine.outcome;
+    verdict : Lin.verdict;
+    config : D.op Runs.Config.t;
+  }
+
+  (** Execute a run configuration under the given protocol parameters
+      (whose timing may be a deliberately-fast variant).  [view_ends]
+      executes a chopped prefix; chopped runs are not linearizability-
+      checked against completed ops only unless [check_lin] is set. *)
+  let execute ?(check_lin = true) ?view_ends ~(params : Core.Params.t)
+      (config : D.op Runs.Config.t) : execution =
+    let outcome =
+      Engine.run ~config:params ~n:config.n ~offsets:config.offsets
+        ~delay:(Runs.Config.delay_policy config)
+        ?view_ends config.script
+    in
+    let verdict =
+      if check_lin then Lin.check_trace outcome.trace
+      else Lin.Linearizable []
+    in
+    { outcome; verdict; config }
+
+  (** Same, but with an arbitrary delay policy (e.g. a chop extension
+      override). *)
+  let execute_with_delay ~(params : Core.Params.t) ~delay
+      (config : D.op Runs.Config.t) : execution =
+    let outcome =
+      Engine.run ~config:params ~n:config.n ~offsets:config.offsets ~delay
+        config.script
+    in
+    { outcome; verdict = Lin.check_trace outcome.trace; config }
+
+  let is_linearizable (e : execution) = Lin.is_linearizable e.verdict
+
+  let latency_of (e : execution) index =
+    match Sim.Trace.find_op e.outcome.trace ~index with
+    | Some r -> Sim.Trace.latency r
+    | None -> None
+
+  let result_of (e : execution) index =
+    Sim.Trace.result_of e.outcome.trace ~index
+
+  let response_time (e : execution) index =
+    Option.bind (Sim.Trace.find_op e.outcome.trace ~index) (fun r ->
+        r.response_real)
+
+  (** Worst-case completed latency among operations classified [kind]. *)
+  let max_latency_of_kind (e : execution) kind =
+    Sim.Trace.max_latency
+      ~f:(fun r -> D.classify r.op = kind)
+      e.outcome.trace
+
+  let pp_history fmt (e : execution) =
+    List.iter
+      (fun r ->
+        Format.fprintf fmt "%a; "
+          (Sim.Trace.pp_op_record D.pp_op D.pp_result)
+          r)
+      e.outcome.trace.ops
+
+  let history_line (e : execution) = Format.asprintf "%a" pp_history e
+
+  (** ASCII space-time diagram of the run (the thesis' figure style). *)
+  let diagram ?width (e : execution) =
+    Sim.Diagram.render ?width ~pp_op:D.pp_op ~pp_result:D.pp_result
+      e.outcome.trace
+end

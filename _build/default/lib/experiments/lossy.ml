@@ -1,0 +1,118 @@
+(** Message loss — the second future-work item of the thesis' conclusion
+    ("we may also consider different types of failures in message passing
+    systems").
+
+    Three arms:
+
+    1. Algorithm 1 straight over a link that drops one message: the write's
+       broadcast never reaches p1, whose later read returns the initial
+       value — a linearizability violation (the model's reliable-delivery
+       assumption is load-bearing).
+
+    2. The same network under {!Sim.Reliable} with retransmit period r and
+       loss budget L = 2, with Algorithm 1 configured for the *effective*
+       bounds d_eff = d + L·r, u_eff = u + L·r: every operation completes,
+       the history is linearizable, and the latency identities hold at the
+       effective parameters (reads in d_eff + ε − X).
+
+    3. Randomized bounded loss (30%, ≤ 2 consecutive per link) over mixed
+       workloads: always linearizable, nothing lost or stuck. *)
+
+module Plain = Core.Algorithm1.Make (Spec.Register)
+module Plain_engine = Sim.Engine.Make (Plain)
+module Wrapped = Sim.Reliable.Make (Plain)
+module Wrapped_engine = Sim.Engine.Make (Wrapped)
+module Lin = Linearize.Make (Spec.Register)
+
+let n = 3
+let d = 1000
+let u = 400
+let eps = 200
+let retransmit = 300
+let loss_budget = 2
+
+let d_eff = d + (loss_budget * retransmit)
+let u_eff = u + (loss_budget * retransmit)
+
+let script =
+  [
+    Sim.Workload.at 0 (Spec.Register.Write 5) 0;
+    Sim.Workload.at 1 Spec.Register.Read 5_000;
+    Sim.Workload.at 2 (Spec.Register.Rmw 9) 5_200;
+  ]
+
+let offsets = [| 0; eps; 0 |]
+
+let run () =
+  let b = Report.builder () in
+
+  (* Arm 1: unprotected Algorithm 1, one lost message. *)
+  let lossy_delay () =
+    Sim.Delay.drop_first (Sim.Delay.constant (d - u)) ~from:0 ~to_:1 ~count:1
+  in
+  let params = Core.Params.make ~n ~d ~u ~eps ~x:0 () in
+  let out1 = Plain_engine.run ~config:params ~n ~offsets ~delay:(lossy_delay ()) script in
+  let read1 = Sim.Trace.result_of out1.trace ~index:1 in
+  Report.line b "arm 1 (no protection): read at p1 returns %s"
+    (match read1 with
+    | Some r -> Format.asprintf "%a" Spec.Register.pp_result r
+    | None -> "⊥");
+  ignore
+    (Report.expect b ~what:"arm 1: one lost message breaks linearizability"
+       (not Lin.(is_linearizable (check_trace out1.trace))));
+
+  (* Arm 2: Reliable wrapper, adversary drops the first 2 frames on 0→1,
+     protocol configured for the effective bounds. *)
+  let eff_params = Core.Params.make ~n ~d:d_eff ~u:u_eff ~eps ~x:0 () in
+  let cfg : Wrapped.config =
+    { inner = eff_params; retransmit_every = retransmit; max_retries = 8 }
+  in
+  let delay2 =
+    Sim.Delay.drop_first (Sim.Delay.constant (d - u)) ~from:0 ~to_:1 ~count:loss_budget
+  in
+  let out2 = Wrapped_engine.run ~config:cfg ~n ~offsets ~delay:delay2 script in
+  let all_done = Sim.Trace.pending out2.trace = [] in
+  Report.line b "arm 2 (reliable, d_eff=%d u_eff=%d): read at p1 returns %s" d_eff u_eff
+    (match Sim.Trace.result_of out2.trace ~index:1 with
+    | Some r -> Format.asprintf "%a" Spec.Register.pp_result r
+    | None -> "⊥");
+  ignore (Report.expect b ~what:"arm 2: every operation completes" all_done);
+  ignore
+    (Report.expect b ~what:"arm 2: linearizable despite 2 consecutive losses"
+       Lin.(is_linearizable (check_trace out2.trace)));
+  ignore
+    (Report.expect b
+       ~what:
+         (Printf.sprintf "arm 2: read latency = d_eff + ε − X = %d" (d_eff + eps))
+       (Sim.Trace.max_latency
+          ~f:(fun r -> r.op = Spec.Register.Read)
+          out2.trace
+       = d_eff + eps));
+
+  (* Arm 3: randomized bounded loss over a mixed workload. *)
+  let ok = ref true in
+  for seed = 1 to 5 do
+    let rng = Prelude.Rng.make seed in
+    let delay =
+      Sim.Delay.lossy_budget
+        (Sim.Delay.random (Prelude.Rng.make (seed + 50)) ~d ~u)
+        ~rng ~percent:30 ~budget:loss_budget
+    in
+    let script =
+      List.concat_map
+        (fun pid ->
+          Sim.Workload.seq pid (pid * 300)
+            [ Spec.Register.Write ((10 * pid) + seed); Spec.Register.Read; Spec.Register.Rmw pid ])
+        [ 0; 1; 2 ]
+    in
+    let out = Wrapped_engine.run ~config:cfg ~n ~offsets ~delay script in
+    ok :=
+      !ok
+      && Sim.Trace.pending out.trace = []
+      && Lin.(is_linearizable (check_trace out.trace))
+  done;
+  ignore
+    (Report.expect b
+       ~what:"arm 3: 5 random bounded-loss schedules all complete and linearize" !ok);
+  Report.finish b ~id:"lossy"
+    ~title:"Future work: message loss, and recovery via a retransmission layer"

@@ -1,0 +1,80 @@
+(** Workload mixes: what the X trade-off means for a real application.
+
+    The thesis' Chapter V gives per-class worst cases; an operator choosing
+    X cares about the *mean* latency of their workload mix.  We run
+    read-heavy / balanced / write-heavy register workloads (randomized
+    arrival times and adversarial random delays) under Algorithm 1 at
+    X = 0 (fast writes), at X = d + ε − u (fast reads), and under the
+    centralized 2d baseline, and report mean latency per mix.  The paper's
+    "shape": X = 0 wins write-heavy mixes, X = max wins read-heavy mixes,
+    both beat 2d everywhere; every run stays linearizable. *)
+
+module Alg = Core.Algorithm1.Make (Spec.Register)
+module A = Sim.Engine.Make (Alg)
+module C = Sim.Engine.Make (Core.Centralized.Make (Spec.Register))
+module Lin = Linearize.Make (Spec.Register)
+
+let n = 4
+let d = 1200
+let u = 400
+let eps = Core.Params.optimal_eps ~n ~u
+
+let script_of_mix ~rng ~reads_percent =
+  List.concat_map
+    (fun pid ->
+      Sim.Workload.seq pid
+        (Prelude.Rng.int rng 2000)
+        (List.init 4 (fun i ->
+             if Prelude.Rng.int rng 100 < reads_percent then Spec.Register.Read
+             else Spec.Register.Write ((10 * pid) + i))))
+    (List.init n Fun.id)
+
+let mean_latency (trace : (Spec.Register.op, Spec.Register.result, 'm) Sim.Trace.t) =
+  let total, count =
+    List.fold_left
+      (fun (t, c) r ->
+        match Sim.Trace.latency r with Some l -> (t + l, c + 1) | None -> (t, c))
+      (0, 0) trace.ops
+  in
+  if count = 0 then 0 else total / count
+
+let run_mix ~reads_percent =
+  let rng = Prelude.Rng.make (reads_percent + 5) in
+  let script = script_of_mix ~rng ~reads_percent in
+  let offsets = Array.init n (fun i -> i * eps / (n - 1)) in
+  let delay seed = Sim.Delay.random (Prelude.Rng.make seed) ~d ~u in
+  let run_alg x =
+    let params = Core.Params.make ~n ~d ~u ~eps ~x () in
+    let out = A.run ~config:params ~n ~offsets ~delay:(delay 9) script in
+    (mean_latency out.trace, Lin.(is_linearizable (check_trace out.trace)))
+  in
+  let fast_writes = run_alg 0 in
+  let fast_reads = run_alg (d + eps - u) in
+  let central =
+    let params = Core.Params.make ~n ~d ~u ~eps ~x:0 () in
+    let out = C.run ~config:params ~n ~offsets ~delay:(delay 10) script in
+    (mean_latency out.trace, Lin.(is_linearizable (check_trace out.trace)))
+  in
+  (fast_writes, fast_reads, central)
+
+let run () =
+  let b = Report.builder () in
+  Report.line b "n=%d d=%d u=%d ε=%d; 16 ops per mix, random schedules" n d u eps;
+  Report.line b "%12s %14s %14s %14s" "reads" "mean@X=0" "mean@X=max" "mean@2d";
+  let ok = ref true in
+  List.iter
+    (fun reads_percent ->
+      let (m0, l0), (mx, lx), (mc, lc) = run_mix ~reads_percent in
+      Report.line b "%11d%% %14d %14d %14d" reads_percent m0 mx mc;
+      ok := !ok && l0 && lx && lc && m0 < mc && mx < mc;
+      (* the trade-off direction *)
+      if reads_percent <= 25 then ok := !ok && m0 <= mx
+      else if reads_percent >= 75 then ok := !ok && mx <= m0)
+    [ 10; 25; 50; 75; 90 ];
+  ignore
+    (Report.expect b
+       ~what:
+         "all mixes linearizable; both X choices beat 2d; X=0 wins write-heavy, \
+          X=max wins read-heavy"
+       !ok);
+  Report.finish b ~id:"mix" ~title:"Workload mixes: choosing X in practice"

@@ -1,0 +1,8 @@
+(** All reproduced tables, figures and extension experiments, addressable
+    by id.  The CLI and the bench harness iterate this list. *)
+
+type entry = { id : string; title : string; run : unit -> Report.t }
+
+val register : id:string -> title:string -> (unit -> Report.t) -> unit
+val all : unit -> entry list
+val find : string -> entry option

@@ -1,0 +1,35 @@
+(** Experiment reports: every reproduced table/figure produces one, with the
+    series/rows the paper reports plus a pass/fail verdict ("did the run
+    family behave as the paper predicts?").  The CLI prints them; the bench
+    harness runs them under Bechamel and appends them to its output. *)
+
+type t = {
+  id : string;  (** e.g. ["fig1"], ["thm_c1"], ["table2"] *)
+  title : string;
+  lines : string list;  (** human-readable rows/series *)
+  ok : bool;  (** all of the paper's predicted outcomes held *)
+}
+
+let make ~id ~title ~ok lines = { id; title; lines; ok }
+
+let pp fmt t =
+  Format.fprintf fmt "== %s: %s [%s]@." t.id t.title
+    (if t.ok then "OK" else "MISMATCH");
+  List.iter (fun l -> Format.fprintf fmt "   %s@." l) t.lines
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* Tiny line-building DSL used by the experiment modules. *)
+type builder = { mutable rev_lines : string list; mutable all_ok : bool }
+
+let builder () = { rev_lines = []; all_ok = true }
+let line b fmt = Format.kasprintf (fun s -> b.rev_lines <- s :: b.rev_lines) fmt
+
+(** Record a named expectation: appends a ✓/✗ line and folds into [ok]. *)
+let expect b ~what cond =
+  b.all_ok <- b.all_ok && cond;
+  line b "%s %s" (if cond then "✓" else "✗") what;
+  cond
+
+let finish b ~id ~title =
+  { id; title; lines = List.rev b.rev_lines; ok = b.all_ok }

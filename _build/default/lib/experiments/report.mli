@@ -1,0 +1,27 @@
+(** Experiment reports: every reproduced table/figure produces one, with
+    the rows/series the paper reports plus a pass/fail verdict ("did the
+    run family behave as the paper predicts?"). *)
+
+type t = {
+  id : string;  (** e.g. ["fig1"], ["thm_c1"], ["table2"] *)
+  title : string;
+  lines : string list;
+  ok : bool;
+}
+
+val make : id:string -> title:string -> ok:bool -> string list -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** {2 Line-building DSL used by the experiment modules} *)
+
+type builder
+
+val builder : unit -> builder
+val line : builder -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val expect : builder -> what:string -> bool -> bool
+(** Record a named expectation: appends a ✓/✗ line, folds into the final
+    verdict, and returns the condition. *)
+
+val finish : builder -> id:string -> title:string -> t

@@ -1,0 +1,66 @@
+(** Scaling with the number of processes.
+
+    The bounds of Chapter V depend on n only through the optimal clock skew
+    ε = (1 − 1/n)·u, so the series here traces how each operation class
+    scales as the system grows — pure mutators degrade gently toward u,
+    accessors/OOPs stay pinned near d + ε — while the per-operation message
+    cost of Algorithm 1 grows linearly (a broadcast, n − 1 messages) against
+    the centralized baseline's constant 2.  Latency identities are asserted
+    exactly at every n. *)
+
+module Alg = Core.Algorithm1.Make (Spec.Register)
+module A = Sim.Engine.Make (Alg)
+module C = Sim.Engine.Make (Core.Centralized.Make (Spec.Register))
+module Lin = Linearize.Make (Spec.Register)
+
+let d = 1200
+let u = 400
+
+let script =
+  let open Spec.Register in
+  List.concat
+    [
+      Sim.Workload.seq 0 0 [ Write 1; Read; Rmw 2 ];
+      Sim.Workload.seq 1 200 [ Read; Write 3; Rmw 4 ];
+    ]
+
+let measure_at n =
+  let eps = Core.Params.optimal_eps ~n ~u in
+  let params = Core.Params.make ~n ~d ~u ~eps ~x:0 () in
+  let offsets = Array.make n 0 in
+  let a = A.run ~config:params ~n ~offsets ~delay:(Sim.Delay.constant d) script in
+  let c = C.run ~config:params ~n ~offsets ~delay:(Sim.Delay.constant d) script in
+  (* accessors are free; broadcasting ops (mutators + OOPs) pay n − 1 *)
+  let broadcasting =
+    List.length
+      (List.filter
+         (fun (r : _ Sim.Trace.op_record) ->
+           Spec.Register.classify r.op <> Spec.Data_type.Pure_accessor)
+         a.trace.ops)
+  in
+  let kind k = Sim.Trace.max_latency ~f:(fun r -> Spec.Register.classify r.op = k) a.trace in
+  ( eps,
+    kind Spec.Data_type.Pure_mutator,
+    kind Spec.Data_type.Pure_accessor,
+    kind Spec.Data_type.Other,
+    List.length a.trace.messages / broadcasting,
+    List.length c.trace.messages / broadcasting,
+    Lin.(is_linearizable (check_trace a.trace)) )
+
+let run () =
+  let b = Report.builder () in
+  Report.line b "d=%d u=%d X=0, ε = (1−1/n)u; 6-op register workload" d u;
+  Report.line b "%4s %6s %8s %8s %8s %10s %12s" "n" "ε" "|write|" "|read|" "|rmw|"
+    "msgs/bop" "msgs/bop(2d)";
+  let ok = ref true in
+  List.iter
+    (fun n ->
+      let eps, w, r, o, m_alg, m_cen, lin = measure_at n in
+      Report.line b "%4d %6d %8d %8d %8d %10d %12d" n eps w r o m_alg m_cen;
+      ok := !ok && lin && w = eps && r = d + eps && o <= d + eps)
+    [ 2; 4; 8; 12; 16 ];
+  ignore
+    (Report.expect b
+       ~what:"at every n: linearizable, |write| = (1−1/n)u, |read| = d+ε, |rmw| ≤ d+ε"
+       !ok);
+  Report.finish b ~id:"scaling" ~title:"Scaling in n: latency pinned, messages linear"

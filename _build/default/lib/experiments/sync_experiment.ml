@@ -1,0 +1,51 @@
+(** Clock-synchronization substrate (the "optimal ε" premise of Chapter V,
+    thesis reference [6]): one round of Lundelius–Lynch synchronization
+    brings arbitrarily skewed clocks to within (1 − 1/n)·u of each other,
+    and an adversary choosing extreme delays can force exactly that
+    residual skew for n = 2.
+
+    Integer arithmetic note: corrections are averaged with truncating
+    division, so measured skews may exceed the real-valued bound by at most
+    1 tick per estimate; the assertions allow [n] ticks of rounding slack
+    and the exact-tightness case is chosen divisibility-safe. *)
+
+let d = 1200
+let u = 400
+
+let run () =
+  let b = Report.builder () in
+  let rng = Prelude.Rng.make 99 in
+  List.iter
+    (fun n ->
+      let bound = Clocksync.Lundelius_lynch.optimal_skew ~n ~u in
+      let worst = ref 0 in
+      (* random initial skews and several adversarial delay policies *)
+      for trial = 0 to 9 do
+        let offsets = Array.init n (fun _ -> Prelude.Rng.int_in rng ~lo:(-5000) ~hi:5000) in
+        let policies =
+          Sim.Delay.random (Prelude.Rng.make (trial + 7)) ~d ~u
+          :: List.init n (fun v -> Clocksync.Lundelius_lynch.adversarial_delay ~d ~u ~victim:v)
+        in
+        List.iter
+          (fun delay ->
+            let s = Clocksync.Lundelius_lynch.achieved_skew ~n ~d ~u ~offsets ~delay in
+            worst := max !worst s)
+          policies
+      done;
+      Report.line b "n=%d: worst synchronized skew %d, optimal bound (1−1/n)u = %d"
+        n !worst bound;
+      ignore
+        (Report.expect b
+           ~what:(Printf.sprintf "n=%d: skew ≤ (1−1/n)u (+%d rounding)" n n)
+           (!worst <= bound + n)))
+    [ 2; 4; 5; 8 ];
+  (* Exact tightness at n = 2: the adversary forces skew u/2 on initially
+     perfect clocks. *)
+  let s =
+    Clocksync.Lundelius_lynch.achieved_skew ~n:2 ~d ~u ~offsets:[| 0; 0 |]
+      ~delay:(Clocksync.Lundelius_lynch.adversarial_delay ~d ~u ~victim:0)
+  in
+  Report.line b "n=2 adversary on perfect clocks: skew %d (bound %d)" s (u / 2);
+  ignore (Report.expect b ~what:"n=2: adversary achieves exactly u/2" (s = u / 2));
+  Report.finish b ~id:"clocksync"
+    ~title:"Lundelius–Lynch synchronization: skew ≤ (1−1/n)u, tight"

@@ -1,0 +1,207 @@
+(** Theorem C.1 (Figures 6–9): strongly immediately non-self-commuting
+    operations cost at least d + m, where m = min{ε, u, d/3}.
+
+    The proof is an adversary that manufactures a family of runs
+    R1 → R′1 → R2 → R3 → R‴3 by shifting, chopping and extending; for any
+    implementation whose OOPs respond faster than d + m, at least one
+    complete admissible run in the family is not linearizable.  This module
+    executes that adversary literally against a configurable implementation
+    and reports, per run, admissibility and the linearizability verdict:
+
+    - with Algorithm 1's timing shortened so OOPs respond in < d + m, a
+      violation appears (in our instantiation, in R3 — the run where both
+      instances return the same "I was first" answer, Figure 9);
+    - with the standard timing (d + ε = d + m at ε = u = d/3), every run in
+      the family is linearizable.
+
+    Scenarios: read-modify-write on a register (both instances must return
+    the pre-state), and dequeue on a single-element queue (both instances
+    must return the lone element).  Pop on a stack is exercised by the test
+    suite through the same functor. *)
+
+open Spec
+
+module Scenario (D : Data_type.S) = struct
+  module H = Harness.Make (D)
+
+  type t = {
+    label : string;
+    prefix : D.op Sim.Workload.invocation list;  (** realizes ρ, quiesced well before [t] *)
+    op1 : D.op;
+    op2 : D.op;
+  }
+
+  let d = 900
+  let u = 300
+  let eps = 300
+  let t = 5_000
+  let m = min eps (min u (d / 3)) (* = 300: all three terms coincide *)
+
+  (* Delay matrix of R1 (proof, Step 1): i = p0, j = p1, k = p2. *)
+  let delays_r1 () =
+    let dm = Array.make_matrix 3 3 d in
+    dm.(2).(0) <- d - m;
+    dm.(1).(2) <- d - m;
+    dm
+
+  let config ~offsets ~delays ~script : D.op Runs.Config.t =
+    Runs.Config.make ~n:3 ~d ~u ~eps ~offsets ~delays ~script ()
+
+  (* Chop an invalid shifted configuration and extend the offending pair
+     with delay [delta']; returns the complete extended configuration. *)
+  let chop_and_extend ~params (shifted : D.op Runs.Config.t) ~invalid ~delta' b ~step =
+    match Runs.Config.invalid_delays shifted with
+    | [] ->
+        Report.line b "%s: shift stayed admissible; no chop needed" step;
+        shifted
+    | [ pair ] when pair = invalid ->
+        let probe = H.execute ~check_lin:false ~params shifted in
+        (match
+           Runs.Chop.cut_points shifted ~trace:probe.outcome.trace ~invalid
+             ~delta:(d - m)
+         with
+        | Some cut ->
+            Report.line b "%s: invalid %d→%d delay %d; t* = %d" step (fst invalid)
+              (snd invalid)
+              shifted.delays.(fst invalid).(snd invalid)
+              cut.t_star
+        | None -> Report.line b "%s: no offending message was ever sent" step);
+        { shifted with delays = Runs.Chop.extended_delays shifted ~invalid ~delta' }
+    | other ->
+        Report.line b "%s: unexpected invalid delays (%d pairs)" step
+          (List.length other);
+        shifted
+
+  (* Run the four-step adversary.  Returns true iff some complete
+     admissible run in the family is non-linearizable. *)
+  let attack b ~params (s : t) =
+    let np = List.length s.prefix in
+    let script_r1 =
+      s.prefix @ [ Sim.Workload.at 0 s.op1 t; Sim.Workload.at 1 s.op2 (t + m) ]
+    in
+    let r1_cfg =
+      config ~offsets:[| 0; -m; 0 |] ~delays:(delays_r1 ()) ~script:script_r1
+    in
+    let r1 = H.execute ~params r1_cfg in
+    Report.line b "[%s] R1: %s" s.label (H.history_line r1);
+
+    (* R′1: p0 alone — determinism gives op1's solo return value. *)
+    let r1' =
+      H.execute ~params
+        { r1_cfg with script = s.prefix @ [ Sim.Workload.at 0 s.op1 t ] }
+    in
+    Report.line b "[%s] R'1 (op1 solo) returns %s" s.label
+      (match H.result_of r1' np with
+      | Some r -> Format.asprintf "%a" D.pp_result r
+      | None -> "⊥");
+
+    (* R2 = extend(chop(shift(R1, x_j = −m))): both ops now invoked at t. *)
+    let r2_cfg =
+      chop_and_extend ~params
+        (Runs.Config.shift r1_cfg ~x:[| 0; -m; 0 |])
+        ~invalid:(1, 0) ~delta':(d - m) b ~step:(s.label ^ " step2")
+    in
+    let r2 = H.execute ~params r2_cfg in
+    Report.line b "[%s] R2: %s" s.label (H.history_line r2);
+
+    (* R3 = extend(chop(shift(R2, x_i = m))): op1 at t+m, op2 at t. *)
+    let r3_cfg =
+      chop_and_extend ~params
+        (Runs.Config.shift r2_cfg ~x:[| m; 0; 0 |])
+        ~invalid:(0, 1) ~delta':d b ~step:(s.label ^ " step3")
+    in
+    let r3 = H.execute ~params r3_cfg in
+    Report.line b "[%s] R3: %s" s.label (H.history_line r3);
+    List.iter (fun l -> Report.line b "    %s" l) (H.diagram r3);
+
+    (* R‴3: p1 alone under R3's timing — the deterministic-object witness
+       op4 = op2 of Step 4. *)
+    let r3'' =
+      H.execute ~params
+        { r3_cfg with script = s.prefix @ [ Sim.Workload.at 1 s.op2 t ] }
+    in
+    Report.line b "[%s] R'''3 (op2 solo) returns %s" s.label
+      (match H.result_of r3'' np with
+      | Some r -> Format.asprintf "%a" D.pp_result r
+      | None -> "⊥");
+
+    (* All four *complete* configurations must be admissible runs. *)
+    List.iter
+      (fun (name, cfg) ->
+        ignore
+          (Report.expect b
+             ~what:(Printf.sprintf "[%s] %s admissible" s.label name)
+             (Runs.Config.is_admissible cfg)))
+      [ ("R1", r1_cfg); ("R2", r2_cfg); ("R3", r3_cfg) ];
+    let verdicts =
+      [
+        ("R1", H.is_linearizable r1);
+        ("R'1", H.is_linearizable r1');
+        ("R2", H.is_linearizable r2);
+        ("R3", H.is_linearizable r3);
+        ("R'''3", H.is_linearizable r3'');
+      ]
+    in
+    List.iter
+      (fun (name, ok) ->
+        Report.line b "[%s] %s %s" s.label name
+          (if ok then "linearizable" else "NOT linearizable"))
+      verdicts;
+    List.exists (fun (_, ok) -> not ok) verdicts
+end
+
+module Reg = Scenario (Spec.Register)
+module Q = Scenario (Spec.Fifo_queue)
+module S = Scenario (Spec.Lifo_stack)
+
+let params_of timing =
+  let p = Core.Params.make ~n:3 ~d:900 ~u:300 ~eps:300 ~x:0 () in
+  match timing with
+  | `Standard -> p
+  | `Fast -> Core.Params.faster_oop p ~oop_latency:900 (* < d + m = 1200 *)
+
+let run () =
+  let b = Report.builder () in
+  Report.line b "d=900 u=300 ε=300, m = min{ε,u,d/3} = 300; bound d+m = 1200";
+
+  let reg_scenario : Reg.t =
+    { label = "rmw"; prefix = []; op1 = Spec.Register.Rmw 1; op2 = Spec.Register.Rmw 2 }
+  in
+  let q_scenario : Q.t =
+    {
+      label = "dequeue";
+      prefix = [ Sim.Workload.at 2 (Spec.Fifo_queue.Enqueue 9) 0 ];
+      op1 = Spec.Fifo_queue.Dequeue;
+      op2 = Spec.Fifo_queue.Dequeue;
+    }
+  in
+
+  let fast = params_of `Fast and standard = params_of `Standard in
+  let v1 = Reg.attack b ~params:fast reg_scenario in
+  ignore
+    (Report.expect b ~what:"fast rmw (|OOP| = 900 < d+m): adversary finds a violation" v1);
+  let v2 = Reg.attack b ~params:standard reg_scenario in
+  ignore
+    (Report.expect b ~what:"standard rmw (|OOP| = d+ε = d+m): family fully linearizable"
+       (not v2));
+  let v3 = Q.attack b ~params:fast q_scenario in
+  ignore
+    (Report.expect b ~what:"fast dequeue: adversary finds a violation" v3);
+  let v4 = Q.attack b ~params:standard q_scenario in
+  ignore
+    (Report.expect b ~what:"standard dequeue: family fully linearizable" (not v4));
+  let s_scenario : S.t =
+    {
+      label = "pop";
+      prefix = [ Sim.Workload.at 2 (Spec.Lifo_stack.Push 9) 0 ];
+      op1 = Spec.Lifo_stack.Pop;
+      op2 = Spec.Lifo_stack.Pop;
+    }
+  in
+  let v5 = S.attack b ~params:fast s_scenario in
+  ignore (Report.expect b ~what:"fast pop: adversary finds a violation" v5);
+  let v6 = S.attack b ~params:standard s_scenario in
+  ignore
+    (Report.expect b ~what:"standard pop: family fully linearizable" (not v6));
+  Report.finish b ~id:"thm_c1"
+    ~title:"Theorem C.1 adversary (Figs. 6–9): |OOP| ≥ d + min{ε,u,d/3}"

@@ -1,0 +1,138 @@
+(** Theorem D.1 (Figures 10–14): eventually non-self-last-permuting
+    operations cost at least (1 − 1/k)·u.
+
+    The adversary: k processes invoke k distinct instances of the mutator at
+    the same real time t in run R1, whose delay matrix is the proof's
+    d − ((i−j) mod k)·u/k ring (Fig. 10).  A probe after quiescence reveals
+    which instance op_z the implementation linearized last.  R2 = shift(R1,
+    x) with x_i = [−(k−1)/(2k) + ((z−i) mod k)/k]·u (Fig. 13): all delays
+    become d or d − u — admissible — and the clock skew becomes exactly
+    (1 − 1/k)·u ≤ ε.  No process can distinguish R2 from R1, so the final
+    state is unchanged; but in R2 op_z completes before op_{(z+1) mod k} is
+    invoked whenever the mutator responds faster than (1 − 1/k)·u, so no
+    legal permutation may end with op_z — the probe exposes the violation.
+
+    Instantiations: write on a register (eventually non-self-*last*-
+    permuting: the probe read reveals only the last write) and push on a
+    stack (non-self-*any*-permuting: k pops reveal the entire order). *)
+
+open Spec
+
+module Scenario (D : Data_type.S) = struct
+  module H = Harness.Make (D)
+
+  type t = {
+    label : string;
+    mutator : int -> D.op;  (** the i-th of the k distinct instances *)
+    is_mutator : D.op -> bool;
+    probes : D.op list;  (** run after quiescence to observe the state *)
+    k : int;
+  }
+
+  let d = 1000
+  let u = 400
+  let t0 = 1000
+
+  let delays_r1 ~n ~k =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            if i < k && j < k then d - ((i - j + k) mod k * u / k)
+            else d - (u / 2)))
+
+  let shift_vector ~n ~k ~z =
+    Array.init n (fun i ->
+        if i < k then (-((k - 1) * u / (2 * k))) + ((z - i + k) mod k * u / k)
+        else 0)
+
+  (* Which mutator does the implementation linearize last?  Read it off the
+     checker's witness permutation. *)
+  let last_mutator (s : t) (e : H.execution) =
+    match e.verdict with
+    | H.Lin.Not_linearizable _ -> None
+    | H.Lin.Linearizable witness ->
+        List.fold_left
+          (fun acc (entry : H.Lin.entry) ->
+            if s.is_mutator entry.op then Some entry.pid else acc)
+          None witness
+
+  (* Returns true when the adversary exposed a violation. *)
+  let attack b ~params (s : t) =
+    let k = s.k in
+    let n = k + 1 in
+    let eps = Core.Params.optimal_eps ~n ~u in
+    let script =
+      List.init k (fun i -> Sim.Workload.at i (s.mutator i) t0)
+      @ Sim.Workload.seq k 3000 s.probes
+    in
+    let r1_cfg =
+      Runs.Config.make ~n ~d ~u ~eps ~delays:(delays_r1 ~n ~k) ~script ()
+    in
+    let r1 = H.execute ~params r1_cfg in
+    Report.line b "[%s] R1: %s" s.label (H.history_line r1);
+    ignore
+      (Report.expect b
+         ~what:(Printf.sprintf "[%s] R1 admissible and linearizable" s.label)
+         (Runs.Config.is_admissible r1_cfg && H.is_linearizable r1));
+    match last_mutator s r1 with
+    | None -> false
+    | Some z ->
+        Report.line b "[%s] implementation linearizes op_%d last (z = %d)" s.label z z;
+        let x = shift_vector ~n ~k ~z in
+        let r2_cfg = Runs.Config.shift r1_cfg ~x in
+        Report.line b "[%s] shift x = [%s]; skew after shift = %d = (1-1/k)u = %d"
+          s.label
+          (String.concat ";" (Array.to_list (Array.map string_of_int x)))
+          (Runs.Config.skew r2_cfg)
+          (u - (u / k));
+        ignore
+          (Report.expect b
+             ~what:(Printf.sprintf "[%s] R2 admissible (all delays d or d−u, skew ≤ ε)" s.label)
+             (Runs.Config.is_admissible r2_cfg));
+        let r2 = H.execute ~params r2_cfg in
+        Report.line b "[%s] R2: %s" s.label (H.history_line r2);
+        not (H.is_linearizable r2)
+end
+
+module Reg = Scenario (Spec.Register)
+module Stack = Scenario (Spec.Lifo_stack)
+
+let run () =
+  let b = Report.builder () in
+  let k = 4 in
+  Report.line b "d=1000 u=400 k=%d n=%d ε=(1−1/n)u=%d; bound (1−1/k)u = %d" k (k + 1)
+    (Core.Params.optimal_eps ~n:(k + 1) ~u:400)
+    (400 - (400 / k));
+  let reg : Reg.t =
+    {
+      label = "write";
+      mutator = (fun i -> Spec.Register.Write (i + 10));
+      is_mutator = (function Spec.Register.Write _ -> true | _ -> false);
+      probes = [ Spec.Register.Read ];
+      k;
+    }
+  in
+  let stack : Stack.t =
+    {
+      label = "push";
+      mutator = (fun i -> Spec.Lifo_stack.Push (i + 10));
+      is_mutator = (function Spec.Lifo_stack.Push _ -> true | _ -> false);
+      probes = List.init k (fun _ -> Spec.Lifo_stack.Pop);
+      k;
+    }
+  in
+  let eps = Core.Params.optimal_eps ~n:(k + 1) ~u:400 in
+  let base = Core.Params.make ~n:(k + 1) ~d:1000 ~u:400 ~eps ~x:0 () in
+  let fast = Core.Params.faster_mutator base ~latency:200 (* < 300 = (1−1/k)u *) in
+
+  let v1 = Reg.attack b ~params:fast reg in
+  ignore (Report.expect b ~what:"fast write (200 < (1−1/k)u): R2 non-linearizable" v1);
+  let v2 = Reg.attack b ~params:base reg in
+  ignore
+    (Report.expect b
+       ~what:"standard write (ε + X = 320 ≥ (1−1/k)u): R2 linearizable" (not v2));
+  let v3 = Stack.attack b ~params:fast stack in
+  ignore (Report.expect b ~what:"fast push: R2 non-linearizable" v3);
+  let v4 = Stack.attack b ~params:base stack in
+  ignore (Report.expect b ~what:"standard push: R2 linearizable" (not v4));
+  Report.finish b ~id:"thm_d1"
+    ~title:"Theorem D.1 adversary (Figs. 10–14): |MOP| ≥ (1−1/k)u"

@@ -1,0 +1,210 @@
+(** Theorem E.1 (Figures 15–17): for an immediately self-commuting,
+    eventually non-self-commuting, *non-overwriting* pure mutator OP and a
+    pure accessor AOP that can detect it (assumptions A, B, C),
+    |OP| + |AOP| ≥ d + m with m = min{ε, u, d/3}.
+
+    Instantiation: enqueue + peek on a queue, the paper's own example (the
+    theorem does not apply to write + read because write overwrites).
+    op1 = enqueue(1) at p0, op2 = enqueue(2) at p1, both at real time t;
+    peeks at p0, p1 after both respond and at p2 another m later.
+
+    The adversary (Fig. 17): whichever enqueue the implementation
+    linearizes first — call its process p_w — gets its view shifted m
+    later.  The w→other delay becomes d − 2m (invalid when 2m > u), so the
+    run is chopped at t* = t + d − m and extended with delay d.  When
+    |OP| + |AOP| < d + m, the other process's peek responds before the
+    shifted enqueue's message can arrive, so it still answers as if p_w's
+    enqueue were first — but in real time p_w's enqueue now starts strictly
+    after the other one completed: no legal permutation remains.
+
+    The same machinery runs on a stack with a contents-returning accessor
+    and on the BST's insert + depth pair (Table IV).  Note: with a strictly
+    top-only peek the stack does *not* satisfy assumption A (after [push v]
+    and after [push v'; push v] the top is the same v), so for the stack
+    instance we use [Lifo_stack_obs] whose accessor returns the whole
+    contents; see EXPERIMENTS.md. *)
+
+open Spec
+
+module Scenario (D : Data_type.S) = struct
+  module H = Harness.Make (D)
+
+  type t = {
+    label : string;
+    prefix : D.op Sim.Workload.invocation list;
+        (** realizes ρ, quiesced well before [t0] *)
+    op1 : D.op;  (** pure mutator at p0 *)
+    op2 : D.op;  (** pure mutator at p1 *)
+    accessor : D.op;
+    first_of : D.result -> int option;
+        (** from the p2 accessor's value: which process's mutator was
+            linearized first? *)
+  }
+
+  let d = 900
+  let u = 300
+  let eps = 300
+  let m = min eps (min u (d / 3))
+  let t0 = 1000
+
+  (* Fig. 16(a): i→k and j→k are d; everything else d − m. *)
+  let delays_r1 () =
+    let dm = Array.make_matrix 3 3 (d - m) in
+    dm.(0).(2) <- d;
+    dm.(1).(2) <- d;
+    dm
+
+  let attack b ~params (s : t) =
+    let np = List.length s.prefix in
+    (* Phase 1: run the two mutators alone to observe t1, t2. *)
+    let mutators =
+      s.prefix @ [ Sim.Workload.at 0 s.op1 t0; Sim.Workload.at 1 s.op2 t0 ]
+    in
+    let cfg0 = Runs.Config.make ~n:3 ~d ~u ~eps ~delays:(delays_r1 ()) ~script:mutators () in
+    let phase1 = H.execute ~check_lin:false ~params cfg0 in
+    let resp i =
+      match H.response_time phase1 (np + i) with
+      | Some r -> r
+      | None -> failwith "mutator did not respond"
+    in
+    let tmax = max (resp 0) (resp 1) in
+    (* Full R1: accessors at p0, p1 right after tmax; at p2 another m
+       later. *)
+    let r1_cfg =
+      {
+        cfg0 with
+        Runs.Config.script =
+          mutators
+          @ [
+              Sim.Workload.at 0 s.accessor (tmax + 1);
+              Sim.Workload.at 1 s.accessor (tmax + 1);
+              Sim.Workload.at 2 s.accessor (tmax + m + 1);
+            ];
+      }
+    in
+    let r1 = H.execute ~params r1_cfg in
+    Report.line b "[%s] R1: %s" s.label (H.history_line r1);
+    ignore
+      (Report.expect b
+         ~what:(Printf.sprintf "[%s] R1 admissible and linearizable" s.label)
+         (Runs.Config.is_admissible r1_cfg && H.is_linearizable r1));
+    (* Which mutator did p2's accessor see first? *)
+    match Option.bind (H.result_of r1 (np + 4)) s.first_of with
+    | None ->
+        Report.line b "[%s] p2's accessor did not identify an order" s.label;
+        false
+    | Some w ->
+        let other = 1 - w in
+        Report.line b "[%s] p%d's mutator linearized first ⇒ shift p%d by m" s.label w w;
+        let x = Array.init 3 (fun i -> if i = w then m else 0) in
+        let shifted = Runs.Config.shift r1_cfg ~x in
+        (* The w→other delay is now d − 2m; chop and extend it to d. *)
+        let r2_cfg =
+          match Runs.Config.invalid_delays shifted with
+          | [] -> shifted
+          | [ pair ] when pair = (w, other) ->
+              let probe = H.execute ~check_lin:false ~params shifted in
+              (match
+                 Runs.Chop.cut_points shifted ~trace:probe.outcome.trace
+                   ~invalid:(w, other) ~delta:(d - m)
+               with
+              | Some cut ->
+                  Report.line b "[%s] chop: %d→%d delay %d, t* = %d" s.label w other
+                    shifted.delays.(w).(other) cut.t_star
+              | None -> ());
+              {
+                shifted with
+                delays = Runs.Chop.extended_delays shifted ~invalid:(w, other) ~delta':d;
+              }
+          | other_pairs ->
+              Report.line b "[%s] unexpected invalid pairs (%d)" s.label
+                (List.length other_pairs);
+              shifted
+        in
+        ignore
+          (Report.expect b
+             ~what:(Printf.sprintf "[%s] R2 (extended) admissible" s.label)
+             (Runs.Config.is_admissible r2_cfg));
+        let r2 = H.execute ~params r2_cfg in
+        Report.line b "[%s] R2: %s" s.label (H.history_line r2);
+        not (H.is_linearizable r2)
+end
+
+module Q = Scenario (Spec.Fifo_queue)
+module S = Scenario (Spec.Lifo_stack_obs)
+module B = Scenario (Spec.Bst)
+
+let queue_scenario : Q.t =
+  {
+    label = "enqueue+peek";
+    prefix = [];
+    op1 = Spec.Fifo_queue.Enqueue 1;
+    op2 = Spec.Fifo_queue.Enqueue 2;
+    accessor = Spec.Fifo_queue.Peek;
+    first_of =
+      (function
+      | Spec.Fifo_queue.Value 1 -> Some 0
+      | Spec.Fifo_queue.Value 2 -> Some 1
+      | _ -> None);
+  }
+
+let stack_scenario : S.t =
+  {
+    label = "push+observe";
+    prefix = [];
+    op1 = Spec.Lifo_stack_obs.Push 1;
+    op2 = Spec.Lifo_stack_obs.Push 2;
+    accessor = Spec.Lifo_stack_obs.Observe;
+    first_of =
+      (function
+      (* contents are top-first: the *first* pushed value is at the bottom *)
+      | Spec.Lifo_stack_obs.Contents [ _; 1 ] -> Some 0
+      | Spec.Lifo_stack_obs.Contents [ _; 2 ] -> Some 1
+      | _ -> None);
+  }
+
+(* Table IV's insert + depth: with root 4 in place, whichever of 5 and 6 is
+   inserted first becomes the other's parent, so the node-resolved depth of
+   5 identifies the order (see Spec.Bst). *)
+let bst_scenario : B.t =
+  {
+    label = "insert+depth";
+    prefix = [ Sim.Workload.at 2 (Spec.Bst.Insert 4) 0 ];
+    op1 = Spec.Bst.Insert 5;
+    op2 = Spec.Bst.Insert 6;
+    accessor = Spec.Bst.Depth 5;
+    first_of =
+      (function
+      | Spec.Bst.Level 1 -> Some 0 (* 5 directly under the root: 5 first *)
+      | Spec.Bst.Level 2 -> Some 1 (* 5 under 6: 6 first *)
+      | _ -> None);
+  }
+
+let run () =
+  let b = Report.builder () in
+  Report.line b "d=900 u=300 ε=300, m = 300; bound |OP|+|AOP| ≥ d+m = 1200";
+  let base = Core.Params.make ~n:3 ~d:900 ~u:300 ~eps:300 ~x:0 () in
+  (* |OP| + |AOP| = 150 + 900 = 1050 < 1200. *)
+  let fast =
+    Core.Params.faster_accessor (Core.Params.faster_mutator base ~latency:150)
+      ~latency:900
+  in
+  let v1 = Q.attack b ~params:fast queue_scenario in
+  ignore
+    (Report.expect b ~what:"fast enqueue+peek (sum 1050 < d+m): R2 non-linearizable" v1);
+  let v2 = Q.attack b ~params:base queue_scenario in
+  ignore
+    (Report.expect b
+       ~what:"standard enqueue+peek (sum d+2ε = 1500 ≥ d+m): R2 linearizable" (not v2));
+  let v3 = S.attack b ~params:fast stack_scenario in
+  ignore
+    (Report.expect b ~what:"fast push+observe: R2 non-linearizable" v3);
+  let v4 = S.attack b ~params:base stack_scenario in
+  ignore (Report.expect b ~what:"standard push+observe: R2 linearizable" (not v4));
+  let v5 = B.attack b ~params:fast bst_scenario in
+  ignore
+    (Report.expect b ~what:"fast bst insert+depth: R2 non-linearizable" v5);
+  let v6 = B.attack b ~params:base bst_scenario in
+  ignore (Report.expect b ~what:"standard bst insert+depth: R2 linearizable" (not v6));
+  Report.finish b ~id:"thm_e1"
+    ~title:"Theorem E.1 adversary (Figs. 15–17): |OP|+|AOP| ≥ d + min{ε,u,d/3}"

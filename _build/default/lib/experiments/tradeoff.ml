@@ -1,0 +1,50 @@
+(** The X trade-off (Chapter V.A.2 / V.D): sweep X over [0, d + ε − u] and
+    measure |MOP| and |AOP| on a register under Algorithm 1.  The series
+    must trace |MOP| = ε + X, |AOP| = d + ε − X, with the sum pinned at
+    d + 2ε (Theorem D.1 of Chapter V) — faster mutators buy slower
+    accessors one-for-one. *)
+
+module H = Harness.Make (Spec.Register)
+
+let n = 4
+let d = 1000
+let u = 400
+let eps = Core.Params.optimal_eps ~n ~u (* 300 *)
+
+let measure ~x =
+  let params = Core.Params.make ~n ~d ~u ~eps ~x () in
+  let script =
+    [
+      Sim.Workload.at 0 (Spec.Register.Write 1) 0;
+      Sim.Workload.at 1 Spec.Register.Read 5_000;
+    ]
+  in
+  let e =
+    H.execute ~params
+      (Runs.Config.make ~n ~d ~u ~eps
+         ~delays:(Array.make_matrix n n d)
+         ~script ())
+  in
+  match (H.latency_of e 0, H.latency_of e 1) with
+  | Some w, Some r -> (w, r, H.is_linearizable e)
+  | _ -> failwith "tradeoff: operations did not complete"
+
+let run () =
+  let b = Report.builder () in
+  Report.line b "n=%d d=%d u=%d ε=%d; X ∈ [0, d+ε−u = %d]" n d u eps (d + eps - u);
+  Report.line b "%6s %12s %12s %8s" "X" "|write|" "|read|" "sum";
+  let xmax = d + eps - u in
+  let step = xmax / 9 in
+  let ok = ref true in
+  List.iter
+    (fun x ->
+      let w, r, lin = measure ~x in
+      Report.line b "%6d %12d %12d %8d" x w r (w + r);
+      ok :=
+        !ok && lin && w = eps + x && r = d + eps - x && w + r = d + (2 * eps))
+    (List.init 10 (fun i -> if i = 9 then xmax else i * step));
+  ignore
+    (Report.expect b
+       ~what:"|write| = ε+X, |read| = d+ε−X, sum = d+2ε at every X; all runs linearizable"
+       !ok);
+  Report.finish b ~id:"tradeoff" ~title:"Mutator/accessor trade-off (X sweep)"

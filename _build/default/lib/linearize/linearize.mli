@@ -1,0 +1,40 @@
+(** Linearizability checking (the correctness condition of Chapter
+    III.B.4): is there a permutation of a completed history that is legal
+    for the sequential specification and respects real-time precedence?
+    Wing–Gong search, memoized on (linearized set, object state). *)
+
+module Make (D : Spec.Data_type.S) : sig
+  type entry = {
+    pid : int;
+    op : D.op;
+    result : D.result;
+    invoke : Prelude.Ticks.t;
+    response : Prelude.Ticks.t;
+  }
+
+  val pp_entry : Format.formatter -> entry -> unit
+
+  type verdict =
+    | Linearizable of entry list  (** a witness permutation *)
+    | Not_linearizable of string
+
+  val is_linearizable : verdict -> bool
+
+  val check : entry list -> verdict
+  (** Histories must list each process's operations in invocation order
+      (program order breaks same-process time ties) and are limited to 62
+      operations. *)
+
+  val check_sequentially_consistent : entry list -> verdict
+  (** The weaker condition of Lipton–Sandberg/Attiya–Welch that the thesis'
+      Chapter I contrasts with linearizability: the permutation need only
+      respect per-process program order, not real time. *)
+
+  val of_trace :
+    ?include_pending:bool -> (D.op, D.result, 'msg) Sim.Trace.t -> entry list
+  (** Entries of a simulation trace; operations that never responded are
+      skipped (default) — pending operations are not supported. *)
+
+  val check_trace :
+    ?include_pending:bool -> (D.op, D.result, 'msg) Sim.Trace.t -> verdict
+end

@@ -1,0 +1,1 @@
+lib/prelude/stamp.ml: Format Int Ticks

@@ -1,0 +1,1 @@
+lib/prelude/stamp.mli: Format Ticks

@@ -1,0 +1,1 @@
+lib/prelude/ticks.ml: Format Int Stdlib

@@ -1,0 +1,20 @@
+let rec insert_everywhere x = function
+  | [] -> [ [ x ] ]
+  | y :: rest as l ->
+      (x :: l) :: List.map (fun r -> y :: r) (insert_everywhere x rest)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | x :: rest -> List.concat_map (insert_everywhere x) (permutations rest)
+
+let rec combinations k xs =
+  if k = 0 then [ [] ]
+  else
+    match xs with
+    | [] -> []
+    | x :: rest ->
+        List.map (fun c -> x :: c) (combinations (k - 1) rest)
+        @ combinations k rest
+
+let ordered_pairs xs ys =
+  List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs

@@ -1,0 +1,13 @@
+(** Small enumeration helpers used by the classification checkers, which
+    search bounded universes of operation sequences for witnesses of the
+    paper's algebraic properties. *)
+
+val permutations : 'a list -> 'a list list
+(** All permutations.  Intended for short lists (the paper's [k] concurrent
+    operations, k ≤ 6 in our experiments). *)
+
+val combinations : int -> 'a list -> 'a list list
+(** All subsets of size [k], order-preserving. *)
+
+val ordered_pairs : 'a list -> 'b list -> ('a * 'b) list
+(** Cartesian product. *)

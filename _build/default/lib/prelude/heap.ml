@@ -1,0 +1,60 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Ord : ORDERED) = struct
+  type elt = Ord.t
+
+  (* Leftist heap: the rank (length of the rightmost spine) of the left child
+     is always at least that of the right child, giving O(log n) merge. *)
+  type t = Leaf | Node of { rank : int; v : elt; l : t; r : t; n : int }
+
+  let empty = Leaf
+  let is_empty = function Leaf -> true | Node _ -> false
+  let rank = function Leaf -> 0 | Node { rank; _ } -> rank
+  let size = function Leaf -> 0 | Node { n; _ } -> n
+
+  let node v l r =
+    let n = 1 + size l + size r in
+    if rank l >= rank r then Node { rank = rank r + 1; v; l; r; n }
+    else Node { rank = rank l + 1; v; l = r; r = l; n }
+
+  let rec merge a b =
+    match (a, b) with
+    | Leaf, h | h, Leaf -> h
+    | Node na, Node nb ->
+        if Ord.compare na.v nb.v <= 0 then node na.v na.l (merge na.r b)
+        else node nb.v nb.l (merge a nb.r)
+
+  let insert x h = merge (node x Leaf Leaf) h
+  let find_min = function Leaf -> None | Node { v; _ } -> Some v
+
+  let delete_min = function
+    | Leaf -> None
+    | Node { v; l; r; _ } -> Some (v, merge l r)
+
+  let pop_while p h =
+    let rec go acc h =
+      match h with
+      | Leaf -> (List.rev acc, h)
+      | Node { v; l; r; _ } ->
+          if p v then go (v :: acc) (merge l r) else (List.rev acc, h)
+    in
+    go [] h
+
+  let of_list xs = List.fold_left (fun h x -> insert x h) empty xs
+
+  let to_sorted_list h =
+    let rec go acc h =
+      match delete_min h with
+      | None -> List.rev acc
+      | Some (x, h') -> go (x :: acc) h'
+    in
+    go [] h
+
+  let rec fold f acc = function
+    | Leaf -> acc
+    | Node { v; l; r; _ } -> fold f (fold f (f acc v) l) r
+end

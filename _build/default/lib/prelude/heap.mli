@@ -1,0 +1,35 @@
+(** Persistent leftist min-heap.
+
+    Used both by the simulator's event queue and by each replica's
+    [To_Execute] priority queue in Algorithm 1 (keyed by operation
+    timestamp). *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (Ord : ORDERED) : sig
+  type elt = Ord.t
+  type t
+
+  val empty : t
+  val is_empty : t -> bool
+  val size : t -> int
+  val insert : elt -> t -> t
+
+  val find_min : t -> elt option
+  (** Smallest element, without removing it. *)
+
+  val delete_min : t -> (elt * t) option
+  (** Smallest element and the heap without it. *)
+
+  val pop_while : (elt -> bool) -> t -> elt list * t
+  (** [pop_while p h] removes the minimal elements of [h] as long as they
+      satisfy [p], returning them in ascending order. *)
+
+  val of_list : elt list -> t
+  val to_sorted_list : t -> elt list
+  val fold : ('a -> elt -> 'a) -> 'a -> t -> 'a
+end

@@ -1,0 +1,25 @@
+(** Deterministic splittable PRNG (splitmix64).
+
+    Every randomized component of the simulator (delay policies, workload
+    generators, adversarial schedule search) draws from one of these, so any
+    run is reproducible from its integer seed. *)
+
+type t
+
+val make : int -> t
+(** Create a generator from a seed. *)
+
+val split : t -> t * t
+(** Two independent generators derived from one. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive.
+    Advances the generator state. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** Uniform in the inclusive range [\[lo, hi\]]. *)
+
+val bool : t -> bool
+val float : t -> float -> float
+val pick : t -> 'a list -> 'a
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,13 @@
+type t = { time : Ticks.t; pid : int }
+
+let make ~time ~pid = { time; pid }
+
+let compare a b =
+  match Ticks.compare a.time b.time with
+  | 0 -> Int.compare a.pid b.pid
+  | c -> c
+
+let equal a b = compare a b = 0
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let pp fmt { time; pid } = Format.fprintf fmt "⟨%a,p%d⟩" Ticks.pp time pid

@@ -1,0 +1,14 @@
+(** Operation timestamps: [⟨clock_time, process id⟩], ordered
+    lexicographically.  This is exactly the timestamp format of Chapter V of
+    the paper: the local clock time at invocation, tie-broken by the invoking
+    process id, which makes every timestamp in the system unique (no process
+    has two pending operations at once). *)
+
+type t = { time : Ticks.t; pid : int }
+
+val make : time:Ticks.t -> pid:int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+type t = int
+
+let zero = 0
+
+(* Large enough to dominate any schedule, small enough that adding two of
+   them never overflows a 63-bit integer. *)
+let infinity = max_int / 4
+
+let ( + ) = Stdlib.( + )
+let ( - ) = Stdlib.( - )
+let ( * ) = Stdlib.( * )
+let min = Stdlib.min
+let max = Stdlib.max
+let compare = Int.compare
+let equal = Int.equal
+let ( < ) (a : int) b = Stdlib.( < ) a b
+let ( <= ) (a : int) b = Stdlib.( <= ) a b
+let ( > ) (a : int) b = Stdlib.( > ) a b
+let ( >= ) (a : int) b = Stdlib.( >= ) a b
+let of_int x = x
+let to_int x = x
+let pp fmt t = Format.fprintf fmt "%dt" t
+let to_string t = string_of_int t ^ "t"

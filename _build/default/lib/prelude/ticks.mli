@@ -1,0 +1,33 @@
+(** Integer simulated time.
+
+    All times in the simulator are integer "ticks" (think microseconds).
+    Using integers keeps the bound arithmetic of the paper exact: experiments
+    choose [d], [u] and the clock-skew bound so that quantities such as
+    [d / 3], [u / k] and [(1 - 1/n) * u] are themselves integers, so every
+    comparison against a theoretical bound is free of rounding concerns. *)
+
+type t = int
+
+val zero : t
+
+val infinity : t
+(** A time later than any event the simulator will ever schedule. *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : int -> t -> t
+
+val min : t -> t -> t
+val max : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val of_int : int -> t
+val to_int : t -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/runs/chop.ml: Array Config List Paths Prelude Sim

@@ -1,0 +1,1 @@
+lib/runs/chop.mli: Config Prelude Sim

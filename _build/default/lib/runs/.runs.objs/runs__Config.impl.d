@@ -1,0 +1,1 @@
+lib/runs/config.ml: Array Format List Sim String

@@ -1,0 +1,1 @@
+lib/runs/config.mli: Format Sim

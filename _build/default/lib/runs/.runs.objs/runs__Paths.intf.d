@@ -1,0 +1,1 @@
+lib/runs/paths.mli:

@@ -1,0 +1,65 @@
+(** Chopping and extending — the second and third steps of the modified time
+    shift (Chapter IV.B, Lemma B.1).
+
+    After an aggressive shift, exactly one ordered pair (i, j) may carry an
+    invalid delay.  [chop] computes, for a given δ ∈ [d − u, d], the real
+    time at which each process's view must be cut so that the prefix is
+    admissible:
+
+    - let ts be the send time of the *first* message from p_i to p_j in the
+      run (from the executed trace);
+    - t* = ts + min(d_{i,j}, δ);
+    - V_j ends just before t*; every other V_k ends just before t* + D_{j,k},
+      where D is the shortest-path distance matrix over the delay graph.
+
+    [extension_policy] then realizes the "extend to a complete run" step:
+    re-deliver every chopped i→j message with a chosen admissible delay
+    δ' ∈ [δ, d].  Because processes are deterministic, re-executing under
+    the overridden policy yields a complete admissible run whose prefix
+    (up to the cut points) coincides with the chopped run. *)
+
+type cut = {
+  view_ends : Prelude.Ticks.t array;
+      (** engine drops all events of process k at/after [view_ends.(k)] *)
+  t_star : Prelude.Ticks.t;
+  first_send : Prelude.Ticks.t;  (** ts *)
+}
+
+(** [cut_points config ~trace ~invalid:(i, j) ~delta].  Returns [None] when
+    the run contains no i→j message (nothing to chop: the run is admissible
+    as-is). *)
+let cut_points (config : _ Config.t) ~(trace : (_, _, _) Sim.Trace.t)
+    ~invalid:(i, j) ~delta =
+  if delta < config.d - config.u || delta > config.d then
+    invalid_arg "Chop.cut_points: δ must lie in [d − u, d]";
+  let first =
+    List.find_opt
+      (fun (m : _ Sim.Trace.message_record) -> m.src = i && m.dst = j)
+      trace.messages
+  in
+  match first with
+  | None -> None
+  | Some m ->
+      let ts = m.send_real in
+      let t_star = ts + min config.delays.(i).(j) delta in
+      let dist = Paths.floyd_warshall config.delays in
+      let view_ends =
+        Array.init config.n (fun k ->
+            if k = j then t_star else t_star + dist.(j).(k))
+      in
+      Some { view_ends; t_star; first_send = ts }
+
+(** Delay policy for the extended complete run: messages from [i] to [j]
+    take [delta'] (which must satisfy δ ≤ δ' ≤ d so the re-delivered message
+    arrives after V_j's cut and admissibly); all other delays follow the
+    original matrix. *)
+let extension_policy (config : _ Config.t) ~invalid:(i, j) ~delta' : Sim.Delay.t =
+ fun ~src ~dst ~send_time ~index ->
+  if src = i && dst = j then delta'
+  else Sim.Delay.matrix config.delays ~src ~dst ~send_time ~index
+
+(** The delay matrix of the extended run (still pairwise uniform). *)
+let extended_delays (config : _ Config.t) ~invalid:(i, j) ~delta' =
+  let m = Array.map Array.copy config.delays in
+  m.(i).(j) <- delta';
+  m

@@ -1,0 +1,34 @@
+(** Chopping and extending — steps two and three of the modified time shift
+    (Chapter IV.B, Lemma B.1).
+
+    After an aggressive shift, exactly one ordered pair may carry an
+    invalid delay; [cut_points] computes where each process's view must be
+    cut so the prefix is admissible, and [extended_delays] re-delivers the
+    offending messages with a chosen admissible delay, yielding a complete
+    admissible run that agrees with the chopped prefix. *)
+
+type cut = {
+  view_ends : Prelude.Ticks.t array;
+      (** the engine drops all events of process k at/after
+          [view_ends.(k)] *)
+  t_star : Prelude.Ticks.t;  (** t* = ts + min(d_{i,j}, δ) *)
+  first_send : Prelude.Ticks.t;  (** ts, the first offending send *)
+}
+
+val cut_points :
+  'op Config.t ->
+  trace:('a, 'b, 'c) Sim.Trace.t ->
+  invalid:int * int ->
+  delta:int ->
+  cut option
+(** [cut_points config ~trace ~invalid:(i, j) ~delta] with δ ∈ [d − u, d].
+    [None] when the run contains no i→j message (nothing to chop).
+    Raises [Invalid_argument] if δ is out of range. *)
+
+val extension_policy : 'op Config.t -> invalid:int * int -> delta':int -> Sim.Delay.t
+(** Delay policy of the extended complete run: the offending pair's
+    messages take [delta'] (δ ≤ δ' ≤ d), everything else follows the
+    original matrix. *)
+
+val extended_delays : 'op Config.t -> invalid:int * int -> delta':int -> int array array
+(** The extended run's (still pairwise-uniform) delay matrix. *)

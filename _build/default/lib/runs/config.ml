@@ -1,0 +1,86 @@
+(** Run configurations for the lower-bound constructions of Chapter IV.
+
+    Every run in those proofs has a specific shape: pairwise-uniform message
+    delays (d_{i,j} fixed per ordered pair), fixed clock offsets, and a
+    finite invocation script.  Because processes are deterministic state
+    machines, a configuration fully determines the run — so the proofs'
+    manipulations (time shifts, chops, extensions) become *configuration
+    transformations*, and "the shifted run" is obtained by re-executing the
+    protocol under the transformed configuration.  The standard-shift lemma
+    then predicts that no process can locally distinguish the two runs;
+    tests assert exactly that prediction on real executions. *)
+
+type 'op t = {
+  n : int;
+  d : int;  (** message delay upper bound *)
+  u : int;  (** message delay uncertainty: delays live in [d − u, d] *)
+  eps : int;  (** clock skew bound ε *)
+  offsets : int array;  (** clock offsets c_i: clock_i = real + c_i *)
+  delays : int array array;  (** pairwise uniform delay matrix (diagonal unused) *)
+  script : 'op Sim.Workload.invocation list;
+}
+
+let make ~n ~d ~u ~eps ?offsets ?delays ~script () =
+  let offsets = match offsets with Some o -> o | None -> Array.make n 0 in
+  let delays =
+    match delays with Some m -> m | None -> Array.make_matrix n n d
+  in
+  { n; d; u; eps; offsets; delays; script }
+
+(** Ordered pairs (i, j) whose delay violates [d − u ≤ d_{i,j} ≤ d]. *)
+let invalid_delays t =
+  let bad = ref [] in
+  for i = t.n - 1 downto 0 do
+    for j = t.n - 1 downto 0 do
+      if i <> j && (t.delays.(i).(j) < t.d - t.u || t.delays.(i).(j) > t.d) then
+        bad := (i, j) :: !bad
+    done
+  done;
+  !bad
+
+let skew t =
+  let mx = Array.fold_left max t.offsets.(0) t.offsets
+  and mn = Array.fold_left min t.offsets.(0) t.offsets in
+  mx - mn
+
+(** Admissibility per Chapter III.B.3: all delays in range and clock skew
+    within ε. *)
+let is_admissible t = invalid_delays t = [] && skew t <= t.eps
+
+(** Standard time shift (Chapter IV.A).  [shift t ~x] moves process [i]'s
+    entire timed view [x.(i)] later in real time:
+
+    - clock offsets become [c_i − x_i] (each step keeps its clock time);
+    - delays follow formula (4.1): [d'_{i,j} = d_{i,j} − x_i + x_j];
+    - scripted invocations of process [i] move [x_i] later.
+
+    By Claim B.3 the result is again a run; it need not be admissible —
+    that is the whole point of the modified shift. *)
+let shift t ~x =
+  if Array.length x <> t.n then invalid_arg "Config.shift: |x| <> n";
+  {
+    t with
+    offsets = Array.init t.n (fun i -> t.offsets.(i) - x.(i));
+    delays =
+      Array.init t.n (fun i ->
+          Array.init t.n (fun j -> t.delays.(i).(j) - x.(i) + x.(j)));
+    script =
+      List.map
+        (fun (inv : _ Sim.Workload.invocation) ->
+          { inv with not_before = inv.not_before + x.(inv.pid) })
+        t.script;
+  }
+
+(** The delay policy a configuration induces. *)
+let delay_policy t = Sim.Delay.matrix t.delays
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d d=%d u=%d ε=%d offsets=[%s] delays=[%s]" t.n t.d
+    t.u t.eps
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.offsets)))
+    (String.concat ";"
+       (Array.to_list
+          (Array.map
+             (fun row ->
+               String.concat "," (Array.to_list (Array.map string_of_int row)))
+             t.delays)))

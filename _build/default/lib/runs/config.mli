@@ -1,0 +1,49 @@
+(** Run configurations for the lower-bound constructions of Chapter IV.
+
+    Every run in those proofs has a fixed shape: pairwise-uniform message
+    delays, fixed clock offsets, and a finite invocation script.  Because
+    processes are deterministic state machines, a configuration fully
+    determines the run — so the proofs' manipulations (time shifts, chops,
+    extensions) become *configuration transformations*, and "the shifted
+    run" is obtained by re-executing the protocol under the transformed
+    configuration. *)
+
+type 'op t = {
+  n : int;
+  d : int;  (** message delay upper bound *)
+  u : int;  (** message delay uncertainty: delays live in [d − u, d] *)
+  eps : int;  (** clock skew bound ε *)
+  offsets : int array;  (** clock offsets c_i *)
+  delays : int array array;  (** pairwise-uniform delay matrix *)
+  script : 'op Sim.Workload.invocation list;
+}
+
+val make :
+  n:int ->
+  d:int ->
+  u:int ->
+  eps:int ->
+  ?offsets:int array ->
+  ?delays:int array array ->
+  script:'op Sim.Workload.invocation list ->
+  unit ->
+  'op t
+(** Defaults: zero offsets, all delays [d]. *)
+
+val invalid_delays : 'op t -> (int * int) list
+(** Ordered pairs whose delay violates [d − u ≤ d_{i,j} ≤ d]. *)
+
+val skew : 'op t -> int
+
+val is_admissible : 'op t -> bool
+(** Admissibility per Chapter III.B.3: delays in range and skew ≤ ε. *)
+
+val shift : 'op t -> x:int array -> 'op t
+(** The standard time shift (Chapter IV.A): process [i]'s view moves
+    [x.(i)] later in real time — offsets become [c_i − x_i], delays follow
+    formula (4.1) [d'_{i,j} = d_{i,j} − x_i + x_j], scripted invocations of
+    process [i] move [x_i] later.  The result is again a run (Claim B.3)
+    but need not be admissible. *)
+
+val delay_policy : 'op t -> Sim.Delay.t
+val pp : Format.formatter -> 'op t -> unit

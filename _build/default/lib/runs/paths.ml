@@ -1,0 +1,17 @@
+(** All-pairs shortest path distances over the complete directed graph whose
+    edge (k1, k2) is weighted with the pairwise-uniform message delay
+    d_{k1,k2} — the distances D_{j,k} used to place the view cut-points in
+    the chopping construction (Chapter IV.B.1). *)
+
+let floyd_warshall (w : int array array) : int array array =
+  let n = Array.length w in
+  let dist = Array.init n (fun i -> Array.init n (fun j -> if i = j then 0 else w.(i).(j))) in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if dist.(i).(k) + dist.(k).(j) < dist.(i).(j) then
+          dist.(i).(j) <- dist.(i).(k) + dist.(k).(j)
+      done
+    done
+  done;
+  dist

@@ -1,0 +1,6 @@
+(** Shortest-path distances over the complete directed delay graph — the
+    D_{j,k} used to place the view cut-points in the chopping construction
+    (Chapter IV.B.1). *)
+
+val floyd_warshall : int array array -> int array array
+(** All-pairs shortest paths; diagonal distances are 0. *)

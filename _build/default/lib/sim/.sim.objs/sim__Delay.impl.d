@@ -1,0 +1,1 @@
+lib/sim/delay.ml: Array Hashtbl List Option Prelude

@@ -1,0 +1,1 @@
+lib/sim/diagram.ml: Array Bytes Char Format List Option Printf Seq String Trace

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Action Array Clock Delay Int List Prelude Printf Protocol Trace Workload

@@ -1,0 +1,1 @@
+lib/sim/reliable.ml: Action List Prelude Printf Protocol Set

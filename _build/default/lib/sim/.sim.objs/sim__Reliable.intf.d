@@ -1,0 +1,1 @@
+lib/sim/reliable.mli: Prelude Protocol

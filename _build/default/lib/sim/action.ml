@@ -1,0 +1,14 @@
+(** Outputs of one state-machine step (Chapter III.B.1): at most one
+    operation response, messages to other processes, and timer updates.
+    Timers hold a *clock-time* delay; since clocks run at the rate of real
+    time, a timer set with delay [δ] fires exactly [δ] real time later. *)
+
+type ('result, 'msg, 'timer) t =
+  | Respond of 'result
+      (** Complete the process's pending operation with this result. *)
+  | Send of int * 'msg  (** Send to one process. *)
+  | Broadcast of 'msg  (** Send to every *other* process. *)
+  | Set_timer of Prelude.Ticks.t * 'timer
+      (** Fire [timer] after the given delay of local clock time. *)
+  | Cancel_timer of 'timer
+      (** Cancel all pending timers equal to this one. *)

@@ -1,0 +1,54 @@
+(** Process clocks.
+
+    The thesis' model (Chapter III.B.2) has drift-free clocks: process [i]
+    reads [real_time + c_i].  Its conclusion lists bounded *drift* as future
+    work; to explore that, a clock may also carry a rational drift rate —
+    process [i] with drift [num/den] reads
+
+      clock_i(t) = t + c_i + ⌊t·num/den⌋
+
+    i.e. it runs at rate [1 + num/den].  [num = 0] recovers the paper's
+    model exactly (and is the default everywhere).  Rates must stay
+    positive: [num > −den]. *)
+
+type t = {
+  offset : int;  (** c_i *)
+  drift_num : int;
+  drift_den : int;  (** > 0; rate = 1 + drift_num/drift_den *)
+}
+
+let perfect offset = { offset; drift_num = 0; drift_den = 1 }
+
+let with_drift ~offset ~num ~den =
+  if den <= 0 then invalid_arg "Clock.with_drift: denominator must be positive";
+  if num <= -den then invalid_arg "Clock.with_drift: rate must stay positive";
+  { offset; drift_num = num; drift_den = den }
+
+let of_offsets = Array.map perfect
+
+(* Floor division (OCaml's / truncates toward zero). *)
+let fdiv a b = if a >= 0 then a / b else -((-a + b - 1) / b)
+
+(** Clock reading at real time [t]. *)
+let read c ~real = real + c.offset + fdiv (real * c.drift_num) c.drift_den
+
+(** Earliest real time ≥ [now] at which the clock reads at least
+    [target].  Used to fire a timer set for clock time [target]: with the
+    clock nondecreasing in real time, a short scan around the rate-scaled
+    estimate finds the exact tick. *)
+let real_of_clock c ~now ~target =
+  let estimate =
+    (* invert t + off + t·num/den ≈ target *)
+    (target - c.offset) * c.drift_den / (c.drift_den + c.drift_num)
+  in
+  let t = ref (max now (estimate - 2)) in
+  while read c ~real:!t < target do
+    incr t
+  done;
+  !t
+
+let is_perfect c = c.drift_num = 0
+
+let pp fmt c =
+  if is_perfect c then Format.fprintf fmt "c=%d" c.offset
+  else Format.fprintf fmt "c=%d,rate=1%+d/%d" c.offset c.drift_num c.drift_den

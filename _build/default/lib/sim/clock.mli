@@ -1,0 +1,37 @@
+(** Process clocks.
+
+    The thesis' model (Chapter III.B.2) has drift-free clocks: process [i]
+    reads [real_time + c_i].  Its conclusion lists bounded *drift* as
+    future work; to explore that, a clock may also carry a rational drift
+    rate — process [i] with drift [num/den] reads
+
+      [clock_i(t) = t + c_i + ⌊t·num/den⌋],
+
+    i.e. it runs at rate [1 + num/den].  [num = 0] recovers the paper's
+    model exactly (and is the default everywhere). *)
+
+type t = {
+  offset : int;  (** c_i *)
+  drift_num : int;
+  drift_den : int;  (** > 0; rate = 1 + drift_num/drift_den *)
+}
+
+val perfect : int -> t
+(** A drift-free clock with the given offset — the paper's model. *)
+
+val with_drift : offset:int -> num:int -> den:int -> t
+(** A drifting clock.  Raises [Invalid_argument] unless [den > 0] and
+    [num > −den] (the rate must stay positive). *)
+
+val of_offsets : int array -> t array
+(** Drift-free clocks from an offset vector. *)
+
+val read : t -> real:Prelude.Ticks.t -> Prelude.Ticks.t
+(** Clock reading at the given real time. *)
+
+val real_of_clock : t -> now:Prelude.Ticks.t -> target:Prelude.Ticks.t -> Prelude.Ticks.t
+(** Earliest real time ≥ [now] at which the clock reads at least [target].
+    Used by the engine to fire timers set in clock time. *)
+
+val is_perfect : t -> bool
+val pp : Format.formatter -> t -> unit

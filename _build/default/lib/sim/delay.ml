@@ -1,0 +1,90 @@
+(** Message-delay policies.
+
+    A policy assigns every message a delay; the admissibility condition of
+    Chapter III.B.3 requires each delay to lie in [[d − u, d]].  The
+    lower-bound machinery deliberately constructs *invalid* delays (the
+    modified time shift), so policies themselves are unconstrained and
+    admissibility is checked separately ([Engine.run ~check_delays] or
+    [Runs.Config.is_admissible]). *)
+
+type t = src:int -> dst:int -> send_time:Prelude.Ticks.t -> index:int -> Prelude.Ticks.t
+(** [index] is the per-(src,dst) sequence number of the message, starting
+    at 0 — the proofs of Chapter IV single out "the first message from p_i
+    to p_j". *)
+
+let constant d : t = fun ~src:_ ~dst:_ ~send_time:_ ~index:_ -> d
+
+(** Pairwise-uniform delays from a matrix, the shape every lower-bound run
+    uses: message from [i] to [j] always takes [m.(i).(j)]. *)
+let matrix m : t = fun ~src ~dst ~send_time:_ ~index:_ -> m.(src).(dst)
+
+(** Independent uniform draws in [[d − u, d]]. *)
+let random rng ~d ~u : t =
+ fun ~src:_ ~dst:_ ~send_time:_ ~index:_ -> Prelude.Rng.int_in rng ~lo:(d - u) ~hi:d
+
+(** [override base rules] redirects specific messages: the first rule
+    matching (src, dst, index) wins, otherwise [base] applies.  Used to
+    re-extend chopped runs with a chosen delay for the offending message. *)
+let override base rules : t =
+ fun ~src ~dst ~send_time ~index ->
+  match
+    List.find_opt (fun (s, d', i, _) -> s = src && d' = dst && i = index) rules
+  with
+  | Some (_, _, _, delay) -> delay
+  | None -> base ~src ~dst ~send_time ~index
+
+(** Adversarial extremes: fastest possible from [src], slowest to [src] —
+    handy for worst-case latency probing. *)
+let extremes ~d ~u ~slow_to:victim : t =
+ fun ~src:_ ~dst ~send_time:_ ~index:_ -> if dst = victim then d else d - u
+
+(* ---- lossy networks (a negative delay = the message is dropped).  Only
+   meaningful under protocols built for loss, e.g. {!Reliable}. ---- *)
+
+let dropped = -1
+
+(** Drop each message independently with probability [percent]/100,
+    otherwise delegate to [base]. *)
+let lossy base ~rng ~percent : t =
+ fun ~src ~dst ~send_time ~index ->
+  if Prelude.Rng.int rng 100 < percent then dropped
+  else base ~src ~dst ~send_time ~index
+
+(** Drop at most [max_consecutive] messages in a row per (src, dst) link —
+    the bounded-loss adversary under which {!Reliable} gives hard delivery
+    bounds (d_eff = d + L·r). *)
+let lossy_bounded base ~rng ~percent ~max_consecutive : t =
+  let streak : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  fun ~src ~dst ~send_time ~index ->
+    let k = (src, dst) in
+    let run = Option.value ~default:0 (Hashtbl.find_opt streak k) in
+    if run < max_consecutive && Prelude.Rng.int rng 100 < percent then begin
+      Hashtbl.replace streak k (run + 1);
+      dropped
+    end
+    else begin
+      Hashtbl.replace streak k 0;
+      base ~src ~dst ~send_time ~index
+    end
+
+(** Drop randomly but at most [budget] messages per (src, dst) link in
+    total.  Under {!Reliable} with [max_retries > budget], every wrapped
+    message is then delivered within d + budget·r. *)
+let lossy_budget base ~rng ~percent ~budget : t =
+  let spent : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  fun ~src ~dst ~send_time ~index ->
+    let k = (src, dst) in
+    let used = Option.value ~default:0 (Hashtbl.find_opt spent k) in
+    if used < budget && Prelude.Rng.int rng 100 < percent then begin
+      Hashtbl.replace spent k (used + 1);
+      dropped
+    end
+    else base ~src ~dst ~send_time ~index
+
+(** Deterministically drop the first [count] messages on one link (frames
+    count individually, so with retransmission this is "[count] consecutive
+    losses"). *)
+let drop_first base ~from ~to_ ~count : t =
+ fun ~src ~dst ~send_time ~index ->
+  if src = from && dst = to_ && index < count then dropped
+  else base ~src ~dst ~send_time ~index

@@ -1,0 +1,50 @@
+(** Message-delay policies.
+
+    A policy assigns every message a delay; the admissibility condition of
+    Chapter III.B.3 requires each delay to lie in [[d − u, d]].  The
+    lower-bound machinery deliberately constructs *invalid* delays (the
+    modified time shift), so policies are unconstrained and admissibility
+    is checked separately ([Engine.run ~check_delays],
+    [Runs.Config.is_admissible]).  A *negative* delay models message loss —
+    only meaningful under protocols built for lossy links, e.g.
+    {!Reliable}. *)
+
+type t = src:int -> dst:int -> send_time:Prelude.Ticks.t -> index:int -> Prelude.Ticks.t
+(** [index] is the per-(src, dst) sequence number of the message, starting
+    at 0 — the proofs of Chapter IV single out "the first message from p_i
+    to p_j". *)
+
+val constant : int -> t
+
+val matrix : int array array -> t
+(** Pairwise-uniform delays, the shape every lower-bound run uses. *)
+
+val random : Prelude.Rng.t -> d:int -> u:int -> t
+(** Independent uniform draws in [[d − u, d]]. *)
+
+val override : t -> (int * int * int * int) list -> t
+(** [override base rules] redirects specific messages: the first rule
+    [(src, dst, index, delay)] matching wins, otherwise [base] applies.
+    Used to re-extend chopped runs. *)
+
+val extremes : d:int -> u:int -> slow_to:int -> t
+(** All messages into [slow_to] take [d]; all others [d − u]. *)
+
+val dropped : int
+(** The negative sentinel delay meaning "lost". *)
+
+val lossy : t -> rng:Prelude.Rng.t -> percent:int -> t
+(** Drop each message independently with probability [percent]/100. *)
+
+val lossy_bounded : t -> rng:Prelude.Rng.t -> percent:int -> max_consecutive:int -> t
+(** Drop randomly, but never more than [max_consecutive] in a row per
+    link.  Note this does *not* bound the retransmission count of any one
+    frame when traffic interleaves; see {!lossy_budget}. *)
+
+val lossy_budget : t -> rng:Prelude.Rng.t -> percent:int -> budget:int -> t
+(** Drop randomly but at most [budget] messages per link in total.  Under
+    {!Reliable} with [max_retries > budget] every wrapped message is then
+    delivered within [d + budget·r]. *)
+
+val drop_first : t -> from:int -> to_:int -> count:int -> t
+(** Deterministically drop the first [count] messages on one link. *)

@@ -1,0 +1,81 @@
+(** ASCII space-time diagrams of runs — the visual language of the thesis'
+    Figures 3–17 (per-process timelines with operation intervals),
+    regenerated from execution traces.
+
+    Each process gets one row; every completed operation is drawn as an
+    interval [label………] positioned on a common scaled time axis.  Pending
+    operations render with a ragged end.  Example:
+
+    {v
+    p0 ····[rmw(1)→0═════════]··············
+    p1 ·········[rmw(2)→0═════════]·········
+       4800                              6500
+    v} *)
+
+let render (type op result msg) ?(width = 76)
+    ~(pp_op : Format.formatter -> op -> unit)
+    ~(pp_result : Format.formatter -> result -> unit)
+    (trace : (op, result, msg) Trace.t) : string list =
+  let ops = trace.ops in
+  if ops = [] then [ "(empty trace)" ]
+  else begin
+    let t0 =
+      List.fold_left (fun acc (r : _ Trace.op_record) -> min acc r.invoke_real)
+        max_int ops
+    in
+    let t1 =
+      List.fold_left
+        (fun acc (r : _ Trace.op_record) ->
+          max acc (Option.value ~default:r.invoke_real r.response_real))
+        0 ops
+    in
+    let span = max 1 (t1 - t0) in
+    let col t = (t - t0) * (width - 1) / span in
+    let rows = Array.init trace.n (fun _ -> Bytes.make width '\xff') in
+    (* use 0xff as a placeholder for the middle dot, patched at the end to
+       keep the grid single-byte while emitting UTF-8 *)
+    List.iter
+      (fun (r : (op, result) Trace.op_record) ->
+        let row = rows.(r.pid) in
+        let a = col r.invoke_real in
+        let b =
+          match r.response_real with
+          | Some t -> max (a + 1) (col t)
+          | None -> width - 1
+        in
+        let label =
+          let raw =
+            match r.result with
+            | Some res -> Format.asprintf "%a:%a" pp_op r.op pp_result res
+            | None -> Format.asprintf "%a:?" pp_op r.op
+          in
+          (* the grid is single-byte: keep printable ASCII only *)
+          String.to_seq raw
+          |> Seq.filter (fun c -> Char.code c >= 32 && Char.code c < 127)
+          |> String.of_seq
+        in
+        Bytes.set row a '[';
+        for i = a + 1 to min (width - 1) b do
+          Bytes.set row i '='
+        done;
+        if b < width then Bytes.set row b ']';
+        (* overlay the label inside the interval, truncated to fit *)
+        String.iteri
+          (fun i c ->
+            let pos = a + 1 + i in
+            if pos < b && pos < width then Bytes.set row pos c)
+          label)
+      ops;
+    let line_of row =
+      String.concat ""
+        (List.init width (fun i ->
+             match Bytes.get row i with '\xff' -> "\xc2\xb7" (* · *) | c -> String.make 1 c))
+    in
+    let body =
+      List.init trace.n (fun pid -> Printf.sprintf "p%-2d %s" pid (line_of rows.(pid)))
+    in
+    let axis =
+      Printf.sprintf "    %-*d%*d" (width / 2) t0 (width - (width / 2)) t1
+    in
+    body @ [ axis ]
+  end

@@ -1,0 +1,274 @@
+(** Deterministic discrete-event execution of a protocol over the partially
+    synchronous system model of Chapter III:
+
+    - each process is a state machine driven by invocations, message
+      receipts and timer expirations;
+    - process [i]'s clock reads [real_time + offsets.(i)] (clocks run at the
+      rate of real time; only their offsets differ — the thesis' model);
+      passing [~clocks] instead enables the drifting-clock extension (see
+      {!Clock});
+    - message delays are chosen by a {!Delay.t} policy; a *negative* delay
+      models message loss (the message is recorded but never delivered) for
+      protocols layered over lossy links, see {!Reliable};
+    - the application layer is a script of operations per process, each
+      invoked as soon as its [not_before] time has passed *and* the
+      process's previous operation has responded (at most one pending
+      operation per process, as the model requires).
+
+    Ties in real time are broken by scheduling order, so runs are fully
+    deterministic and reproducible. *)
+
+exception Protocol_error of string
+
+module Make (P : Protocol.S) = struct
+  type invocation = P.op Workload.invocation
+
+  type payload =
+    | Deliver of { src : int; msg : P.msg; pair_index : int }
+    | Fire of { timer_id : int }
+    | Try_invoke
+
+  type event = { time : Prelude.Ticks.t; seq : int; pid : int; payload : payload }
+
+  module Event_heap = Prelude.Heap.Make (struct
+    type t = event
+
+    let compare a b =
+      match Prelude.Ticks.compare a.time b.time with
+      | 0 -> Int.compare a.seq b.seq
+      | c -> c
+  end)
+
+  type outcome = {
+    trace : (P.op, P.result, P.msg) Trace.t;
+    final_states : P.state array;
+  }
+
+  type runtime = {
+    config : P.config;
+    n : int;
+    offsets : int array;
+    clocks : Clock.t array;
+    delay : Delay.t;
+    check_delays : (int * int) option;  (** (d, u) admissibility assertion *)
+    view_ends : Prelude.Ticks.t array option;
+        (** chopped runs: process [i] takes no step at/after [view_ends.(i)] *)
+    stop_after : Prelude.Ticks.t;
+    states : P.state array;
+    mutable heap : Event_heap.t;
+    mutable seq : int;
+    scripts : invocation list array;  (** remaining script per process *)
+    mutable script_cursor : int array;
+    pending : (P.op, P.result) Trace.op_record option array;
+    timers : (int * P.timer) list array;  (** active (id, timer) per process *)
+    mutable timer_ids : int;
+    pair_counts : int array array;  (** messages sent per (src,dst) pair *)
+    mutable ops_rev : (P.op, P.result) Trace.op_record list;
+    mutable msgs_rev : P.msg Trace.message_record list;
+    mutable op_count : int;
+    mutable events_processed : int;
+    max_events : int;
+    mutable last_time : Prelude.Ticks.t;
+  }
+
+  let schedule rt ~time ~pid payload =
+    rt.seq <- rt.seq + 1;
+    rt.heap <- Event_heap.insert { time; seq = rt.seq; pid; payload } rt.heap
+
+  let send_message rt ~now ~src ~dst msg =
+    let pair_index = rt.pair_counts.(src).(dst) in
+    rt.pair_counts.(src).(dst) <- pair_index + 1;
+    let delay = rt.delay ~src ~dst ~send_time:now ~index:pair_index in
+    (match rt.check_delays with
+    | Some (d, u) when delay < d - u || delay > d ->
+        raise
+          (Protocol_error
+             (Printf.sprintf "inadmissible delay %d ∉ [%d,%d] on p%d→p%d#%d"
+                delay (d - u) d src dst pair_index))
+    | _ -> ());
+    let record : P.msg Trace.message_record =
+      { src; dst; msg; pair_index; send_real = now; delay; delivered = false }
+    in
+    rt.msgs_rev <- record :: rt.msgs_rev;
+    (* negative delay = the adversary drops this message *)
+    if delay >= 0 then
+      schedule rt ~time:(Prelude.Ticks.( + ) now delay) ~pid:dst
+        (Deliver { src; msg; pair_index })
+
+  let rec apply_actions rt ~now ~pid actions =
+    List.iter
+      (function
+        | Action.Respond result -> (
+            match rt.pending.(pid) with
+            | None ->
+                raise
+                  (Protocol_error
+                     (Printf.sprintf "p%d responded with no pending operation" pid))
+            | Some record ->
+                record.Trace.response_real <- Some now;
+                record.Trace.response_clock <-
+                  Some (Clock.read rt.clocks.(pid) ~real:now);
+                record.Trace.result <- Some result;
+                rt.pending.(pid) <- None;
+                maybe_schedule_invoke rt ~now ~pid)
+        | Action.Send (dst, msg) -> send_message rt ~now ~src:pid ~dst msg
+        | Action.Broadcast msg ->
+            for dst = 0 to rt.n - 1 do
+              if dst <> pid then send_message rt ~now ~src:pid ~dst msg
+            done
+        | Action.Set_timer (delay, timer) ->
+            rt.timer_ids <- rt.timer_ids + 1;
+            let id = rt.timer_ids in
+            rt.timers.(pid) <- (id, timer) :: rt.timers.(pid);
+            (* a timer set for clock-time delay δ fires when the local clock
+               reaches now_clock + δ — for drift-free clocks, exactly δ real
+               time later *)
+            let clock = rt.clocks.(pid) in
+            let fire =
+              Clock.real_of_clock clock ~now
+                ~target:(Clock.read clock ~real:now + delay)
+            in
+            schedule rt ~time:fire ~pid (Fire { timer_id = id })
+        | Action.Cancel_timer timer ->
+            rt.timers.(pid) <-
+              List.filter (fun (_, t) -> not (P.equal_timer t timer)) rt.timers.(pid))
+      actions
+
+  and maybe_schedule_invoke rt ~now ~pid =
+    let cursor = rt.script_cursor.(pid) in
+    match List.nth_opt rt.scripts.(pid) cursor with
+    | None -> ()
+    | Some inv ->
+        schedule rt ~time:(Prelude.Ticks.max now inv.not_before) ~pid Try_invoke
+
+  let handle_event rt (ev : event) =
+    let pid = ev.pid in
+    let now = ev.time in
+    let clock = Clock.read rt.clocks.(pid) ~real:now in
+    match ev.payload with
+    | Deliver { src; msg; pair_index } ->
+        (match
+           List.find_opt
+             (fun (m : P.msg Trace.message_record) ->
+               m.src = src && m.dst = pid && m.pair_index = pair_index)
+             rt.msgs_rev
+         with
+        | Some m -> m.delivered <- true
+        | None -> ());
+        let state', actions = P.on_message rt.config rt.states.(pid) ~clock ~src msg in
+        rt.states.(pid) <- state';
+        apply_actions rt ~now ~pid actions
+    | Fire { timer_id } -> (
+        match List.assoc_opt timer_id rt.timers.(pid) with
+        | None -> () (* cancelled *)
+        | Some timer ->
+            rt.timers.(pid) <- List.remove_assoc timer_id rt.timers.(pid);
+            let state', actions = P.on_timer rt.config rt.states.(pid) ~clock timer in
+            rt.states.(pid) <- state';
+            apply_actions rt ~now ~pid actions)
+    | Try_invoke -> (
+        if rt.pending.(pid) <> None then () (* previous op still pending *)
+        else
+          let cursor = rt.script_cursor.(pid) in
+          match List.nth_opt rt.scripts.(pid) cursor with
+          | None -> ()
+          | Some inv ->
+              rt.script_cursor.(pid) <- cursor + 1;
+              let record : (P.op, P.result) Trace.op_record =
+                {
+                  pid;
+                  op = inv.op;
+                  index = rt.op_count;
+                  invoke_real = now;
+                  invoke_clock = clock;
+                  response_real = None;
+                  response_clock = None;
+                  result = None;
+                }
+              in
+              rt.op_count <- rt.op_count + 1;
+              rt.ops_rev <- record :: rt.ops_rev;
+              rt.pending.(pid) <- Some record;
+              let state', actions = P.on_invoke rt.config rt.states.(pid) ~clock inv.op in
+              rt.states.(pid) <- state';
+              apply_actions rt ~now ~pid actions)
+
+  let run ~config ~n ~offsets ?clocks ~delay ?check_delays ?view_ends
+      ?(stop_after = Prelude.Ticks.infinity)
+      ?(max_events = 2_000_000) (script : invocation list) : outcome =
+    if Array.length offsets <> n then invalid_arg "Engine.run: |offsets| <> n";
+    let clocks =
+      match clocks with
+      | Some c ->
+          if Array.length c <> n then invalid_arg "Engine.run: |clocks| <> n";
+          c
+      | None -> Clock.of_offsets offsets
+    in
+    let scripts = Array.make n [] in
+    List.iter
+      (fun (inv : invocation) -> scripts.(inv.pid) <- inv :: scripts.(inv.pid))
+      script;
+    Array.iteri (fun i s -> scripts.(i) <- List.rev s) scripts;
+    let rt =
+      {
+        config;
+        n;
+        offsets;
+        clocks;
+        delay;
+        check_delays;
+        view_ends;
+        stop_after;
+        states = Array.init n (fun pid -> P.init config ~n ~pid);
+        heap = Event_heap.empty;
+        seq = 0;
+        scripts;
+        script_cursor = Array.make n 0;
+        pending = Array.make n None;
+        timers = Array.make n [];
+        timer_ids = 0;
+        pair_counts = Array.make_matrix n n 0;
+        ops_rev = [];
+        msgs_rev = [];
+        op_count = 0;
+        events_processed = 0;
+        max_events;
+        last_time = 0;
+      }
+    in
+    for pid = 0 to n - 1 do
+      maybe_schedule_invoke rt ~now:0 ~pid
+    done;
+    let dropped (ev : event) =
+      (match rt.view_ends with
+      | Some ends -> Prelude.Ticks.( >= ) ev.time ends.(ev.pid)
+      | None -> false)
+      || Prelude.Ticks.( > ) ev.time rt.stop_after
+    in
+    let rec loop () =
+      match Event_heap.delete_min rt.heap with
+      | None -> ()
+      | Some (ev, rest) ->
+          rt.heap <- rest;
+          if not (dropped ev) then begin
+            rt.last_time <- ev.time;
+            rt.events_processed <- rt.events_processed + 1;
+            if rt.events_processed > rt.max_events then
+              raise (Protocol_error "event budget exhausted (runaway protocol?)");
+            handle_event rt ev
+          end;
+          loop ()
+    in
+    loop ();
+    {
+      trace =
+        {
+          n;
+          offsets;
+          ops = List.rev rt.ops_rev;
+          messages = List.rev rt.msgs_rev;
+          end_time = rt.last_time;
+        };
+      final_states = rt.states;
+    }
+end

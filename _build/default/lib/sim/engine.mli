@@ -1,0 +1,47 @@
+(** Deterministic discrete-event execution of a protocol over the partially
+    synchronous system model of Chapter III.
+
+    - Each process is a state machine driven by operation invocations,
+      message receipts and timer expirations ({!Protocol.S}).
+    - Process [i]'s clock reads [real + offsets.(i)] (the thesis' model);
+      passing [~clocks] enables the drifting-clock extension ({!Clock}).
+    - Message delays are chosen by a {!Delay.t} policy; a negative delay
+      models loss.
+    - The application layer is a {!Workload} script; at most one operation
+      is ever pending per process.
+
+    Ties in real time are broken by scheduling order, so runs are fully
+    deterministic and reproducible. *)
+
+exception Protocol_error of string
+(** Raised on protocol misbehaviour (responding with nothing pending, an
+    inadmissible delay under [~check_delays], or a runaway event loop). *)
+
+module Make (P : Protocol.S) : sig
+  type invocation = P.op Workload.invocation
+
+  type outcome = {
+    trace : (P.op, P.result, P.msg) Trace.t;
+    final_states : P.state array;  (** for replica-convergence checks *)
+  }
+
+  val run :
+    config:P.config ->
+    n:int ->
+    offsets:int array ->
+    ?clocks:Clock.t array ->
+    delay:Delay.t ->
+    ?check_delays:int * int ->
+    ?view_ends:Prelude.Ticks.t array ->
+    ?stop_after:Prelude.Ticks.t ->
+    ?max_events:int ->
+    invocation list ->
+    outcome
+  (** Execute the protocol until quiescence.
+
+      - [check_delays:(d, u)] asserts every delay lies in [[d − u, d]];
+      - [view_ends] executes a *chopped* run: process [i] takes no step at
+        or after [view_ends.(i)] (Lemma B.1's prefixes);
+      - [stop_after] drops all events beyond a horizon;
+      - [max_events] guards against non-quiescent protocols. *)
+end

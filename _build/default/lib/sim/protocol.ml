@@ -1,0 +1,44 @@
+(** A distributed object implementation: one state machine per process,
+    exactly the middle layer of Fig. 2 in the paper.  Input events are
+    operation invocations (from the application layer), message receipts
+    (from the message-passing layer) and timer expirations; the transition
+    function also sees the local clock time. *)
+
+module type S = sig
+  type config
+  (** Protocol parameters — typically the system bounds [d], [u], [ε] plus
+      protocol knobs such as Algorithm 1's trade-off parameter [X]. *)
+
+  type state
+  type op
+  type result
+  type msg
+  type timer
+
+  val name : string
+  val init : config -> n:int -> pid:int -> state
+
+  val on_invoke :
+    config ->
+    state ->
+    clock:Prelude.Ticks.t ->
+    op ->
+    state * (result, msg, timer) Action.t list
+
+  val on_message :
+    config ->
+    state ->
+    clock:Prelude.Ticks.t ->
+    src:int ->
+    msg ->
+    state * (result, msg, timer) Action.t list
+
+  val on_timer :
+    config ->
+    state ->
+    clock:Prelude.Ticks.t ->
+    timer ->
+    state * (result, msg, timer) Action.t list
+
+  val equal_timer : timer -> timer -> bool
+end

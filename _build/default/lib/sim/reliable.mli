@@ -1,0 +1,29 @@
+(** Reliable delivery over lossy links — the "failures in message passing
+    systems" extension the thesis' conclusion leaves as future work.
+
+    Wraps any protocol so that every message travels in a sequence-numbered
+    [Data] frame, retransmitted every [retransmit_every] ticks until acked
+    and de-duplicated at the receiver: the inner protocol sees exactly-once
+    delivery over a network that may drop frames (negative {!Delay.t}
+    delays).
+
+    Timing: if the adversary loses at most [L] frames on a link, a wrapped
+    message is delivered within [d_eff = d + L·r] with uncertainty
+    [u_eff = u + L·r]; running Algorithm 1 inside the wrapper with
+    parameters (d_eff, u_eff) restores all of the paper's guarantees. *)
+
+module Make (P : Protocol.S) : sig
+  type config = {
+    inner : P.config;
+    retransmit_every : Prelude.Ticks.t;
+    max_retries : int;
+        (** give-up bound; must exceed the adversary's per-link loss budget
+            or the wrapper fails loudly *)
+  }
+
+  include
+    Protocol.S
+      with type config := config
+       and type op = P.op
+       and type result = P.result
+end

@@ -1,0 +1,70 @@
+(** Full record of a simulated run: every operation with its invocation and
+    response times (both real and local-clock), and every message with its
+    send/receive times.  Traces feed the linearizability checker, the
+    latency analyses of the table experiments, and the shift machinery. *)
+
+type ('op, 'result) op_record = {
+  pid : int;
+  op : 'op;
+  index : int;  (** global invocation order *)
+  invoke_real : Prelude.Ticks.t;
+  invoke_clock : Prelude.Ticks.t;
+  mutable response_real : Prelude.Ticks.t option;
+  mutable response_clock : Prelude.Ticks.t option;
+  mutable result : 'result option;
+}
+
+type 'msg message_record = {
+  src : int;
+  dst : int;
+  msg : 'msg;
+  pair_index : int;  (** sequence number among (src, dst) messages *)
+  send_real : Prelude.Ticks.t;
+  delay : Prelude.Ticks.t;
+  mutable delivered : bool;
+}
+
+type ('op, 'result, 'msg) t = {
+  n : int;
+  offsets : int array;  (** per-process clock offsets c_i *)
+  ops : ('op, 'result) op_record list;  (** in invocation order *)
+  messages : 'msg message_record list;  (** in send order *)
+  end_time : Prelude.Ticks.t;  (** real time of the last event processed *)
+}
+
+let completed t = List.filter (fun r -> r.result <> None) t.ops
+let pending t = List.filter (fun r -> r.result = None) t.ops
+
+(** Response-time − invocation-time, for completed operations. *)
+let latency r =
+  match r.response_real with
+  | Some resp -> Some (Prelude.Ticks.( - ) resp r.invoke_real)
+  | None -> None
+
+(** Worst-case latency among completed operations selected by [f]. *)
+let max_latency ?(f = fun _ -> true) t =
+  List.fold_left
+    (fun acc r ->
+      match latency r with
+      | Some l when f r -> Prelude.Ticks.max acc l
+      | _ -> acc)
+    0 t.ops
+
+let find_op t ~index = List.find_opt (fun r -> r.index = index) t.ops
+
+(** Result of the [index]-th (in global invocation order) operation, if it
+    completed. *)
+let result_of t ~index =
+  Option.bind (find_op t ~index) (fun r -> r.result)
+
+let pp_op_record pp_op pp_result fmt r =
+  let pp_t fmt = function
+    | Some t -> Prelude.Ticks.pp fmt t
+    | None -> Format.pp_print_string fmt "⊥"
+  in
+  Format.fprintf fmt "p%d: %a @%a→%a = %a" r.pid pp_op r.op Prelude.Ticks.pp
+    r.invoke_real pp_t r.response_real
+    (fun fmt -> function
+      | Some res -> pp_result fmt res
+      | None -> Format.pp_print_string fmt "pending")
+    r.result

@@ -1,0 +1,56 @@
+(** Full record of a simulated run: every operation with its invocation and
+    response times (real and local-clock), and every message with its
+    send/receive data.  Traces feed the linearizability checker, the
+    latency analyses, and the shift machinery. *)
+
+type ('op, 'result) op_record = {
+  pid : int;
+  op : 'op;
+  index : int;  (** global invocation order *)
+  invoke_real : Prelude.Ticks.t;
+  invoke_clock : Prelude.Ticks.t;
+  mutable response_real : Prelude.Ticks.t option;
+  mutable response_clock : Prelude.Ticks.t option;
+  mutable result : 'result option;
+}
+
+type 'msg message_record = {
+  src : int;
+  dst : int;
+  msg : 'msg;
+  pair_index : int;  (** sequence number among (src, dst) messages *)
+  send_real : Prelude.Ticks.t;
+  delay : Prelude.Ticks.t;
+  mutable delivered : bool;
+}
+
+type ('op, 'result, 'msg) t = {
+  n : int;
+  offsets : int array;  (** per-process clock offsets c_i *)
+  ops : ('op, 'result) op_record list;  (** in invocation order *)
+  messages : 'msg message_record list;  (** in send order *)
+  end_time : Prelude.Ticks.t;  (** real time of the last event processed *)
+}
+
+val completed : ('op, 'result, 'msg) t -> ('op, 'result) op_record list
+val pending : ('op, 'result, 'msg) t -> ('op, 'result) op_record list
+
+val latency : ('op, 'result) op_record -> Prelude.Ticks.t option
+(** Response time − invocation time, for completed operations. *)
+
+val max_latency :
+  ?f:(('op, 'result) op_record -> bool) -> ('op, 'result, 'msg) t -> Prelude.Ticks.t
+(** Worst-case latency among completed operations selected by [f]. *)
+
+val find_op : ('op, 'result, 'msg) t -> index:int -> ('op, 'result) op_record option
+
+val result_of : ('op, 'result, 'msg) t -> index:int -> 'result option
+(** Result of the [index]-th operation (global invocation order), if
+    completed. *)
+
+val pp_op_record :
+  (Format.formatter -> 'op -> unit) ->
+  (Format.formatter -> 'result -> unit) ->
+  Format.formatter ->
+  ('op, 'result) op_record ->
+  unit

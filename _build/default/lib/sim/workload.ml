@@ -1,0 +1,23 @@
+(** Application-layer scripts (the top layer of Fig. 2).
+
+    Each process executes its scripted operations sequentially: an operation
+    is invoked once its [not_before] real time has passed *and* the
+    process's previous operation has responded — so no process ever has two
+    pending operations, as the model of Chapter III requires. *)
+
+type 'op invocation = { pid : int; op : 'op; not_before : Prelude.Ticks.t }
+
+let at pid op not_before = { pid; op; not_before }
+
+(** [seq pid t ops] schedules [ops] back-to-back at process [pid] starting
+    no earlier than [t]: each is invoked as soon as the previous responds. *)
+let seq pid t ops = List.map (fun op -> { pid; op; not_before = t }) ops
+
+(** Shift every invocation of process [pid] by [x] (used by the time-shift
+    machinery: shifting a view moves its real times). *)
+let shift_pid invs ~pid ~x =
+  List.map
+    (fun inv ->
+      if inv.pid = pid then { inv with not_before = Prelude.Ticks.( + ) inv.not_before x }
+      else inv)
+    invs

@@ -1,0 +1,20 @@
+(** Application-layer scripts (the top layer of Fig. 2 in the paper).
+
+    Each process executes its scripted operations sequentially: an
+    operation is invoked once its [not_before] real time has passed *and*
+    the process's previous operation has responded — so no process ever has
+    two pending operations, as the model of Chapter III requires. *)
+
+type 'op invocation = { pid : int; op : 'op; not_before : Prelude.Ticks.t }
+
+val at : int -> 'op -> Prelude.Ticks.t -> 'op invocation
+(** [at pid op t]: invoke [op] at process [pid], no earlier than real time
+    [t]. *)
+
+val seq : int -> Prelude.Ticks.t -> 'op list -> 'op invocation list
+(** [seq pid t ops] schedules [ops] back-to-back at process [pid] starting
+    no earlier than [t]: each is invoked as soon as the previous responds. *)
+
+val shift_pid : 'op invocation list -> pid:int -> x:Prelude.Ticks.t -> 'op invocation list
+(** Shift every invocation of process [pid] by [x] — a single-process view
+    shift as used by the time-shift machinery. *)

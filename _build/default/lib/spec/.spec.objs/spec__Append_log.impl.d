@@ -1,0 +1,1 @@
+lib/spec/append_log.ml: Data_type Format List

@@ -1,0 +1,1 @@
+lib/spec/append_log.mli: Data_type Format

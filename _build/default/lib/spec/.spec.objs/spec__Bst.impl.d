@@ -1,0 +1,1 @@
+lib/spec/bst.ml: Data_type Format Option

@@ -1,0 +1,1 @@
+lib/spec/bst.mli: Data_type Format

@@ -1,0 +1,1 @@
+lib/spec/data_type.ml: Format List

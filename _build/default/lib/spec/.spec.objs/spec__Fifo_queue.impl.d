@@ -1,0 +1,1 @@
+lib/spec/fifo_queue.ml: Data_type Format

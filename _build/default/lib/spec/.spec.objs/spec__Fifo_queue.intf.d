@@ -1,0 +1,1 @@
+lib/spec/fifo_queue.mli: Data_type Format

@@ -1,0 +1,1 @@
+lib/spec/int_set.ml: Data_type Format Int Set

@@ -1,0 +1,1 @@
+lib/spec/int_set.mli: Data_type Format Set

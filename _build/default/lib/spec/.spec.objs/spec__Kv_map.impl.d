@@ -1,0 +1,1 @@
+lib/spec/kv_map.ml: Data_type Format Int Map

@@ -1,0 +1,1 @@
+lib/spec/kv_map.mli: Data_type Format Map

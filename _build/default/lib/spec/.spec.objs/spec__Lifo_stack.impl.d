@@ -1,0 +1,1 @@
+lib/spec/lifo_stack.ml: Data_type Format

@@ -1,0 +1,1 @@
+lib/spec/lifo_stack.mli: Data_type Format

@@ -1,0 +1,1 @@
+lib/spec/lifo_stack_obs.ml: Data_type Format

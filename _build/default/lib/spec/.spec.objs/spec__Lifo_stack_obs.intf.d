@@ -1,0 +1,1 @@
+lib/spec/lifo_stack_obs.mli: Data_type Format

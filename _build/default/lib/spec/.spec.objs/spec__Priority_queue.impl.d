@@ -1,0 +1,1 @@
+lib/spec/priority_queue.ml: Data_type Format

@@ -1,0 +1,1 @@
+lib/spec/priority_queue.mli: Data_type Format

@@ -1,0 +1,1 @@
+lib/spec/register.ml: Data_type Format Int

@@ -1,0 +1,1 @@
+lib/spec/register.mli: Data_type Format

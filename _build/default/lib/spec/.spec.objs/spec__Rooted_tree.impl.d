@@ -1,0 +1,1 @@
+lib/spec/rooted_tree.ml: Data_type Format Int List Map

@@ -1,0 +1,1 @@
+lib/spec/rooted_tree.mli: Data_type Format Map

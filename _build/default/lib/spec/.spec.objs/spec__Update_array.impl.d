@@ -1,0 +1,1 @@
+lib/spec/update_array.ml: Data_type Format

@@ -1,0 +1,1 @@
+lib/spec/update_array.mli: Data_type Format

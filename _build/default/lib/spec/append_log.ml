@@ -1,0 +1,61 @@
+(** Append-only log.
+
+    [Append v] is a pure mutator that is eventually non-self-any-permuting —
+    like push/enqueue, any two distinct interleavings of appends are
+    distinguishable by a later [Read_all].  Used by tests as an additional
+    arbitrary data type exercising Algorithm 1, and by the k-permutation
+    experiments of Theorem D.1. *)
+
+type state = int list
+(** Log entries, oldest first. *)
+
+type op = Append of int | Read_all | Length
+type result = All of int list | Count of int | Ack
+
+let name = "log"
+let initial = []
+
+let apply s = function
+  | Append v -> (s @ [ v ], Ack)
+  | Read_all -> (s, All s)
+  | Length -> (s, Count (List.length s))
+
+let classify = function
+  | Append _ -> Data_type.Pure_mutator
+  | Read_all | Length -> Data_type.Pure_accessor
+
+let equal_state (a : state) b = a = b
+let compare_state (a : state) b = compare a b
+let equal_result (a : result) b = a = b
+let equal_op (a : op) b = a = b
+
+let pp_state fmt s =
+  Format.fprintf fmt "⟦%a⟧"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ";")
+       Format.pp_print_int)
+    s
+
+let pp_op fmt = function
+  | Append v -> Format.fprintf fmt "append(%d)" v
+  | Read_all -> Format.pp_print_string fmt "read_all"
+  | Length -> Format.pp_print_string fmt "length"
+
+let pp_result fmt = function
+  | All s ->
+      Format.fprintf fmt "⟦%a⟧"
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f ";")
+           Format.pp_print_int)
+        s
+  | Count n -> Format.pp_print_int fmt n
+  | Ack -> Format.pp_print_string fmt "ack"
+
+let op_type = function
+  | Append _ -> "append"
+  | Read_all -> "read_all"
+  | Length -> "length"
+
+let op_types = [ "append"; "read_all"; "length" ]
+let sample_prefixes = [ []; [ Append 9 ]; [ Append 9; Append 8 ] ]
+let sample_ops = [ Append 1; Append 2; Append 3; Read_all; Length ]

@@ -1,0 +1,25 @@
+(** Append-only log: [Append] is an eventually non-self-any-permuting
+    pure mutator (like push/enqueue); [Read_all]/[Length] are pure
+    accessors. *)
+
+type state = int list
+(** Log entries, oldest first. *)
+
+type op = Append of int | Read_all | Length
+type result = All of int list | Count of int | Ack
+
+val name : string
+val initial : state
+val apply : state -> op -> state * result
+val classify : op -> Data_type.kind
+val equal_state : state -> state -> bool
+val compare_state : state -> state -> int
+val equal_result : result -> result -> bool
+val equal_op : op -> op -> bool
+val pp_state : Format.formatter -> state -> unit
+val pp_op : Format.formatter -> op -> unit
+val pp_result : Format.formatter -> result -> unit
+val op_type : op -> string
+val op_types : string list
+val sample_prefixes : op list list
+val sample_ops : op list

@@ -1,0 +1,99 @@
+(** Unbalanced binary search tree.
+
+    The tree data type whose operations satisfy *all* the hypotheses the
+    thesis uses for Table IV: BST insertion is immediately self-commuting
+    (inserts always succeed and return nothing) yet eventually
+    non-self-commuting (the final shape depends on insertion order), a
+    non-overwriter, and the node-resolved [Depth v] accessor can detect the
+    order — exactly the assumptions A/B/C of Theorem E.1.  Contrast with
+    {!Rooted_tree}, whose explicit-parent insert loses hypothesis A or C
+    (commuting effective inserts); see EXPERIMENTS.md. *)
+
+type tree = Leaf | Node of { v : int; l : tree; r : tree }
+type state = tree
+type op = Insert of int | Delete of int | Search of int | Depth of int
+type result = Bool of bool | Level of int | Absent | Ack
+
+let name = "bst"
+let initial = Leaf
+
+let rec insert v = function
+  | Leaf -> Node { v; l = Leaf; r = Leaf }
+  | Node n when v < n.v -> Node { n with l = insert v n.l }
+  | Node n when v > n.v -> Node { n with r = insert v n.r }
+  | t -> t
+
+let rec min_value = function
+  | Leaf -> None
+  | Node { v; l = Leaf; _ } -> Some v
+  | Node { l; _ } -> min_value l
+
+let rec delete v = function
+  | Leaf -> Leaf
+  | Node n when v < n.v -> Node { n with l = delete v n.l }
+  | Node n when v > n.v -> Node { n with r = delete v n.r }
+  | Node { l; r = Leaf; _ } -> l
+  | Node { l = Leaf; r; _ } -> r
+  | Node { l; r; _ } -> (
+      (* replace with in-order successor *)
+      match min_value r with
+      | Some s -> Node { v = s; l; r = delete s r }
+      | None -> l)
+
+let rec search v = function
+  | Leaf -> false
+  | Node n when v < n.v -> search v n.l
+  | Node n when v > n.v -> search v n.r
+  | Node _ -> true
+
+let rec depth_of v = function
+  | Leaf -> None
+  | Node n when v < n.v -> Option.map (( + ) 1) (depth_of v n.l)
+  | Node n when v > n.v -> Option.map (( + ) 1) (depth_of v n.r)
+  | Node _ -> Some 0
+
+let apply s = function
+  | Insert v -> (insert v s, Ack)
+  | Delete v -> (delete v s, Ack)
+  | Search v -> (s, Bool (search v s))
+  | Depth v -> (s, (match depth_of v s with Some d -> Level d | None -> Absent))
+
+let classify = function
+  | Insert _ | Delete _ -> Data_type.Pure_mutator
+  | Search _ | Depth _ -> Data_type.Pure_accessor
+
+let equal_state (a : state) b = a = b
+let compare_state (a : state) b = compare a b
+let equal_result (a : result) b = a = b
+let equal_op (a : op) b = a = b
+
+let rec pp_state fmt = function
+  | Leaf -> Format.pp_print_string fmt "·"
+  | Node { v; l = Leaf; r = Leaf } -> Format.pp_print_int fmt v
+  | Node { v; l; r } -> Format.fprintf fmt "(%a %d %a)" pp_state l v pp_state r
+
+let pp_op fmt = function
+  | Insert v -> Format.fprintf fmt "insert(%d)" v
+  | Delete v -> Format.fprintf fmt "delete(%d)" v
+  | Search v -> Format.fprintf fmt "search(%d)" v
+  | Depth v -> Format.fprintf fmt "depth(%d)" v
+
+let pp_result fmt = function
+  | Bool b -> Format.pp_print_bool fmt b
+  | Level d -> Format.pp_print_int fmt d
+  | Absent -> Format.pp_print_string fmt "⊥"
+  | Ack -> Format.pp_print_string fmt "ack"
+
+let op_type = function
+  | Insert _ -> "insert"
+  | Delete _ -> "delete"
+  | Search _ -> "search"
+  | Depth _ -> "depth"
+
+let op_types = [ "insert"; "delete"; "search"; "depth" ]
+
+let sample_prefixes =
+  [ []; [ Insert 4 ]; [ Insert 4; Insert 2 ]; [ Insert 4; Insert 6; Insert 5 ] ]
+
+let sample_ops =
+  [ Insert 3; Insert 5; Insert 6; Delete 4; Delete 5; Search 5; Search 3; Depth 5; Depth 6 ]

@@ -1,0 +1,24 @@
+(** Unbalanced binary search tree whose node-resolved [Depth v] accessor
+    can observe insertion order — the tree satisfying Theorem E.1's
+    hypotheses for insert + depth; see EXPERIMENTS.md. *)
+
+type tree = Leaf | Node of { v : int; l : tree; r : tree }
+type state = tree
+type op = Insert of int | Delete of int | Search of int | Depth of int
+type result = Bool of bool | Level of int | Absent | Ack
+
+val name : string
+val initial : state
+val apply : state -> op -> state * result
+val classify : op -> Data_type.kind
+val equal_state : state -> state -> bool
+val compare_state : state -> state -> int
+val equal_result : result -> result -> bool
+val equal_op : op -> op -> bool
+val pp_state : Format.formatter -> state -> unit
+val pp_op : Format.formatter -> op -> unit
+val pp_result : Format.formatter -> result -> unit
+val op_type : op -> string
+val op_types : string list
+val sample_prefixes : op list list
+val sample_ops : op list

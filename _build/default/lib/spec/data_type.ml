@@ -1,0 +1,123 @@
+(** Sequential specifications of deterministic shared objects.
+
+    A data type in the sense of Chapter II of the paper: a set of operations,
+    each an invocation/response pair, together with the set of legal
+    operation sequences.  We only model *deterministic, total* objects
+    (Definition A.1): from any reachable state, applying an operation yields
+    exactly one new state and one result.  Legality of an *instance*
+    [OP(arg, ret)] after a sequence ρ is then decidable by replaying ρ and
+    comparing the produced return value with [ret]. *)
+
+(** Classification used by the implementation layer (Chapter V): pure
+    accessors return information without modifying the object; pure mutators
+    modify without returning information; everything else is [Other]
+    ("OOP" in the paper's terminology). *)
+type kind = Pure_accessor | Pure_mutator | Other
+
+let pp_kind fmt = function
+  | Pure_accessor -> Format.pp_print_string fmt "pure-accessor"
+  | Pure_mutator -> Format.pp_print_string fmt "pure-mutator"
+  | Other -> Format.pp_print_string fmt "other"
+
+module type S = sig
+  type state
+  type op
+  type result
+
+  val name : string
+
+  val initial : state
+
+  val apply : state -> op -> state * result
+  (** Deterministic, total transition function: the sequential
+      specification. *)
+
+  val classify : op -> kind
+
+  val equal_state : state -> state -> bool
+  val compare_state : state -> state -> int
+  val equal_result : result -> result -> bool
+  val equal_op : op -> op -> bool
+
+  val pp_state : Format.formatter -> state -> unit
+  val pp_op : Format.formatter -> op -> unit
+  val pp_result : Format.formatter -> result -> unit
+end
+
+(** A specification extended with finite sample universes, used by the
+    classification checkers ([Classify]) to search for witnesses of the
+    algebraic properties of Chapter II. *)
+module type SAMPLED = sig
+  include S
+
+  val op_type : op -> string
+  (** The operation *type* (e.g. ["write"], ["read"]) of an instance; the
+      paper's properties quantify over operation types. *)
+
+  val op_types : string list
+
+  val sample_prefixes : op list list
+  (** Candidate prefixes ρ to probe. *)
+
+  val sample_ops : op list
+  (** Candidate operation instances (arguments; results come from replay). *)
+end
+
+(** An operation instance [OP(arg, ret)]: an operation together with the
+    return value it is committed to. *)
+module Instance = struct
+  type ('op, 'r) t = { op : 'op; result : 'r }
+
+  let make op result = { op; result }
+
+  let pp pp_op pp_result fmt { op; result } =
+    Format.fprintf fmt "%a→%a" pp_op op pp_result result
+end
+
+(** Derived operations over any specification. *)
+module Run (D : S) = struct
+  (** State reached by a sequence of operations from the initial state. *)
+  let replay ops =
+    List.fold_left (fun s op -> fst (D.apply s op)) D.initial ops
+
+  (** Result the object would return for [op] after the prefix leading to
+      [state]: by determinism (Definition A.1) this is the unique legal
+      return value. *)
+  let result_after state op = snd (D.apply state op)
+
+  (** Is instance [i] legal immediately after [state]?  For a deterministic
+      total object this holds iff the replayed result matches. *)
+  let instance_legal state (i : (D.op, D.result) Instance.t) =
+    D.equal_result (snd (D.apply state i.op)) i.result
+
+  (** Run a sequence of instances from [state].  Returns the final state if
+      every instance is legal in turn, [None] as soon as one is not. *)
+  let run_instances state instances =
+    let rec go s = function
+      | [] -> Some s
+      | (i : (D.op, D.result) Instance.t) :: rest ->
+          let s', r = D.apply s i.op in
+          if D.equal_result r i.result then go s' rest else None
+    in
+    go state instances
+
+  let sequence_legal state instances = run_instances state instances <> None
+
+  (** Two states are equivalent in the sense of Definition C.2 (each "looks
+      like" the other).  Our specifications keep canonical states — the state
+      value determines exactly the set of legal continuations — so
+      equivalence coincides with state equality.  [Test_spec] probes this
+      with random continuations. *)
+  let equivalent = D.equal_state
+
+  (** Turn a list of bare operations into committed instances by replaying
+      them from [state]: each gets the (unique) legal return value. *)
+  let commit state ops =
+    let rec go s acc = function
+      | [] -> List.rev acc
+      | op :: rest ->
+          let s', r = D.apply s op in
+          go s' (Instance.make op r :: acc) rest
+    in
+    go state [] ops
+end

@@ -1,0 +1,61 @@
+(** FIFO queue (Chapter VI.B).
+
+    - [Enqueue v] — pure mutator; eventually non-self-any-permuting
+      (different interleavings of enqueues are distinguishable by later
+      dequeues) and a non-overwriter;
+    - [Dequeue] — removes and returns the head: strongly immediately
+      non-self-commuting (Chapter II.B);
+    - [Peek] — returns the head without removing it: pure accessor. *)
+
+type state = int list
+(** Queue contents, head first. *)
+
+type op = Enqueue of int | Dequeue | Peek
+type result = Value of int | Empty | Ack
+
+let name = "queue"
+let initial = []
+
+let apply s = function
+  | Enqueue v -> (s @ [ v ], Ack)
+  | Dequeue -> ( match s with [] -> ([], Empty) | x :: rest -> (rest, Value x))
+  | Peek -> ( match s with [] -> (s, Empty) | x :: _ -> (s, Value x))
+
+let classify = function
+  | Enqueue _ -> Data_type.Pure_mutator
+  | Dequeue -> Data_type.Other
+  | Peek -> Data_type.Pure_accessor
+
+let equal_state (a : state) b = a = b
+let compare_state (a : state) b = compare a b
+let equal_result (a : result) b = a = b
+let equal_op (a : op) b = a = b
+
+let pp_state fmt s =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ";")
+       Format.pp_print_int)
+    s
+
+let pp_op fmt = function
+  | Enqueue v -> Format.fprintf fmt "enqueue(%d)" v
+  | Dequeue -> Format.pp_print_string fmt "dequeue"
+  | Peek -> Format.pp_print_string fmt "peek"
+
+let pp_result fmt = function
+  | Value v -> Format.pp_print_int fmt v
+  | Empty -> Format.pp_print_string fmt "empty"
+  | Ack -> Format.pp_print_string fmt "ack"
+
+let op_type = function
+  | Enqueue _ -> "enqueue"
+  | Dequeue -> "dequeue"
+  | Peek -> "peek"
+
+let op_types = [ "enqueue"; "dequeue"; "peek" ]
+
+let sample_prefixes =
+  [ []; [ Enqueue 7 ]; [ Enqueue 7; Enqueue 8 ]; [ Enqueue 7; Dequeue ] ]
+
+let sample_ops = [ Enqueue 1; Enqueue 2; Enqueue 3; Dequeue; Peek ]

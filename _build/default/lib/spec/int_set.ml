@@ -1,0 +1,59 @@
+(** Integer set.
+
+    The Chapter II.C example of *eventually self-commuting* mutators: the
+    order in which inserts (or deletes) of distinct elements are applied
+    never matters, so pairs ⟨insert, contains⟩ fall outside the
+    non-overwriting hypothesis of Theorem E.1 (lower bound only [d]). *)
+
+module S = Set.Make (Int)
+
+type state = S.t
+type op = Insert of int | Delete of int | Contains of int | Size
+type result = Bool of bool | Count of int | Ack
+
+let name = "set"
+let initial = S.empty
+
+let apply s = function
+  | Insert v -> (S.add v s, Ack)
+  | Delete v -> (S.remove v s, Ack)
+  | Contains v -> (s, Bool (S.mem v s))
+  | Size -> (s, Count (S.cardinal s))
+
+let classify = function
+  | Insert _ | Delete _ -> Data_type.Pure_mutator
+  | Contains _ | Size -> Data_type.Pure_accessor
+
+let equal_state = S.equal
+let compare_state = S.compare
+let equal_result (a : result) b = a = b
+let equal_op (a : op) b = a = b
+
+let pp_state fmt s =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ",")
+       Format.pp_print_int)
+    (S.elements s)
+
+let pp_op fmt = function
+  | Insert v -> Format.fprintf fmt "insert(%d)" v
+  | Delete v -> Format.fprintf fmt "delete(%d)" v
+  | Contains v -> Format.fprintf fmt "contains(%d)" v
+  | Size -> Format.pp_print_string fmt "size"
+
+let pp_result fmt = function
+  | Bool b -> Format.pp_print_bool fmt b
+  | Count n -> Format.pp_print_int fmt n
+  | Ack -> Format.pp_print_string fmt "ack"
+
+let op_type = function
+  | Insert _ -> "insert"
+  | Delete _ -> "delete"
+  | Contains _ -> "contains"
+  | Size -> "size"
+
+let op_types = [ "insert"; "delete"; "contains"; "size" ]
+
+let sample_prefixes = [ []; [ Insert 1 ]; [ Insert 1; Insert 2 ]; [ Insert 1; Delete 1 ] ]
+let sample_ops = [ Insert 1; Insert 2; Delete 1; Delete 2; Contains 1; Contains 2; Size ]

@@ -1,0 +1,24 @@
+(** Integer set — the Chapter II.C example of *eventually self-commuting*
+    mutators (insertion order never matters). *)
+
+module S : Set.S with type elt = int
+
+type state = S.t
+type op = Insert of int | Delete of int | Contains of int | Size
+type result = Bool of bool | Count of int | Ack
+
+val name : string
+val initial : state
+val apply : state -> op -> state * result
+val classify : op -> Data_type.kind
+val equal_state : state -> state -> bool
+val compare_state : state -> state -> int
+val equal_result : result -> result -> bool
+val equal_op : op -> op -> bool
+val pp_state : Format.formatter -> state -> unit
+val pp_op : Format.formatter -> op -> unit
+val pp_result : Format.formatter -> result -> unit
+val op_type : op -> string
+val op_types : string list
+val sample_prefixes : op list list
+val sample_ops : op list

@@ -1,0 +1,63 @@
+(** Key-value map — the "arbitrary data type" of the examples.
+
+    - [Put (k, v)] — pure mutator (per-key overwriter);
+    - [Del k] — pure mutator;
+    - [Get k] — pure accessor;
+    - [Swap (k, v)] — writes [v] under [k] and returns the previous binding:
+      an OOP, strongly immediately non-self-commuting like
+      read-modify-write. *)
+
+module M = Map.Make (Int)
+
+type state = int M.t
+type op = Put of int * int | Del of int | Get of int | Swap of int * int
+type result = Found of int | Absent | Ack
+
+let name = "kv-map"
+let initial = M.empty
+
+let lookup k s = match M.find_opt k s with Some v -> Found v | None -> Absent
+
+let apply s = function
+  | Put (k, v) -> (M.add k v s, Ack)
+  | Del k -> (M.remove k s, Ack)
+  | Get k -> (s, lookup k s)
+  | Swap (k, v) -> (M.add k v s, lookup k s)
+
+let classify = function
+  | Put _ | Del _ -> Data_type.Pure_mutator
+  | Get _ -> Data_type.Pure_accessor
+  | Swap _ -> Data_type.Other
+
+let equal_state = M.equal Int.equal
+let compare_state = M.compare Int.compare
+let equal_result (a : result) b = a = b
+let equal_op (a : op) b = a = b
+
+let pp_state fmt s =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ",")
+       (fun f (k, v) -> Format.fprintf f "%d↦%d" k v))
+    (M.bindings s)
+
+let pp_op fmt = function
+  | Put (k, v) -> Format.fprintf fmt "put(%d,%d)" k v
+  | Del k -> Format.fprintf fmt "del(%d)" k
+  | Get k -> Format.fprintf fmt "get(%d)" k
+  | Swap (k, v) -> Format.fprintf fmt "swap(%d,%d)" k v
+
+let pp_result fmt = function
+  | Found v -> Format.pp_print_int fmt v
+  | Absent -> Format.pp_print_string fmt "⊥"
+  | Ack -> Format.pp_print_string fmt "ack"
+
+let op_type = function
+  | Put _ -> "put"
+  | Del _ -> "del"
+  | Get _ -> "get"
+  | Swap _ -> "swap"
+
+let op_types = [ "put"; "del"; "get"; "swap" ]
+let sample_prefixes = [ []; [ Put (1, 5) ]; [ Put (1, 5); Put (2, 6) ]; [ Put (1, 5); Del 1 ] ]
+let sample_ops = [ Put (1, 7); Put (1, 8); Put (2, 7); Del 1; Get 1; Get 2; Swap (1, 9); Swap (1, 10) ]

@@ -1,0 +1,26 @@
+(** Key-value map — the "arbitrary data type" of the examples.  [Put] and
+    [Del] are pure mutators, [Get] a pure accessor, and [Swap] (write
+    returning the previous binding) is a strongly immediately
+    non-self-commuting OOP. *)
+
+module M : Map.S with type key = int
+
+type state = int M.t
+type op = Put of int * int | Del of int | Get of int | Swap of int * int
+type result = Found of int | Absent | Ack
+
+val name : string
+val initial : state
+val apply : state -> op -> state * result
+val classify : op -> Data_type.kind
+val equal_state : state -> state -> bool
+val compare_state : state -> state -> int
+val equal_result : result -> result -> bool
+val equal_op : op -> op -> bool
+val pp_state : Format.formatter -> state -> unit
+val pp_op : Format.formatter -> op -> unit
+val pp_result : Format.formatter -> result -> unit
+val op_type : op -> string
+val op_types : string list
+val sample_prefixes : op list list
+val sample_ops : op list

@@ -1,0 +1,56 @@
+(** LIFO stack (Chapter VI.B).
+
+    - [Push v] — pure mutator, eventually non-self-any-permuting,
+      non-overwriter;
+    - [Pop] — removes and returns the top: strongly immediately
+      non-self-commuting;
+    - [Peek] — returns the top without removing it: pure accessor. *)
+
+type state = int list
+(** Stack contents, top first. *)
+
+type op = Push of int | Pop | Peek
+type result = Value of int | Empty | Ack
+
+let name = "stack"
+let initial = []
+
+let apply s = function
+  | Push v -> (v :: s, Ack)
+  | Pop -> ( match s with [] -> ([], Empty) | x :: rest -> (rest, Value x))
+  | Peek -> ( match s with [] -> (s, Empty) | x :: _ -> (s, Value x))
+
+let classify = function
+  | Push _ -> Data_type.Pure_mutator
+  | Pop -> Data_type.Other
+  | Peek -> Data_type.Pure_accessor
+
+let equal_state (a : state) b = a = b
+let compare_state (a : state) b = compare a b
+let equal_result (a : result) b = a = b
+let equal_op (a : op) b = a = b
+
+let pp_state fmt s =
+  Format.fprintf fmt "[%a⟩"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ";")
+       Format.pp_print_int)
+    s
+
+let pp_op fmt = function
+  | Push v -> Format.fprintf fmt "push(%d)" v
+  | Pop -> Format.pp_print_string fmt "pop"
+  | Peek -> Format.pp_print_string fmt "peek"
+
+let pp_result fmt = function
+  | Value v -> Format.pp_print_int fmt v
+  | Empty -> Format.pp_print_string fmt "empty"
+  | Ack -> Format.pp_print_string fmt "ack"
+
+let op_type = function Push _ -> "push" | Pop -> "pop" | Peek -> "peek"
+let op_types = [ "push"; "pop"; "peek" ]
+
+let sample_prefixes =
+  [ []; [ Push 7 ]; [ Push 7; Push 8 ]; [ Push 7; Pop ] ]
+
+let sample_ops = [ Push 1; Push 2; Push 3; Pop; Peek ]

@@ -1,0 +1,25 @@
+(** LIFO stack (Chapter VI.B).  [Push] is an eventually
+    non-self-any-permuting, non-overwriting pure mutator; [Pop] is strongly
+    immediately non-self-commuting; [Peek] returns the top. *)
+
+type state = int list
+(** Stack contents, top first. *)
+
+type op = Push of int | Pop | Peek
+type result = Value of int | Empty | Ack
+
+val name : string
+val initial : state
+val apply : state -> op -> state * result
+val classify : op -> Data_type.kind
+val equal_state : state -> state -> bool
+val compare_state : state -> state -> int
+val equal_result : result -> result -> bool
+val equal_op : op -> op -> bool
+val pp_state : Format.formatter -> state -> unit
+val pp_op : Format.formatter -> op -> unit
+val pp_result : Format.formatter -> result -> unit
+val op_type : op -> string
+val op_types : string list
+val sample_prefixes : op list list
+val sample_ops : op list

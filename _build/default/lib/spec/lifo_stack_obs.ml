@@ -1,0 +1,56 @@
+(** Stack with a contents-returning pure accessor.
+
+    Theorem E.1's hypothesis A fails for a strictly top-only peek: after
+    [push v] and after [push v'; push v] the top is the same [v], so no peek
+    instance can be legal after one and illegal after the other.  The
+    thesis nevertheless lists push + peek in Table III; we read its "peek"
+    as an accessor that observes enough of the stack to distinguish the two
+    — realized here as [Observe], which returns the whole contents.  See
+    EXPERIMENTS.md for the discussion. *)
+
+type state = int list
+type op = Push of int | Pop | Observe
+type result = Value of int | Empty | Contents of int list | Ack
+
+let name = "stack-obs"
+let initial = []
+
+let apply s = function
+  | Push v -> (v :: s, Ack)
+  | Pop -> ( match s with [] -> ([], Empty) | x :: rest -> (rest, Value x))
+  | Observe -> (s, Contents s)
+
+let classify = function
+  | Push _ -> Data_type.Pure_mutator
+  | Pop -> Data_type.Other
+  | Observe -> Data_type.Pure_accessor
+
+let equal_state (a : state) b = a = b
+let compare_state (a : state) b = compare a b
+let equal_result (a : result) b = a = b
+let equal_op (a : op) b = a = b
+
+let pp_int_list fmt s =
+  Format.fprintf fmt "[%a⟩"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ";")
+       Format.pp_print_int)
+    s
+
+let pp_state = pp_int_list
+
+let pp_op fmt = function
+  | Push v -> Format.fprintf fmt "push(%d)" v
+  | Pop -> Format.pp_print_string fmt "pop"
+  | Observe -> Format.pp_print_string fmt "observe"
+
+let pp_result fmt = function
+  | Value v -> Format.pp_print_int fmt v
+  | Empty -> Format.pp_print_string fmt "empty"
+  | Contents s -> pp_int_list fmt s
+  | Ack -> Format.pp_print_string fmt "ack"
+
+let op_type = function Push _ -> "push" | Pop -> "pop" | Observe -> "observe"
+let op_types = [ "push"; "pop"; "observe" ]
+let sample_prefixes = [ []; [ Push 7 ]; [ Push 7; Push 8 ] ]
+let sample_ops = [ Push 1; Push 2; Push 3; Pop; Observe ]

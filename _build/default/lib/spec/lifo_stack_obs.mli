@@ -1,0 +1,24 @@
+(** Stack with a contents-returning pure accessor [Observe]: the variant
+    under which Theorem E.1's hypothesis A holds for push (a top-only peek
+    cannot distinguish [push v] from [push v'; push v]); see
+    EXPERIMENTS.md. *)
+
+type state = int list
+type op = Push of int | Pop | Observe
+type result = Value of int | Empty | Contents of int list | Ack
+
+val name : string
+val initial : state
+val apply : state -> op -> state * result
+val classify : op -> Data_type.kind
+val equal_state : state -> state -> bool
+val compare_state : state -> state -> int
+val equal_result : result -> result -> bool
+val equal_op : op -> op -> bool
+val pp_state : Format.formatter -> state -> unit
+val pp_op : Format.formatter -> op -> unit
+val pp_result : Format.formatter -> result -> unit
+val op_type : op -> string
+val op_types : string list
+val sample_prefixes : op list list
+val sample_ops : op list

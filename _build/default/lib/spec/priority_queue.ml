@@ -1,0 +1,67 @@
+(** Min-priority queue — the classic example from the commutativity-based
+    concurrency-control literature the thesis builds on (Weihl [8],
+    Kosa [3]).
+
+    - [Insert v] — pure mutator; inserts of distinct values *commute* (the
+      final multiset is order-independent), so unlike write/push/enqueue it
+      is not even 2-last-permuting and Theorem D.1 yields no improved
+      bound;
+    - [Extract_min] — removes and returns the minimum: strongly immediately
+      non-self-commuting (two extractions of a singleton queue cannot both
+      return the element), so Theorem C.1's d + m applies;
+    - [Min] — pure accessor. *)
+
+type state = int list
+(** Sorted multiset, smallest first. *)
+
+type op = Insert of int | Extract_min | Min
+type result = Value of int | Empty | Ack
+
+let name = "priority-queue"
+let initial = []
+
+let rec place v = function
+  | [] -> [ v ]
+  | x :: rest when v <= x -> v :: x :: rest
+  | x :: rest -> x :: place v rest
+
+let apply s = function
+  | Insert v -> (place v s, Ack)
+  | Extract_min -> ( match s with [] -> ([], Empty) | x :: rest -> (rest, Value x))
+  | Min -> ( match s with [] -> (s, Empty) | x :: _ -> (s, Value x))
+
+let classify = function
+  | Insert _ -> Data_type.Pure_mutator
+  | Extract_min -> Data_type.Other
+  | Min -> Data_type.Pure_accessor
+
+let equal_state (a : state) b = a = b
+let compare_state (a : state) b = compare a b
+let equal_result (a : result) b = a = b
+let equal_op (a : op) b = a = b
+
+let pp_state fmt s =
+  Format.fprintf fmt "⟨%a⟩"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f "≤")
+       Format.pp_print_int)
+    s
+
+let pp_op fmt = function
+  | Insert v -> Format.fprintf fmt "insert(%d)" v
+  | Extract_min -> Format.pp_print_string fmt "extract_min"
+  | Min -> Format.pp_print_string fmt "min"
+
+let pp_result fmt = function
+  | Value v -> Format.pp_print_int fmt v
+  | Empty -> Format.pp_print_string fmt "empty"
+  | Ack -> Format.pp_print_string fmt "ack"
+
+let op_type = function
+  | Insert _ -> "insert"
+  | Extract_min -> "extract_min"
+  | Min -> "min"
+
+let op_types = [ "insert"; "extract_min"; "min" ]
+let sample_prefixes = [ []; [ Insert 5 ]; [ Insert 5; Insert 3 ] ]
+let sample_ops = [ Insert 1; Insert 2; Insert 9; Extract_min; Min ]

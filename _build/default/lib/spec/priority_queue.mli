@@ -1,0 +1,26 @@
+(** Min-priority queue (the classic Weihl/Kosa example): [Insert]s
+    commute (no Theorem D.1 bound), [Extract_min] is strongly immediately
+    non-self-commuting (Theorem C.1's d + m applies), [Min] is a pure
+    accessor. *)
+
+type state = int list
+(** Sorted multiset, smallest first. *)
+
+type op = Insert of int | Extract_min | Min
+type result = Value of int | Empty | Ack
+
+val name : string
+val initial : state
+val apply : state -> op -> state * result
+val classify : op -> Data_type.kind
+val equal_state : state -> state -> bool
+val compare_state : state -> state -> int
+val equal_result : result -> result -> bool
+val equal_op : op -> op -> bool
+val pp_state : Format.formatter -> state -> unit
+val pp_op : Format.formatter -> op -> unit
+val pp_result : Format.formatter -> result -> unit
+val op_type : op -> string
+val op_types : string list
+val sample_prefixes : op list list
+val sample_ops : op list

@@ -1,0 +1,57 @@
+(** Read/Write/Read-Modify-Write register (Chapter VI.A).
+
+    Operations:
+    - [Read] — pure accessor;
+    - [Write v] — pure mutator, overwrites the whole state;
+    - [Rmw v] — reads the current value and writes [v]; immediately
+      non-self-commuting (in fact strongly so, cf. Chapter II.B);
+    - [Add k] — increment by [k], returns nothing: the Chapter II example of
+      a mutator that commutes with itself yet is a *non-overwriter*. *)
+
+type state = int
+type op = Read | Write of int | Rmw of int | Add of int
+type result = Value of int | Ack
+
+let name = "register"
+let initial = 0
+
+let apply s = function
+  | Read -> (s, Value s)
+  | Write v -> (v, Ack)
+  | Rmw v -> (v, Value s)
+  | Add k -> (s + k, Ack)
+
+let classify = function
+  | Read -> Data_type.Pure_accessor
+  | Write _ | Add _ -> Data_type.Pure_mutator
+  | Rmw _ -> Data_type.Other
+
+let equal_state = Int.equal
+let compare_state = Int.compare
+let equal_result (a : result) b = a = b
+let equal_op (a : op) b = a = b
+let pp_state = Format.pp_print_int
+
+let pp_op fmt = function
+  | Read -> Format.pp_print_string fmt "read"
+  | Write v -> Format.fprintf fmt "write(%d)" v
+  | Rmw v -> Format.fprintf fmt "rmw(%d)" v
+  | Add k -> Format.fprintf fmt "add(%d)" k
+
+let pp_result fmt = function
+  | Value v -> Format.pp_print_int fmt v
+  | Ack -> Format.pp_print_string fmt "ack"
+
+let op_type = function
+  | Read -> "read"
+  | Write _ -> "write"
+  | Rmw _ -> "rmw"
+  | Add _ -> "add"
+
+let op_types = [ "read"; "write"; "rmw"; "add" ]
+
+let sample_prefixes =
+  [ []; [ Write 0 ]; [ Write 1 ]; [ Write 0; Write 1 ]; [ Write 5; Add 2 ] ]
+
+let sample_ops =
+  [ Read; Write 1; Write 2; Write 3; Rmw 1; Rmw 2; Add 1; Add 2 ]

@@ -1,0 +1,25 @@
+(** Read/Write/Read-Modify-Write register (Chapter VI.A).  [Read] is a
+    pure accessor; [Write v] a pure mutator that overwrites the whole
+    state; [Rmw v] reads the current value and writes [v] (strongly
+    immediately non-self-commuting); [Add k] is the Chapter II increment —
+    a self-commuting, non-overwriting pure mutator. *)
+
+type state = int
+type op = Read | Write of int | Rmw of int | Add of int
+type result = Value of int | Ack
+
+val name : string
+val initial : state
+val apply : state -> op -> state * result
+val classify : op -> Data_type.kind
+val equal_state : state -> state -> bool
+val compare_state : state -> state -> int
+val equal_result : result -> result -> bool
+val equal_op : op -> op -> bool
+val pp_state : Format.formatter -> state -> unit
+val pp_op : Format.formatter -> op -> unit
+val pp_result : Format.formatter -> result -> unit
+val op_type : op -> string
+val op_types : string list
+val sample_prefixes : op list list
+val sample_ops : op list

@@ -1,0 +1,83 @@
+(** Rooted tree (Chapter VI.C).
+
+    Node 0 is the permanent root.  Operations:
+    - [Insert (parent, node)] — attach [node] under [parent]; a no-op when
+      [parent] is absent or [node] already present (kept total so the object
+      stays deterministic): pure mutator;
+    - [Delete node] — remove [node] and its whole subtree (never the root):
+      pure mutator;
+    - [Search node] — is [node] in the tree? pure accessor;
+    - [Depth] — height of the tree (root alone = 0): pure accessor. *)
+
+module M = Map.Make (Int)
+
+type state = int M.t
+(** Maps each non-root node to its parent.  The root 0 is implicit. *)
+
+type op = Insert of int * int | Delete of int | Search of int | Depth
+type result = Bool of bool | Count of int | Ack
+
+let name = "tree"
+let initial = M.empty
+
+let mem node s = node = 0 || M.mem node s
+
+let rec depth_of s node = if node = 0 then 0 else 1 + depth_of s (M.find node s)
+
+let descendants s node =
+  (* Nodes whose path to the root passes through [node]. *)
+  let rec under n = n = node || (match M.find_opt n s with Some p -> under p | None -> false) in
+  M.fold (fun n _ acc -> if under n then n :: acc else acc) s []
+
+let apply s = function
+  | Insert (parent, node) ->
+      if mem parent s && (not (mem node s)) && node <> 0 then (M.add node parent s, Ack)
+      else (s, Ack)
+  | Delete node ->
+      if node = 0 || not (mem node s) then (s, Ack)
+      else
+        let doomed = descendants s node in
+        (List.fold_left (fun m n -> M.remove n m) s doomed, Ack)
+  | Search node -> (s, Bool (mem node s))
+  | Depth -> (s, Count (M.fold (fun n _ acc -> max acc (depth_of s n)) s 0))
+
+let classify = function
+  | Insert _ | Delete _ -> Data_type.Pure_mutator
+  | Search _ | Depth -> Data_type.Pure_accessor
+
+let equal_state = M.equal Int.equal
+let compare_state = M.compare Int.compare
+let equal_result (a : result) b = a = b
+let equal_op (a : op) b = a = b
+
+let pp_state fmt s =
+  Format.fprintf fmt "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.pp_print_string f ",")
+       (fun f (n, p) -> Format.fprintf f "%d↑%d" n p))
+    (M.bindings s)
+
+let pp_op fmt = function
+  | Insert (p, n) -> Format.fprintf fmt "insert(%d under %d)" n p
+  | Delete n -> Format.fprintf fmt "delete(%d)" n
+  | Search n -> Format.fprintf fmt "search(%d)" n
+  | Depth -> Format.pp_print_string fmt "depth"
+
+let pp_result fmt = function
+  | Bool b -> Format.pp_print_bool fmt b
+  | Count n -> Format.pp_print_int fmt n
+  | Ack -> Format.pp_print_string fmt "ack"
+
+let op_type = function
+  | Insert _ -> "insert"
+  | Delete _ -> "delete"
+  | Search _ -> "search"
+  | Depth -> "depth"
+
+let op_types = [ "insert"; "delete"; "search"; "depth" ]
+
+let sample_prefixes =
+  [ []; [ Insert (0, 1) ]; [ Insert (0, 1); Insert (1, 2) ]; [ Insert (0, 1); Delete 1 ] ]
+
+let sample_ops =
+  [ Insert (0, 1); Insert (0, 2); Insert (1, 2); Insert (1, 3); Delete 1; Delete 2; Search 1; Search 2; Depth ]

@@ -1,0 +1,27 @@
+(** Rooted tree (Chapter VI.C) with explicit-parent insertion, subtree
+    deletion, membership search and whole-tree depth.  Insert/delete are
+    pure mutators, search/depth pure accessors. *)
+
+module M : Map.S with type key = int
+
+type state = int M.t
+(** Maps each non-root node to its parent; the root 0 is implicit. *)
+
+type op = Insert of int * int | Delete of int | Search of int | Depth
+type result = Bool of bool | Count of int | Ack
+
+val name : string
+val initial : state
+val apply : state -> op -> state * result
+val classify : op -> Data_type.kind
+val equal_state : state -> state -> bool
+val compare_state : state -> state -> int
+val equal_result : result -> result -> bool
+val equal_op : op -> op -> bool
+val pp_state : Format.formatter -> state -> unit
+val pp_op : Format.formatter -> op -> unit
+val pp_result : Format.formatter -> result -> unit
+val op_type : op -> string
+val op_types : string list
+val sample_prefixes : op list list
+val sample_ops : op list

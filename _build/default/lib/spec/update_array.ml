@@ -1,0 +1,46 @@
+(** The [UpdateNext] integer array of size 2 from Chapter II.B.
+
+    [Update_next (i, b)] returns the [i]-th element (1-indexed) and updates
+    the [(i+1)]-th element with [b]; if [i] addresses the last element it
+    modifies nothing.  The paper uses this type as the separating example:
+    it is immediately non-self-commuting but **not strongly** immediately
+    non-self-commuting, so Theorem C.1 does not apply to it. *)
+
+type state = int * int
+type op = Update_next of int * int | Get of int
+type result = Value of int | Ack
+
+let name = "update-array"
+let initial = (0, 0)
+
+let apply ((x, y) as s) = function
+  | Update_next (1, b) -> ((x, b), Value x)
+  | Update_next (_, _) -> (s, Value y) (* index 2: last element, no write *)
+  | Get 1 -> (s, Value x)
+  | Get _ -> (s, Value y)
+
+let classify = function
+  | Update_next _ -> Data_type.Other
+  | Get _ -> Data_type.Pure_accessor
+
+let equal_state (a : state) b = a = b
+let compare_state (a : state) b = compare a b
+let equal_result (a : result) b = a = b
+let equal_op (a : op) b = a = b
+let pp_state fmt (x, y) = Format.fprintf fmt "[%d,%d]" x y
+
+let pp_op fmt = function
+  | Update_next (i, b) -> Format.fprintf fmt "update_next(%d,%d)" i b
+  | Get i -> Format.fprintf fmt "get(%d)" i
+
+let pp_result fmt = function
+  | Value v -> Format.pp_print_int fmt v
+  | Ack -> Format.pp_print_string fmt "ack"
+
+let op_type = function Update_next _ -> "update_next" | Get _ -> "get"
+let op_types = [ "update_next"; "get" ]
+
+let sample_prefixes = [ []; [ Update_next (1, 5) ] ]
+
+let sample_ops =
+  [ Update_next (1, 1); Update_next (1, 2); Update_next (2, 1); Update_next (2, 2); Get 1; Get 2 ]

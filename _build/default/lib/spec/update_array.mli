@@ -1,0 +1,22 @@
+(** The [UpdateNext] 2-element array of Chapter II.B — the separating
+    example: immediately non-self-commuting but *not strongly* so. *)
+
+type state = int * int
+type op = Update_next of int * int | Get of int
+type result = Value of int | Ack
+
+val name : string
+val initial : state
+val apply : state -> op -> state * result
+val classify : op -> Data_type.kind
+val equal_state : state -> state -> bool
+val compare_state : state -> state -> int
+val equal_result : result -> result -> bool
+val equal_op : op -> op -> bool
+val pp_state : Format.formatter -> state -> unit
+val pp_op : Format.formatter -> op -> unit
+val pp_result : Format.formatter -> result -> unit
+val op_type : op -> string
+val op_types : string list
+val sample_prefixes : op list list
+val sample_ops : op list

@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Bounds Core List Option QCheck QCheck_alcotest Spec

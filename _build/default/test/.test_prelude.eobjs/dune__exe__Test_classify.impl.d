@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Classify List Spec String

@@ -1,0 +1,1 @@
+test/test_clocksync.ml: Alcotest Array Clocksync Core List Prelude QCheck QCheck_alcotest Sim

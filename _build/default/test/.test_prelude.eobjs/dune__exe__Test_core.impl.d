@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Core Fun Int Linearize List Option Prelude Printf QCheck QCheck_alcotest Sim Spec

@@ -1,0 +1,1 @@
+test/test_linearize.ml: Alcotest Core Linearize List Prelude QCheck QCheck_alcotest Sim Spec

@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Gen Int List Prelude QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_runs.ml: Alcotest Array Core Experiments List Prelude QCheck QCheck_alcotest Runs Sim Spec

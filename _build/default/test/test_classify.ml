@@ -1,0 +1,222 @@
+(* Tests for the Chapter II classification checkers.  Every claim the paper
+   makes about a concrete operation type is checked against the executable
+   definitions — including the separating example (UpdateNext is immediately
+   non-self-commuting but NOT strongly so, Chapter II.B) and the
+   write-is-last-but-not-any-permuting distinction (Chapter II.C). *)
+
+module C_reg = Classify.Checkers.Make (Spec.Register)
+module C_q = Classify.Checkers.Make (Spec.Fifo_queue)
+module C_st = Classify.Checkers.Make (Spec.Lifo_stack)
+module C_set = Classify.Checkers.Make (Spec.Int_set)
+module C_tree = Classify.Checkers.Make (Spec.Rooted_tree)
+module C_arr = Classify.Checkers.Make (Spec.Update_array)
+module C_log = Classify.Checkers.Make (Spec.Append_log)
+module C_kv = Classify.Checkers.Make (Spec.Kv_map)
+module C_pq = Classify.Checkers.Make (Spec.Priority_queue)
+
+let some what = Alcotest.(check bool) what true
+let none what = Alcotest.(check bool) what false
+
+(* ---- register ---- *)
+
+let test_register_rmw () =
+  some "rmw imm non-self-commuting" (C_reg.immediately_non_self_commuting "rmw" <> None);
+  some "rmw STRONGLY imm non-self-commuting"
+    (C_reg.strongly_immediately_non_self_commuting "rmw" <> None);
+  some "rmw is mutator" (C_reg.is_mutator "rmw" <> None);
+  some "rmw is accessor" (C_reg.is_accessor "rmw" <> None);
+  none "rmw not pure mutator" (C_reg.is_pure_mutator "rmw");
+  none "rmw not pure accessor" (C_reg.is_pure_accessor "rmw")
+
+let test_register_write () =
+  some "write pure mutator" (C_reg.is_pure_mutator "write");
+  some "write eventually non-self-commuting"
+    (C_reg.eventually_non_self_commuting "write" <> None);
+  (* The write example of Chapter I.C: overwrites the whole state. *)
+  some "write is an overwriter" (C_reg.is_overwriter "write");
+  none "write has no non-overwriter witness" (C_reg.is_non_overwriter "write" <> None);
+  (* write commutes immediately with itself (no return values to clash) *)
+  some "write immediately self-commuting" (C_reg.immediately_self_commuting "write");
+  (* Chapter II.C: write is last-permuting but NOT any-permuting. *)
+  some "write eventually non-self-LAST-permuting (k=3)"
+    (C_reg.eventually_non_self_last_permuting ~k:3 "write" <> None);
+  none "write NOT eventually non-self-ANY-permuting (k=3)"
+    (C_reg.eventually_non_self_any_permuting ~k:3 "write" <> None)
+
+let test_register_read () =
+  some "read pure accessor" (C_reg.is_pure_accessor "read");
+  some "read/write immediately non-commuting"
+    (C_reg.immediately_non_commuting "read" "write" <> None);
+  some "read immediately self-commuting" (C_reg.immediately_self_commuting "read");
+  some "read eventually self-commuting" (C_reg.eventually_self_commuting "read")
+
+let test_register_add () =
+  (* increment: the Chapter II.D example of a commuting non-overwriter *)
+  some "add pure mutator" (C_reg.is_pure_mutator "add");
+  some "add eventually self-commuting" (C_reg.eventually_self_commuting "add");
+  some "add is a NON-overwriter" (C_reg.is_non_overwriter "add" <> None);
+  none "add not an overwriter" (C_reg.is_overwriter "add")
+
+(* ---- the separating example: UpdateNext ---- *)
+
+let test_update_next_separation () =
+  some "update_next IS immediately non-self-commuting"
+    (C_arr.immediately_non_self_commuting "update_next" <> None);
+  none "update_next is NOT strongly immediately non-self-commuting"
+    (C_arr.strongly_immediately_non_self_commuting "update_next" <> None)
+
+(* ---- queue ---- *)
+
+let test_queue () =
+  some "dequeue strongly imm non-self-commuting"
+    (C_q.strongly_immediately_non_self_commuting "dequeue" <> None);
+  some "enqueue pure mutator" (C_q.is_pure_mutator "enqueue");
+  some "peek pure accessor" (C_q.is_pure_accessor "peek");
+  some "enqueue non-overwriter" (C_q.is_non_overwriter "enqueue" <> None);
+  some "enqueue/peek immediately non-commuting"
+    (C_q.immediately_non_commuting "enqueue" "peek" <> None);
+  some "enqueue any-permuting (k=3)"
+    (C_q.eventually_non_self_any_permuting ~k:3 "enqueue" <> None);
+  some "enqueue last-permuting (k=3)"
+    (C_q.eventually_non_self_last_permuting ~k:3 "enqueue" <> None)
+
+(* ---- stack ---- *)
+
+let test_stack () =
+  some "pop strongly imm non-self-commuting"
+    (C_st.strongly_immediately_non_self_commuting "pop" <> None);
+  some "push pure mutator" (C_st.is_pure_mutator "push");
+  some "push non-overwriter" (C_st.is_non_overwriter "push" <> None);
+  some "push any-permuting (k=3)"
+    (C_st.eventually_non_self_any_permuting ~k:3 "push" <> None)
+
+(* ---- set: eventually self-commuting mutators (Chapter II.C) ---- *)
+
+let test_set () =
+  some "insert pure mutator" (C_set.is_pure_mutator "insert");
+  some "insert eventually self-commuting" (C_set.eventually_self_commuting "insert");
+  some "delete eventually self-commuting" (C_set.eventually_self_commuting "delete");
+  some "contains pure accessor" (C_set.is_pure_accessor "contains");
+  some "insert/contains immediately non-commuting"
+    (C_set.immediately_non_commuting "insert" "contains" <> None)
+
+(* ---- tree (Chapter VI.C: no operation is both mutator and accessor) ---- *)
+
+let test_tree () =
+  some "insert pure mutator" (C_tree.is_pure_mutator "insert");
+  some "delete pure mutator" (C_tree.is_pure_mutator "delete");
+  some "search pure accessor" (C_tree.is_pure_accessor "search");
+  some "depth pure accessor" (C_tree.is_pure_accessor "depth");
+  some "insert non-overwriter" (C_tree.is_non_overwriter "insert" <> None)
+
+(* ---- log and kv ---- *)
+
+let test_log () =
+  some "append any-permuting (k=3)"
+    (C_log.eventually_non_self_any_permuting ~k:3 "append" <> None);
+  some "append pure mutator" (C_log.is_pure_mutator "append")
+
+let test_kv () =
+  some "swap strongly imm non-self-commuting"
+    (C_kv.strongly_immediately_non_self_commuting "swap" <> None);
+  some "put pure mutator" (C_kv.is_pure_mutator "put");
+  some "get pure accessor" (C_kv.is_pure_accessor "get")
+
+(* ---- priority queue: commuting inserts, strongly-INSC extraction ---- *)
+
+let test_priority_queue () =
+  some "extract_min strongly imm non-self-commuting"
+    (C_pq.strongly_immediately_non_self_commuting "extract_min" <> None);
+  some "insert pure mutator" (C_pq.is_pure_mutator "insert");
+  (* unlike write/push/enqueue, pq-inserts of distinct values commute *)
+  some "insert eventually self-commuting" (C_pq.eventually_self_commuting "insert");
+  none "insert not last-permuting even at k=2"
+    (C_pq.eventually_non_self_last_permuting ~k:2 "insert" <> None);
+  some "min pure accessor" (C_pq.is_pure_accessor "min");
+  some "insert/min immediately non-commuting"
+    (C_pq.immediately_non_commuting "insert" "min" <> None)
+
+(* ---- commutativity graphs (Kosa's extension, §I.B) ---- *)
+
+module G_reg = Classify.Commutativity_graph.Build (Spec.Register)
+module G_set = Classify.Commutativity_graph.Build (Spec.Int_set)
+
+let test_commutativity_graph () =
+  let g = G_reg.build () in
+  Alcotest.(check int) "register has 4 nodes" 4 (List.length g.nodes);
+  let edge a b =
+    List.exists
+      (fun (e : Classify.Commutativity_graph.edge) ->
+        (e.a = a && e.b = b) || (e.a = b && e.b = a))
+      g.edges
+  in
+  Alcotest.(check bool) "read–write edge" true (edge "read" "write");
+  Alcotest.(check bool) "write–rmw edge" true (edge "write" "rmw");
+  Alcotest.(check bool) "write–add commute (no edge)" false (edge "write" "add");
+  let rmw = List.find (fun (n : Classify.Commutativity_graph.node) -> n.op_ty = "rmw") g.nodes in
+  Alcotest.(check bool) "rmw self-loop" true rmw.strongly_insc;
+  (* set: insert/delete of the same element do not commute with contains *)
+  let gs = G_set.build () in
+  Alcotest.(check bool) "set graph nonempty" true (gs.edges <> []);
+  (* DOT output is well-formed enough to contain every node *)
+  let contains haystack needle =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let dot = Classify.Commutativity_graph.to_dot g in
+  List.iter
+    (fun (n : Classify.Commutativity_graph.node) ->
+      Alcotest.(check bool) ("dot mentions " ^ n.op_ty) true (contains dot n.op_ty))
+    g.nodes
+
+(* ---- the permutation verdict machinery directly ---- *)
+
+let test_permuting_at () =
+  let open Spec.Register in
+  let instances =
+    List.map
+      (fun v -> Spec.Data_type.Instance.make (Write v) Ack)
+      [ 1; 2; 3 ]
+  in
+  let last = C_reg.non_self_last_permuting_at ~prefix:[] ~instances in
+  Alcotest.(check bool) "3 writes: last-permuting holds" true last.holds;
+  Alcotest.(check int) "all 6 permutations legal" 6 (List.length last.legal_permutations);
+  let any = C_reg.non_self_any_permuting_at ~prefix:[] ~instances in
+  Alcotest.(check bool) "3 writes: any-permuting fails" false any.holds
+
+let test_summaries () =
+  let s = C_reg.summarize "rmw" in
+  Alcotest.(check bool) "summary consistent" true
+    (s.mutator && s.accessor && s.strongly_imm_non_self_commuting
+   && (not s.pure_mutator) && not s.pure_accessor);
+  let s = C_reg.summarize "read" in
+  Alcotest.(check bool) "read summary" true
+    (s.pure_accessor && (not s.mutator) && not s.ev_non_self_commuting)
+
+let () =
+  Alcotest.run "classify"
+    [
+      ( "register",
+        [
+          Alcotest.test_case "rmw" `Quick test_register_rmw;
+          Alcotest.test_case "write" `Quick test_register_write;
+          Alcotest.test_case "read" `Quick test_register_read;
+          Alcotest.test_case "add" `Quick test_register_add;
+        ] );
+      ( "update-next",
+        [ Alcotest.test_case "INSC but not strongly" `Quick test_update_next_separation ] );
+      ("queue", [ Alcotest.test_case "ops" `Quick test_queue ]);
+      ("stack", [ Alcotest.test_case "ops" `Quick test_stack ]);
+      ("set", [ Alcotest.test_case "ops" `Quick test_set ]);
+      ("tree", [ Alcotest.test_case "ops" `Quick test_tree ]);
+      ("log", [ Alcotest.test_case "ops" `Quick test_log ]);
+      ("priority-queue", [ Alcotest.test_case "ops" `Quick test_priority_queue ]);
+      ("graph", [ Alcotest.test_case "commutativity graph" `Quick test_commutativity_graph ]);
+      ("kv", [ Alcotest.test_case "ops" `Quick test_kv ]);
+      ( "machinery",
+        [
+          Alcotest.test_case "permuting verdicts" `Quick test_permuting_at;
+          Alcotest.test_case "summaries" `Quick test_summaries;
+        ] );
+    ]

@@ -1,0 +1,100 @@
+(* Tests for the Lundelius–Lynch clock-synchronization substrate. *)
+
+module LL = Clocksync.Lundelius_lynch
+
+let d = 1200
+let u = 400
+
+let test_optimal_skew_formula () =
+  Alcotest.(check int) "n=2" 200 (LL.optimal_skew ~n:2 ~u);
+  Alcotest.(check int) "n=4" 300 (LL.optimal_skew ~n:4 ~u);
+  Alcotest.(check int) "n=5" 320 (LL.optimal_skew ~n:5 ~u);
+  Alcotest.(check int) "n matches Params" (Core.Params.optimal_eps ~n:8 ~u)
+    (LL.optimal_skew ~n:8 ~u)
+
+let test_skew_helper () =
+  Alcotest.(check int) "skew" 700 (LL.skew [| -200; 500; 0 |])
+
+let test_midpoint_exact () =
+  (* With every delay exactly d − u/2, estimates are exact: skew goes to 0
+     whatever the initial offsets (up to integer division of the average). *)
+  let offsets = [| 0; 900; -300; 600 |] in
+  let s =
+    LL.achieved_skew ~n:4 ~d ~u ~offsets ~delay:(Sim.Delay.constant (d - (u / 2)))
+  in
+  Alcotest.(check bool) "near-perfect sync" true (s <= 1)
+
+let test_hand_computed_n2 () =
+  (* Worked example from the adversary analysis: delays 0→1 = d−u,
+     1→0 = d; estimates err by ±u/2, adjustments ±u/4, final skew u/2. *)
+  let adj =
+    LL.synchronize ~n:2 ~d ~u ~offsets:[| 0; 0 |]
+      ~delay:(LL.adversarial_delay ~d ~u ~victim:0)
+  in
+  Alcotest.(check int) "p0 adjustment" (-u / 4) adj.(0);
+  Alcotest.(check int) "p1 adjustment" (u / 4) adj.(1);
+  Alcotest.(check int) "residual skew u/2" (u / 2)
+    (LL.skew [| adj.(0); adj.(1) |])
+
+let test_single_process () =
+  let adj = LL.synchronize ~n:1 ~d ~u ~offsets:[| 1234 |] ~delay:(Sim.Delay.constant d) in
+  Alcotest.(check int) "n=1 adjusts nothing" 0 adj.(0)
+
+let test_symmetric_network_no_adjustment () =
+  (* Perfectly aligned clocks and symmetric midpoint delays: every estimate
+     is exactly zero, so nobody moves. *)
+  let adj =
+    LL.synchronize ~n:4 ~d ~u ~offsets:[| 0; 0; 0; 0 |]
+      ~delay:(Sim.Delay.constant (d - (u / 2)))
+  in
+  Array.iter (fun a -> Alcotest.(check int) "no adjustment" 0 a) adj
+
+let test_message_complexity () =
+  (* One round costs exactly n(n−1) messages: everyone broadcasts once. *)
+  let n = 5 in
+  let script = List.init n (fun pid -> Sim.Workload.at pid LL.Protocol.Start 0) in
+  let out =
+    LL.Engine.run ~config:{ d; u } ~n ~offsets:(Array.make n 0)
+      ~delay:(Sim.Delay.constant d) script
+  in
+  Alcotest.(check int) "n(n−1) messages" (n * (n - 1)) (List.length out.trace.messages)
+
+let skew_bound_prop =
+  QCheck.Test.make ~name:"one round always reaches (1−1/n)u (+rounding)" ~count:60
+    QCheck.(pair small_int (int_range 2 8))
+    (fun (seed, n) ->
+      let rng = Prelude.Rng.make (seed + 3) in
+      let offsets = Array.init n (fun _ -> Prelude.Rng.int_in rng ~lo:(-10_000) ~hi:10_000) in
+      let s = LL.achieved_skew ~n ~d ~u ~offsets ~delay:(Sim.Delay.random rng ~d ~u) in
+      s <= LL.optimal_skew ~n ~u + n)
+
+let second_round_stable_prop =
+  QCheck.Test.make ~name:"a second round keeps clocks within the bound" ~count:30
+    QCheck.(pair small_int (int_range 2 6))
+    (fun (seed, n) ->
+      let rng = Prelude.Rng.make (seed + 13) in
+      let offsets = Array.init n (fun _ -> Prelude.Rng.int_in rng ~lo:(-5_000) ~hi:5_000) in
+      let adj = LL.synchronize ~n ~d ~u ~offsets ~delay:(Sim.Delay.random rng ~d ~u) in
+      let once = Array.init n (fun i -> offsets.(i) + adj.(i)) in
+      let s = LL.achieved_skew ~n ~d ~u ~offsets:once ~delay:(Sim.Delay.random rng ~d ~u) in
+      s <= LL.optimal_skew ~n ~u + n)
+
+let () =
+  Alcotest.run "clocksync"
+    [
+      ( "formulas",
+        [
+          Alcotest.test_case "optimal skew" `Quick test_optimal_skew_formula;
+          Alcotest.test_case "skew helper" `Quick test_skew_helper;
+        ] );
+      ( "algorithm",
+        [
+          Alcotest.test_case "midpoint delays sync exactly" `Quick test_midpoint_exact;
+          Alcotest.test_case "hand-computed n=2 adversary" `Quick test_hand_computed_n2;
+          Alcotest.test_case "single process" `Quick test_single_process;
+          Alcotest.test_case "symmetric network" `Quick test_symmetric_network_no_adjustment;
+          Alcotest.test_case "message complexity" `Quick test_message_complexity;
+        ] );
+      ( "bounds",
+        List.map QCheck_alcotest.to_alcotest [ skew_bound_prop; second_round_stable_prop ] );
+    ]

@@ -1,0 +1,723 @@
+(* Tests for the core implementations: Algorithm 1, the centralized and
+   total-order-broadcast baselines.  Covers the exact latency identities of
+   Chapter V.D, replica convergence, linearizability under scripted and
+   randomized adversarial schedules, and the OOP execution path. *)
+
+let ticks = Alcotest.int
+
+module Reg_alg = Core.Algorithm1.Make (Spec.Register)
+module Reg_engine = Sim.Engine.Make (Reg_alg)
+module Reg_lin = Linearize.Make (Spec.Register)
+module Queue_alg = Core.Algorithm1.Make (Spec.Fifo_queue)
+module Queue_engine = Sim.Engine.Make (Queue_alg)
+module Queue_lin = Linearize.Make (Spec.Fifo_queue)
+module Stack_alg = Core.Algorithm1.Make (Spec.Lifo_stack)
+module Stack_engine = Sim.Engine.Make (Stack_alg)
+module Stack_lin = Linearize.Make (Spec.Lifo_stack)
+module Reg_central = Core.Centralized.Make (Spec.Register)
+module Central_engine = Sim.Engine.Make (Reg_central)
+module Reg_tob = Core.Total_order.Make (Spec.Register)
+module Tob_engine = Sim.Engine.Make (Reg_tob)
+
+let params ?(n = 3) ?(d = 1000) ?(u = 300) ?(eps = 200) ?(x = 100) () =
+  Core.Params.make ~n ~d ~u ~eps ~x ()
+
+let offsets0 n = Array.make n 0
+
+let latency_of trace index =
+  match Sim.Trace.find_op trace ~index with
+  | Some r -> (
+      match Sim.Trace.latency r with
+      | Some l -> l
+      | None -> Alcotest.failf "operation %d never responded" index)
+  | None -> Alcotest.failf "operation %d not found" index
+
+let check_linearizable name verdict =
+  match verdict with
+  | Reg_lin.Linearizable _ -> ()
+  | Reg_lin.Not_linearizable why -> Alcotest.failf "%s: %s" name why
+
+(* -- exact latency identities (Theorems D.1 / D.2 of Chapter V.D) -- *)
+
+let test_mutator_latency () =
+  let p = params () in
+  let script = [ Sim.Workload.at 0 (Spec.Register.Write 5) 0 ] in
+  let out =
+    Reg_engine.run ~config:p ~n:3 ~offsets:(offsets0 3)
+      ~delay:(Sim.Delay.constant 1000) script
+  in
+  (* |MOP| = ε + X exactly (Observation C.5). *)
+  Alcotest.check ticks "write latency = ε + X" 300 (latency_of out.trace 0)
+
+let test_accessor_latency () =
+  let p = params () in
+  let script = [ Sim.Workload.at 0 Spec.Register.Read 0 ] in
+  let out =
+    Reg_engine.run ~config:p ~n:3 ~offsets:(offsets0 3)
+      ~delay:(Sim.Delay.constant 1000) script
+  in
+  (* |AOP| = d + ε − X exactly (Lemma C.7). *)
+  Alcotest.check ticks "read latency = d + ε − X" 1100 (latency_of out.trace 0);
+  Alcotest.check
+    (Alcotest.option (Alcotest.testable Spec.Register.pp_result Spec.Register.equal_result))
+    "read returns initial value"
+    (Some (Spec.Register.Value 0))
+    (Sim.Trace.result_of out.trace ~index:0)
+
+let test_oop_latency_bound () =
+  let p = params () in
+  (* RMW from every process, staggered; all must respond within d + ε
+     (Lemma C.6) and return linearizable values. *)
+  let script =
+    [
+      Sim.Workload.at 0 (Spec.Register.Rmw 10) 0;
+      Sim.Workload.at 1 (Spec.Register.Rmw 20) 100;
+      Sim.Workload.at 2 (Spec.Register.Rmw 30) 200;
+    ]
+  in
+  let out =
+    Reg_engine.run ~config:p ~n:3 ~offsets:[| 0; 150; -50 |]
+      ~delay:(Sim.Delay.constant 900) script
+  in
+  List.iter
+    (fun r ->
+      match Sim.Trace.latency r with
+      | Some l ->
+          if l > 1200 then
+            Alcotest.failf "rmw latency %d exceeds d + ε = 1200" l
+      | None -> Alcotest.fail "rmw never responded")
+    out.trace.ops;
+  check_linearizable "staggered rmw" (Reg_lin.check_trace out.trace)
+
+let test_mutator_accessor_sum () =
+  (* |MOP| + |AOP| = d + 2ε regardless of X (Theorem D.1 of Ch. V). *)
+  List.iter
+    (fun x ->
+      let p = params ~x () in
+      let script =
+        [
+          Sim.Workload.at 0 (Spec.Register.Write 1) 0;
+          Sim.Workload.at 1 Spec.Register.Read 5000;
+        ]
+      in
+      let out =
+        Reg_engine.run ~config:p ~n:3 ~offsets:(offsets0 3)
+          ~delay:(Sim.Delay.constant 800) script
+      in
+      let sum = latency_of out.trace 0 + latency_of out.trace 1 in
+      Alcotest.check ticks
+        (Printf.sprintf "X=%d: |write| + |read| = d + 2ε" x)
+        1400 sum)
+    [ 0; 100; 500 ]
+
+(* -- sequential behaviour through the full stack -- *)
+
+let test_sequential_register () =
+  let p = params () in
+  let script =
+    Sim.Workload.seq 0 0
+      [ Spec.Register.Write 1; Spec.Register.Read; Spec.Register.Rmw 9; Spec.Register.Read ]
+  in
+  let out =
+    Reg_engine.run ~config:p ~n:3 ~offsets:(offsets0 3)
+      ~delay:(Sim.Delay.constant 1000) script
+  in
+  let result i = Sim.Trace.result_of out.trace ~index:i in
+  let value = Alcotest.option (Alcotest.testable Spec.Register.pp_result Spec.Register.equal_result) in
+  Alcotest.check value "read sees write" (Some (Spec.Register.Value 1)) (result 1);
+  Alcotest.check value "rmw returns pre-state" (Some (Spec.Register.Value 1)) (result 2);
+  Alcotest.check value "read sees rmw" (Some (Spec.Register.Value 9)) (result 3)
+
+let test_sequential_queue_fifo () =
+  let p = params () in
+  let script =
+    Sim.Workload.seq 0 0 [ Spec.Fifo_queue.Enqueue 1; Spec.Fifo_queue.Enqueue 2 ]
+    @ Sim.Workload.seq 1 10_000 [ Spec.Fifo_queue.Dequeue; Spec.Fifo_queue.Dequeue; Spec.Fifo_queue.Dequeue ]
+  in
+  let out =
+    Queue_engine.run ~config:p ~n:3 ~offsets:(offsets0 3)
+      ~delay:(Sim.Delay.constant 1000) script
+  in
+  let value = Alcotest.option (Alcotest.testable Spec.Fifo_queue.pp_result Spec.Fifo_queue.equal_result) in
+  Alcotest.check value "first dequeue" (Some (Spec.Fifo_queue.Value 1))
+    (Sim.Trace.result_of out.trace ~index:2);
+  Alcotest.check value "second dequeue" (Some (Spec.Fifo_queue.Value 2))
+    (Sim.Trace.result_of out.trace ~index:3);
+  Alcotest.check value "third dequeue empty" (Some Spec.Fifo_queue.Empty)
+    (Sim.Trace.result_of out.trace ~index:4)
+
+(* -- replica convergence: all copies execute mutators in timestamp order -- *)
+
+let test_replica_convergence () =
+  let p = params ~n:4 () in
+  let rng = Prelude.Rng.make 42 in
+  let script =
+    List.concat_map
+      (fun pid ->
+        Sim.Workload.seq pid
+          (Prelude.Rng.int rng 500)
+          [ Spec.Register.Write ((10 * pid) + 1); Spec.Register.Write ((10 * pid) + 2) ])
+      [ 0; 1; 2; 3 ]
+  in
+  let out =
+    Reg_engine.run ~config:p ~n:4 ~offsets:[| 0; 200; -100; 50 |]
+      ~delay:(Sim.Delay.random (Prelude.Rng.make 7) ~d:1000 ~u:300)
+      script
+  in
+  let states =
+    Array.to_list out.final_states
+    |> List.map (fun (s : Reg_alg.state) -> s.local_obj)
+  in
+  match states with
+  | first :: rest ->
+      List.iteri
+        (fun i s ->
+          if not (Spec.Register.equal_state first s) then
+            Alcotest.failf "replica %d diverged: %d vs %d" (i + 1) first s)
+        rest
+  | [] -> Alcotest.fail "no replicas"
+
+(* -- randomized adversarial linearizability (property tests) -- *)
+
+let random_script rng n ops_per_proc mk_op =
+  List.concat_map
+    (fun pid ->
+      Sim.Workload.seq pid (Prelude.Rng.int rng 2000) (List.init ops_per_proc (fun i -> mk_op rng pid i)))
+    (List.init n Fun.id)
+
+let random_offsets rng n eps =
+  Array.init n (fun i -> if i = 0 then 0 else Prelude.Rng.int_in rng ~lo:0 ~hi:eps)
+
+let lin_register_random =
+  QCheck.Test.make ~name:"algorithm1 register linearizable under random schedules"
+    ~count:60
+    QCheck.(small_int)
+    (fun seed ->
+      let rng = Prelude.Rng.make (seed + 1) in
+      let n = 3 in
+      let p = params ~n () in
+      let mk_op rng _pid _i =
+        match Prelude.Rng.int rng 4 with
+        | 0 -> Spec.Register.Write (Prelude.Rng.int rng 10)
+        | 1 -> Spec.Register.Read
+        | 2 -> Spec.Register.Rmw (Prelude.Rng.int rng 10)
+        | _ -> Spec.Register.Add 1
+      in
+      let script = random_script rng n 3 mk_op in
+      let out =
+        Reg_engine.run ~config:p ~n ~offsets:(random_offsets rng n 200)
+          ~delay:(Sim.Delay.random rng ~d:1000 ~u:300)
+          script
+      in
+      Reg_lin.(is_linearizable (check_trace out.trace)))
+
+let lin_queue_random =
+  QCheck.Test.make ~name:"algorithm1 queue linearizable under random schedules"
+    ~count:60 QCheck.small_int (fun seed ->
+      let rng = Prelude.Rng.make (seed + 1000) in
+      let n = 3 in
+      let p = params ~n () in
+      let mk_op rng pid i =
+        match Prelude.Rng.int rng 3 with
+        | 0 -> Spec.Fifo_queue.Enqueue ((10 * pid) + i)
+        | 1 -> Spec.Fifo_queue.Dequeue
+        | _ -> Spec.Fifo_queue.Peek
+      in
+      let script = random_script rng n 3 mk_op in
+      let out =
+        Queue_engine.run ~config:p ~n ~offsets:(random_offsets rng n 200)
+          ~delay:(Sim.Delay.random rng ~d:1000 ~u:300)
+          script
+      in
+      Queue_lin.(is_linearizable (check_trace out.trace)))
+
+let lin_stack_random =
+  QCheck.Test.make ~name:"algorithm1 stack linearizable under random schedules"
+    ~count:60 QCheck.small_int (fun seed ->
+      let rng = Prelude.Rng.make (seed + 2000) in
+      let n = 4 in
+      let p = params ~n () in
+      let mk_op rng pid i =
+        match Prelude.Rng.int rng 3 with
+        | 0 -> Spec.Lifo_stack.Push ((10 * pid) + i)
+        | 1 -> Spec.Lifo_stack.Pop
+        | _ -> Spec.Lifo_stack.Peek
+      in
+      let script = random_script rng n 2 mk_op in
+      let out =
+        Stack_engine.run ~config:p ~n ~offsets:(random_offsets rng n 200)
+          ~delay:(Sim.Delay.random rng ~d:900 ~u:200)
+          script
+      in
+      Stack_lin.(is_linearizable (check_trace out.trace)))
+
+(* -- baselines -- *)
+
+let test_centralized_latency () =
+  let p = params () in
+  let script =
+    [ Sim.Workload.at 1 (Spec.Register.Write 3) 0; Sim.Workload.at 2 Spec.Register.Read 10_000 ]
+  in
+  let out =
+    Central_engine.run ~config:p ~n:3 ~offsets:(offsets0 3)
+      ~delay:(Sim.Delay.constant 1000) script
+  in
+  Alcotest.check ticks "non-coordinator op = 2d" 2000 (latency_of out.trace 0);
+  Alcotest.check ticks "read also 2d" 2000 (latency_of out.trace 1);
+  Alcotest.check
+    (Alcotest.option (Alcotest.testable Spec.Register.pp_result Spec.Register.equal_result))
+    "read sees the write"
+    (Some (Spec.Register.Value 3))
+    (Sim.Trace.result_of out.trace ~index:1)
+
+let test_centralized_linearizable =
+  QCheck.Test.make ~name:"centralized linearizable under random schedules"
+    ~count:40 QCheck.small_int (fun seed ->
+      let rng = Prelude.Rng.make (seed + 31) in
+      let n = 3 in
+      let p = params ~n () in
+      let mk_op rng _ _ =
+        match Prelude.Rng.int rng 3 with
+        | 0 -> Spec.Register.Write (Prelude.Rng.int rng 5)
+        | 1 -> Spec.Register.Read
+        | _ -> Spec.Register.Rmw (Prelude.Rng.int rng 5)
+      in
+      let script = random_script rng n 3 mk_op in
+      let out =
+        Central_engine.run ~config:p ~n ~offsets:(random_offsets rng n 200)
+          ~delay:(Sim.Delay.random rng ~d:1000 ~u:300)
+          script
+      in
+      Reg_lin.(is_linearizable (check_trace out.trace)))
+
+let test_tob_uniform_latency () =
+  let p = params () in
+  let script =
+    [ Sim.Workload.at 0 (Spec.Register.Write 1) 0; Sim.Workload.at 1 Spec.Register.Read 10_000 ]
+  in
+  let out =
+    Tob_engine.run ~config:p ~n:3 ~offsets:(offsets0 3)
+      ~delay:(Sim.Delay.constant 1000) script
+  in
+  (* Under TOB every op — the pure mutator included — pays d + ε. *)
+  Alcotest.check ticks "write costs d + ε under TOB" 1200 (latency_of out.trace 0);
+  Alcotest.check ticks "read costs d + ε under TOB" 1200 (latency_of out.trace 1)
+
+(* -- remaining object types through the full stack -- *)
+
+module Set_alg = Core.Algorithm1.Make (Spec.Int_set)
+module Set_engine = Sim.Engine.Make (Set_alg)
+module Set_lin = Linearize.Make (Spec.Int_set)
+module Tree_alg = Core.Algorithm1.Make (Spec.Rooted_tree)
+module Tree_engine = Sim.Engine.Make (Tree_alg)
+module Tree_lin = Linearize.Make (Spec.Rooted_tree)
+module Kv_alg = Core.Algorithm1.Make (Spec.Kv_map)
+module Kv_engine = Sim.Engine.Make (Kv_alg)
+module Kv_lin = Linearize.Make (Spec.Kv_map)
+module Bst_alg = Core.Algorithm1.Make (Spec.Bst)
+module Bst_engine = Sim.Engine.Make (Bst_alg)
+module Bst_lin = Linearize.Make (Spec.Bst)
+module Log_alg = Core.Algorithm1.Make (Spec.Append_log)
+module Log_engine = Sim.Engine.Make (Log_alg)
+module Log_lin = Linearize.Make (Spec.Append_log)
+
+let lin_set_random =
+  QCheck.Test.make ~name:"algorithm1 set linearizable" ~count:40 QCheck.small_int
+    (fun seed ->
+      let rng = Prelude.Rng.make (seed + 3000) in
+      let n = 3 in
+      let p = params ~n () in
+      let mk_op rng _ _ =
+        match Prelude.Rng.int rng 4 with
+        | 0 -> Spec.Int_set.Insert (Prelude.Rng.int rng 4)
+        | 1 -> Spec.Int_set.Delete (Prelude.Rng.int rng 4)
+        | 2 -> Spec.Int_set.Contains (Prelude.Rng.int rng 4)
+        | _ -> Spec.Int_set.Size
+      in
+      let script = random_script rng n 3 mk_op in
+      let out =
+        Set_engine.run ~config:p ~n ~offsets:(random_offsets rng n 200)
+          ~delay:(Sim.Delay.random rng ~d:1000 ~u:300) script
+      in
+      Set_lin.(is_linearizable (check_trace out.trace)))
+
+let lin_tree_random =
+  QCheck.Test.make ~name:"algorithm1 rooted tree linearizable" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Prelude.Rng.make (seed + 4000) in
+      let n = 3 in
+      let p = params ~n () in
+      let mk_op rng _ _ =
+        match Prelude.Rng.int rng 4 with
+        | 0 -> Spec.Rooted_tree.Insert (Prelude.Rng.int rng 3, 1 + Prelude.Rng.int rng 4)
+        | 1 -> Spec.Rooted_tree.Delete (1 + Prelude.Rng.int rng 4)
+        | 2 -> Spec.Rooted_tree.Search (Prelude.Rng.int rng 5)
+        | _ -> Spec.Rooted_tree.Depth
+      in
+      let script = random_script rng n 3 mk_op in
+      let out =
+        Tree_engine.run ~config:p ~n ~offsets:(random_offsets rng n 200)
+          ~delay:(Sim.Delay.random rng ~d:1000 ~u:300) script
+      in
+      Tree_lin.(is_linearizable (check_trace out.trace)))
+
+let lin_kv_random =
+  QCheck.Test.make ~name:"algorithm1 kv map (incl. swap OOP) linearizable" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Prelude.Rng.make (seed + 5000) in
+      let n = 3 in
+      let p = params ~n () in
+      let mk_op rng _ _ =
+        match Prelude.Rng.int rng 4 with
+        | 0 -> Spec.Kv_map.Put (Prelude.Rng.int rng 3, Prelude.Rng.int rng 9)
+        | 1 -> Spec.Kv_map.Del (Prelude.Rng.int rng 3)
+        | 2 -> Spec.Kv_map.Get (Prelude.Rng.int rng 3)
+        | _ -> Spec.Kv_map.Swap (Prelude.Rng.int rng 3, Prelude.Rng.int rng 9)
+      in
+      let script = random_script rng n 3 mk_op in
+      let out =
+        Kv_engine.run ~config:p ~n ~offsets:(random_offsets rng n 200)
+          ~delay:(Sim.Delay.random rng ~d:1000 ~u:300) script
+      in
+      Kv_lin.(is_linearizable (check_trace out.trace)))
+
+let lin_bst_random =
+  QCheck.Test.make ~name:"algorithm1 bst linearizable" ~count:40 QCheck.small_int
+    (fun seed ->
+      let rng = Prelude.Rng.make (seed + 6000) in
+      let n = 3 in
+      let p = params ~n () in
+      let mk_op rng _ _ =
+        match Prelude.Rng.int rng 4 with
+        | 0 -> Spec.Bst.Insert (Prelude.Rng.int rng 8)
+        | 1 -> Spec.Bst.Delete (Prelude.Rng.int rng 8)
+        | 2 -> Spec.Bst.Search (Prelude.Rng.int rng 8)
+        | _ -> Spec.Bst.Depth (Prelude.Rng.int rng 8)
+      in
+      let script = random_script rng n 3 mk_op in
+      let out =
+        Bst_engine.run ~config:p ~n ~offsets:(random_offsets rng n 200)
+          ~delay:(Sim.Delay.random rng ~d:1000 ~u:300) script
+      in
+      Bst_lin.(is_linearizable (check_trace out.trace)))
+
+module Pq_alg = Core.Algorithm1.Make (Spec.Priority_queue)
+module Pq_engine = Sim.Engine.Make (Pq_alg)
+module Pq_lin = Linearize.Make (Spec.Priority_queue)
+module Arr_alg = Core.Algorithm1.Make (Spec.Update_array)
+module Arr_engine = Sim.Engine.Make (Arr_alg)
+module Arr_lin = Linearize.Make (Spec.Update_array)
+
+let lin_pqueue_random =
+  QCheck.Test.make ~name:"algorithm1 priority queue linearizable" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Prelude.Rng.make (seed + 7000) in
+      let n = 3 in
+      let p = params ~n () in
+      let mk_op rng _ _ =
+        match Prelude.Rng.int rng 3 with
+        | 0 -> Spec.Priority_queue.Insert (Prelude.Rng.int rng 9)
+        | 1 -> Spec.Priority_queue.Extract_min
+        | _ -> Spec.Priority_queue.Min
+      in
+      let script = random_script rng n 3 mk_op in
+      let out =
+        Pq_engine.run ~config:p ~n ~offsets:(random_offsets rng n 200)
+          ~delay:(Sim.Delay.random rng ~d:1000 ~u:300) script
+      in
+      Pq_lin.(is_linearizable (check_trace out.trace)))
+
+let lin_update_array_random =
+  QCheck.Test.make ~name:"algorithm1 UpdateNext array linearizable" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Prelude.Rng.make (seed + 8000) in
+      let n = 3 in
+      let p = params ~n () in
+      let mk_op rng _ _ =
+        match Prelude.Rng.int rng 3 with
+        | 0 -> Spec.Update_array.Update_next (1 + Prelude.Rng.int rng 2, Prelude.Rng.int rng 5)
+        | 1 -> Spec.Update_array.Get 1
+        | _ -> Spec.Update_array.Get 2
+      in
+      let script = random_script rng n 3 mk_op in
+      let out =
+        Arr_engine.run ~config:p ~n ~offsets:(random_offsets rng n 200)
+          ~delay:(Sim.Delay.random rng ~d:1000 ~u:300) script
+      in
+      Arr_lin.(is_linearizable (check_trace out.trace)))
+
+let test_log_order () =
+  (* Appends from three processes; a late read_all must equal some
+     interleaving consistent with timestamps — validated by the checker
+     plus FIFO-per-process. *)
+  let p = params ~n:4 () in
+  let script =
+    Sim.Workload.seq 0 0 [ Spec.Append_log.Append 1; Spec.Append_log.Append 2 ]
+    @ Sim.Workload.seq 1 50 [ Spec.Append_log.Append 11 ]
+    @ Sim.Workload.seq 2 100 [ Spec.Append_log.Append 21 ]
+    @ [ Sim.Workload.at 3 Spec.Append_log.Read_all 10_000 ]
+  in
+  let out =
+    Log_engine.run ~config:p ~n:4 ~offsets:[| 0; 100; 200; 0 |]
+      ~delay:(Sim.Delay.random (Prelude.Rng.make 17) ~d:1000 ~u:300) script
+  in
+  (match Sim.Trace.result_of out.trace ~index:4 with
+  | Some (Spec.Append_log.All entries) ->
+      Alcotest.(check int) "all four appends present" 4 (List.length entries);
+      let pos x = Option.get (List.find_index (Int.equal x) entries) in
+      Alcotest.(check bool) "per-process order kept" true (pos 1 < pos 2)
+  | _ -> Alcotest.fail "read_all missing");
+  Alcotest.(check bool) "linearizable" true
+    Log_lin.(is_linearizable (check_trace out.trace))
+
+(* -- boundary parameters -- *)
+
+let test_x_extremes () =
+  (* X = d + ε − u: reads at their fastest (u), writes at their slowest. *)
+  let d = 1000 and u = 300 and eps = 200 in
+  let p = Core.Params.make ~n:3 ~d ~u ~eps ~x:(d + eps - u) () in
+  let script =
+    [ Sim.Workload.at 0 (Spec.Register.Write 1) 0; Sim.Workload.at 1 Spec.Register.Read 5000 ]
+  in
+  let out =
+    Reg_engine.run ~config:p ~n:3 ~offsets:(offsets0 3)
+      ~delay:(Sim.Delay.constant d) script
+  in
+  Alcotest.check ticks "write = ε + X = d + 2ε − u" (d + (2 * eps) - u) (latency_of out.trace 0);
+  Alcotest.check ticks "read = u" u (latency_of out.trace 1);
+  check_linearizable "x extreme" (Reg_lin.check_trace out.trace)
+
+let test_zero_uncertainty () =
+  (* u = 0 forces every delay to be exactly d; ε may be 0 too and mutators
+     respond instantly at X = 0. *)
+  let p = Core.Params.make ~n:3 ~d:1000 ~u:0 ~eps:0 ~x:0 () in
+  let script =
+    [
+      Sim.Workload.at 0 (Spec.Register.Write 1) 0;
+      Sim.Workload.at 1 (Spec.Register.Rmw 2) 100;
+      Sim.Workload.at 2 Spec.Register.Read 5000;
+    ]
+  in
+  let out =
+    Reg_engine.run ~config:p ~n:3 ~offsets:(offsets0 3)
+      ~delay:(Sim.Delay.constant 1000) ~check_delays:(1000, 0) script
+  in
+  Alcotest.check ticks "write instant at ε = X = 0" 0 (latency_of out.trace 0);
+  Alcotest.check ticks "rmw = d" 1000 (latency_of out.trace 1);
+  check_linearizable "u=0" (Reg_lin.check_trace out.trace)
+
+let test_larger_history_stress () =
+  (* 36 operations across 6 processes — exercises the checker's
+     memoization as much as the protocol. *)
+  let n = 6 in
+  let p = params ~n () in
+  let rng = Prelude.Rng.make 123 in
+  let mk_op rng pid i =
+    match Prelude.Rng.int rng 3 with
+    | 0 -> Spec.Register.Write ((10 * pid) + i)
+    | 1 -> Spec.Register.Read
+    | _ -> Spec.Register.Rmw ((100 * pid) + i)
+  in
+  let script = random_script rng n 6 mk_op in
+  let out =
+    Reg_engine.run ~config:p ~n ~offsets:(random_offsets rng n 200)
+      ~delay:(Sim.Delay.random rng ~d:1000 ~u:300) script
+  in
+  Alcotest.(check int) "36 ops completed" 36 (List.length (Sim.Trace.completed out.trace));
+  check_linearizable "stress" (Reg_lin.check_trace out.trace)
+
+(* -- the three Chapter III assumptions the lower bounds require of the
+   algorithm class: Algorithm 1 must satisfy them for the Chapter IV
+   adversaries (which quantify over that class) to apply to it -- *)
+
+let test_bounded_time_operations () =
+  (* Assumption 1: a bound B_op covers every operation in every admissible
+     run.  For Algorithm 1, B_op = d + ε. *)
+  let d = 1000 and u = 300 and eps = 200 in
+  let p = Core.Params.make ~n:3 ~d ~u ~eps ~x:0 () in
+  List.iter
+    (fun seed ->
+      let rng = Prelude.Rng.make seed in
+      let script =
+        random_script rng 3 3 (fun rng _ i ->
+            match Prelude.Rng.int rng 3 with
+            | 0 -> Spec.Register.Write i
+            | 1 -> Spec.Register.Read
+            | _ -> Spec.Register.Rmw i)
+      in
+      let out =
+        Reg_engine.run ~config:p ~n:3 ~offsets:(random_offsets rng 3 eps)
+          ~delay:(Sim.Delay.random rng ~d ~u) ~check_delays:(d, u) script
+      in
+      List.iter
+        (fun r ->
+          match Sim.Trace.latency r with
+          | Some l ->
+              if l > d + eps then Alcotest.failf "latency %d beyond B_op = d+ε" l
+          | None -> Alcotest.fail "operation never completed")
+        out.trace.ops)
+    [ 1; 2; 3; 4; 5 ]
+
+let test_bounded_quiescence () =
+  (* Assumption 2: the system goes quiescent within B_q of the last
+     response.  The last event the engine processes (straggler deliveries
+     and already-set execute timers) must land within d + u + ε. *)
+  let d = 1000 and u = 300 and eps = 200 in
+  let p = Core.Params.make ~n:3 ~d ~u ~eps ~x:0 () in
+  let script =
+    [
+      Sim.Workload.at 0 (Spec.Register.Write 1) 0;
+      Sim.Workload.at 1 (Spec.Register.Rmw 2) 100;
+      Sim.Workload.at 2 Spec.Register.Read 200;
+    ]
+  in
+  let out =
+    Reg_engine.run ~config:p ~n:3 ~offsets:[| 0; eps; 0 |]
+      ~delay:(Sim.Delay.constant d) script
+  in
+  let last_response =
+    List.fold_left
+      (fun acc r -> match r.Sim.Trace.response_real with Some t -> max acc t | None -> acc)
+      0 out.trace.ops
+  in
+  Alcotest.(check bool) "quiescent within B_q = d + u + ε" true
+    (out.trace.end_time <= last_response + d + u + eps)
+
+let test_history_obliviousness () =
+  (* Assumption 3: after one process runs the same operation sequence (and
+     nobody else does anything), every process's final state is the same
+     regardless of message delays and clock offsets. *)
+  let d = 1000 and u = 300 and eps = 200 in
+  let p = Core.Params.make ~n:3 ~d ~u ~eps ~x:0 () in
+  let script =
+    Sim.Workload.seq 0 0
+      [ Spec.Register.Write 4; Spec.Register.Rmw 9; Spec.Register.Read; Spec.Register.Add 2 ]
+  in
+  let run ~offsets ~delay = Reg_engine.run ~config:p ~n:3 ~offsets ~delay script in
+  let reference = run ~offsets:[| 0; 0; 0 |] ~delay:(Sim.Delay.constant d) in
+  List.iter
+    (fun (offsets, delay) ->
+      let out = run ~offsets ~delay in
+      Array.iteri
+        (fun i (s : Reg_alg.state) ->
+          let r : Reg_alg.state = reference.final_states.(i) in
+          if not (Spec.Register.equal_state s.local_obj r.local_obj) then
+            Alcotest.failf "replica %d state differs across histories" i;
+          if not (Reg_alg.Queue.is_empty s.to_execute) then
+            Alcotest.failf "replica %d not quiescent" i)
+        out.final_states)
+    [
+      ([| 0; eps; -0 |], Sim.Delay.constant (d - u));
+      ([| 0; 0; eps |], Sim.Delay.random (Prelude.Rng.make 3) ~d ~u);
+      ([| 0; eps / 2; eps |], Sim.Delay.extremes ~d ~u ~slow_to:1);
+    ]
+
+(* -- soak: thousands of operations through the full stack -- *)
+
+let test_soak () =
+  let n = 8 in
+  let d = 1000 and u = 400 in
+  let eps = Core.Params.optimal_eps ~n ~u in
+  let p = Core.Params.make ~n ~d ~u ~eps ~x:0 () in
+  let rng = Prelude.Rng.make 2025 in
+  let ops_per_proc = 250 in
+  let script =
+    List.concat_map
+      (fun pid ->
+        Sim.Workload.seq pid
+          (Prelude.Rng.int rng 1000)
+          (List.init ops_per_proc (fun i ->
+               match i mod 4 with
+               | 0 -> Spec.Register.Write ((pid * 1000) + i)
+               | 1 -> Spec.Register.Read
+               | 2 -> Spec.Register.Rmw ((pid * 1000) + i)
+               | _ -> Spec.Register.Add 1)))
+      (List.init n Fun.id)
+  in
+  let out =
+    Reg_engine.run ~config:p ~n
+      ~offsets:(Array.init n (fun i -> i * eps / (n - 1)))
+      ~delay:(Sim.Delay.random rng ~d ~u) ~check_delays:(d, u)
+      ~max_events:5_000_000 script
+  in
+  Alcotest.(check int) "all 2000 operations completed" (n * ops_per_proc)
+    (List.length (Sim.Trace.completed out.trace));
+  (* the latency envelope holds over the whole run *)
+  List.iter
+    (fun r ->
+      match (Spec.Register.classify r.Sim.Trace.op, Sim.Trace.latency r) with
+      | Spec.Data_type.Pure_mutator, Some l ->
+          if l <> eps then Alcotest.failf "mutator latency %d ≠ ε" l
+      | Spec.Data_type.Pure_accessor, Some l ->
+          if l <> d + eps then Alcotest.failf "accessor latency %d ≠ d+ε" l
+      | Spec.Data_type.Other, Some l ->
+          if l > d + eps then Alcotest.failf "oop latency %d > d+ε" l
+      | _, None -> Alcotest.fail "incomplete op")
+    out.trace.ops;
+  (* replicas converge *)
+  let states =
+    Array.to_list out.final_states |> List.map (fun (s : Reg_alg.state) -> s.local_obj)
+  in
+  (match states with
+  | first :: rest ->
+      List.iter
+        (fun s -> if s <> first then Alcotest.fail "replicas diverged after soak")
+        rest
+  | [] -> ());
+  (* and no replica is left with queued work *)
+  Array.iter
+    (fun (s : Reg_alg.state) ->
+      if not (Reg_alg.Queue.is_empty s.to_execute) then
+        Alcotest.fail "To_Execute not drained")
+    out.final_states
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "latency-identities",
+        [
+          Alcotest.test_case "mutator ε+X" `Quick test_mutator_latency;
+          Alcotest.test_case "accessor d+ε−X" `Quick test_accessor_latency;
+          Alcotest.test_case "oop ≤ d+ε" `Quick test_oop_latency_bound;
+          Alcotest.test_case "write+read sum d+2ε" `Quick test_mutator_accessor_sum;
+        ] );
+      ( "sequential",
+        [
+          Alcotest.test_case "register" `Quick test_sequential_register;
+          Alcotest.test_case "queue FIFO" `Quick test_sequential_queue_fifo;
+        ] );
+      ( "replication",
+        [ Alcotest.test_case "replica convergence" `Quick test_replica_convergence ] );
+      ( "linearizability",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            lin_register_random;
+            lin_queue_random;
+            lin_stack_random;
+            lin_set_random;
+            lin_tree_random;
+            lin_kv_random;
+            lin_bst_random;
+            lin_pqueue_random;
+            lin_update_array_random;
+          ] );
+      ( "more-objects",
+        [ Alcotest.test_case "append log order" `Quick test_log_order ] );
+      ( "model-assumptions",
+        [
+          Alcotest.test_case "bounded-time operations" `Quick test_bounded_time_operations;
+          Alcotest.test_case "bounded quiescence" `Quick test_bounded_quiescence;
+          Alcotest.test_case "history-obliviousness" `Quick test_history_obliviousness;
+        ] );
+      ( "boundaries",
+        [
+          Alcotest.test_case "X at maximum" `Quick test_x_extremes;
+          Alcotest.test_case "u = 0" `Quick test_zero_uncertainty;
+          Alcotest.test_case "36-op stress" `Quick test_larger_history_stress;
+          Alcotest.test_case "2000-op soak" `Slow test_soak;
+        ] );
+      ( "baselines",
+        Alcotest.test_case "centralized 2d" `Quick test_centralized_latency
+        :: Alcotest.test_case "tob uniform d+ε" `Quick test_tob_uniform_latency
+        :: List.map QCheck_alcotest.to_alcotest [ test_centralized_linearizable ] );
+    ]

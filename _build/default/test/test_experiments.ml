@@ -1,0 +1,29 @@
+(* Integration tests: every registered experiment (table/figure/theorem
+   reproduction) must report OK — i.e., every outcome the paper predicts
+   holds on the executed runs. *)
+
+let experiment_case (e : Experiments.Registry.entry) =
+  Alcotest.test_case e.id `Quick (fun () ->
+      let r = e.run () in
+      if not r.ok then
+        Alcotest.failf "experiment %s mismatched:\n%s" r.id
+          (String.concat "\n" r.lines))
+
+let test_registry_complete () =
+  let ids = List.map (fun (e : Experiments.Registry.entry) -> e.id) (Experiments.Registry.all ()) in
+  List.iter
+    (fun id ->
+      if not (List.mem id ids) then Alcotest.failf "experiment %s not registered" id)
+    [
+      "fig1"; "fig3"; "fig4-5"; "thm_c1"; "thm_d1"; "thm_e1"; "tables"; "tradeoff";
+      "baselines"; "clocksync"; "ablation"; "drift"; "lossy"; "scaling"; "sweep"; "sc"; "mix"; "thresholds";
+    ];
+  Alcotest.(check bool) "find works" true (Experiments.Registry.find "fig1" <> None);
+  Alcotest.(check bool) "unknown id" true (Experiments.Registry.find "nope" = None)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ("registry", [ Alcotest.test_case "complete" `Quick test_registry_complete ]);
+      ("reproductions", List.map experiment_case (Experiments.Registry.all ()));
+    ]

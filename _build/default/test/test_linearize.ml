@@ -1,0 +1,311 @@
+(* Tests for the linearizability checker: known-good and known-bad
+   histories, program-order handling, witness validity, and the
+   trace-to-history glue. *)
+
+module L = Linearize.Make (Spec.Register)
+module LQ = Linearize.Make (Spec.Fifo_queue)
+
+let e ?(pid = 0) op result invoke response : L.entry = { pid; op; result; invoke; response }
+
+let eq ?(pid = 0) op result invoke response : LQ.entry = { pid; op; result; invoke; response }
+
+let lin = function L.Linearizable _ -> true | L.Not_linearizable _ -> false
+let linq = function LQ.Linearizable _ -> true | LQ.Not_linearizable _ -> false
+
+let test_empty_and_sequential () =
+  Alcotest.(check bool) "empty history" true (lin (L.check []));
+  Alcotest.(check bool) "sequential reads/writes" true
+    (lin
+       (L.check
+          [
+            e (Spec.Register.Write 1) Spec.Register.Ack 0 10;
+            e Spec.Register.Read (Spec.Register.Value 1) 20 30;
+            e (Spec.Register.Write 2) Spec.Register.Ack 40 50;
+            e Spec.Register.Read (Spec.Register.Value 2) 60 70;
+          ]))
+
+let test_stale_read_rejected () =
+  Alcotest.(check bool) "read of overwritten value" false
+    (lin
+       (L.check
+          [
+            e (Spec.Register.Write 1) Spec.Register.Ack 0 10;
+            e ~pid:1 (Spec.Register.Write 2) Spec.Register.Ack 20 30;
+            e ~pid:2 Spec.Register.Read (Spec.Register.Value 1) 40 50;
+          ]))
+
+let test_concurrent_flexibility () =
+  (* Overlapping writes may linearize in either order; the read constrains
+     which one. *)
+  Alcotest.(check bool) "concurrent write chooses order" true
+    (lin
+       (L.check
+          [
+            e (Spec.Register.Write 1) Spec.Register.Ack 0 100;
+            e ~pid:1 (Spec.Register.Write 2) Spec.Register.Ack 0 100;
+            e ~pid:2 Spec.Register.Read (Spec.Register.Value 1) 200 300;
+          ]))
+
+let test_both_rmw_zero_rejected () =
+  (* The Theorem C.1 contradiction: two rmw's both returning the initial
+     value while ordered or overlapping. *)
+  Alcotest.(check bool) "two rmw claiming to be first" false
+    (lin
+       (L.check
+          [
+            e (Spec.Register.Rmw 1) (Spec.Register.Value 0) 0 100;
+            e ~pid:1 (Spec.Register.Rmw 2) (Spec.Register.Value 0) 50 150;
+          ]))
+
+let test_duplicate_dequeue_rejected () =
+  Alcotest.(check bool) "element dequeued twice" false
+    (linq
+       (LQ.check
+          [
+            eq (Spec.Fifo_queue.Enqueue 9) Spec.Fifo_queue.Ack 0 10;
+            eq ~pid:1 Spec.Fifo_queue.Dequeue (Spec.Fifo_queue.Value 9) 20 120;
+            eq ~pid:2 Spec.Fifo_queue.Dequeue (Spec.Fifo_queue.Value 9) 30 130;
+          ]))
+
+let test_program_order_enforced () =
+  (* Same process, touching times (response = next invocation): program
+     order must still hold, so a read *after* the write cannot miss it. *)
+  Alcotest.(check bool) "program order binds" false
+    (lin
+       (L.check
+          [
+            e (Spec.Register.Write 5) Spec.Register.Ack 0 100;
+            e Spec.Register.Read (Spec.Register.Value 0) 100 200;
+          ]))
+
+let test_cross_process_touching_concurrent () =
+  (* Different processes with touching times are concurrent (strict <):
+     the read at invocation = other's response may still return the old
+     value. *)
+  Alcotest.(check bool) "touching across processes is overlap" true
+    (lin
+       (L.check
+          [
+            e (Spec.Register.Write 5) Spec.Register.Ack 0 100;
+            e ~pid:1 Spec.Register.Read (Spec.Register.Value 0) 100 200;
+          ]))
+
+let test_witness_is_valid () =
+  let history =
+    [
+      e (Spec.Register.Write 1) Spec.Register.Ack 0 100;
+      e ~pid:1 (Spec.Register.Rmw 2) (Spec.Register.Value 1) 50 250;
+      e ~pid:2 Spec.Register.Read (Spec.Register.Value 2) 300 400;
+    ]
+  in
+  match L.check history with
+  | L.Not_linearizable why -> Alcotest.fail why
+  | L.Linearizable witness ->
+      Alcotest.(check int) "witness covers all ops" (List.length history)
+        (List.length witness);
+      (* replaying the witness is legal *)
+      let legal =
+        List.fold_left
+          (fun (s, ok) (w : L.entry) ->
+            let s', r = Spec.Register.apply s w.op in
+            (s', ok && Spec.Register.equal_result r w.result))
+          (Spec.Register.initial, true)
+          witness
+        |> snd
+      in
+      Alcotest.(check bool) "witness legal" true legal;
+      (* and it respects strict real-time precedence *)
+      let rec respects = function
+        | [] | [ _ ] -> true
+        | (a : L.entry) :: rest ->
+            List.for_all (fun (b : L.entry) -> not (b.response < a.invoke)) rest
+            && respects rest
+      in
+      Alcotest.(check bool) "witness respects precedence" true (respects witness)
+
+let test_too_many_ops () =
+  let entries =
+    List.init 63 (fun i -> e (Spec.Register.Write i) Spec.Register.Ack (i * 10) ((i * 10) + 5))
+  in
+  Alcotest.check_raises "62-op limit"
+    (Invalid_argument "Linearize.check: histories are limited to 62 operations")
+    (fun () -> ignore (L.check entries))
+
+(* of_trace glue: run a real simulation and convert. *)
+module Alg = Core.Algorithm1.Make (Spec.Register)
+module E = Sim.Engine.Make (Alg)
+
+let test_of_trace () =
+  let params = Core.Params.make ~n:3 ~d:1000 ~u:300 ~eps:200 ~x:0 () in
+  let out =
+    E.run ~config:params ~n:3 ~offsets:[| 0; 0; 0 |] ~delay:(Sim.Delay.constant 1000)
+      [ Sim.Workload.at 0 (Spec.Register.Write 3) 0; Sim.Workload.at 1 Spec.Register.Read 2000 ]
+  in
+  let entries = L.of_trace out.trace in
+  Alcotest.(check int) "two entries" 2 (List.length entries);
+  Alcotest.(check bool) "verdict" true (lin (L.check entries))
+
+(* Property: Algorithm 1 histories always produce witnesses the validity
+   checker accepts (redundant cross-check of checker and protocol). *)
+let witness_validity_prop =
+  QCheck.Test.make ~name:"checker witnesses are always valid" ~count:40 QCheck.small_int
+    (fun seed ->
+      let rng = Prelude.Rng.make (seed + 77) in
+      let params = Core.Params.make ~n:3 ~d:1000 ~u:300 ~eps:200 ~x:0 () in
+      let script =
+        List.concat_map
+          (fun pid ->
+            Sim.Workload.seq pid
+              (Prelude.Rng.int rng 1500)
+              [
+                (if Prelude.Rng.bool rng then Spec.Register.Write (Prelude.Rng.int rng 9)
+                 else Spec.Register.Rmw (Prelude.Rng.int rng 9));
+                Spec.Register.Read;
+              ])
+          [ 0; 1; 2 ]
+      in
+      let out =
+        E.run ~config:params ~n:3 ~offsets:[| 0; 100; 200 |]
+          ~delay:(Sim.Delay.random rng ~d:1000 ~u:300)
+          script
+      in
+      match L.check_trace out.trace with
+      | L.Not_linearizable _ -> false
+      | L.Linearizable witness ->
+          List.fold_left
+            (fun (s, ok) (w : L.entry) ->
+              let s', r = Spec.Register.apply s w.op in
+              (s', ok && Spec.Register.equal_result r w.result))
+            (Spec.Register.initial, true)
+            witness
+          |> snd)
+
+(* ---- sequential consistency (the weaker condition of Ch. I) ---- *)
+
+let test_sequential_consistency () =
+  let stale_cross_process =
+    [
+      e (Spec.Register.Write 1) Spec.Register.Ack 0 10;
+      e ~pid:1 (Spec.Register.Write 2) Spec.Register.Ack 20 30;
+      e ~pid:2 Spec.Register.Read (Spec.Register.Value 1) 40 50;
+    ]
+  in
+  Alcotest.(check bool) "stale cross-process read violates linearizability" false
+    (lin (L.check stale_cross_process));
+  Alcotest.(check bool) "…but is sequentially consistent" true
+    (lin (L.check_sequentially_consistent stale_cross_process));
+  (* program order still binds under SC *)
+  let backwards =
+    [
+      e (Spec.Register.Write 1) Spec.Register.Ack 0 10;
+      e (Spec.Register.Write 2) Spec.Register.Ack 20 30;
+      e ~pid:1 Spec.Register.Read (Spec.Register.Value 2) 40 50;
+      e ~pid:1 Spec.Register.Read (Spec.Register.Value 1) 60 70;
+    ]
+  in
+  Alcotest.(check bool) "same-process backwards reads rejected by SC" false
+    (lin (L.check_sequentially_consistent backwards));
+  (* SC is implied by linearizability *)
+  let fine =
+    [
+      e (Spec.Register.Write 1) Spec.Register.Ack 0 10;
+      e ~pid:1 Spec.Register.Read (Spec.Register.Value 1) 20 30;
+    ]
+  in
+  Alcotest.(check bool) "linearizable history" true (lin (L.check fine));
+  Alcotest.(check bool) "is also SC" true (lin (L.check_sequentially_consistent fine))
+
+(* ---- brute-force cross-validation ----
+   A reference checker that simply enumerates every permutation of the
+   history and tests (a) legality by replay and (b) the precedence partial
+   order directly.  The memoized Wing–Gong search must agree on random
+   small histories, including non-linearizable ones. *)
+
+let reference_check (entries : L.entry list) =
+  let indexed = List.mapi (fun i e -> (i, e)) entries in
+  let precedes (ia, a) (ib, b) =
+    if a.L.pid = b.L.pid then ia < ib else a.L.response < b.L.invoke
+  in
+  let respects perm =
+    let rec go = function
+      | [] -> true
+      | x :: rest -> List.for_all (fun y -> not (precedes y x)) rest && go rest
+    in
+    go perm
+  in
+  let legal perm =
+    List.fold_left
+      (fun acc (_, (e : L.entry)) ->
+        match acc with
+        | None -> None
+        | Some s ->
+            let s', r = Spec.Register.apply s e.op in
+            if Spec.Register.equal_result r e.result then Some s' else None)
+      (Some Spec.Register.initial) perm
+    <> None
+  in
+  List.exists
+    (fun perm -> respects perm && legal perm)
+    (Prelude.Combinatorics.permutations indexed)
+
+(* Random histories: 3 processes, sequential per process, arbitrary
+   (possibly wrong) results — roughly half the generated histories are
+   non-linearizable. *)
+let random_history rng =
+  let entries = ref [] in
+  List.iter
+    (fun pid ->
+      let t = ref (Prelude.Rng.int rng 300) in
+      for _ = 1 to 1 + Prelude.Rng.int rng 2 do
+        let op =
+          match Prelude.Rng.int rng 3 with
+          | 0 -> Spec.Register.Write (Prelude.Rng.int rng 3)
+          | 1 -> Spec.Register.Read
+          | _ -> Spec.Register.Rmw (Prelude.Rng.int rng 3)
+        in
+        let result =
+          match op with
+          | Spec.Register.Write _ -> Spec.Register.Ack
+          | _ -> Spec.Register.Value (Prelude.Rng.int rng 4)
+        in
+        let invoke = !t in
+        let response = invoke + 1 + Prelude.Rng.int rng 400 in
+        t := response + Prelude.Rng.int rng 200;
+        entries := { L.pid; op; result; invoke; response } :: !entries
+      done)
+    [ 0; 1; 2 ];
+  List.rev !entries
+
+let checker_matches_reference =
+  QCheck.Test.make ~name:"Wing–Gong agrees with brute-force enumeration" ~count:300
+    QCheck.small_int (fun seed ->
+      let rng = Prelude.Rng.make (seed + 42) in
+      let history = random_history rng in
+      lin (L.check history) = reference_check history)
+
+let () =
+  Alcotest.run "linearize"
+    [
+      ( "verdicts",
+        [
+          Alcotest.test_case "empty & sequential" `Quick test_empty_and_sequential;
+          Alcotest.test_case "stale read rejected" `Quick test_stale_read_rejected;
+          Alcotest.test_case "concurrent flexibility" `Quick test_concurrent_flexibility;
+          Alcotest.test_case "double-first rmw rejected" `Quick test_both_rmw_zero_rejected;
+          Alcotest.test_case "duplicate dequeue rejected" `Quick test_duplicate_dequeue_rejected;
+        ] );
+      ( "precedence",
+        [
+          Alcotest.test_case "program order" `Quick test_program_order_enforced;
+          Alcotest.test_case "cross-process touch" `Quick test_cross_process_touching_concurrent;
+        ] );
+      ( "witness",
+        Alcotest.test_case "validity" `Quick test_witness_is_valid
+        :: Alcotest.test_case "62-op limit" `Quick test_too_many_ops
+        :: Alcotest.test_case "of_trace" `Quick test_of_trace
+        :: List.map QCheck_alcotest.to_alcotest [ witness_validity_prop ] );
+      ( "sequential-consistency",
+        [ Alcotest.test_case "separation" `Quick test_sequential_consistency ] );
+      ( "cross-validation",
+        List.map QCheck_alcotest.to_alcotest [ checker_matches_reference ] );
+    ]

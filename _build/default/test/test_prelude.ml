@@ -1,0 +1,113 @@
+(* Unit and property tests for the prelude: time, timestamps, the leftist
+   heap, the deterministic PRNG, and the enumeration helpers. *)
+
+module H = Prelude.Heap.Make (Int)
+
+let test_ticks () =
+  Alcotest.(check int) "add" 30 Prelude.Ticks.(10 + 20);
+  Alcotest.(check int) "sub" (-10) Prelude.Ticks.(10 - 20);
+  Alcotest.(check bool) "lt" true Prelude.Ticks.(3 < 4);
+  Alcotest.(check bool) "ge" true Prelude.Ticks.(4 >= 4);
+  Alcotest.(check bool) "infinity dominates" true
+    Prelude.Ticks.(1_000_000_000 < Prelude.Ticks.infinity);
+  Alcotest.(check string) "pp" "42t" (Prelude.Ticks.to_string 42)
+
+let stamp t pid = Prelude.Stamp.make ~time:t ~pid
+
+let test_stamp_order () =
+  Alcotest.(check bool) "time dominates" true Prelude.Stamp.(stamp 1 9 < stamp 2 0);
+  Alcotest.(check bool) "pid breaks ties" true Prelude.Stamp.(stamp 5 1 < stamp 5 2);
+  Alcotest.(check bool) "equal" true (Prelude.Stamp.equal (stamp 5 1) (stamp 5 1));
+  Alcotest.(check bool) "le reflexive" true Prelude.Stamp.(stamp 5 1 <= stamp 5 1)
+
+let test_heap_basics () =
+  let h = H.of_list [ 5; 3; 8; 1; 9; 2 ] in
+  Alcotest.(check int) "size" 6 (H.size h);
+  Alcotest.(check (option int)) "min" (Some 1) (H.find_min h);
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 8; 9 ] (H.to_sorted_list h);
+  Alcotest.(check bool) "empty" true (H.is_empty H.empty);
+  Alcotest.(check (option int)) "empty min" None (H.find_min H.empty)
+
+let test_heap_pop_while () =
+  let h = H.of_list [ 5; 3; 8; 1 ] in
+  let popped, rest = H.pop_while (fun x -> x < 5) h in
+  Alcotest.(check (list int)) "popped ascending" [ 1; 3 ] popped;
+  Alcotest.(check (list int)) "rest" [ 5; 8 ] (H.to_sorted_list rest);
+  let all, empty = H.pop_while (fun _ -> true) h in
+  Alcotest.(check (list int)) "pop all" [ 1; 3; 5; 8 ] all;
+  Alcotest.(check bool) "emptied" true (H.is_empty empty)
+
+let heap_sorted_prop =
+  QCheck.Test.make ~name:"heap to_sorted_list sorts any list" ~count:200
+    QCheck.(list int)
+    (fun xs -> H.to_sorted_list (H.of_list xs) = List.sort compare xs)
+
+let heap_delete_min_prop =
+  QCheck.Test.make ~name:"heap delete_min returns the minimum" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 50) int)
+    (fun xs ->
+      match H.delete_min (H.of_list xs) with
+      | Some (m, rest) ->
+          m = List.fold_left min (List.hd xs) xs && H.size rest = List.length xs - 1
+      | None -> false)
+
+let test_rng_determinism () =
+  let a = Prelude.Rng.make 42 and b = Prelude.Rng.make 42 in
+  let xs g = List.init 20 (fun _ -> Prelude.Rng.int g 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" (xs a) (xs b)
+
+let rng_bounds_prop =
+  QCheck.Test.make ~name:"rng int_in stays in range" ~count:500
+    QCheck.(pair small_int (pair small_int small_nat))
+    (fun (seed, (lo, width)) ->
+      let g = Prelude.Rng.make seed in
+      let v = Prelude.Rng.int_in g ~lo ~hi:(lo + width) in
+      v >= lo && v <= lo + width)
+
+let shuffle_perm_prop =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (list int))
+    (fun (seed, xs) ->
+      let g = Prelude.Rng.make seed in
+      List.sort compare (Prelude.Rng.shuffle g xs) = List.sort compare xs)
+
+let test_permutations () =
+  let p = Prelude.Combinatorics.permutations [ 1; 2; 3 ] in
+  Alcotest.(check int) "3! perms" 6 (List.length p);
+  Alcotest.(check int) "all distinct" 6 (List.length (List.sort_uniq compare p));
+  List.iter
+    (fun perm ->
+      Alcotest.(check (list int)) "is permutation" [ 1; 2; 3 ] (List.sort compare perm))
+    p;
+  Alcotest.(check (list (list int))) "empty" [ [] ] (Prelude.Combinatorics.permutations [])
+
+let test_combinations () =
+  let c = Prelude.Combinatorics.combinations 2 [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "C(4,2)" 6 (List.length c);
+  Alcotest.(check bool) "contains [1;3]" true (List.mem [ 1; 3 ] c);
+  Alcotest.(check (list (list int))) "k=0" [ [] ] (Prelude.Combinatorics.combinations 0 [ 1 ]);
+  Alcotest.(check (list (list int))) "k too big" [] (Prelude.Combinatorics.combinations 3 [ 1; 2 ])
+
+let test_ordered_pairs () =
+  Alcotest.(check int) "cartesian size" 6
+    (List.length (Prelude.Combinatorics.ordered_pairs [ 1; 2 ] [ 'a'; 'b'; 'c' ]))
+
+let () =
+  Alcotest.run "prelude"
+    [
+      ("ticks", [ Alcotest.test_case "arithmetic" `Quick test_ticks ]);
+      ("stamp", [ Alcotest.test_case "ordering" `Quick test_stamp_order ]);
+      ( "heap",
+        Alcotest.test_case "basics" `Quick test_heap_basics
+        :: Alcotest.test_case "pop_while" `Quick test_heap_pop_while
+        :: List.map QCheck_alcotest.to_alcotest [ heap_sorted_prop; heap_delete_min_prop ] );
+      ( "rng",
+        Alcotest.test_case "determinism" `Quick test_rng_determinism
+        :: List.map QCheck_alcotest.to_alcotest [ rng_bounds_prop; shuffle_perm_prop ] );
+      ( "combinatorics",
+        [
+          Alcotest.test_case "permutations" `Quick test_permutations;
+          Alcotest.test_case "combinations" `Quick test_combinations;
+          Alcotest.test_case "ordered pairs" `Quick test_ordered_pairs;
+        ] );
+    ]

@@ -1,0 +1,230 @@
+(* Tests for the Chapter IV run machinery: configurations, admissibility,
+   the standard time shift (formula 4.1 and its indistinguishability
+   consequence), chopping (Lemma B.1) and extension. *)
+
+module HReg = Experiments.Harness.Make (Spec.Register)
+
+let mk ?(n = 3) ?(d = 1000) ?(u = 300) ?(eps = 200) ?offsets ?delays ?(script = []) () :
+    Spec.Register.op Runs.Config.t =
+  Runs.Config.make ~n ~d ~u ~eps ?offsets ?delays ~script ()
+
+let test_admissibility () =
+  let c = mk () in
+  Alcotest.(check bool) "uniform d admissible" true (Runs.Config.is_admissible c);
+  let c2 = mk ~offsets:[| 0; 201; 0 |] () in
+  Alcotest.(check bool) "skew beyond ε rejected" false (Runs.Config.is_admissible c2);
+  let delays = Array.make_matrix 3 3 1000 in
+  delays.(0).(1) <- 699;
+  let c3 = mk ~delays () in
+  Alcotest.(check bool) "slow link rejected" false (Runs.Config.is_admissible c3);
+  Alcotest.(check (list (pair int int))) "invalid pair reported" [ (0, 1) ]
+    (Runs.Config.invalid_delays c3);
+  delays.(0).(1) <- 1001;
+  Alcotest.(check (list (pair int int))) "too-fast pair reported" [ (0, 1) ]
+    (Runs.Config.invalid_delays (mk ~delays ()))
+
+let test_skew () =
+  Alcotest.(check int) "skew" 250 (Runs.Config.skew (mk ~offsets:[| -50; 200; 0 |] ()))
+
+(* Formula (4.1): d'_{i,j} = d_{i,j} − x_i + x_j, offsets c_i − x_i,
+   invocations of p_i move x_i later. *)
+let shift_formula_prop =
+  QCheck.Test.make ~name:"shift follows formula 4.1" ~count:200
+    QCheck.(triple (int_bound 500) (int_bound 500) (int_bound 500))
+    (fun (x0, x1, x2) ->
+      let script = [ Sim.Workload.at 1 Spec.Register.Read 1000 ] in
+      let c = mk ~script () in
+      let s = Runs.Config.shift c ~x:[| x0; x1; x2 |] in
+      let x = [| x0; x1; x2 |] in
+      let delays_ok = ref true in
+      for i = 0 to 2 do
+        for j = 0 to 2 do
+          if i <> j && s.delays.(i).(j) <> c.delays.(i).(j) - x.(i) + x.(j) then
+            delays_ok := false
+        done
+      done;
+      let offsets_ok =
+        Array.for_all2 (fun a b -> a = b) s.offsets
+          (Array.init 3 (fun i -> c.offsets.(i) - x.(i)))
+      in
+      let script_ok =
+        match s.script with
+        | [ inv ] -> inv.not_before = 1000 + x1
+        | _ -> false
+      in
+      !delays_ok && offsets_ok && script_ok)
+
+let shift_roundtrip_prop =
+  QCheck.Test.make ~name:"shift by x then −x is the identity" ~count:100
+    QCheck.(triple small_int small_int small_int)
+    (fun (x0, x1, x2) ->
+      let c = mk ~script:[ Sim.Workload.at 0 Spec.Register.Read 5000 ] () in
+      let x = [| x0; x1; x2 |] in
+      let back = Runs.Config.shift (Runs.Config.shift c ~x) ~x:(Array.map (fun v -> -v) x) in
+      back.delays = c.delays && back.offsets = c.offsets
+      && List.for_all2
+           (fun (a : _ Sim.Workload.invocation) (b : _ Sim.Workload.invocation) ->
+             a.not_before = b.not_before)
+           back.script c.script)
+
+(* The standard-shift indistinguishability (Claims B.1/B.3 in execution
+   form): running the deterministic protocol on a shifted configuration
+   yields identical results and identical *clock* times for every
+   operation. *)
+let shift_indistinguishable_prop =
+  QCheck.Test.make ~name:"shifted runs are locally indistinguishable" ~count:50
+    QCheck.(pair small_int (triple (int_bound 150) (int_bound 150) (int_bound 150)))
+    (fun (seed, (x0, x1, x2)) ->
+      let rng = Prelude.Rng.make (seed + 1) in
+      let script =
+        [
+          Sim.Workload.at 0 (Spec.Register.Write (Prelude.Rng.int rng 50)) 1000;
+          Sim.Workload.at 1 (Spec.Register.Rmw 7) 1200;
+          Sim.Workload.at 2 Spec.Register.Read 1500;
+        ]
+      in
+      let delays =
+        Array.init 3 (fun _ -> Array.init 3 (fun _ -> Prelude.Rng.int_in rng ~lo:700 ~hi:1000))
+      in
+      let c = mk ~delays ~script () in
+      let s = Runs.Config.shift c ~x:[| x0; x1; x2 |] in
+      let params = Core.Params.make ~n:3 ~d:1000 ~u:300 ~eps:200 ~x:0 () in
+      let run cfg = HReg.execute ~check_lin:false ~params cfg in
+      let a = run c and b = run s in
+      List.for_all2
+        (fun (ra : _ Sim.Trace.op_record) (rb : _ Sim.Trace.op_record) ->
+          ra.result = rb.result
+          && ra.invoke_clock = rb.invoke_clock
+          && ra.response_clock = rb.response_clock)
+        a.outcome.trace.ops b.outcome.trace.ops)
+
+let test_floyd_warshall () =
+  let w = [| [| 0; 4; 10 |]; [| 9; 0; 3 |]; [| 1; 9; 0 |] |] in
+  let d = Runs.Paths.floyd_warshall w in
+  Alcotest.(check int) "direct" 4 d.(0).(1);
+  Alcotest.(check int) "via 1" 7 d.(0).(2);
+  Alcotest.(check int) "via 2 then 0 beats direct" 4 d.(1).(0);
+  Alcotest.(check int) "self" 0 d.(0).(0)
+
+(* Lemma B.1 on a hand-checked instance (the Fig. 4/5 scenario). *)
+let test_chop_cut_points () =
+  let d = 1000 and u = 400 in
+  let delays = Array.make_matrix 2 2 d in
+  delays.(0).(1) <- d + u;
+  let cfg =
+    Runs.Config.make ~n:2 ~d ~u ~eps:400 ~delays
+      ~script:[ Sim.Workload.at 0 (Spec.Register.Write 1) 0 ]
+      ()
+  in
+  let params =
+    Core.Params.faster_mutator (Core.Params.make ~n:2 ~d ~u ~eps:400 ~x:0 ()) ~latency:100
+  in
+  let module H2 = Experiments.Harness.Make (Spec.Register) in
+  let probe = H2.execute ~check_lin:false ~params cfg in
+  match Runs.Chop.cut_points cfg ~trace:probe.outcome.trace ~invalid:(0, 1) ~delta:(d - u) with
+  | None -> Alcotest.fail "expected a cut"
+  | Some cut ->
+      Alcotest.(check int) "ts = first send" 0 cut.first_send;
+      Alcotest.(check int) "t* = ts + min(d+u, δ)" 600 cut.t_star;
+      Alcotest.(check int) "V_1 ends at t*" 600 cut.view_ends.(1);
+      Alcotest.(check int) "V_0 ends at t* + D_{1,0}" 1600 cut.view_ends.(0)
+
+let test_chop_delta_validation () =
+  let cfg = mk () in
+  Alcotest.check_raises "δ below range"
+    (Invalid_argument "Chop.cut_points: δ must lie in [d − u, d]") (fun () ->
+      ignore
+        (Runs.Chop.cut_points cfg
+           ~trace:
+             { n = 3; offsets = [| 0; 0; 0 |]; ops = []; messages = []; end_time = 0 }
+           ~invalid:(0, 1) ~delta:100))
+
+let test_extended_delays () =
+  let delays = Array.make_matrix 2 2 1000 in
+  delays.(0).(1) <- 1400;
+  let cfg = Runs.Config.make ~n:2 ~d:1000 ~u:400 ~eps:400 ~delays ~script:[] () in
+  let ext = Runs.Chop.extended_delays cfg ~invalid:(0, 1) ~delta':900 in
+  Alcotest.(check int) "overridden" 900 ext.(0).(1);
+  Alcotest.(check int) "others kept" 1000 ext.(1).(0);
+  Alcotest.(check int) "original untouched" 1400 cfg.delays.(0).(1)
+
+(* The whole modified-shift pipeline as a property: shift p1 by a random
+   amount beyond u (making 0→1 invalid), chop, extend with a random
+   admissible δ′ — the chopped prefix must agree with the complete
+   extension on every response that falls inside the kept views
+   (Lemma B.1 + the extension argument). *)
+let chop_extend_agreement_prop =
+  QCheck.Test.make ~name:"chop prefix agrees with any admissible extension" ~count:60
+    QCheck.(triple (int_range 1 400) (int_range 0 400) (int_range 0 400))
+    (fun (a, s_off, delta_off) ->
+      let d = 1000 and u = 400 and eps = 500 in
+      (* base 0→1 delay d − u + a; shift p1 by s so that 0→1 becomes
+         invalid (> d) while 1→0 (= d − s ≥ d − u) stays admissible: the
+         exactly-one-invalid-delay regime of Lemma B.1. *)
+      let s = u - a + 1 + (s_off mod a) in
+      let delays = Array.make_matrix 2 2 d in
+      delays.(0).(1) <- d - u + a;
+      let base =
+        Runs.Config.make ~n:2 ~d ~u ~eps ~delays
+          ~script:
+            [
+              Sim.Workload.at 0 (Spec.Register.Write 3) 0;
+              Sim.Workload.at 1 (Spec.Register.Write 4) 0;
+            ]
+          ()
+      in
+      let shifted = Runs.Config.shift base ~x:[| 0; s |] in
+      match Runs.Config.invalid_delays shifted with
+      | [ (0, 1) ] -> (
+          let params =
+            Core.Params.faster_mutator
+              (Core.Params.make ~n:2 ~d ~u ~eps ~x:0 ())
+              ~latency:150
+          in
+          let probe = HReg.execute ~check_lin:false ~params shifted in
+          let delta = d - u in
+          match
+            Runs.Chop.cut_points shifted ~trace:probe.outcome.trace ~invalid:(0, 1)
+              ~delta
+          with
+          | None -> false
+          | Some cut ->
+              let chopped =
+                HReg.execute ~check_lin:false ~view_ends:cut.view_ends ~params shifted
+              in
+              let delta' = min d (delta + delta_off) in
+              let extended =
+                {
+                  shifted with
+                  delays = Runs.Chop.extended_delays shifted ~invalid:(0, 1) ~delta';
+                }
+              in
+              let complete = HReg.execute ~check_lin:false ~params extended in
+              List.for_all2
+                (fun (c : _ Sim.Trace.op_record) (e : _ Sim.Trace.op_record) ->
+                  c.result = None
+                  || (c.result = e.result && c.response_real = e.response_real))
+                chopped.outcome.trace.ops complete.outcome.trace.ops)
+      | _ -> false)
+
+let () =
+  Alcotest.run "runs"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "admissibility" `Quick test_admissibility;
+          Alcotest.test_case "skew" `Quick test_skew;
+        ] );
+      ( "shift",
+        List.map QCheck_alcotest.to_alcotest
+          [ shift_formula_prop; shift_roundtrip_prop; shift_indistinguishable_prop ] );
+      ( "chop",
+        [
+          Alcotest.test_case "floyd-warshall" `Quick test_floyd_warshall;
+          Alcotest.test_case "cut points" `Quick test_chop_cut_points;
+          Alcotest.test_case "delta validation" `Quick test_chop_delta_validation;
+          Alcotest.test_case "extended delays" `Quick test_extended_delays;
+        ] );
+      ( "modified-shift pipeline",
+        List.map QCheck_alcotest.to_alcotest [ chop_extend_agreement_prop ] );
+    ]

@@ -1,0 +1,399 @@
+(* Tests for the discrete-event engine: the Chapter III system model.
+   Uses a purpose-built echo protocol to exercise delivery, timers, clock
+   offsets, scripting semantics and the engine's guard rails. *)
+
+(* A toy protocol: Ping sends a message to a target and responds when the
+   echo returns; Timed responds when its timer fires; Cancelling sets two
+   timers and cancels one.  Enough to observe every engine mechanism
+   directly. *)
+module Echo = struct
+  type config = unit
+  type state = { pid : int }
+  type op = Ping of int | Timed of int | Cancelling of int | Forever
+  type result = Done of Prelude.Ticks.t  (** clock time at response *)
+  type msg = Request | Reply
+  type timer = Tick of int | Loop
+
+  let name = "echo"
+  let init () ~n:_ ~pid = { pid }
+
+  let equal_timer a b =
+    match (a, b) with Tick x, Tick y -> x = y | Loop, Loop -> true | _ -> false
+
+  let on_invoke () st ~clock:_ = function
+    | Ping target -> (st, [ Sim.Action.Send (target, Request) ])
+    | Timed delay -> (st, [ Sim.Action.Set_timer (delay, Tick delay) ])
+    | Cancelling delay ->
+        (* set two timers, cancel one: only the other fires *)
+        ( st,
+          [
+            Sim.Action.Set_timer (delay, Tick delay);
+            Sim.Action.Set_timer (delay * 2, Tick (delay * 2));
+            Sim.Action.Cancel_timer (Tick delay);
+          ] )
+    | Forever -> (st, [ Sim.Action.Set_timer (1, Loop) ])
+
+  let on_message () st ~clock ~src = function
+    | Request -> (st, [ Sim.Action.Send (src, Reply) ])
+    | Reply -> (st, [ Sim.Action.Respond (Done clock) ])
+
+  let on_timer () st ~clock = function
+    | Tick _ -> (st, [ Sim.Action.Respond (Done clock) ])
+    | Loop -> (st, [ Sim.Action.Set_timer (1, Loop) ])
+end
+
+module E = Sim.Engine.Make (Echo)
+
+let run ?check_delays ?view_ends ?(offsets = [| 0; 0; 0 |])
+    ?(delay = Sim.Delay.constant 100) script =
+  E.run ~config:() ~n:3 ~offsets ~delay ?check_delays ?view_ends script
+
+let response trace i =
+  match Sim.Trace.find_op trace ~index:i with
+  | Some r -> (r.response_real, r.result)
+  | None -> Alcotest.failf "op %d missing" i
+
+let test_round_trip () =
+  let out = run [ Sim.Workload.at 0 (Echo.Ping 1) 0 ] in
+  let resp, _ = response out.trace 0 in
+  Alcotest.(check (option int)) "round trip = 2×delay" (Some 200) resp;
+  Alcotest.(check int) "two messages recorded" 2 (List.length out.trace.messages);
+  Alcotest.(check bool) "all delivered" true
+    (List.for_all (fun (m : _ Sim.Trace.message_record) -> m.delivered) out.trace.messages)
+
+let test_timer_fires_at_clock_delay () =
+  (* A clock offset must not change the real-time delay of a timer (clocks
+     run at real-time rate). *)
+  let out = run ~offsets:[| 500; 0; 0 |] [ Sim.Workload.at 0 (Echo.Timed 250) 0 ] in
+  let resp, result = response out.trace 0 in
+  Alcotest.(check (option int)) "fires 250 real later" (Some 250) resp;
+  Alcotest.(check bool) "clock = real + offset" true (result = Some (Echo.Done 750))
+
+let test_timer_cancellation () =
+  let out = run [ Sim.Workload.at 0 (Echo.Cancelling 100) 0 ] in
+  let resp, _ = response out.trace 0 in
+  Alcotest.(check (option int)) "only the uncancelled timer fires" (Some 200) resp
+
+let test_clock_times_recorded () =
+  let out = run ~offsets:[| -300; 0; 0 |] [ Sim.Workload.at 0 (Echo.Timed 100) 1000 ] in
+  match Sim.Trace.find_op out.trace ~index:0 with
+  | Some r ->
+      Alcotest.(check int) "invoke clock = invoke real + offset" 700 r.invoke_clock;
+      Alcotest.(check (option int)) "response clock" (Some 800) r.response_clock
+  | None -> Alcotest.fail "op missing"
+
+let test_script_sequencing () =
+  (* p0's second op must wait for the first response even though its
+     not_before has long passed — one pending operation per process. *)
+  let out =
+    run [ Sim.Workload.at 0 (Echo.Timed 500) 0; Sim.Workload.at 0 (Echo.Timed 100) 10 ]
+  in
+  match out.trace.ops with
+  | [ _; b ] ->
+      Alcotest.(check int) "second invoked at first response" 500 b.invoke_real;
+      Alcotest.(check (option int)) "second responds 100 later" (Some 600) b.response_real
+  | _ -> Alcotest.fail "expected two ops"
+
+let test_not_before_respected () =
+  let out = run [ Sim.Workload.at 1 (Echo.Timed 10) 4242 ] in
+  match out.trace.ops with
+  | [ a ] -> Alcotest.(check int) "waits for not_before" 4242 a.invoke_real
+  | _ -> Alcotest.fail "expected one op"
+
+let test_determinism () =
+  let script =
+    [
+      Sim.Workload.at 0 (Echo.Ping 1) 0;
+      Sim.Workload.at 1 (Echo.Ping 2) 3;
+      Sim.Workload.at 2 (Echo.Timed 77) 1;
+    ]
+  in
+  let rng () = Sim.Delay.random (Prelude.Rng.make 5) ~d:100 ~u:40 in
+  let t1 = (run ~delay:(rng ()) script).trace and t2 = (run ~delay:(rng ()) script).trace in
+  List.iter2
+    (fun (a : _ Sim.Trace.op_record) (b : _ Sim.Trace.op_record) ->
+      Alcotest.(check (option int)) "same responses" a.response_real b.response_real)
+    t1.ops t2.ops
+
+let test_view_ends_drop_events () =
+  (* Cut p0's view before its timer fires: the op never responds. *)
+  let out = run ~view_ends:[| 200; 1000; 1000 |] [ Sim.Workload.at 0 (Echo.Timed 300) 0 ] in
+  Alcotest.(check int) "one pending op" 1 (List.length (Sim.Trace.pending out.trace))
+
+let test_inadmissible_delay_rejected () =
+  Alcotest.check_raises "check_delays raises"
+    (Sim.Engine.Protocol_error "inadmissible delay 100 ∉ [160,200] on p0→p1#0")
+    (fun () -> ignore (run ~check_delays:(200, 40) [ Sim.Workload.at 0 (Echo.Ping 1) 0 ]))
+
+let test_per_pair_indices () =
+  let out = run [ Sim.Workload.at 0 (Echo.Ping 1) 0; Sim.Workload.at 0 (Echo.Ping 1) 500 ] in
+  let indices =
+    List.filter_map
+      (fun (m : _ Sim.Trace.message_record) ->
+        if m.src = 0 && m.dst = 1 then Some m.pair_index else None)
+      out.trace.messages
+  in
+  Alcotest.(check (list int)) "0→1 indices count up" [ 0; 1 ] indices
+
+let test_latency_helpers () =
+  let out = run [ Sim.Workload.at 0 (Echo.Timed 321) 7 ] in
+  Alcotest.(check int) "max_latency" 321 (Sim.Trace.max_latency out.trace);
+  Alcotest.(check int) "completed" 1 (List.length (Sim.Trace.completed out.trace))
+
+let test_delay_policies () =
+  let m = [| [| 0; 11 |]; [| 22; 0 |] |] in
+  Alcotest.(check int) "matrix" 11
+    (Sim.Delay.matrix m ~src:0 ~dst:1 ~send_time:0 ~index:0);
+  Alcotest.(check int) "override hit" 99
+    (Sim.Delay.override (Sim.Delay.matrix m) [ (0, 1, 0, 99) ] ~src:0 ~dst:1
+       ~send_time:0 ~index:0);
+  Alcotest.(check int) "override miss" 22
+    (Sim.Delay.override (Sim.Delay.matrix m) [ (0, 1, 0, 99) ] ~src:1 ~dst:0
+       ~send_time:0 ~index:0);
+  Alcotest.(check int) "extremes slow" 200
+    (Sim.Delay.extremes ~d:200 ~u:50 ~slow_to:1 ~src:0 ~dst:1 ~send_time:0 ~index:0);
+  Alcotest.(check int) "extremes fast" 150
+    (Sim.Delay.extremes ~d:200 ~u:50 ~slow_to:1 ~src:1 ~dst:0 ~send_time:0 ~index:0)
+
+let test_stop_after () =
+  let out =
+    E.run ~config:() ~n:3 ~offsets:[| 0; 0; 0 |] ~delay:(Sim.Delay.constant 100)
+      ~stop_after:150 [ Sim.Workload.at 0 (Echo.Timed 100) 0; Sim.Workload.at 1 (Echo.Timed 100) 400 ]
+  in
+  Alcotest.(check int) "op within horizon completed" 1
+    (List.length (Sim.Trace.completed out.trace));
+  Alcotest.(check bool) "end_time within horizon" true (out.trace.end_time <= 150)
+
+let test_event_budget () =
+  (* a self-perpetuating timer must hit the runaway guard, not hang *)
+  Alcotest.(check bool) "runaway protocol detected" true
+    (try
+       ignore
+         (E.run ~config:() ~n:3 ~offsets:[| 0; 0; 0 |] ~delay:(Sim.Delay.constant 100)
+            ~max_events:500 [ Sim.Workload.at 0 Echo.Forever 0 ]);
+       false
+     with Sim.Engine.Protocol_error _ -> true)
+
+let test_workload_helpers () =
+  let invs = Sim.Workload.seq 2 100 [ Echo.Timed 1; Echo.Timed 2; Echo.Timed 3 ] in
+  Alcotest.(check int) "seq length" 3 (List.length invs);
+  List.iter
+    (fun (i : _ Sim.Workload.invocation) ->
+      Alcotest.(check int) "seq pid" 2 i.pid;
+      Alcotest.(check int) "seq not_before" 100 i.not_before)
+    invs;
+  let shifted = Sim.Workload.shift_pid invs ~pid:2 ~x:50 in
+  List.iter
+    (fun (i : _ Sim.Workload.invocation) ->
+      Alcotest.(check int) "shifted not_before" 150 i.not_before)
+    shifted;
+  let untouched = Sim.Workload.shift_pid invs ~pid:1 ~x:50 in
+  List.iter
+    (fun (i : _ Sim.Workload.invocation) ->
+      Alcotest.(check int) "other pids untouched" 100 i.not_before)
+    untouched
+
+(* ---- drifting clocks (the future-work extension) ---- *)
+
+let test_clock_read () =
+  let c = Sim.Clock.perfect 100 in
+  Alcotest.(check int) "perfect clock" 600 (Sim.Clock.read c ~real:500);
+  let fast = Sim.Clock.with_drift ~offset:0 ~num:1 ~den:4 in
+  Alcotest.(check int) "rate 1.25" 1250 (Sim.Clock.read fast ~real:1000);
+  let slow = Sim.Clock.with_drift ~offset:50 ~num:(-1) ~den:4 in
+  Alcotest.(check int) "rate 0.75 + offset" 800 (Sim.Clock.read slow ~real:1000);
+  Alcotest.check_raises "rate must stay positive"
+    (Invalid_argument "Clock.with_drift: rate must stay positive") (fun () ->
+      ignore (Sim.Clock.with_drift ~offset:0 ~num:(-5) ~den:4))
+
+let test_clock_inverse () =
+  let check_roundtrip c target now =
+    let t = Sim.Clock.real_of_clock c ~now ~target in
+    Alcotest.(check bool) "reaches target" true (Sim.Clock.read c ~real:t >= target);
+    if t > now then
+      Alcotest.(check bool) "minimal" true (Sim.Clock.read c ~real:(t - 1) < target)
+  in
+  check_roundtrip (Sim.Clock.perfect 0) 750 0;
+  check_roundtrip (Sim.Clock.with_drift ~offset:0 ~num:1 ~den:4) 750 0;
+  check_roundtrip (Sim.Clock.with_drift ~offset:13 ~num:(-1) ~den:7) 750 100;
+  (* perfect clocks invert exactly *)
+  Alcotest.(check int) "exact for perfect" 650
+    (Sim.Clock.real_of_clock (Sim.Clock.perfect 100) ~now:0 ~target:750)
+
+let test_drifting_timer () =
+  (* A timer of 500 clock ticks on a rate-1.25 clock fires after 400 real
+     ticks. *)
+  let clocks = [| Sim.Clock.with_drift ~offset:0 ~num:1 ~den:4; Sim.Clock.perfect 0; Sim.Clock.perfect 0 |] in
+  let out =
+    E.run ~config:() ~n:3 ~offsets:[| 0; 0; 0 |] ~clocks
+      ~delay:(Sim.Delay.constant 100)
+      [ Sim.Workload.at 0 (Echo.Timed 500) 0 ]
+  in
+  match Sim.Trace.find_op out.trace ~index:0 with
+  | Some r -> Alcotest.(check (option int)) "fires at 400 real" (Some 400) r.response_real
+  | None -> Alcotest.fail "op missing"
+
+let test_diagram () =
+  let out =
+    run [ Sim.Workload.at 0 (Echo.Timed 100) 0; Sim.Workload.at 1 (Echo.Timed 50) 120 ]
+  in
+  let pp_op fmt = function
+    | Echo.Timed d -> Format.fprintf fmt "timed(%d)" d
+    | Echo.Ping t -> Format.fprintf fmt "ping(%d)" t
+    | Echo.Cancelling d -> Format.fprintf fmt "cancel(%d)" d
+    | Echo.Forever -> Format.pp_print_string fmt "forever"
+  in
+  let pp_result fmt (Echo.Done t) = Format.fprintf fmt "%d" t in
+  let lines = Sim.Diagram.render ~width:60 ~pp_op ~pp_result out.trace in
+  (* one row per process plus the axis *)
+  Alcotest.(check int) "rows" 4 (List.length lines);
+  let p0 = List.nth lines 0 in
+  Alcotest.(check bool) "p0 row labelled" true
+    (String.length p0 > 4 && String.sub p0 0 3 = "p0 ");
+  let has_bracket s = String.contains s '[' in
+  Alcotest.(check bool) "p0 interval drawn" true (has_bracket p0);
+  Alcotest.(check bool) "p1 interval drawn" true (has_bracket (List.nth lines 1));
+  Alcotest.(check bool) "idle p2 has no interval" false (has_bracket (List.nth lines 2));
+  Alcotest.(check (list string)) "empty trace"
+    [ "(empty trace)" ]
+    (Sim.Diagram.render ~pp_op ~pp_result
+       { n = 2; offsets = [| 0; 0 |]; ops = []; messages = []; end_time = 0 })
+
+(* ---- message loss and the reliable wrapper ---- *)
+
+let test_lost_message_not_delivered () =
+  let delay = Sim.Delay.drop_first (Sim.Delay.constant 100) ~from:0 ~to_:1 ~count:1 in
+  let out = run ~delay [ Sim.Workload.at 0 (Echo.Ping 1) 0 ] in
+  Alcotest.(check int) "op never completes" 1 (List.length (Sim.Trace.pending out.trace));
+  let lost =
+    List.filter (fun (m : _ Sim.Trace.message_record) -> not m.delivered) out.trace.messages
+  in
+  Alcotest.(check int) "one undelivered message" 1 (List.length lost)
+
+module Rel = Sim.Reliable.Make (Echo)
+module RE = Sim.Engine.Make (Rel)
+
+let rel_cfg : Rel.config = { inner = (); retransmit_every = 150; max_retries = 6 }
+
+let test_reliable_recovers () =
+  (* Drop the first 2 frames p0→p1; the ping still completes. *)
+  let delay = Sim.Delay.drop_first (Sim.Delay.constant 100) ~from:0 ~to_:1 ~count:2 in
+  let out =
+    RE.run ~config:rel_cfg ~n:3 ~offsets:[| 0; 0; 0 |] ~delay
+      [ Sim.Workload.at 0 (Echo.Ping 1) 0 ]
+  in
+  match Sim.Trace.find_op out.trace ~index:0 with
+  | Some r ->
+      (* 2 retransmit periods + request + reply *)
+      Alcotest.(check (option int)) "completes at 2·150 + 200" (Some 500) r.response_real
+  | None -> Alcotest.fail "op missing"
+
+let test_reliable_dedupes () =
+  (* No losses: duplicates can still arise from retransmits racing acks;
+     the inner protocol must see each message exactly once.  Slow acks
+     (delay d = 200 > retransmit period 150) force a duplicate data
+     frame. *)
+  let delay : Sim.Delay.t = fun ~src:_ ~dst:_ ~send_time:_ ~index:_ -> 200 in
+  let out =
+    RE.run ~config:rel_cfg ~n:3 ~offsets:[| 0; 0; 0 |] ~delay
+      [ Sim.Workload.at 0 (Echo.Ping 1) 0 ]
+  in
+  (match Sim.Trace.find_op out.trace ~index:0 with
+  | Some r ->
+      Alcotest.(check (option int)) "ping completed once, round trip 400" (Some 400)
+        r.response_real
+  | None -> Alcotest.fail "op missing");
+  (* more frames than logical messages were sent *)
+  Alcotest.(check bool) "retransmission happened" true
+    (List.length out.trace.messages > 4)
+
+let test_reliable_gives_up () =
+  let delay = Sim.Delay.drop_first (Sim.Delay.constant 100) ~from:0 ~to_:1 ~count:100 in
+  Alcotest.(check bool) "budget exhaustion fails loudly" true
+    (try
+       ignore
+         (RE.run ~config:rel_cfg ~n:3 ~offsets:[| 0; 0; 0 |] ~delay
+            [ Sim.Workload.at 0 (Echo.Ping 1) 0 ]);
+       false
+     with Failure msg -> String.length msg > 0)
+
+(* The model's message guarantees (Ch. III.A): every received message was
+   sent, received at most once, and — absent loss — eventually received. *)
+let message_conservation_prop =
+  QCheck.Test.make ~name:"messages delivered exactly once, none invented" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Prelude.Rng.make (seed + 17) in
+      let script =
+        List.concat_map
+          (fun pid -> Sim.Workload.seq pid (Prelude.Rng.int rng 50) [ Echo.Ping ((pid + 1) mod 3) ])
+          [ 0; 1; 2 ]
+      in
+      let out = run ~delay:(Sim.Delay.random rng ~d:100 ~u:40) script in
+      (* every recorded message was delivered (reliable network, finite
+         run), and the per-pair indices are unique: no duplication *)
+      List.for_all (fun (m : _ Sim.Trace.message_record) -> m.delivered) out.trace.messages
+      &&
+      let keys =
+        List.map (fun (m : _ Sim.Trace.message_record) -> (m.src, m.dst, m.pair_index))
+          out.trace.messages
+      in
+      List.length keys = List.length (List.sort_uniq compare keys))
+
+let lossy_budget_prop =
+  QCheck.Test.make ~name:"lossy_budget drops at most its budget per link" ~count:50
+    QCheck.small_int (fun seed ->
+      let rng = Prelude.Rng.make (seed + 9) in
+      let policy =
+        Sim.Delay.lossy_budget (Sim.Delay.constant 10) ~rng ~percent:80 ~budget:3
+      in
+      let drops = ref 0 in
+      for i = 0 to 49 do
+        if policy ~src:0 ~dst:1 ~send_time:i ~index:i < 0 then incr drops
+      done;
+      !drops <= 3)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "delivery",
+        [
+          Alcotest.test_case "round trip" `Quick test_round_trip;
+          Alcotest.test_case "pair indices" `Quick test_per_pair_indices;
+          Alcotest.test_case "inadmissible rejected" `Quick test_inadmissible_delay_rejected;
+          Alcotest.test_case "delay policies" `Quick test_delay_policies;
+        ] );
+      ( "timers",
+        [
+          Alcotest.test_case "fire at clock delay" `Quick test_timer_fires_at_clock_delay;
+          Alcotest.test_case "cancellation" `Quick test_timer_cancellation;
+        ] );
+      ("clocks", [ Alcotest.test_case "clock times recorded" `Quick test_clock_times_recorded ]);
+      ( "scripts",
+        [
+          Alcotest.test_case "sequencing" `Quick test_script_sequencing;
+          Alcotest.test_case "not_before" `Quick test_not_before_respected;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "view ends" `Quick test_view_ends_drop_events;
+          Alcotest.test_case "latency helpers" `Quick test_latency_helpers;
+          Alcotest.test_case "stop_after" `Quick test_stop_after;
+          Alcotest.test_case "event budget" `Quick test_event_budget;
+          Alcotest.test_case "workload helpers" `Quick test_workload_helpers;
+        ] );
+      ("diagram", [ Alcotest.test_case "render" `Quick test_diagram ]);
+      ( "drift",
+        [
+          Alcotest.test_case "clock read" `Quick test_clock_read;
+          Alcotest.test_case "clock inverse" `Quick test_clock_inverse;
+          Alcotest.test_case "drifting timer" `Quick test_drifting_timer;
+        ] );
+      ( "loss & reliable",
+        Alcotest.test_case "lost message" `Quick test_lost_message_not_delivered
+        :: Alcotest.test_case "reliable recovers" `Quick test_reliable_recovers
+        :: Alcotest.test_case "reliable dedupes" `Quick test_reliable_dedupes
+        :: Alcotest.test_case "reliable gives up" `Quick test_reliable_gives_up
+        :: List.map QCheck_alcotest.to_alcotest
+             [ lossy_budget_prop; message_conservation_prop ] );
+    ]

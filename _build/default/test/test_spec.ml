@@ -1,0 +1,288 @@
+(* Tests for the sequential specifications: the object laws each data type
+   must satisfy, the derived Run operations (replay, instance legality,
+   commit), and the canonical-state property backing the paper's
+   "equivalent" relation (Definition C.2). *)
+
+open Spec
+
+(* ---- register ---- *)
+
+module R_run = Data_type.Run (Register)
+
+let test_register_laws () =
+  let open Register in
+  let s, r = apply 0 (Write 5) in
+  Alcotest.(check bool) "write sets" true (s = 5 && r = Ack);
+  let _, r = apply 5 Read in
+  Alcotest.(check bool) "read returns" true (r = Value 5);
+  let s, r = apply 5 (Rmw 9) in
+  Alcotest.(check bool) "rmw returns old, writes new" true (s = 9 && r = Value 5);
+  let s, r = apply 5 (Add 3) in
+  Alcotest.(check bool) "add increments silently" true (s = 8 && r = Ack)
+
+let test_register_replay () =
+  let open Register in
+  Alcotest.(check int) "replay" 9 (R_run.replay [ Write 5; Add 1; Rmw 9 ]);
+  Alcotest.(check bool) "instance legality" true
+    (R_run.instance_legal 5 (Data_type.Instance.make Read (Value 5)));
+  Alcotest.(check bool) "illegal instance" false
+    (R_run.instance_legal 5 (Data_type.Instance.make Read (Value 6)))
+
+let test_register_commit () =
+  let open Register in
+  let committed = R_run.commit 0 [ Write 3; Read; Rmw 7; Read ] in
+  let results = List.map (fun (i : _ Data_type.Instance.t) -> i.result) committed in
+  Alcotest.(check bool) "committed results" true
+    (results = [ Ack; Value 3; Value 3; Value 7 ])
+
+(* ---- queue ---- *)
+
+module Q_run = Data_type.Run (Fifo_queue)
+
+let test_queue_fifo () =
+  let open Fifo_queue in
+  let s = Q_run.replay [ Enqueue 1; Enqueue 2; Enqueue 3 ] in
+  Alcotest.(check bool) "order" true (s = [ 1; 2; 3 ]);
+  let s, r = apply s Dequeue in
+  Alcotest.(check bool) "dequeue head" true (s = [ 2; 3 ] && r = Value 1);
+  let _, r = apply s Peek in
+  Alcotest.(check bool) "peek head non-destructive" true (r = Value 2);
+  let s, r = apply [] Dequeue in
+  Alcotest.(check bool) "empty dequeue" true (s = [] && r = Empty);
+  let _, r = apply [] Peek in
+  Alcotest.(check bool) "empty peek" true (r = Empty)
+
+(* ---- stack ---- *)
+
+module S_run = Data_type.Run (Lifo_stack)
+
+let test_stack_lifo () =
+  let open Lifo_stack in
+  let s = S_run.replay [ Push 1; Push 2; Push 3 ] in
+  Alcotest.(check bool) "top first" true (s = [ 3; 2; 1 ]);
+  let s, r = apply s Pop in
+  Alcotest.(check bool) "pop top" true (s = [ 2; 1 ] && r = Value 3);
+  let _, r = apply s Peek in
+  Alcotest.(check bool) "peek top" true (r = Value 2);
+  let _, r = apply [] Pop in
+  Alcotest.(check bool) "empty pop" true (r = Empty)
+
+(* ---- set ---- *)
+
+let test_set_laws () =
+  let open Int_set in
+  let s, _ = apply initial (Insert 5) in
+  let s, _ = apply s (Insert 5) in
+  let _, r = apply s Size in
+  Alcotest.(check bool) "insert idempotent" true (r = Count 1);
+  let _, r = apply s (Contains 5) in
+  Alcotest.(check bool) "contains" true (r = Bool true);
+  let s, _ = apply s (Delete 5) in
+  let _, r = apply s (Contains 5) in
+  Alcotest.(check bool) "deleted" true (r = Bool false);
+  (* insert order never matters: eventually self-commuting *)
+  let ab = List.fold_left (fun s op -> fst (apply s op)) initial [ Insert 1; Insert 2 ] in
+  let ba = List.fold_left (fun s op -> fst (apply s op)) initial [ Insert 2; Insert 1 ] in
+  Alcotest.(check bool) "insert commutes" true (equal_state ab ba)
+
+(* ---- tree ---- *)
+
+module T_run = Data_type.Run (Rooted_tree)
+
+let test_tree_laws () =
+  let open Rooted_tree in
+  let s = T_run.replay [ Insert (0, 1); Insert (1, 2); Insert (2, 3); Insert (0, 4) ] in
+  let _, r = apply s Depth in
+  Alcotest.(check bool) "depth of chain 0-1-2-3" true (r = Count 3);
+  let _, r = apply s (Search 3) in
+  Alcotest.(check bool) "search found" true (r = Bool true);
+  (* deleting an inner node removes its whole subtree *)
+  let s', _ = apply s (Delete 1) in
+  let _, r = apply s' (Search 3) in
+  Alcotest.(check bool) "subtree removed" true (r = Bool false);
+  let _, r = apply s' (Search 4) in
+  Alcotest.(check bool) "sibling kept" true (r = Bool true);
+  let _, r = apply s' Depth in
+  Alcotest.(check bool) "depth shrinks" true (r = Count 1);
+  (* inserting under a missing parent and deleting the root are no-ops *)
+  let s'', _ = apply s' (Insert (99, 7)) in
+  Alcotest.(check bool) "no orphan insert" true (equal_state s' s'');
+  let s'', _ = apply s' (Delete 0) in
+  Alcotest.(check bool) "root protected" true (equal_state s' s'');
+  (* duplicate node ids are ignored *)
+  let s'', _ = apply s' (Insert (0, 4)) in
+  Alcotest.(check bool) "no duplicate node" true (equal_state s' s'')
+
+(* ---- UpdateNext array: the Chapter II.B case analysis ---- *)
+
+let test_update_array_cases () =
+  let open Update_array in
+  (* update_next(1,b): returns first element, writes second *)
+  let s, r = apply (3, 4) (Update_next (1, 9)) in
+  Alcotest.(check bool) "i=1 writes next" true (s = (3, 9) && r = Value 3);
+  (* i=2 is the last element: modifies nothing *)
+  let s, r = apply (3, 4) (Update_next (2, 9)) in
+  Alcotest.(check bool) "i=2 modifies nothing" true (s = (3, 4) && r = Value 4);
+  let _, r = apply (3, 4) (Get 1) in
+  Alcotest.(check bool) "get 1" true (r = Value 3);
+  let _, r = apply (3, 4) (Get 2) in
+  Alcotest.(check bool) "get 2" true (r = Value 4)
+
+(* ---- log ---- *)
+
+let test_log_laws () =
+  let open Append_log in
+  let module L = Data_type.Run (Append_log) in
+  let s = L.replay [ Append 1; Append 2; Append 3 ] in
+  let _, r = apply s Read_all in
+  Alcotest.(check bool) "append order preserved" true (r = All [ 1; 2; 3 ]);
+  let _, r = apply s Length in
+  Alcotest.(check bool) "length" true (r = Count 3)
+
+(* ---- kv map ---- *)
+
+let test_kv_laws () =
+  let open Kv_map in
+  let module K = Data_type.Run (Kv_map) in
+  let s = K.replay [ Put (1, 10); Put (2, 20); Put (1, 11) ] in
+  let _, r = apply s (Get 1) in
+  Alcotest.(check bool) "last put wins" true (r = Found 11);
+  let s, r = apply s (Swap (1, 12)) in
+  Alcotest.(check bool) "swap returns old" true (r = Found 11);
+  let _, r = apply s (Get 1) in
+  Alcotest.(check bool) "swap wrote" true (r = Found 12);
+  let s, _ = apply s (Del 1) in
+  let _, r = apply s (Get 1) in
+  Alcotest.(check bool) "deleted" true (r = Absent);
+  let _, r = apply s (Swap (7, 1)) in
+  Alcotest.(check bool) "swap on absent key" true (r = Absent)
+
+(* ---- bst ---- *)
+
+let test_bst_laws () =
+  let open Bst in
+  let module B = Data_type.Run (Bst) in
+  let s = B.replay [ Insert 4; Insert 2; Insert 6; Insert 5 ] in
+  let _, r = apply s (Search 5) in
+  Alcotest.(check bool) "search finds" true (r = Bool true);
+  let _, r = apply s (Depth 5) in
+  Alcotest.(check bool) "5 at depth 2 (4→6→5)" true (r = Level 2);
+  let _, r = apply s (Depth 4) in
+  Alcotest.(check bool) "root at depth 0" true (r = Level 0);
+  let _, r = apply s (Depth 9) in
+  Alcotest.(check bool) "absent node" true (r = Absent);
+  (* delete an inner node: successor promotion keeps the rest *)
+  let s', _ = apply s (Delete 4) in
+  let _, r = apply s' (Search 4) in
+  Alcotest.(check bool) "deleted" true (r = Bool false);
+  List.iter
+    (fun v ->
+      let _, r = apply s' (Search v) in
+      Alcotest.(check bool) (Printf.sprintf "%d survives" v) true (r = Bool true))
+    [ 2; 5; 6 ];
+  (* insertion order shapes the tree: 5-then-6 ≠ 6-then-5 under root 4 *)
+  let a = B.replay [ Insert 4; Insert 5; Insert 6 ]
+  and b = B.replay [ Insert 4; Insert 6; Insert 5 ] in
+  Alcotest.(check bool) "order observable" false (equal_state a b)
+
+(* ---- priority queue ---- *)
+
+let test_priority_queue_laws () =
+  let open Priority_queue in
+  let module P = Data_type.Run (Priority_queue) in
+  let s = P.replay [ Insert 5; Insert 1; Insert 3 ] in
+  let _, r = apply s Min in
+  Alcotest.(check bool) "min" true (r = Value 1);
+  let s, r = apply s Extract_min in
+  Alcotest.(check bool) "extract min" true (r = Value 1);
+  let _, r = apply s Min in
+  Alcotest.(check bool) "next min" true (r = Value 3);
+  let _, r = apply initial Extract_min in
+  Alcotest.(check bool) "empty extract" true (r = Empty);
+  (* inserts commute *)
+  let a = P.replay [ Insert 2; Insert 7 ] and b = P.replay [ Insert 7; Insert 2 ] in
+  Alcotest.(check bool) "insert order invisible" true (equal_state a b)
+
+(* ---- generic properties over every spec ---- *)
+
+let determinism (type s o r)
+    (module D : Data_type.SAMPLED with type state = s and type op = o and type result = r)
+    =
+  QCheck.Test.make
+    ~name:(D.name ^ ": replay is deterministic and total")
+    ~count:100
+    QCheck.(pair small_int (small_list small_int))
+    (fun (seed, picks) ->
+      let module Run = Data_type.Run (D) in
+      let rng = Prelude.Rng.make seed in
+      ignore rng;
+      let ops =
+        List.map (fun i -> List.nth D.sample_ops (abs i mod List.length D.sample_ops)) picks
+      in
+      let s1 = Run.replay ops and s2 = Run.replay ops in
+      D.equal_state s1 s2)
+
+(* Canonical states: equal states give equal results on every probe — the
+   soundness direction of using state equality for Definition C.2. *)
+let canonical_state (type s o r)
+    (module D : Data_type.SAMPLED with type state = s and type op = o and type result = r)
+    =
+  QCheck.Test.make
+    ~name:(D.name ^ ": equal states are observationally equal")
+    ~count:100
+    QCheck.(pair (small_list small_int) (small_list small_int))
+    (fun (p1, p2) ->
+      let module Run = Data_type.Run (D) in
+      let pick i = List.nth D.sample_ops (abs i mod List.length D.sample_ops) in
+      let s1 = Run.replay (List.map pick p1) and s2 = Run.replay (List.map pick p2) in
+      (not (D.equal_state s1 s2))
+      || List.for_all
+           (fun op -> D.equal_result (snd (D.apply s1 op)) (snd (D.apply s2 op)))
+           D.sample_ops)
+
+let generic_props =
+  List.concat_map
+    (fun (p1, p2) -> [ p1; p2 ])
+    [
+      (determinism (module Register), canonical_state (module Register));
+      (determinism (module Fifo_queue), canonical_state (module Fifo_queue));
+      (determinism (module Lifo_stack), canonical_state (module Lifo_stack));
+      (determinism (module Int_set), canonical_state (module Int_set));
+      (determinism (module Rooted_tree), canonical_state (module Rooted_tree));
+      (determinism (module Update_array), canonical_state (module Update_array));
+      (determinism (module Append_log), canonical_state (module Append_log));
+      (determinism (module Kv_map), canonical_state (module Kv_map));
+      (determinism (module Lifo_stack_obs), canonical_state (module Lifo_stack_obs));
+      (determinism (module Bst), canonical_state (module Bst));
+      (determinism (module Priority_queue), canonical_state (module Priority_queue));
+    ]
+
+let test_run_instances () =
+  let open Register in
+  let mk op result = Data_type.Instance.make op result in
+  Alcotest.(check bool) "legal sequence accepted" true
+    (R_run.sequence_legal 0 [ mk (Write 1) Ack; mk Read (Value 1) ]);
+  Alcotest.(check bool) "illegal tail rejected" false
+    (R_run.sequence_legal 0 [ mk (Write 1) Ack; mk Read (Value 2) ])
+
+let () =
+  Alcotest.run "spec"
+    [
+      ( "register",
+        [
+          Alcotest.test_case "laws" `Quick test_register_laws;
+          Alcotest.test_case "replay" `Quick test_register_replay;
+          Alcotest.test_case "commit" `Quick test_register_commit;
+        ] );
+      ("queue", [ Alcotest.test_case "fifo" `Quick test_queue_fifo ]);
+      ("stack", [ Alcotest.test_case "lifo" `Quick test_stack_lifo ]);
+      ("set", [ Alcotest.test_case "laws" `Quick test_set_laws ]);
+      ("tree", [ Alcotest.test_case "laws" `Quick test_tree_laws ]);
+      ("update-array", [ Alcotest.test_case "cases" `Quick test_update_array_cases ]);
+      ("log", [ Alcotest.test_case "laws" `Quick test_log_laws ]);
+      ("kv", [ Alcotest.test_case "laws" `Quick test_kv_laws ]);
+      ("bst", [ Alcotest.test_case "laws" `Quick test_bst_laws ]);
+      ("priority-queue", [ Alcotest.test_case "laws" `Quick test_priority_queue_laws ]);
+      ("run", [ Alcotest.test_case "instances" `Quick test_run_instances ]);
+      ("generic", List.map QCheck_alcotest.to_alcotest generic_props);
+    ]
