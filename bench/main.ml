@@ -100,6 +100,32 @@ let throughput_tests =
     Lin_bench.test;
   ]
 
+(* Live-runtime group: Algorithm 1 on real domains (wall-clock, not
+   simulated ticks).  One full closed-loop run — cluster spawn, 48 ops
+   through the delay-injecting transport, post-hoc linearizability check —
+   per iteration, plus the histogram hot path on its own. *)
+module Live_bench = struct
+  module Gen = Runtime.Loadgen.Make (Runtime.Workloads.Register_live)
+
+  let run_test =
+    Test.make ~name:"live-register-n3-48ops"
+      (Staged.stage (fun () ->
+           ignore
+             (Gen.run ~n:3 ~d:300 ~u:100 ~slack:2000 ~round:48 ~ops:48 ~seed:7
+                ())))
+
+  let hist_test =
+    Test.make ~name:"histogram-add-10k"
+      (Staged.stage (fun () ->
+           let h = Runtime.Histogram.create () in
+           for i = 1 to 10_000 do
+             Runtime.Histogram.add h (i * 17 mod 100_000)
+           done;
+           ignore (Runtime.Histogram.percentile h 99.)))
+end
+
+let runtime_tests = [ Live_bench.run_test; Live_bench.hist_test ]
+
 let benchmark () =
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
   let instances = Instance.[ monotonic_clock ] in
@@ -108,6 +134,7 @@ let benchmark () =
       [
         Test.make_grouped ~name:"experiments" tests;
         Test.make_grouped ~name:"throughput" throughput_tests;
+        Test.make_grouped ~name:"runtime" runtime_tests;
       ]
   in
   let raw = Benchmark.all cfg instances grouped in

@@ -6,7 +6,9 @@
     - [timebounds classify <object>] — Chapter II classification summary;
     - [timebounds derive <object>] — derive an object's bound table from
       its operation algebra;
-    - [timebounds graph <object> [--dot]] — its commutativity graph. *)
+    - [timebounds graph <object> [--dot]] — its commutativity graph;
+    - [timebounds live --object <w>] — Algorithm 1 on real domains: load
+      generator, per-class latency histograms, post-hoc linearizability. *)
 
 open Cmdliner
 
@@ -157,10 +159,111 @@ let graph_cmd =
   in
   Cmd.v (Cmd.info "graph" ~doc) Term.(const run $ obj $ dot)
 
+let live_cmd =
+  let doc =
+    "Run Algorithm 1 live: replicas on real domains, delays injected in \
+     [d-u, d] microseconds, a closed-loop load generator, wall-clock \
+     latency histograms per operation class, and a post-hoc \
+     linearizability check."
+  in
+  let obj =
+    Arg.(
+      value
+      & opt string "register"
+      & info [ "object" ]
+          ~doc:
+            (Printf.sprintf "Workload (%s)."
+               (String.concat "|" Runtime.Workloads.names)))
+  in
+  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"number of replicas") in
+  let d = Arg.(value & opt int 2000 & info [ "d" ] ~doc:"delay upper bound (µs)") in
+  let u = Arg.(value & opt int 500 & info [ "u" ] ~doc:"delay uncertainty (µs)") in
+  let eps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "eps" ] ~doc:"clock-skew bound (µs); default (1 - 1/n)u")
+  in
+  let x = Arg.(value & opt int 0 & info [ "x" ] ~doc:"trade-off knob X (µs)") in
+  let slack =
+    Arg.(
+      value
+      & opt int 5000
+      & info [ "slack" ]
+          ~doc:"scheduling-jitter headroom added to the d/u the replicas assume (µs)")
+  in
+  let ops = Arg.(value & opt int 1000 & info [ "ops" ] ~doc:"total operations") in
+  let mix =
+    Arg.(
+      value
+      & opt (t3 ~sep:':' int int int) (50, 40, 10)
+      & info [ "mix" ] ~doc:"mutator:accessor:other weights, e.g. 50:40:10")
+  in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~doc:"closed-loop client domains; default n")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed") in
+  let loss =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "loss" ]
+          ~doc:
+            "percentage of messages dropped (Algorithm 1 has no \
+             retransmission: expect a linearizability violation)")
+  in
+  let run obj n d u eps x slack ops mix workers seed loss =
+    match Runtime.Workloads.find obj with
+    | None ->
+        Format.eprintf "unknown workload %s (have: %s)@." obj
+          (String.concat ", " Runtime.Workloads.names);
+        exit 1
+    | Some (module L : Runtime.Workloads.LIVE) ->
+        let module Gen = Runtime.Loadgen.Make (L) in
+        let report =
+          Gen.run ~n ~d ~u ?eps ~x ~slack ?workers ~mix ~loss ~ops ~seed ()
+        in
+        Format.printf "%a@." Runtime.Loadgen.pp_report report;
+        if not (Runtime.Loadgen.is_linearizable report) then exit 1
+  in
+  Cmd.v (Cmd.info "live" ~doc)
+    Term.(
+      const run $ obj $ n $ d $ u $ eps $ x $ slack $ ops $ mix $ workers
+      $ seed $ loss)
+
 let main =
   let doc = "Reproduction of \"Time Bounds for Shared Objects in Partially Synchronous Systems\"" in
   Cmd.group
     (Cmd.info "timebounds" ~doc)
-    [ list_cmd; experiment_cmd; tables_cmd; classify_cmd; derive_cmd; graph_cmd ]
+    [
+      list_cmd; experiment_cmd; tables_cmd; classify_cmd; derive_cmd;
+      graph_cmd; live_cmd;
+    ]
 
-let () = exit (Cmd.eval main)
+(* Cmdliner renders one-letter option names short-only ([-n]); accept the
+   long spellings ([--n 3], [--n=3]) people naturally type too. *)
+let argv =
+  let shorten a =
+    let glued name =
+      let p = "--" ^ name ^ "=" in
+      if String.length a > String.length p && String.sub a 0 (String.length p) = p
+      then
+        Some
+          ("-" ^ name
+          ^ String.sub a (String.length p) (String.length a - String.length p))
+      else None
+    in
+    let rec first = function
+      | [] -> a
+      | name :: rest -> (
+          if a = "--" ^ name then "-" ^ name
+          else match glued name with Some g -> g | None -> first rest)
+    in
+    first [ "n"; "d"; "u"; "x" ]
+  in
+  Array.map shorten Sys.argv
+
+let () = exit (Cmd.eval ~argv main)

@@ -55,7 +55,8 @@ module Make (D : Data_type.S) = struct
 
   module Memo = Set.Make (Memo_key)
 
-  let check_gen ~sequential_only (entries : entry list) : verdict =
+  let check_gen ~sequential_only ?(initial = D.initial) (entries : entry list)
+      : verdict =
     let arr = Array.of_list entries in
     let n = Array.length arr in
     if n > 62 then
@@ -92,7 +93,7 @@ module Make (D : Data_type.S) = struct
         if !result = None then failed := Memo.add (done_mask, state) !failed;
         !result
     in
-    match go 0 D.initial [] with
+    match go 0 initial [] with
     | Some witness -> Linearizable witness
     | None ->
         Not_linearizable
@@ -104,7 +105,7 @@ module Make (D : Data_type.S) = struct
                 pp_entry)
              entries)
 
-  let check entries = check_gen ~sequential_only:false entries
+  let check ?initial entries = check_gen ~sequential_only:false ?initial entries
 
   (** Sequential consistency: a legal permutation need only respect each
       process's program order, not real time.  Strictly weaker than

@@ -20,10 +20,12 @@ module Make (D : Spec.Data_type.S) : sig
 
   val is_linearizable : verdict -> bool
 
-  val check : entry list -> verdict
+  val check : ?initial:D.state -> entry list -> verdict
   (** Histories must list each process's operations in invocation order
       (program order breaks same-process time ties) and are limited to 62
-      operations. *)
+      operations.  [initial] (default [D.initial]) is the object state the
+      history starts from — used by the live runtime to check long
+      histories segment by segment across quiescent cuts. *)
 
   val check_sequentially_consistent : entry list -> verdict
   (** The weaker condition of Lipton–Sandberg/Attiya–Welch that the thesis'

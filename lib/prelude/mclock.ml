@@ -1,0 +1,18 @@
+(** Monotonized [Unix.gettimeofday] in microseconds — see the interface for
+    why this exists.  The monotonization is a single global atomic
+    max-register shared by every domain: a reader publishes the raw reading
+    with a CAS loop and returns the largest value ever published. *)
+
+let last = Atomic.make 0
+
+let now_us () =
+  let raw = int_of_float (Unix.gettimeofday () *. 1e6) in
+  let rec publish () =
+    let prev = Atomic.get last in
+    if raw <= prev then prev
+    else if Atomic.compare_and_set last prev raw then raw
+    else publish ()
+  in
+  publish ()
+
+let sleep_us us = if us > 0 then Unix.sleepf (float_of_int us *. 1e-6)

@@ -1,0 +1,22 @@
+(** Monotonic wall-clock shim for the live runtime.
+
+    The simulator measures time in abstract integer ticks; the live runtime
+    ({!Runtime}) needs a real clock with the same integer arithmetic.  We
+    standardise on **microseconds**, matching the "think microseconds"
+    convention of {!Ticks}, so the [d]/[u]/[ε]/[X] parameters of
+    {!Core.Params} carry over unchanged between simulated and live runs.
+
+    OCaml's stdlib exposes no monotonic clock without external packages
+    ([Mtime]), so this is a shim over [Unix.gettimeofday] that is
+    *monotonized*: concurrent readers in any domain observe non-decreasing
+    values even if the wall clock steps backwards (NTP adjustment); after a
+    backward step the clock holds still until real time catches up. *)
+
+val now_us : unit -> int
+(** Current time in microseconds since the Unix epoch, monotonized across
+    all domains. *)
+
+val sleep_us : int -> unit
+(** Block the calling domain for (at least) the given number of
+    microseconds; no-op when non-positive.  Actual resolution is the OS
+    scheduler's (tens of microseconds on Linux). *)

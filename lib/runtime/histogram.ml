@@ -1,0 +1,77 @@
+(** Log-linear buckets: values below 16 get exact unit buckets; above, each
+    power-of-two octave is split into 16 sub-buckets, giving ≤ 1/16 ≈ 6 %
+    relative error.  63-bit ints need 16 + 16·59 slots; 1024 is ample. *)
+
+let buckets = 1024
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : int;
+  mutable max : int;
+}
+
+let create () = { counts = Array.make buckets 0; n = 0; sum = 0; max = 0 }
+
+let msb v =
+  (* Position of the highest set bit; [v >= 1]. *)
+  let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let bucket_of v =
+  let v = max 0 v in
+  if v < 16 then v
+  else
+    let k = msb v in
+    (16 * (k - 3)) + ((v lsr (k - 4)) land 15)
+
+let bucket_bounds idx =
+  if idx < 16 then (idx, idx)
+  else
+    let octave = (idx / 16) + 3 and sub = idx mod 16 in
+    let lo = (16 + sub) lsl (octave - 4) in
+    (lo, lo + (1 lsl (octave - 4)) - 1)
+
+let add t v =
+  let v = max 0 v in
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v;
+  if v > t.max then t.max <- v
+
+let count t = t.n
+let max_value t = t.max
+let mean t = if t.n = 0 then 0. else float_of_int t.sum /. float_of_int t.n
+
+let percentile t p =
+  if t.n = 0 then 0
+  else begin
+    let rank =
+      Stdlib.max 1 (int_of_float (ceil (p /. 100. *. float_of_int t.n)))
+    in
+    let rank = Stdlib.min rank t.n in
+    let cum = ref 0 and result = ref t.max in
+    (try
+       for i = 0 to buckets - 1 do
+         cum := !cum + t.counts.(i);
+         if !cum >= rank then begin
+           result := Stdlib.min (snd (bucket_bounds i)) t.max;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let merge a b =
+  {
+    counts = Array.init buckets (fun i -> a.counts.(i) + b.counts.(i));
+    n = a.n + b.n;
+    sum = a.sum + b.sum;
+    max = Stdlib.max a.max b.max;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "n=%-5d mean=%7.0fµs p50=%6dµs p90=%6dµs p99=%6dµs max=%6dµs" t.n (mean t)
+    (percentile t 50.) (percentile t 90.) (percentile t 99.) t.max

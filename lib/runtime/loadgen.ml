@@ -1,0 +1,264 @@
+(** See the interface for the run structure.  Per-worker histograms are
+    domain-local and merged after each round's join, so no measurement path
+    takes a lock while an operation is being timed. *)
+
+type verdict =
+  | Linearizable of int
+  | Violation of { segment : int; reason : string }
+  | Unchecked of string
+
+type class_report = {
+  class_name : string;
+  target_us : int;
+  hist : Histogram.t;
+}
+
+type report = {
+  label : string;
+  params : Core.Params.t;
+  net_d : int;
+  net_u : int;
+  slack : int;
+  mix : int * int * int;
+  workers : int;
+  seed : int;
+  loss : int;
+  ops : int;
+  wall_us : int;
+  throughput : float;
+  classes : class_report list;
+  net : Transport.stats;
+  verdict : verdict;
+}
+
+let is_linearizable r = match r.verdict with Linearizable _ -> true | _ -> false
+
+let pp_verdict fmt = function
+  | Linearizable segments ->
+      Format.fprintf fmt "PASS (%d segment%s verified)" segments
+        (if segments = 1 then "" else "s")
+  | Violation { segment; reason } ->
+      Format.fprintf fmt "VIOLATION in segment %d: %s" segment reason
+  | Unchecked reason -> Format.fprintf fmt "UNCHECKED (%s)" reason
+
+let pp_report fmt r =
+  let m, a, o = r.mix in
+  Format.fprintf fmt
+    "@[<v>live %s: %a (net d=%d u=%d, slack=%d) mix=%d:%d:%d workers=%d \
+     seed=%d%s@,\
+     %d ops in %.3f s (%.0f ops/s); messages sent=%d dropped=%d@,"
+    r.label Core.Params.pp r.params r.net_d r.net_u r.slack m a o r.workers
+    r.seed
+    (if r.loss > 0 then Printf.sprintf " loss=%d%%" r.loss else "")
+    r.ops
+    (float_of_int r.wall_us /. 1e6)
+    r.throughput r.net.Transport.sent r.net.Transport.dropped;
+  List.iter
+    (fun c ->
+      Format.fprintf fmt "  %-3s %a  (target %s %dµs)@," c.class_name
+        Histogram.pp c.hist
+        (if String.equal c.class_name "OOP" then "≤" else "≈")
+        c.target_us)
+    r.classes;
+  Format.fprintf fmt "post-hoc linearizability: %a@]" pp_verdict r.verdict
+
+module Make (L : Workloads.LIVE) = struct
+  module R = Replica.Make (L.D)
+  module Lin = Linearize.Make (L.D)
+  module Seq = Spec.Data_type.Run (L.D)
+
+  let kind_of op = L.D.classify op
+
+  (* Draw one operation according to the (mutator, accessor, other) weights. *)
+  let draw rng (m, a, _o) total =
+    let toss = Prelude.Rng.int rng total in
+    if toss < m then L.sample_mutator rng
+    else if toss < m + a then L.sample_accessor rng
+    else L.sample_other rng
+
+  (* ---- post-hoc check: segment the history at the quiescent cuts and run
+     Wing–Gong on each segment, threading the witness state through. ---- *)
+
+  let check_history entries cuts =
+    let segment_of (e : Lin.entry) =
+      let rec go i = function
+        | [] -> i
+        | c :: rest -> if e.Lin.invoke < c then i else go (i + 1) rest
+      in
+      go 0 cuts
+    in
+    let n_segments = List.length cuts + 1 in
+    let segments = Array.make n_segments [] in
+    List.iter
+      (fun e -> segments.(segment_of e) <- e :: segments.(segment_of e))
+      (List.rev entries);
+    (* each [segments.(i)] is now in original (invocation) order *)
+    let rec go i state checked =
+      if i >= n_segments then Linearizable checked
+      else
+        match segments.(i) with
+        | [] -> go (i + 1) state checked
+        | seg when List.length seg > 62 ->
+            Unchecked
+              (Printf.sprintf "segment %d has %d ops (> 62, no quiescent cut)"
+                 i (List.length seg))
+        | seg -> (
+            match Lin.check ~initial:state seg with
+            | Lin.Linearizable witness ->
+                let state' =
+                  List.fold_left
+                    (fun s (e : Lin.entry) -> fst (L.D.apply s e.Lin.op))
+                    state witness
+                in
+                go (i + 1) state' (checked + 1)
+            | Lin.Not_linearizable reason -> Violation { segment = i; reason })
+    in
+    go 0 L.D.initial 0
+
+  (* ---- one worker's share of a round (runs in its own domain) ---- *)
+
+  let worker_body cluster rng ~n ~mix ~total ~quota ~wid =
+    let hists =
+      [|
+        Histogram.create () (* MOP *); Histogram.create () (* AOP *);
+        Histogram.create () (* OOP *);
+      |]
+    in
+    for _ = 1 to quota do
+      let op = draw rng mix total in
+      let slot =
+        match kind_of op with
+        | Spec.Data_type.Pure_mutator -> 0
+        | Spec.Data_type.Pure_accessor -> 1
+        | Spec.Data_type.Other -> 2
+      in
+      let t0 = Prelude.Mclock.now_us () in
+      ignore (R.Client.invoke cluster ~pid:(wid mod n) op);
+      Histogram.add hists.(slot) (Prelude.Mclock.now_us () - t0)
+    done;
+    hists
+
+  let run ~n ~d ~u ?eps ?(x = 0) ?(slack = 5000) ?workers ?(round = 48)
+      ?(mix = (50, 40, 10)) ?(loss = 0) ~ops ~seed () =
+    if round < 1 || round > 62 then
+      invalid_arg "Loadgen.run: round must be in [1, 62]";
+    let m, a, o = mix in
+    let total = m + a + o in
+    if m < 0 || a < 0 || o < 0 || total = 0 then
+      invalid_arg "Loadgen.run: mix weights must be non-negative, not all 0";
+    let eps = match eps with Some e -> e | None -> Core.Params.optimal_eps ~n ~u in
+    let workers = match workers with Some w -> w | None -> n in
+    (* The replicas assume d+slack / u+slack: the injected delays stay in
+       [d − u, d], and the slack absorbs mailbox-poll and scheduling jitter
+       (which the admissibility condition of the model does not know about).
+       Note (d+slack) − (u+slack) = d − u: the self-delivery wait is
+       unchanged; only the execute hold and the accessor wait stretch. *)
+    let params = Core.Params.make ~n ~d:(d + slack) ~u:(u + slack) ~eps ~x () in
+    let rng = Prelude.Rng.make seed in
+    let rng_delay, rng = Prelude.Rng.split rng in
+    let rng_offsets, rng_workers = Prelude.Rng.split rng in
+    let offsets =
+      Array.init n (fun i ->
+          if i = 0 || eps = 0 then 0
+          else Prelude.Rng.int_in rng_offsets ~lo:0 ~hi:eps)
+    in
+    let policy =
+      let base = Sim.Delay.random rng_delay ~d ~u in
+      if loss > 0 then Sim.Delay.lossy base ~rng:rng_delay ~percent:loss
+      else base
+    in
+    let cluster = R.start ~params ~policy ~offsets () in
+    let t0 = Prelude.Mclock.now_us () in
+    let merged =
+      [| Histogram.create (); Histogram.create (); Histogram.create () |]
+    in
+    let cuts = ref [] in
+    let rng_workers = ref rng_workers in
+    let remaining = ref ops in
+    while !remaining > 0 do
+      let quota = min round !remaining in
+      remaining := !remaining - quota;
+      let spawned =
+        List.init workers (fun wid ->
+            let mine, rest = Prelude.Rng.split !rng_workers in
+            rng_workers := rest;
+            (* spread the round's quota over the workers *)
+            let share =
+              (quota / workers) + (if wid < quota mod workers then 1 else 0)
+            in
+            Domain.spawn (fun () ->
+                worker_body cluster mine ~n ~mix ~total ~quota:share ~wid))
+      in
+      List.iter
+        (fun dom ->
+          let hists = Domain.join dom in
+          Array.iteri
+            (fun i h -> merged.(i) <- Histogram.merge merged.(i) h)
+            hists)
+        spawned;
+      (* All of this round's operations have responded: a quiescent cut,
+         recorded on the history timeline (µs since cluster start). *)
+      cuts := R.elapsed_us cluster :: !cuts
+    done;
+    let wall_us = Prelude.Mclock.now_us () - t0 in
+    R.stop cluster;
+    let entries =
+      List.map
+        (fun (r : R.record) ->
+          {
+            Lin.pid = r.R.pid;
+            op = r.R.op;
+            result = r.R.result;
+            invoke = r.R.invoke_us;
+            response = r.R.response_us;
+          })
+        (R.history cluster)
+    in
+    let cuts = List.rev !cuts in
+    let verdict =
+      if List.length entries <> ops then
+        Unchecked
+          (Printf.sprintf "expected %d completed ops, recorded %d" ops
+             (List.length entries))
+      else check_history entries (List.sort compare cuts)
+    in
+    let t = params.Core.Params.timing in
+    let classes =
+      [
+        {
+          class_name = "MOP";
+          target_us = t.Core.Params.mutator_wait;
+          hist = merged.(0);
+        };
+        {
+          class_name = "AOP";
+          target_us = t.Core.Params.accessor_wait;
+          hist = merged.(1);
+        };
+        {
+          class_name = "OOP";
+          target_us = params.Core.Params.d + params.Core.Params.eps;
+          hist = merged.(2);
+        };
+      ]
+    in
+    {
+      label = L.label;
+      params;
+      net_d = d;
+      net_u = u;
+      slack;
+      mix;
+      workers;
+      seed;
+      loss;
+      ops;
+      wall_us;
+      throughput =
+        (if wall_us = 0 then 0.
+         else float_of_int ops /. (float_of_int wall_us /. 1e6));
+      classes;
+      net = R.transport_stats cluster;
+      verdict;
+    }
+end

@@ -1,0 +1,85 @@
+(** Closed-loop load generator with post-hoc linearizability verification.
+
+    Worker domains drive a live {!Replica} cluster: each worker repeatedly
+    draws an operation (mutator/accessor/other, per the configured mix),
+    invokes it synchronously and records the client-observed wall-clock
+    latency into a per-class {!Histogram}.
+
+    The run proceeds in {e rounds} of at most [round] operations: after
+    each round every worker quiesces (domain join) before the next starts.
+    The quiescent cuts let the ≤ 62-operation Wing–Gong checker
+    ({!Linearize.Make}) verify the full history exactly, segment by
+    segment, carrying the witness state across cuts — so live executions
+    are linearizability-verified post hoc exactly like simulated ones.
+
+    Timing: the network-facing delays are drawn in [[d − u, d]] µs, but the
+    replicas run Algorithm 1 with [d + slack] and [u + slack]: [slack] is
+    scheduling-jitter headroom (mailbox poll quantum, OS preemption) that
+    the discrete-event simulator does not need but a real executor does.
+    The simulator's tick bounds thus become latency {e targets}; whether a
+    run met the model's guarantees is decided by the post-hoc check. *)
+
+type verdict =
+  | Linearizable of int  (** number of verified history segments *)
+  | Violation of { segment : int; reason : string }
+  | Unchecked of string
+
+type class_report = {
+  class_name : string;  (** ["MOP"], ["AOP"] or ["OOP"] *)
+  target_us : int;  (** the paper's bound for this class under the run's params *)
+  hist : Histogram.t;
+}
+
+type report = {
+  label : string;
+  params : Core.Params.t;  (** effective (slack included in [d], [u]) *)
+  net_d : int;
+  net_u : int;
+  slack : int;
+  mix : int * int * int;
+  workers : int;
+  seed : int;
+  loss : int;
+  ops : int;
+  wall_us : int;
+  throughput : float;  (** completed operations per second *)
+  classes : class_report list;
+  net : Transport.stats;
+  verdict : verdict;
+}
+
+val is_linearizable : report -> bool
+
+val pp_report : Format.formatter -> report -> unit
+
+module Make (L : Workloads.LIVE) : sig
+  val run :
+    n:int ->
+    d:int ->
+    u:int ->
+    ?eps:int ->
+    ?x:int ->
+    ?slack:int ->
+    ?workers:int ->
+    ?round:int ->
+    ?mix:int * int * int ->
+    ?loss:int ->
+    ops:int ->
+    seed:int ->
+    unit ->
+    report
+  (** Run [ops] operations against a fresh [n]-replica cluster.
+
+      - [d], [u] (µs): injected network delays lie in [[d − u, d]];
+      - [eps] (default [(1 − 1/n)·u]): clock-offset spread, drawn seeded;
+      - [x]: Algorithm 1's trade-off knob, [0 ≤ X ≤ d + ε − u];
+      - [slack] (µs, default 5000): jitter headroom added to the [d]/[u]
+        the replicas assume (see module doc);
+      - [workers] (default [n]): closed-loop client domains;
+      - [round] (default 48, max 62): operations per quiescent round;
+      - [mix] (default [(50, 40, 10)]): percentage weights for
+        mutators/accessors/others, normalised over their sum;
+      - [loss]: percentage of messages dropped — Algorithm 1 has no
+        retransmission layer, so expect a [Violation] verdict;
+      - [seed]: all randomness (delays, offsets, op draws). *)
+end

@@ -1,0 +1,79 @@
+(** See the interface for the contract.  The queue is a sorted association
+    list keyed by ([deliver_at], sequence) — mailboxes hold at most a few
+    in-flight messages per peer, so O(n) insertion beats the constant
+    factors of a heap and keeps same-time items in insertion order. *)
+
+let poll_quantum_us = 100
+
+type 'a item = { at : int; seq : int; v : 'a }
+
+type 'a t = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable items : 'a item list;  (** sorted by [(at, seq)] *)
+  mutable next_seq : int;
+}
+
+let create () =
+  { mutex = Mutex.create (); cond = Condition.create (); items = []; next_seq = 0 }
+
+let rec insert it = function
+  | [] -> [ it ]
+  | hd :: tl ->
+      if it.at < hd.at || (it.at = hd.at && it.seq < hd.seq) then it :: hd :: tl
+      else hd :: insert it tl
+
+let put t ~deliver_at v =
+  Mutex.lock t.mutex;
+  let it = { at = deliver_at; seq = t.next_seq; v } in
+  t.next_seq <- t.next_seq + 1;
+  t.items <- insert it t.items;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let take t ~deadline =
+  Mutex.lock t.mutex;
+  let rec loop () =
+    let now = Prelude.Mclock.now_us () in
+    match t.items with
+    | hd :: tl
+      when hd.at <= now
+           && (match deadline with None -> true | Some d -> hd.at <= d) ->
+        t.items <- tl;
+        Mutex.unlock t.mutex;
+        Some hd.v
+    | items -> (
+        let head_at = match items with [] -> None | hd :: _ -> Some hd.at in
+        match deadline with
+        | Some d when now >= d ->
+            Mutex.unlock t.mutex;
+            None
+        | _ -> (
+            (* Earliest future instant anything can change on its own. *)
+            let target =
+              match (head_at, deadline) with
+              | None, None -> None
+              | Some a, None | None, Some a -> Some a
+              | Some a, Some b -> Some (min a b)
+            in
+            match target with
+            | None ->
+                (* Nothing queued, no deadline: sleep until a [put]. *)
+                Condition.wait t.cond t.mutex;
+                loop ()
+            | Some tgt ->
+                (* Bounded wait: sleep-poll so late [put]s (which we cannot
+                   be woken from while sleeping outside the condition) are
+                   noticed within a quantum. *)
+                Mutex.unlock t.mutex;
+                Prelude.Mclock.sleep_us (min poll_quantum_us (tgt - now));
+                Mutex.lock t.mutex;
+                loop ()))
+  in
+  loop ()
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = List.length t.items in
+  Mutex.unlock t.mutex;
+  n

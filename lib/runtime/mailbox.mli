@@ -1,0 +1,36 @@
+(** Blocking, delivery-time-ordered mailbox — the primitive under both the
+    in-process transport and each replica's event loop.
+
+    Every item carries a [deliver_at] time (microseconds, {!Prelude.Mclock}
+    timeline).  {!take} only surfaces items whose delivery time has passed,
+    which is how the delay-injecting transport turns a sampled message delay
+    into an actual one: the message sits *in the receiver's mailbox* until
+    it is ripe.  Items ripen in ([deliver_at], insertion) order, so two
+    messages on the same link never reorder.
+
+    OCaml's [Condition] has no timed wait, so deadline waits are a hybrid:
+    indefinite waits block on the condition variable (woken by {!put});
+    bounded waits sleep-poll in ≤ [poll_quantum_us] slices.  The quantum
+    (100 µs) bounds how late a ripe item can be noticed — callers should
+    budget for it in their timing headroom (see [Loadgen]'s [slack]). *)
+
+type 'a t
+
+val poll_quantum_us : int
+
+val create : unit -> 'a t
+
+val put : 'a t -> deliver_at:int -> 'a -> unit
+(** Insert an item that becomes visible to {!take} once
+    [Prelude.Mclock.now_us () >= deliver_at], waking any blocked taker. *)
+
+val take : 'a t -> deadline:int option -> 'a option
+(** Block until an item is ripe, then remove and return the earliest one —
+    except that an item is only returned if its [deliver_at] is at or
+    before [deadline], and [None] is returned as soon as the deadline
+    itself has passed.  Thus a caller multiplexing the mailbox with its own
+    timer wheel processes mailbox items and timer firings in global
+    chronological order even when it is running late.  [deadline:None]
+    waits indefinitely. *)
+
+val length : 'a t -> int

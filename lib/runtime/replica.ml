@@ -1,0 +1,225 @@
+(** See the interface for the model mapping.  One domain per replica; all
+    inter-domain communication goes through the transport's mailboxes and
+    the per-invocation result cells — replica state itself is only ever
+    touched by its own domain. *)
+
+module Make (D : Spec.Data_type.S) = struct
+  module Alg = Core.Algorithm1.Make (D)
+
+  type record = {
+    pid : int;
+    seq : int;
+    op : D.op;
+    result : D.result;
+    invoke_us : int;
+    response_us : int;
+  }
+
+  (* A one-shot synchronisation cell the invoking client blocks on. *)
+  type cell = {
+    mutex : Mutex.t;
+    cond : Condition.t;
+    mutable value : D.result option;
+  }
+
+  type event = Net of Alg.entry | Invoke of D.op * cell | Stop
+
+  type cluster = {
+    params : Core.Params.t;
+    transport : event Transport.t;
+    start_us : int;
+    offsets : int array;
+    mutable domains : record list Domain.t array;
+    mutable stopped : bool;
+    mutable records : record list;
+  }
+
+  (* ---- the per-replica event loop (runs inside the replica's domain) ---- *)
+
+  type timer_entry = { due : int; tseq : int; timer : Alg.timer }
+
+  type loop_state = {
+    pid : int;
+    mutable st : Alg.state;
+    mutable timers : timer_entry list;  (** sorted by [(due, tseq)] *)
+    mutable tseq : int;
+    mutable inflight : (cell * D.op * int * int) option;
+        (** cell, op, invoke_us, seq *)
+    backlog : (D.op * cell) Queue.t;
+    mutable next_seq : int;
+    mutable records : record list;  (** reversed *)
+  }
+
+  let rec insert_timer e = function
+    | [] -> [ e ]
+    | hd :: tl ->
+        if e.due < hd.due || (e.due = hd.due && e.tseq < hd.tseq) then
+          e :: hd :: tl
+        else hd :: insert_timer e tl
+
+  let run_replica (cluster : cluster) pid =
+    let cfg = cluster.params in
+    let now_rel () = Prelude.Mclock.now_us () - cluster.start_us in
+    let clock () = now_rel () + cluster.offsets.(pid) in
+    let ls =
+      {
+        pid;
+        st = Alg.init cfg ~n:cfg.n ~pid;
+        timers = [];
+        tseq = 0;
+        inflight = None;
+        backlog = Queue.create ();
+        next_seq = 0;
+        records = [];
+      }
+    in
+    let respond r =
+      match ls.inflight with
+      | None -> ()  (* cannot happen: Algorithm 1 responds only when pending *)
+      | Some (cell, op, invoke_us, seq) ->
+          ls.records <-
+            { pid; seq; op; result = r; invoke_us; response_us = now_rel () }
+            :: ls.records;
+          ls.inflight <- None;
+          Mutex.lock cell.mutex;
+          cell.value <- Some r;
+          Condition.signal cell.cond;
+          Mutex.unlock cell.mutex
+    in
+    let rec handle_actions actions =
+      List.iter
+        (fun (a : (D.result, Alg.entry, Alg.timer) Sim.Action.t) ->
+          match a with
+          | Sim.Action.Respond r ->
+              respond r;
+              (* The model allows one pending operation per process;
+                 queued client calls start once the previous responds. *)
+              if ls.inflight = None && not (Queue.is_empty ls.backlog) then begin
+                let op, cell = Queue.pop ls.backlog in
+                start_invoke op cell
+              end
+          | Sim.Action.Send (dst, m) ->
+              Transport.send cluster.transport ~src:pid ~dst (Net m)
+          | Sim.Action.Broadcast m ->
+              Transport.broadcast cluster.transport ~src:pid (Net m)
+          | Sim.Action.Set_timer (delay, t) ->
+              (* Timer delays are clock-time delays; clocks advance at the
+                 rate of real time, so a [δ]-delay timer is due at
+                 [now + δ] on the real timeline. *)
+              let e =
+                { due = Prelude.Mclock.now_us () + delay; tseq = ls.tseq; timer = t }
+              in
+              ls.tseq <- ls.tseq + 1;
+              ls.timers <- insert_timer e ls.timers
+          | Sim.Action.Cancel_timer t ->
+              ls.timers <-
+                List.filter (fun e -> not (Alg.equal_timer e.timer t)) ls.timers)
+        actions
+    and start_invoke op cell =
+      let invoke_us = now_rel () in
+      let seq = ls.next_seq in
+      ls.next_seq <- ls.next_seq + 1;
+      ls.inflight <- Some (cell, op, invoke_us, seq);
+      let st', actions = Alg.on_invoke cfg ls.st ~clock:(clock ()) op in
+      ls.st <- st';
+      handle_actions actions
+    in
+    let rec loop () =
+      let deadline = match ls.timers with [] -> None | e :: _ -> Some e.due in
+      match Transport.recv cluster.transport ~me:pid ~deadline with
+      | Some (src, Net m) ->
+          let st', actions = Alg.on_message cfg ls.st ~clock:(clock ()) ~src m in
+          ls.st <- st';
+          handle_actions actions;
+          loop ()
+      | Some (_, Invoke (op, cell)) ->
+          if ls.inflight = None then start_invoke op cell
+          else Queue.push (op, cell) ls.backlog;
+          loop ()
+      | Some (_, Stop) -> List.rev ls.records
+      | None -> (
+          (* The earliest timer is due, and (per [Mailbox.take]) no ripe
+             message predates it: fire exactly one and re-merge. *)
+          match ls.timers with
+          | [] -> loop ()
+          | e :: rest ->
+              ls.timers <- rest;
+              let st', actions = Alg.on_timer cfg ls.st ~clock:(clock ()) e.timer in
+              ls.st <- st';
+              handle_actions actions;
+              loop ())
+    in
+    loop ()
+
+  (* ---- cluster lifecycle ---- *)
+
+  let start ~params ?policy ?offsets () =
+    let n = params.Core.Params.n in
+    let offsets =
+      match offsets with Some o -> Array.copy o | None -> Array.make n 0
+    in
+    if Array.length offsets <> n then
+      invalid_arg "Replica.start: offsets length must be n";
+    let transport =
+      let bus = Transport.bus ~n () in
+      match policy with
+      | None -> bus
+      | Some policy -> Transport.with_delays ~policy bus
+    in
+    let cluster =
+      {
+        params;
+        transport;
+        start_us = Prelude.Mclock.now_us ();
+        offsets;
+        domains = [||];
+        stopped = false;
+        records = [];
+      }
+    in
+    cluster.domains <-
+      Array.init n (fun pid -> Domain.spawn (fun () -> run_replica cluster pid));
+    cluster
+
+  let invoke cluster ~pid op =
+    let cell =
+      { mutex = Mutex.create (); cond = Condition.create (); value = None }
+    in
+    Transport.post cluster.transport ~src:pid ~dst:pid (Invoke (op, cell));
+    Mutex.lock cell.mutex;
+    while cell.value = None do
+      Condition.wait cell.cond cell.mutex
+    done;
+    Mutex.unlock cell.mutex;
+    Option.get cell.value
+
+  module Client = struct
+    let invoke = invoke
+  end
+
+  let stop cluster =
+    if not cluster.stopped then begin
+      cluster.stopped <- true;
+      for pid = 0 to Transport.n cluster.transport - 1 do
+        Transport.post cluster.transport ~src:pid ~dst:pid Stop
+      done;
+      let records =
+        Array.to_list cluster.domains |> List.concat_map Domain.join
+      in
+      cluster.records <-
+        List.sort
+          (fun (a : record) b ->
+            match compare a.invoke_us b.invoke_us with
+            | 0 -> compare (a.pid, a.seq) (b.pid, b.seq)
+            | c -> c)
+          records
+    end
+
+  let history cluster =
+    if not cluster.stopped then
+      invalid_arg "Replica.history: stop the cluster first";
+    cluster.records
+
+  let elapsed_us cluster = Prelude.Mclock.now_us () - cluster.start_us
+  let transport_stats cluster = Transport.stats cluster.transport
+end

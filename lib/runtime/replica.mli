@@ -1,0 +1,70 @@
+(** Live Algorithm 1 replicas: the paper's protocol state machine
+    ({!Core.Algorithm1}) hosted on real OCaml 5 domains behind a real
+    clock, exchanging messages over a {!Transport}.
+
+    Each replica is one domain running an event loop over a single
+    {!Mailbox}: network messages (possibly delay-injected), client
+    invocations and a shutdown signal all arrive there, and an internal
+    timer wheel realises the algorithm's [Set_timer] actions.  Ripe
+    messages and due timers are processed in global chronological order
+    (see {!Mailbox.take}), so a replica that falls behind (scheduling) still
+    handles events in the order the model prescribes.
+
+    Clocks: replica [i] reads [Mclock.now_us () − start + offsets.(i)] —
+    real time plus a fixed per-replica offset, exactly the thesis' clock
+    model with skew [ε = max offset spread].  Timer delays are clock-time
+    delays, and clocks run at the rate of real time, as in the model.
+
+    The cluster records every completed operation with its replica-side
+    invocation/response times (µs since cluster start); these feed the
+    post-hoc linearizability check.  Replica-side intervals are contained
+    in the client-observed ones, so a history that passes the check with
+    them is also linearizable from the clients' point of view. *)
+
+module Make (D : Spec.Data_type.S) : sig
+  module Alg : module type of Core.Algorithm1.Make (D)
+
+  type record = {
+    pid : int;
+    seq : int;  (** per-replica invocation sequence number *)
+    op : D.op;
+    result : D.result;
+    invoke_us : int;  (** µs since cluster start, replica-side *)
+    response_us : int;
+  }
+
+  type cluster
+
+  val start :
+    params:Core.Params.t ->
+    ?policy:Sim.Delay.t ->
+    ?offsets:int array ->
+    unit ->
+    cluster
+  (** Spawn [params.n] replica domains connected by an in-process bus —
+      wrapped in a delay-injecting transport when [policy] is given (delays
+      in µs; negative = loss).  [offsets] (default all 0) are the
+      per-replica clock offsets; their spread must be ≤ [params.eps] for
+      the timing guarantees to be targets. *)
+
+  val invoke : cluster -> pid:int -> D.op -> D.result
+  (** Synchronous client call: block until replica [pid] responds.
+      Concurrent invocations on one replica are queued — the model allows
+      one pending operation per process. *)
+
+  module Client : sig
+    val invoke : cluster -> pid:int -> D.op -> D.result
+  end
+
+  val stop : cluster -> unit
+  (** Shut every replica down and join its domain.  Idempotent. *)
+
+  val history : cluster -> record list
+  (** Completed operations of a {e stopped} cluster, sorted by invocation
+      time (ties by [(pid, seq)], preserving per-replica program order). *)
+
+  val elapsed_us : cluster -> int
+  (** µs since cluster start — the timeline {!record} times live on. *)
+
+  val transport_stats : cluster -> Transport.stats
+end

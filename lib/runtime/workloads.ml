@@ -1,0 +1,74 @@
+(** Live-workload bundles: a data type together with seeded op samplers for
+    each of the paper's three operation classes — what the load generator
+    draws from when asked for a given MOP/AOP/OOP mix.  The samplers agree
+    with [D.classify] by construction (asserted in the tests). *)
+
+module type LIVE = sig
+  module D : Spec.Data_type.S
+
+  val label : string
+  (** CLI name of the workload. *)
+
+  val sample_mutator : Prelude.Rng.t -> D.op
+  val sample_accessor : Prelude.Rng.t -> D.op
+  val sample_other : Prelude.Rng.t -> D.op
+end
+
+module Register_live = struct
+  module D = Spec.Register
+
+  let label = "register"
+  let sample_mutator rng = Spec.Register.Write (Prelude.Rng.int rng 1000)
+  let sample_accessor _ = Spec.Register.Read
+  let sample_other rng = Spec.Register.Rmw (Prelude.Rng.int rng 1000)
+end
+
+module Counter_live = struct
+  module D = Spec.Register
+
+  let label = "counter"
+
+  (* [Add] is the Chapter II increment: a self-commuting pure mutator, the
+     cleanest showcase for the ε + X mutator path. *)
+  let sample_mutator rng = Spec.Register.Add (1 + Prelude.Rng.int rng 3)
+  let sample_accessor _ = Spec.Register.Read
+  let sample_other rng = Spec.Register.Rmw (Prelude.Rng.int rng 1000)
+end
+
+module Kv_map_live = struct
+  module D = Spec.Kv_map
+
+  let keys = 16
+
+  let label = "kv"
+
+  let sample_mutator rng =
+    let k = Prelude.Rng.int rng keys in
+    if Prelude.Rng.int rng 10 < 8 then Spec.Kv_map.Put (k, Prelude.Rng.int rng 1000)
+    else Spec.Kv_map.Del k
+
+  let sample_accessor rng = Spec.Kv_map.Get (Prelude.Rng.int rng keys)
+
+  let sample_other rng =
+    Spec.Kv_map.Swap (Prelude.Rng.int rng keys, Prelude.Rng.int rng 1000)
+end
+
+module Fifo_queue_live = struct
+  module D = Spec.Fifo_queue
+
+  let label = "queue"
+  let sample_mutator rng = Spec.Fifo_queue.Enqueue (Prelude.Rng.int rng 1000)
+  let sample_accessor _ = Spec.Fifo_queue.Peek
+  let sample_other _ = Spec.Fifo_queue.Dequeue
+end
+
+let register = (module Register_live : LIVE)
+let counter = (module Counter_live : LIVE)
+let kv_map = (module Kv_map_live : LIVE)
+let fifo_queue = (module Fifo_queue_live : LIVE)
+
+let all = [ register; counter; kv_map; fifo_queue ]
+let names = List.map (fun (module L : LIVE) -> L.label) all
+
+let find name =
+  List.find_opt (fun (module L : LIVE) -> String.equal L.label name) all

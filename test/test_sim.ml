@@ -339,6 +339,75 @@ let message_conservation_prop =
       in
       List.length keys = List.length (List.sort_uniq compare keys))
 
+(* -- Delay-policy properties: every generated delay is admissible or a
+   loss marker, and seeded policies are reproducible draw by draw. -- *)
+
+(* Drive a policy through a deterministic scan of links and indices,
+   collecting every delay it assigns. *)
+let scan_policy policy =
+  List.concat_map
+    (fun i ->
+      List.concat_map
+        (fun src ->
+          List.filter_map
+            (fun dst ->
+              if src = dst then None
+              else Some (policy ~src ~dst ~send_time:(i * 13) ~index:i))
+            [ 0; 1; 2 ])
+        [ 0; 1; 2 ])
+    (List.init 20 Fun.id)
+
+let random_in_window_prop =
+  QCheck.Test.make ~name:"random delays always lie in [d − u, d]" ~count:100
+    QCheck.(pair small_int (pair (int_range 1 5000) (int_range 0 5000)))
+    (fun (seed, (d, u)) ->
+      let u = min u d in
+      let policy = Sim.Delay.random (Prelude.Rng.make seed) ~d ~u in
+      List.for_all (fun delay -> d - u <= delay && delay <= d) (scan_policy policy))
+
+let lossy_in_window_or_dropped_prop =
+  QCheck.Test.make
+    ~name:"lossy delays are in [d − u, d] or the loss marker" ~count:100
+    QCheck.(pair small_int (int_range 0 100))
+    (fun (seed, percent) ->
+      let rng = Prelude.Rng.make (seed + 3) in
+      let d = 1000 and u = 400 in
+      let policy = Sim.Delay.lossy (Sim.Delay.random rng ~d ~u) ~rng ~percent in
+      List.for_all
+        (fun delay -> delay = Sim.Delay.dropped || (d - u <= delay && delay <= d))
+        (scan_policy policy))
+
+let seeded_reproducible_prop =
+  QCheck.Test.make ~name:"equal seeds give identical delay streams" ~count:100
+    QCheck.(pair small_int (int_range 0 60))
+    (fun (seed, percent) ->
+      let make () =
+        let rng = Prelude.Rng.make seed in
+        Sim.Delay.lossy (Sim.Delay.random rng ~d:900 ~u:300) ~rng ~percent
+      in
+      scan_policy (make ()) = scan_policy (make ()))
+
+let lossy_bounded_streak_prop =
+  QCheck.Test.make
+    ~name:"lossy_bounded never drops more than max_consecutive in a row"
+    ~count:50
+    QCheck.(pair small_int (int_range 1 4))
+    (fun (seed, max_consecutive) ->
+      let rng = Prelude.Rng.make (seed + 21) in
+      let policy =
+        Sim.Delay.lossy_bounded (Sim.Delay.constant 10) ~rng ~percent:90
+          ~max_consecutive
+      in
+      let worst = ref 0 and streak = ref 0 in
+      for i = 0 to 199 do
+        if policy ~src:0 ~dst:1 ~send_time:i ~index:i < 0 then begin
+          incr streak;
+          worst := max !worst !streak
+        end
+        else streak := 0
+      done;
+      !worst <= max_consecutive)
+
 let lossy_budget_prop =
   QCheck.Test.make ~name:"lossy_budget drops at most its budget per link" ~count:50
     QCheck.small_int (fun seed ->
@@ -396,4 +465,12 @@ let () =
         :: Alcotest.test_case "reliable gives up" `Quick test_reliable_gives_up
         :: List.map QCheck_alcotest.to_alcotest
              [ lossy_budget_prop; message_conservation_prop ] );
+      ( "delay policies (properties)",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            random_in_window_prop;
+            lossy_in_window_or_dropped_prop;
+            seeded_reproducible_prop;
+            lossy_bounded_streak_prop;
+          ] );
     ]
