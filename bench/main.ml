@@ -126,6 +126,46 @@ end
 
 let runtime_tests = [ Live_bench.run_test; Live_bench.hist_test ]
 
+(* Wire-codec group: cost of putting Algorithm 1 entries on the wire.  The
+   TCP transport encodes every broadcast entry once per peer and CRCs the
+   whole frame, so encode+decode throughput bounds the message rate a
+   replica can sustain before the codec — not the network — is the
+   bottleneck. *)
+module Codec_bench = struct
+  module C = Net.Codec.Make (Net.Wire.Kv_codec)
+
+  let entries =
+    List.init 64 (fun i ->
+        C.Entry
+          { op = Spec.Kv_map.Put (i mod 16, i * 17); time = i * 997; pid = i mod 5 })
+
+  let blob = String.concat "" (List.map C.encode entries)
+
+  let encode_test =
+    Test.make ~name:"codec-encode-64-entries"
+      (Staged.stage (fun () -> List.iter (fun m -> ignore (C.encode m)) entries))
+
+  let decode_test =
+    Test.make ~name:"codec-decode-64-entries"
+      (Staged.stage (fun () ->
+           let rec go pos =
+             if pos < String.length blob then
+               match C.decode ~pos blob with
+               | Net.Codec.Got (_, next) -> go next
+               | Net.Codec.Need_more _ | Net.Codec.Corrupt _ ->
+                   failwith "codec bench: blob must decode cleanly"
+           in
+           go 0))
+
+  let crc_test =
+    let payload = String.make 4096 '\x5a' in
+    Test.make ~name:"crc32-4k"
+      (Staged.stage (fun () ->
+           ignore (Net.Codec.crc32 payload ~pos:0 ~len:(String.length payload))))
+end
+
+let codec_tests = [ Codec_bench.encode_test; Codec_bench.decode_test; Codec_bench.crc_test ]
+
 let benchmark () =
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
   let instances = Instance.[ monotonic_clock ] in
@@ -135,6 +175,7 @@ let benchmark () =
         Test.make_grouped ~name:"experiments" tests;
         Test.make_grouped ~name:"throughput" throughput_tests;
         Test.make_grouped ~name:"runtime" runtime_tests;
+        Test.make_grouped ~name:"codec" codec_tests;
       ]
   in
   let raw = Benchmark.all cfg instances grouped in

@@ -1,0 +1,130 @@
+(** Small flag parser shared by every [timebounds] subcommand.
+
+    Accepts [--name v], [--name=v], [-name v] and [-name=v] uniformly —
+    notably [--n 3] and [-n 3] both work, which cmdliner-style parsers
+    cannot express for one-letter names (they render them short-only).
+    Unknown flags, missing values and malformed ints are reported against
+    the subcommand's usage string and exit with code 2. *)
+
+type kind = Flag  (** bare switch *) | Value  (** takes one value *)
+
+type spec = { name : string; kind : kind; doc : string }
+
+let flag name doc = { name; kind = Flag; doc }
+let value name doc = { name; kind = Value; doc }
+
+type t = {
+  prog : string;  (** e.g. ["timebounds cluster"] *)
+  specs : spec list;
+  seen : (string * string option) list;  (** flag name -> value *)
+  positionals : string list;
+}
+
+let usage t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b ("usage: " ^ t.prog);
+  if t.specs <> [] then Buffer.add_string b " [options]";
+  Buffer.add_char b '\n';
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "  --%-14s %s\n" s.name s.doc))
+    t.specs;
+  Buffer.contents b
+
+let fail t msg =
+  prerr_string (Printf.sprintf "%s: %s\n%s" t.prog msg (usage t));
+  exit 2
+
+(* Strip leading dashes and split a glued [=value]. *)
+let split_arg a =
+  let body =
+    if String.length a >= 2 && String.sub a 0 2 = "--" then
+      Some (String.sub a 2 (String.length a - 2))
+    else if String.length a >= 1 && a.[0] = '-' && a <> "-" then
+      Some (String.sub a 1 (String.length a - 1))
+    else None
+  in
+  match body with
+  | None -> `Positional a
+  | Some body -> (
+      match String.index_opt body '=' with
+      | Some i ->
+          `Flag
+            ( String.sub body 0 i,
+              Some (String.sub body (i + 1) (String.length body - i - 1)) )
+      | None -> `Flag (body, None))
+
+let parse ~prog ~specs args =
+  let t = { prog; specs; seen = []; positionals = [] } in
+  let find name = List.find_opt (fun s -> s.name = name) specs in
+  let rec go t = function
+    | [] -> { t with positionals = List.rev t.positionals }
+    | "--" :: rest ->
+        { t with positionals = List.rev_append t.positionals rest }
+    | a :: rest -> (
+        match split_arg a with
+        | `Positional p -> go { t with positionals = p :: t.positionals } rest
+        | `Flag (("help" | "h"), _) ->
+            print_string (usage t);
+            exit 0
+        | `Flag (name, glued) -> (
+            match find name with
+            | None -> fail t (Printf.sprintf "unknown option --%s" name)
+            | Some { kind = Flag; _ } -> (
+                match glued with
+                | Some _ ->
+                    fail t (Printf.sprintf "--%s takes no value" name)
+                | None -> go { t with seen = (name, None) :: t.seen } rest)
+            | Some { kind = Value; _ } -> (
+                match glued with
+                | Some v -> go { t with seen = (name, Some v) :: t.seen } rest
+                | None -> (
+                    match rest with
+                    | v :: rest' ->
+                        go { t with seen = (name, Some v) :: t.seen } rest'
+                    | [] ->
+                        fail t
+                          (Printf.sprintf "--%s requires a value" name)))))
+  in
+  go t args
+
+let given t name = List.mem_assoc name t.seen
+
+let str_opt t name =
+  match List.assoc_opt name t.seen with Some v -> v | None -> None
+
+let str t name ~default = Option.value (str_opt t name) ~default
+
+let int_of t name v =
+  match int_of_string_opt v with
+  | Some i -> i
+  | None -> fail t (Printf.sprintf "--%s: not an integer: %s" name v)
+
+let int_opt t name = Option.map (int_of t name) (str_opt t name)
+let int t name ~default = Option.value (int_opt t name) ~default
+
+(** ["50:40:10"] → [(50, 40, 10)]. *)
+let mix t name ~default =
+  match str_opt t name with
+  | None -> default
+  | Some v -> (
+      match String.split_on_char ':' v |> List.map int_of_string_opt with
+      | [ Some m; Some a; Some o ] -> (m, a, o)
+      | _ -> fail t (Printf.sprintf "--%s: expected M:A:O, got %s" name v))
+
+(** ["host:port,host:port,..."] → [[| (host, port); ... |]]. *)
+let peers t name v =
+  let parse_one s =
+    match String.rindex_opt s ':' with
+    | None -> fail t (Printf.sprintf "--%s: missing port in %s" name s)
+    | Some i ->
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        (host, int_of t name port)
+  in
+  match String.split_on_char ',' v with
+  | [] | [ "" ] -> fail t (Printf.sprintf "--%s: empty peer list" name)
+  | parts -> Array.of_list (List.map parse_one parts)
+
+let positionals t = t.positionals

@@ -8,262 +8,386 @@
       its operation algebra;
     - [timebounds graph <object> [--dot]] — its commutativity graph;
     - [timebounds live --object <w>] — Algorithm 1 on real domains: load
-      generator, per-class latency histograms, post-hoc linearizability. *)
+      generator, per-class latency histograms, post-hoc linearizability;
+    - [timebounds serve --pid i --peers h:p,...] — one replica as an OS
+      process over TCP (normally forked by [cluster]);
+    - [timebounds cluster --n 3 --object kv --ops 500] — fork n local
+      [serve] processes, drive them over loopback TCP, verify.
 
-open Cmdliner
+    All flags accept [--name v], [--name=v] and [-name v] (see {!Cli}). *)
 
-let list_cmd =
-  let doc = "List every reproducible table and figure." in
-  let run () =
-    List.iter
-      (fun (e : Experiments.Registry.entry) ->
-        Format.printf "%-10s %s@." e.id e.title)
-      (Experiments.Registry.all ())
-  in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+let args cmd = (Printf.sprintf "timebounds %s" cmd, List.tl (List.tl (Array.to_list Sys.argv)))
 
-let experiment_cmd =
-  let doc = "Run experiments by id (all when no id is given)." in
-  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID") in
-  let run ids =
-    let entries =
-      match ids with
-      | [] -> Experiments.Registry.all ()
-      | ids ->
-          List.filter_map
-            (fun id ->
-              match Experiments.Registry.find id with
-              | Some e -> Some e
-              | None ->
-                  Format.eprintf "unknown experiment %s (try `timebounds list`)@." id;
-                  None)
-            ids
-    in
-    let reports = List.map (fun (e : Experiments.Registry.entry) -> e.run ()) entries in
-    List.iter (fun r -> Format.printf "%a@." Experiments.Report.pp r) reports;
-    let failed = List.filter (fun (r : Experiments.Report.t) -> not r.ok) reports in
-    if failed <> [] then begin
-      Format.printf "MISMATCHES: %s@."
-        (String.concat ", " (List.map (fun (r : Experiments.Report.t) -> r.id) failed));
-      exit 1
-    end
-  in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ ids)
+(* ---- list ---- *)
 
-let tables_cmd =
-  let doc = "Print Tables I-IV with bound formulas evaluated." in
-  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"number of processes") in
-  let d = Arg.(value & opt int 1200 & info [ "d" ] ~doc:"delay upper bound") in
-  let u = Arg.(value & opt int 400 & info [ "u" ] ~doc:"delay uncertainty") in
-  let run n d u =
-    let eps = Core.Params.optimal_eps ~n ~u in
-    let params = Core.Params.make ~n ~d ~u ~eps ~x:0 () in
-    List.iter
-      (fun t -> Format.printf "%a@." (Bounds.Formulas.pp_table params) t)
-      Bounds.Formulas.all_tables
-  in
-  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ n $ d $ u)
+let list_cmd () =
+  List.iter
+    (fun (e : Experiments.Registry.entry) ->
+      Format.printf "%-10s %s@." e.id e.title)
+    (Experiments.Registry.all ())
 
-let classify_cmd =
-  let doc =
-    "Classify the operations of an object \
-     (register|queue|stack|stack-obs|set|tree|bst|array|log|kv|pqueue)."
-  in
-  let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
-  let run obj =
-    let summarize (type s o r)
-        (module D : Spec.Data_type.SAMPLED with type state = s and type op = o and type result = r) =
-      let module C = Classify.Checkers.Make (D) in
-      Format.printf "%s:@." D.name;
-      List.iter
-        (fun ty -> Format.printf "  %a@." C.pp_summary (C.summarize ty))
-        D.op_types
-    in
-    match obj with
-    | "register" -> summarize (module Spec.Register)
-    | "queue" -> summarize (module Spec.Fifo_queue)
-    | "stack" -> summarize (module Spec.Lifo_stack)
-    | "stack-obs" -> summarize (module Spec.Lifo_stack_obs)
-    | "set" -> summarize (module Spec.Int_set)
-    | "tree" -> summarize (module Spec.Rooted_tree)
-    | "bst" -> summarize (module Spec.Bst)
-    | "array" -> summarize (module Spec.Update_array)
-    | "log" -> summarize (module Spec.Append_log)
-    | "kv" -> summarize (module Spec.Kv_map)
-    | "pqueue" -> summarize (module Spec.Priority_queue)
-    | other ->
-        Format.eprintf "unknown object %s@." other;
-        exit 1
-  in
-  Cmd.v (Cmd.info "classify" ~doc) Term.(const run $ obj)
+(* ---- experiment ---- *)
 
-let derive_cmd =
-  let doc =
-    "Derive the bound table of an object from its operation algebra \
-     (register|queue|stack|stack-obs|set|tree|bst|array|log|kv)."
+let experiment_cmd () =
+  let prog, argv = args "experiment [ID...]" in
+  let c = Cli.parse ~prog ~specs:[] argv in
+  let entries =
+    match Cli.positionals c with
+    | [] -> Experiments.Registry.all ()
+    | ids ->
+        List.filter_map
+          (fun id ->
+            match Experiments.Registry.find id with
+            | Some e -> Some e
+            | None ->
+                Format.eprintf "unknown experiment %s (try `timebounds list`)@."
+                  id;
+                None)
+          ids
   in
-  let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
-  let run obj =
-    let params = Core.Params.make ~n:5 ~d:1200 ~u:400 ~eps:320 ~x:0 () in
-    let show (type s o r)
-        (module D : Spec.Data_type.SAMPLED with type state = s and type op = o and type result = r) =
-      let module Dv = Bounds.Derive.Make (D) in
-      Format.printf "%s (derived at n=5 d=1200 u=400 ε=320 X=0):@." D.name;
-      List.iter
-        (fun row -> Format.printf "  %a@." (Bounds.Derive.pp_row params) row)
-        (Dv.derive ())
-    in
-    match obj with
-    | "register" -> show (module Spec.Register)
-    | "queue" -> show (module Spec.Fifo_queue)
-    | "stack" -> show (module Spec.Lifo_stack)
-    | "stack-obs" -> show (module Spec.Lifo_stack_obs)
-    | "set" -> show (module Spec.Int_set)
-    | "tree" -> show (module Spec.Rooted_tree)
-    | "bst" -> show (module Spec.Bst)
-    | "array" -> show (module Spec.Update_array)
-    | "log" -> show (module Spec.Append_log)
-    | "kv" -> show (module Spec.Kv_map)
-    | other ->
-        Format.eprintf "unknown object %s@." other;
-        exit 1
+  let reports =
+    List.map (fun (e : Experiments.Registry.entry) -> e.run ()) entries
   in
-  Cmd.v (Cmd.info "derive" ~doc) Term.(const run $ obj)
+  List.iter (fun r -> Format.printf "%a@." Experiments.Report.pp r) reports;
+  let failed =
+    List.filter (fun (r : Experiments.Report.t) -> not r.ok) reports
+  in
+  if failed <> [] then begin
+    Format.printf "MISMATCHES: %s@."
+      (String.concat ", "
+         (List.map (fun (r : Experiments.Report.t) -> r.id) failed));
+    exit 1
+  end
 
-let graph_cmd =
-  let doc = "Print an object's commutativity graph (Kosa-style); --dot for Graphviz." in
-  let obj = Arg.(required & pos 0 (some string) None & info [] ~docv:"OBJECT") in
-  let dot = Arg.(value & flag & info [ "dot" ] ~doc:"emit Graphviz DOT") in
-  let run obj dot =
-    let show (type s o r)
-        (module D : Spec.Data_type.SAMPLED with type state = s and type op = o and type result = r) =
-      let module B = Classify.Commutativity_graph.Build (D) in
-      let g = B.build () in
-      if dot then print_string (Classify.Commutativity_graph.to_dot g)
-      else Format.printf "%a" Classify.Commutativity_graph.pp g
-    in
-    match obj with
-    | "register" -> show (module Spec.Register)
-    | "queue" -> show (module Spec.Fifo_queue)
-    | "stack" -> show (module Spec.Lifo_stack)
-    | "set" -> show (module Spec.Int_set)
-    | "tree" -> show (module Spec.Rooted_tree)
-    | "bst" -> show (module Spec.Bst)
-    | "array" -> show (module Spec.Update_array)
-    | "log" -> show (module Spec.Append_log)
-    | "kv" -> show (module Spec.Kv_map)
-    | "pqueue" -> show (module Spec.Priority_queue)
-    | other ->
-        Format.eprintf "unknown object %s@." other;
-        exit 1
-  in
-  Cmd.v (Cmd.info "graph" ~doc) Term.(const run $ obj $ dot)
+(* ---- tables ---- *)
 
-let live_cmd =
-  let doc =
-    "Run Algorithm 1 live: replicas on real domains, delays injected in \
-     [d-u, d] microseconds, a closed-loop load generator, wall-clock \
-     latency histograms per operation class, and a post-hoc \
-     linearizability check."
-  in
-  let obj =
-    Arg.(
-      value
-      & opt string "register"
-      & info [ "object" ]
-          ~doc:
-            (Printf.sprintf "Workload (%s)."
-               (String.concat "|" Runtime.Workloads.names)))
-  in
-  let n = Arg.(value & opt int 3 & info [ "n" ] ~doc:"number of replicas") in
-  let d = Arg.(value & opt int 2000 & info [ "d" ] ~doc:"delay upper bound (µs)") in
-  let u = Arg.(value & opt int 500 & info [ "u" ] ~doc:"delay uncertainty (µs)") in
-  let eps =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "eps" ] ~doc:"clock-skew bound (µs); default (1 - 1/n)u")
-  in
-  let x = Arg.(value & opt int 0 & info [ "x" ] ~doc:"trade-off knob X (µs)") in
-  let slack =
-    Arg.(
-      value
-      & opt int 5000
-      & info [ "slack" ]
-          ~doc:"scheduling-jitter headroom added to the d/u the replicas assume (µs)")
-  in
-  let ops = Arg.(value & opt int 1000 & info [ "ops" ] ~doc:"total operations") in
-  let mix =
-    Arg.(
-      value
-      & opt (t3 ~sep:':' int int int) (50, 40, 10)
-      & info [ "mix" ] ~doc:"mutator:accessor:other weights, e.g. 50:40:10")
-  in
-  let workers =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "workers" ] ~doc:"closed-loop client domains; default n")
-  in
-  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed") in
-  let loss =
-    Arg.(
-      value
-      & opt int 0
-      & info [ "loss" ]
-          ~doc:
-            "percentage of messages dropped (Algorithm 1 has no \
-             retransmission: expect a linearizability violation)")
-  in
-  let run obj n d u eps x slack ops mix workers seed loss =
-    match Runtime.Workloads.find obj with
-    | None ->
-        Format.eprintf "unknown workload %s (have: %s)@." obj
-          (String.concat ", " Runtime.Workloads.names);
-        exit 1
-    | Some (module L : Runtime.Workloads.LIVE) ->
-        let module Gen = Runtime.Loadgen.Make (L) in
-        let report =
-          Gen.run ~n ~d ~u ?eps ~x ~slack ?workers ~mix ~loss ~ops ~seed ()
-        in
-        Format.printf "%a@." Runtime.Loadgen.pp_report report;
-        if not (Runtime.Loadgen.is_linearizable report) then exit 1
-  in
-  Cmd.v (Cmd.info "live" ~doc)
-    Term.(
-      const run $ obj $ n $ d $ u $ eps $ x $ slack $ ops $ mix $ workers
-      $ seed $ loss)
-
-let main =
-  let doc = "Reproduction of \"Time Bounds for Shared Objects in Partially Synchronous Systems\"" in
-  Cmd.group
-    (Cmd.info "timebounds" ~doc)
+let tables_cmd () =
+  let prog, argv = args "tables" in
+  let specs =
     [
-      list_cmd; experiment_cmd; tables_cmd; classify_cmd; derive_cmd;
-      graph_cmd; live_cmd;
+      Cli.value "n" "number of processes (default 5)";
+      Cli.value "d" "delay upper bound (default 1200)";
+      Cli.value "u" "delay uncertainty (default 400)";
     ]
-
-(* Cmdliner renders one-letter option names short-only ([-n]); accept the
-   long spellings ([--n 3], [--n=3]) people naturally type too. *)
-let argv =
-  let shorten a =
-    let glued name =
-      let p = "--" ^ name ^ "=" in
-      if String.length a > String.length p && String.sub a 0 (String.length p) = p
-      then
-        Some
-          ("-" ^ name
-          ^ String.sub a (String.length p) (String.length a - String.length p))
-      else None
-    in
-    let rec first = function
-      | [] -> a
-      | name :: rest -> (
-          if a = "--" ^ name then "-" ^ name
-          else match glued name with Some g -> g | None -> first rest)
-    in
-    first [ "n"; "d"; "u"; "x" ]
   in
-  Array.map shorten Sys.argv
+  let c = Cli.parse ~prog ~specs argv in
+  let n = Cli.int c "n" ~default:5 in
+  let d = Cli.int c "d" ~default:1200 in
+  let u = Cli.int c "u" ~default:400 in
+  let eps = Core.Params.optimal_eps ~n ~u in
+  let params = Core.Params.make ~n ~d ~u ~eps ~x:0 () in
+  List.iter
+    (fun t -> Format.printf "%a@." (Bounds.Formulas.pp_table params) t)
+    Bounds.Formulas.all_tables
 
-let () = exit (Cmd.eval ~argv main)
+(* ---- classify / derive / graph: object dispatch ---- *)
+
+let object_arg c = function
+  | [ obj ] -> obj
+  | [] -> Cli.fail c "missing OBJECT argument"
+  | _ -> Cli.fail c "expected exactly one OBJECT argument"
+
+let classify_cmd () =
+  let prog, argv =
+    args "classify <register|queue|stack|stack-obs|set|tree|bst|array|log|kv|pqueue>"
+  in
+  let c = Cli.parse ~prog ~specs:[] argv in
+  let obj = object_arg c (Cli.positionals c) in
+  let summarize (type s o r)
+      (module D : Spec.Data_type.SAMPLED
+        with type state = s and type op = o and type result = r) =
+    let module C = Classify.Checkers.Make (D) in
+    Format.printf "%s:@." D.name;
+    List.iter
+      (fun ty -> Format.printf "  %a@." C.pp_summary (C.summarize ty))
+      D.op_types
+  in
+  match obj with
+  | "register" -> summarize (module Spec.Register)
+  | "queue" -> summarize (module Spec.Fifo_queue)
+  | "stack" -> summarize (module Spec.Lifo_stack)
+  | "stack-obs" -> summarize (module Spec.Lifo_stack_obs)
+  | "set" -> summarize (module Spec.Int_set)
+  | "tree" -> summarize (module Spec.Rooted_tree)
+  | "bst" -> summarize (module Spec.Bst)
+  | "array" -> summarize (module Spec.Update_array)
+  | "log" -> summarize (module Spec.Append_log)
+  | "kv" -> summarize (module Spec.Kv_map)
+  | "pqueue" -> summarize (module Spec.Priority_queue)
+  | other ->
+      Format.eprintf "unknown object %s@." other;
+      exit 1
+
+let derive_cmd () =
+  let prog, argv =
+    args "derive <register|queue|stack|stack-obs|set|tree|bst|array|log|kv>"
+  in
+  let c = Cli.parse ~prog ~specs:[] argv in
+  let obj = object_arg c (Cli.positionals c) in
+  let params = Core.Params.make ~n:5 ~d:1200 ~u:400 ~eps:320 ~x:0 () in
+  let show (type s o r)
+      (module D : Spec.Data_type.SAMPLED
+        with type state = s and type op = o and type result = r) =
+    let module Dv = Bounds.Derive.Make (D) in
+    Format.printf "%s (derived at n=5 d=1200 u=400 ε=320 X=0):@." D.name;
+    List.iter
+      (fun row -> Format.printf "  %a@." (Bounds.Derive.pp_row params) row)
+      (Dv.derive ())
+  in
+  match obj with
+  | "register" -> show (module Spec.Register)
+  | "queue" -> show (module Spec.Fifo_queue)
+  | "stack" -> show (module Spec.Lifo_stack)
+  | "stack-obs" -> show (module Spec.Lifo_stack_obs)
+  | "set" -> show (module Spec.Int_set)
+  | "tree" -> show (module Spec.Rooted_tree)
+  | "bst" -> show (module Spec.Bst)
+  | "array" -> show (module Spec.Update_array)
+  | "log" -> show (module Spec.Append_log)
+  | "kv" -> show (module Spec.Kv_map)
+  | other ->
+      Format.eprintf "unknown object %s@." other;
+      exit 1
+
+let graph_cmd () =
+  let prog, argv = args "graph <object> [--dot]" in
+  let specs = [ Cli.flag "dot" "emit Graphviz DOT" ] in
+  let c = Cli.parse ~prog ~specs argv in
+  let obj = object_arg c (Cli.positionals c) in
+  let dot = Cli.given c "dot" in
+  let show (type s o r)
+      (module D : Spec.Data_type.SAMPLED
+        with type state = s and type op = o and type result = r) =
+    let module B = Classify.Commutativity_graph.Build (D) in
+    let g = B.build () in
+    if dot then print_string (Classify.Commutativity_graph.to_dot g)
+    else Format.printf "%a" Classify.Commutativity_graph.pp g
+  in
+  match obj with
+  | "register" -> show (module Spec.Register)
+  | "queue" -> show (module Spec.Fifo_queue)
+  | "stack" -> show (module Spec.Lifo_stack)
+  | "set" -> show (module Spec.Int_set)
+  | "tree" -> show (module Spec.Rooted_tree)
+  | "bst" -> show (module Spec.Bst)
+  | "array" -> show (module Spec.Update_array)
+  | "log" -> show (module Spec.Append_log)
+  | "kv" -> show (module Spec.Kv_map)
+  | "pqueue" -> show (module Spec.Priority_queue)
+  | other ->
+      Format.eprintf "unknown object %s@." other;
+      exit 1
+
+(* ---- shared timing flags for live / serve / cluster ---- *)
+
+let timing_specs =
+  [
+    Cli.value "d" "delay upper bound, µs (default 2000)";
+    Cli.value "u" "delay uncertainty, µs (default 500)";
+    Cli.value "eps" "clock-skew bound, µs; default (1 - 1/n)u";
+    Cli.value "x" "trade-off knob X, µs (default 0)";
+    Cli.value "slack" "scheduling-jitter headroom, µs (default 5000)";
+  ]
+
+let timing_args c =
+  ( Cli.int c "d" ~default:2000,
+    Cli.int c "u" ~default:500,
+    Cli.int_opt c "eps",
+    Cli.int c "x" ~default:0,
+    Cli.int c "slack" ~default:5000 )
+
+(* ---- live ---- *)
+
+let live_cmd () =
+  let prog, argv = args "live" in
+  let specs =
+    [
+      Cli.value "object"
+        (Printf.sprintf "workload (%s; default register)"
+           (String.concat "|" Runtime.Workloads.names));
+      Cli.value "n" "number of replicas (default 3)";
+    ]
+    @ timing_specs
+    @ [
+        Cli.value "ops" "total operations (default 1000)";
+        Cli.value "mix" "mutator:accessor:other weights (default 50:40:10)";
+        Cli.value "workers" "closed-loop client domains; default n";
+        Cli.value "seed" "RNG seed (default 1)";
+        Cli.value "loss" "percentage of messages dropped (default 0)";
+      ]
+  in
+  let c = Cli.parse ~prog ~specs argv in
+  let obj = Cli.str c "object" ~default:"register" in
+  match Runtime.Workloads.find obj with
+  | None ->
+      Format.eprintf "unknown workload %s (have: %s)@." obj
+        (String.concat ", " Runtime.Workloads.names);
+      exit 1
+  | Some (module L : Runtime.Workloads.LIVE) ->
+      let n = Cli.int c "n" ~default:3 in
+      let d, u, eps, x, slack = timing_args c in
+      let ops = Cli.int c "ops" ~default:1000 in
+      let mix = Cli.mix c "mix" ~default:(50, 40, 10) in
+      let workers = Cli.int_opt c "workers" in
+      let seed = Cli.int c "seed" ~default:1 in
+      let loss = Cli.int c "loss" ~default:0 in
+      let module Gen = Runtime.Loadgen.Make (L) in
+      let report =
+        Gen.run ~n ~d ~u ?eps ~x ~slack ?workers ~mix ~loss ~ops ~seed ()
+      in
+      Format.printf "%a@." Runtime.Loadgen.pp_report report;
+      if not (Runtime.Loadgen.is_linearizable report) then exit 1
+
+(* ---- serve ---- *)
+
+let serve_cmd () =
+  let prog, argv = args "serve" in
+  let specs =
+    [
+      Cli.value "pid" "this replica's id, 0-based (required)";
+      Cli.value "peers"
+        "every replica's address as host:port,host:port,... (required; \
+         index = pid)";
+      Cli.value "object"
+        (Printf.sprintf "wire object (%s; default register)"
+           (String.concat "|" Net.Wire.names));
+    ]
+    @ timing_specs
+    @ [
+        Cli.value "offset" "this replica's clock offset, µs (default 0)";
+        Cli.value "epoch"
+          "shared clock epoch, µs on the wall clock (default: now); every \
+           replica of a cluster must use the same value";
+        Cli.value "watch-parent" "exit when this OS pid disappears";
+        Cli.flag "quiet" "suppress per-replica logging";
+      ]
+  in
+  let c = Cli.parse ~prog ~specs argv in
+  let pid =
+    match Cli.int_opt c "pid" with
+    | Some p -> p
+    | None -> Cli.fail c "--pid is required"
+  in
+  let addrs =
+    match Cli.str_opt c "peers" with
+    | Some v -> Cli.peers c "peers" v
+    | None -> Cli.fail c "--peers is required"
+  in
+  let n = Array.length addrs in
+  if pid < 0 || pid >= n then
+    Cli.fail c (Printf.sprintf "--pid %d out of range for %d peers" pid n);
+  let obj = Cli.str c "object" ~default:"register" in
+  match Net.Wire.find obj with
+  | None ->
+      Format.eprintf "unknown wire object %s (have: %s)@." obj
+        (String.concat ", " Net.Wire.names);
+      exit 1
+  | Some (module W : Net.Wire.WIRED) ->
+      let d, u, eps, x, slack = timing_args c in
+      let eps =
+        match eps with Some e -> e | None -> Core.Params.optimal_eps ~n ~u
+      in
+      let params =
+        Core.Params.make ~n ~d:(d + slack) ~u:(u + slack) ~eps ~x ()
+      in
+      let offset = Cli.int c "offset" ~default:0 in
+      let start_us = Cli.int_opt c "epoch" in
+      let watch_parent = Cli.int_opt c "watch-parent" in
+      let log =
+        if Cli.given c "quiet" then fun _ -> ()
+        else fun s -> Printf.eprintf "[serve] %s\n%!" s
+      in
+      let module S = Net.Serve.Make (W) in
+      S.run_until_signalled ?watch_parent
+        { Net.Serve.pid; addrs; params; offset; start_us; log }
+
+(* ---- cluster ---- *)
+
+let cluster_cmd () =
+  let prog, argv = args "cluster" in
+  let specs =
+    [
+      Cli.value "n" "number of replica processes (default 3)";
+      Cli.value "object"
+        (Printf.sprintf "wire object (%s; default register)"
+           (String.concat "|" Net.Wire.names));
+    ]
+    @ timing_specs
+    @ [
+        Cli.value "ops" "total operations (default 500)";
+        Cli.value "mix" "mutator:accessor:other weights (default 50:40:10)";
+        Cli.value "workers" "closed-loop client domains; default n";
+        Cli.value "round" "operations per quiescent round (default 24)";
+        Cli.value "seed" "RNG seed (default 1)";
+        Cli.value "host" "bind/connect host (default 127.0.0.1)";
+        Cli.value "base-port" "first replica port (default 7600)";
+        Cli.flag "verbose" "log child lifecycle to stderr";
+      ]
+  in
+  let c = Cli.parse ~prog ~specs argv in
+  let obj = Cli.str c "object" ~default:"register" in
+  match Net.Wire.find obj with
+  | None ->
+      Format.eprintf "unknown wire object %s (have: %s)@." obj
+        (String.concat ", " Net.Wire.names);
+      exit 1
+  | Some (module W : Net.Wire.WIRED) ->
+      let n = Cli.int c "n" ~default:3 in
+      let d, u, eps, x, slack = timing_args c in
+      let ops = Cli.int c "ops" ~default:500 in
+      let mix = Cli.mix c "mix" ~default:(50, 40, 10) in
+      let workers = Cli.int_opt c "workers" in
+      let round = Cli.int c "round" ~default:48 in
+      let seed = Cli.int c "seed" ~default:1 in
+      let host = Cli.str c "host" ~default:"127.0.0.1" in
+      let base_port = Cli.int c "base-port" ~default:7600 in
+      let log =
+        if Cli.given c "verbose" then fun s ->
+          Printf.eprintf "[cluster] %s\n%!" s
+        else fun _ -> ()
+      in
+      let abort = Atomic.make false in
+      Sys.set_signal Sys.sigint
+        (Sys.Signal_handle (fun _ -> Atomic.set abort true));
+      let module Cl = Net.Cluster.Make (W) in
+      let report =
+        Cl.run ~n ~d ~u ?eps ~x ~slack ?workers ~round ~mix ~host ~base_port
+          ~log ~abort ~ops ~seed ()
+      in
+      Format.printf "%a@." Net.Cluster.pp_report report;
+      if not (Net.Cluster.ok report) then exit 1
+
+(* ---- dispatch ---- *)
+
+let usage ?(status = 2) () =
+  prerr_string
+    "usage: timebounds <command> [options]\n\
+     commands:\n\
+    \  list        list every reproducible table and figure\n\
+    \  experiment  run experiments by id (all when no id given)\n\
+    \  tables      print Tables I-IV with bound formulas evaluated\n\
+    \  classify    classify an object's operations (Chapter II)\n\
+    \  derive      derive an object's bound table from its op algebra\n\
+    \  graph       print an object's commutativity graph\n\
+    \  live        Algorithm 1 on real domains (one process)\n\
+    \  serve       one replica as an OS process over TCP\n\
+    \  cluster     fork n local serve processes and drive them over TCP\n\
+     run `timebounds <command> --help` for the command's options\n";
+  exit status
+
+let () =
+  if Array.length Sys.argv < 2 then usage ();
+  match Sys.argv.(1) with
+  | "list" -> list_cmd ()
+  | "experiment" -> experiment_cmd ()
+  | "tables" -> tables_cmd ()
+  | "classify" -> classify_cmd ()
+  | "derive" -> derive_cmd ()
+  | "graph" -> graph_cmd ()
+  | "live" -> live_cmd ()
+  | "serve" -> serve_cmd ()
+  | "cluster" -> cluster_cmd ()
+  | "--help" | "-h" | "help" -> usage ~status:0 ()
+  | other ->
+      Format.eprintf "unknown command %s@." other;
+      usage ()

@@ -1,0 +1,93 @@
+(** Synchronous TCP client for a replica's client port — what the cluster
+    load generator (and any external tool) speaks.
+
+    A client connection opens with an [Invoke] frame (no [Hello]): the
+    replica's acceptor classifies it as a client and serves it for the
+    connection's lifetime.  The protocol is strict request/response —
+    [Invoke op → Result r | Error_msg e] and [Stats_req → Stats s] — so a
+    blocking read after each request is a complete client. *)
+
+module Make (W : Wire.WIRED) = struct
+  module C = Codec.Make (W.C)
+
+  type t = {
+    fd : Unix.file_descr;
+    mutable residual : string;  (** bytes read past the last frame *)
+  }
+
+  let connect ~host ~port ?(attempts = 50) ?(retry_delay_us = 100_000) () =
+    let addr =
+      try Unix.ADDR_INET (Tcp_transport.resolve host, port)
+      with Failure e -> failwith e
+    in
+    let rec go k =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match
+        Unix.connect fd addr;
+        Unix.setsockopt fd Unix.TCP_NODELAY true
+      with
+      | () -> Ok { fd; residual = "" }
+      | exception Unix.Unix_error (err, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          if k <= 1 then
+            Error
+              (Printf.sprintf "connect %s:%d: %s" host port
+                 (Unix.error_message err))
+          else begin
+            Prelude.Mclock.sleep_us retry_delay_us;
+            go (k - 1)
+          end
+    in
+    go (max 1 attempts)
+
+  let send t msg =
+    let s = C.encode msg in
+    match
+      let b = Bytes.unsafe_of_string s in
+      let rec go off =
+        if off < String.length s then
+          go (off + Unix.write t.fd b off (String.length s - off))
+      in
+      go 0
+    with
+    | () -> Ok ()
+    | exception (Unix.Unix_error _ | Sys_error _) -> Error "connection lost"
+
+  let recv t =
+    let chunk = Bytes.create 8192 in
+    let rec go acc =
+      match C.decode acc with
+      | Codec.Got (msg, next) ->
+          t.residual <- String.sub acc next (String.length acc - next);
+          Ok msg
+      | Codec.Corrupt e -> Error ("corrupt reply: " ^ e)
+      | Codec.Need_more _ -> (
+          match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Error "connection closed by replica"
+          | n -> go (acc ^ Bytes.sub_string chunk 0 n)
+          | exception (Unix.Unix_error _ | Sys_error _) ->
+              Error "connection lost")
+    in
+    go t.residual
+
+  let rpc t msg =
+    match send t msg with Error e -> Error e | Ok () -> recv t
+
+  let invoke t op =
+    match rpc t (C.Invoke op) with
+    | Ok (C.Result r) -> Ok r
+    | Ok (C.Error_msg e) -> Error ("replica error: " ^ e)
+    | Ok m -> Error (Format.asprintf "unexpected reply %a" C.pp_msg m)
+    | Error e -> Error e
+
+  let stats t =
+    match rpc t C.Stats_req with
+    | Ok (C.Stats s) -> Ok s
+    | Ok (C.Error_msg e) -> Error ("replica error: " ^ e)
+    | Ok m -> Error (Format.asprintf "unexpected reply %a" C.pp_msg m)
+    | Error e -> Error e
+
+  let close t =
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+end

@@ -1,0 +1,486 @@
+(** Multi-process cluster orchestrator: forks [n] [timebounds serve]
+    processes on loopback TCP, drives them with the closed-loop load
+    generator over the client port, and verifies the merged history with
+    the same segmented Wing–Gong check as the in-process runtime.
+
+    Timeline: all client-observed invoke/response times are stamped on the
+    {e parent's} monotonic clock, so the history is on one timeline even
+    though the replicas are separate processes.  History entries use the
+    {e worker} id as the linearizability pid — two workers sharing a
+    replica have overlapping intervals, and labelling them with the
+    replica's pid would impose false same-process precedence constraints.
+
+    Unlike the in-process load generator there is no replica-side history:
+    the client-observed intervals are a superset of the replica-side ones
+    ([invoke ≤ execute ≤ response]), so a history linearizable on the wider
+    intervals is sound evidence (the converse — a violation — is always
+    real).
+
+    Failure handling: a monitor thread owns all [waitpid] reaping; an
+    unexpected child exit (e.g. a replica killed mid-run) raises the abort
+    flag, workers cut their rounds short, and the run reports a clean
+    failure instead of hanging. *)
+
+type child = {
+  child_pid : int;  (** replica pid (0..n-1) *)
+  os_pid : int;
+  port : int;
+}
+
+type report = {
+  label : string;
+  params : Core.Params.t;  (** effective (slack included in [d], [u]) *)
+  cfg_d : int;
+  cfg_u : int;
+  slack : int;
+  mix : int * int * int;
+  workers : int;
+  seed : int;
+  ops : int;
+  completed : int;
+  failed : int;  (** invocations that errored (connection lost, …) *)
+  wall_us : int;
+  throughput : float;
+  classes : Runtime.Loadgen.class_report list;
+  replica_stats : (int * Runtime.Transport_intf.stats) list;
+      (** per replica pid; missing replicas (died) are absent *)
+  aborted : string option;  (** why the run was cut short, if it was *)
+  verdict : Runtime.Loadgen.verdict;
+}
+
+let ok r =
+  r.failed = 0 && r.aborted = None
+  && match r.verdict with Runtime.Loadgen.Linearizable _ -> true | _ -> false
+
+let pp_report fmt r =
+  let m, a, o = r.mix in
+  Format.fprintf fmt
+    "@[<v>cluster %s: %a (net d=%d u=%d, slack=%d) mix=%d:%d:%d workers=%d \
+     seed=%d@,\
+     %d/%d ops in %.3f s (%.0f ops/s)%s@,"
+    r.label Core.Params.pp r.params r.cfg_d r.cfg_u r.slack m a o r.workers
+    r.seed r.completed r.ops
+    (float_of_int r.wall_us /. 1e6)
+    r.throughput
+    (if r.failed > 0 then Printf.sprintf "; %d FAILED" r.failed else "");
+  (match r.aborted with
+  | Some why -> Format.fprintf fmt "aborted: %s@," why
+  | None -> ());
+  List.iter
+    (fun (c : Runtime.Loadgen.class_report) ->
+      Format.fprintf fmt "  %-3s %a  (target %s %dµs)@,"
+        c.Runtime.Loadgen.class_name Runtime.Histogram.pp
+        c.Runtime.Loadgen.hist
+        (if String.equal c.Runtime.Loadgen.class_name "OOP" then "≤" else "≈")
+        c.Runtime.Loadgen.target_us)
+    r.classes;
+  List.iter
+    (fun (pid, stats) ->
+      Format.fprintf fmt "  replica %d: %a@," pid
+        Runtime.Transport_intf.pp_stats stats)
+    r.replica_stats;
+  Format.fprintf fmt "post-hoc linearizability: %a@]"
+    Runtime.Loadgen.pp_verdict r.verdict
+
+module Make (W : Wire.WIRED) = struct
+  module Cl = Client.Make (W)
+  module Gen = Runtime.Loadgen.Make (W.L)
+
+  (* Argv contract with [timebounds serve] (bin/cli.ml parses both
+     [--flag v] and [-flag v]). *)
+  let serve_argv ~exe ~peers ~pid ~d ~u ~eps ~x ~slack ~offset ~epoch =
+    [|
+      exe; "serve";
+      "--pid"; string_of_int pid;
+      "--peers"; peers;
+      "--object"; W.L.label;
+      "--d"; string_of_int d;
+      "--u"; string_of_int u;
+      "--eps"; string_of_int eps;
+      "--x"; string_of_int x;
+      "--slack"; string_of_int slack;
+      "--offset"; string_of_int offset;
+      "--epoch"; string_of_int epoch;
+      "--watch-parent"; string_of_int (Unix.getpid ());
+    |]
+
+  let draw rng (m, a, _o) total =
+    let toss = Prelude.Rng.int rng total in
+    if toss < m then W.L.sample_mutator rng
+    else if toss < m + a then W.L.sample_accessor rng
+    else W.L.sample_other rng
+
+  type worker_out = {
+    w_entries : Gen.Lin.entry list;  (** reverse invocation order *)
+    w_hists : Runtime.Histogram.t array;
+    w_failed : int;
+    w_error : string option;
+  }
+
+  let worker_round ~host ~ports ~start_us ~abort rng ~mix ~total ~quota ~wid =
+    let hists =
+      [|
+        Runtime.Histogram.create ();
+        Runtime.Histogram.create ();
+        Runtime.Histogram.create ();
+      |]
+    in
+    let port = ports.(wid mod Array.length ports) in
+    match Cl.connect ~host ~port ~attempts:3 ~retry_delay_us:50_000 () with
+    | Error e ->
+        { w_entries = []; w_hists = hists; w_failed = quota; w_error = Some e }
+    | Ok conn ->
+        let entries = ref [] in
+        let failed = ref 0 in
+        let error = ref None in
+        let i = ref 0 in
+        while !i < quota && !error = None && not (Atomic.get abort) do
+          incr i;
+          let op = draw rng mix total in
+          let slot =
+            match W.L.D.classify op with
+            | Spec.Data_type.Pure_mutator -> 0
+            | Spec.Data_type.Pure_accessor -> 1
+            | Spec.Data_type.Other -> 2
+          in
+          let t0 = Prelude.Mclock.now_us () in
+          match Cl.invoke conn op with
+          | Ok result ->
+              let t1 = Prelude.Mclock.now_us () in
+              Runtime.Histogram.add hists.(slot) (t1 - t0);
+              entries :=
+                {
+                  Gen.Lin.pid = wid;
+                  op;
+                  result;
+                  invoke = t0 - start_us;
+                  response = t1 - start_us;
+                }
+                :: !entries
+          | Error e ->
+              incr failed;
+              error := Some e;
+              Atomic.set abort true
+        done;
+        Cl.close conn;
+        {
+          w_entries = !entries;
+          w_hists = hists;
+          w_failed = !failed;
+          w_error = !error;
+        }
+
+  let spawn_children ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch
+      ~log =
+    let n = Array.length ports in
+    let peers =
+      String.concat ","
+        (Array.to_list
+           (Array.map (fun p -> Printf.sprintf "%s:%d" host p) ports))
+    in
+    Array.init n (fun i ->
+        let argv =
+          serve_argv ~exe ~peers ~pid:i ~d ~u ~eps ~x ~slack ~offset:offsets.(i)
+            ~epoch
+        in
+        let os_pid =
+          Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr
+        in
+        log
+          (Printf.sprintf "cluster: spawned replica %d (os pid %d, port %d)" i
+             os_pid ports.(i));
+        { child_pid = i; os_pid; port = ports.(i) })
+
+  (* The monitor thread is the sole reaper: everyone else consults the
+     table.  [expected] is flipped before teardown so deliberate
+     terminations don't raise the abort flag. *)
+  type monitor = {
+    mutable reaped : (int * Unix.process_status) list;
+    lock : Mutex.t;
+    expected : bool Atomic.t;
+    abort : bool Atomic.t;
+    mutable abort_why : string option;
+    mutable thread : Thread.t option;
+  }
+
+  (* OCaml signal numbers are internal (Sys.sigkill = -7); name the usual
+     suspects rather than leak them. *)
+  let signal_name s =
+    if s = Sys.sigkill then "SIGKILL"
+    else if s = Sys.sigterm then "SIGTERM"
+    else if s = Sys.sigint then "SIGINT"
+    else if s = Sys.sigsegv then "SIGSEGV"
+    else if s = Sys.sigabrt then "SIGABRT"
+    else Printf.sprintf "signal %d" s
+
+  let status_string = function
+    | Unix.WEXITED c -> Printf.sprintf "exited %d" c
+    | Unix.WSIGNALED s -> Printf.sprintf "killed by %s" (signal_name s)
+    | Unix.WSTOPPED s -> Printf.sprintf "stopped by %s" (signal_name s)
+
+  let start_monitor children ~abort ~log =
+    let mon =
+      {
+        reaped = [];
+        lock = Mutex.create ();
+        expected = Atomic.make false;
+        abort;
+        abort_why = None;
+        thread = None;
+      }
+    in
+    let n = Array.length children in
+    let thread =
+      Thread.create
+        (fun () ->
+          let left = ref n in
+          while !left > 0 do
+            match Unix.waitpid [] (-1) with
+            | os_pid, status ->
+                decr left;
+                Mutex.lock mon.lock;
+                mon.reaped <- (os_pid, status) :: mon.reaped;
+                Mutex.unlock mon.lock;
+                if not (Atomic.get mon.expected) then begin
+                  let who =
+                    match
+                      Array.find_opt (fun c -> c.os_pid = os_pid) children
+                    with
+                    | Some c -> Printf.sprintf "replica %d" c.child_pid
+                    | None -> Printf.sprintf "child %d" os_pid
+                  in
+                  let why =
+                    Printf.sprintf "%s %s mid-run" who (status_string status)
+                  in
+                  log ("cluster: " ^ why);
+                  if mon.abort_why = None then mon.abort_why <- Some why;
+                  Atomic.set mon.abort true
+                end
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+            | exception Unix.Unix_error (Unix.ECHILD, _, _) -> left := 0
+          done)
+        ()
+    in
+    mon.thread <- Some thread;
+    mon
+
+  let reaped mon os_pid =
+    Mutex.lock mon.lock;
+    let r = List.mem_assoc os_pid mon.reaped in
+    Mutex.unlock mon.lock;
+    r
+
+  let teardown mon children ~log =
+    Atomic.set mon.expected true;
+    Array.iter
+      (fun c ->
+        if not (reaped mon c.os_pid) then
+          try Unix.kill c.os_pid Sys.sigterm with Unix.Unix_error _ -> ())
+      children;
+    (* Give children 5 s to exit cleanly, then SIGKILL stragglers. *)
+    let deadline = Prelude.Mclock.now_us () + 5_000_000 in
+    let all_reaped () =
+      Array.for_all (fun c -> reaped mon c.os_pid) children
+    in
+    while (not (all_reaped ())) && Prelude.Mclock.now_us () < deadline do
+      Prelude.Mclock.sleep_us 20_000
+    done;
+    Array.iter
+      (fun c ->
+        if not (reaped mon c.os_pid) then begin
+          log
+            (Printf.sprintf "cluster: replica %d unresponsive, SIGKILL"
+               c.child_pid);
+          try Unix.kill c.os_pid Sys.sigkill with Unix.Unix_error _ -> ()
+        end)
+      children;
+    match mon.thread with Some t -> Thread.join t | None -> ()
+
+  (* Default round of 24 (not the in-process generator's 48): shorter
+     segments cut concurrent-mutator ambiguity windows sooner, which keeps
+     the cross-segment backtracking in [Linearize.check_segmented] cheap —
+     order-sensitive objects (queue) go from minutes to milliseconds. *)
+  let run ~n ~d ~u ?eps ?(x = 0) ?(slack = 5000) ?workers ?(round = 24)
+      ?(mix = (50, 40, 10)) ?(host = "127.0.0.1") ?(base_port = 7600)
+      ?(exe = Sys.executable_name) ?(log = fun _ -> ()) ?abort ~ops ~seed () =
+    if n < 1 then invalid_arg "Cluster.run: n must be >= 1";
+    if round < 1 || round > 62 then
+      invalid_arg "Cluster.run: round must be in [1, 62]";
+    let m, a, o = mix in
+    let total = m + a + o in
+    if m < 0 || a < 0 || o < 0 || total = 0 then
+      invalid_arg "Cluster.run: mix weights must be non-negative, not all 0";
+    let eps =
+      match eps with Some e -> e | None -> Core.Params.optimal_eps ~n ~u
+    in
+    let workers = match workers with Some w -> w | None -> n in
+    let params = Core.Params.make ~n ~d:(d + slack) ~u:(u + slack) ~eps ~x () in
+    let rng = Prelude.Rng.make seed in
+    let rng_offsets, rng_workers = Prelude.Rng.split rng in
+    let offsets =
+      Array.init n (fun i ->
+          if i = 0 || eps = 0 then 0
+          else Prelude.Rng.int_in rng_offsets ~lo:0 ~hi:eps)
+    in
+    let ports = Array.init n (fun i -> base_port + i) in
+    (* A dead parent must not leave orphan replicas: each child also
+       watches our pid (see [serve_argv]). *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    (* [?abort] lets the CLI share the flag with a SIGINT handler: raising
+       it cuts the round loop short and falls through to teardown. *)
+    let abort = match abort with Some a -> a | None -> Atomic.make false in
+    (* One clock epoch for the whole cluster: replica clocks must differ
+       only by the drawn offsets (≤ ε), not by process spawn deltas. *)
+    let epoch = Prelude.Mclock.now_us () in
+    let children =
+      spawn_children ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch
+        ~log
+    in
+    let mon = start_monitor children ~abort ~log in
+    (* Readiness: one admin connection per replica, retried while the
+       children bind their ports; kept open for the final Stats_req. *)
+    let admin =
+      Array.map
+        (fun c ->
+          match Cl.connect ~host ~port:c.port ~attempts:100 () with
+          | Ok conn -> Some conn
+          | Error e ->
+              log
+                (Printf.sprintf "cluster: replica %d not reachable: %s"
+                   c.child_pid e);
+              Atomic.set abort true;
+              None)
+        children
+    in
+    let start_us = Prelude.Mclock.now_us () in
+    let merged =
+      [|
+        Runtime.Histogram.create ();
+        Runtime.Histogram.create ();
+        Runtime.Histogram.create ();
+      |]
+    in
+    let entries = ref [] in
+    let cuts = ref [] in
+    let failed = ref 0 in
+    let first_error = ref None in
+    let rng_workers = ref rng_workers in
+    let remaining = ref ops in
+    while !remaining > 0 && not (Atomic.get abort) do
+      let quota = min round !remaining in
+      remaining := !remaining - quota;
+      let spawned =
+        List.init workers (fun wid ->
+            let mine, rest = Prelude.Rng.split !rng_workers in
+            rng_workers := rest;
+            let share =
+              (quota / workers) + if wid < quota mod workers then 1 else 0
+            in
+            Domain.spawn (fun () ->
+                worker_round ~host ~ports ~start_us ~abort mine ~mix ~total
+                  ~quota:share ~wid))
+      in
+      List.iter
+        (fun dom ->
+          let out = Domain.join dom in
+          entries := List.rev_append out.w_entries !entries;
+          failed := !failed + out.w_failed;
+          (match (out.w_error, !first_error) with
+          | Some e, None -> first_error := Some e
+          | _ -> ());
+          Array.iteri
+            (fun i h ->
+              merged.(i) <- Runtime.Histogram.merge merged.(i) h)
+            out.w_hists)
+        spawned;
+      cuts := Prelude.Mclock.now_us () - start_us :: !cuts
+    done;
+    let wall_us = Prelude.Mclock.now_us () - start_us in
+    let replica_stats =
+      Array.to_list admin
+      |> List.mapi (fun i conn ->
+             match conn with
+             | None -> None
+             | Some conn -> (
+                 match Cl.stats conn with
+                 | Ok s ->
+                     Cl.close conn;
+                     Some (i, s)
+                 | Error _ ->
+                     Cl.close conn;
+                     None))
+      |> List.filter_map Fun.id
+    in
+    teardown mon children ~log;
+    let completed = List.length !entries in
+    let aborted =
+      match (mon.abort_why, !first_error) with
+      | Some why, _ -> Some why
+      | None, Some e when Atomic.get abort -> Some e
+      | None, _ -> if Atomic.get abort then Some "aborted" else None
+    in
+    let verdict =
+      if !failed > 0 then
+        Runtime.Loadgen.Unchecked
+          (Printf.sprintf "%d invocation%s failed (%s)" !failed
+             (if !failed = 1 then "" else "s")
+             (Option.value !first_error ~default:"unknown error"))
+      else if aborted <> None then
+        Runtime.Loadgen.Unchecked
+          (Option.value aborted ~default:"run aborted")
+      else if completed <> ops then
+        Runtime.Loadgen.Unchecked
+          (Printf.sprintf "expected %d completed ops, recorded %d" ops
+             completed)
+      else
+        let sorted =
+          List.sort
+            (fun (a : Gen.Lin.entry) (b : Gen.Lin.entry) ->
+              compare (a.Gen.Lin.invoke, a.Gen.Lin.pid)
+                (b.Gen.Lin.invoke, b.Gen.Lin.pid))
+            !entries
+        in
+        Gen.check_history sorted (List.sort compare !cuts)
+    in
+    let t = params.Core.Params.timing in
+    let classes =
+      [
+        {
+          Runtime.Loadgen.class_name = "MOP";
+          target_us = t.Core.Params.mutator_wait;
+          hist = merged.(0);
+        };
+        {
+          Runtime.Loadgen.class_name = "AOP";
+          target_us = t.Core.Params.accessor_wait;
+          hist = merged.(1);
+        };
+        {
+          Runtime.Loadgen.class_name = "OOP";
+          target_us = params.Core.Params.d + params.Core.Params.eps;
+          hist = merged.(2);
+        };
+      ]
+    in
+    {
+      label = W.L.label;
+      params;
+      cfg_d = d;
+      cfg_u = u;
+      slack;
+      mix;
+      workers;
+      seed;
+      ops;
+      completed;
+      failed = !failed;
+      wall_us;
+      throughput =
+        (if wall_us = 0 then 0.
+         else float_of_int completed /. (float_of_int wall_us /. 1e6));
+      classes;
+      replica_stats;
+      aborted;
+      verdict;
+    }
+end

@@ -1,0 +1,329 @@
+(** See the interface.  Layout of a frame:
+
+    {v
+    offset  size  field
+    0       2     magic "TB"
+    2       1     version
+    3       1     kind
+    4       4     payload length, u32 big-endian
+    8       4     CRC-32 (IEEE) over bytes 2..7 and the payload
+    12      len   payload
+    v} *)
+
+let version = 1
+let header_len = 12
+let max_payload = 1 lsl 24  (* 16 MiB: far above any entry, guards length bombs *)
+let magic0 = 'T'
+let magic1 = 'B'
+
+type frame = { kind : int; payload : string }
+
+type 'a progress =
+  | Got of 'a * int
+  | Need_more of int
+  | Corrupt of string
+
+(* ---- CRC-32 (IEEE 802.3, reflected, poly 0xedb88320) ---- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32_update crc s ~pos ~len =
+  let table = Lazy.force crc_table in
+  let crc = ref crc in
+  for i = pos to pos + len - 1 do
+    crc := table.((!crc lxor Char.code s.[i]) land 0xff) lxor (!crc lsr 8)
+  done;
+  !crc
+
+let crc32 s ~pos ~len = crc32_update 0xffffffff s ~pos ~len lxor 0xffffffff
+
+let frame_crc ~kind ~payload =
+  (* Cover version, kind and length exactly as laid out on the wire, then
+     the payload — so any single-bit flip in bytes 2.. is detected. *)
+  let hdr = Bytes.create 6 in
+  Bytes.set hdr 0 (Char.chr version);
+  Bytes.set hdr 1 (Char.chr kind);
+  let len = String.length payload in
+  Bytes.set hdr 2 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set hdr 3 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set hdr 4 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set hdr 5 (Char.chr (len land 0xff));
+  let crc = crc32_update 0xffffffff (Bytes.unsafe_to_string hdr) ~pos:0 ~len:6 in
+  crc32_update crc payload ~pos:0 ~len lxor 0xffffffff
+
+let u32_be s pos =
+  (Char.code s.[pos] lsl 24)
+  lor (Char.code s.[pos + 1] lsl 16)
+  lor (Char.code s.[pos + 2] lsl 8)
+  lor Char.code s.[pos + 3]
+
+let encode_frame ~kind ~payload =
+  if kind < 0 || kind > 0xff then invalid_arg "Codec.encode_frame: kind";
+  let len = String.length payload in
+  if len > max_payload then invalid_arg "Codec.encode_frame: payload too large";
+  let crc = frame_crc ~kind ~payload in
+  let b = Buffer.create (header_len + len) in
+  Buffer.add_char b magic0;
+  Buffer.add_char b magic1;
+  Buffer.add_char b (Char.chr version);
+  Buffer.add_char b (Char.chr kind);
+  Buffer.add_char b (Char.chr ((len lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((len lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((len lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (len land 0xff));
+  Buffer.add_char b (Char.chr ((crc lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((crc lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((crc lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (crc land 0xff));
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let decode_frame ?(pos = 0) s =
+  let avail = String.length s - pos in
+  if pos < 0 || avail < 0 then Corrupt "negative offset"
+  else if avail < header_len then Need_more (header_len - avail)
+  else if s.[pos] <> magic0 || s.[pos + 1] <> magic1 then Corrupt "bad magic"
+  else if Char.code s.[pos + 2] <> version then
+    Corrupt (Printf.sprintf "unsupported version %d" (Char.code s.[pos + 2]))
+  else
+    let kind = Char.code s.[pos + 3] in
+    let len = u32_be s (pos + 4) in
+    if len > max_payload then
+      Corrupt (Printf.sprintf "oversized frame (%d bytes)" len)
+    else if avail < header_len + len then Need_more (header_len + len - avail)
+    else
+      let payload = String.sub s (pos + header_len) len in
+      let crc = u32_be s (pos + 8) in
+      if frame_crc ~kind ~payload <> crc then Corrupt "checksum mismatch"
+      else Got ({ kind; payload }, pos + header_len + len)
+
+(* ---- payload primitives ---- *)
+
+exception Bad_payload of string
+
+module Wr = struct
+  let rec uint b n =
+    if n land lnot 0x7f = 0 then Buffer.add_char b (Char.chr n)
+    else begin
+      Buffer.add_char b (Char.chr (0x80 lor (n land 0x7f)));
+      uint b (n lsr 7)
+    end
+
+  let int b i = uint b ((i lsl 1) lxor (i asr 62))
+
+  let string b s =
+    uint b (String.length s);
+    Buffer.add_string b s
+end
+
+module Rd = struct
+  type t = { buf : string; mutable pos : int }
+
+  let of_string s = { buf = s; pos = 0 }
+  let fail msg = raise (Bad_payload msg)
+
+  let byte t =
+    if t.pos >= String.length t.buf then fail "truncated payload"
+    else begin
+      let c = Char.code t.buf.[t.pos] in
+      t.pos <- t.pos + 1;
+      c
+    end
+
+  let uint t =
+    let rec go shift acc =
+      if shift > 62 then fail "varint overflow"
+      else
+        let c = byte t in
+        let acc = acc lor ((c land 0x7f) lsl shift) in
+        if c land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let int t =
+    let n = uint t in
+    (n lsr 1) lxor (-(n land 1))
+
+  let string t =
+    let len = uint t in
+    if len < 0 || t.pos + len > String.length t.buf then
+      fail "truncated string"
+    else begin
+      let s = String.sub t.buf t.pos len in
+      t.pos <- t.pos + len;
+      s
+    end
+
+  let at_end t = t.pos = String.length t.buf
+end
+
+(* ---- typed messages ---- *)
+
+module type OBJ_CODEC = sig
+  module D : Spec.Data_type.S
+
+  val obj_tag : int
+  val write_op : Buffer.t -> D.op -> unit
+  val read_op : Rd.t -> D.op
+  val write_result : Buffer.t -> D.result -> unit
+  val read_result : Rd.t -> D.result
+end
+
+type hello = {
+  pid : int;
+  n : int;
+  d : int;
+  u : int;
+  eps : int;
+  x : int;
+  obj_tag : int;
+}
+
+(* frame kinds *)
+let k_hello = 0
+let k_entry = 1
+let k_invoke = 2
+let k_result = 3
+let k_stats_req = 4
+let k_stats = 5
+let k_error = 6
+
+module Make (O : OBJ_CODEC) = struct
+  type msg =
+    | Hello of hello
+    | Entry of { op : O.D.op; time : int; pid : int }
+    | Invoke of O.D.op
+    | Result of O.D.result
+    | Stats_req
+    | Stats of Runtime.Transport_intf.stats
+    | Error_msg of string
+
+  let equal_msg a b =
+    match (a, b) with
+    | Hello h1, Hello h2 -> h1 = h2
+    | Entry e1, Entry e2 ->
+        O.D.equal_op e1.op e2.op && e1.time = e2.time && e1.pid = e2.pid
+    | Invoke o1, Invoke o2 -> O.D.equal_op o1 o2
+    | Result r1, Result r2 -> O.D.equal_result r1 r2
+    | Stats_req, Stats_req -> true
+    | Stats s1, Stats s2 -> s1 = s2
+    | Error_msg e1, Error_msg e2 -> String.equal e1 e2
+    | _ -> false
+
+  let pp_msg fmt = function
+    | Hello h ->
+        Format.fprintf fmt "hello{pid=%d n=%d d=%d u=%d eps=%d x=%d obj=%d}"
+          h.pid h.n h.d h.u h.eps h.x h.obj_tag
+    | Entry e ->
+        Format.fprintf fmt "entry{%a @@ ⟨%d,%d⟩}" O.D.pp_op e.op e.time e.pid
+    | Invoke op -> Format.fprintf fmt "invoke{%a}" O.D.pp_op op
+    | Result r -> Format.fprintf fmt "result{%a}" O.D.pp_result r
+    | Stats_req -> Format.pp_print_string fmt "stats?"
+    | Stats s ->
+        Format.fprintf fmt "stats{%a}" Runtime.Transport_intf.pp_stats s
+    | Error_msg e -> Format.fprintf fmt "error{%s}" e
+
+  let encode msg =
+    let b = Buffer.create 32 in
+    let kind =
+      match msg with
+      | Hello h ->
+          Wr.int b h.pid;
+          Wr.int b h.n;
+          Wr.int b h.d;
+          Wr.int b h.u;
+          Wr.int b h.eps;
+          Wr.int b h.x;
+          Wr.int b h.obj_tag;
+          k_hello
+      | Entry e ->
+          O.write_op b e.op;
+          Wr.int b e.time;
+          Wr.int b e.pid;
+          k_entry
+      | Invoke op ->
+          O.write_op b op;
+          k_invoke
+      | Result r ->
+          O.write_result b r;
+          k_result
+      | Stats_req -> k_stats_req
+      | Stats s ->
+          Wr.int b s.Runtime.Transport_intf.sent;
+          Wr.int b s.dropped;
+          (match s.link with
+          | None -> Wr.int b 0
+          | Some l ->
+              Wr.int b 1;
+              Wr.int b l.reconnects;
+              Wr.int b l.bytes_out;
+              Wr.int b l.bytes_in);
+          k_stats
+      | Error_msg e ->
+          Wr.string b e;
+          k_error
+    in
+    encode_frame ~kind ~payload:(Buffer.contents b)
+
+  let decode_payload frame =
+    match
+      let r = Rd.of_string frame.payload in
+      let msg =
+        if frame.kind = k_hello then
+          let pid = Rd.int r in
+          let n = Rd.int r in
+          let d = Rd.int r in
+          let u = Rd.int r in
+          let eps = Rd.int r in
+          let x = Rd.int r in
+          let obj_tag = Rd.int r in
+          Hello { pid; n; d; u; eps; x; obj_tag }
+        else if frame.kind = k_entry then begin
+          let op = O.read_op r in
+          let time = Rd.int r in
+          let pid = Rd.int r in
+          Entry { op; time; pid }
+        end
+        else if frame.kind = k_invoke then Invoke (O.read_op r)
+        else if frame.kind = k_result then Result (O.read_result r)
+        else if frame.kind = k_stats_req then Stats_req
+        else if frame.kind = k_stats then begin
+          let sent = Rd.int r in
+          let dropped = Rd.int r in
+          let link =
+            match Rd.int r with
+            | 0 -> None
+            | 1 ->
+                let reconnects = Rd.int r in
+                let bytes_out = Rd.int r in
+                let bytes_in = Rd.int r in
+                Some
+                  { Runtime.Transport_intf.reconnects; bytes_out; bytes_in }
+            | t -> Rd.fail (Printf.sprintf "stats: bad link tag %d" t)
+          in
+          Stats { Runtime.Transport_intf.sent; dropped; link }
+        end
+        else if frame.kind = k_error then Error_msg (Rd.string r)
+        else Rd.fail (Printf.sprintf "unknown frame kind %d" frame.kind)
+      in
+      if Rd.at_end r then Ok msg else Error "trailing payload bytes"
+    with
+    | verdict -> verdict
+    | exception Bad_payload msg -> Error msg
+
+  let decode ?(pos = 0) s =
+    match decode_frame ~pos s with
+    | Need_more k -> Need_more k
+    | Corrupt e -> Corrupt e
+    | Got (frame, next) -> (
+        match decode_payload frame with
+        | Ok msg -> Got (msg, next)
+        | Error e -> Corrupt e)
+end

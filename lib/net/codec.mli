@@ -1,0 +1,132 @@
+(** Versioned, length-prefixed binary wire format for Algorithm 1
+    clusters.
+
+    Two layers:
+
+    - an {e untyped framing layer} ({!encode_frame}/{!decode_frame}): every
+      frame is [magic "TB" | version | kind | payload length (u32 BE) |
+      CRC-32 | payload].  The CRC (IEEE 802.3, over version, kind, length
+      and payload) makes corruption — truncation aside — a detected error:
+      any single bit flip in the covered region is caught by construction,
+      and a flip in the magic or a truncating flip in the length field
+      surfaces as {!Corrupt} or {!Need_more}.  Decoding {e never raises}:
+      a stream reader can feed arbitrary bytes and always gets a
+      three-valued verdict.
+    - a {e typed message layer} ({!Make}): the Algorithm 1 / client
+      protocol messages, generic over a per-object (de)serialiser
+      ({!OBJ_CODEC}; the registered objects live in {!Wire}).  Payloads
+      use zigzag-varint integers and length-prefixed strings; a malformed
+      payload inside a well-framed frame decodes to {!Corrupt}, not an
+      exception.
+
+    The wire protocol (who sends which message) is documented in
+    [Tcp_transport] and README "Wire format". *)
+
+val version : int
+(** Current wire version (1).  A decoder rejects every other version, so
+    incompatible future formats fail the handshake instead of
+    misparsing. *)
+
+val header_len : int
+val max_payload : int
+
+type frame = { kind : int; payload : string }
+
+type 'a progress =
+  | Got of 'a * int  (** decoded value, offset of the next byte to read *)
+  | Need_more of int  (** how many more bytes (at least) must arrive *)
+  | Corrupt of string
+
+val encode_frame : kind:int -> payload:string -> string
+(** @raise Invalid_argument if [kind] is not a byte or the payload exceeds
+    {!max_payload}. *)
+
+val decode_frame : ?pos:int -> string -> frame progress
+(** Decode one frame starting at [pos] (default 0).  Total function: bad
+    magic, bad version, oversized length and checksum mismatch are
+    {!Corrupt}; an incomplete frame is {!Need_more}. *)
+
+val crc32 : string -> pos:int -> len:int -> int
+(** IEEE CRC-32 of a substring (exposed for tests). *)
+
+(** {2 Payload primitives} *)
+
+exception Bad_payload of string
+(** Raised by {!Rd} accessors and {!OBJ_CODEC} readers on malformed
+    payloads; confined to the codec — {!Make.decode} catches it and
+    returns {!Corrupt}. *)
+
+module Wr : sig
+  val int : Buffer.t -> int -> unit  (** zigzag LEB128 varint *)
+
+  val string : Buffer.t -> string -> unit  (** varint length + bytes *)
+end
+
+module Rd : sig
+  type t
+
+  val of_string : string -> t
+  val int : t -> int
+  val string : t -> string
+  val at_end : t -> bool
+
+  val fail : string -> 'a
+  (** [raise (Bad_payload _)] — for object codecs rejecting bad tags. *)
+end
+
+(** {2 Typed messages} *)
+
+(** Per-object (de)serialiser: how one registered data type's operations
+    and results travel.  Readers raise {!Bad_payload} on malformed input
+    and nothing else. *)
+module type OBJ_CODEC = sig
+  module D : Spec.Data_type.S
+
+  val obj_tag : int
+  (** Wire identity of the object, carried in the handshake so a register
+      replica never deserialises queue operations. *)
+
+  val write_op : Buffer.t -> D.op -> unit
+  val read_op : Rd.t -> D.op
+  val write_result : Buffer.t -> D.result -> unit
+  val read_result : Rd.t -> D.result
+end
+
+type hello = {
+  pid : int;
+  n : int;
+  d : int;
+  u : int;
+  eps : int;
+  x : int;
+  obj_tag : int;
+}
+(** The connect handshake: the sender's identity plus the parameters it
+    runs Algorithm 1 with.  Receivers reject mismatches — a cluster whose
+    members disagree on [(n, d, u, ε, X)] or on the object would silently
+    violate the model's admissibility assumptions instead. *)
+
+module Make (O : OBJ_CODEC) : sig
+  type msg =
+    | Hello of hello  (** first frame on a replica→replica connection *)
+    | Entry of { op : O.D.op; time : int; pid : int }
+        (** an Algorithm 1 protocol message: operation + ⟨time, pid⟩ stamp *)
+    | Invoke of O.D.op  (** client → replica *)
+    | Result of O.D.result  (** replica → client *)
+    | Stats_req  (** client → replica: transport stats probe *)
+    | Stats of Runtime.Transport_intf.stats  (** replica → client *)
+    | Error_msg of string  (** replica → client: invocation failed *)
+
+  val equal_msg : msg -> msg -> bool
+  val pp_msg : Format.formatter -> msg -> unit
+
+  val encode : msg -> string
+  (** Full frame bytes, ready for the wire. *)
+
+  val decode_payload : frame -> (msg, string) result
+  (** Interpret an already-framed payload; [Error] on unknown kind,
+      malformed payload, or trailing bytes. *)
+
+  val decode : ?pos:int -> string -> msg progress
+  (** {!decode_frame} followed by {!decode_payload}; total. *)
+end

@@ -1,0 +1,229 @@
+(** One Algorithm 1 replica as an OS process: the TCP transport, a single
+    {!Runtime.Replica} node on its own domain, and a client port — the
+    body of [timebounds serve].
+
+    Wiring: the replica's event type is opaque ([Replica.Make(D).event]);
+    only its [net] (protocol entry) events cross the wire, encoded as
+    {!Codec} [Entry] frames.  Client connections (first frame [Invoke]
+    rather than [Hello]) are served on their accepting thread: each
+    [Invoke] becomes a synchronous [node_invoke], each [Stats_req] a
+    transport-stats snapshot, so invocations block the connection — not
+    the replica loop — exactly like the in-process client cells.
+
+    A {!handle} is separable from the CLI so an in-process caller (the
+    [tcp_cluster] example, the tests) can run several replica stacks in
+    one process on ephemeral ports. *)
+
+type config = {
+  pid : int;
+  addrs : (string * int) array;  (** every replica's address, index = pid *)
+  params : Core.Params.t;  (** effective (slack already folded into d, u) *)
+  offset : int;  (** this replica's clock offset, µs *)
+  start_us : int option;
+      (** shared clock epoch (µs on {!Prelude.Mclock}'s timeline, which is
+          wall-clock based and hence comparable across local processes).
+          Every replica of a cluster must use the same epoch: replica
+          clocks read [now − start_us + offset], so per-process epochs
+          would skew them by the process spawn deltas — far beyond the ε
+          the algorithm assumes.  [None] means "now" (single-replica or
+          in-process use). *)
+  log : string -> unit;
+}
+
+module Make (W : Wire.WIRED) = struct
+  module C = Codec.Make (W.C)
+  module R = Runtime.Replica.Make (W.L.D)
+
+  type handle = {
+    config : config;
+    transport : R.event Runtime.Transport_intf.t;
+    node : R.node;
+    mutable handle_stopped : bool;
+  }
+
+  let hello_of cfg =
+    {
+      Codec.pid = cfg.pid;
+      n = cfg.params.Core.Params.n;
+      d = cfg.params.Core.Params.d;
+      u = cfg.params.Core.Params.u;
+      eps = cfg.params.Core.Params.eps;
+      x = cfg.params.Core.Params.x;
+      obj_tag = W.C.obj_tag;
+    }
+
+  (* Accept a peer iff it runs the same protocol instance: same object,
+     same (n, d, u, ε, X).  A mismatched peer would silently break the
+     admissibility assumptions, so it is rejected loudly instead. *)
+  let classify_hello cfg frame =
+    match C.decode_payload frame with
+    | Ok (C.Hello h) ->
+        let mine = hello_of cfg in
+        if h.Codec.obj_tag <> mine.Codec.obj_tag then
+          Tcp_transport.Reject
+            (Printf.sprintf "object mismatch (peer %d, ours %d)"
+               h.Codec.obj_tag mine.Codec.obj_tag)
+        else if
+          h.Codec.n <> mine.Codec.n
+          || h.Codec.d <> mine.Codec.d
+          || h.Codec.u <> mine.Codec.u
+          || h.Codec.eps <> mine.Codec.eps
+          || h.Codec.x <> mine.Codec.x
+        then
+          Tcp_transport.Reject
+            (Printf.sprintf
+               "parameter mismatch: peer %d has (n=%d d=%d u=%d eps=%d x=%d)"
+               h.Codec.pid h.Codec.n h.Codec.d h.Codec.u h.Codec.eps h.Codec.x)
+        else if h.Codec.pid < 0 || h.Codec.pid >= mine.Codec.n then
+          Tcp_transport.Reject (Printf.sprintf "bad peer pid %d" h.Codec.pid)
+        else Tcp_transport.Peer h.Codec.pid
+    | Ok _ -> Tcp_transport.Client
+    | Error e -> Tcp_transport.Reject ("bad handshake: " ^ e)
+
+  let decode_peer ~src:_ frame =
+    match C.decode_payload frame with
+    | Ok (C.Entry { op; time; pid }) ->
+        Some (R.net { R.Alg.op; ts = Prelude.Stamp.make ~time ~pid })
+    | Ok _ | Error _ -> None
+
+  let encode_peer ev =
+    match R.net_entry ev with
+    | Some (e : R.Alg.entry) ->
+        C.encode
+          (C.Entry
+             {
+               op = e.R.Alg.op;
+               time = e.R.Alg.ts.Prelude.Stamp.time;
+               pid = e.R.Alg.ts.Prelude.Stamp.pid;
+             })
+    | None ->
+        (* Invoke/Stop are local-only events; the replica never sends
+           them, so reaching here is a wiring bug. *)
+        invalid_arg "Serve.encode_peer: local event on the wire"
+
+  let start ?(listener : Tcp_transport.listener option) (cfg : config) =
+    let host, port = cfg.addrs.(cfg.pid) in
+    let listener =
+      match listener with Some l -> l | None -> Tcp_transport.listen ~host ~port
+    in
+    (* The node is created after the transport, so client connections that
+       race startup briefly spin on [node_ref]. *)
+    let node_ref = ref None in
+    let transport_ref = ref None in
+    let rec the_node () =
+      match !node_ref with
+      | Some node -> node
+      | None ->
+          Prelude.Mclock.sleep_us 1_000;
+          the_node ()
+    in
+    let on_client ~first conn =
+      let reply msg = Tcp_transport.conn_write conn (C.encode msg) in
+      let handle_frame frame =
+        match C.decode_payload frame with
+        | Ok (C.Invoke op) -> (
+            match R.node_invoke (the_node ()) op with
+            | r -> reply (C.Result r)
+            | exception R.Stopped -> reply (C.Error_msg "replica stopped"))
+        | Ok C.Stats_req ->
+            let stats =
+              match !transport_ref with
+              | Some t -> Runtime.Transport_intf.stats t
+              | None ->
+                  {
+                    Runtime.Transport_intf.sent = 0;
+                    dropped = 0;
+                    link = Some Runtime.Transport_intf.no_links;
+                  }
+            in
+            reply (C.Stats stats)
+        | Ok m ->
+            ignore
+              (reply
+                 (C.Error_msg
+                    (Format.asprintf "unexpected frame %a" C.pp_msg m)));
+            false
+        | Error e ->
+            ignore (reply (C.Error_msg ("bad frame: " ^ e)));
+            false
+      in
+      let rec loop frame =
+        if handle_frame frame then
+          match Tcp_transport.conn_read_frame conn with
+          | Some next -> loop next
+          | None -> ()
+      in
+      loop first
+    in
+    let transport =
+      Tcp_transport.create ~me:cfg.pid ~addrs:cfg.addrs ~listener
+        ~hello:(C.encode (C.Hello (hello_of cfg)))
+        ~classify_hello:(classify_hello cfg) ~decode_peer ~encode_peer
+        ~on_client ~log:cfg.log ()
+    in
+    transport_ref := Some transport;
+    let node =
+      R.node ~params:cfg.params ~transport ~pid:cfg.pid ~offset:cfg.offset
+        ?start_us:cfg.start_us ()
+    in
+    node_ref := Some node;
+    { config = cfg; transport; node; handle_stopped = false }
+
+  (* Stop order matters: cancelling the node first wakes client-handler
+     threads blocked on invocation cells, so closing the transport (which
+     joins its threads) cannot hang behind them. *)
+  let stop handle =
+    if not handle.handle_stopped then begin
+      handle.handle_stopped <- true;
+      let records = R.node_stop handle.node in
+      let stats = Runtime.Transport_intf.stats handle.transport in
+      Runtime.Transport_intf.close handle.transport;
+      (records, stats)
+    end
+    else ([], Runtime.Transport_intf.stats handle.transport)
+
+  let stats handle = Runtime.Transport_intf.stats handle.transport
+
+  (* ---- the [timebounds serve] process body ---- *)
+
+  let run (cfg : config) =
+    let stop_requested = Atomic.make false in
+    let request_stop _ = Atomic.set stop_requested true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    (* Ignore SIGPIPE: a dead peer must surface as EPIPE on the write, not
+       kill the process. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let handle = start cfg in
+    let host, port = cfg.addrs.(cfg.pid) in
+    cfg.log
+      (Printf.sprintf "replica %d: listening on %s:%d (%s, n=%d)" cfg.pid host
+         port W.L.label cfg.params.Core.Params.n);
+    let watched_parent = ref None in
+    let set_watch pid = watched_parent := Some pid in
+    let parent_alive () =
+      match !watched_parent with
+      | None -> true
+      | Some pid -> ( match Unix.kill pid 0 with () -> true | exception _ -> false)
+    in
+    let rec wait () =
+      if Atomic.get stop_requested then ()
+      else if not (parent_alive ()) then
+        cfg.log (Printf.sprintf "replica %d: parent gone, exiting" cfg.pid)
+      else begin
+        Prelude.Mclock.sleep_us 100_000;
+        wait ()
+      end
+    in
+    (set_watch, wait, handle)
+
+  let run_until_signalled ?watch_parent (cfg : config) =
+    let set_watch, wait, handle = run cfg in
+    (match watch_parent with Some p -> set_watch p | None -> ());
+    wait ();
+    let records, stats = stop handle in
+    cfg.log
+      (Printf.sprintf "replica %d: stopped after %d ops; %s" cfg.pid
+         (List.length records)
+         (Format.asprintf "%a" Runtime.Transport_intf.pp_stats stats))
+end

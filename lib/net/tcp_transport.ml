@@ -1,0 +1,421 @@
+(** See the interface.  Thread structure per process:
+
+    - 1 acceptor (select loop, so [close] can interrupt it);
+    - 1 reader per accepted connection (peer entries → local mailbox,
+      client connections → [on_client]);
+    - 1 writer per outgoing peer link (bounded queue, reconnect/backoff).
+
+    The replica's event loop only ever touches the mailbox; all socket IO
+    happens on these helper threads. *)
+
+type listener = { listen_fd : Unix.file_descr; host : string; port : int }
+
+let resolve host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } -> failwith ("cannot resolve " ^ host)
+    | h -> h.Unix.h_addr_list.(0)
+    | exception Not_found -> failwith ("cannot resolve " ^ host))
+
+let listen ~host ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (resolve host, port));
+  Unix.listen fd 64;
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  { listen_fd = fd; host; port }
+
+type hello_verdict = Peer of int | Client | Reject of string
+
+(* ---- outgoing peer links ---- *)
+
+type link = {
+  dst : int;
+  queue : string Queue.t;
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable fd : Unix.file_descr option;
+  mutable attempts : int;  (** connect attempts so far (for reconnects) *)
+}
+
+type counters = {
+  sent : int Atomic.t;
+  dropped : int Atomic.t;
+  reconnects : int Atomic.t;
+  bytes_out : int Atomic.t;
+  bytes_in : int Atomic.t;
+}
+
+type client_conn = {
+  conn_fd : Unix.file_descr;
+  mutable residual : string;  (** bytes read past the frame last returned *)
+  ctrs : counters;
+}
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < len then go (off + Unix.write fd b off (len - off))
+  in
+  go 0
+
+let conn_write conn s =
+  match write_all conn.conn_fd s with
+  | () ->
+      ignore (Atomic.fetch_and_add conn.ctrs.bytes_out (String.length s));
+      true
+  | exception (Unix.Unix_error _ | Sys_error _) -> false
+
+let conn_read_frame conn =
+  let chunk = Bytes.create 8192 in
+  let rec go acc =
+    match Codec.decode_frame acc with
+    | Codec.Got (frame, next) ->
+        conn.residual <- String.sub acc next (String.length acc - next);
+        Some frame
+    | Codec.Corrupt _ -> None
+    | Codec.Need_more _ -> (
+        match Unix.read conn.conn_fd chunk 0 (Bytes.length chunk) with
+        | 0 -> None
+        | n ->
+            ignore (Atomic.fetch_and_add conn.ctrs.bytes_in n);
+            go (acc ^ Bytes.sub_string chunk 0 n)
+        | exception (Unix.Unix_error _ | Sys_error _) -> None)
+  in
+  go conn.residual
+
+(* ---- transport state ---- *)
+
+type 'msg state = {
+  me : int;
+  n : int;
+  addrs : (string * int) array;
+  hello : string;
+  listener : listener;
+  box : (int * 'msg) Runtime.Mailbox.t;
+  links : link array;
+  ctrs : counters;
+  stopping : bool Atomic.t;
+  accepted : Unix.file_descr list ref;
+  accepted_lock : Mutex.t;
+  max_queue : int;
+  backoff_min_us : int;
+  backoff_max_us : int;
+  log : string -> unit;
+}
+
+let quiet_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let quiet_shutdown fd =
+  try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+(* Sleep in short slices so a stopping transport is never stuck in a long
+   backoff pause. *)
+let backoff_sleep st us =
+  let slice = 50_000 in
+  let rec go left =
+    if left > 0 && not (Atomic.get st.stopping) then begin
+      Prelude.Mclock.sleep_us (min slice left);
+      go (left - slice)
+    end
+  in
+  go us
+
+let try_connect st link =
+  let host, port = st.addrs.(link.dst) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.connect fd (Unix.ADDR_INET (resolve host, port));
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    write_all fd st.hello
+  with
+  | () ->
+      ignore (Atomic.fetch_and_add st.ctrs.bytes_out (String.length st.hello));
+      Some fd
+  | exception (Unix.Unix_error _ | Sys_error _ | Failure _) ->
+      quiet_close fd;
+      None
+
+(* Connect (or reconnect) [link], sleeping with capped exponential backoff
+   between attempts; every attempt beyond the link's first counts as a
+   reconnect.  [None] only when the transport is stopping. *)
+let ensure_connected st link =
+  let rec go backoff =
+    if Atomic.get st.stopping then None
+    else
+      match link.fd with
+      | Some fd -> Some fd
+      | None ->
+          if link.attempts > 0 then Atomic.incr st.ctrs.reconnects;
+          link.attempts <- link.attempts + 1;
+          (match try_connect st link with
+          | Some fd ->
+              Mutex.lock link.lock;
+              link.fd <- Some fd;
+              Mutex.unlock link.lock;
+              Some fd
+          | None ->
+              backoff_sleep st backoff;
+              go (min (2 * backoff) st.backoff_max_us))
+  in
+  go st.backoff_min_us
+
+let drop_connection link =
+  Mutex.lock link.lock;
+  (match link.fd with
+  | Some fd ->
+      link.fd <- None;
+      quiet_shutdown fd;
+      quiet_close fd
+  | None -> ());
+  Mutex.unlock link.lock
+
+let writer_loop st link =
+  let rec loop () =
+    Mutex.lock link.lock;
+    while Queue.is_empty link.queue && not (Atomic.get st.stopping) do
+      Condition.wait link.cond link.lock
+    done;
+    if Atomic.get st.stopping then Mutex.unlock link.lock
+    else begin
+      (* Peek, write, then pop: a frame interrupted by a connection
+         failure is retransmitted on the fresh connection (the receiver
+         discarded the truncated copy at EOF). *)
+      let frame = Queue.peek link.queue in
+      Mutex.unlock link.lock;
+      (match ensure_connected st link with
+      | None -> ()
+      | Some fd -> (
+          match write_all fd frame with
+          | () ->
+              ignore
+                (Atomic.fetch_and_add st.ctrs.bytes_out (String.length frame));
+              Mutex.lock link.lock;
+              ignore (Queue.pop link.queue);
+              Mutex.unlock link.lock
+          | exception (Unix.Unix_error _ | Sys_error _) ->
+              drop_connection link));
+      if not (Atomic.get st.stopping) then loop ()
+    end
+  in
+  loop ();
+  drop_connection link
+
+(* ---- incoming connections ---- *)
+
+(* Incremental frame stream over a connection; calls [on_frame] until EOF
+   or corruption.  Returns the leftover bytes past the last frame handed
+   out (for handing a client connection over mid-buffer). *)
+let read_frames st fd ~(on_frame : Codec.frame -> rest:string -> bool) =
+  let chunk = Bytes.create 8192 in
+  let rec go acc =
+    match Codec.decode_frame acc with
+    | Codec.Got (frame, next) ->
+        let rest = String.sub acc next (String.length acc - next) in
+        if on_frame frame ~rest then go rest else ()
+    | Codec.Corrupt e ->
+        st.log (Printf.sprintf "replica %d: corrupt frame: %s" st.me e)
+    | Codec.Need_more _ -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+            ignore (Atomic.fetch_and_add st.ctrs.bytes_in n);
+            go (acc ^ Bytes.sub_string chunk 0 n)
+        | exception (Unix.Unix_error _ | Sys_error _) -> ())
+  in
+  go ""
+
+(* Deregister and close an accepted fd exactly once: whoever removes it
+   from the list (this reader on exit, or [close] draining it) owns the
+   actual [Unix.close], so a reused descriptor number is never closed by a
+   stale reference. *)
+let release_conn st fd =
+  Mutex.lock st.accepted_lock;
+  let mine = List.exists (fun f -> f == fd) !(st.accepted) in
+  st.accepted := List.filter (fun f -> f != fd) !(st.accepted);
+  Mutex.unlock st.accepted_lock;
+  if mine then begin
+    quiet_shutdown fd;
+    quiet_close fd
+  end
+
+let reader st classify_hello decode_peer on_client fd =
+  let role = ref `Unknown in
+  read_frames st fd ~on_frame:(fun frame ~rest ->
+      match !role with
+      | `Peer src ->
+          (match decode_peer ~src frame with
+          | Some msg ->
+              Runtime.Mailbox.put st.box
+                ~deliver_at:(Prelude.Mclock.now_us ())
+                (src, msg)
+          | None -> ());
+          true
+      | `Unknown -> (
+          match classify_hello frame with
+          | Peer src ->
+              role := `Peer src;
+              true
+          | Reject why ->
+              st.log
+                (Printf.sprintf "replica %d: rejected connection: %s" st.me why);
+              false
+          | Client ->
+              (match on_client with
+              | Some handler ->
+                  handler ~first:frame
+                    { conn_fd = fd; residual = rest; ctrs = st.ctrs }
+              | None ->
+                  st.log
+                    (Printf.sprintf
+                       "replica %d: unexpected client connection" st.me));
+              false));
+  release_conn st fd
+
+let acceptor_loop st classify_hello decode_peer on_client =
+  let rec loop () =
+    if not (Atomic.get st.stopping) then begin
+      match Unix.select [ st.listener.listen_fd ] [] [] 0.2 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+          match Unix.accept st.listener.listen_fd with
+          | fd, _ ->
+              (try Unix.setsockopt fd Unix.TCP_NODELAY true
+               with Unix.Unix_error _ -> ());
+              Mutex.lock st.accepted_lock;
+              st.accepted := fd :: !(st.accepted);
+              Mutex.unlock st.accepted_lock;
+              ignore
+                (Thread.create
+                   (reader st classify_hello decode_peer on_client)
+                   fd);
+              loop ()
+          | exception Unix.Unix_error _ -> if Atomic.get st.stopping then () else loop ())
+      | exception Unix.Unix_error _ -> if Atomic.get st.stopping then () else loop ()
+    end
+  in
+  loop ()
+
+(* ---- assembly ---- *)
+
+let create (type msg) ~me ~addrs ~listener ~hello ~classify_hello
+    ~(decode_peer : src:int -> Codec.frame -> msg option)
+    ~(encode_peer : msg -> string) ?on_client ?(max_queue = 4096)
+    ?(backoff_min_us = 20_000) ?(backoff_max_us = 1_000_000)
+    ?(log = fun s -> prerr_endline s) () : msg Runtime.Transport_intf.t =
+  let n = Array.length addrs in
+  if me < 0 || me >= n then invalid_arg "Tcp_transport.create: me out of range";
+  let st =
+    {
+      me;
+      n;
+      addrs;
+      hello;
+      listener;
+      box = Runtime.Mailbox.create ();
+      links =
+        Array.init n (fun dst ->
+            {
+              dst;
+              queue = Queue.create ();
+              lock = Mutex.create ();
+              cond = Condition.create ();
+              fd = None;
+              attempts = 0;
+            });
+      ctrs =
+        {
+          sent = Atomic.make 0;
+          dropped = Atomic.make 0;
+          reconnects = Atomic.make 0;
+          bytes_out = Atomic.make 0;
+          bytes_in = Atomic.make 0;
+        };
+      stopping = Atomic.make false;
+      accepted = ref [];
+      accepted_lock = Mutex.create ();
+      max_queue;
+      backoff_min_us;
+      backoff_max_us;
+      log;
+    }
+  in
+  let acceptor =
+    Thread.create (fun () -> acceptor_loop st classify_hello decode_peer on_client) ()
+  in
+  let writers =
+    Array.to_list st.links
+    |> List.filter_map (fun link ->
+           if link.dst = me then None
+           else Some (Thread.create (fun () -> writer_loop st link) ()))
+  in
+  let send ~src:_ ~dst msg =
+    Atomic.incr st.ctrs.sent;
+    if dst = me then
+      Runtime.Mailbox.put st.box ~deliver_at:(Prelude.Mclock.now_us ()) (me, msg)
+    else if dst < 0 || dst >= n then
+      invalid_arg "Tcp_transport.send: dst out of range"
+    else begin
+      let frame = encode_peer msg in
+      let link = st.links.(dst) in
+      Mutex.lock link.lock;
+      if Queue.length link.queue >= st.max_queue then begin
+        ignore (Queue.pop link.queue);
+        Atomic.incr st.ctrs.dropped
+      end;
+      Queue.push frame link.queue;
+      Condition.signal link.cond;
+      Mutex.unlock link.lock
+    end
+  in
+  let post ~src ~dst:_ msg =
+    Runtime.Mailbox.put st.box ~deliver_at:(Prelude.Mclock.now_us ()) (src, msg)
+  in
+  let recv ~me:_ ~deadline = Runtime.Mailbox.take st.box ~deadline in
+  let stats () =
+    {
+      Runtime.Transport_intf.sent = Atomic.get st.ctrs.sent;
+      dropped = Atomic.get st.ctrs.dropped;
+      link =
+        Some
+          {
+            Runtime.Transport_intf.reconnects = Atomic.get st.ctrs.reconnects;
+            bytes_out = Atomic.get st.ctrs.bytes_out;
+            bytes_in = Atomic.get st.ctrs.bytes_in;
+          };
+    }
+  in
+  let close () =
+    if not (Atomic.exchange st.stopping true) then begin
+      (* Wake writers (blocked on their condition) and break any write in
+         progress, then interrupt the acceptor and all readers. *)
+      Array.iter
+        (fun link ->
+          Mutex.lock link.lock;
+          (match link.fd with Some fd -> quiet_shutdown fd | None -> ());
+          Condition.broadcast link.cond;
+          Mutex.unlock link.lock)
+        st.links;
+      quiet_close st.listener.listen_fd;
+      Thread.join acceptor;
+      List.iter Thread.join writers;
+      Mutex.lock st.accepted_lock;
+      let conns = !(st.accepted) in
+      st.accepted := [];
+      Mutex.unlock st.accepted_lock;
+      (* Readers exit on the shutdown-induced EOF; they are not joined —
+         they only touch their own fd, the mailbox and atomic counters. *)
+      List.iter
+        (fun fd ->
+          quiet_shutdown fd;
+          quiet_close fd)
+        conns
+    end
+  in
+  { Runtime.Transport_intf.n; send; post; recv; stats; close }

@@ -1,0 +1,91 @@
+(** A {!Runtime.Transport_intf.t} over real TCP sockets — the transport
+    that puts each Algorithm 1 replica in its own OS process.
+
+    Topology: every replica listens on one address ([addrs.(pid)]) and
+    maintains one {e outgoing} connection per peer, used only for sending;
+    incoming connections are used only for receiving.  Each outgoing link
+    has a dedicated writer thread draining a bounded frame queue, so
+    [send] never blocks the replica's event loop on the network.
+
+    Connect/accept handshake: the first frame on an outgoing connection is
+    the caller-supplied [hello] (carrying [(pid, n, params)] and the object
+    tag — see {!Codec.hello}); the accepting side classifies it via
+    [classify_hello] and either registers the connection as a peer link,
+    hands it to [on_client] (a load-generator/client connection opens with
+    an [Invoke] frame instead of a [Hello]), or rejects it.
+
+    Reconnect: when a link's connection fails, its writer reconnects with
+    capped exponential backoff ([backoff_min_us] doubling up to
+    [backoff_max_us]); every attempt beyond a link's first is counted in
+    {!Runtime.Transport_intf.link_stats.reconnects}.  The frame being
+    written when a connection fails is retransmitted after reconnecting
+    (the receiver discards the truncated copy at EOF); frames queued while
+    a peer is down are kept up to [max_queue] per link, then shed
+    oldest-first and counted as dropped.  As in the paper's model the
+    links are FIFO; across a crash/reconnect, delivery is not guaranteed —
+    Algorithm 1 assumes reliable links, and a run that loses frames is
+    caught by the post-hoc linearizability check.
+
+    [post] and [recv] are purely local (the process's own mailbox), as in
+    the bus transport. *)
+
+type listener = private {
+  listen_fd : Unix.file_descr;
+  host : string;
+  port : int;  (** actual port — useful with [~port:0] *)
+}
+
+val resolve : string -> Unix.inet_addr
+(** Dotted-quad or name lookup.  @raise Failure if unresolvable. *)
+
+val listen : host:string -> port:int -> listener
+(** Bind and listen ([SO_REUSEADDR]); [port = 0] picks an ephemeral port,
+    reported back in the result.  @raise Unix.Unix_error on bind
+    failure. *)
+
+(** A connection handed to the [on_client] callback: the raw socket plus
+    any bytes that were read past the first frame. *)
+type client_conn
+
+val conn_read_frame : client_conn -> Codec.frame option
+(** Next frame on a client connection (blocking); [None] on EOF, error or
+    a corrupt stream. *)
+
+val conn_write : client_conn -> string -> bool
+(** Write bytes (a pre-encoded frame); [false] if the connection died. *)
+
+type hello_verdict =
+  | Peer of int  (** a replica with this pid; receive entries from it *)
+  | Client  (** not a handshake — hand the connection to [on_client] *)
+  | Reject of string  (** incompatible handshake: log and drop *)
+
+val create :
+  me:int ->
+  addrs:(string * int) array ->
+  listener:listener ->
+  hello:string ->
+  classify_hello:(Codec.frame -> hello_verdict) ->
+  decode_peer:(src:int -> Codec.frame -> 'msg option) ->
+  encode_peer:('msg -> string) ->
+  ?on_client:(first:Codec.frame -> client_conn -> unit) ->
+  ?max_queue:int ->
+  ?backoff_min_us:int ->
+  ?backoff_max_us:int ->
+  ?log:(string -> unit) ->
+  unit ->
+  'msg Runtime.Transport_intf.t
+(** Start the acceptor and per-peer writer threads and return the
+    transport.  [addrs] lists every replica's listen address (index =
+    pid); [listener] must already be bound to [addrs.(me)] (possibly with
+    an ephemeral port — pass the rebound address in [addrs]).
+
+    [decode_peer] turns a received frame from peer [src] into a message
+    (typically [Replica.net] of a decoded entry); [None] skips the frame.
+    [encode_peer] is its inverse for {!Runtime.Transport_intf.send}.
+    [on_client] runs in the accepting connection's own thread and owns the
+    connection until it returns; invocations may block there without
+    stalling peer traffic.
+
+    Defaults: [max_queue] 4096 frames/link, backoff 20 ms → 1 s, [log]
+    writes to [stderr].  [close] shuts down every socket and joins the
+    acceptor and writer threads. *)

@@ -1,0 +1,167 @@
+(** Per-object wire serialisers for the registered live workloads, and the
+    registry pairing each workload with its codec.
+
+    A {!WIRED} bundle is what every networked component is generic over: the
+    workload (data type + op samplers, from {!Runtime.Workloads}) plus the
+    {!Codec.OBJ_CODEC} that puts its operations and results on the wire.
+    The [register] and [counter] workloads share {!Spec.Register} and hence
+    one codec/tag: the wire identity is the *object*, not the op mix. *)
+
+module type WIRED = sig
+  module L : Runtime.Workloads.LIVE
+  module C : Codec.OBJ_CODEC with module D = L.D
+end
+
+(* ---- object codecs ---- *)
+
+module Register_codec = struct
+  module D = Spec.Register
+
+  let obj_tag = 1
+
+  let write_op b = function
+    | Spec.Register.Read -> Codec.Wr.int b 0
+    | Spec.Register.Write v ->
+        Codec.Wr.int b 1;
+        Codec.Wr.int b v
+    | Spec.Register.Rmw v ->
+        Codec.Wr.int b 2;
+        Codec.Wr.int b v
+    | Spec.Register.Add k ->
+        Codec.Wr.int b 3;
+        Codec.Wr.int b k
+
+  let read_op r =
+    match Codec.Rd.int r with
+    | 0 -> Spec.Register.Read
+    | 1 -> Spec.Register.Write (Codec.Rd.int r)
+    | 2 -> Spec.Register.Rmw (Codec.Rd.int r)
+    | 3 -> Spec.Register.Add (Codec.Rd.int r)
+    | t -> Codec.Rd.fail (Printf.sprintf "register: unknown op tag %d" t)
+
+  let write_result b = function
+    | Spec.Register.Value v ->
+        Codec.Wr.int b 0;
+        Codec.Wr.int b v
+    | Spec.Register.Ack -> Codec.Wr.int b 1
+
+  let read_result r =
+    match Codec.Rd.int r with
+    | 0 -> Spec.Register.Value (Codec.Rd.int r)
+    | 1 -> Spec.Register.Ack
+    | t -> Codec.Rd.fail (Printf.sprintf "register: unknown result tag %d" t)
+end
+
+module Kv_codec = struct
+  module D = Spec.Kv_map
+
+  let obj_tag = 2
+
+  let write_op b = function
+    | Spec.Kv_map.Put (k, v) ->
+        Codec.Wr.int b 0;
+        Codec.Wr.int b k;
+        Codec.Wr.int b v
+    | Spec.Kv_map.Del k ->
+        Codec.Wr.int b 1;
+        Codec.Wr.int b k
+    | Spec.Kv_map.Get k ->
+        Codec.Wr.int b 2;
+        Codec.Wr.int b k
+    | Spec.Kv_map.Swap (k, v) ->
+        Codec.Wr.int b 3;
+        Codec.Wr.int b k;
+        Codec.Wr.int b v
+
+  let read_op r =
+    match Codec.Rd.int r with
+    | 0 ->
+        let k = Codec.Rd.int r in
+        Spec.Kv_map.Put (k, Codec.Rd.int r)
+    | 1 -> Spec.Kv_map.Del (Codec.Rd.int r)
+    | 2 -> Spec.Kv_map.Get (Codec.Rd.int r)
+    | 3 ->
+        let k = Codec.Rd.int r in
+        Spec.Kv_map.Swap (k, Codec.Rd.int r)
+    | t -> Codec.Rd.fail (Printf.sprintf "kv: unknown op tag %d" t)
+
+  let write_result b = function
+    | Spec.Kv_map.Found v ->
+        Codec.Wr.int b 0;
+        Codec.Wr.int b v
+    | Spec.Kv_map.Absent -> Codec.Wr.int b 1
+    | Spec.Kv_map.Ack -> Codec.Wr.int b 2
+
+  let read_result r =
+    match Codec.Rd.int r with
+    | 0 -> Spec.Kv_map.Found (Codec.Rd.int r)
+    | 1 -> Spec.Kv_map.Absent
+    | 2 -> Spec.Kv_map.Ack
+    | t -> Codec.Rd.fail (Printf.sprintf "kv: unknown result tag %d" t)
+end
+
+module Queue_codec = struct
+  module D = Spec.Fifo_queue
+
+  let obj_tag = 3
+
+  let write_op b = function
+    | Spec.Fifo_queue.Enqueue v ->
+        Codec.Wr.int b 0;
+        Codec.Wr.int b v
+    | Spec.Fifo_queue.Dequeue -> Codec.Wr.int b 1
+    | Spec.Fifo_queue.Peek -> Codec.Wr.int b 2
+
+  let read_op r =
+    match Codec.Rd.int r with
+    | 0 -> Spec.Fifo_queue.Enqueue (Codec.Rd.int r)
+    | 1 -> Spec.Fifo_queue.Dequeue
+    | 2 -> Spec.Fifo_queue.Peek
+    | t -> Codec.Rd.fail (Printf.sprintf "queue: unknown op tag %d" t)
+
+  let write_result b = function
+    | Spec.Fifo_queue.Value v ->
+        Codec.Wr.int b 0;
+        Codec.Wr.int b v
+    | Spec.Fifo_queue.Empty -> Codec.Wr.int b 1
+    | Spec.Fifo_queue.Ack -> Codec.Wr.int b 2
+
+  let read_result r =
+    match Codec.Rd.int r with
+    | 0 -> Spec.Fifo_queue.Value (Codec.Rd.int r)
+    | 1 -> Spec.Fifo_queue.Empty
+    | 2 -> Spec.Fifo_queue.Ack
+    | t -> Codec.Rd.fail (Printf.sprintf "queue: unknown result tag %d" t)
+end
+
+(* ---- registry ---- *)
+
+module Register_wired = struct
+  module L = Runtime.Workloads.Register_live
+  module C = Register_codec
+end
+
+module Counter_wired = struct
+  module L = Runtime.Workloads.Counter_live
+  module C = Register_codec
+end
+
+module Kv_wired = struct
+  module L = Runtime.Workloads.Kv_map_live
+  module C = Kv_codec
+end
+
+module Queue_wired = struct
+  module L = Runtime.Workloads.Fifo_queue_live
+  module C = Queue_codec
+end
+
+let register = (module Register_wired : WIRED)
+let counter = (module Counter_wired : WIRED)
+let kv_map = (module Kv_wired : WIRED)
+let fifo_queue = (module Queue_wired : WIRED)
+let all = [ register; counter; kv_map; fifo_queue ]
+let names = List.map (fun (module W : WIRED) -> W.L.label) all
+
+let find name =
+  List.find_opt (fun (module W : WIRED) -> String.equal W.L.label name) all

@@ -46,13 +46,13 @@ let pp_report fmt r =
   Format.fprintf fmt
     "@[<v>live %s: %a (net d=%d u=%d, slack=%d) mix=%d:%d:%d workers=%d \
      seed=%d%s@,\
-     %d ops in %.3f s (%.0f ops/s); messages sent=%d dropped=%d@,"
+     %d ops in %.3f s (%.0f ops/s); messages %a@,"
     r.label Core.Params.pp r.params r.net_d r.net_u r.slack m a o r.workers
     r.seed
     (if r.loss > 0 then Printf.sprintf " loss=%d%%" r.loss else "")
     r.ops
     (float_of_int r.wall_us /. 1e6)
-    r.throughput r.net.Transport.sent r.net.Transport.dropped;
+    r.throughput Transport_intf.pp_stats r.net;
   List.iter
     (fun c ->
       Format.fprintf fmt "  %-3s %a  (target %s %dµs)@," c.class_name
@@ -93,27 +93,53 @@ module Make (L : Workloads.LIVE) = struct
       (fun e -> segments.(segment_of e) <- e :: segments.(segment_of e))
       (List.rev entries);
     (* each [segments.(i)] is now in original (invocation) order *)
-    let rec go i state checked =
-      if i >= n_segments then Linearizable checked
-      else
-        match segments.(i) with
-        | [] -> go (i + 1) state checked
-        | seg when List.length seg > 62 ->
+    let oversized = ref None in
+    Array.iteri
+      (fun i s ->
+        if !oversized = None && List.length s > 62 then
+          oversized := Some (i, List.length s))
+      segments;
+    match !oversized with
+    | Some (i, len) ->
+        Unchecked
+          (Printf.sprintf "segment %d has %d ops (> 62, no quiescent cut)" i
+             len)
+    | None -> (
+        match Lin.check_segmented ~budget:2_000_000 segments with
+        | `Budget_exhausted ->
             Unchecked
-              (Printf.sprintf "segment %d has %d ops (> 62, no quiescent cut)"
-                 i (List.length seg))
-        | seg -> (
-            match Lin.check ~initial:state seg with
-            | Lin.Linearizable witness ->
-                let state' =
-                  List.fold_left
-                    (fun s (e : Lin.entry) -> fst (L.D.apply s e.Lin.op))
-                    state witness
-                in
-                go (i + 1) state' (checked + 1)
-            | Lin.Not_linearizable reason -> Violation { segment = i; reason })
-    in
-    go 0 L.D.initial 0
+              "checker budget exhausted (too much concurrent-mutator \
+               ambiguity to decide)"
+        | `Linearizable ->
+            Linearizable
+              (Array.fold_left
+                 (fun k s -> if s = [] then k else k + 1)
+                 0 segments)
+        | `Not_linearizable ->
+          (* Not linearizable.  For the report, re-run the greedy
+             one-witness-per-segment scan: it follows a single path of the
+             search the complete check just exhausted, so it must fail
+             too, and it fails with a concrete segment and reason. *)
+          let rec blame i state =
+            if i >= n_segments then
+              Violation
+                { segment = 0; reason = "no linearization of any segment chain" }
+            else
+              match segments.(i) with
+              | [] -> blame (i + 1) state
+              | seg -> (
+                  match Lin.check ~initial:state seg with
+                  | Lin.Linearizable witness ->
+                      let state' =
+                        List.fold_left
+                          (fun s (e : Lin.entry) -> fst (L.D.apply s e.Lin.op))
+                          state witness
+                      in
+                      blame (i + 1) state'
+                  | Lin.Not_linearizable reason ->
+                      Violation { segment = i; reason })
+          in
+          blame 0 L.D.initial)
 
   (* ---- one worker's share of a round (runs in its own domain) ---- *)
 

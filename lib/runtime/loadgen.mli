@@ -50,9 +50,19 @@ type report = {
 
 val is_linearizable : report -> bool
 
+val pp_verdict : Format.formatter -> verdict -> unit
 val pp_report : Format.formatter -> report -> unit
 
 module Make (L : Workloads.LIVE) : sig
+  module Lin : module type of Linearize.Make (L.D)
+
+  val check_history : Lin.entry list -> int list -> verdict
+  (** [check_history entries cuts] splits the history (in invocation
+      order, times on one µs timeline) at the quiescent [cuts] and runs
+      Wing–Gong segment by segment, threading the witness state across
+      cuts — shared by the in-process load generator and the TCP cluster
+      orchestrator ([Net.Cluster]). *)
+
   val run :
     n:int ->
     d:int ->

@@ -6,6 +6,8 @@
 module Make (D : Spec.Data_type.S) = struct
   module Alg = Core.Algorithm1.Make (D)
 
+  exception Stopped
+
   type record = {
     pid : int;
     seq : int;
@@ -16,23 +18,24 @@ module Make (D : Spec.Data_type.S) = struct
   }
 
   (* A one-shot synchronisation cell the invoking client blocks on. *)
+  type cell_state = Pending | Done of D.result | Cancelled
+
   type cell = {
     mutex : Mutex.t;
     cond : Condition.t;
-    mutable value : D.result option;
+    mutable value : cell_state;
   }
 
   type event = Net of Alg.entry | Invoke of D.op * cell | Stop
 
-  type cluster = {
-    params : Core.Params.t;
-    transport : event Transport.t;
-    start_us : int;
-    offsets : int array;
-    mutable domains : record list Domain.t array;
-    mutable stopped : bool;
-    mutable records : record list;
-  }
+  let net e = Net e
+  let net_entry = function Net e -> Some e | Invoke _ | Stop -> None
+
+  let fill cell v =
+    Mutex.lock cell.mutex;
+    cell.value <- v;
+    Condition.signal cell.cond;
+    Mutex.unlock cell.mutex
 
   (* ---- the per-replica event loop (runs inside the replica's domain) ---- *)
 
@@ -57,10 +60,11 @@ module Make (D : Spec.Data_type.S) = struct
           e :: hd :: tl
         else hd :: insert_timer e tl
 
-  let run_replica (cluster : cluster) pid =
-    let cfg = cluster.params in
-    let now_rel () = Prelude.Mclock.now_us () - cluster.start_us in
-    let clock () = now_rel () + cluster.offsets.(pid) in
+  let run_replica ~(params : Core.Params.t)
+      ~(transport : event Transport_intf.t) ~start_us ~offset pid =
+    let cfg = params in
+    let now_rel () = Prelude.Mclock.now_us () - start_us in
+    let clock () = now_rel () + offset in
     let ls =
       {
         pid;
@@ -81,10 +85,7 @@ module Make (D : Spec.Data_type.S) = struct
             { pid; seq; op; result = r; invoke_us; response_us = now_rel () }
             :: ls.records;
           ls.inflight <- None;
-          Mutex.lock cell.mutex;
-          cell.value <- Some r;
-          Condition.signal cell.cond;
-          Mutex.unlock cell.mutex
+          fill cell (Done r)
     in
     let rec handle_actions actions =
       List.iter
@@ -99,9 +100,9 @@ module Make (D : Spec.Data_type.S) = struct
                 start_invoke op cell
               end
           | Sim.Action.Send (dst, m) ->
-              Transport.send cluster.transport ~src:pid ~dst (Net m)
+              Transport_intf.send transport ~src:pid ~dst (Net m)
           | Sim.Action.Broadcast m ->
-              Transport.broadcast cluster.transport ~src:pid (Net m)
+              Transport_intf.broadcast transport ~src:pid (Net m)
           | Sim.Action.Set_timer (delay, t) ->
               (* Timer delays are clock-time delays; clocks advance at the
                  rate of real time, so a [δ]-delay timer is due at
@@ -124,9 +125,21 @@ module Make (D : Spec.Data_type.S) = struct
       ls.st <- st';
       handle_actions actions
     in
+    let drain_on_stop () =
+      (* Wake every client still waiting: their operations will never
+         respond (the replica is gone), and a blocked client handler would
+         otherwise hang teardown. *)
+      (match ls.inflight with
+      | None -> ()
+      | Some (cell, _, _, _) -> fill cell Cancelled);
+      ls.inflight <- None;
+      Queue.iter (fun (_, cell) -> fill cell Cancelled) ls.backlog;
+      Queue.clear ls.backlog;
+      List.rev ls.records
+    in
     let rec loop () =
       let deadline = match ls.timers with [] -> None | e :: _ -> Some e.due in
-      match Transport.recv cluster.transport ~me:pid ~deadline with
+      match Transport_intf.recv transport ~me:pid ~deadline with
       | Some (src, Net m) ->
           let st', actions = Alg.on_message cfg ls.st ~clock:(clock ()) ~src m in
           ls.st <- st';
@@ -136,7 +149,7 @@ module Make (D : Spec.Data_type.S) = struct
           if ls.inflight = None then start_invoke op cell
           else Queue.push (op, cell) ls.backlog;
           loop ()
-      | Some (_, Stop) -> List.rev ls.records
+      | Some (_, Stop) -> drain_on_stop ()
       | None -> (
           (* The earliest timer is due, and (per [Mailbox.take]) no ripe
              message predates it: fire exactly one and re-merge. *)
@@ -151,7 +164,69 @@ module Make (D : Spec.Data_type.S) = struct
     in
     loop ()
 
-  (* ---- cluster lifecycle ---- *)
+  (* ---- single node: one replica on one domain, any transport ---- *)
+
+  type node = {
+    node_pid : int;
+    node_transport : event Transport_intf.t;
+    node_start_us : int;
+    node_domain : record list Domain.t;
+    mutable node_stopped : bool;
+  }
+
+  let node ~params ~transport ~pid ?(offset = 0) ?start_us () =
+    let start_us =
+      match start_us with Some s -> s | None -> Prelude.Mclock.now_us ()
+    in
+    {
+      node_pid = pid;
+      node_transport = transport;
+      node_start_us = start_us;
+      node_domain =
+        Domain.spawn (fun () ->
+            run_replica ~params ~transport ~start_us ~offset pid);
+      node_stopped = false;
+    }
+
+  let invoke_on transport ~pid op =
+    let cell =
+      { mutex = Mutex.create (); cond = Condition.create (); value = Pending }
+    in
+    Transport_intf.post transport ~src:pid ~dst:pid (Invoke (op, cell));
+    Mutex.lock cell.mutex;
+    while cell.value = Pending do
+      Condition.wait cell.cond cell.mutex
+    done;
+    let v = cell.value in
+    Mutex.unlock cell.mutex;
+    match v with
+    | Done r -> r
+    | Cancelled -> raise Stopped
+    | Pending -> assert false
+
+  let node_invoke node op = invoke_on node.node_transport ~pid:node.node_pid op
+
+  let node_stop node =
+    if node.node_stopped then []
+    else begin
+      node.node_stopped <- true;
+      Transport_intf.post node.node_transport ~src:node.node_pid
+        ~dst:node.node_pid Stop;
+      Domain.join node.node_domain
+    end
+
+  let node_elapsed_us node = Prelude.Mclock.now_us () - node.node_start_us
+
+  (* ---- in-process cluster: n nodes sharing one bus transport ---- *)
+
+  type cluster = {
+    params : Core.Params.t;
+    transport : event Transport_intf.t;
+    start_us : int;
+    nodes : node array;
+    mutable stopped : bool;
+    mutable records : record list;
+  }
 
   let start ~params ?policy ?offsets () =
     let n = params.Core.Params.n in
@@ -162,36 +237,24 @@ module Make (D : Spec.Data_type.S) = struct
       invalid_arg "Replica.start: offsets length must be n";
     let transport =
       let bus = Transport.bus ~n () in
-      match policy with
-      | None -> bus
-      | Some policy -> Transport.with_delays ~policy bus
+      Transport.intf
+        (match policy with
+        | None -> bus
+        | Some policy -> Transport.with_delays ~policy bus)
     in
-    let cluster =
-      {
-        params;
-        transport;
-        start_us = Prelude.Mclock.now_us ();
-        offsets;
-        domains = [||];
-        stopped = false;
-        records = [];
-      }
-    in
-    cluster.domains <-
-      Array.init n (fun pid -> Domain.spawn (fun () -> run_replica cluster pid));
-    cluster
+    let start_us = Prelude.Mclock.now_us () in
+    {
+      params;
+      transport;
+      start_us;
+      nodes =
+        Array.init n (fun pid ->
+            node ~params ~transport ~pid ~offset:offsets.(pid) ~start_us ());
+      stopped = false;
+      records = [];
+    }
 
-  let invoke cluster ~pid op =
-    let cell =
-      { mutex = Mutex.create (); cond = Condition.create (); value = None }
-    in
-    Transport.post cluster.transport ~src:pid ~dst:pid (Invoke (op, cell));
-    Mutex.lock cell.mutex;
-    while cell.value = None do
-      Condition.wait cell.cond cell.mutex
-    done;
-    Mutex.unlock cell.mutex;
-    Option.get cell.value
+  let invoke cluster ~pid op = node_invoke cluster.nodes.(pid) op
 
   module Client = struct
     let invoke = invoke
@@ -200,11 +263,8 @@ module Make (D : Spec.Data_type.S) = struct
   let stop cluster =
     if not cluster.stopped then begin
       cluster.stopped <- true;
-      for pid = 0 to Transport.n cluster.transport - 1 do
-        Transport.post cluster.transport ~src:pid ~dst:pid Stop
-      done;
       let records =
-        Array.to_list cluster.domains |> List.concat_map Domain.join
+        Array.to_list cluster.nodes |> List.concat_map node_stop
       in
       cluster.records <-
         List.sort
@@ -221,5 +281,5 @@ module Make (D : Spec.Data_type.S) = struct
     cluster.records
 
   let elapsed_us cluster = Prelude.Mclock.now_us () - cluster.start_us
-  let transport_stats cluster = Transport.stats cluster.transport
+  let transport_stats cluster = Transport_intf.stats cluster.transport
 end

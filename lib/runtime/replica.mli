@@ -1,6 +1,6 @@
 (** Live Algorithm 1 replicas: the paper's protocol state machine
     ({!Core.Algorithm1}) hosted on real OCaml 5 domains behind a real
-    clock, exchanging messages over a {!Transport}.
+    clock, exchanging messages over a {!Transport_intf.t}.
 
     Each replica is one domain running an event loop over a single
     {!Mailbox}: network messages (possibly delay-injected), client
@@ -10,9 +10,14 @@
     (see {!Mailbox.take}), so a replica that falls behind (scheduling) still
     handles events in the order the model prescribes.
 
-    Clocks: replica [i] reads [Mclock.now_us () − start + offsets.(i)] —
-    real time plus a fixed per-replica offset, exactly the thesis' clock
-    model with skew [ε = max offset spread].  Timer delays are clock-time
+    The building block is a {e node} — one replica on one domain over an
+    arbitrary transport.  [Net.Serve] runs a single node per OS process
+    over TCP; {!start} below assembles the PR 1 in-process cluster by
+    pointing [n] nodes at one shared bus transport.
+
+    Clocks: replica [i] reads [Mclock.now_us () − start + offset] — real
+    time plus a fixed per-replica offset, exactly the thesis' clock model
+    with skew [ε = max offset spread].  Timer delays are clock-time
     delays, and clocks run at the rate of real time, as in the model.
 
     The cluster records every completed operation with its replica-side
@@ -24,6 +29,10 @@
 module Make (D : Spec.Data_type.S) : sig
   module Alg : module type of Core.Algorithm1.Make (D)
 
+  exception Stopped
+  (** Raised by {!invoke}/{!node_invoke} when the replica shut down before
+      responding (the operation is lost, not retried). *)
+
   type record = {
     pid : int;
     seq : int;  (** per-replica invocation sequence number *)
@@ -32,6 +41,49 @@ module Make (D : Spec.Data_type.S) : sig
     invoke_us : int;  (** µs since cluster start, replica-side *)
     response_us : int;
   }
+
+  type event
+  (** What flows through a replica's transport: network entries, local
+      client invocations (which carry an unserialisable completion cell)
+      and the stop signal.  Only {!net} events ever cross a wire. *)
+
+  val net : Alg.entry -> event
+  (** Wrap a protocol message — what a TCP transport's decoder builds. *)
+
+  val net_entry : event -> Alg.entry option
+  (** The protocol message of a {!net} event; [None] for the local-only
+      invocation/stop events (which must never reach an encoder). *)
+
+  (** {2 Single node (one replica, any transport)} *)
+
+  type node
+
+  val node :
+    params:Core.Params.t ->
+    transport:event Transport_intf.t ->
+    pid:int ->
+    ?offset:int ->
+    ?start_us:int ->
+    unit ->
+    node
+  (** Spawn one replica domain with identity [pid] over [transport].
+      [offset] (default 0) is its clock offset in µs; [start_us] (default
+      now) is the origin of its record timeline — the in-process cluster
+      passes one shared origin so all records are comparable. *)
+
+  val node_invoke : node -> D.op -> D.result
+  (** Synchronous client call on this node; queued behind any pending
+      operation (the model allows one per process).  @raise Stopped if the
+      node shuts down first. *)
+
+  val node_stop : node -> record list
+  (** Post the stop signal, join the domain, and return the node's
+      completed-operation records (invocation order).  Clients still
+      waiting are woken with {!Stopped}.  Idempotent ([[]] thereafter). *)
+
+  val node_elapsed_us : node -> int
+
+  (** {2 In-process cluster (n nodes on one bus)} *)
 
   type cluster
 
@@ -66,5 +118,5 @@ module Make (D : Spec.Data_type.S) : sig
   val elapsed_us : cluster -> int
   (** µs since cluster start — the timeline {!record} times live on. *)
 
-  val transport_stats : cluster -> Transport.stats
+  val transport_stats : cluster -> Transport_intf.stats
 end

@@ -13,7 +13,11 @@ type 'msg t = {
   dropped_ctr : int Atomic.t;
 }
 
-type stats = { sent : int; dropped : int }
+type stats = Transport_intf.stats = {
+  sent : int;
+  dropped : int;
+  link : Transport_intf.link_stats option;
+}
 
 let bus ~n () =
   let boxes = Array.init n (fun _ -> Mailbox.create ()) in
@@ -62,4 +66,15 @@ let post t ~src ~dst msg =
 
 let recv t ~me ~deadline = Mailbox.take t.boxes.(me) ~deadline
 
-let stats t = { sent = Atomic.get t.sent_ctr; dropped = Atomic.get t.dropped_ctr }
+let stats t =
+  { sent = Atomic.get t.sent_ctr; dropped = Atomic.get t.dropped_ctr; link = None }
+
+let intf t =
+  {
+    Transport_intf.n = t.n;
+    send = (fun ~src ~dst msg -> send t ~src ~dst msg);
+    post = (fun ~src ~dst msg -> post t ~src ~dst msg);
+    recv = (fun ~me ~deadline -> recv t ~me ~deadline);
+    stats = (fun () -> stats t);
+    close = (fun () -> ());
+  }

@@ -21,9 +21,15 @@
 
 type 'msg t
 
-type stats = { sent : int; dropped : int }
+type stats = Transport_intf.stats = {
+  sent : int;
+  dropped : int;
+  link : Transport_intf.link_stats option;
+}
 (** [sent] counts messages handed to {!send} (including later-dropped
-    ones); [dropped] those the delay policy marked lost. *)
+    ones); [dropped] those the delay policy marked lost.  [link] is always
+    [None] for the in-process bus — only socket transports have link-level
+    counters. *)
 
 val bus : n:int -> unit -> 'msg t
 (** In-process domain bus: [send] delivers into the destination's mailbox
@@ -52,3 +58,8 @@ val recv : 'msg t -> me:int -> deadline:int option -> (int * 'msg) option
     deadline semantics as in {!Mailbox.take}. *)
 
 val stats : 'msg t -> stats
+
+val intf : 'msg t -> 'msg Transport_intf.t
+(** Pack the bus as a first-class {!Transport_intf.t}, the representation
+    {!Replica} consumes — so in-process and TCP clusters share one replica
+    event loop. *)

@@ -1,0 +1,72 @@
+(** The transport *interface*, factored out of {!Transport} so that the
+    in-process bus (PR 1) and the TCP transport ([Net.Tcp_transport]) are
+    interchangeable behind {!Replica}.
+
+    A transport is a first-class record of closures, polymorphic in the
+    message type: one value serves every [Replica.Make] instantiation, and
+    implementations live wherever their dependencies do (the bus here, the
+    socket one in [lib/net] which may depend on [unix]).
+
+    Contract, shared by all implementations:
+
+    - {!send} is the network: it may delay, reorder across links, or drop
+      (counted in {!stats}); per-link FIFO order is preserved.
+    - {!post} is the local client/control port: immediate, reliable,
+      in-process delivery to [dst]'s mailbox — in the system model this is
+      the co-located application layer invoking an operation, not a
+      network hop.
+    - {!recv} blocks on endpoint [me]'s mailbox with {!Mailbox.take}
+      deadline semantics.
+    - {!close} releases any OS resources (threads, sockets); the bus
+      transport has none, so there it is a no-op. *)
+
+type link_stats = {
+  reconnects : int;
+      (** connection attempts beyond the first on each link — every retry
+          of the capped-backoff reconnect loop counts *)
+  bytes_out : int;  (** wire bytes successfully written *)
+  bytes_in : int;  (** wire bytes received and fed to the decoder *)
+}
+
+type stats = {
+  sent : int;  (** messages handed to {!send} (including later-dropped) *)
+  dropped : int;
+      (** messages lost: marked by the delay policy (bus) or shed from a
+          full/disconnected peer queue (TCP) *)
+  link : link_stats option;
+      (** socket-level counters; [None] for in-process transports *)
+}
+
+type 'msg t = {
+  n : int;
+  send : src:int -> dst:int -> 'msg -> unit;
+  post : src:int -> dst:int -> 'msg -> unit;
+  recv : me:int -> deadline:int option -> (int * 'msg) option;
+  stats : unit -> stats;
+  close : unit -> unit;
+}
+
+let n t = t.n
+let send t ~src ~dst msg = t.send ~src ~dst msg
+
+(** {!send} to every endpoint except [src] — the system model's broadcast
+    (a process never sends to itself; its own copy is handled locally). *)
+let broadcast t ~src msg =
+  for dst = 0 to t.n - 1 do
+    if dst <> src then t.send ~src ~dst msg
+  done
+
+let post t ~src ~dst msg = t.post ~src ~dst msg
+let recv t ~me ~deadline = t.recv ~me ~deadline
+let stats t = t.stats ()
+let close t = t.close ()
+
+let no_links = { reconnects = 0; bytes_out = 0; bytes_in = 0 }
+
+let pp_stats fmt s =
+  Format.fprintf fmt "sent=%d dropped=%d" s.sent s.dropped;
+  match s.link with
+  | None -> ()
+  | Some l ->
+      Format.fprintf fmt " reconnects=%d bytes_out=%d bytes_in=%d"
+        l.reconnects l.bytes_out l.bytes_in
