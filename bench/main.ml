@@ -166,6 +166,47 @@ end
 
 let codec_tests = [ Codec_bench.encode_test; Codec_bench.decode_test; Codec_bench.crc_test ]
 
+(* Fault group: what the chaos layer costs.  [Fault_plan.decide] sits on
+   every send of a chaos-wrapped transport, so its throughput bounds the
+   message rate a faulted cluster can sustain; the full chaos run prices a
+   complete faulted experiment — cluster, injected drops/delays, post-hoc
+   linearizability check and assumption-monitor correlation. *)
+module Fault_bench = struct
+  let plan =
+    match
+      Fault.Fault_plan.compile ~seed:41 ~spec:"drop(10);jitter(300us);dup(5)"
+    with
+    | Ok p -> p
+    | Error e -> failwith e
+
+  let decide_test =
+    Test.make ~name:"fault-decide-10k"
+      (Staged.stage (fun () ->
+           for i = 1 to 10_000 do
+             ignore
+               (Fault.Fault_plan.decide plan ~now_us:(i * 50) ~src:(i mod 3)
+                  ~dst:((i + 1) mod 3) ~index:i)
+           done))
+
+  let compile_test =
+    Test.make ~name:"fault-compile-plan"
+      (Staged.stage (fun () ->
+           ignore
+             (Fault.Fault_plan.compile ~seed:41
+                ~spec:
+                  "drop(30)/0>1@0.2s-0.6s;spike(3ms);crash(1)@0.4s;restart(1)@0.9s")))
+
+  let chaos_run_test =
+    Test.make ~name:"chaos-register-n3-48ops"
+      (Staged.stage (fun () ->
+           ignore
+             (Fault.Chaos_run.run ~workload:Runtime.Workloads.register ~n:3
+                ~d:300 ~u:100 ~slack:2000 ~round:48 ~plan ~ops:48 ~seed:7 ())))
+end
+
+let fault_tests =
+  [ Fault_bench.decide_test; Fault_bench.compile_test; Fault_bench.chaos_run_test ]
+
 let benchmark () =
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
   let instances = Instance.[ monotonic_clock ] in
@@ -176,6 +217,7 @@ let benchmark () =
         Test.make_grouped ~name:"throughput" throughput_tests;
         Test.make_grouped ~name:"runtime" runtime_tests;
         Test.make_grouped ~name:"codec" codec_tests;
+        Test.make_grouped ~name:"fault" fault_tests;
       ]
   in
   let raw = Benchmark.all cfg instances grouped in

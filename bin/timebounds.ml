@@ -12,7 +12,10 @@
     - [timebounds serve --pid i --peers h:p,...] — one replica as an OS
       process over TCP (normally forked by [cluster]);
     - [timebounds cluster --n 3 --object kv --ops 500] — fork n local
-      [serve] processes, drive them over loopback TCP, verify.
+      [serve] processes, drive them over loopback TCP, verify;
+    - [timebounds chaos --plan "crash(1)@0.4s;restart(1)@0.9s"] — either of
+      the above under a seeded fault-injection plan, with
+      assumption-violation windows correlated against the verdict.
 
     All flags accept [--name v], [--name=v] and [-name v] (see {!Cli}). *)
 
@@ -259,6 +262,10 @@ let serve_cmd () =
           "shared clock epoch, µs on the wall clock (default: now); every \
            replica of a cluster must use the same value";
         Cli.value "watch-parent" "exit when this OS pid disappears";
+        Cli.value "chaos"
+          "fault plan spec, e.g. 'drop(20)/0>1;spike(3ms)@0.2s-0.6s' (see \
+           `timebounds chaos --help`)";
+        Cli.value "chaos-seed" "seed for the fault plan (default 0)";
         Cli.flag "quiet" "suppress per-replica logging";
       ]
   in
@@ -297,8 +304,20 @@ let serve_cmd () =
         if Cli.given c "quiet" then fun _ -> ()
         else fun s -> Printf.eprintf "[serve] %s\n%!" s
       in
+      let wrap =
+        match Cli.str_opt c "chaos" with
+        | None -> None
+        | Some spec -> (
+            let cseed = Cli.int c "chaos-seed" ~default:0 in
+            match Fault.Fault_plan.compile ~seed:cseed ~spec with
+            | Error e -> Cli.fail c ("bad --chaos plan: " ^ e)
+            | Ok plan ->
+                Some
+                  (Fault.Chaos_transport.wrapper
+                     (Fault.Chaos_transport.create plan)))
+      in
       let module S = Net.Serve.Make (W) in
-      S.run_until_signalled ?watch_parent
+      S.run_until_signalled ?watch_parent ?wrap
         { Net.Serve.pid; addrs; params; offset; start_us; log }
 
 (* ---- cluster ---- *)
@@ -357,6 +376,111 @@ let cluster_cmd () =
       Format.printf "%a@." Net.Cluster.pp_report report;
       if not (Net.Cluster.ok report) then exit 1
 
+(* ---- chaos ---- *)
+
+let chaos_cmd () =
+  let prog, argv = args "chaos" in
+  let specs =
+    [
+      Cli.value "object"
+        (Printf.sprintf "workload (%s; default register)"
+           (String.concat "|" Net.Wire.names));
+      Cli.value "n" "number of replicas (default 3)";
+    ]
+    @ timing_specs
+    @ [
+        Cli.value "plan"
+          "fault plan: rules name(args)[/src>dst][@from[-until]] joined by \
+           ';'. Names: drop(P) dup(P) spike(E) jitter(M) \
+           partition(a,b|c,d) crash(P) restart(P) skew(P,OFF). Times take \
+           us/ms/s suffixes. Default 'spike(3ms)@0.2s-0.6s'";
+        Cli.value "chaos-seed" "seed for the plan's coin flips (default: seed)";
+        Cli.value "ops" "total operations (default 600)";
+        Cli.value "mix" "mutator:accessor:other weights (default 50:40:10)";
+        Cli.value "workers" "closed-loop client domains; default n";
+        Cli.value "round" "operations per quiescent round (default 24)";
+        Cli.value "seed" "RNG seed for the load (default 1)";
+        Cli.flag "processes"
+          "run as a real multi-process TCP cluster (crashes become SIGKILL \
+           + supervised restart) instead of in-process domains";
+        Cli.value "host" "bind/connect host (default 127.0.0.1)";
+        Cli.value "base-port" "first replica port (default 7650)";
+        Cli.flag "show-log" "print the canonical injected-fault log";
+        Cli.flag "verbose" "log fault injection and child lifecycle";
+      ]
+  in
+  let c = Cli.parse ~prog ~specs argv in
+  let obj = Cli.str c "object" ~default:"register" in
+  match Net.Wire.find obj with
+  | None ->
+      Format.eprintf "unknown workload %s (have: %s)@." obj
+        (String.concat ", " Net.Wire.names);
+      exit 1
+  | Some (module W : Net.Wire.WIRED) -> (
+      let n = Cli.int c "n" ~default:3 in
+      let d, u, eps, x, slack = timing_args c in
+      let ops = Cli.int c "ops" ~default:600 in
+      let mix = Cli.mix c "mix" ~default:(50, 40, 10) in
+      let workers = Cli.int_opt c "workers" in
+      let round = Cli.int c "round" ~default:24 in
+      let seed = Cli.int c "seed" ~default:1 in
+      let spec = Cli.str c "plan" ~default:"spike(3ms)@0.2s-0.6s" in
+      let cseed = Cli.int c "chaos-seed" ~default:seed in
+      match Fault.Fault_plan.compile ~seed:cseed ~spec with
+      | Error e -> Cli.fail c ("bad --plan: " ^ e)
+      | Ok plan ->
+          if Cli.given c "processes" then begin
+            let host = Cli.str c "host" ~default:"127.0.0.1" in
+            let base_port = Cli.int c "base-port" ~default:7650 in
+            let log =
+              if Cli.given c "verbose" then fun s ->
+                Printf.eprintf "[chaos] %s\n%!" s
+              else fun _ -> ()
+            in
+            let abort = Atomic.make false in
+            Sys.set_signal Sys.sigint
+              (Sys.Signal_handle (fun _ -> Atomic.set abort true));
+            let module Cl = Net.Cluster.Make (W) in
+            let report =
+              Cl.run ~n ~d ~u ?eps ~x ~slack ?workers ~round ~mix ~host
+                ~base_port ~log ~abort ~plan ~ops ~seed ()
+            in
+            Format.printf "%a@." Net.Cluster.pp_report report;
+            let violations =
+              Fault.Assumption_monitor.violations ~plan
+                ~params:report.Net.Cluster.params ~net_d:d
+                ~offsets:report.Net.Cluster.offsets
+            in
+            let assessment =
+              Fault.Assumption_monitor.assess ~violations
+                ~cuts:report.Net.Cluster.cuts
+                ~verdict:report.Net.Cluster.verdict
+            in
+            Format.printf "chaos verdict: %a@."
+              Fault.Assumption_monitor.pp_assessment assessment;
+            match assessment with
+            | Fault.Assumption_monitor.Genuine _ -> exit 1
+            | _ -> ()
+          end
+          else begin
+            let report =
+              Fault.Chaos_run.run
+                ~workload:(module W.L)
+                ~n ~d ~u ?eps ~x ~slack ?workers ~round ~mix ~plan ~ops ~seed
+                ()
+            in
+            Format.printf "%a@." Fault.Chaos_run.pp_report report;
+            if Cli.given c "show-log" then
+              List.iter print_endline report.Fault.Chaos_run.canonical;
+            if Cli.given c "verbose" then
+              List.iter
+                (fun ev ->
+                  Format.eprintf "[chaos] %a@." Fault.Chaos_transport.pp_event
+                    ev)
+                report.Fault.Chaos_run.events;
+            if not (Fault.Chaos_run.ok report) then exit 1
+          end)
+
 (* ---- dispatch ---- *)
 
 let usage ?(status = 2) () =
@@ -372,6 +496,7 @@ let usage ?(status = 2) () =
     \  live        Algorithm 1 on real domains (one process)\n\
     \  serve       one replica as an OS process over TCP\n\
     \  cluster     fork n local serve processes and drive them over TCP\n\
+    \  chaos       run live/cluster under a seeded fault-injection plan\n\
      run `timebounds <command> --help` for the command's options\n";
   exit status
 
@@ -387,6 +512,7 @@ let () =
   | "live" -> live_cmd ()
   | "serve" -> serve_cmd ()
   | "cluster" -> cluster_cmd ()
+  | "chaos" -> chaos_cmd ()
   | "--help" | "-h" | "help" -> usage ~status:0 ()
   | other ->
       Format.eprintf "unknown command %s@." other;

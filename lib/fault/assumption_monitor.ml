@@ -1,0 +1,110 @@
+type violation = { label : string; v_from_us : int; v_until_us : int }
+
+type assessment =
+  | Safety_held of { faulted : bool }
+  | Excused of { segment : int; reason : string; window : violation }
+  | Genuine of { segment : int; reason : string }
+  | Inconclusive of string
+
+(* Which rules break which assumption:
+
+   - drop / partition / crash lose messages outright — delivery within [d]
+     fails for the affected links while active;
+   - dup re-delivers: the model sends each message once, and Algorithm 1
+     replays a duplicated update, so treat it as a violation window too;
+   - spike(e) / jitter(m) only violate if the worst case net_d + extra
+     exceeds the [d] the replicas assume (params already include slack);
+   - skew only violates if the *effective* offsets spread past ε — decided
+     here from the drawn-plus-injected offsets, not from the rule alone. *)
+let violations ~plan ~params ~net_d ~offsets =
+  let assumed_d = params.Core.Params.d in
+  let eps = params.Core.Params.eps in
+  let from_rules =
+    Fault_plan.rules plan
+    |> List.filter_map (fun (r : Fault_plan.rule) ->
+           let window label =
+             Some { label; v_from_us = r.from_us; v_until_us = r.until_us }
+           in
+           let stretched label extra =
+             (* a message *sent* at the window edge lands late after it *)
+             let until =
+               if r.until_us >= max_int - extra then max_int
+               else r.until_us + extra
+             in
+             Some { label; v_from_us = r.from_us; v_until_us = until }
+           in
+           let label () = Fault_plan.rule_label r in
+           match r.kind with
+           | Fault_plan.Drop p -> if p > 0 then window (label ()) else None
+           | Fault_plan.Duplicate p -> if p > 0 then window (label ()) else None
+           | Fault_plan.Partition _ | Fault_plan.Crash _ -> window (label ())
+           | Fault_plan.Delay_spike e ->
+               if net_d + e > assumed_d then stretched (label ()) e else None
+           | Fault_plan.Jitter m ->
+               if net_d + m > assumed_d then stretched (label ()) m else None
+           | Fault_plan.Restart _ | Fault_plan.Skew _ -> None)
+  in
+  let skew_violation =
+    if Array.length offsets = 0 then None
+    else
+      let lo = Array.fold_left min offsets.(0) offsets in
+      let hi = Array.fold_left max offsets.(0) offsets in
+      if hi - lo > eps then
+        Some
+          {
+            label = Printf.sprintf "skew spread %dµs > ε=%dµs" (hi - lo) eps;
+            v_from_us = 0;
+            v_until_us = max_int;
+          }
+      else None
+  in
+  let all =
+    match skew_violation with
+    | None -> from_rules
+    | Some v -> v :: from_rules
+  in
+  List.sort (fun a b -> compare (a.v_from_us, a.v_until_us) (b.v_from_us, b.v_until_us)) all
+
+let assess ~violations ~cuts ~verdict =
+  match (verdict : Runtime.Loadgen.verdict) with
+  | Runtime.Loadgen.Linearizable _ -> Safety_held { faulted = violations <> [] }
+  | Runtime.Loadgen.Unchecked reason -> Inconclusive reason
+  | Runtime.Loadgen.Violation { segment; reason } -> (
+      match violations with
+      | [] -> Genuine { segment; reason }
+      | first :: _ ->
+          (* segment [i] ends at cut [i]; the last segment never ends *)
+          let seg_end =
+            match List.nth_opt cuts segment with
+            | Some c -> c
+            | None -> max_int
+          in
+          if seg_end > first.v_from_us then
+            Excused { segment; reason; window = first }
+          else Genuine { segment; reason })
+
+let pp_window fmt (from_us, until_us) =
+  if until_us = max_int then Format.fprintf fmt "[%dµs, ∞)" from_us
+  else Format.fprintf fmt "[%dµs, %dµs)" from_us until_us
+
+let pp_violation fmt v =
+  Format.fprintf fmt "%s over %a" v.label pp_window (v.v_from_us, v.v_until_us)
+
+let pp_assessment fmt = function
+  | Safety_held { faulted = false } ->
+      Format.fprintf fmt "OK: linearizable, assumptions held throughout"
+  | Safety_held { faulted = true } ->
+      Format.fprintf fmt
+        "OK: linearizable even though assumptions were violated (Algorithm 1 \
+         got lucky, or the faults missed the decisive messages)"
+  | Excused { segment; reason; window } ->
+      Format.fprintf fmt
+        "EXCUSED: segment %d not linearizable (%s) — inside the suffix \
+         tainted by %a; safety held while assumptions held"
+        segment reason pp_violation window
+  | Genuine { segment; reason } ->
+      Format.fprintf fmt
+        "GENUINE VIOLATION: segment %d (%s) completed before any assumption \
+         was violated — this is a bug, not chaos fallout"
+        segment reason
+  | Inconclusive reason -> Format.fprintf fmt "INCONCLUSIVE: %s" reason

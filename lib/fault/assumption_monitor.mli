@@ -1,0 +1,67 @@
+(** Did the run's misbehaviour stay within the model's assumptions — and if
+    not, does that excuse an observed safety violation?
+
+    Algorithm 1's guarantees hold only while (a) every message between
+    correct processes is delivered within [[d − u, d]] µs and (b) clock
+    offsets stay within ε.  A chaos plan breaks those on purpose; this
+    module derives the {e violation windows} a plan implies and correlates
+    them with the post-hoc linearizability verdict.
+
+    Deriving windows from the plan (not from per-message observation) is
+    deliberate: the plan is ground truth for {e injected} misbehaviour, and
+    the question the chaos harness answers is "given that we broke the
+    assumptions exactly here, was safety lost only there?".  Two checks are
+    observational on top: the effective clock-offset spread is compared
+    against ε (a [skew] rule may or may not push past ε depending on the
+    seeded base draw), and a [spike]/[jitter] rule only yields a violation
+    window if the injected extra can push a delay beyond the [d] the
+    replicas assume (net delay ceiling + extra > assumed [d]).
+
+    {2 Correlation semantics}
+
+    Violations taint the {e suffix} of the history: Algorithm 1 has no
+    resynchronisation, so state corrupted by a dropped or late message stays
+    corrupted — a linearizability failure in any segment that ends at or
+    after the first violation window opens is {!Excused}.  Only a failure in
+    a segment that completed strictly before any assumption was violated is
+    {!Genuine} (a real bug, not chaos fallout). *)
+
+type violation = {
+  label : string;  (** the offending rule, via {!Fault_plan.windows} *)
+  v_from_us : int;
+  v_until_us : int;
+}
+
+type assessment =
+  | Safety_held of { faulted : bool }
+      (** verdict was linearizable; [faulted] says whether assumptions were
+          violated at all (the headline "safety held {e while} assumptions
+          held" vs plain "safety held") *)
+  | Excused of { segment : int; reason : string; window : violation }
+      (** the violating segment overlaps the tainted suffix *)
+  | Genuine of { segment : int; reason : string }
+      (** the violation predates every assumption violation *)
+  | Inconclusive of string  (** the checker could not decide (UNCHECKED) *)
+
+val violations :
+  plan:Fault_plan.t ->
+  params:Core.Params.t ->
+  net_d:int ->
+  offsets:int array ->
+  violation list
+(** The windows in which the plan (plus the effective [offsets]) violated
+    the assumptions encoded in [params] ([d] and ε as the replicas assume
+    them); [net_d] is the injected network-delay ceiling.  Sorted by start
+    time.  Empty ⇔ the run stayed admissible. *)
+
+val assess :
+  violations:violation list ->
+  cuts:int list ->
+  verdict:Runtime.Loadgen.verdict ->
+  assessment
+(** Correlate.  [cuts] are the quiescent cut times (µs, run timeline) that
+    delimit the checker's segments: segment [i] ends at [List.nth cuts i]
+    (the last segment never ends). *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_assessment : Format.formatter -> assessment -> unit

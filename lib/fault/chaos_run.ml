@@ -1,0 +1,62 @@
+type report = {
+  run : Runtime.Loadgen.report;
+  plan : Fault_plan.t;
+  events : Chaos_transport.event list;
+  canonical : string list;
+  injected : int * int * int;
+  violations : Assumption_monitor.violation list;
+  assessment : Assumption_monitor.assessment;
+}
+
+let ok r =
+  match r.assessment with
+  | Assumption_monitor.Genuine _ -> false
+  | Assumption_monitor.Safety_held _ | Assumption_monitor.Excused _
+  | Assumption_monitor.Inconclusive _ ->
+      true
+
+let run ~workload:(module L : Runtime.Workloads.LIVE) ~n ~d ~u ?eps ?x ?slack
+    ?workers ?round ?mix ~plan ~ops ~seed () =
+  let module G = Runtime.Loadgen.Make (L) in
+  let chaos = Chaos_transport.create plan in
+  let skews = Fault_plan.skews plan ~n in
+  let fault_windows =
+    List.map (fun (_, f, u) -> (f, u)) (Fault_plan.windows plan)
+  in
+  let run =
+    G.run ~n ~d ~u ?eps ?x ?slack ?workers ?round ?mix ~skews
+      ~wrap:(Chaos_transport.wrapper chaos)
+      ~fault_windows ~ops ~seed ()
+  in
+  let violations =
+    Assumption_monitor.violations ~plan
+      ~params:run.Runtime.Loadgen.params ~net_d:d
+      ~offsets:run.Runtime.Loadgen.offsets
+  in
+  let assessment =
+    Assumption_monitor.assess ~violations ~cuts:run.Runtime.Loadgen.cuts
+      ~verdict:run.Runtime.Loadgen.verdict
+  in
+  {
+    run;
+    plan;
+    events = Chaos_transport.events chaos;
+    canonical = Chaos_transport.canonical_log chaos;
+    injected = Chaos_transport.injected chaos;
+    violations;
+    assessment;
+  }
+
+let pp_report fmt r =
+  let drops, dups, delays = r.injected in
+  Format.fprintf fmt "@[<v>%a@,%a@,injected: %d dropped, %d duplicated, %d delayed@,"
+    Fault_plan.pp r.plan Runtime.Loadgen.pp_report r.run drops dups delays;
+  (match r.violations with
+  | [] -> Format.fprintf fmt "assumption violations: none@,"
+  | vs ->
+      Format.fprintf fmt "assumption violations:@,";
+      List.iter
+        (fun v -> Format.fprintf fmt "  %a@," Assumption_monitor.pp_violation v)
+        vs);
+  Format.fprintf fmt "chaos verdict: %a@]" Assumption_monitor.pp_assessment
+    r.assessment

@@ -1,0 +1,47 @@
+(** One seeded chaos experiment against the in-process cluster: compile a
+    plan, run {!Runtime.Loadgen} under a {!Chaos_transport}, and correlate
+    the linearizability verdict with the assumption-violation windows via
+    {!Assumption_monitor}.
+
+    Crash/restart rules are realised in-process as total network isolation
+    of the replica during the outage (see {!Fault_plan}); the real
+    SIGKILL-and-respawn variant lives in [Net.Cluster].
+
+    [ok r] is the chaos harness's pass criterion: the run is acceptable
+    unless the monitor found a {e genuine} violation — one whose segment
+    completed before any assumption was broken.  Linearizable, excused and
+    inconclusive runs all pass (the CLI exits 0 for them). *)
+
+type report = {
+  run : Runtime.Loadgen.report;
+  plan : Fault_plan.t;
+  events : Chaos_transport.event list;  (** injected faults, in order *)
+  canonical : string list;  (** {!Chaos_transport.canonical_log} *)
+  injected : int * int * int;  (** drops, duplicates, delays *)
+  violations : Assumption_monitor.violation list;
+  assessment : Assumption_monitor.assessment;
+}
+
+val ok : report -> bool
+
+val run :
+  workload:(module Runtime.Workloads.LIVE) ->
+  n:int ->
+  d:int ->
+  u:int ->
+  ?eps:int ->
+  ?x:int ->
+  ?slack:int ->
+  ?workers:int ->
+  ?round:int ->
+  ?mix:int * int * int ->
+  plan:Fault_plan.t ->
+  ops:int ->
+  seed:int ->
+  unit ->
+  report
+(** Parameters mirror {!Runtime.Loadgen.Make.run}; the plan supplies the
+    skews, the transport wrapper and the fault windows.  [seed] drives the
+    load generator; the plan carries its own seed. *)
+
+val pp_report : Format.formatter -> report -> unit

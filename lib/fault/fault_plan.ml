@@ -1,0 +1,367 @@
+(** See the interface.  Parsing is hand-rolled (the grammar is one line per
+    rule) and total; compilation resolves each [crash] to its matching
+    [restart] so [decide] can treat a crashed replica as isolated for
+    exactly the outage window. *)
+
+type link_filter = { from_ : int option; to_ : int option }
+
+type kind =
+  | Drop of int
+  | Duplicate of int
+  | Delay_spike of int
+  | Jitter of int
+  | Partition of int list * int list
+  | Crash of int
+  | Restart of int
+  | Skew of int * int
+
+type rule = {
+  id : int;
+  kind : kind;
+  link : link_filter;
+  from_us : int;
+  until_us : int;
+}
+
+type t = {
+  plan_seed : int;
+  text : string;
+  plan_rules : rule list;  (** crash rules already capped at their restart *)
+  crashes : (int * int * int) list;
+}
+
+let any_link = { from_ = None; to_ = None }
+
+let label r =
+  match r.kind with
+  | Drop p -> Printf.sprintf "drop(%d%%)#%d" p r.id
+  | Duplicate p -> Printf.sprintf "dup(%d%%)#%d" p r.id
+  | Delay_spike e -> Printf.sprintf "spike(+%dus)#%d" e r.id
+  | Jitter m -> Printf.sprintf "jitter(%dus)#%d" m r.id
+  | Partition (a, b) ->
+      Printf.sprintf "partition(%s|%s)#%d"
+        (String.concat "," (List.map string_of_int a))
+        (String.concat "," (List.map string_of_int b))
+        r.id
+  | Crash p -> Printf.sprintf "crash(%d)#%d" p r.id
+  | Restart p -> Printf.sprintf "restart(%d)#%d" p r.id
+  | Skew (p, o) -> Printf.sprintf "skew(%d,+%dus)#%d" p o r.id
+
+(* ---- stateless pseudo-randomness (splitmix64 finalizer) ---- *)
+
+let mix (z : int64) =
+  let open Int64 in
+  let z = add z 0x9e3779b97f4a7c15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+(* Non-negative, independent of evaluation order: a pure function of the
+   five integers — the whole reproducibility story rests here.  The logical
+   shift must clear bit 62 too: [Int64.to_int] keeps the low 63 bits, so a
+   value that only has bit 63 cleared can still come out negative. *)
+let hash t ~rule_id ~src ~dst ~index =
+  let h =
+    List.fold_left
+      (fun acc v -> mix (Int64.add acc (Int64.of_int v)))
+      (mix (Int64.of_int t.plan_seed))
+      [ rule_id; src; dst; index ]
+  in
+  Int64.to_int (Int64.shift_right_logical h 2)
+
+let chance t r ~src ~dst ~index ~percent =
+  hash t ~rule_id:r.id ~src ~dst ~index mod 100 < percent
+
+(* ---- parsing ---- *)
+
+let parse_time tok =
+  let tok = String.trim tok in
+  let len = String.length tok in
+  let num, scale =
+    if len >= 2 && String.sub tok (len - 2) 2 = "us" then
+      (String.sub tok 0 (len - 2), 1.)
+    else if len >= 2 && String.sub tok (len - 2) 2 = "ms" then
+      (String.sub tok 0 (len - 2), 1e3)
+    else if len >= 1 && tok.[len - 1] = 's' then
+      (String.sub tok 0 (len - 1), 1e6)
+    else (tok, 1.)
+  in
+  match float_of_string_opt (String.trim num) with
+  | Some f when f >= 0. -> Ok (int_of_float ((f *. scale) +. 0.5))
+  | _ -> Error (Printf.sprintf "bad time %S" tok)
+
+let parse_window s =
+  match String.index_opt s '-' with
+  | None -> (
+      match parse_time s with
+      | Ok t -> Ok (t, max_int)
+      | Error e -> Error e)
+  | Some i -> (
+      let a = String.sub s 0 i in
+      let b = String.sub s (i + 1) (String.length s - i - 1) in
+      match (parse_time a, parse_time b) with
+      | Ok f, Ok u when f <= u -> Ok (f, u)
+      | Ok _, Ok _ -> Error (Printf.sprintf "window %S ends before it starts" s)
+      | Error e, _ | _, Error e -> Error e)
+
+let parse_endpoint s =
+  let s = String.trim s in
+  if s = "*" then Ok None
+  else
+    match int_of_string_opt s with
+    | Some p when p >= 0 -> Ok (Some p)
+    | _ -> Error (Printf.sprintf "bad link endpoint %S" s)
+
+let parse_link s =
+  match String.index_opt s '>' with
+  | None -> Error (Printf.sprintf "bad link %S (want SRC>DST)" s)
+  | Some i -> (
+      let a = String.sub s 0 i in
+      let b = String.sub s (i + 1) (String.length s - i - 1) in
+      match (parse_endpoint a, parse_endpoint b) with
+      | Ok from_, Ok to_ -> Ok { from_; to_ }
+      | Error e, _ | _, Error e -> Error e)
+
+let parse_pid s =
+  match int_of_string_opt (String.trim s) with
+  | Some p when p >= 0 -> Ok p
+  | _ -> Error (Printf.sprintf "bad replica pid %S" s)
+
+let parse_percent name s =
+  match int_of_string_opt (String.trim s) with
+  | Some p when p >= 0 && p <= 100 -> Ok p
+  | _ -> Error (Printf.sprintf "%s: percentage out of [0, 100]: %S" name s)
+
+let parse_group s =
+  let parts = String.split_on_char ',' s |> List.map String.trim in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+        match parse_pid p with Ok v -> go (v :: acc) rest | Error e -> Error e)
+  in
+  match parts with [ "" ] | [] -> Error "empty partition group" | _ -> go [] parts
+
+let parse_kind name args =
+  match name with
+  | "drop" -> Result.map (fun p -> Drop p) (parse_percent "drop" args)
+  | "dup" -> Result.map (fun p -> Duplicate p) (parse_percent "dup" args)
+  | "spike" -> Result.map (fun e -> Delay_spike e) (parse_time args)
+  | "jitter" -> Result.map (fun m -> Jitter m) (parse_time args)
+  | "partition" -> (
+      match String.split_on_char '|' args with
+      | [ a; b ] -> (
+          match (parse_group a, parse_group b) with
+          | Ok ga, Ok gb ->
+              if List.exists (fun p -> List.mem p gb) ga then
+                Error "partition groups overlap"
+              else Ok (Partition (ga, gb))
+          | Error e, _ | _, Error e -> Error e)
+      | _ -> Error "partition wants exactly two groups: partition(a,b|c)")
+  | "crash" -> Result.map (fun p -> Crash p) (parse_pid args)
+  | "restart" -> Result.map (fun p -> Restart p) (parse_pid args)
+  | "skew" -> (
+      match String.index_opt args ',' with
+      | None -> Error "skew wants skew(PID,OFFSET)"
+      | Some i -> (
+          let p = String.sub args 0 i in
+          let o = String.sub args (i + 1) (String.length args - i - 1) in
+          match (parse_pid p, parse_time o) with
+          | Ok pid, Ok off -> Ok (Skew (pid, off))
+          | Error e, _ | _, Error e -> Error e))
+  | other -> Error (Printf.sprintf "unknown fault %S" other)
+
+let parse_rule id s =
+  let s = String.trim s in
+  match (String.index_opt s '(', String.index_opt s ')') with
+  | Some op, Some cl when op < cl -> (
+      let name = String.trim (String.sub s 0 op) in
+      let args = String.sub s (op + 1) (cl - op - 1) in
+      let rest = String.sub s (cl + 1) (String.length s - cl - 1) in
+      let link_part, window_part =
+        match String.index_opt rest '@' with
+        | None -> (rest, None)
+        | Some i ->
+            ( String.sub rest 0 i,
+              Some (String.sub rest (i + 1) (String.length rest - i - 1)) )
+      in
+      let link_part = String.trim link_part in
+      let link =
+        if link_part = "" then Ok any_link
+        else if link_part.[0] = '/' then
+          parse_link (String.sub link_part 1 (String.length link_part - 1))
+        else Error (Printf.sprintf "unexpected %S after %s(...)" link_part name)
+      in
+      let window =
+        match window_part with
+        | None -> Ok (0, max_int)
+        | Some w -> parse_window w
+      in
+      match (parse_kind name args, link, window) with
+      | Ok kind, Ok link, Ok (from_us, until_us) ->
+          Ok { id; kind; link; from_us; until_us }
+      | Error e, _, _ | _, Error e, _ | _, _, Error e ->
+          Error (Printf.sprintf "rule %d (%s): %s" (id + 1) s e))
+  | _ -> Error (Printf.sprintf "rule %d: missing (...) in %S" (id + 1) s)
+
+let parse spec =
+  let parts =
+    String.split_on_char ';' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec go id acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+        match parse_rule id s with
+        | Ok r -> go (id + 1) (r :: acc) rest
+        | Error e -> Error e)
+  in
+  go 0 [] parts
+
+(* ---- compilation ---- *)
+
+(* A crash with an open window ends at the first later restart of the same
+   pid; the restart rule itself injects nothing. *)
+let resolve_crashes rules =
+  List.map
+    (fun r ->
+      match r.kind with
+      | Crash p when r.until_us = max_int ->
+          let restart_at =
+            List.fold_left
+              (fun best r' ->
+                match r'.kind with
+                | Restart p' when p' = p && r'.from_us >= r.from_us ->
+                    min best r'.from_us
+                | _ -> best)
+              max_int rules
+          in
+          { r with until_us = restart_at }
+      | _ -> r)
+    rules
+
+let compile ~seed ~spec =
+  match parse spec with
+  | Error e -> Error e
+  | Ok rules ->
+      let rules = resolve_crashes rules in
+      let crashes =
+        List.filter_map
+          (fun r ->
+            match r.kind with
+            | Crash p -> Some (p, r.from_us, r.until_us)
+            | _ -> None)
+          rules
+        |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+      in
+      Ok { plan_seed = seed; text = spec; plan_rules = rules; crashes }
+
+let empty ~seed =
+  { plan_seed = seed; text = ""; plan_rules = []; crashes = [] }
+
+let seed t = t.plan_seed
+let spec_text t = t.text
+let rules t = t.plan_rules
+let is_empty t = t.plan_rules = []
+let crash_schedule t = t.crashes
+let rule_label = label
+
+(* ---- the decision function ---- *)
+
+type decision = { drop : string option; extra_us : int; copies : int }
+
+let deliver = { drop = None; extra_us = 0; copies = 1 }
+
+let link_matches f ~src ~dst =
+  (match f.from_ with None -> true | Some p -> p = src)
+  && match f.to_ with None -> true | Some p -> p = dst
+
+let active r now = r.from_us <= now && now < r.until_us
+
+let decide t ~now_us ~src ~dst ~index =
+  if src = dst then deliver
+  else
+    List.fold_left
+      (fun acc r ->
+        if not (active r now_us && link_matches r.link ~src ~dst) then acc
+        else
+          let lose () =
+            match acc.drop with
+            | Some _ -> acc
+            | None -> { acc with drop = Some (label r) }
+          in
+          match r.kind with
+          | Drop p ->
+              if chance t r ~src ~dst ~index ~percent:p then lose () else acc
+          | Duplicate p ->
+              if chance t r ~src ~dst ~index ~percent:p then
+                { acc with copies = acc.copies + 1 }
+              else acc
+          | Delay_spike e -> { acc with extra_us = acc.extra_us + e }
+          | Jitter m ->
+              let extra =
+                if m = 0 then 0
+                else hash t ~rule_id:r.id ~src ~dst ~index mod (m + 1)
+              in
+              { acc with extra_us = acc.extra_us + extra }
+          | Partition (a, b) ->
+              if
+                (List.mem src a && List.mem dst b)
+                || (List.mem src b && List.mem dst a)
+              then lose ()
+              else acc
+          | Crash p -> if src = p || dst = p then lose () else acc
+          | Restart _ | Skew _ -> acc)
+      deliver t.plan_rules
+
+let skews t ~n =
+  let a = Array.make n 0 in
+  List.iter
+    (fun r ->
+      match r.kind with
+      | Skew (p, o) when p < n -> a.(p) <- a.(p) + o
+      | _ -> ())
+    t.plan_rules;
+  a
+
+(* Delay rules stretch their window by the injected maximum: a message sent
+   at the last active instant is still late afterwards. *)
+let windows t =
+  List.filter_map
+    (fun r ->
+      let stretch e =
+        if r.until_us >= max_int - e then max_int else r.until_us + e
+      in
+      match r.kind with
+      | Restart _ -> None
+      | Delay_spike e -> Some (label r, r.from_us, stretch e)
+      | Jitter m -> Some (label r, r.from_us, stretch m)
+      | Skew _ -> Some (label r, 0, max_int)
+      | Drop _ | Duplicate _ | Partition _ | Crash _ ->
+          Some (label r, r.from_us, r.until_us))
+    t.plan_rules
+
+let pp fmt t =
+  if is_empty t then Format.fprintf fmt "empty plan (seed %d)" t.plan_seed
+  else begin
+    Format.fprintf fmt "@[<v>plan (seed %d):@," t.plan_seed;
+    List.iter
+      (fun r ->
+        let link =
+          match (r.link.from_, r.link.to_) with
+          | None, None -> ""
+          | f, to_ ->
+              Printf.sprintf " on %s>%s"
+                (match f with None -> "*" | Some p -> string_of_int p)
+                (match to_ with None -> "*" | Some p -> string_of_int p)
+        in
+        let window =
+          if r.from_us = 0 && r.until_us = max_int then " (whole run)"
+          else if r.until_us = max_int then
+            Printf.sprintf " @ %dµs.." r.from_us
+          else Printf.sprintf " @ %d..%dµs" r.from_us r.until_us
+        in
+        Format.fprintf fmt "  %s%s%s@," (label r) link window)
+      t.plan_rules;
+    Format.fprintf fmt "@]"
+  end

@@ -23,7 +23,7 @@
 
 type child = {
   child_pid : int;  (** replica pid (0..n-1) *)
-  os_pid : int;
+  mutable os_pid : int;  (** updated in place on supervised restart *)
   port : int;
 }
 
@@ -44,6 +44,11 @@ type report = {
   classes : Runtime.Loadgen.class_report list;
   replica_stats : (int * Runtime.Transport_intf.stats) list;
       (** per replica pid; missing replicas (died) are absent *)
+  offsets : int array;
+      (** effective per-replica clock offsets (seeded draw + injected skew) *)
+  cuts : int list;  (** quiescent cut times, µs since the cluster epoch *)
+  restarts : (int * int) list;
+      (** supervised restarts as [(replica pid, µs since epoch)] *)
   aborted : string option;  (** why the run was cut short, if it was *)
   verdict : Runtime.Loadgen.verdict;
 }
@@ -72,13 +77,22 @@ let pp_report fmt r =
         c.Runtime.Loadgen.class_name Runtime.Histogram.pp
         c.Runtime.Loadgen.hist
         (if String.equal c.Runtime.Loadgen.class_name "OOP" then "≤" else "≈")
-        c.Runtime.Loadgen.target_us)
+        c.Runtime.Loadgen.target_us;
+      match c.Runtime.Loadgen.faulty with
+      | None -> ()
+      | Some h ->
+          Format.fprintf fmt "      in fault windows: %a@," Runtime.Histogram.pp
+            h)
     r.classes;
   List.iter
     (fun (pid, stats) ->
       Format.fprintf fmt "  replica %d: %a@," pid
         Runtime.Transport_intf.pp_stats stats)
     r.replica_stats;
+  List.iter
+    (fun (pid, at) ->
+      Format.fprintf fmt "  replica %d restarted at t=%dµs@," pid at)
+    r.restarts;
   Format.fprintf fmt "post-hoc linearizability: %a@]"
     Runtime.Loadgen.pp_verdict r.verdict
 
@@ -87,22 +101,32 @@ module Make (W : Wire.WIRED) = struct
   module Gen = Runtime.Loadgen.Make (W.L)
 
   (* Argv contract with [timebounds serve] (bin/cli.ml parses both
-     [--flag v] and [-flag v]). *)
-  let serve_argv ~exe ~peers ~pid ~d ~u ~eps ~x ~slack ~offset ~epoch =
-    [|
-      exe; "serve";
-      "--pid"; string_of_int pid;
-      "--peers"; peers;
-      "--object"; W.L.label;
-      "--d"; string_of_int d;
-      "--u"; string_of_int u;
-      "--eps"; string_of_int eps;
-      "--x"; string_of_int x;
-      "--slack"; string_of_int slack;
-      "--offset"; string_of_int offset;
-      "--epoch"; string_of_int epoch;
-      "--watch-parent"; string_of_int (Unix.getpid ());
-    |]
+     [--flag v] and [-flag v]).  [chaos] forwards the fault plan so each
+     replica process wraps its own transport with the same seeded plan. *)
+  let serve_argv ~exe ~peers ~pid ~d ~u ~eps ~x ~slack ~offset ~epoch ~chaos =
+    let base =
+      [
+        exe; "serve";
+        "--pid"; string_of_int pid;
+        "--peers"; peers;
+        "--object"; W.L.label;
+        "--d"; string_of_int d;
+        "--u"; string_of_int u;
+        "--eps"; string_of_int eps;
+        "--x"; string_of_int x;
+        "--slack"; string_of_int slack;
+        "--offset"; string_of_int offset;
+        "--epoch"; string_of_int epoch;
+        "--watch-parent"; string_of_int (Unix.getpid ());
+      ]
+    in
+    let extra =
+      match chaos with
+      | None -> []
+      | Some (spec, cseed) ->
+          [ "--chaos"; spec; "--chaos-seed"; string_of_int cseed ]
+    in
+    Array.of_list (base @ extra)
 
   let draw rng (m, a, _o) total =
     let toss = Prelude.Rng.int rng total in
@@ -112,57 +136,84 @@ module Make (W : Wire.WIRED) = struct
 
   type worker_out = {
     w_entries : Gen.Lin.entry list;  (** reverse invocation order *)
-    w_hists : Runtime.Histogram.t array;
+    w_hists : Runtime.Histogram.t array;  (** 6: 3 classes × clean/faulty *)
     w_failed : int;
     w_error : string option;
   }
 
-  let worker_round ~host ~ports ~start_us ~abort rng ~mix ~total ~quota ~wid =
-    let hists =
-      [|
-        Runtime.Histogram.create ();
-        Runtime.Histogram.create ();
-        Runtime.Histogram.create ();
-      |]
-    in
+  (* In [resilient] mode (chaos runs) an invocation error costs the op but
+     not the round: the worker drops the connection, re-establishes it with
+     the client's capped retries, and carries on — the path a crashed
+     replica's clients take through its supervised restart.  Only a failed
+     reconnect (replica still gone after ~2 s of retries) aborts. *)
+  let worker_round ~host ~ports ~origin_us ~abort ?(resilient = false)
+      ?(windows = []) rng ~mix ~total ~quota ~wid =
+    let hists = Array.init 6 (fun _ -> Runtime.Histogram.create ()) in
     let port = ports.(wid mod Array.length ports) in
-    match Cl.connect ~host ~port ~attempts:3 ~retry_delay_us:50_000 () with
+    let attempts = if resilient then 40 else 3 in
+    let connect () = Cl.connect ~host ~port ~attempts ~retry_delay_us:50_000 () in
+    let in_windows t = List.exists (fun (f, u) -> f <= t && t < u) windows in
+    match connect () with
     | Error e ->
         { w_entries = []; w_hists = hists; w_failed = quota; w_error = Some e }
-    | Ok conn ->
+    | Ok first_conn ->
+        let conn = ref (Some first_conn) in
         let entries = ref [] in
         let failed = ref 0 in
         let error = ref None in
+        let gave_up = ref false in
         let i = ref 0 in
-        while !i < quota && !error = None && not (Atomic.get abort) do
+        while !i < quota && (not !gave_up) && not (Atomic.get abort) do
           incr i;
-          let op = draw rng mix total in
-          let slot =
-            match W.L.D.classify op with
-            | Spec.Data_type.Pure_mutator -> 0
-            | Spec.Data_type.Pure_accessor -> 1
-            | Spec.Data_type.Other -> 2
-          in
-          let t0 = Prelude.Mclock.now_us () in
-          match Cl.invoke conn op with
-          | Ok result ->
-              let t1 = Prelude.Mclock.now_us () in
-              Runtime.Histogram.add hists.(slot) (t1 - t0);
-              entries :=
-                {
-                  Gen.Lin.pid = wid;
-                  op;
-                  result;
-                  invoke = t0 - start_us;
-                  response = t1 - start_us;
-                }
-                :: !entries
-          | Error e ->
-              incr failed;
-              error := Some e;
-              Atomic.set abort true
+          match !conn with
+          | None -> (
+              match connect () with
+              | Ok c ->
+                  conn := Some c;
+                  decr i (* the reconnect consumed no operation *)
+              | Error e ->
+                  (match !error with None -> error := Some e | Some _ -> ());
+                  failed := !failed + (quota - !i + 1);
+                  gave_up := true;
+                  Atomic.set abort true)
+          | Some c -> (
+              let op = draw rng mix total in
+              let slot =
+                match W.L.D.classify op with
+                | Spec.Data_type.Pure_mutator -> 0
+                | Spec.Data_type.Pure_accessor -> 1
+                | Spec.Data_type.Other -> 2
+              in
+              let t0 = Prelude.Mclock.now_us () in
+              match Cl.invoke c op with
+              | Ok result ->
+                  let t1 = Prelude.Mclock.now_us () in
+                  let slot =
+                    if in_windows (t0 - origin_us) then slot + 3 else slot
+                  in
+                  Runtime.Histogram.add hists.(slot) (t1 - t0);
+                  entries :=
+                    {
+                      Gen.Lin.pid = wid;
+                      op;
+                      result;
+                      invoke = t0 - origin_us;
+                      response = t1 - origin_us;
+                    }
+                    :: !entries
+              | Error e ->
+                  incr failed;
+                  (match !error with None -> error := Some e | Some _ -> ());
+                  if resilient then begin
+                    Cl.close c;
+                    conn := None
+                  end
+                  else begin
+                    gave_up := true;
+                    Atomic.set abort true
+                  end)
         done;
-        Cl.close conn;
+        (match !conn with Some c -> Cl.close c | None -> ());
         {
           w_entries = !entries;
           w_hists = hists;
@@ -170,38 +221,59 @@ module Make (W : Wire.WIRED) = struct
           w_error = !error;
         }
 
-  let spawn_children ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch
-      ~log =
-    let n = Array.length ports in
-    let peers =
-      String.concat ","
-        (Array.to_list
-           (Array.map (fun p -> Printf.sprintf "%s:%d" host p) ports))
+  let peers_of ~host ~ports =
+    String.concat ","
+      (Array.to_list (Array.map (fun p -> Printf.sprintf "%s:%d" host p) ports))
+
+  (* Also the supervised-restart path: a respawned replica reuses its pid,
+     port, offset and the cluster epoch, so it rejoins with the same clock
+     the algorithm assumed before the crash (SO_REUSEADDR lets it rebind
+     immediately). *)
+  let spawn_one ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch ~chaos
+      ~log i =
+    let argv =
+      serve_argv ~exe ~peers:(peers_of ~host ~ports) ~pid:i ~d ~u ~eps ~x
+        ~slack ~offset:offsets.(i) ~epoch ~chaos
     in
-    Array.init n (fun i ->
-        let argv =
-          serve_argv ~exe ~peers ~pid:i ~d ~u ~eps ~x ~slack ~offset:offsets.(i)
-            ~epoch
-        in
-        let os_pid =
-          Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr
-        in
-        log
-          (Printf.sprintf "cluster: spawned replica %d (os pid %d, port %d)" i
-             os_pid ports.(i));
-        { child_pid = i; os_pid; port = ports.(i) })
+    let os_pid =
+      Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr
+    in
+    log
+      (Printf.sprintf "cluster: spawned replica %d (os pid %d, port %d)" i
+         os_pid ports.(i));
+    { child_pid = i; os_pid; port = ports.(i) }
+
+  let spawn_children ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch
+      ~chaos ~log =
+    Array.init (Array.length ports)
+      (spawn_one ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch ~chaos
+         ~log)
 
   (* The monitor thread is the sole reaper: everyone else consults the
      table.  [expected] is flipped before teardown so deliberate
-     terminations don't raise the abort flag. *)
+     terminations don't raise the abort flag; individual planned kills (the
+     chaos crash schedule) are announced via [plan_kill] instead, and a
+     supervised respawn re-registers the new process with [adopt]. *)
   type monitor = {
     mutable reaped : (int * Unix.process_status) list;
+    mutable left : int;  (** live (unreaped) children *)
+    mutable planned : int list;  (** os pids whose death is scheduled chaos *)
     lock : Mutex.t;
     expected : bool Atomic.t;
     abort : bool Atomic.t;
     mutable abort_why : string option;
     mutable thread : Thread.t option;
   }
+
+  let plan_kill mon os_pid =
+    Mutex.lock mon.lock;
+    mon.planned <- os_pid :: mon.planned;
+    Mutex.unlock mon.lock
+
+  let adopt mon =
+    Mutex.lock mon.lock;
+    mon.left <- mon.left + 1;
+    Mutex.unlock mon.lock
 
   (* OCaml signal numbers are internal (Sys.sigkill = -7); name the usual
      suspects rather than leak them. *)
@@ -222,6 +294,8 @@ module Make (W : Wire.WIRED) = struct
     let mon =
       {
         reaped = [];
+        left = Array.length children;
+        planned = [];
         lock = Mutex.create ();
         expected = Atomic.make false;
         abort;
@@ -229,26 +303,37 @@ module Make (W : Wire.WIRED) = struct
         thread = None;
       }
     in
-    let n = Array.length children in
+    let live () =
+      Mutex.lock mon.lock;
+      let l = mon.left in
+      Mutex.unlock mon.lock;
+      l
+    in
     let thread =
       Thread.create
         (fun () ->
-          let left = ref n in
-          while !left > 0 do
+          while live () > 0 do
             match Unix.waitpid [] (-1) with
             | os_pid, status ->
-                decr left;
                 Mutex.lock mon.lock;
+                mon.left <- mon.left - 1;
                 mon.reaped <- (os_pid, status) :: mon.reaped;
+                let was_planned = List.mem os_pid mon.planned in
+                if was_planned then
+                  mon.planned <- List.filter (fun p -> p <> os_pid) mon.planned;
                 Mutex.unlock mon.lock;
-                if not (Atomic.get mon.expected) then begin
-                  let who =
-                    match
-                      Array.find_opt (fun c -> c.os_pid = os_pid) children
-                    with
-                    | Some c -> Printf.sprintf "replica %d" c.child_pid
-                    | None -> Printf.sprintf "child %d" os_pid
-                  in
+                let who =
+                  match
+                    Array.find_opt (fun c -> c.os_pid = os_pid) children
+                  with
+                  | Some c -> Printf.sprintf "replica %d" c.child_pid
+                  | None -> Printf.sprintf "child %d" os_pid
+                in
+                if was_planned then
+                  log
+                    (Printf.sprintf "cluster: %s %s (scheduled chaos)" who
+                       (status_string status))
+                else if not (Atomic.get mon.expected) then begin
                   let why =
                     Printf.sprintf "%s %s mid-run" who (status_string status)
                   in
@@ -257,7 +342,16 @@ module Make (W : Wire.WIRED) = struct
                   Atomic.set mon.abort true
                 end
             | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-            | exception Unix.Unix_error (Unix.ECHILD, _, _) -> left := 0
+            | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+                (* No children right now.  Mid-run that can only mean every
+                   replica is inside a crash window awaiting respawn, so
+                   keep watching; during teardown it means we are done. *)
+                if Atomic.get mon.expected then begin
+                  Mutex.lock mon.lock;
+                  mon.left <- 0;
+                  Mutex.unlock mon.lock
+                end
+                else Prelude.Mclock.sleep_us 20_000
           done)
         ()
     in
@@ -302,7 +396,8 @@ module Make (W : Wire.WIRED) = struct
      order-sensitive objects (queue) go from minutes to milliseconds. *)
   let run ~n ~d ~u ?eps ?(x = 0) ?(slack = 5000) ?workers ?(round = 24)
       ?(mix = (50, 40, 10)) ?(host = "127.0.0.1") ?(base_port = 7600)
-      ?(exe = Sys.executable_name) ?(log = fun _ -> ()) ?abort ~ops ~seed () =
+      ?(exe = Sys.executable_name) ?(log = fun _ -> ()) ?abort ?plan ~ops
+      ~seed () =
     if n < 1 then invalid_arg "Cluster.run: n must be >= 1";
     if round < 1 || round > 62 then
       invalid_arg "Cluster.run: round must be in [1, 62]";
@@ -322,6 +417,32 @@ module Make (W : Wire.WIRED) = struct
           if i = 0 || eps = 0 then 0
           else Prelude.Rng.int_in rng_offsets ~lo:0 ~hi:eps)
     in
+    (* Chaos mode: every replica process applies the same seeded plan to
+       its transport; the parent realises crash/restart rules as real
+       SIGKILLs plus supervised respawns, and splits latency histograms at
+       the plan's fault windows. *)
+    let plan =
+      match plan with
+      | Some p when not (Fault.Fault_plan.is_empty p) -> Some p
+      | _ -> None
+    in
+    let chaos =
+      Option.map
+        (fun p -> (Fault.Fault_plan.spec_text p, Fault.Fault_plan.seed p))
+        plan
+    in
+    let fault_windows =
+      match plan with
+      | None -> []
+      | Some p -> List.map (fun (_, f, u) -> (f, u)) (Fault.Fault_plan.windows p)
+    in
+    (match plan with
+    | None -> ()
+    | Some p ->
+        Array.iteri
+          (fun i k -> offsets.(i) <- offsets.(i) + k)
+          (Fault.Fault_plan.skews p ~n));
+    let resilient = plan <> None in
     let ports = Array.init n (fun i -> base_port + i) in
     (* A dead parent must not leave orphan replicas: each child also
        watches our pid (see [serve_argv]). *)
@@ -330,13 +451,93 @@ module Make (W : Wire.WIRED) = struct
        it cuts the round loop short and falls through to teardown. *)
     let abort = match abort with Some a -> a | None -> Atomic.make false in
     (* One clock epoch for the whole cluster: replica clocks must differ
-       only by the drawn offsets (≤ ε), not by process spawn deltas. *)
+       only by the drawn offsets (≤ ε), not by process spawn deltas.  The
+       epoch is also the run-time origin — history entries, quiescent cuts,
+       fault windows and the crash schedule all measure from it. *)
     let epoch = Prelude.Mclock.now_us () in
     let children =
       spawn_children ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch
-        ~log
+        ~chaos ~log
     in
     let mon = start_monitor children ~abort ~log in
+    (* The crash scheduler: one supervisor thread per crash rule.  It
+       SIGKILLs at the planned time (announced to the monitor first, so the
+       death does not abort the run) and, when the rule has a restart,
+       respawns the replica — same pid, port, offset and epoch — with
+       capped-backoff retries, then re-registers it with the reaper. *)
+    let finished = Atomic.make false in
+    let restarts = ref [] in
+    let restarts_lock = Mutex.create () in
+    let sleep_until t =
+      while
+        Prelude.Mclock.now_us () < t
+        && (not (Atomic.get abort))
+        && not (Atomic.get finished)
+      do
+        Prelude.Mclock.sleep_us
+          (min 20_000 (max 1 (t - Prelude.Mclock.now_us ())))
+      done;
+      (not (Atomic.get abort)) && not (Atomic.get finished)
+    in
+    let supervisors =
+      match plan with
+      | None -> []
+      | Some p ->
+          Fault.Fault_plan.crash_schedule p
+          |> List.map (fun (pid, crash_at, restart_at) ->
+                 Thread.create
+                   (fun () ->
+                     if pid >= 0 && pid < n && sleep_until (epoch + crash_at)
+                     then begin
+                       let c = children.(pid) in
+                       plan_kill mon c.os_pid;
+                       (try Unix.kill c.os_pid Sys.sigkill
+                        with Unix.Unix_error _ -> ());
+                       log
+                         (Printf.sprintf
+                            "cluster: chaos killed replica %d at t=%dµs" pid
+                            (Prelude.Mclock.now_us () - epoch));
+                       if
+                         restart_at < max_int
+                         && sleep_until (epoch + restart_at)
+                       then begin
+                         let rec respawn backoff attempt =
+                           match
+                             spawn_one ~exe ~host ~ports ~d ~u ~eps ~x ~slack
+                               ~offsets ~epoch ~chaos ~log pid
+                           with
+                           | fresh -> Some fresh
+                           | exception (Unix.Unix_error _ | Sys_error _) ->
+                               if attempt >= 5 then None
+                               else begin
+                                 Prelude.Mclock.sleep_us backoff;
+                                 respawn
+                                   (min (2 * backoff) 1_000_000)
+                                   (attempt + 1)
+                               end
+                         in
+                         match respawn 50_000 0 with
+                         | Some fresh ->
+                             adopt mon;
+                             children.(pid).os_pid <- fresh.os_pid;
+                             let at = Prelude.Mclock.now_us () - epoch in
+                             Mutex.lock restarts_lock;
+                             restarts := (pid, at) :: !restarts;
+                             Mutex.unlock restarts_lock;
+                             log
+                               (Printf.sprintf
+                                  "cluster: supervised restart of replica %d \
+                                   at t=%dµs"
+                                  pid at)
+                         | None ->
+                             log
+                               (Printf.sprintf
+                                  "cluster: could not respawn replica %d" pid);
+                             Atomic.set abort true
+                       end
+                     end)
+                   ())
+    in
     (* Readiness: one admin connection per replica, retried while the
        children bind their ports; kept open for the final Stats_req. *)
     let admin =
@@ -353,13 +554,7 @@ module Make (W : Wire.WIRED) = struct
         children
     in
     let start_us = Prelude.Mclock.now_us () in
-    let merged =
-      [|
-        Runtime.Histogram.create ();
-        Runtime.Histogram.create ();
-        Runtime.Histogram.create ();
-      |]
-    in
+    let merged = Array.init 6 (fun _ -> Runtime.Histogram.create ()) in
     let entries = ref [] in
     let cuts = ref [] in
     let failed = ref 0 in
@@ -377,8 +572,8 @@ module Make (W : Wire.WIRED) = struct
               (quota / workers) + if wid < quota mod workers then 1 else 0
             in
             Domain.spawn (fun () ->
-                worker_round ~host ~ports ~start_us ~abort mine ~mix ~total
-                  ~quota:share ~wid))
+                worker_round ~host ~ports ~origin_us:epoch ~abort ~resilient
+                  ~windows:fault_windows mine ~mix ~total ~quota:share ~wid))
       in
       List.iter
         (fun dom ->
@@ -393,9 +588,11 @@ module Make (W : Wire.WIRED) = struct
               merged.(i) <- Runtime.Histogram.merge merged.(i) h)
             out.w_hists)
         spawned;
-      cuts := Prelude.Mclock.now_us () - start_us :: !cuts
+      cuts := Prelude.Mclock.now_us () - epoch :: !cuts
     done;
     let wall_us = Prelude.Mclock.now_us () - start_us in
+    Atomic.set finished true;
+    List.iter Thread.join supervisors;
     let replica_stats =
       Array.to_list admin
       |> List.mapi (fun i conn ->
@@ -443,22 +640,26 @@ module Make (W : Wire.WIRED) = struct
         Gen.check_history sorted (List.sort compare !cuts)
     in
     let t = params.Core.Params.timing in
+    let faulty i = if fault_windows = [] then None else Some merged.(i + 3) in
     let classes =
       [
         {
           Runtime.Loadgen.class_name = "MOP";
           target_us = t.Core.Params.mutator_wait;
           hist = merged.(0);
+          faulty = faulty 0;
         };
         {
           Runtime.Loadgen.class_name = "AOP";
           target_us = t.Core.Params.accessor_wait;
           hist = merged.(1);
+          faulty = faulty 1;
         };
         {
           Runtime.Loadgen.class_name = "OOP";
           target_us = params.Core.Params.d + params.Core.Params.eps;
           hist = merged.(2);
+          faulty = faulty 2;
         };
       ]
     in
@@ -480,6 +681,9 @@ module Make (W : Wire.WIRED) = struct
          else float_of_int completed /. (float_of_int wall_us /. 1e6));
       classes;
       replica_stats;
+      offsets;
+      cuts = List.sort compare !cuts;
+      restarts = List.sort compare !restarts;
       aborted;
       verdict;
     }

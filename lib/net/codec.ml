@@ -264,7 +264,9 @@ module Make (O : OBJ_CODEC) = struct
               Wr.int b 1;
               Wr.int b l.reconnects;
               Wr.int b l.bytes_out;
-              Wr.int b l.bytes_in);
+              Wr.int b l.bytes_in;
+              Wr.int b l.disconnected_us;
+              Wr.int b l.queue_hwm);
           k_stats
       | Error_msg e ->
           Wr.string b e;
@@ -304,8 +306,16 @@ module Make (O : OBJ_CODEC) = struct
                 let reconnects = Rd.int r in
                 let bytes_out = Rd.int r in
                 let bytes_in = Rd.int r in
+                let disconnected_us = Rd.int r in
+                let queue_hwm = Rd.int r in
                 Some
-                  { Runtime.Transport_intf.reconnects; bytes_out; bytes_in }
+                  {
+                    Runtime.Transport_intf.reconnects;
+                    bytes_out;
+                    bytes_in;
+                    disconnected_us;
+                    queue_hwm;
+                  }
             | t -> Rd.fail (Printf.sprintf "stats: bad link tag %d" t)
           in
           Stats { Runtime.Transport_intf.sent; dropped; link }

@@ -101,7 +101,11 @@ module Make (W : Wire.WIRED) = struct
            them, so reaching here is a wiring bug. *)
         invalid_arg "Serve.encode_peer: local event on the wire"
 
-  let start ?(listener : Tcp_transport.listener option) (cfg : config) =
+  (* [wrap] is the chaos layer's hook ({!Runtime.Transport_intf.wrapper}):
+     applied outermost, around the TCP transport, with the cluster's shared
+     clock epoch as the fault-window origin. *)
+  let start ?(listener : Tcp_transport.listener option)
+      ?(wrap : Runtime.Transport_intf.wrapper option) (cfg : config) =
     let host, port = cfg.addrs.(cfg.pid) in
     let listener =
       match listener with Some l -> l | None -> Tcp_transport.listen ~host ~port
@@ -161,6 +165,17 @@ module Make (W : Wire.WIRED) = struct
         ~classify_hello:(classify_hello cfg) ~decode_peer ~encode_peer
         ~on_client ~log:cfg.log ()
     in
+    let transport =
+      match wrap with
+      | None -> transport
+      | Some w ->
+          let start_us =
+            match cfg.start_us with
+            | Some s -> s
+            | None -> Prelude.Mclock.now_us ()
+          in
+          w.Runtime.Transport_intf.wrap ~start_us transport
+    in
     transport_ref := Some transport;
     let node =
       R.node ~params:cfg.params ~transport ~pid:cfg.pid ~offset:cfg.offset
@@ -186,7 +201,7 @@ module Make (W : Wire.WIRED) = struct
 
   (* ---- the [timebounds serve] process body ---- *)
 
-  let run (cfg : config) =
+  let run ?wrap (cfg : config) =
     let stop_requested = Atomic.make false in
     let request_stop _ = Atomic.set stop_requested true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
@@ -194,7 +209,7 @@ module Make (W : Wire.WIRED) = struct
     (* Ignore SIGPIPE: a dead peer must surface as EPIPE on the write, not
        kill the process. *)
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-    let handle = start cfg in
+    let handle = start ?wrap cfg in
     let host, port = cfg.addrs.(cfg.pid) in
     cfg.log
       (Printf.sprintf "replica %d: listening on %s:%d (%s, n=%d)" cfg.pid host
@@ -217,8 +232,8 @@ module Make (W : Wire.WIRED) = struct
     in
     (set_watch, wait, handle)
 
-  let run_until_signalled ?watch_parent (cfg : config) =
-    let set_watch, wait, handle = run cfg in
+  let run_until_signalled ?watch_parent ?wrap (cfg : config) =
+    let set_watch, wait, handle = run ?wrap cfg in
     (match watch_parent with Some p -> set_watch p | None -> ());
     wait ();
     let records, stats = stop handle in

@@ -49,7 +49,17 @@ type counters = {
   reconnects : int Atomic.t;
   bytes_out : int Atomic.t;
   bytes_in : int Atomic.t;
+  disconnected_us : int Atomic.t;
+      (** cumulative µs links spent wanting a connection they did not have *)
+  queue_hwm : int Atomic.t;  (** write-queue high-water mark, max over links *)
 }
+
+let atomic_max a v =
+  let rec go () =
+    let cur = Atomic.get a in
+    if v > cur && not (Atomic.compare_and_set a cur v) then go ()
+  in
+  go ()
 
 type client_conn = {
   conn_fd : Unix.file_descr;
@@ -144,10 +154,21 @@ let try_connect st link =
 
 (* Connect (or reconnect) [link], sleeping with capped exponential backoff
    between attempts; every attempt beyond the link's first counts as a
-   reconnect.  [None] only when the transport is stopping. *)
+   reconnect.  [None] only when the transport is stopping.  Time spent
+   inside here without a connection is charged to [disconnected_us] — the
+   raw material for attributing a verdict to a partition. *)
 let ensure_connected st link =
+  let entered = Prelude.Mclock.now_us () in
+  let charge () =
+    let waited = Prelude.Mclock.now_us () - entered in
+    if waited > 0 then
+      ignore (Atomic.fetch_and_add st.ctrs.disconnected_us waited)
+  in
   let rec go backoff =
-    if Atomic.get st.stopping then None
+    if Atomic.get st.stopping then begin
+      charge ();
+      None
+    end
     else
       match link.fd with
       | Some fd -> Some fd
@@ -159,6 +180,7 @@ let ensure_connected st link =
               Mutex.lock link.lock;
               link.fd <- Some fd;
               Mutex.unlock link.lock;
+              charge ();
               Some fd
           | None ->
               backoff_sleep st backoff;
@@ -336,6 +358,8 @@ let create (type msg) ~me ~addrs ~listener ~hello ~classify_hello
           reconnects = Atomic.make 0;
           bytes_out = Atomic.make 0;
           bytes_in = Atomic.make 0;
+          disconnected_us = Atomic.make 0;
+          queue_hwm = Atomic.make 0;
         };
       stopping = Atomic.make false;
       accepted = ref [];
@@ -370,8 +394,10 @@ let create (type msg) ~me ~addrs ~listener ~hello ~classify_hello
         Atomic.incr st.ctrs.dropped
       end;
       Queue.push frame link.queue;
+      let depth = Queue.length link.queue in
       Condition.signal link.cond;
-      Mutex.unlock link.lock
+      Mutex.unlock link.lock;
+      atomic_max st.ctrs.queue_hwm depth
     end
   in
   let post ~src ~dst:_ msg =
@@ -388,6 +414,8 @@ let create (type msg) ~me ~addrs ~listener ~hello ~classify_hello
             Runtime.Transport_intf.reconnects = Atomic.get st.ctrs.reconnects;
             bytes_out = Atomic.get st.ctrs.bytes_out;
             bytes_in = Atomic.get st.ctrs.bytes_in;
+            disconnected_us = Atomic.get st.ctrs.disconnected_us;
+            queue_hwm = Atomic.get st.ctrs.queue_hwm;
           };
     }
   in

@@ -11,6 +11,7 @@ type class_report = {
   class_name : string;
   target_us : int;
   hist : Histogram.t;
+  faulty : Histogram.t option;
 }
 
 type report = {
@@ -28,6 +29,8 @@ type report = {
   throughput : float;
   classes : class_report list;
   net : Transport.stats;
+  offsets : int array;
+  cuts : int list;
   verdict : verdict;
 }
 
@@ -58,7 +61,11 @@ let pp_report fmt r =
       Format.fprintf fmt "  %-3s %a  (target %s %dµs)@," c.class_name
         Histogram.pp c.hist
         (if String.equal c.class_name "OOP" then "≤" else "≈")
-        c.target_us)
+        c.target_us;
+      match c.faulty with
+      | None -> ()
+      | Some h ->
+          Format.fprintf fmt "      in fault windows: %a@," Histogram.pp h)
     r.classes;
   Format.fprintf fmt "post-hoc linearizability: %a@]" pp_verdict r.verdict
 
@@ -143,13 +150,14 @@ module Make (L : Workloads.LIVE) = struct
 
   (* ---- one worker's share of a round (runs in its own domain) ---- *)
 
-  let worker_body cluster rng ~n ~mix ~total ~quota ~wid =
-    let hists =
-      [|
-        Histogram.create () (* MOP *); Histogram.create () (* AOP *);
-        Histogram.create () (* OOP *);
-      |]
-    in
+  (* Six histograms per worker: three op classes × (clean, fault-window).
+     An op lands in the fault-window half when its *invocation* fell inside
+     any declared fault window — the chaos layer's latency split. *)
+  let in_windows windows t =
+    List.exists (fun (from_us, until_us) -> from_us <= t && t < until_us) windows
+
+  let worker_body cluster rng ~n ~mix ~total ~quota ~wid ~windows =
+    let hists = Array.init 6 (fun _ -> Histogram.create ()) in
     for _ = 1 to quota do
       let op = draw rng mix total in
       let slot =
@@ -158,14 +166,17 @@ module Make (L : Workloads.LIVE) = struct
         | Spec.Data_type.Pure_accessor -> 1
         | Spec.Data_type.Other -> 2
       in
+      let t0_rel = R.elapsed_us cluster in
       let t0 = Prelude.Mclock.now_us () in
       ignore (R.Client.invoke cluster ~pid:(wid mod n) op);
+      let slot = if in_windows windows t0_rel then slot + 3 else slot in
       Histogram.add hists.(slot) (Prelude.Mclock.now_us () - t0)
     done;
     hists
 
   let run ~n ~d ~u ?eps ?(x = 0) ?(slack = 5000) ?workers ?(round = 48)
-      ?(mix = (50, 40, 10)) ?(loss = 0) ~ops ~seed () =
+      ?(mix = (50, 40, 10)) ?(loss = 0) ?skews ?wrap ?(fault_windows = [])
+      ~ops ~seed () =
     if round < 1 || round > 62 then
       invalid_arg "Loadgen.run: round must be in [1, 62]";
     let m, a, o = mix in
@@ -188,16 +199,24 @@ module Make (L : Workloads.LIVE) = struct
           if i = 0 || eps = 0 then 0
           else Prelude.Rng.int_in rng_offsets ~lo:0 ~hi:eps)
     in
+    (* [skews] are chaos-injected extra clock offsets, added on top of the
+       seeded draw — how a plan pushes a replica's clock beyond the ε the
+       cluster assumes.  The effective offsets are reported so the caller
+       can judge the actual spread against ε. *)
+    (match skews with
+    | None -> ()
+    | Some s ->
+        if Array.length s <> n then
+          invalid_arg "Loadgen.run: skews length must be n";
+        Array.iteri (fun i k -> offsets.(i) <- offsets.(i) + k) s);
     let policy =
       let base = Sim.Delay.random rng_delay ~d ~u in
       if loss > 0 then Sim.Delay.lossy base ~rng:rng_delay ~percent:loss
       else base
     in
-    let cluster = R.start ~params ~policy ~offsets () in
+    let cluster = R.start ~params ~policy ~offsets ?wrap () in
     let t0 = Prelude.Mclock.now_us () in
-    let merged =
-      [| Histogram.create (); Histogram.create (); Histogram.create () |]
-    in
+    let merged = Array.init 6 (fun _ -> Histogram.create ()) in
     let cuts = ref [] in
     let rng_workers = ref rng_workers in
     let remaining = ref ops in
@@ -213,7 +232,8 @@ module Make (L : Workloads.LIVE) = struct
               (quota / workers) + (if wid < quota mod workers then 1 else 0)
             in
             Domain.spawn (fun () ->
-                worker_body cluster mine ~n ~mix ~total ~quota:share ~wid))
+                worker_body cluster mine ~n ~mix ~total ~quota:share ~wid
+                  ~windows:fault_windows))
       in
       List.iter
         (fun dom ->
@@ -249,22 +269,28 @@ module Make (L : Workloads.LIVE) = struct
       else check_history entries (List.sort compare cuts)
     in
     let t = params.Core.Params.timing in
+    let faulty i =
+      if fault_windows = [] then None else Some merged.(i + 3)
+    in
     let classes =
       [
         {
           class_name = "MOP";
           target_us = t.Core.Params.mutator_wait;
           hist = merged.(0);
+          faulty = faulty 0;
         };
         {
           class_name = "AOP";
           target_us = t.Core.Params.accessor_wait;
           hist = merged.(1);
+          faulty = faulty 1;
         };
         {
           class_name = "OOP";
           target_us = params.Core.Params.d + params.Core.Params.eps;
           hist = merged.(2);
+          faulty = faulty 2;
         };
       ]
     in
@@ -285,6 +311,8 @@ module Make (L : Workloads.LIVE) = struct
          else float_of_int ops /. (float_of_int wall_us /. 1e6));
       classes;
       net = R.transport_stats cluster;
+      offsets;
+      cuts = List.sort compare cuts;
       verdict;
     }
 end

@@ -27,7 +27,10 @@ type verdict =
 type class_report = {
   class_name : string;  (** ["MOP"], ["AOP"] or ["OOP"] *)
   target_us : int;  (** the paper's bound for this class under the run's params *)
-  hist : Histogram.t;
+  hist : Histogram.t;  (** fault-free latencies (all of them when no windows) *)
+  faulty : Histogram.t option;
+      (** latencies of ops {e invoked} inside a declared fault window;
+          [None] when the run declared no windows *)
 }
 
 type report = {
@@ -45,6 +48,10 @@ type report = {
   throughput : float;  (** completed operations per second *)
   classes : class_report list;
   net : Transport.stats;
+  offsets : int array;
+      (** effective per-replica clock offsets (seeded draw + any injected
+          skew) — spread > ε means the skew assumption was violated *)
+  cuts : int list;  (** quiescent cut times, µs since cluster start *)
   verdict : verdict;
 }
 
@@ -74,6 +81,9 @@ module Make (L : Workloads.LIVE) : sig
     ?round:int ->
     ?mix:int * int * int ->
     ?loss:int ->
+    ?skews:int array ->
+    ?wrap:Transport_intf.wrapper ->
+    ?fault_windows:(int * int) list ->
     ops:int ->
     seed:int ->
     unit ->
@@ -91,5 +101,12 @@ module Make (L : Workloads.LIVE) : sig
         mutators/accessors/others, normalised over their sum;
       - [loss]: percentage of messages dropped — Algorithm 1 has no
         retransmission layer, so expect a [Violation] verdict;
+      - [skews]: per-replica extra clock offsets added to the seeded draw
+        (the chaos layer's skew injection); length must be [n];
+      - [wrap]: transport decorator applied outermost (see
+        {!Replica.Make.start}) — the chaos layer's fault-injection hook;
+      - [fault_windows]: [(from, until)] µs intervals on the run timeline;
+        ops invoked inside any of them are recorded into the [faulty]
+        histograms so degraded latency is reported separately;
       - [seed]: all randomness (delays, offsets, op draws). *)
 end

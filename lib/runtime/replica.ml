@@ -228,21 +228,26 @@ module Make (D : Spec.Data_type.S) = struct
     mutable records : record list;
   }
 
-  let start ~params ?policy ?offsets () =
+  let start ~params ?policy ?offsets ?wrap () =
     let n = params.Core.Params.n in
     let offsets =
       match offsets with Some o -> Array.copy o | None -> Array.make n 0
     in
     if Array.length offsets <> n then
       invalid_arg "Replica.start: offsets length must be n";
+    let start_us = Prelude.Mclock.now_us () in
     let transport =
       let bus = Transport.bus ~n () in
-      Transport.intf
-        (match policy with
-        | None -> bus
-        | Some policy -> Transport.with_delays ~policy bus)
+      let base =
+        Transport.intf
+          (match policy with
+          | None -> bus
+          | Some policy -> Transport.with_delays ~policy bus)
+      in
+      match wrap with
+      | None -> base
+      | Some (w : Transport_intf.wrapper) -> w.Transport_intf.wrap ~start_us base
     in
-    let start_us = Prelude.Mclock.now_us () in
     {
       params;
       transport;

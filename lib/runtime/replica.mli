@@ -91,13 +91,17 @@ module Make (D : Spec.Data_type.S) : sig
     params:Core.Params.t ->
     ?policy:Sim.Delay.t ->
     ?offsets:int array ->
+    ?wrap:Transport_intf.wrapper ->
     unit ->
     cluster
   (** Spawn [params.n] replica domains connected by an in-process bus —
       wrapped in a delay-injecting transport when [policy] is given (delays
       in µs; negative = loss).  [offsets] (default all 0) are the
       per-replica clock offsets; their spread must be ≤ [params.eps] for
-      the timing guarantees to be targets. *)
+      the timing guarantees to be targets.  [wrap] decorates the assembled
+      transport (applied outermost, after the delay policy) — the hook the
+      chaos layer ([Fault.Chaos_transport]) uses to inject faults; the
+      cluster's start time is passed as the wrapper's [start_us]. *)
 
   val invoke : cluster -> pid:int -> D.op -> D.result
   (** Synchronous client call: block until replica [pid] responds.

@@ -26,6 +26,13 @@ type link_stats = {
           of the capped-backoff reconnect loop counts *)
   bytes_out : int;  (** wire bytes successfully written *)
   bytes_in : int;  (** wire bytes received and fed to the decoder *)
+  disconnected_us : int;
+      (** cumulative µs any outgoing link spent wanting a connection it did
+          not have, summed over links — the raw material for attributing an
+          UNCHECKED verdict to a partition rather than to checker limits *)
+  queue_hwm : int;
+      (** high-water mark of the per-link write queues (frames), max over
+          links — how close a wedged peer came to the drop-oldest cap *)
 }
 
 type stats = {
@@ -46,6 +53,13 @@ type 'msg t = {
   close : unit -> unit;
 }
 
+type wrapper = { wrap : 'msg. start_us:int -> 'msg t -> 'msg t }
+(** A transport decorator that is polymorphic in the message type, so one
+    value (e.g. [Fault.Chaos_transport]'s) can wrap the in-process bus and
+    the TCP transport alike.  [start_us] is the run's clock epoch on the
+    {!Prelude.Mclock} timeline — wrappers that schedule behaviour in run
+    time (fault windows) measure from it. *)
+
 let n t = t.n
 let send t ~src ~dst msg = t.send ~src ~dst msg
 
@@ -61,7 +75,14 @@ let recv t ~me ~deadline = t.recv ~me ~deadline
 let stats t = t.stats ()
 let close t = t.close ()
 
-let no_links = { reconnects = 0; bytes_out = 0; bytes_in = 0 }
+let no_links =
+  {
+    reconnects = 0;
+    bytes_out = 0;
+    bytes_in = 0;
+    disconnected_us = 0;
+    queue_hwm = 0;
+  }
 
 let pp_stats fmt s =
   Format.fprintf fmt "sent=%d dropped=%d" s.sent s.dropped;
@@ -69,4 +90,7 @@ let pp_stats fmt s =
   | None -> ()
   | Some l ->
       Format.fprintf fmt " reconnects=%d bytes_out=%d bytes_in=%d"
-        l.reconnects l.bytes_out l.bytes_in
+        l.reconnects l.bytes_out l.bytes_in;
+      if l.disconnected_us > 0 then
+        Format.fprintf fmt " disconnected=%dµs" l.disconnected_us;
+      if l.queue_hwm > 0 then Format.fprintf fmt " queue_hwm=%d" l.queue_hwm

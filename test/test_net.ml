@@ -120,6 +120,8 @@ let msg_roundtrip_tests () =
                           Runtime.Transport_intf.reconnects = 1;
                           bytes_out = seed * 3;
                           bytes_in = seed * 5;
+                          disconnected_us = seed * 7;
+                          queue_hwm = seed mod 4096;
                         };
                   })
           && roundtrip (C.Error_msg "boom")))
@@ -270,7 +272,12 @@ let test_tcp_reconnect_backoff () =
   (match stats.Runtime.Transport_intf.link with
   | Some l ->
       Alcotest.(check bool) "reconnects counted" true
-        (l.Runtime.Transport_intf.reconnects >= 1)
+        (l.Runtime.Transport_intf.reconnects >= 1);
+      (* the ~150 ms the writer spent retrying is attributed to the link *)
+      Alcotest.(check bool) "disconnected time counted" true
+        (l.Runtime.Transport_intf.disconnected_us > 50_000);
+      Alcotest.(check bool) "queue high-water mark seen" true
+        (l.Runtime.Transport_intf.queue_hwm >= 1)
   | None -> Alcotest.fail "tcp transport must report link stats");
   Runtime.Transport_intf.close t0;
   Runtime.Transport_intf.close t1
