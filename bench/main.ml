@@ -137,7 +137,12 @@ module Codec_bench = struct
   let entries =
     List.init 64 (fun i ->
         C.Entry
-          { op = Spec.Kv_map.Put (i mod 16, i * 17); time = i * 997; pid = i mod 5 })
+          {
+            op = Spec.Kv_map.Put (i mod 16, i * 17);
+            time = i * 997;
+            pid = i mod 5;
+            trace = i * 1_048_583;
+          })
 
   let blob = String.concat "" (List.map C.encode entries)
 
@@ -207,6 +212,89 @@ end
 let fault_tests =
   [ Fault_bench.decide_test; Fault_bench.compile_test; Fault_bench.chaos_run_test ]
 
+(* Obs group: what tracing costs.  [recorder-emit-10k] prices the hot path
+   (one CAS + two stores per event, drainer running); the encode/decode
+   pair prices the binary trace format; and the traced/untraced live-run
+   pair measures the end-to-end overhead of recording a full closed-loop
+   run — the delta is the number EXPERIMENTS.md quotes. *)
+module Obs_bench = struct
+  module Gen = Runtime.Loadgen.Make (Runtime.Workloads.Register_live)
+
+  let emit_test =
+    Test.make ~name:"recorder-emit-10k"
+      (Staged.stage (fun () ->
+           let r = Obs.Recorder.start ~epoch_us:0 ~sink:(fun _ -> ()) () in
+           Obs.Recorder.install r;
+           for i = 1 to 10_000 do
+             Obs.Recorder.emit ~pid:(i mod 3) ~kind:Obs.Event.Send ~trace:i
+               ~a:(i mod 5) ()
+           done;
+           Obs.Recorder.uninstall ();
+           Obs.Recorder.stop r))
+
+  let events =
+    List.init 1_000 (fun i ->
+        {
+          Obs.Event.t_us = i * 137;
+          pid = i mod 3;
+          kind = (if i mod 2 = 0 then Obs.Event.Send else Obs.Event.Deliver);
+          trace = i * 524_309;
+          a = i mod 7;
+          b = i mod 11;
+        })
+
+  let blob =
+    let b = Buffer.create 4096 in
+    List.iter (Obs.Event.encode b) events;
+    Buffer.contents b
+
+  let encode_test =
+    Test.make ~name:"event-encode-1k"
+      (Staged.stage (fun () ->
+           let b = Buffer.create 4096 in
+           List.iter (Obs.Event.encode b) events))
+
+  let decode_test =
+    Test.make ~name:"event-decode-1k"
+      (Staged.stage (fun () ->
+           let rec go pos =
+             match Obs.Event.decode blob ~pos with
+             | Some (_, next) -> go next
+             | None -> ()
+           in
+           go 0))
+
+  let live_untraced =
+    Test.make ~name:"live-untraced-48ops"
+      (Staged.stage (fun () ->
+           ignore
+             (Gen.run ~n:3 ~d:300 ~u:100 ~slack:2000 ~round:48 ~ops:48 ~seed:7
+                ())))
+
+  let live_traced =
+    Test.make ~name:"live-traced-48ops"
+      (Staged.stage (fun () ->
+           let sink, _ = Obs.Recorder.memory_sink () in
+           let r =
+             Obs.Recorder.start ~epoch_us:(Prelude.Mclock.now_us ()) ~sink ()
+           in
+           Obs.Recorder.install r;
+           ignore
+             (Gen.run ~n:3 ~d:300 ~u:100 ~slack:2000 ~round:48 ~ops:48 ~seed:7
+                ());
+           Obs.Recorder.uninstall ();
+           Obs.Recorder.stop r))
+end
+
+let obs_tests =
+  [
+    Obs_bench.emit_test;
+    Obs_bench.encode_test;
+    Obs_bench.decode_test;
+    Obs_bench.live_untraced;
+    Obs_bench.live_traced;
+  ]
+
 let benchmark () =
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
   let instances = Instance.[ monotonic_clock ] in
@@ -218,6 +306,7 @@ let benchmark () =
         Test.make_grouped ~name:"runtime" runtime_tests;
         Test.make_grouped ~name:"codec" codec_tests;
         Test.make_grouped ~name:"fault" fault_tests;
+        Test.make_grouped ~name:"obs" obs_tests;
       ]
   in
   let raw = Benchmark.all cfg instances grouped in

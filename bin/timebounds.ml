@@ -15,7 +15,11 @@
       [serve] processes, drive them over loopback TCP, verify;
     - [timebounds chaos --plan "crash(1)@0.4s;restart(1)@0.9s"] — either of
       the above under a seeded fault-injection plan, with
-      assumption-violation windows correlated against the verdict.
+      assumption-violation windows correlated against the verdict;
+    - [timebounds trace [--processes] [--chrome t.json] [--prom m.prom]] —
+      record a traced run (in-process or real cluster), assemble
+      per-operation causal spans, decompose latency (hold / wire / remote
+      queueing) and attribute each operation to its paper bound.
 
     All flags accept [--name v], [--name=v] and [-name v] (see {!Cli}). *)
 
@@ -266,6 +270,9 @@ let serve_cmd () =
           "fault plan spec, e.g. 'drop(20)/0>1;spike(3ms)@0.2s-0.6s' (see \
            `timebounds chaos --help`)";
         Cli.value "chaos-seed" "seed for the fault plan (default 0)";
+        Cli.value "trace"
+          "write this replica's observability events to FILE (binary; read \
+           with `timebounds trace`)";
         Cli.flag "quiet" "suppress per-replica logging";
       ]
   in
@@ -316,9 +323,10 @@ let serve_cmd () =
                   (Fault.Chaos_transport.wrapper
                      (Fault.Chaos_transport.create plan)))
       in
+      let trace = Cli.str_opt c "trace" in
       let module S = Net.Serve.Make (W) in
       S.run_until_signalled ?watch_parent ?wrap
-        { Net.Serve.pid; addrs; params; offset; start_us; log }
+        { Net.Serve.pid; addrs; params; offset; start_us; trace; log }
 
 (* ---- cluster ---- *)
 
@@ -481,6 +489,183 @@ let chaos_cmd () =
             if not (Fault.Chaos_run.ok report) then exit 1
           end)
 
+(* ---- trace ---- *)
+
+let trace_cmd () =
+  let prog, argv = args "trace" in
+  let specs =
+    [
+      Cli.value "object"
+        (Printf.sprintf "workload (%s; default register)"
+           (String.concat "|" Net.Wire.names));
+      Cli.value "n" "number of replicas (default 3)";
+    ]
+    @ timing_specs
+    @ [
+        Cli.value "ops" "total operations (default 300)";
+        Cli.value "mix" "mutator:accessor:other weights (default 50:40:10)";
+        Cli.value "workers" "closed-loop client domains; default n";
+        Cli.value "round" "operations per quiescent round (default 24)";
+        Cli.value "seed" "RNG seed (default 1)";
+        Cli.value "grace"
+          "scheduling allowance over each bound, µs (default: slack)";
+        Cli.value "plan"
+          "fault plan to run under (requires --processes; see `timebounds \
+           chaos --help`)";
+        Cli.value "chaos-seed" "seed for the plan's coin flips (default: seed)";
+        Cli.flag "processes"
+          "trace a real multi-process TCP cluster (per-replica trace files, \
+           merged afterwards) instead of in-process domains";
+        Cli.value "host" "bind/connect host (default 127.0.0.1)";
+        Cli.value "base-port" "first replica port (default 7700)";
+        Cli.value "trace-dir"
+          "directory for --processes trace files (default: fresh dir under \
+           the system temp dir; kept after the run)";
+        Cli.value "chrome" "export Chrome trace-event JSON to FILE";
+        Cli.value "prom" "export Prometheus text metrics to FILE";
+        Cli.flag "show-spans" "print every checked span";
+        Cli.flag "verbose" "log child lifecycle to stderr";
+      ]
+  in
+  let c = Cli.parse ~prog ~specs argv in
+  let obj = Cli.str c "object" ~default:"register" in
+  match Net.Wire.find obj with
+  | None ->
+      Format.eprintf "unknown workload %s (have: %s)@." obj
+        (String.concat ", " Net.Wire.names);
+      exit 1
+  | Some (module W : Net.Wire.WIRED) ->
+      let n = Cli.int c "n" ~default:3 in
+      let d, u, eps, x, slack = timing_args c in
+      let ops = Cli.int c "ops" ~default:300 in
+      let mix = Cli.mix c "mix" ~default:(50, 40, 10) in
+      let workers = Cli.int_opt c "workers" in
+      let round = Cli.int c "round" ~default:24 in
+      let seed = Cli.int c "seed" ~default:1 in
+      let grace = Cli.int c "grace" ~default:slack in
+      let plan =
+        match Cli.str_opt c "plan" with
+        | None -> None
+        | Some spec -> (
+            if not (Cli.given c "processes") then
+              Cli.fail c
+                "--plan requires --processes (chaos tracing runs the real \
+                 cluster)";
+            let cseed = Cli.int c "chaos-seed" ~default:seed in
+            match Fault.Fault_plan.compile ~seed:cseed ~spec with
+            | Error e -> Cli.fail c ("bad --plan: " ^ e)
+            | Ok p -> Some p)
+      in
+      (* Analyse + export; shared by both run shapes.  Exit 1 on an
+         unexcused bound violation or an export that fails validation. *)
+      let finish ?recorder ~params ~windows events =
+        let events =
+          List.stable_sort
+            (fun (a : Obs.Event.t) (b : Obs.Event.t) ->
+              compare a.Obs.Event.t_us b.Obs.Event.t_us)
+            events
+        in
+        let report = Obs.Analyze.check ~params ~grace_us:grace ~windows events in
+        Format.printf "%a@." Obs.Analyze.pp_report report;
+        if Cli.given c "show-spans" then
+          List.iter
+            (fun ck -> Format.printf "  %a@." Obs.Analyze.pp_checked ck)
+            report.Obs.Analyze.spans;
+        let export_ok = ref true in
+        (match Cli.str_opt c "chrome" with
+        | None -> ()
+        | Some path -> (
+            let json = Obs.Export.chrome ~report ~events in
+            match Obs.Json.validate json with
+            | Ok () ->
+                Out_channel.with_open_bin path (fun oc ->
+                    output_string oc json);
+                Format.printf "chrome trace: %s (%d bytes)@." path
+                  (String.length json)
+            | Error e ->
+                Format.eprintf
+                  "internal error: chrome export is not valid JSON: %s@." e;
+                export_ok := false));
+        (match Cli.str_opt c "prom" with
+        | None -> ()
+        | Some path ->
+            let text = Obs.Export.prometheus ~report ?recorder () in
+            Out_channel.with_open_bin path (fun oc -> output_string oc text);
+            Format.printf "metrics: %s@." path);
+        if report.Obs.Analyze.violations > 0 || not !export_ok then exit 1
+      in
+      if Cli.given c "processes" then begin
+        let host = Cli.str c "host" ~default:"127.0.0.1" in
+        let base_port = Cli.int c "base-port" ~default:7700 in
+        let trace_dir =
+          match Cli.str_opt c "trace-dir" with
+          | Some dir -> dir
+          | None ->
+              Filename.concat
+                (Filename.get_temp_dir_name ())
+                (Printf.sprintf "timebounds-trace-%d" (Unix.getpid ()))
+        in
+        let log =
+          if Cli.given c "verbose" then fun s ->
+            Printf.eprintf "[trace] %s\n%!" s
+          else fun _ -> ()
+        in
+        let abort = Atomic.make false in
+        Sys.set_signal Sys.sigint
+          (Sys.Signal_handle (fun _ -> Atomic.set abort true));
+        let module Cl = Net.Cluster.Make (W) in
+        let report =
+          Cl.run ~n ~d ~u ?eps ~x ~slack ?workers ~round ~mix ~host ~base_port
+            ~log ~abort ?plan ~trace_dir ~ops ~seed ()
+        in
+        Format.printf "%a@.@." Net.Cluster.pp_report report;
+        let events =
+          List.concat_map
+            (fun i ->
+              let path =
+                Filename.concat trace_dir (Printf.sprintf "replica-%d.trace" i)
+              in
+              if Sys.file_exists path then Obs.Recorder.read_file path else [])
+            (List.init n Fun.id)
+        in
+        Format.printf "merged %d events from %s@." (List.length events)
+          trace_dir;
+        let windows =
+          match plan with
+          | None -> []
+          | Some p ->
+              Fault.Assumption_monitor.violations ~plan:p
+                ~params:report.Net.Cluster.params ~net_d:d
+                ~offsets:report.Net.Cluster.offsets
+              |> List.map (fun (v : Fault.Assumption_monitor.violation) ->
+                     ( v.Fault.Assumption_monitor.label,
+                       v.Fault.Assumption_monitor.v_from_us,
+                       v.Fault.Assumption_monitor.v_until_us ))
+        in
+        if plan = None && not (Net.Cluster.ok report) then exit 1;
+        finish ~params:report.Net.Cluster.params ~windows events
+      end
+      else begin
+        (* In-process: one recorder in this process sees every replica
+           domain; the memory sink keeps the events for analysis. *)
+        let module Gen = Runtime.Loadgen.Make (W.L) in
+        let sink, contents = Obs.Recorder.memory_sink () in
+        let r =
+          Obs.Recorder.start ~epoch_us:(Prelude.Mclock.now_us ()) ~sink ()
+        in
+        Obs.Recorder.install r;
+        let run =
+          Gen.run ~n ~d ~u ?eps ~x ~slack ?workers ~round ~mix ~ops ~seed ()
+        in
+        Obs.Recorder.uninstall ();
+        Obs.Recorder.stop r;
+        Format.printf "%a@.@." Runtime.Loadgen.pp_report run;
+        if not (Runtime.Loadgen.is_linearizable run) then exit 1;
+        finish
+          ~recorder:(Obs.Recorder.stats r)
+          ~params:run.Runtime.Loadgen.params ~windows:[] (contents ())
+      end
+
 (* ---- dispatch ---- *)
 
 let usage ?(status = 2) () =
@@ -497,6 +682,7 @@ let usage ?(status = 2) () =
     \  serve       one replica as an OS process over TCP\n\
     \  cluster     fork n local serve processes and drive them over TCP\n\
     \  chaos       run live/cluster under a seeded fault-injection plan\n\
+    \  trace       record a traced run, decompose latency, attribute bounds\n\
      run `timebounds <command> --help` for the command's options\n";
   exit status
 
@@ -513,6 +699,7 @@ let () =
   | "serve" -> serve_cmd ()
   | "cluster" -> cluster_cmd ()
   | "chaos" -> chaos_cmd ()
+  | "trace" -> trace_cmd ()
   | "--help" | "-h" | "help" -> usage ~status:0 ()
   | other ->
       Format.eprintf "unknown command %s@." other;

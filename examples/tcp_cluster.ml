@@ -49,6 +49,7 @@ let () =
             params;
             offset = (if pid = 0 then 0 else Prelude.Rng.int rng eps);
             start_us;
+            trace = None;
             log = (fun _ -> ());
           })
   in

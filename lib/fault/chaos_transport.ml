@@ -5,6 +5,7 @@ type event = {
   src : int;
   dst : int;
   index : int;
+  trace : int;
   action : action;
 }
 
@@ -73,7 +74,7 @@ let wrap_transport (t : t) ~start_us (inner : 'msg Runtime.Transport_intf.t) :
        process) number their own links independently, matching what each
        would see in a separate OS process. *)
     let indices = Array.init (n * n) (fun _ -> Atomic.make 0) in
-    let parked : (int * int * 'msg) Runtime.Mailbox.t =
+    let parked : (int * int * int * 'msg) Runtime.Mailbox.t =
       Runtime.Mailbox.create ()
     in
     let chaos_dropped = Atomic.make 0 in
@@ -84,13 +85,18 @@ let wrap_transport (t : t) ~start_us (inner : 'msg Runtime.Transport_intf.t) :
           while not (Atomic.get stop) do
             let deadline = Prelude.Mclock.now_us () + park_poll_us in
             match Runtime.Mailbox.take parked ~deadline:(Some deadline) with
-            | Some (src, dst, msg) ->
-                inner.Runtime.Transport_intf.send ~src ~dst msg
+            | Some (src, dst, trace, msg) ->
+                inner.Runtime.Transport_intf.send ~src ~dst ~trace msg
             | None -> ()
           done)
         ()
     in
-    let send ~src ~dst msg =
+    (* Obs payload convention for fault events: a = action code
+       (0 drop, 1 dup, 2 delay), b = extra delay µs (delays only). *)
+    let obs_fault ~src ~trace a b =
+      Obs.Recorder.emit ~pid:src ~kind:Obs.Event.Fault ~trace ~a ~b ()
+    in
+    let send ~src ~dst ~trace msg =
       let now = Prelude.Mclock.now_us () in
       let at_us = now - start_us in
       let index =
@@ -102,19 +108,24 @@ let wrap_transport (t : t) ~start_us (inner : 'msg Runtime.Transport_intf.t) :
       match d.Fault_plan.drop with
       | Some label ->
           Atomic.incr chaos_dropped;
-          record t { at_us; src; dst; index; action = Dropped label }
+          obs_fault ~src ~trace 0 0;
+          record t { at_us; src; dst; index; trace; action = Dropped label }
       | None ->
           for _ = 2 to d.Fault_plan.copies do
-            record t { at_us; src; dst; index; action = Duplicated };
-            inner.Runtime.Transport_intf.send ~src ~dst msg
+            obs_fault ~src ~trace 1 0;
+            record t { at_us; src; dst; index; trace; action = Duplicated };
+            inner.Runtime.Transport_intf.send ~src ~dst ~trace msg
           done;
           if d.Fault_plan.extra_us > 0 then begin
-            record t { at_us; src; dst; index; action = Delayed d.Fault_plan.extra_us };
+            obs_fault ~src ~trace 2 d.Fault_plan.extra_us;
+            record t
+              { at_us; src; dst; index; trace;
+                action = Delayed d.Fault_plan.extra_us };
             Runtime.Mailbox.put parked
               ~deliver_at:(now + d.Fault_plan.extra_us)
-              (src, dst, msg)
+              (src, dst, trace, msg)
           end
-          else inner.Runtime.Transport_intf.send ~src ~dst msg
+          else inner.Runtime.Transport_intf.send ~src ~dst ~trace msg
     in
     let stats () =
       let s = inner.Runtime.Transport_intf.stats () in
@@ -140,8 +151,8 @@ let wrap_transport (t : t) ~start_us (inner : 'msg Runtime.Transport_intf.t) :
              Runtime.Mailbox.take parked
                ~deadline:(Some (min give_up (Prelude.Mclock.now_us () + park_poll_us)))
            with
-          | Some (src, dst, msg) ->
-              inner.Runtime.Transport_intf.send ~src ~dst msg
+          | Some (src, dst, trace, msg) ->
+              inner.Runtime.Transport_intf.send ~src ~dst ~trace msg
           | None -> ());
           drain ()
         end

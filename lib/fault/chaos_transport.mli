@@ -37,6 +37,7 @@ type event = {
   src : int;
   dst : int;
   index : int;  (** per-link sequence number of the message *)
+  trace : int;  (** trace id of the faulted message (0 when untraced) *)
   action : action;
 }
 

@@ -73,8 +73,8 @@ module Make (W : Wire.WIRED) = struct
   let rpc t msg =
     match send t msg with Error e -> Error e | Ok () -> recv t
 
-  let invoke t op =
-    match rpc t (C.Invoke op) with
+  let invoke ?(trace = 0) t op =
+    match rpc t (C.Invoke { op; trace }) with
     | Ok (C.Result r) -> Ok r
     | Ok (C.Error_msg e) -> Error ("replica error: " ^ e)
     | Ok m -> Error (Format.asprintf "unexpected reply %a" C.pp_msg m)

@@ -102,8 +102,11 @@ module Make (W : Wire.WIRED) = struct
 
   (* Argv contract with [timebounds serve] (bin/cli.ml parses both
      [--flag v] and [-flag v]).  [chaos] forwards the fault plan so each
-     replica process wraps its own transport with the same seeded plan. *)
-  let serve_argv ~exe ~peers ~pid ~d ~u ~eps ~x ~slack ~offset ~epoch ~chaos =
+     replica process wraps its own transport with the same seeded plan;
+     [trace] is the per-process trace file (appended across supervised
+     restarts, so one file covers a replica's whole life). *)
+  let serve_argv ~exe ~peers ~pid ~d ~u ~eps ~x ~slack ~offset ~epoch ~chaos
+      ~trace =
     let base =
       [
         exe; "serve";
@@ -121,10 +124,11 @@ module Make (W : Wire.WIRED) = struct
       ]
     in
     let extra =
-      match chaos with
+      (match chaos with
       | None -> []
       | Some (spec, cseed) ->
-          [ "--chaos"; spec; "--chaos-seed"; string_of_int cseed ]
+          [ "--chaos"; spec; "--chaos-seed"; string_of_int cseed ])
+      @ match trace with None -> [] | Some path -> [ "--trace"; path ]
     in
     Array.of_list (base @ extra)
 
@@ -147,7 +151,7 @@ module Make (W : Wire.WIRED) = struct
      replica's clients take through its supervised restart.  Only a failed
      reconnect (replica still gone after ~2 s of retries) aborts. *)
   let worker_round ~host ~ports ~origin_us ~abort ?(resilient = false)
-      ?(windows = []) rng ~mix ~total ~quota ~wid =
+      ?(traced = false) ?(windows = []) rng ~mix ~total ~quota ~wid =
     let hists = Array.init 6 (fun _ -> Runtime.Histogram.create ()) in
     let port = ports.(wid mod Array.length ports) in
     let attempts = if resilient then 40 else 3 in
@@ -184,8 +188,11 @@ module Make (W : Wire.WIRED) = struct
                 | Spec.Data_type.Pure_accessor -> 1
                 | Spec.Data_type.Other -> 2
               in
+              let trace =
+                if traced then Obs.Trace_id.fresh ~origin:wid else 0
+              in
               let t0 = Prelude.Mclock.now_us () in
-              match Cl.invoke c op with
+              match Cl.invoke ~trace c op with
               | Ok result ->
                   let t1 = Prelude.Mclock.now_us () in
                   let slot =
@@ -229,11 +236,15 @@ module Make (W : Wire.WIRED) = struct
      port, offset and the cluster epoch, so it rejoins with the same clock
      the algorithm assumed before the crash (SO_REUSEADDR lets it rebind
      immediately). *)
+  let trace_path trace_dir i =
+    Option.map (fun dir -> Filename.concat dir (Printf.sprintf "replica-%d.trace" i))
+      trace_dir
+
   let spawn_one ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch ~chaos
-      ~log i =
+      ~trace_dir ~log i =
     let argv =
       serve_argv ~exe ~peers:(peers_of ~host ~ports) ~pid:i ~d ~u ~eps ~x
-        ~slack ~offset:offsets.(i) ~epoch ~chaos
+        ~slack ~offset:offsets.(i) ~epoch ~chaos ~trace:(trace_path trace_dir i)
     in
     let os_pid =
       Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr
@@ -244,10 +255,10 @@ module Make (W : Wire.WIRED) = struct
     { child_pid = i; os_pid; port = ports.(i) }
 
   let spawn_children ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch
-      ~chaos ~log =
+      ~chaos ~trace_dir ~log =
     Array.init (Array.length ports)
       (spawn_one ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch ~chaos
-         ~log)
+         ~trace_dir ~log)
 
   (* The monitor thread is the sole reaper: everyone else consults the
      table.  [expected] is flipped before teardown so deliberate
@@ -396,8 +407,8 @@ module Make (W : Wire.WIRED) = struct
      order-sensitive objects (queue) go from minutes to milliseconds. *)
   let run ~n ~d ~u ?eps ?(x = 0) ?(slack = 5000) ?workers ?(round = 24)
       ?(mix = (50, 40, 10)) ?(host = "127.0.0.1") ?(base_port = 7600)
-      ?(exe = Sys.executable_name) ?(log = fun _ -> ()) ?abort ?plan ~ops
-      ~seed () =
+      ?(exe = Sys.executable_name) ?(log = fun _ -> ()) ?abort ?plan ?trace_dir
+      ~ops ~seed () =
     if n < 1 then invalid_arg "Cluster.run: n must be >= 1";
     if round < 1 || round > 62 then
       invalid_arg "Cluster.run: round must be in [1, 62]";
@@ -455,9 +466,18 @@ module Make (W : Wire.WIRED) = struct
        epoch is also the run-time origin — history entries, quiescent cuts,
        fault windows and the crash schedule all measure from it. *)
     let epoch = Prelude.Mclock.now_us () in
+    (* Tracing: each replica writes trace_dir/replica-<i>.trace (appended
+       across supervised restarts); workers mint trace ids so client fan-out
+       is reconstructible from the merged per-process files. *)
+    (match trace_dir with
+    | Some dir ->
+        (try Unix.mkdir dir 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    | None -> ());
+    let traced = trace_dir <> None in
     let children =
       spawn_children ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch
-        ~chaos ~log
+        ~chaos ~trace_dir ~log
     in
     let mon = start_monitor children ~abort ~log in
     (* The crash scheduler: one supervisor thread per crash rule.  It
@@ -504,7 +524,7 @@ module Make (W : Wire.WIRED) = struct
                          let rec respawn backoff attempt =
                            match
                              spawn_one ~exe ~host ~ports ~d ~u ~eps ~x ~slack
-                               ~offsets ~epoch ~chaos ~log pid
+                               ~offsets ~epoch ~chaos ~trace_dir ~log pid
                            with
                            | fresh -> Some fresh
                            | exception (Unix.Unix_error _ | Sys_error _) ->
@@ -573,7 +593,8 @@ module Make (W : Wire.WIRED) = struct
             in
             Domain.spawn (fun () ->
                 worker_round ~host ~ports ~origin_us:epoch ~abort ~resilient
-                  ~windows:fault_windows mine ~mix ~total ~quota:share ~wid))
+                  ~traced ~windows:fault_windows mine ~mix ~total ~quota:share
+                  ~wid))
       in
       List.iter
         (fun dom ->
@@ -584,8 +605,7 @@ module Make (W : Wire.WIRED) = struct
           | Some e, None -> first_error := Some e
           | _ -> ());
           Array.iteri
-            (fun i h ->
-              merged.(i) <- Runtime.Histogram.merge merged.(i) h)
+            (fun i h -> Runtime.Histogram.merge_into ~into:merged.(i) h)
             out.w_hists)
         spawned;
       cuts := Prelude.Mclock.now_us () - epoch :: !cuts

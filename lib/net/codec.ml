@@ -10,7 +10,12 @@
     12      len   payload
     v} *)
 
-let version = 1
+(* v1: initial framing.  v2: Entry and Invoke payloads carry the
+   originating operation's trace id (one varint) so per-process [Obs]
+   traces reassemble into cross-replica spans.  Peers speaking v1 are
+   rejected at decode ("unsupported version 1"), which the handshake turns
+   into a clean [Error_msg] rather than a crash. *)
+let version = 2
 let header_len = 12
 let max_payload = 1 lsl 24  (* 16 MiB: far above any entry, guards length bombs *)
 let magic0 = 'T'
@@ -198,8 +203,8 @@ let k_error = 6
 module Make (O : OBJ_CODEC) = struct
   type msg =
     | Hello of hello
-    | Entry of { op : O.D.op; time : int; pid : int }
-    | Invoke of O.D.op
+    | Entry of { op : O.D.op; time : int; pid : int; trace : int }
+    | Invoke of { op : O.D.op; trace : int }
     | Result of O.D.result
     | Stats_req
     | Stats of Runtime.Transport_intf.stats
@@ -210,7 +215,8 @@ module Make (O : OBJ_CODEC) = struct
     | Hello h1, Hello h2 -> h1 = h2
     | Entry e1, Entry e2 ->
         O.D.equal_op e1.op e2.op && e1.time = e2.time && e1.pid = e2.pid
-    | Invoke o1, Invoke o2 -> O.D.equal_op o1 o2
+        && e1.trace = e2.trace
+    | Invoke i1, Invoke i2 -> O.D.equal_op i1.op i2.op && i1.trace = i2.trace
     | Result r1, Result r2 -> O.D.equal_result r1 r2
     | Stats_req, Stats_req -> true
     | Stats s1, Stats s2 -> s1 = s2
@@ -222,8 +228,9 @@ module Make (O : OBJ_CODEC) = struct
         Format.fprintf fmt "hello{pid=%d n=%d d=%d u=%d eps=%d x=%d obj=%d}"
           h.pid h.n h.d h.u h.eps h.x h.obj_tag
     | Entry e ->
-        Format.fprintf fmt "entry{%a @@ ⟨%d,%d⟩}" O.D.pp_op e.op e.time e.pid
-    | Invoke op -> Format.fprintf fmt "invoke{%a}" O.D.pp_op op
+        Format.fprintf fmt "entry{%a @@ ⟨%d,%d⟩ t=%x}" O.D.pp_op e.op e.time
+          e.pid e.trace
+    | Invoke i -> Format.fprintf fmt "invoke{%a t=%x}" O.D.pp_op i.op i.trace
     | Result r -> Format.fprintf fmt "result{%a}" O.D.pp_result r
     | Stats_req -> Format.pp_print_string fmt "stats?"
     | Stats s ->
@@ -247,9 +254,11 @@ module Make (O : OBJ_CODEC) = struct
           O.write_op b e.op;
           Wr.int b e.time;
           Wr.int b e.pid;
+          Wr.int b e.trace;
           k_entry
-      | Invoke op ->
-          O.write_op b op;
+      | Invoke i ->
+          O.write_op b i.op;
+          Wr.int b i.trace;
           k_invoke
       | Result r ->
           O.write_result b r;
@@ -291,9 +300,14 @@ module Make (O : OBJ_CODEC) = struct
           let op = O.read_op r in
           let time = Rd.int r in
           let pid = Rd.int r in
-          Entry { op; time; pid }
+          let trace = Rd.int r in
+          Entry { op; time; pid; trace }
         end
-        else if frame.kind = k_invoke then Invoke (O.read_op r)
+        else if frame.kind = k_invoke then begin
+          let op = O.read_op r in
+          let trace = Rd.int r in
+          Invoke { op; trace }
+        end
         else if frame.kind = k_result then Result (O.read_result r)
         else if frame.kind = k_stats_req then Stats_req
         else if frame.kind = k_stats then begin

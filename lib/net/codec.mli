@@ -23,8 +23,9 @@
     [Tcp_transport] and README "Wire format". *)
 
 val version : int
-(** Current wire version (1).  A decoder rejects every other version, so
-    incompatible future formats fail the handshake instead of
+(** Current wire version (2 — v2 added the trace id to [Entry]/[Invoke]
+    payloads).  A decoder rejects every other version, so incompatible
+    formats — older peers included — fail the handshake cleanly instead of
     misparsing. *)
 
 val header_len : int
@@ -109,9 +110,10 @@ type hello = {
 module Make (O : OBJ_CODEC) : sig
   type msg =
     | Hello of hello  (** first frame on a replica→replica connection *)
-    | Entry of { op : O.D.op; time : int; pid : int }
-        (** an Algorithm 1 protocol message: operation + ⟨time, pid⟩ stamp *)
-    | Invoke of O.D.op  (** client → replica *)
+    | Entry of { op : O.D.op; time : int; pid : int; trace : int }
+        (** an Algorithm 1 protocol message: operation + ⟨time, pid⟩ stamp
+            + originating trace id (0 when untraced) *)
+    | Invoke of { op : O.D.op; trace : int }  (** client → replica *)
     | Result of O.D.result  (** replica → client *)
     | Stats_req  (** client → replica: transport stats probe *)
     | Stats of Runtime.Transport_intf.stats  (** replica → client *)

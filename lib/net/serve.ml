@@ -27,6 +27,10 @@ type config = {
           would skew them by the process spawn deltas — far beyond the ε
           the algorithm assumes.  [None] means "now" (single-replica or
           in-process use). *)
+  trace : string option;
+      (** when set, install an [Obs.Recorder] writing this process's trace
+          file, timestamped from [start_us] — the same epoch in every
+          replica makes the per-process files merge onto one timeline. *)
   log : string -> unit;
 }
 
@@ -38,6 +42,8 @@ module Make (W : Wire.WIRED) = struct
     config : config;
     transport : R.event Runtime.Transport_intf.t;
     node : R.node;
+    recorder : (Obs.Recorder.t * (unit -> unit)) option;
+        (** installed recorder and its trace-file closer *)
     mutable handle_stopped : bool;
   }
 
@@ -80,21 +86,23 @@ module Make (W : Wire.WIRED) = struct
     | Ok _ -> Tcp_transport.Client
     | Error e -> Tcp_transport.Reject ("bad handshake: " ^ e)
 
-  let decode_peer ~src:_ frame =
+  let decode_peer ~me ~src frame =
     match C.decode_payload frame with
-    | Ok (C.Entry { op; time; pid }) ->
-        Some (R.net { R.Alg.op; ts = Prelude.Stamp.make ~time ~pid })
+    | Ok (C.Entry { op; time; pid; trace }) ->
+        Obs.Recorder.emit ~pid:me ~kind:Obs.Event.Recv ~trace ~a:src ();
+        Some (R.net ~trace { R.Alg.op; ts = Prelude.Stamp.make ~time ~pid })
     | Ok _ | Error _ -> None
 
   let encode_peer ev =
     match R.net_entry ev with
-    | Some (e : R.Alg.entry) ->
+    | Some ((e : R.Alg.entry), trace) ->
         C.encode
           (C.Entry
              {
                op = e.R.Alg.op;
                time = e.R.Alg.ts.Prelude.Stamp.time;
                pid = e.R.Alg.ts.Prelude.Stamp.pid;
+               trace;
              })
     | None ->
         (* Invoke/Stop are local-only events; the replica never sends
@@ -125,8 +133,8 @@ module Make (W : Wire.WIRED) = struct
       let reply msg = Tcp_transport.conn_write conn (C.encode msg) in
       let handle_frame frame =
         match C.decode_payload frame with
-        | Ok (C.Invoke op) -> (
-            match R.node_invoke (the_node ()) op with
+        | Ok (C.Invoke { op; trace }) -> (
+            match R.node_invoke ~trace (the_node ()) op with
             | r -> reply (C.Result r)
             | exception R.Stopped -> reply (C.Error_msg "replica stopped"))
         | Ok C.Stats_req ->
@@ -159,11 +167,30 @@ module Make (W : Wire.WIRED) = struct
       in
       loop first
     in
+    (* The recorder goes in before the transport so connection races at
+       startup are already traced.  It is process-global: one traced serve
+       stack per process (the in-process test harness passes [trace =
+       None]). *)
+    let recorder =
+      match cfg.trace with
+      | None -> None
+      | Some path ->
+          let epoch_us =
+            match cfg.start_us with
+            | Some s -> s
+            | None -> Prelude.Mclock.now_us ()
+          in
+          let sink, flush, close = Obs.Recorder.file_sink path in
+          let r = Obs.Recorder.start ~epoch_us ~sink ~flush () in
+          Obs.Recorder.install r;
+          Some (r, close)
+    in
     let transport =
       Tcp_transport.create ~me:cfg.pid ~addrs:cfg.addrs ~listener
         ~hello:(C.encode (C.Hello (hello_of cfg)))
-        ~classify_hello:(classify_hello cfg) ~decode_peer ~encode_peer
-        ~on_client ~log:cfg.log ()
+        ~classify_hello:(classify_hello cfg)
+        ~decode_peer:(decode_peer ~me:cfg.pid) ~encode_peer ~on_client
+        ~log:cfg.log ()
     in
     let transport =
       match wrap with
@@ -182,17 +209,24 @@ module Make (W : Wire.WIRED) = struct
         ?start_us:cfg.start_us ()
     in
     node_ref := Some node;
-    { config = cfg; transport; node; handle_stopped = false }
+    { config = cfg; transport; node; recorder; handle_stopped = false }
 
   (* Stop order matters: cancelling the node first wakes client-handler
      threads blocked on invocation cells, so closing the transport (which
-     joins its threads) cannot hang behind them. *)
+     joins its threads) cannot hang behind them.  The recorder is torn
+     down last, after every emitting thread is gone. *)
   let stop handle =
     if not handle.handle_stopped then begin
       handle.handle_stopped <- true;
       let records = R.node_stop handle.node in
       let stats = Runtime.Transport_intf.stats handle.transport in
       Runtime.Transport_intf.close handle.transport;
+      (match handle.recorder with
+      | None -> ()
+      | Some (r, close) ->
+          Obs.Recorder.uninstall ();
+          Obs.Recorder.stop r;
+          close ());
       (records, stats)
     end
     else ([], Runtime.Transport_intf.stats handle.transport)

@@ -379,8 +379,9 @@ let create (type msg) ~me ~addrs ~listener ~hello ~classify_hello
            if link.dst = me then None
            else Some (Thread.create (fun () -> writer_loop st link) ()))
   in
-  let send ~src:_ ~dst msg =
+  let send ~src:_ ~dst ~trace msg =
     Atomic.incr st.ctrs.sent;
+    Obs.Recorder.emit ~pid:me ~kind:Obs.Event.Send ~trace ~a:dst ();
     if dst = me then
       Runtime.Mailbox.put st.box ~deliver_at:(Prelude.Mclock.now_us ()) (me, msg)
     else if dst < 0 || dst >= n then
@@ -404,6 +405,7 @@ let create (type msg) ~me ~addrs ~listener ~hello ~classify_hello
     Runtime.Mailbox.put st.box ~deliver_at:(Prelude.Mclock.now_us ()) (src, msg)
   in
   let recv ~me:_ ~deadline = Runtime.Mailbox.take st.box ~deadline in
+  let depth ~me:_ = Runtime.Mailbox.length st.box in
   let stats () =
     {
       Runtime.Transport_intf.sent = Atomic.get st.ctrs.sent;
@@ -446,4 +448,4 @@ let create (type msg) ~me ~addrs ~listener ~hello ~classify_hello
         conns
     end
   in
-  { Runtime.Transport_intf.n; send; post; recv; stats; close }
+  { Runtime.Transport_intf.n; send; post; recv; depth; stats; close }

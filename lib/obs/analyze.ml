@@ -1,0 +1,179 @@
+type verdict = Within | Violated of int | Excused of string | Incomplete
+type checked = { span : Span.t; bound_us : int; verdict : verdict }
+
+type class_stats = {
+  cls : int;
+  bound_us : int;
+  count : int;
+  complete : int;
+  p50_us : int;
+  p99_us : int;
+  max_us : int;
+  mean_us : float;
+  mean_hold_us : float;
+  mean_wire_us : float option;
+  mean_rqueue_us : float option;
+  max_overshoot_us : int;
+  violations : int;
+  excused : int;
+}
+
+type report = {
+  params : Core.Params.t;
+  grace_us : int;
+  spans : checked list;
+  classes : class_stats list;
+  total : int;
+  incomplete : int;
+  violations : int;
+  excused : int;
+  ring_drops : int;
+  faults : int;
+}
+
+let bound_us (p : Core.Params.t) cls =
+  if cls = Event.class_mutator then p.timing.mutator_wait
+  else if cls = Event.class_accessor then p.timing.accessor_wait
+  else p.d + p.eps
+
+let overlaps ~t_inv ~t_resp (_, from_us, until_us) =
+  t_inv <= until_us && t_resp >= from_us
+
+let check_span ~params ~grace_us ~windows (s : Span.t) =
+  let bound = bound_us params s.cls in
+  let verdict =
+    match (s.t_resp, s.latency_us) with
+    | None, _ | _, None -> Incomplete
+    | Some t_resp, Some lat ->
+        if lat <= bound + grace_us then Within
+        else (
+          match
+            List.find_opt (overlaps ~t_inv:s.t_inv ~t_resp) windows
+          with
+          | Some (label, _, _) -> Excused label
+          | None -> Violated (lat - bound - grace_us))
+  in
+  { span = s; bound_us = bound; verdict }
+
+let nearest_rank p sorted =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n /. 100.)))
+
+let mean_opt = function
+  | [] -> None
+  | xs ->
+      Some
+        (float_of_int (List.fold_left ( + ) 0 xs) /. float_of_int (List.length xs))
+
+let class_stats_of cls checked =
+  let mine = List.filter (fun c -> c.span.Span.cls = cls) checked in
+  let complete = List.filter (fun c -> Span.complete c.span) mine in
+  let lats =
+    List.filter_map (fun c -> c.span.Span.latency_us) complete
+    |> List.sort compare |> Array.of_list
+  in
+  let holds = List.map (fun c -> c.span.Span.hold_us) complete in
+  let legs = List.concat_map (fun c -> c.span.Span.legs) complete in
+  let bound = match mine with c :: _ -> c.bound_us | [] -> 0 in
+  {
+    cls;
+    bound_us = bound;
+    count = List.length mine;
+    complete = List.length complete;
+    p50_us = nearest_rank 50. lats;
+    p99_us = nearest_rank 99. lats;
+    max_us = (if Array.length lats = 0 then 0 else lats.(Array.length lats - 1));
+    mean_us = Option.value ~default:0. (mean_opt (Array.to_list lats));
+    mean_hold_us = Option.value ~default:0. (mean_opt holds);
+    mean_wire_us = mean_opt (List.filter_map Span.wire_us legs);
+    mean_rqueue_us = mean_opt (List.filter_map Span.remote_queue_us legs);
+    max_overshoot_us =
+      List.fold_left
+        (fun acc c ->
+          match c.span.Span.latency_us with
+          | Some l -> max acc (l - c.span.Span.hold_us)
+          | None -> acc)
+        0 complete;
+    violations =
+      List.length
+        (List.filter (fun c -> match c.verdict with Violated _ -> true | _ -> false) mine);
+    excused =
+      List.length
+        (List.filter (fun c -> match c.verdict with Excused _ -> true | _ -> false) mine);
+  }
+
+let check ~params ?(grace_us = 0) ?(windows = []) events =
+  let spans = Span.assemble events in
+  let checked = List.map (check_span ~params ~grace_us ~windows) spans in
+  let classes =
+    List.sort_uniq compare (List.map (fun (s : Span.t) -> s.cls) spans)
+    |> List.map (fun cls -> class_stats_of cls checked)
+  in
+  let count f = List.length (List.filter f checked) in
+  {
+    params;
+    grace_us;
+    spans = checked;
+    classes;
+    total = List.length checked;
+    incomplete = count (fun c -> c.verdict = Incomplete);
+    violations =
+      count (fun c -> match c.verdict with Violated _ -> true | _ -> false);
+    excused =
+      count (fun c -> match c.verdict with Excused _ -> true | _ -> false);
+    ring_drops =
+      List.fold_left
+        (fun acc (e : Event.t) ->
+          if e.kind = Event.Drops then acc + e.a else acc)
+        0 events;
+    faults =
+      List.length
+        (List.filter (fun (e : Event.t) -> e.kind = Event.Fault) events);
+  }
+
+let pp_verdict ppf = function
+  | Within -> Format.pp_print_string ppf "ok"
+  | Violated ex -> Format.fprintf ppf "VIOLATED(+%dus)" ex
+  | Excused label -> Format.fprintf ppf "excused(%s)" label
+  | Incomplete -> Format.pp_print_string ppf "incomplete"
+
+let pp_checked ppf c =
+  let s = c.span in
+  Format.fprintf ppf
+    "@[trace=%x p%d %-8s inv=%dus lat=%s hold=%dus legs=%d bound=%dus %a@]"
+    s.Span.trace s.Span.origin
+    (Event.class_name s.Span.cls)
+    s.Span.t_inv
+    (match s.Span.latency_us with Some l -> string_of_int l ^ "us" | None -> "-")
+    s.Span.hold_us (List.length s.Span.legs) c.bound_us pp_verdict c.verdict
+
+let pp_f_opt ppf = function
+  | Some f -> Format.fprintf ppf "%7.0fus" f
+  | None -> Format.fprintf ppf "%7s  " "-"
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>trace report: %d ops (%d incomplete), %d unexcused violation%s, %d \
+     excused, %d ring-dropped event%s, %d fault injection%s@,\
+     grace %dus on top of each bound (scheduler jitter allowance)@,"
+    r.total r.incomplete r.violations
+    (if r.violations = 1 then "" else "s")
+    r.excused r.ring_drops
+    (if r.ring_drops = 1 then "" else "s")
+    r.faults
+    (if r.faults = 1 then "" else "s")
+    r.grace_us;
+  Format.fprintf ppf
+    "  %-9s %5s %9s %8s %8s %8s %9s %9s %10s %10s %5s %7s@," "class" "ops"
+    "bound" "p50" "p99" "max" "hold" "wire" "rqueue" "overshoot" "viol"
+    "excused";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf
+        "  %-9s %5d %7dus %6dus %6dus %6dus %7.0fus %a %a %8dus %5d %7d@,"
+        (Event.class_name c.cls) c.count c.bound_us c.p50_us c.p99_us c.max_us
+        c.mean_hold_us pp_f_opt c.mean_wire_us pp_f_opt c.mean_rqueue_us
+        c.max_overshoot_us c.violations c.excused)
+    r.classes;
+  Format.fprintf ppf "@]"

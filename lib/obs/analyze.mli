@@ -1,0 +1,64 @@
+(** Latency decomposition and bound attribution.
+
+    Every complete span is checked against its class's paper bound —
+    pure mutators against ε + X, pure accessors against d + ε − X, other
+    operations against d + ε — plus a [grace_us] allowance for scheduler
+    jitter (the live runtime folds its [slack] into d and u for the same
+    reason; the bounds themselves are model-time statements).  Under chaos,
+    a violation whose span overlaps an assumption-violation window (as
+    computed by [Fault.Assumption_monitor]) is {e excused} rather than
+    counted: the model's premises did not hold while it ran. *)
+
+type verdict =
+  | Within
+  | Violated of int  (** µs in excess of bound + grace *)
+  | Excused of string  (** overlapping violation window's label *)
+  | Incomplete  (** never responded — not checked *)
+
+type checked = { span : Span.t; bound_us : int; verdict : verdict }
+
+type class_stats = {
+  cls : int;
+  bound_us : int;
+  count : int;
+  complete : int;
+  p50_us : int;
+  p99_us : int;
+  max_us : int;
+  mean_us : float;
+  mean_hold_us : float;  (** deliberate local wait *)
+  mean_wire_us : float option;  (** send → remote receipt, across legs *)
+  mean_rqueue_us : float option;  (** remote receipt → mailbox delivery *)
+  max_overshoot_us : int;  (** max latency − hold: scheduling + processing *)
+  violations : int;
+  excused : int;
+}
+
+type report = {
+  params : Core.Params.t;
+  grace_us : int;
+  spans : checked list;  (** by invocation time *)
+  classes : class_stats list;  (** classes that appeared, by class code *)
+  total : int;
+  incomplete : int;
+  violations : int;  (** unexcused *)
+  excused : int;
+  ring_drops : int;  (** events lost to recorder wrap-around *)
+  faults : int;  (** chaos injections seen in the stream *)
+}
+
+val bound_us : Core.Params.t -> int -> int
+(** The paper bound for a class code: mutator ↦ ε+X, accessor ↦ d+ε−X,
+    other ↦ d+ε. *)
+
+val check :
+  params:Core.Params.t ->
+  ?grace_us:int ->
+  ?windows:(string * int * int) list ->
+  Event.t list ->
+  report
+(** [windows] are assumption-violation intervals [(label, from_us,
+    until_us)] on the same timeline as the events. *)
+
+val pp_checked : Format.formatter -> checked -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,137 @@
+type kind =
+  | Invoke
+  | Hold_set
+  | Broadcast
+  | Send
+  | Recv
+  | Deliver
+  | Apply
+  | Respond
+  | Mbox_depth
+  | Fault
+  | Drops
+
+let kind_code = function
+  | Invoke -> 0
+  | Hold_set -> 1
+  | Broadcast -> 2
+  | Send -> 3
+  | Recv -> 4
+  | Deliver -> 5
+  | Apply -> 6
+  | Respond -> 7
+  | Mbox_depth -> 8
+  | Fault -> 9
+  | Drops -> 10
+
+let kind_of_code = function
+  | 0 -> Some Invoke
+  | 1 -> Some Hold_set
+  | 2 -> Some Broadcast
+  | 3 -> Some Send
+  | 4 -> Some Recv
+  | 5 -> Some Deliver
+  | 6 -> Some Apply
+  | 7 -> Some Respond
+  | 8 -> Some Mbox_depth
+  | 9 -> Some Fault
+  | 10 -> Some Drops
+  | _ -> None
+
+let kind_name = function
+  | Invoke -> "invoke"
+  | Hold_set -> "hold_set"
+  | Broadcast -> "broadcast"
+  | Send -> "send"
+  | Recv -> "recv"
+  | Deliver -> "deliver"
+  | Apply -> "apply"
+  | Respond -> "respond"
+  | Mbox_depth -> "mbox_depth"
+  | Fault -> "fault"
+  | Drops -> "drops"
+
+let class_mutator = 0
+let class_accessor = 1
+let class_other = 2
+
+let class_code : Spec.Data_type.kind -> int = function
+  | Spec.Data_type.Pure_mutator -> class_mutator
+  | Spec.Data_type.Pure_accessor -> class_accessor
+  | Spec.Data_type.Other -> class_other
+
+let class_name = function
+  | 0 -> "mutator"
+  | 1 -> "accessor"
+  | _ -> "other"
+
+type t = { t_us : int; pid : int; kind : kind; trace : int; a : int; b : int }
+
+let equal x y =
+  x.t_us = y.t_us && x.pid = y.pid && x.kind = y.kind && x.trace = y.trace
+  && x.a = y.a && x.b = y.b
+
+let pp ppf e =
+  Format.fprintf ppf "@[%8dus p%d %-10s trace=%x a=%d b=%d@]" e.t_us e.pid
+    (kind_name e.kind) e.trace e.a e.b
+
+(* Zigzag LEB128, same scheme as the wire codec but self-contained: obs sits
+   below lib/net in the dependency order. *)
+
+let zigzag v = (v lsl 1) lxor (v asr 62)
+let unzigzag v = (v lsr 1) lxor (-(v land 1))
+
+let put_varint buf v =
+  let v = ref (zigzag v) in
+  let continue = ref true in
+  while !continue do
+    let byte = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then (
+      Buffer.add_char buf (Char.chr byte);
+      continue := false)
+    else Buffer.add_char buf (Char.chr (byte lor 0x80))
+  done
+
+let get_varint s ~pos =
+  let len = String.length s in
+  let rec go pos shift acc =
+    if pos >= len || shift > 62 then None
+    else
+      let byte = Char.code s.[pos] in
+      let acc = acc lor ((byte land 0x7f) lsl shift) in
+      if byte land 0x80 = 0 then Some (unzigzag acc, pos + 1)
+      else go (pos + 1) (shift + 7) acc
+  in
+  go pos 0 0
+
+let encode buf e =
+  Buffer.add_char buf (Char.chr (kind_code e.kind));
+  put_varint buf e.t_us;
+  put_varint buf e.pid;
+  put_varint buf e.trace;
+  put_varint buf e.a;
+  put_varint buf e.b
+
+let decode s ~pos =
+  if pos >= String.length s then None
+  else
+    match kind_of_code (Char.code s.[pos]) with
+    | None -> None
+    | Some kind -> (
+        match get_varint s ~pos:(pos + 1) with
+        | None -> None
+        | Some (t_us, pos) -> (
+            match get_varint s ~pos with
+            | None -> None
+            | Some (pid, pos) -> (
+                match get_varint s ~pos with
+                | None -> None
+                | Some (trace, pos) -> (
+                    match get_varint s ~pos with
+                    | None -> None
+                    | Some (a, pos) -> (
+                        match get_varint s ~pos with
+                        | None -> None
+                        | Some (b, pos) ->
+                            Some ({ t_us; pid; kind; trace; a; b }, pos))))))

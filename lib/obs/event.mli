@@ -1,0 +1,71 @@
+(** Structured trace events.
+
+    One event is one interesting instant in the life of an operation (or of
+    the replica processing it): invocation, hold-deadline armed, broadcast
+    fan-out, per-link send/recv, mailbox delivery, state-machine apply,
+    response, plus ambient samples (mailbox depth) and chaos-layer fault
+    injections.  Events are tiny fixed records — no strings on the hot path —
+    and serialize to a compact varint binary form so a replica can log
+    hundreds of thousands per second into {!Obs.Recorder} without feeling
+    it.
+
+    The two payload words [a] and [b] are kind-specific (documented on each
+    constructor); unused words are 0. *)
+
+type kind =
+  | Invoke  (** operation accepted by a replica. [a] = class code. *)
+  | Hold_set
+      (** local hold/timer armed for the in-flight op. [a] = delay in µs. *)
+  | Broadcast  (** entry fanned out to peers. [a] = number of destinations. *)
+  | Send  (** one link-level send. [a] = destination pid. *)
+  | Recv  (** link-level receive (wire decoded). [a] = source pid. *)
+  | Deliver
+      (** mailbox handed the message to the replica loop. [a] = source pid,
+          [b] = mailbox depth after removal. *)
+  | Apply  (** entry applied to the local copy. [a] = source pid. *)
+  | Respond
+      (** response released to the caller. [a] = class code, [b] = latency
+          in µs as measured by the replica. *)
+  | Mbox_depth  (** ambient mailbox-depth sample. [a] = depth. *)
+  | Fault
+      (** chaos-layer injection on a send. [a] = action code
+          (0 drop, 1 duplicate, 2 delay), [b] = extra delay in µs. *)
+  | Drops
+      (** drainer-emitted accounting record: [a] events were lost to
+          ring-buffer wrap-around since the previous [Drops] (or start). *)
+
+val kind_code : kind -> int
+val kind_of_code : int -> kind option
+val kind_name : kind -> string
+
+(** Class codes used in [Invoke]/[Respond] payloads. *)
+
+val class_mutator : int
+val class_accessor : int
+val class_other : int
+
+val class_code : Spec.Data_type.kind -> int
+val class_name : int -> string
+
+type t = {
+  t_us : int;  (** microseconds since the recorder's epoch *)
+  pid : int;  (** replica (or process) id that recorded the event *)
+  kind : kind;
+  trace : int;  (** operation trace id; 0 = not tied to an operation *)
+  a : int;  (** kind-specific payload, see {!kind} *)
+  b : int;  (** kind-specific payload, see {!kind} *)
+}
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** {1 Binary codec}
+
+    Events serialize as [kind byte] followed by five zigzag LEB128 varints
+    ([t_us], [pid], [trace], [a], [b]).  The encoding is self-delimiting;
+    [decode] returns the event and the position one past it. *)
+
+val encode : Buffer.t -> t -> unit
+
+val decode : string -> pos:int -> (t * int) option
+(** [None] on truncation or an unknown kind byte. *)

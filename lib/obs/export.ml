@@ -1,0 +1,173 @@
+let add_event buf ~first fields =
+  if not !first then Buffer.add_string buf ",\n";
+  first := false;
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%s" k v))
+    fields;
+  Buffer.add_char buf '}'
+
+let str s = "\"" ^ Json.escape s ^ "\""
+
+let verdict_str = function
+  | Analyze.Within -> "ok"
+  | Analyze.Violated ex -> Printf.sprintf "violated(+%dus)" ex
+  | Analyze.Excused label -> "excused(" ^ label ^ ")"
+  | Analyze.Incomplete -> "incomplete"
+
+let chrome ~(report : Analyze.report) ~events =
+  let buf = Buffer.create 65536 in
+  let first = ref true in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  List.iter
+    (fun (c : Analyze.checked) ->
+      let s = c.span in
+      match s.Span.latency_us with
+      | None -> ()
+      | Some dur ->
+          add_event buf ~first
+            [
+              ("name", str (Event.class_name s.Span.cls));
+              ("cat", str "op");
+              ("ph", str "X");
+              ("ts", string_of_int s.Span.t_inv);
+              ("dur", string_of_int dur);
+              ("pid", string_of_int s.Span.origin);
+              ("tid", string_of_int 0);
+              ( "args",
+                Printf.sprintf
+                  "{\"trace\":%s,\"hold_us\":%d,\"bound_us\":%d,\"verdict\":%s}"
+                  (str (Printf.sprintf "%x" s.Span.trace))
+                  s.Span.hold_us c.bound_us
+                  (str (verdict_str c.verdict)) );
+            ];
+          List.iter
+            (fun (leg : Span.leg) ->
+              match (leg.send_us, Span.wire_us leg) with
+              | Some send, Some wire when wire >= 0 ->
+                  add_event buf ~first
+                    [
+                      ( "name",
+                        str
+                          (Printf.sprintf "wire %d>%d" s.Span.origin leg.dst) );
+                      ("cat", str "wire");
+                      ("ph", str "X");
+                      ("ts", string_of_int send);
+                      ("dur", string_of_int wire);
+                      ("pid", string_of_int leg.dst);
+                      ("tid", string_of_int 1);
+                      ( "args",
+                        Printf.sprintf "{\"trace\":%s}"
+                          (str (Printf.sprintf "%x" s.Span.trace)) );
+                    ]
+              | _ -> ())
+            s.Span.legs)
+    report.Analyze.spans;
+  List.iter
+    (fun (e : Event.t) ->
+      match e.kind with
+      | Event.Fault ->
+          let action =
+            match e.a with 0 -> "drop" | 1 -> "dup" | _ -> "delay"
+          in
+          add_event buf ~first
+            [
+              ("name", str ("fault:" ^ action));
+              ("cat", str "fault");
+              ("ph", str "i");
+              ("ts", string_of_int e.t_us);
+              ("pid", string_of_int e.pid);
+              ("tid", string_of_int 2);
+              ("s", str "p");
+              ( "args",
+                Printf.sprintf "{\"extra_us\":%d}" e.b );
+            ]
+      | Event.Mbox_depth | Event.Deliver ->
+          add_event buf ~first
+            [
+              ("name", str "mailbox");
+              ("cat", str "mbox");
+              ("ph", str "C");
+              ("ts", string_of_int e.t_us);
+              ("pid", string_of_int e.pid);
+              ( "args",
+                Printf.sprintf "{\"depth\":%d}"
+                  (if e.kind = Event.Mbox_depth then e.a else e.b) );
+            ]
+      | _ -> ())
+    events;
+  Buffer.add_string buf "\n]}";
+  Buffer.contents buf
+
+let prometheus ~(report : Analyze.report) ?recorder () =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let header name typ help =
+    line "# HELP %s %s" name help;
+    line "# TYPE %s %s" name typ
+  in
+  header "timebounds_ops_total" "counter" "operations traced, by class";
+  List.iter
+    (fun (c : Analyze.class_stats) ->
+      line "timebounds_ops_total{class=\"%s\"} %d" (Event.class_name c.cls)
+        c.count)
+    report.Analyze.classes;
+  header "timebounds_op_latency_us" "summary"
+    "end-to-end operation latency quantiles";
+  List.iter
+    (fun (c : Analyze.class_stats) ->
+      let cls = Event.class_name c.cls in
+      line "timebounds_op_latency_us{class=\"%s\",quantile=\"0.5\"} %d" cls
+        c.p50_us;
+      line "timebounds_op_latency_us{class=\"%s\",quantile=\"0.99\"} %d" cls
+        c.p99_us;
+      line "timebounds_op_latency_us{class=\"%s\",quantile=\"1\"} %d" cls
+        c.max_us)
+    report.Analyze.classes;
+  header "timebounds_bound_us" "gauge"
+    "paper bound per class (mutator e+X, accessor d+e-X, other d+e)";
+  List.iter
+    (fun (c : Analyze.class_stats) ->
+      line "timebounds_bound_us{class=\"%s\"} %d" (Event.class_name c.cls)
+        c.bound_us)
+    report.Analyze.classes;
+  header "timebounds_bound_violations_total" "counter"
+    "operations over bound+grace, by excusal";
+  List.iter
+    (fun (c : Analyze.class_stats) ->
+      let cls = Event.class_name c.cls in
+      line "timebounds_bound_violations_total{class=\"%s\",excused=\"false\"} %d"
+        cls c.violations;
+      line "timebounds_bound_violations_total{class=\"%s\",excused=\"true\"} %d"
+        cls c.excused)
+    report.Analyze.classes;
+  header "timebounds_hold_us_mean" "gauge"
+    "mean deliberate local hold per class";
+  List.iter
+    (fun (c : Analyze.class_stats) ->
+      line "timebounds_hold_us_mean{class=\"%s\"} %.1f" (Event.class_name c.cls)
+        c.mean_hold_us)
+    report.Analyze.classes;
+  header "timebounds_wire_us_mean" "gauge" "mean send-to-remote-receipt";
+  List.iter
+    (fun (c : Analyze.class_stats) ->
+      match c.mean_wire_us with
+      | Some w ->
+          line "timebounds_wire_us_mean{class=\"%s\"} %.1f"
+            (Event.class_name c.cls) w
+      | None -> ())
+    report.Analyze.classes;
+  header "timebounds_fault_injections_total" "counter" "chaos injections seen";
+  line "timebounds_fault_injections_total %d" report.Analyze.faults;
+  header "timebounds_recorder_events_total" "counter"
+    "events recorded and dropped by the ring";
+  (match recorder with
+  | Some (recorded, dropped) ->
+      line "timebounds_recorder_events_total{outcome=\"recorded\"} %d" recorded;
+      line "timebounds_recorder_events_total{outcome=\"dropped\"} %d" dropped
+  | None ->
+      line "timebounds_recorder_events_total{outcome=\"dropped\"} %d"
+        report.Analyze.ring_drops);
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Trace exports.
+
+    {!chrome} renders the merged event stream as Chrome trace-event JSON
+    (open in Perfetto / [chrome://tracing]): one "X" complete event per
+    operation span on its origin replica's row, one per wire leg on the
+    destination's row, instant events for chaos injections and counter
+    tracks for mailbox depth.  {!prometheus} renders the analysis report in
+    the Prometheus text exposition format — a scrape-shaped snapshot of a
+    finished run. *)
+
+val chrome : report:Analyze.report -> events:Event.t list -> string
+
+val prometheus :
+  report:Analyze.report -> ?recorder:int * int -> unit -> string
+(** [recorder] is the [(recorded, dropped)] pair from {!Recorder.stats}. *)

@@ -1,0 +1,132 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+exception Bad of int * string
+
+let validate s =
+  let len = String.length s in
+  let peek pos = if pos < len then Some s.[pos] else None in
+  let fail pos msg = raise (Bad (pos, msg)) in
+  let rec skip_ws pos =
+    match peek pos with
+    | Some (' ' | '\t' | '\n' | '\r') -> skip_ws (pos + 1)
+    | _ -> pos
+  in
+  let expect pos c =
+    if peek pos = Some c then pos + 1
+    else fail pos (Printf.sprintf "expected '%c'" c)
+  in
+  let lit pos word =
+    let n = String.length word in
+    if pos + n <= len && String.sub s pos n = word then pos + n
+    else fail pos ("expected " ^ word)
+  in
+  let is_digit = function '0' .. '9' -> true | _ -> false in
+  let is_hex = function
+    | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+    | _ -> false
+  in
+  let rec digits pos =
+    match peek pos with Some c when is_digit c -> digits (pos + 1) | _ -> pos
+  in
+  let digits1 pos =
+    let p = digits pos in
+    if p = pos then fail pos "expected digit" else p
+  in
+  let number pos =
+    let pos = if peek pos = Some '-' then pos + 1 else pos in
+    let pos =
+      match peek pos with
+      | Some '0' -> pos + 1
+      | Some c when is_digit c -> digits (pos + 1)
+      | _ -> fail pos "expected digit"
+    in
+    let pos =
+      if peek pos = Some '.' then digits1 (pos + 1) else pos
+    in
+    match peek pos with
+    | Some ('e' | 'E') ->
+        let pos = pos + 1 in
+        let pos =
+          match peek pos with Some ('+' | '-') -> pos + 1 | _ -> pos
+        in
+        digits1 pos
+    | _ -> pos
+  in
+  let string_body pos =
+    let rec go pos =
+      match peek pos with
+      | None -> fail pos "unterminated string"
+      | Some '"' -> pos + 1
+      | Some '\\' -> (
+          match peek (pos + 1) with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> go (pos + 2)
+          | Some 'u' ->
+              if
+                pos + 5 < len
+                && is_hex s.[pos + 2] && is_hex s.[pos + 3]
+                && is_hex s.[pos + 4] && is_hex s.[pos + 5]
+              then go (pos + 6)
+              else fail pos "bad \\u escape"
+          | _ -> fail pos "bad escape")
+      | Some c when Char.code c < 0x20 -> fail pos "raw control char in string"
+      | Some _ -> go (pos + 1)
+    in
+    go pos
+  in
+  let rec value pos =
+    let pos = skip_ws pos in
+    match peek pos with
+    | Some '{' -> obj (skip_ws (pos + 1))
+    | Some '[' -> arr (skip_ws (pos + 1))
+    | Some '"' -> string_body (pos + 1)
+    | Some 't' -> lit pos "true"
+    | Some 'f' -> lit pos "false"
+    | Some 'n' -> lit pos "null"
+    | Some ('-' | '0' .. '9') -> number pos
+    | _ -> fail pos "expected value"
+  and obj pos =
+    if peek pos = Some '}' then pos + 1
+    else
+      let rec members pos =
+        let pos = skip_ws pos in
+        let pos = expect pos '"' in
+        let pos = string_body pos in
+        let pos = expect (skip_ws pos) ':' in
+        let pos = skip_ws (value pos) in
+        match peek pos with
+        | Some ',' -> members (pos + 1)
+        | Some '}' -> pos + 1
+        | _ -> fail pos "expected ',' or '}'"
+      in
+      members pos
+  and arr pos =
+    if peek pos = Some ']' then pos + 1
+    else
+      let rec elems pos =
+        let pos = skip_ws (value pos) in
+        match peek pos with
+        | Some ',' -> elems (pos + 1)
+        | Some ']' -> pos + 1
+        | _ -> fail pos "expected ',' or ']'"
+      in
+      elems pos
+  in
+  match skip_ws (value 0) with
+  | pos when pos = len -> Ok ()
+  | pos -> Error (Printf.sprintf "trailing garbage at byte %d" pos)
+  | exception Bad (pos, msg) ->
+      Error (Printf.sprintf "%s at byte %d" msg pos)

@@ -1,0 +1,12 @@
+(** Minimal JSON validation (no parse tree).
+
+    The repo carries no JSON library; the Chrome-trace exporter builds its
+    output by hand, and CI must be able to prove that output well-formed.
+    This is a strict RFC 8259 recognizer: one value, surrounded by
+    whitespace only. *)
+
+val validate : string -> (unit, string) result
+(** [Error msg] includes the byte offset of the first problem. *)
+
+val escape : string -> string
+(** Escape a string for embedding inside JSON quotes (adds no quotes). *)

@@ -1,0 +1,206 @@
+let dummy_event =
+  { Event.t_us = 0; pid = 0; kind = Event.Invoke; trace = 0; a = 0; b = 0 }
+
+(* One atomic sequence word per slot (Vyukov bounded MPSC).  Invariants, for
+   slot index [i = pos land mask]:
+     seq = pos                -> slot free, a producer may claim ticket [pos]
+     seq = pos + 1            -> slot published, consumer may read ticket [pos]
+     seq = pos + capacity     -> slot consumed, free for ticket [pos + capacity]
+   Producers race on [head] with CAS; the single consumer owns [tail]. *)
+type slot = { seq : int Atomic.t; mutable ev : Event.t }
+
+type t = {
+  slots : slot array;
+  mask : int;
+  head : int Atomic.t;
+  mutable tail : int; (* drainer-owned *)
+  recorded : int Atomic.t;
+  dropped : int Atomic.t;
+  reported_drops : int Atomic.t; (* drops already accounted by a Drops event *)
+  epoch_us : int;
+  sink : Event.t -> unit;
+  flush : unit -> unit;
+  running : bool Atomic.t;
+  mutable thread : Thread.t option;
+  mutable stopped : bool;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let push t ev =
+  let rec claim pos =
+    let slot = t.slots.(pos land t.mask) in
+    let seq = Atomic.get slot.seq in
+    let diff = seq - pos in
+    if diff = 0 then
+      if Atomic.compare_and_set t.head pos (pos + 1) then (
+        slot.ev <- ev;
+        Atomic.set slot.seq (pos + 1);
+        Atomic.incr t.recorded;
+        true)
+      else claim (Atomic.get t.head)
+    else if diff < 0 then (
+      (* consumer hasn't freed this slot yet: ring full *)
+      Atomic.incr t.dropped;
+      false)
+    else claim (Atomic.get t.head)
+  in
+  claim (Atomic.get t.head)
+
+(* Single consumer only (drainer thread, or [stop] after the join). *)
+let pop t =
+  let pos = t.tail in
+  let slot = t.slots.(pos land t.mask) in
+  if Atomic.get slot.seq = pos + 1 then (
+    let ev = slot.ev in
+    Atomic.set slot.seq (pos + Array.length t.slots);
+    t.tail <- pos + 1;
+    Some ev)
+  else None
+
+let account_drops t =
+  let d = Atomic.get t.dropped in
+  let seen = Atomic.get t.reported_drops in
+  if d > seen then (
+    Atomic.set t.reported_drops d;
+    t.sink
+      {
+        Event.t_us = Prelude.Mclock.now_us () - t.epoch_us;
+        pid = -1;
+        kind = Event.Drops;
+        trace = 0;
+        a = d - seen;
+        b = 0;
+      })
+
+let drain_once t =
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match pop t with
+    | Some ev ->
+        t.sink ev;
+        incr n
+    | None -> continue := false
+  done;
+  account_drops t;
+  if !n > 0 then t.flush ();
+  !n
+
+let drainer t () =
+  while Atomic.get t.running do
+    if drain_once t = 0 then Thread.delay 0.001
+  done
+
+let start ?(capacity = 65536) ~epoch_us ~sink ?(flush = fun () -> ()) () =
+  let capacity = next_pow2 (max 2 capacity) in
+  let t =
+    {
+      slots =
+        Array.init capacity (fun i ->
+            { seq = Atomic.make i; ev = dummy_event });
+      mask = capacity - 1;
+      head = Atomic.make 0;
+      tail = 0;
+      recorded = Atomic.make 0;
+      dropped = Atomic.make 0;
+      reported_drops = Atomic.make 0;
+      epoch_us;
+      sink;
+      flush;
+      running = Atomic.make true;
+      thread = None;
+      stopped = false;
+    }
+  in
+  t.thread <- Some (Thread.create (drainer t) ());
+  t
+
+let stop t =
+  if not t.stopped then (
+    t.stopped <- true;
+    Atomic.set t.running false;
+    (match t.thread with Some th -> Thread.join th | None -> ());
+    (* drainer is gone: we are the single consumer now *)
+    ignore (drain_once t);
+    t.flush ())
+
+let stats t = (Atomic.get t.recorded, Atomic.get t.dropped)
+
+(* Process-global instance *)
+
+let state : t option Atomic.t = Atomic.make None
+let install t = Atomic.set state (Some t)
+let uninstall () = Atomic.set state None
+let active () = Atomic.get state <> None
+
+let installed_stats () =
+  match Atomic.get state with Some t -> Some (stats t) | None -> None
+
+let emit ~pid ~kind ?(trace = 0) ?(a = 0) ?(b = 0) () =
+  match Atomic.get state with
+  | None -> ()
+  | Some t ->
+      let t_us = Prelude.Mclock.now_us () - t.epoch_us in
+      ignore (push t { Event.t_us; pid; kind; trace; a; b })
+
+(* Sinks *)
+
+let memory_sink () =
+  let acc = ref [] in
+  let lock = Mutex.create () in
+  let sink ev =
+    Mutex.lock lock;
+    acc := ev :: !acc;
+    Mutex.unlock lock
+  in
+  let contents () =
+    Mutex.lock lock;
+    let evs = List.rev !acc in
+    Mutex.unlock lock;
+    evs
+  in
+  (sink, contents)
+
+let file_magic = "TBTRACE1"
+
+let file_sink path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  if (Unix.fstat fd).Unix.st_size = 0 then (
+    let n = Unix.write_substring fd file_magic 0 (String.length file_magic) in
+    assert (n = String.length file_magic));
+  let buf = Buffer.create 4096 in
+  let sink ev = Event.encode buf ev in
+  let flush () =
+    if Buffer.length buf > 0 then (
+      let s = Buffer.contents buf in
+      Buffer.clear buf;
+      let rec write pos =
+        if pos < String.length s then
+          let n = Unix.write_substring fd s pos (String.length s - pos) in
+          write (pos + n)
+      in
+      write 0)
+  in
+  let close () =
+    flush ();
+    Unix.close fd
+  in
+  (sink, flush, close)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let mlen = String.length file_magic in
+  if len < mlen || String.sub s 0 mlen <> file_magic then
+    failwith (Printf.sprintf "obs: %s is not a trace file" path);
+  let rec go pos acc =
+    match Event.decode s ~pos with
+    | Some (ev, next) -> go next (ev :: acc)
+    | None -> List.rev acc
+  in
+  go mlen []

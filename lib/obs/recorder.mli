@@ -1,0 +1,72 @@
+(** Lock-free event recorder.
+
+    A bounded multi-producer single-consumer ring (Vyukov-style: one atomic
+    sequence word per slot) sits between the replica domains and a drainer
+    thread.  Producers claim a slot with one CAS and two atomic stores —
+    nanoseconds, no locks, no allocation beyond the event record — and when
+    the ring is full the event is {e dropped and counted}, never blocking a
+    replica.  The drainer empties the ring into a pluggable sink (an
+    in-memory list for in-process runs, an append-mode binary file for
+    cluster processes) and emits a [Drops] accounting event whenever the
+    drop counter advanced, so lost events are visible in the trace itself.
+
+    One recorder is installed process-globally ({!install}); emission sites
+    all over the runtime call {!emit}, which is a single atomic load when no
+    recorder is installed. *)
+
+type t
+
+val start :
+  ?capacity:int ->
+  epoch_us:int ->
+  sink:(Event.t -> unit) ->
+  ?flush:(unit -> unit) ->
+  unit ->
+  t
+(** Spawn the drainer.  [capacity] (default 65536) is rounded up to a power
+    of two.  Event timestamps are [Mclock.now_us () - epoch_us]; passing the
+    same epoch to every process of a cluster makes their trace files merge
+    onto one timeline.  [flush] is called after each drain batch and on
+    {!stop}. *)
+
+val stop : t -> unit
+(** Drain everything still buffered, emit a final [Drops] record if needed,
+    stop the drainer thread and call [flush].  Idempotent. *)
+
+val stats : t -> int * int
+(** [(recorded, dropped)] so far. *)
+
+(** {1 The process-global recorder} *)
+
+val install : t -> unit
+val uninstall : unit -> unit
+val active : unit -> bool
+val installed_stats : unit -> (int * int) option
+
+val emit :
+  pid:int -> kind:Event.kind -> ?trace:int -> ?a:int -> ?b:int -> unit -> unit
+(** Record into the installed recorder; a no-op (one atomic load) when none
+    is installed. *)
+
+(** {1 Sinks} *)
+
+val memory_sink : unit -> (Event.t -> unit) * (unit -> Event.t list)
+(** [(sink, contents)] — [contents ()] returns events drained so far in
+    drain order.  The sink is only ever called from the drainer thread. *)
+
+val file_magic : string
+
+val file_sink : string -> (Event.t -> unit) * (unit -> unit) * (unit -> unit)
+(** [file_sink path] is [(sink, flush, close)].  The file is opened in
+    append mode and stamped with {!file_magic} when empty, so a restarted
+    replica process appends to its predecessor's trace. *)
+
+val read_file : string -> Event.t list
+(** Decode a trace file.  Raises [Failure] on a bad magic; a truncated tail
+    (a replica killed mid-write) silently ends the list. *)
+
+(** {1 Direct ring access (tests)} *)
+
+val push : t -> Event.t -> bool
+(** Enqueue without going through {!emit} (so tests control timestamps).
+    [false] = ring full, drop counted. *)

@@ -1,0 +1,111 @@
+type leg = {
+  dst : int;
+  send_us : int option;
+  recv_us : int option;
+  deliver_us : int option;
+  apply_us : int option;
+}
+
+type t = {
+  trace : int;
+  origin : int;
+  cls : int;
+  t_inv : int;
+  t_resp : int option;
+  latency_us : int option;
+  hold_us : int;
+  legs : leg list;
+  events : Event.t list;
+}
+
+let complete s = s.t_resp <> None
+
+let wire_us leg =
+  match (leg.send_us, leg.recv_us, leg.deliver_us) with
+  | Some s, Some r, _ -> Some (r - s)
+  | Some s, None, Some d -> Some (d - s)
+  | _ -> None
+
+let remote_queue_us leg =
+  match (leg.recv_us, leg.deliver_us) with
+  | Some r, Some d -> Some (d - r)
+  | _ -> None
+
+let empty_leg dst =
+  { dst; send_us = None; recv_us = None; deliver_us = None; apply_us = None }
+
+(* First observation wins: duplicates (chaos dup rule, reconnect replays)
+   must not overwrite the timestamps of the copy that actually raced. *)
+let keep old now = match old with Some _ -> old | None -> Some now
+
+let of_events trace evs =
+  let evs =
+    List.stable_sort (fun (a : Event.t) b -> compare a.t_us b.t_us) evs
+  in
+  match
+    List.find_opt (fun (e : Event.t) -> e.kind = Event.Invoke) evs
+  with
+  | None -> None
+  | Some inv ->
+      let origin = inv.pid in
+      let legs : (int, leg) Hashtbl.t = Hashtbl.create 8 in
+      let leg dst =
+        match Hashtbl.find_opt legs dst with
+        | Some l -> l
+        | None ->
+            let l = empty_leg dst in
+            Hashtbl.add legs dst l;
+            l
+      in
+      let set dst f = Hashtbl.replace legs dst (f (leg dst)) in
+      let t_resp = ref None in
+      let hold = ref 0 in
+      List.iter
+        (fun (e : Event.t) ->
+          match e.kind with
+          | Event.Hold_set when e.pid = origin -> hold := !hold + e.a
+          | Event.Respond when e.pid = origin && !t_resp = None ->
+              t_resp := Some e.t_us
+          | Event.Send when e.pid = origin ->
+              set e.a (fun l -> { l with send_us = keep l.send_us e.t_us })
+          | Event.Recv when e.pid <> origin ->
+              set e.pid (fun l -> { l with recv_us = keep l.recv_us e.t_us })
+          | Event.Deliver when e.pid <> origin ->
+              set e.pid (fun l ->
+                  { l with deliver_us = keep l.deliver_us e.t_us })
+          | Event.Apply when e.pid <> origin ->
+              set e.pid (fun l -> { l with apply_us = keep l.apply_us e.t_us })
+          | _ -> ())
+        evs;
+      let legs =
+        Hashtbl.fold (fun _ l acc -> l :: acc) legs []
+        |> List.sort (fun a b -> compare a.dst b.dst)
+      in
+      Some
+        {
+          trace;
+          origin;
+          cls = inv.a;
+          t_inv = inv.t_us;
+          t_resp = !t_resp;
+          latency_us = Option.map (fun r -> r - inv.t_us) !t_resp;
+          hold_us = !hold;
+          legs;
+          events = evs;
+        }
+
+let assemble events =
+  let by_trace : (int, Event.t list) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (e : Event.t) ->
+      if e.trace <> 0 then
+        Hashtbl.replace by_trace e.trace
+          (e :: (Option.value ~default:[] (Hashtbl.find_opt by_trace e.trace))))
+    events;
+  Hashtbl.fold
+    (fun trace evs acc ->
+      match of_events trace (List.rev evs) with
+      | Some s -> s :: acc
+      | None -> acc)
+    by_trace []
+  |> List.sort (fun a b -> compare (a.t_inv, a.trace) (b.t_inv, b.trace))

@@ -1,0 +1,13 @@
+(* Trace ids are minted by whoever originates an operation (a loadgen
+   worker, a TCP client).  The top bits carry the origin so ids minted by
+   independent processes never collide; the low 40 bits are a process-local
+   counter.  0 is reserved for "no trace". *)
+
+let counter = Atomic.make 1
+
+let fresh ~origin =
+  let c = Atomic.fetch_and_add counter 1 in
+  ((origin land 0xffff) lsl 40) lor (c land ((1 lsl 40) - 1))
+
+let origin id = (id lsr 40) land 0xffff
+let none = 0

@@ -1,0 +1,10 @@
+(** Operation trace ids.
+
+    An id encodes its origin (worker/process id, 16 bits) in the high bits
+    and a process-local counter below, so independently minted ids never
+    collide across the processes of one cluster run.  [none] (0) marks
+    events not tied to any operation. *)
+
+val fresh : origin:int -> int
+val origin : int -> int
+val none : int

@@ -71,6 +71,14 @@ let merge a b =
     max = Stdlib.max a.max b.max;
   }
 
+let merge_into ~into src =
+  for i = 0 to buckets - 1 do
+    into.counts.(i) <- into.counts.(i) + src.counts.(i)
+  done;
+  into.n <- into.n + src.n;
+  into.sum <- into.sum + src.sum;
+  if src.max > into.max then into.max <- src.max
+
 let pp fmt t =
   Format.fprintf fmt
     "n=%-5d mean=%7.0fµs p50=%6dµs p90=%6dµs p99=%6dµs max=%6dµs" t.n (mean t)

@@ -26,6 +26,10 @@ val percentile : t -> float -> int
 val merge : t -> t -> t
 (** New histogram with the samples of both (inputs unchanged). *)
 
+val merge_into : into:t -> t -> unit
+(** Accumulate [src]'s samples into [into] without allocating — the
+    round-merge path of [Loadgen] and [Net.Cluster]. *)
+
 val bucket_of : int -> int
 (** Bucket index a value falls into (exposed for tests). *)
 

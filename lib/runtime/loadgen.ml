@@ -168,7 +168,10 @@ module Make (L : Workloads.LIVE) = struct
       in
       let t0_rel = R.elapsed_us cluster in
       let t0 = Prelude.Mclock.now_us () in
-      ignore (R.Client.invoke cluster ~pid:(wid mod n) op);
+      let trace =
+        if Obs.Recorder.active () then Obs.Trace_id.fresh ~origin:wid else 0
+      in
+      ignore (R.Client.invoke ~trace cluster ~pid:(wid mod n) op);
       let slot = if in_windows windows t0_rel then slot + 3 else slot in
       Histogram.add hists.(slot) (Prelude.Mclock.now_us () - t0)
     done;
@@ -238,9 +241,7 @@ module Make (L : Workloads.LIVE) = struct
       List.iter
         (fun dom ->
           let hists = Domain.join dom in
-          Array.iteri
-            (fun i h -> merged.(i) <- Histogram.merge merged.(i) h)
-            hists)
+          Array.iteri (fun i h -> Histogram.merge_into ~into:merged.(i) h) hists)
         spawned;
       (* All of this round's operations have responded: a quiescent cut,
          recorded on the history timeline (µs since cluster start). *)

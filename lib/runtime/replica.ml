@@ -26,10 +26,14 @@ module Make (D : Spec.Data_type.S) = struct
     mutable value : cell_state;
   }
 
-  type event = Net of Alg.entry | Invoke of D.op * cell | Stop
+  type event = Net of Alg.entry * int | Invoke of D.op * int * cell | Stop
 
-  let net e = Net e
-  let net_entry = function Net e -> Some e | Invoke _ | Stop -> None
+  let net ?(trace = 0) e = Net (e, trace)
+  let net_entry = function
+    | Net (e, trace) -> Some (e, trace)
+    | Invoke _ | Stop -> None
+
+  let class_of op = Obs.Event.class_code (D.classify op)
 
   let fill cell v =
     Mutex.lock cell.mutex;
@@ -39,16 +43,16 @@ module Make (D : Spec.Data_type.S) = struct
 
   (* ---- the per-replica event loop (runs inside the replica's domain) ---- *)
 
-  type timer_entry = { due : int; tseq : int; timer : Alg.timer }
+  type timer_entry = { due : int; tseq : int; timer : Alg.timer; ttrace : int }
 
   type loop_state = {
     pid : int;
     mutable st : Alg.state;
     mutable timers : timer_entry list;  (** sorted by [(due, tseq)] *)
     mutable tseq : int;
-    mutable inflight : (cell * D.op * int * int) option;
-        (** cell, op, invoke_us, seq *)
-    backlog : (D.op * cell) Queue.t;
+    mutable inflight : (cell * D.op * int * int * int) option;
+        (** cell, op, invoke_us, seq, trace *)
+    backlog : (D.op * int * cell) Queue.t;  (** op, trace, cell *)
     mutable next_seq : int;
     mutable records : record list;  (** reversed *)
   }
@@ -80,14 +84,17 @@ module Make (D : Spec.Data_type.S) = struct
     let respond r =
       match ls.inflight with
       | None -> ()  (* cannot happen: Algorithm 1 responds only when pending *)
-      | Some (cell, op, invoke_us, seq) ->
+      | Some (cell, op, invoke_us, seq, trace) ->
+          let response_us = now_rel () in
           ls.records <-
-            { pid; seq; op; result = r; invoke_us; response_us = now_rel () }
+            { pid; seq; op; result = r; invoke_us; response_us }
             :: ls.records;
           ls.inflight <- None;
+          Obs.Recorder.emit ~pid ~kind:Obs.Event.Respond ~trace
+            ~a:(class_of op) ~b:(response_us - invoke_us) ();
           fill cell (Done r)
     in
-    let rec handle_actions actions =
+    let rec handle_actions ~trace actions =
       List.iter
         (fun (a : (D.result, Alg.entry, Alg.timer) Sim.Action.t) ->
           match a with
@@ -96,19 +103,23 @@ module Make (D : Spec.Data_type.S) = struct
               (* The model allows one pending operation per process;
                  queued client calls start once the previous responds. *)
               if ls.inflight = None && not (Queue.is_empty ls.backlog) then begin
-                let op, cell = Queue.pop ls.backlog in
-                start_invoke op cell
+                let op, qtrace, cell = Queue.pop ls.backlog in
+                start_invoke op qtrace cell
               end
           | Sim.Action.Send (dst, m) ->
-              Transport_intf.send transport ~src:pid ~dst (Net m)
+              Transport_intf.send transport ~trace ~src:pid ~dst (Net (m, trace))
           | Sim.Action.Broadcast m ->
-              Transport_intf.broadcast transport ~src:pid (Net m)
+              Obs.Recorder.emit ~pid ~kind:Obs.Event.Broadcast ~trace
+                ~a:(cfg.Core.Params.n - 1) ();
+              Transport_intf.broadcast transport ~trace ~src:pid (Net (m, trace))
           | Sim.Action.Set_timer (delay, t) ->
               (* Timer delays are clock-time delays; clocks advance at the
                  rate of real time, so a [δ]-delay timer is due at
                  [now + δ] on the real timeline. *)
+              Obs.Recorder.emit ~pid ~kind:Obs.Event.Hold_set ~trace ~a:delay ();
               let e =
-                { due = Prelude.Mclock.now_us () + delay; tseq = ls.tseq; timer = t }
+                { due = Prelude.Mclock.now_us () + delay; tseq = ls.tseq;
+                  timer = t; ttrace = trace }
               in
               ls.tseq <- ls.tseq + 1;
               ls.timers <- insert_timer e ls.timers
@@ -116,14 +127,15 @@ module Make (D : Spec.Data_type.S) = struct
               ls.timers <-
                 List.filter (fun e -> not (Alg.equal_timer e.timer t)) ls.timers)
         actions
-    and start_invoke op cell =
+    and start_invoke op trace cell =
       let invoke_us = now_rel () in
       let seq = ls.next_seq in
       ls.next_seq <- ls.next_seq + 1;
-      ls.inflight <- Some (cell, op, invoke_us, seq);
+      ls.inflight <- Some (cell, op, invoke_us, seq, trace);
+      Obs.Recorder.emit ~pid ~kind:Obs.Event.Invoke ~trace ~a:(class_of op) ();
       let st', actions = Alg.on_invoke cfg ls.st ~clock:(clock ()) op in
       ls.st <- st';
-      handle_actions actions
+      handle_actions ~trace actions
     in
     let drain_on_stop () =
       (* Wake every client still waiting: their operations will never
@@ -131,23 +143,29 @@ module Make (D : Spec.Data_type.S) = struct
          otherwise hang teardown. *)
       (match ls.inflight with
       | None -> ()
-      | Some (cell, _, _, _) -> fill cell Cancelled);
+      | Some (cell, _, _, _, _) -> fill cell Cancelled);
       ls.inflight <- None;
-      Queue.iter (fun (_, cell) -> fill cell Cancelled) ls.backlog;
+      Queue.iter (fun (_, _, cell) -> fill cell Cancelled) ls.backlog;
       Queue.clear ls.backlog;
       List.rev ls.records
     in
     let rec loop () =
       let deadline = match ls.timers with [] -> None | e :: _ -> Some e.due in
       match Transport_intf.recv transport ~me:pid ~deadline with
-      | Some (src, Net m) ->
+      | Some (src, Net (m, trace)) ->
+          if Obs.Recorder.active () then
+            Obs.Recorder.emit ~pid ~kind:Obs.Event.Deliver ~trace ~a:src
+              ~b:(Transport_intf.depth transport ~me:pid) ();
           let st', actions = Alg.on_message cfg ls.st ~clock:(clock ()) ~src m in
           ls.st <- st';
-          handle_actions actions;
+          (* [Apply] marks the entry's hand-off to the protocol state
+             machine; Algorithm 1 may defer its execution to ts order. *)
+          Obs.Recorder.emit ~pid ~kind:Obs.Event.Apply ~trace ~a:src ();
+          handle_actions ~trace actions;
           loop ()
-      | Some (_, Invoke (op, cell)) ->
-          if ls.inflight = None then start_invoke op cell
-          else Queue.push (op, cell) ls.backlog;
+      | Some (_, Invoke (op, trace, cell)) ->
+          if ls.inflight = None then start_invoke op trace cell
+          else Queue.push (op, trace, cell) ls.backlog;
           loop ()
       | Some (_, Stop) -> drain_on_stop ()
       | None -> (
@@ -159,7 +177,7 @@ module Make (D : Spec.Data_type.S) = struct
               ls.timers <- rest;
               let st', actions = Alg.on_timer cfg ls.st ~clock:(clock ()) e.timer in
               ls.st <- st';
-              handle_actions actions;
+              handle_actions ~trace:e.ttrace actions;
               loop ())
     in
     loop ()
@@ -188,11 +206,11 @@ module Make (D : Spec.Data_type.S) = struct
       node_stopped = false;
     }
 
-  let invoke_on transport ~pid op =
+  let invoke_on ?(trace = 0) transport ~pid op =
     let cell =
       { mutex = Mutex.create (); cond = Condition.create (); value = Pending }
     in
-    Transport_intf.post transport ~src:pid ~dst:pid (Invoke (op, cell));
+    Transport_intf.post transport ~src:pid ~dst:pid (Invoke (op, trace, cell));
     Mutex.lock cell.mutex;
     while cell.value = Pending do
       Condition.wait cell.cond cell.mutex
@@ -204,7 +222,8 @@ module Make (D : Spec.Data_type.S) = struct
     | Cancelled -> raise Stopped
     | Pending -> assert false
 
-  let node_invoke node op = invoke_on node.node_transport ~pid:node.node_pid op
+  let node_invoke ?trace node op =
+    invoke_on ?trace node.node_transport ~pid:node.node_pid op
 
   let node_stop node =
     if node.node_stopped then []
@@ -259,7 +278,7 @@ module Make (D : Spec.Data_type.S) = struct
       records = [];
     }
 
-  let invoke cluster ~pid op = node_invoke cluster.nodes.(pid) op
+  let invoke ?trace cluster ~pid op = node_invoke ?trace cluster.nodes.(pid) op
 
   module Client = struct
     let invoke = invoke

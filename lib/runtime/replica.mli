@@ -47,12 +47,15 @@ module Make (D : Spec.Data_type.S) : sig
       client invocations (which carry an unserialisable completion cell)
       and the stop signal.  Only {!net} events ever cross a wire. *)
 
-  val net : Alg.entry -> event
-  (** Wrap a protocol message — what a TCP transport's decoder builds. *)
+  val net : ?trace:int -> Alg.entry -> event
+  (** Wrap a protocol message — what a TCP transport's decoder builds.
+      [trace] (default none) is the originating operation's id, carried in
+      the wire format since codec v2 so cross-process spans reassemble. *)
 
-  val net_entry : event -> Alg.entry option
-  (** The protocol message of a {!net} event; [None] for the local-only
-      invocation/stop events (which must never reach an encoder). *)
+  val net_entry : event -> (Alg.entry * int) option
+  (** The protocol message and trace id of a {!net} event; [None] for the
+      local-only invocation/stop events (which must never reach an
+      encoder). *)
 
   (** {2 Single node (one replica, any transport)} *)
 
@@ -71,10 +74,11 @@ module Make (D : Spec.Data_type.S) : sig
       now) is the origin of its record timeline — the in-process cluster
       passes one shared origin so all records are comparable. *)
 
-  val node_invoke : node -> D.op -> D.result
+  val node_invoke : ?trace:int -> node -> D.op -> D.result
   (** Synchronous client call on this node; queued behind any pending
-      operation (the model allows one per process).  @raise Stopped if the
-      node shuts down first. *)
+      operation (the model allows one per process).  [trace] tags every
+      [Obs] event and outgoing message of this operation.  @raise Stopped
+      if the node shuts down first. *)
 
   val node_stop : node -> record list
   (** Post the stop signal, join the domain, and return the node's
@@ -103,13 +107,13 @@ module Make (D : Spec.Data_type.S) : sig
       chaos layer ([Fault.Chaos_transport]) uses to inject faults; the
       cluster's start time is passed as the wrapper's [start_us]. *)
 
-  val invoke : cluster -> pid:int -> D.op -> D.result
+  val invoke : ?trace:int -> cluster -> pid:int -> D.op -> D.result
   (** Synchronous client call: block until replica [pid] responds.
       Concurrent invocations on one replica are queued — the model allows
       one pending operation per process. *)
 
   module Client : sig
-    val invoke : cluster -> pid:int -> D.op -> D.result
+    val invoke : ?trace:int -> cluster -> pid:int -> D.op -> D.result
   end
 
   val stop : cluster -> unit

@@ -52,8 +52,9 @@ let with_delays ~policy t =
 
 let n t = t.n
 
-let send t ~src ~dst msg =
+let send ?(trace = 0) t ~src ~dst msg =
   Atomic.incr t.sent_ctr;
+  Obs.Recorder.emit ~pid:src ~kind:Obs.Event.Send ~trace ~a:dst ();
   t.route ~src ~dst msg
 
 let broadcast t ~src msg =
@@ -72,9 +73,10 @@ let stats t =
 let intf t =
   {
     Transport_intf.n = t.n;
-    send = (fun ~src ~dst msg -> send t ~src ~dst msg);
+    send = (fun ~src ~dst ~trace msg -> send ~trace t ~src ~dst msg);
     post = (fun ~src ~dst msg -> post t ~src ~dst msg);
     recv = (fun ~me ~deadline -> recv t ~me ~deadline);
+    depth = (fun ~me -> Mailbox.length t.boxes.(me));
     stats = (fun () -> stats t);
     close = (fun () -> ());
   }

@@ -44,7 +44,10 @@ val with_delays : policy:Sim.Delay.t -> 'msg t -> 'msg t
     consistent stream. *)
 
 val n : 'msg t -> int
-val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+
+val send : ?trace:int -> 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** [trace] (default none) tags the [Obs] send event this emits when a
+    recorder is installed; routing is unaffected. *)
 
 val broadcast : 'msg t -> src:int -> 'msg -> unit
 (** {!send} to every endpoint except [src] — the system model's broadcast. *)

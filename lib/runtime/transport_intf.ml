@@ -46,9 +46,16 @@ type stats = {
 
 type 'msg t = {
   n : int;
-  send : src:int -> dst:int -> 'msg -> unit;
+  send : src:int -> dst:int -> trace:int -> 'msg -> unit;
+      (** [trace] is the id of the operation this message belongs to
+          ([Obs.Trace_id.none] when untraced) — transports and their
+          wrappers emit [Send]/[Fault] observability events against it
+          without inspecting the opaque message. *)
   post : src:int -> dst:int -> 'msg -> unit;
   recv : me:int -> deadline:int option -> (int * 'msg) option;
+  depth : me:int -> int;
+      (** Current queue depth of endpoint [me]'s inbound mailbox — sampled
+          into [Deliver]/[Mbox_depth] observability events. *)
   stats : unit -> stats;
   close : unit -> unit;
 }
@@ -61,17 +68,18 @@ type wrapper = { wrap : 'msg. start_us:int -> 'msg t -> 'msg t }
     time (fault windows) measure from it. *)
 
 let n t = t.n
-let send t ~src ~dst msg = t.send ~src ~dst msg
+let send t ?(trace = 0) ~src ~dst msg = t.send ~src ~dst ~trace msg
 
 (** {!send} to every endpoint except [src] — the system model's broadcast
     (a process never sends to itself; its own copy is handled locally). *)
-let broadcast t ~src msg =
+let broadcast t ?(trace = 0) ~src msg =
   for dst = 0 to t.n - 1 do
-    if dst <> src then t.send ~src ~dst msg
+    if dst <> src then t.send ~src ~dst ~trace msg
   done
 
 let post t ~src ~dst msg = t.post ~src ~dst msg
 let recv t ~me ~deadline = t.recv ~me ~deadline
+let depth t ~me = t.depth ~me
 let stats t = t.stats ()
 let close t = t.close ()
 

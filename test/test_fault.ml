@@ -144,11 +144,12 @@ let toy_transport n =
   {
     Runtime.Transport_intf.n;
     send =
-      (fun ~src ~dst msg ->
+      (fun ~src ~dst ~trace:_ msg ->
         Atomic.incr sent;
         deliver ~src ~dst msg);
     post = deliver;
     recv = (fun ~me ~deadline -> Runtime.Mailbox.take boxes.(me) ~deadline);
+    depth = (fun ~me -> Runtime.Mailbox.length boxes.(me));
     stats =
       (fun () ->
         {

@@ -86,6 +86,51 @@ let test_hist_merge () =
   (* inputs unchanged *)
   Alcotest.(check int) "a untouched" 500 (Runtime.Histogram.count a)
 
+(* Merged quantiles must equal the quantiles of the concatenated samples,
+   to within the histogram's bucket error — the property [Loadgen] and
+   [Net.Cluster] rely on when they accumulate per-worker histograms with
+   [merge_into].  The rank convention matches [percentile]:
+   rank = ⌈p/100·n⌉ (at least 1), and the reported value always lands in
+   the same bucket as the exact rank-th sample. *)
+let hist_merge_quantiles =
+  let sample = QCheck.Gen.(frequency [ (3, int_bound 2000); (1, int_bound 5_000_000) ]) in
+  QCheck.Test.make ~count:200
+    ~name:"merged quantiles = concatenated-sample quantiles (bucket error)"
+    QCheck.(
+      pair
+        (make Gen.(list_size (1 -- 200) sample))
+        (make Gen.(list_size (1 -- 200) sample)))
+    (fun (xs, ys) ->
+      let h1 = Runtime.Histogram.create ()
+      and h2 = Runtime.Histogram.create () in
+      List.iter (Runtime.Histogram.add h1) xs;
+      List.iter (Runtime.Histogram.add h2) ys;
+      let merged = Runtime.Histogram.merge h1 h2 in
+      let accum = Runtime.Histogram.create () in
+      Runtime.Histogram.merge_into ~into:accum h1;
+      Runtime.Histogram.merge_into ~into:accum h2;
+      let all = List.sort compare (xs @ ys) in
+      let n = List.length all in
+      let exact p =
+        let rank =
+          Stdlib.min n
+            (Stdlib.max 1 (int_of_float (ceil (p /. 100. *. float_of_int n))))
+        in
+        List.nth all (rank - 1)
+      in
+      Runtime.Histogram.count merged = n
+      && Runtime.Histogram.count accum = n
+      && Runtime.Histogram.max_value merged = List.nth all (n - 1)
+      && List.for_all
+           (fun p ->
+             let q = Runtime.Histogram.percentile merged p in
+             (* merge and merge_into agree exactly... *)
+             q = Runtime.Histogram.percentile accum p
+             (* ...and land in the exact quantile's bucket *)
+             && Runtime.Histogram.bucket_of q
+                = Runtime.Histogram.bucket_of (exact p))
+           [ 1.; 25.; 50.; 90.; 99.; 100. ])
+
 (* ---- mailbox ---- *)
 
 let test_mailbox_order_and_deadline () =
@@ -198,6 +243,7 @@ let () =
           Alcotest.test_case "bucketing" `Quick test_hist_buckets;
           Alcotest.test_case "percentiles" `Quick test_hist_percentiles;
           Alcotest.test_case "merge" `Quick test_hist_merge;
+          QCheck_alcotest.to_alcotest ~long:false hist_merge_quantiles;
         ] );
       ( "mailbox",
         [
