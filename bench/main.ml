@@ -142,6 +142,7 @@ module Codec_bench = struct
             time = i * 997;
             pid = i mod 5;
             trace = i * 1_048_583;
+            op_id = i + 1;
           })
 
   let blob = String.concat "" (List.map C.encode entries)
@@ -295,6 +296,61 @@ let obs_tests =
     Obs_bench.live_traced;
   ]
 
+(* Durable group: what crash recovery costs.  The append trio prices the
+   fsync policy choice — [always] sits on every mutation's apply path, so
+   its per-record cost is the headline durability tax EXPERIMENTS.md
+   quotes; [interval]/[never] show what the bounded-loss settings buy
+   back.  Replay and snapshot-write price the two halves of recovery
+   time. *)
+module Durable_bench = struct
+  let records = List.init 256 (fun i -> Printf.sprintf "record-%d-%s" i (String.make (i mod 32) 'x'))
+
+  let dir = Filename.get_temp_dir_name ()
+
+  let append_test name fsync =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let path =
+             Filename.concat dir
+               (Printf.sprintf "tb-bench-wal-%d.log" (Unix.getpid ()))
+           in
+           let w = Durable.Wal.create ~path ~fsync in
+           List.iter (Durable.Wal.append w) records;
+           Durable.Wal.close w;
+           try Sys.remove path with Sys_error _ -> ()))
+
+  let blob =
+    let b = Buffer.create 8192 in
+    List.iter (Durable.Wal.encode_record b) records;
+    Buffer.contents b
+
+  let replay_test =
+    Test.make ~name:"wal-replay-256"
+      (Staged.stage (fun () -> ignore (Durable.Wal.of_string blob)))
+
+  let snapshot_test =
+    Test.make ~name:"snapshot-write-8k"
+      (Staged.stage
+         (let payload = String.make 8192 '\x42' in
+          fun () ->
+            let path =
+              Filename.concat dir
+                (Printf.sprintf "tb-bench-snap-%d.snap" (Unix.getpid ()))
+            in
+            Durable.Snapshot.write ~path payload;
+            try Sys.remove path with Sys_error _ -> ()))
+end
+
+let durable_tests =
+  [
+    Durable_bench.append_test "wal-append-256-fsync-always" Durable.Wal.Always;
+    Durable_bench.append_test "wal-append-256-fsync-interval"
+      (Durable.Wal.Interval 5_000);
+    Durable_bench.append_test "wal-append-256-fsync-never" Durable.Wal.Never;
+    Durable_bench.replay_test;
+    Durable_bench.snapshot_test;
+  ]
+
 let benchmark () =
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
   let instances = Instance.[ monotonic_clock ] in
@@ -307,6 +363,7 @@ let benchmark () =
         Test.make_grouped ~name:"codec" codec_tests;
         Test.make_grouped ~name:"fault" fault_tests;
         Test.make_grouped ~name:"obs" obs_tests;
+        Test.make_grouped ~name:"durable" durable_tests;
       ]
   in
   let raw = Benchmark.all cfg instances grouped in

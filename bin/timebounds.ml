@@ -273,6 +273,14 @@ let serve_cmd () =
         Cli.value "trace"
           "write this replica's observability events to FILE (binary; read \
            with `timebounds trace`)";
+        Cli.value "durable"
+          "durable directory: WAL + snapshots; on start, recover and catch \
+           up from peers";
+        Cli.value "fsync"
+          "WAL fsync policy: always | interval[:N] | never (default \
+           interval)";
+        Cli.value "snapshot-every"
+          "checkpoint after this many WAL records (default 1024; 0 = never)";
         Cli.flag "quiet" "suppress per-replica logging";
       ]
   in
@@ -324,9 +332,27 @@ let serve_cmd () =
                      (Fault.Chaos_transport.create plan)))
       in
       let trace = Cli.str_opt c "trace" in
+      let durable = Cli.str_opt c "durable" in
+      let fsync =
+        match Durable.Wal.fsync_of_string (Cli.str c "fsync" ~default:"interval") with
+        | Ok f -> f
+        | Error e -> Cli.fail c ("bad --fsync: " ^ e)
+      in
+      let snapshot_every = Cli.int c "snapshot-every" ~default:1024 in
       let module S = Net.Serve.Make (W) in
       S.run_until_signalled ?watch_parent ?wrap
-        { Net.Serve.pid; addrs; params; offset; start_us; trace; log }
+        {
+          Net.Serve.pid;
+          addrs;
+          params;
+          offset;
+          start_us;
+          trace;
+          durable;
+          fsync;
+          snapshot_every;
+          log;
+        }
 
 (* ---- cluster ---- *)
 
@@ -348,6 +374,14 @@ let cluster_cmd () =
         Cli.value "seed" "RNG seed (default 1)";
         Cli.value "host" "bind/connect host (default 127.0.0.1)";
         Cli.value "base-port" "first replica port (default 7600)";
+        Cli.value "durable"
+          "directory for per-replica durable state (WAL + snapshots); \
+           clients switch to idempotent retries";
+        Cli.value "fsync"
+          "WAL fsync policy: always | interval[:N] | never (default \
+           interval)";
+        Cli.value "snapshot-every"
+          "checkpoint after this many WAL records (default 1024; 0 = never)";
         Cli.flag "verbose" "log child lifecycle to stderr";
       ]
   in
@@ -376,10 +410,16 @@ let cluster_cmd () =
       let abort = Atomic.make false in
       Sys.set_signal Sys.sigint
         (Sys.Signal_handle (fun _ -> Atomic.set abort true));
+      let durable_dir = Cli.str_opt c "durable" in
+      let fsync = Cli.str c "fsync" ~default:"interval" in
+      (match Durable.Wal.fsync_of_string fsync with
+      | Ok _ -> ()
+      | Error e -> Cli.fail c ("bad --fsync: " ^ e));
+      let snapshot_every = Cli.int c "snapshot-every" ~default:1024 in
       let module Cl = Net.Cluster.Make (W) in
       let report =
         Cl.run ~n ~d ~u ?eps ~x ~slack ?workers ~round ~mix ~host ~base_port
-          ~log ~abort ~ops ~seed ()
+          ~log ~abort ?durable_dir ~fsync ~snapshot_every ~ops ~seed ()
       in
       Format.printf "%a@." Net.Cluster.pp_report report;
       if not (Net.Cluster.ok report) then exit 1
@@ -413,6 +453,19 @@ let chaos_cmd () =
            + supervised restart) instead of in-process domains";
         Cli.value "host" "bind/connect host (default 127.0.0.1)";
         Cli.value "base-port" "first replica port (default 7650)";
+        Cli.flag "recovery"
+          "enable durable crash recovery: crashed replicas freeze (or die) \
+           with state on disk, recover, catch up from peers; clients retry \
+           idempotently — crash/restart runs can then be checked for \
+           linearizability instead of excused";
+        Cli.value "durable"
+          "durable state directory for --processes --recovery (default: a \
+           fresh dir under the system temp dir)";
+        Cli.value "fsync"
+          "WAL fsync policy: always | interval[:N] | never (default \
+           interval)";
+        Cli.value "snapshot-every"
+          "checkpoint after this many WAL records (default 1024; 0 = never)";
         Cli.flag "show-log" "print the canonical injected-fault log";
         Cli.flag "verbose" "log fault injection and child lifecycle";
       ]
@@ -437,6 +490,7 @@ let chaos_cmd () =
       match Fault.Fault_plan.compile ~seed:cseed ~spec with
       | Error e -> Cli.fail c ("bad --plan: " ^ e)
       | Ok plan ->
+          let recovery = Cli.given c "recovery" in
           if Cli.given c "processes" then begin
             let host = Cli.str c "host" ~default:"127.0.0.1" in
             let base_port = Cli.int c "base-port" ~default:7650 in
@@ -448,16 +502,35 @@ let chaos_cmd () =
             let abort = Atomic.make false in
             Sys.set_signal Sys.sigint
               (Sys.Signal_handle (fun _ -> Atomic.set abort true));
+            let durable_dir =
+              match Cli.str_opt c "durable" with
+              | Some dir -> Some dir
+              | None ->
+                  if recovery then
+                    Some
+                      (Filename.concat
+                         (Filename.get_temp_dir_name ())
+                         (Printf.sprintf "timebounds-durable-%d"
+                            (Unix.getpid ())))
+                  else None
+            in
+            let fsync = Cli.str c "fsync" ~default:"interval" in
+            (match Durable.Wal.fsync_of_string fsync with
+            | Ok _ -> ()
+            | Error e -> Cli.fail c ("bad --fsync: " ^ e));
+            let snapshot_every = Cli.int c "snapshot-every" ~default:1024 in
             let module Cl = Net.Cluster.Make (W) in
             let report =
               Cl.run ~n ~d ~u ?eps ~x ~slack ?workers ~round ~mix ~host
-                ~base_port ~log ~abort ~plan ~ops ~seed ()
+                ~base_port ~log ~abort ~plan ?durable_dir ~fsync
+                ~snapshot_every ~ops ~seed ()
             in
             Format.printf "%a@." Net.Cluster.pp_report report;
             let violations =
-              Fault.Assumption_monitor.violations ~plan
+              Fault.Assumption_monitor.violations
+                ~recovery:(durable_dir <> None) ~plan
                 ~params:report.Net.Cluster.params ~net_d:d
-                ~offsets:report.Net.Cluster.offsets
+                ~offsets:report.Net.Cluster.offsets ()
             in
             let assessment =
               Fault.Assumption_monitor.assess ~violations
@@ -474,8 +547,8 @@ let chaos_cmd () =
             let report =
               Fault.Chaos_run.run
                 ~workload:(module W.L)
-                ~n ~d ~u ?eps ~x ~slack ?workers ~round ~mix ~plan ~ops ~seed
-                ()
+                ~n ~d ~u ?eps ~x ~slack ?workers ~round ~mix ~plan ~recovery
+                ~ops ~seed ()
             in
             Format.printf "%a@." Fault.Chaos_run.pp_report report;
             if Cli.given c "show-log" then
@@ -488,6 +561,60 @@ let chaos_cmd () =
                 report.Fault.Chaos_run.events;
             if not (Fault.Chaos_run.ok report) then exit 1
           end)
+
+(* ---- recover ---- *)
+
+(* Offline inspection of a replica's durable directory: what a restart
+   would reconstruct, without touching the files. *)
+let recover_cmd () =
+  let prog, argv = args "recover <dir>" in
+  let specs =
+    [
+      Cli.value "object"
+        (Printf.sprintf
+           "wire object the directory belongs to (%s; default register)"
+           (String.concat "|" Net.Wire.names));
+    ]
+  in
+  let c = Cli.parse ~prog ~specs argv in
+  let dir =
+    match Cli.positionals c with
+    | [ d ] -> d
+    | [] -> Cli.fail c "missing DIR argument"
+    | _ -> Cli.fail c "expected exactly one DIR argument"
+  in
+  let obj = Cli.str c "object" ~default:"register" in
+  match Net.Wire.find obj with
+  | None ->
+      Format.eprintf "unknown wire object %s (have: %s)@." obj
+        (String.concat ", " Net.Wire.names);
+      exit 1
+  | Some (module W : Net.Wire.WIRED) -> (
+      match Durable.Store.inspect ~dir with
+      | Error e ->
+          Format.eprintf "%s@." e;
+          exit 1
+      | Ok (meta, view) ->
+          let module P = Net.Persist.Make (W.C) in
+          let snap = P.recovered_of view in
+          let decoded =
+            List.length
+              (List.filter_map P.decode_record view.Durable.Store.r_records)
+          in
+          Format.printf "%s@." dir;
+          Format.printf "  META:        %s@." meta;
+          Format.printf "  generation:  %d@." view.Durable.Store.r_generation;
+          Format.printf "  snapshot:    %s@."
+            (match view.Durable.Store.r_snapshot with
+            | None -> "none"
+            | Some p -> Printf.sprintf "%d bytes" (String.length p));
+          Format.printf "  wal records: %d (%d decodable)@."
+            (List.length view.Durable.Store.r_records)
+            decoded;
+          Format.printf "  recovers:    %d mutations, high-water mark \
+                         (time=%d, pid=%d)@."
+            (List.length snap.P.s_applied)
+            snap.P.s_hwm_time snap.P.s_hwm_pid)
 
 (* ---- trace ---- *)
 
@@ -636,7 +763,7 @@ let trace_cmd () =
           | Some p ->
               Fault.Assumption_monitor.violations ~plan:p
                 ~params:report.Net.Cluster.params ~net_d:d
-                ~offsets:report.Net.Cluster.offsets
+                ~offsets:report.Net.Cluster.offsets ()
               |> List.map (fun (v : Fault.Assumption_monitor.violation) ->
                      ( v.Fault.Assumption_monitor.label,
                        v.Fault.Assumption_monitor.v_from_us,
@@ -682,6 +809,7 @@ let usage ?(status = 2) () =
     \  serve       one replica as an OS process over TCP\n\
     \  cluster     fork n local serve processes and drive them over TCP\n\
     \  chaos       run live/cluster under a seeded fault-injection plan\n\
+    \  recover     inspect a replica's durable directory (WAL + snapshots)\n\
     \  trace       record a traced run, decompose latency, attribute bounds\n\
      run `timebounds <command> --help` for the command's options\n";
   exit status
@@ -699,6 +827,7 @@ let () =
   | "serve" -> serve_cmd ()
   | "cluster" -> cluster_cmd ()
   | "chaos" -> chaos_cmd ()
+  | "recover" -> recover_cmd ()
   | "trace" -> trace_cmd ()
   | "--help" | "-h" | "help" -> usage ~status:0 ()
   | other ->

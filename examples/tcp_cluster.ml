@@ -50,6 +50,9 @@ let () =
             offset = (if pid = 0 then 0 else Prelude.Rng.int rng eps);
             start_us;
             trace = None;
+            durable = None;
+            fsync = Durable.Wal.Never;
+            snapshot_every = 0;
             log = (fun _ -> ());
           })
   in

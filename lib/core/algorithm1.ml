@@ -51,6 +51,10 @@ module Make (D : Data_type.S) = struct
     local_obj : D.state;  (** this process's copy of the object *)
     to_execute : Queue.t;  (** received but not yet executed, keyed by ts *)
     pending : pending;
+    applied : (entry * D.result) list;
+        (** every mutation executed on [local_obj], newest first — the
+            replayable totally-ordered history (timestamp order) that the
+            durability layer logs and peer catch-up serves *)
   }
 
   type op = D.op
@@ -66,7 +70,13 @@ module Make (D : Data_type.S) = struct
   let name = "algorithm1"
 
   let init (_ : config) ~n:_ ~pid =
-    { pid; local_obj = D.initial; to_execute = Queue.empty; pending = Idle }
+    {
+      pid;
+      local_obj = D.initial;
+      to_execute = Queue.empty;
+      pending = Idle;
+      applied = [];
+    }
 
   let equal_timer (a : timer) (b : timer) =
     match (a, b) with
@@ -87,20 +97,20 @@ module Make (D : Data_type.S) = struct
       else Prelude.Stamp.( < ) e.ts upto
     in
     let batch, rest = Queue.pop_while keep st.to_execute in
-    let obj, response =
+    let obj, applied, response =
       List.fold_left
-        (fun (obj, response) (e : entry) ->
+        (fun (obj, applied, response) (e : entry) ->
           let obj', r = D.apply obj e.op in
           let response =
             match st.pending with
             | Waiting_oop own when Prelude.Stamp.equal own.ts e.ts -> Some r
             | _ -> response
           in
-          (obj', response))
-        (st.local_obj, None)
+          (obj', (e, r) :: applied, response))
+        (st.local_obj, st.applied, None)
         batch
     in
-    let st = { st with local_obj = obj; to_execute = rest } in
+    let st = { st with local_obj = obj; to_execute = rest; applied } in
     match response with
     | Some r -> ({ st with pending = Idle }, [ Sim.Action.Respond r ])
     | None -> (st, [])

@@ -41,7 +41,24 @@ module Make (D : Data_type.S) : sig
     local_obj : D.state;  (** this process's replica of the object *)
     to_execute : Queue.t;  (** received but not yet executed, keyed by ts *)
     pending : pending;
+    applied : (entry * D.result) list;
+        (** every mutation executed on [local_obj], newest first.  This is
+            the replayable history Algorithm 1's (timestamp, origin) total
+            order yields for free: replaying it from the initial state
+            reproduces [local_obj] exactly, which is what the durability
+            layer's WAL records and what peer catch-up serves to a
+            restarted replica. *)
   }
+
+  type timer =
+    | Add of entry  (** d − u after broadcasting one's own op: self-delivery *)
+    | Execute of entry  (** u + ε after an entry joined [to_execute] *)
+    | Respond_mutator of entry
+    | Respond_accessor of entry
+  (** Concrete so hosts can treat timer classes differently: the runtime's
+      crash freeze defers [Execute]/[Respond_*] (nothing may apply or
+      answer while "down") but still fires [Add], which only mirrors an
+      already-broadcast entry into the local queue. *)
 
   include
     Sim.Protocol.S
@@ -50,4 +67,5 @@ module Make (D : Data_type.S) : sig
        and type op = D.op
        and type result = D.result
        and type msg = entry
+       and type timer := timer
 end

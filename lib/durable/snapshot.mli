@@ -1,0 +1,15 @@
+(** Checkpoint files: one opaque payload, written atomically.
+
+    A snapshot is written to [path ^ ".tmp"] and renamed into place, so a
+    crash mid-write leaves either the old snapshot or none — never a
+    half-written file that parses.  The payload is guarded by the same
+    CRC-32 as WAL records; a corrupt or truncated snapshot reads as
+    absent, and recovery falls back to an older generation (or the empty
+    state) plus WAL replay. *)
+
+val write : path:string -> string -> unit
+(** Write [payload] atomically (tmp + fsync + rename). *)
+
+val read : string -> string option
+(** The payload, or [None] if the file is missing, truncated, corrupt or
+    not a snapshot.  Never raises. *)

@@ -16,7 +16,7 @@ type assessment =
      exceeds the [d] the replicas assume (params already include slack);
    - skew only violates if the *effective* offsets spread past ε — decided
      here from the drawn-plus-injected offsets, not from the rule alone. *)
-let violations ~plan ~params ~net_d ~offsets =
+let violations ?(recovery = false) ~plan ~params ~net_d ~offsets () =
   let assumed_d = params.Core.Params.d in
   let eps = params.Core.Params.eps in
   let from_rules =
@@ -37,7 +37,29 @@ let violations ~plan ~params ~net_d ~offsets =
            match r.kind with
            | Fault_plan.Drop p -> if p > 0 then window (label ()) else None
            | Fault_plan.Duplicate p -> if p > 0 then window (label ()) else None
-           | Fault_plan.Partition _ | Fault_plan.Crash _ -> window (label ())
+           | Fault_plan.Partition _ -> window (label ())
+           | Fault_plan.Crash _ ->
+               if recovery && r.until_us < max_int then
+                 (* With durable recovery the replica replays its prefix
+                    and catches up from peers after the restart; catch-up
+                    traffic is still in flight for up to d + ε past the
+                    thaw, so the window extends by that allowance — and
+                    the label records by when clean state was
+                    re-established. *)
+                 let allowance = assumed_d + eps in
+                 let until =
+                   if r.until_us >= max_int - allowance then max_int
+                   else r.until_us + allowance
+                 in
+                 Some
+                   {
+                     label =
+                       Printf.sprintf "%s (recovered by %dµs)" (label ())
+                         until;
+                     v_from_us = r.from_us;
+                     v_until_us = until;
+                   }
+               else window (label ())
            | Fault_plan.Delay_spike e ->
                if net_d + e > assumed_d then stretched (label ()) e else None
            | Fault_plan.Jitter m ->

@@ -44,15 +44,24 @@ type assessment =
   | Inconclusive of string  (** the checker could not decide (UNCHECKED) *)
 
 val violations :
+  ?recovery:bool ->
   plan:Fault_plan.t ->
   params:Core.Params.t ->
   net_d:int ->
   offsets:int array ->
+  unit ->
   violation list
 (** The windows in which the plan (plus the effective [offsets]) violated
     the assumptions encoded in [params] ([d] and ε as the replicas assume
     them); [net_d] is the injected network-delay ceiling.  Sorted by start
-    time.  Empty ⇔ the run stayed admissible. *)
+    time.  Empty ⇔ the run stayed admissible.
+
+    [recovery] (default false) records that the run had durable recovery
+    armed: a crash window then extends one catch-up allowance ([d + ε])
+    past the restart (catch-up traffic is still in flight right after the
+    thaw) and its label states by when clean state was re-established —
+    the report-level distinction between "recovered cleanly by T" and a
+    plain outage window. *)
 
 val assess :
   violations:violation list ->

@@ -16,22 +16,23 @@ let ok r =
       true
 
 let run ~workload:(module L : Runtime.Workloads.LIVE) ~n ~d ~u ?eps ?x ?slack
-    ?workers ?round ?mix ~plan ~ops ~seed () =
+    ?workers ?round ?mix ?(recovery = false) ~plan ~ops ~seed () =
   let module G = Runtime.Loadgen.Make (L) in
   let chaos = Chaos_transport.create plan in
   let skews = Fault_plan.skews plan ~n in
   let fault_windows =
     List.map (fun (_, f, u) -> (f, u)) (Fault_plan.windows plan)
   in
+  let crashes = if recovery then Fault_plan.crash_schedule plan else [] in
   let run =
     G.run ~n ~d ~u ?eps ?x ?slack ?workers ?round ?mix ~skews
       ~wrap:(Chaos_transport.wrapper chaos)
-      ~fault_windows ~ops ~seed ()
+      ~fault_windows ~recovery ~crashes ~ops ~seed ()
   in
   let violations =
-    Assumption_monitor.violations ~plan
+    Assumption_monitor.violations ~recovery ~plan
       ~params:run.Runtime.Loadgen.params ~net_d:d
-      ~offsets:run.Runtime.Loadgen.offsets
+      ~offsets:run.Runtime.Loadgen.offsets ()
   in
   let assessment =
     Assumption_monitor.assess ~violations ~cuts:run.Runtime.Loadgen.cuts

@@ -35,6 +35,7 @@ val run :
   ?workers:int ->
   ?round:int ->
   ?mix:int * int * int ->
+  ?recovery:bool ->
   plan:Fault_plan.t ->
   ops:int ->
   seed:int ->
@@ -42,6 +43,13 @@ val run :
   report
 (** Parameters mirror {!Runtime.Loadgen.Make.run}; the plan supplies the
     skews, the transport wrapper and the fault windows.  [seed] drives the
-    load generator; the plan carries its own seed. *)
+    load generator; the plan carries its own seed.
+
+    [recovery] (default false) arms the replicas' durable-recovery
+    machinery: the plan's crash/restart instants additionally freeze and
+    thaw the replica itself (not just its links), workers retry
+    idempotently, and the monitor labels crash windows with their
+    recovery deadline.  A crash/restart plan that is merely [Excused]
+    without recovery is expected to come back [Safety_held] with it. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -53,6 +53,19 @@ module Make (W : Wire.WIRED) = struct
     | () -> Ok ()
     | exception (Unix.Unix_error _ | Sys_error _) -> Error "connection lost"
 
+  (* [timeout_us]: bound the wait for a reply via [SO_RCVTIMEO].  A
+     timed-out request leaves the connection in an unknown state (the
+     reply may still be in flight), so callers should close and reconnect
+     before retrying — which is exactly what the idempotent-retry loop in
+     [Cluster] does. *)
+  let set_timeout t us =
+    try
+      Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO
+        (match us with
+        | None -> 0.
+        | Some us -> float_of_int (max 1 us) /. 1e6)
+    with Unix.Unix_error _ -> ()
+
   let recv t =
     let chunk = Bytes.create 8192 in
     let rec go acc =
@@ -65,6 +78,9 @@ module Make (W : Wire.WIRED) = struct
           match Unix.read t.fd chunk 0 (Bytes.length chunk) with
           | 0 -> Error "connection closed by replica"
           | n -> go (acc ^ Bytes.sub_string chunk 0 n)
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              Error "timeout waiting for reply"
           | exception (Unix.Unix_error _ | Sys_error _) ->
               Error "connection lost")
     in
@@ -73,12 +89,25 @@ module Make (W : Wire.WIRED) = struct
   let rpc t msg =
     match send t msg with Error e -> Error e | Ok () -> recv t
 
-  let invoke ?(trace = 0) t op =
-    match rpc t (C.Invoke { op; trace }) with
+  let invoke ?(trace = 0) ?(op_id = 0) ?timeout_us t op =
+    set_timeout t timeout_us;
+    match rpc t (C.Invoke { op; trace; op_id }) with
     | Ok (C.Result r) -> Ok r
     | Ok (C.Error_msg e) -> Error ("replica error: " ^ e)
     | Ok m -> Error (Format.asprintf "unexpected reply %a" C.pp_msg m)
     | Error e -> Error e
+
+  (* Which invocation errors are safe and useful to retry (with the same
+     op id)?  Timeouts and lost/closed connections — the op may or may not
+     have landed, which is what idempotence is for — and the replica's
+     explicit back-off answer for an in-flight replay. *)
+  let retryable e =
+    let has_sub sub =
+      let ls = String.length sub and le = String.length e in
+      let rec go i = i + ls <= le && (String.sub e i ls = sub || go (i + 1)) in
+      go 0
+    in
+    has_sub "timeout" || has_sub "connection" || has_sub "retry"
 
   let stats t =
     match rpc t C.Stats_req with

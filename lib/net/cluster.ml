@@ -99,6 +99,7 @@ let pp_report fmt r =
 module Make (W : Wire.WIRED) = struct
   module Cl = Client.Make (W)
   module Gen = Runtime.Loadgen.Make (W.L)
+  module P = Persist.Make (W.C)
 
   (* Argv contract with [timebounds serve] (bin/cli.ml parses both
      [--flag v] and [-flag v]).  [chaos] forwards the fault plan so each
@@ -106,7 +107,7 @@ module Make (W : Wire.WIRED) = struct
      [trace] is the per-process trace file (appended across supervised
      restarts, so one file covers a replica's whole life). *)
   let serve_argv ~exe ~peers ~pid ~d ~u ~eps ~x ~slack ~offset ~epoch ~chaos
-      ~trace =
+      ~trace ~durable ~fsync ~snapshot_every =
     let base =
       [
         exe; "serve";
@@ -128,7 +129,16 @@ module Make (W : Wire.WIRED) = struct
       | None -> []
       | Some (spec, cseed) ->
           [ "--chaos"; spec; "--chaos-seed"; string_of_int cseed ])
-      @ match trace with None -> [] | Some path -> [ "--trace"; path ]
+      @ (match trace with None -> [] | Some path -> [ "--trace"; path ])
+      @
+      match durable with
+      | None -> []
+      | Some dir ->
+          [
+            "--durable"; dir;
+            "--fsync"; fsync;
+            "--snapshot-every"; string_of_int snapshot_every;
+          ]
     in
     Array.of_list (base @ extra)
 
@@ -151,7 +161,8 @@ module Make (W : Wire.WIRED) = struct
      replica's clients take through its supervised restart.  Only a failed
      reconnect (replica still gone after ~2 s of retries) aborts. *)
   let worker_round ~host ~ports ~origin_us ~abort ?(resilient = false)
-      ?(traced = false) ?(windows = []) rng ~mix ~total ~quota ~wid =
+      ?(traced = false) ?(windows = []) ?mint ?timeout_us rng ~mix ~total
+      ~quota ~wid =
     let hists = Array.init 6 (fun _ -> Runtime.Histogram.create ()) in
     let port = ports.(wid mod Array.length ports) in
     let attempts = if resilient then 40 else 3 in
@@ -191,8 +202,32 @@ module Make (W : Wire.WIRED) = struct
               let trace =
                 if traced then Obs.Trace_id.fresh ~origin:wid else 0
               in
+              let op_id = match mint with None -> 0 | Some m -> m () in
               let t0 = Prelude.Mclock.now_us () in
-              match Cl.invoke ~trace c op with
+              (* Idempotent path (durable clusters): a timed-out or dropped
+                 invocation is replayed with the {e same} op id on a fresh
+                 connection, with capped exponential backoff + jitter.  The
+                 replica dedups the replay, so the history records one
+                 operation spanning invoke at first attempt to response at
+                 the successful one — exactly the interval the client
+                 observed. *)
+              let rec attempt c backoff tries =
+                match Cl.invoke ~trace ~op_id ?timeout_us c op with
+                | Ok r -> (Some c, Ok r)
+                | Error e
+                  when op_id <> 0 && Cl.retryable e && tries < 25
+                       && not (Atomic.get abort) -> (
+                    Cl.close c;
+                    Prelude.Mclock.sleep_us
+                      (backoff + Prelude.Rng.int rng (1 + (backoff / 2)));
+                    match connect () with
+                    | Ok c' -> attempt c' (min (2 * backoff) 400_000) (tries + 1)
+                    | Error e' -> (None, Error e'))
+                | Error e -> (Some c, Error e)
+              in
+              let conn', outcome = attempt c 20_000 0 in
+              conn := conn';
+              match outcome with
               | Ok result ->
                   let t1 = Prelude.Mclock.now_us () in
                   let slot =
@@ -212,7 +247,7 @@ module Make (W : Wire.WIRED) = struct
                   incr failed;
                   (match !error with None -> error := Some e | Some _ -> ());
                   if resilient then begin
-                    Cl.close c;
+                    (match !conn with Some c -> Cl.close c | None -> ());
                     conn := None
                   end
                   else begin
@@ -240,11 +275,20 @@ module Make (W : Wire.WIRED) = struct
     Option.map (fun dir -> Filename.concat dir (Printf.sprintf "replica-%d.trace" i))
       trace_dir
 
+  (* Each replica owns durable_dir/replica-<i>.  A supervised restart goes
+     through the same argv, so the respawned process is handed the same
+     directory — that is the recovery path; the store's META check makes a
+     mixed-up handoff fail loudly. *)
+  let durable_path durable_dir i =
+    Option.map (fun dir -> Filename.concat dir (Printf.sprintf "replica-%d" i))
+      durable_dir
+
   let spawn_one ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch ~chaos
-      ~trace_dir ~log i =
+      ~trace_dir ~durable_dir ~fsync ~snapshot_every ~log i =
     let argv =
       serve_argv ~exe ~peers:(peers_of ~host ~ports) ~pid:i ~d ~u ~eps ~x
         ~slack ~offset:offsets.(i) ~epoch ~chaos ~trace:(trace_path trace_dir i)
+        ~durable:(durable_path durable_dir i) ~fsync ~snapshot_every
     in
     let os_pid =
       Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr
@@ -255,10 +299,10 @@ module Make (W : Wire.WIRED) = struct
     { child_pid = i; os_pid; port = ports.(i) }
 
   let spawn_children ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch
-      ~chaos ~trace_dir ~log =
+      ~chaos ~trace_dir ~durable_dir ~fsync ~snapshot_every ~log =
     Array.init (Array.length ports)
       (spawn_one ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch ~chaos
-         ~trace_dir ~log)
+         ~trace_dir ~durable_dir ~fsync ~snapshot_every ~log)
 
   (* The monitor thread is the sole reaper: everyone else consults the
      table.  [expected] is flipped before teardown so deliberate
@@ -408,7 +452,8 @@ module Make (W : Wire.WIRED) = struct
   let run ~n ~d ~u ?eps ?(x = 0) ?(slack = 5000) ?workers ?(round = 24)
       ?(mix = (50, 40, 10)) ?(host = "127.0.0.1") ?(base_port = 7600)
       ?(exe = Sys.executable_name) ?(log = fun _ -> ()) ?abort ?plan ?trace_dir
-      ~ops ~seed () =
+      ?durable_dir ?(fsync = "interval") ?(snapshot_every = 1024) ~ops ~seed ()
+      =
     if n < 1 then invalid_arg "Cluster.run: n must be >= 1";
     if round < 1 || round > 62 then
       invalid_arg "Cluster.run: round must be in [1, 62]";
@@ -475,9 +520,65 @@ module Make (W : Wire.WIRED) = struct
          with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
     | None -> ());
     let traced = trace_dir <> None in
+    (* Durable clusters run idempotent clients: every invocation carries a
+       cluster-unique op id and a reply deadline, so an op lost to a crash
+       is replayed rather than failed.  The id's high bits are the cluster
+       epoch, not a constant: a replica's dedup table survives restarts,
+       so a later run over the same durable directory minting from 1 again
+       would have its fresh operations answered with the *previous* run's
+       recorded results.  38 epoch bits (µs, wraps every ~76 h) over a
+       24-bit counter keep ids unique across every run that can share a
+       directory, and never 0 (the "no id" sentinel). *)
+    let op_ids =
+      Atomic.make (((epoch land ((1 lsl 38) - 1)) lsl 24) lor 1)
+    in
+    let mint =
+      match durable_dir with
+      | None -> None
+      | Some _ -> Some (fun () -> Atomic.fetch_and_add op_ids 1)
+    in
+    let timeout_us =
+      match durable_dir with
+      | None -> None
+      | Some _ -> Some ((2 * (d + slack + eps)) + 2_000_000)
+    in
+    (* A restart over existing durable directories serves the *persisted*
+       history: the first [get] of the run may legitimately return a value
+       written by the previous run.  The post-hoc checker must therefore
+       start Wing–Gong from the recovered object, not the fresh one.  The
+       replicas' applied lists are merged by ⟨time, pid⟩ stamp (every
+       replica applies in stamp order, so the union replayed in stamp
+       order is the cluster state) — read before the children reopen the
+       stores. *)
+    let durable_initial =
+      match durable_dir with
+      | None -> None
+      | Some _ ->
+          let tbl = Hashtbl.create 1024 in
+          for i = 0 to n - 1 do
+            match durable_path durable_dir i with
+            | None -> ()
+            | Some dir -> (
+                match Durable.Store.inspect ~dir with
+                | Error _ -> ()
+                | Ok (_meta, view) ->
+                    List.iter
+                      (fun (a : P.applied) ->
+                        Hashtbl.replace tbl (a.P.time, a.P.pid) a.P.op)
+                      (P.recovered_of view).P.s_applied)
+          done;
+          if Hashtbl.length tbl = 0 then None
+          else
+            Hashtbl.fold (fun k op acc -> (k, op) :: acc) tbl []
+            |> List.sort compare
+            |> List.fold_left
+                 (fun st (_, op) -> fst (W.L.D.apply st op))
+                 W.L.D.initial
+            |> Option.some
+    in
     let children =
       spawn_children ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch
-        ~chaos ~trace_dir ~log
+        ~chaos ~trace_dir ~durable_dir ~fsync ~snapshot_every ~log
     in
     let mon = start_monitor children ~abort ~log in
     (* The crash scheduler: one supervisor thread per crash rule.  It
@@ -524,7 +625,8 @@ module Make (W : Wire.WIRED) = struct
                          let rec respawn backoff attempt =
                            match
                              spawn_one ~exe ~host ~ports ~d ~u ~eps ~x ~slack
-                               ~offsets ~epoch ~chaos ~trace_dir ~log pid
+                               ~offsets ~epoch ~chaos ~trace_dir ~durable_dir
+                               ~fsync ~snapshot_every ~log pid
                            with
                            | fresh -> Some fresh
                            | exception (Unix.Unix_error _ | Sys_error _) ->
@@ -593,8 +695,8 @@ module Make (W : Wire.WIRED) = struct
             in
             Domain.spawn (fun () ->
                 worker_round ~host ~ports ~origin_us:epoch ~abort ~resilient
-                  ~traced ~windows:fault_windows mine ~mix ~total ~quota:share
-                  ~wid))
+                  ~traced ~windows:fault_windows ?mint ?timeout_us mine ~mix
+                  ~total ~quota:share ~wid))
       in
       List.iter
         (fun dom ->
@@ -657,7 +759,8 @@ module Make (W : Wire.WIRED) = struct
                 (b.Gen.Lin.invoke, b.Gen.Lin.pid))
             !entries
         in
-        Gen.check_history sorted (List.sort compare !cuts)
+        Gen.check_history ?initial:durable_initial sorted
+          (List.sort compare !cuts)
     in
     let t = params.Core.Params.timing in
     let faulty i = if fault_windows = [] then None else Some merged.(i + 3) in

@@ -12,10 +12,13 @@
 
 (* v1: initial framing.  v2: Entry and Invoke payloads carry the
    originating operation's trace id (one varint) so per-process [Obs]
-   traces reassemble into cross-replica spans.  Peers speaking v1 are
-   rejected at decode ("unsupported version 1"), which the handshake turns
-   into a clean [Error_msg] rather than a crash. *)
-let version = 2
+   traces reassemble into cross-replica spans.  v3: Entry and Invoke also
+   carry the client operation id (one varint, 0 = none) for idempotent
+   retries, and two catch-up frame kinds (7, 8) implement peer
+   anti-entropy after a crash.  Peers speaking older versions are rejected
+   at decode ("unsupported version N"), which the handshake turns into a
+   clean [Error_msg] rather than a crash. *)
+let version = 3
 let header_len = 12
 let max_payload = 1 lsl 24  (* 16 MiB: far above any entry, guards length bombs *)
 let magic0 = 'T'
@@ -179,6 +182,8 @@ module type OBJ_CODEC = sig
   val read_op : Rd.t -> D.op
   val write_result : Buffer.t -> D.result -> unit
   val read_result : Rd.t -> D.result
+  val write_state : Buffer.t -> D.state -> unit
+  val read_state : Rd.t -> D.state
 end
 
 type hello = {
@@ -199,28 +204,46 @@ let k_result = 3
 let k_stats_req = 4
 let k_stats = 5
 let k_error = 6
+let k_catchup_req = 7
+let k_catchup_rep = 8
 
 module Make (O : OBJ_CODEC) = struct
   type msg =
     | Hello of hello
-    | Entry of { op : O.D.op; time : int; pid : int; trace : int }
-    | Invoke of { op : O.D.op; trace : int }
+    | Entry of { op : O.D.op; time : int; pid : int; trace : int; op_id : int }
+    | Invoke of { op : O.D.op; trace : int; op_id : int }
     | Result of O.D.result
     | Stats_req
     | Stats of Runtime.Transport_intf.stats
     | Error_msg of string
+    | Catchup_req of { time : int; cpid : int }
+    | Catchup_rep of {
+        entries : (O.D.op * int * int * int) list;
+            (** op, time, pid, op id — stamp order *)
+        time : int;
+        cpid : int;
+      }
 
   let equal_msg a b =
     match (a, b) with
     | Hello h1, Hello h2 -> h1 = h2
     | Entry e1, Entry e2 ->
         O.D.equal_op e1.op e2.op && e1.time = e2.time && e1.pid = e2.pid
-        && e1.trace = e2.trace
-    | Invoke i1, Invoke i2 -> O.D.equal_op i1.op i2.op && i1.trace = i2.trace
+        && e1.trace = e2.trace && e1.op_id = e2.op_id
+    | Invoke i1, Invoke i2 ->
+        O.D.equal_op i1.op i2.op && i1.trace = i2.trace && i1.op_id = i2.op_id
     | Result r1, Result r2 -> O.D.equal_result r1 r2
     | Stats_req, Stats_req -> true
     | Stats s1, Stats s2 -> s1 = s2
     | Error_msg e1, Error_msg e2 -> String.equal e1 e2
+    | Catchup_req q1, Catchup_req q2 -> q1.time = q2.time && q1.cpid = q2.cpid
+    | Catchup_rep p1, Catchup_rep p2 ->
+        p1.time = p2.time && p1.cpid = p2.cpid
+        && List.length p1.entries = List.length p2.entries
+        && List.for_all2
+             (fun (o1, t1, p1, i1) (o2, t2, p2, i2) ->
+               O.D.equal_op o1 o2 && t1 = t2 && p1 = p2 && i1 = i2)
+             p1.entries p2.entries
     | _ -> false
 
   let pp_msg fmt = function
@@ -228,14 +251,21 @@ module Make (O : OBJ_CODEC) = struct
         Format.fprintf fmt "hello{pid=%d n=%d d=%d u=%d eps=%d x=%d obj=%d}"
           h.pid h.n h.d h.u h.eps h.x h.obj_tag
     | Entry e ->
-        Format.fprintf fmt "entry{%a @@ ⟨%d,%d⟩ t=%x}" O.D.pp_op e.op e.time
-          e.pid e.trace
-    | Invoke i -> Format.fprintf fmt "invoke{%a t=%x}" O.D.pp_op i.op i.trace
+        Format.fprintf fmt "entry{%a @@ ⟨%d,%d⟩ t=%x id=%d}" O.D.pp_op e.op
+          e.time e.pid e.trace e.op_id
+    | Invoke i ->
+        Format.fprintf fmt "invoke{%a t=%x id=%d}" O.D.pp_op i.op i.trace
+          i.op_id
     | Result r -> Format.fprintf fmt "result{%a}" O.D.pp_result r
     | Stats_req -> Format.pp_print_string fmt "stats?"
     | Stats s ->
         Format.fprintf fmt "stats{%a}" Runtime.Transport_intf.pp_stats s
     | Error_msg e -> Format.fprintf fmt "error{%s}" e
+    | Catchup_req q ->
+        Format.fprintf fmt "catchup?{hwm=⟨%d,%d⟩}" q.time q.cpid
+    | Catchup_rep p ->
+        Format.fprintf fmt "catchup{%d entries, hwm=⟨%d,%d⟩}"
+          (List.length p.entries) p.time p.cpid
 
   let encode msg =
     let b = Buffer.create 32 in
@@ -255,10 +285,12 @@ module Make (O : OBJ_CODEC) = struct
           Wr.int b e.time;
           Wr.int b e.pid;
           Wr.int b e.trace;
+          Wr.int b e.op_id;
           k_entry
       | Invoke i ->
           O.write_op b i.op;
           Wr.int b i.trace;
+          Wr.int b i.op_id;
           k_invoke
       | Result r ->
           O.write_result b r;
@@ -280,6 +312,22 @@ module Make (O : OBJ_CODEC) = struct
       | Error_msg e ->
           Wr.string b e;
           k_error
+      | Catchup_req q ->
+          Wr.int b q.time;
+          Wr.int b q.cpid;
+          k_catchup_req
+      | Catchup_rep p ->
+          Wr.int b (List.length p.entries);
+          List.iter
+            (fun (op, time, pid, op_id) ->
+              O.write_op b op;
+              Wr.int b time;
+              Wr.int b pid;
+              Wr.int b op_id)
+            p.entries;
+          Wr.int b p.time;
+          Wr.int b p.cpid;
+          k_catchup_rep
     in
     encode_frame ~kind ~payload:(Buffer.contents b)
 
@@ -301,12 +349,14 @@ module Make (O : OBJ_CODEC) = struct
           let time = Rd.int r in
           let pid = Rd.int r in
           let trace = Rd.int r in
-          Entry { op; time; pid; trace }
+          let op_id = Rd.int r in
+          Entry { op; time; pid; trace; op_id }
         end
         else if frame.kind = k_invoke then begin
           let op = O.read_op r in
           let trace = Rd.int r in
-          Invoke { op; trace }
+          let op_id = Rd.int r in
+          Invoke { op; trace; op_id }
         end
         else if frame.kind = k_result then Result (O.read_result r)
         else if frame.kind = k_stats_req then Stats_req
@@ -335,6 +385,28 @@ module Make (O : OBJ_CODEC) = struct
           Stats { Runtime.Transport_intf.sent; dropped; link }
         end
         else if frame.kind = k_error then Error_msg (Rd.string r)
+        else if frame.kind = k_catchup_req then begin
+          let time = Rd.int r in
+          let cpid = Rd.int r in
+          Catchup_req { time; cpid }
+        end
+        else if frame.kind = k_catchup_rep then begin
+          let count = Rd.int r in
+          if count < 0 || count > max_payload then
+            Rd.fail (Printf.sprintf "catchup: bad entry count %d" count);
+          let entries = ref [] in
+          for _ = 1 to count do
+            let op = O.read_op r in
+            let time = Rd.int r in
+            let pid = Rd.int r in
+            let op_id = Rd.int r in
+            entries := (op, time, pid, op_id) :: !entries
+          done;
+          let entries = List.rev !entries in
+          let time = Rd.int r in
+          let cpid = Rd.int r in
+          Catchup_rep { entries; time; cpid }
+        end
         else Rd.fail (Printf.sprintf "unknown frame kind %d" frame.kind)
       in
       if Rd.at_end r then Ok msg else Error "trailing payload bytes"

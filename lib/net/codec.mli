@@ -23,10 +23,11 @@
     [Tcp_transport] and README "Wire format". *)
 
 val version : int
-(** Current wire version (2 — v2 added the trace id to [Entry]/[Invoke]
-    payloads).  A decoder rejects every other version, so incompatible
-    formats — older peers included — fail the handshake cleanly instead of
-    misparsing. *)
+(** Current wire version (3 — v2 added the trace id to [Entry]/[Invoke]
+    payloads; v3 added the client operation id to both, plus the
+    catch-up request/reply frames for post-crash peer anti-entropy).  A
+    decoder rejects every other version, so incompatible formats — older
+    peers included — fail the handshake cleanly instead of misparsing. *)
 
 val header_len : int
 val max_payload : int
@@ -91,6 +92,12 @@ module type OBJ_CODEC = sig
   val read_op : Rd.t -> D.op
   val write_result : Buffer.t -> D.result -> unit
   val read_result : Rd.t -> D.result
+
+  val write_state : Buffer.t -> D.state -> unit
+  (** Serialise a whole object state — used by the durability layer's
+      snapshots ({!Persist}), never by wire frames. *)
+
+  val read_state : Rd.t -> D.state
 end
 
 type hello = {
@@ -110,14 +117,25 @@ type hello = {
 module Make (O : OBJ_CODEC) : sig
   type msg =
     | Hello of hello  (** first frame on a replica→replica connection *)
-    | Entry of { op : O.D.op; time : int; pid : int; trace : int }
+    | Entry of { op : O.D.op; time : int; pid : int; trace : int; op_id : int }
         (** an Algorithm 1 protocol message: operation + ⟨time, pid⟩ stamp
-            + originating trace id (0 when untraced) *)
-    | Invoke of { op : O.D.op; trace : int }  (** client → replica *)
+            + originating trace id (0 when untraced) + client operation id
+            (0 when the client did not ask for idempotence) *)
+    | Invoke of { op : O.D.op; trace : int; op_id : int }
+        (** client → replica; a retry re-sends the same [op_id] *)
     | Result of O.D.result  (** replica → client *)
     | Stats_req  (** client → replica: transport stats probe *)
     | Stats of Runtime.Transport_intf.stats  (** replica → client *)
     | Error_msg of string  (** replica → client: invocation failed *)
+    | Catchup_req of { time : int; cpid : int }
+        (** restarted replica → peers: "send me everything above my
+            high-water mark ⟨time, cpid⟩" (time −1 = empty) *)
+    | Catchup_rep of {
+        entries : (O.D.op * int * int * int) list;
+            (** (op, time, pid, op id) in stamp order *)
+        time : int;
+        cpid : int;  (** the replier's own high-water mark *)
+      }
 
   val equal_msg : msg -> msg -> bool
   val pp_msg : Format.formatter -> msg -> unit

@@ -31,12 +31,28 @@ type config = {
       (** when set, install an [Obs.Recorder] writing this process's trace
           file, timestamped from [start_us] — the same epoch in every
           replica makes the per-process files merge onto one timeline. *)
+  durable : string option;
+      (** this replica's durable directory ({!Durable.Store}): WAL every
+          applied mutation, checkpoint periodically, and on start recover
+          the prefix and catch up from peers.  [None] = memory-only (the
+          pre-PR-5 behaviour). *)
+  fsync : Durable.Wal.fsync;  (** WAL durability policy (when [durable]) *)
+  snapshot_every : int;
+      (** checkpoint after this many WAL records (≤ 0 = never snapshot) *)
   log : string -> unit;
 }
+
+(* How long a restarted replica waits for peer catch-up replies before
+   giving up on the missing ones: the algorithm's own propagation bound
+   plus a generous allowance for TCP reconnection — peers may themselves
+   be mid-restart.  The freeze ends as soon as every peer answers, so the
+   constant only caps the unresponsive-peer case. *)
+let catchup_grace_us = 1_500_000
 
 module Make (W : Wire.WIRED) = struct
   module C = Codec.Make (W.C)
   module R = Runtime.Replica.Make (W.L.D)
+  module P = Persist.Make (W.C)
 
   type handle = {
     config : config;
@@ -44,6 +60,9 @@ module Make (W : Wire.WIRED) = struct
     node : R.node;
     recorder : (Obs.Recorder.t * (unit -> unit)) option;
         (** installed recorder and its trace-file closer *)
+    store : Durable.Store.t option;
+    snap_stop : bool Atomic.t;
+    snap_thread : Thread.t option;  (** checkpoint cadence *)
     mutable handle_stopped : bool;
   }
 
@@ -86,16 +105,28 @@ module Make (W : Wire.WIRED) = struct
     | Ok _ -> Tcp_transport.Client
     | Error e -> Tcp_transport.Reject ("bad handshake: " ^ e)
 
+  let entry_of ~op ~time ~pid =
+    { R.Alg.op; ts = Prelude.Stamp.make ~time ~pid }
+
   let decode_peer ~me ~src frame =
     match C.decode_payload frame with
-    | Ok (C.Entry { op; time; pid; trace }) ->
+    | Ok (C.Entry { op; time; pid; trace; op_id }) ->
         Obs.Recorder.emit ~pid:me ~kind:Obs.Event.Recv ~trace ~a:src ();
-        Some (R.net ~trace { R.Alg.op; ts = Prelude.Stamp.make ~time ~pid })
+        Some (R.of_wire (R.Wire_entry (entry_of ~op ~time ~pid, trace, op_id)))
+    | Ok (C.Catchup_req { time; cpid }) ->
+        Some (R.of_wire (R.Wire_catchup_req { time; cpid }))
+    | Ok (C.Catchup_rep { entries; time; cpid }) ->
+        let entries =
+          List.map
+            (fun (op, time, pid, op_id) -> (entry_of ~op ~time ~pid, op_id))
+            entries
+        in
+        Some (R.of_wire (R.Wire_catchup_rep { entries; time; cpid }))
     | Ok _ | Error _ -> None
 
   let encode_peer ev =
-    match R.net_entry ev with
-    | Some ((e : R.Alg.entry), trace) ->
+    match R.wire_view ev with
+    | Some (R.Wire_entry ((e : R.Alg.entry), trace, op_id)) ->
         C.encode
           (C.Entry
              {
@@ -103,9 +134,23 @@ module Make (W : Wire.WIRED) = struct
                time = e.R.Alg.ts.Prelude.Stamp.time;
                pid = e.R.Alg.ts.Prelude.Stamp.pid;
                trace;
+               op_id;
              })
+    | Some (R.Wire_catchup_req { time; cpid }) ->
+        C.encode (C.Catchup_req { time; cpid })
+    | Some (R.Wire_catchup_rep { entries; time; cpid }) ->
+        let entries =
+          List.map
+            (fun ((e : R.Alg.entry), op_id) ->
+              ( e.R.Alg.op,
+                e.R.Alg.ts.Prelude.Stamp.time,
+                e.R.Alg.ts.Prelude.Stamp.pid,
+                op_id ))
+            entries
+        in
+        C.encode (C.Catchup_rep { entries; time; cpid })
     | None ->
-        (* Invoke/Stop are local-only events; the replica never sends
+        (* Invoke/Stop/… are local-only events; the replica never sends
            them, so reaching here is a wiring bug. *)
         invalid_arg "Serve.encode_peer: local event on the wire"
 
@@ -133,10 +178,14 @@ module Make (W : Wire.WIRED) = struct
       let reply msg = Tcp_transport.conn_write conn (C.encode msg) in
       let handle_frame frame =
         match C.decode_payload frame with
-        | Ok (C.Invoke { op; trace }) -> (
-            match R.node_invoke ~trace (the_node ()) op with
+        | Ok (C.Invoke { op; trace; op_id }) -> (
+            match R.node_invoke ~trace ~op_id (the_node ()) op with
             | r -> reply (C.Result r)
-            | exception R.Stopped -> reply (C.Error_msg "replica stopped"))
+            | exception R.Stopped -> reply (C.Error_msg "replica stopped")
+            | exception R.Retry_later why ->
+                (* The client must back off and retry with the same op id;
+                   [Client.retryable] recognises this answer. *)
+                reply (C.Error_msg ("retry: " ^ why)))
         | Ok C.Stats_req ->
             let stats =
               match !transport_ref with
@@ -204,12 +253,143 @@ module Make (W : Wire.WIRED) = struct
           w.Runtime.Transport_intf.wrap ~start_us transport
     in
     transport_ref := Some transport;
+    (* Durable state loads before the node exists: the node seeds its
+       object, dedup tables and high-water mark from the recovered prefix,
+       then (if this is a restart rather than genesis) catches up from
+       peers once the transport is live. *)
+    let durable =
+      match cfg.durable with
+      | None -> None
+      | Some dir ->
+          let t0 = Prelude.Mclock.now_us () in
+          let meta =
+            Printf.sprintf "timebounds replica=%d obj=%d n=%d" cfg.pid
+              W.C.obj_tag cfg.params.Core.Params.n
+          in
+          (match Durable.Store.open_ ~dir ~meta ~fsync:cfg.fsync with
+          | Error e ->
+              cfg.log (Printf.sprintf "replica %d: %s" cfg.pid e);
+              failwith e
+          | Ok (store, recovered) ->
+              let snap = P.recovered_of recovered in
+              let rs =
+                {
+                  R.r_obj = snap.P.s_obj;
+                  r_applied =
+                    List.map
+                      (fun (a : P.applied) ->
+                        ( entry_of ~op:a.P.op ~time:a.P.time ~pid:a.P.pid,
+                          a.P.result,
+                          a.P.op_id ))
+                      snap.P.s_applied;
+                }
+              in
+              let on_apply (e : R.Alg.entry) result op_id =
+                Durable.Store.append store
+                  (P.encode_record
+                     {
+                       P.op = e.R.Alg.op;
+                       time = e.R.Alg.ts.Prelude.Stamp.time;
+                       pid = e.R.Alg.ts.Prelude.Stamp.pid;
+                       op_id;
+                       result;
+                     })
+              in
+              let recovery =
+                {
+                  R.catchup_wait_us =
+                    cfg.params.Core.Params.d + cfg.params.Core.Params.eps
+                    + catchup_grace_us;
+                  on_apply;
+                  recovered = Some rs;
+                }
+              in
+              let replayed = List.length snap.P.s_applied in
+              let took = Prelude.Mclock.now_us () - t0 in
+              Some (store, recovery, recovered.Durable.Store.r_fresh, replayed, took))
+    in
+    let recovery = Option.map (fun (_, r, _, _, _) -> r) durable in
     let node =
       R.node ~params:cfg.params ~transport ~pid:cfg.pid ~offset:cfg.offset
-        ?start_us:cfg.start_us ()
+        ?start_us:cfg.start_us ?recovery ()
     in
     node_ref := Some node;
-    { config = cfg; transport; node; recorder; handle_stopped = false }
+    let store =
+      match durable with
+      | None -> None
+      | Some (store, _, fresh, replayed, took) ->
+          if not fresh then begin
+            (* Restart, not genesis: announce the disk prefix and ask the
+               peers for whatever landed while we were down. *)
+            R.post_recover transport ~pid:cfg.pid;
+            cfg.log
+              (Printf.sprintf
+                 "replica %d: recovered %d mutations from %s in %dµs; \
+                  catching up"
+                 cfg.pid replayed (Option.get cfg.durable) took);
+            Obs.Recorder.emit ~pid:cfg.pid ~kind:Obs.Event.Recover ~a:replayed
+              ~b:took ()
+          end;
+          Some store
+    in
+    let snap_stop = Atomic.make false in
+    let snap_thread =
+      match store with
+      | Some store when cfg.snapshot_every > 0 ->
+          (* Checkpoint cadence: poll the WAL length and, past the
+             threshold, ask the replica loop for a consistent cut.  The
+             callback runs inside the loop — the same thread as the
+             [on_apply] appends — so capture and rotation cannot race an
+             append. *)
+          let body () =
+            while not (Atomic.get snap_stop) do
+              Prelude.Mclock.sleep_us 200_000;
+              if
+                (not (Atomic.get snap_stop))
+                && Durable.Store.records_since_snapshot store
+                   >= cfg.snapshot_every
+              then
+                R.request_snapshot transport ~pid:cfg.pid (fun view ->
+                    let folded =
+                      Durable.Store.records_since_snapshot store
+                    in
+                    Durable.Store.snapshot store
+                      (P.encode_snapshot
+                         {
+                           P.s_obj = view.R.v_obj;
+                           s_hwm_time = view.R.v_hwm_time;
+                           s_hwm_pid = view.R.v_hwm_pid;
+                           s_applied =
+                             List.map
+                               (fun ((e : R.Alg.entry), result, op_id) ->
+                                 {
+                                   P.op = e.R.Alg.op;
+                                   time = e.R.Alg.ts.Prelude.Stamp.time;
+                                   pid = e.R.Alg.ts.Prelude.Stamp.pid;
+                                   op_id;
+                                   result;
+                                 })
+                               view.R.v_applied;
+                         });
+                    Obs.Recorder.emit ~pid:cfg.pid ~kind:Obs.Event.Checkpoint
+                      ~a:folded
+                      ~b:(Durable.Store.generation store)
+                      ())
+            done
+          in
+          Some (Thread.create body ())
+      | _ -> None
+    in
+    {
+      config = cfg;
+      transport;
+      node;
+      recorder;
+      store;
+      snap_stop;
+      snap_thread;
+      handle_stopped = false;
+    }
 
   (* Stop order matters: cancelling the node first wakes client-handler
      threads blocked on invocation cells, so closing the transport (which
@@ -218,9 +398,18 @@ module Make (W : Wire.WIRED) = struct
   let stop handle =
     if not handle.handle_stopped then begin
       handle.handle_stopped <- true;
+      Atomic.set handle.snap_stop true;
       let records = R.node_stop handle.node in
+      Option.iter Thread.join handle.snap_thread;
       let stats = Runtime.Transport_intf.stats handle.transport in
       Runtime.Transport_intf.close handle.transport;
+      (* The node is joined, so no more [on_apply] appends: sync what the
+         fsync policy may still be buffering, then close. *)
+      Option.iter
+        (fun store ->
+          Durable.Store.sync store;
+          Durable.Store.close store)
+        handle.store;
       (match handle.recorder with
       | None -> ()
       | Some (r, close) ->

@@ -50,6 +50,9 @@ module Register_codec = struct
     | 0 -> Spec.Register.Value (Codec.Rd.int r)
     | 1 -> Spec.Register.Ack
     | t -> Codec.Rd.fail (Printf.sprintf "register: unknown result tag %d" t)
+
+  let write_state b (s : Spec.Register.state) = Codec.Wr.int b s
+  let read_state r : Spec.Register.state = Codec.Rd.int r
 end
 
 module Kv_codec = struct
@@ -98,6 +101,26 @@ module Kv_codec = struct
     | 1 -> Spec.Kv_map.Absent
     | 2 -> Spec.Kv_map.Ack
     | t -> Codec.Rd.fail (Printf.sprintf "kv: unknown result tag %d" t)
+
+  let write_state b (s : Spec.Kv_map.state) =
+    Codec.Wr.int b (Spec.Kv_map.M.cardinal s);
+    Spec.Kv_map.M.iter
+      (fun k v ->
+        Codec.Wr.int b k;
+        Codec.Wr.int b v)
+      s
+
+  let read_state r : Spec.Kv_map.state =
+    let count = Codec.Rd.int r in
+    if count < 0 then Codec.Rd.fail "kv: negative state cardinality";
+    let rec go acc k =
+      if k = 0 then acc
+      else
+        let key = Codec.Rd.int r in
+        let v = Codec.Rd.int r in
+        go (Spec.Kv_map.M.add key v acc) (k - 1)
+    in
+    go Spec.Kv_map.M.empty count
 end
 
 module Queue_codec = struct
@@ -132,6 +155,19 @@ module Queue_codec = struct
     | 1 -> Spec.Fifo_queue.Empty
     | 2 -> Spec.Fifo_queue.Ack
     | t -> Codec.Rd.fail (Printf.sprintf "queue: unknown result tag %d" t)
+
+  (* oldest-first, as the state lists it *)
+  let write_state b (s : Spec.Fifo_queue.state) =
+    Codec.Wr.int b (List.length s);
+    List.iter (Codec.Wr.int b) s
+
+  let read_state r : Spec.Fifo_queue.state =
+    let count = Codec.Rd.int r in
+    if count < 0 then Codec.Rd.fail "queue: negative state length";
+    let rec go acc k =
+      if k = 0 then List.rev acc else go (Codec.Rd.int r :: acc) (k - 1)
+    in
+    go [] count
 end
 
 (* ---- registry ---- *)

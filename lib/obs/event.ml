@@ -10,6 +10,9 @@ type kind =
   | Mbox_depth
   | Fault
   | Drops
+  | Recover
+  | Catchup
+  | Checkpoint
 
 let kind_code = function
   | Invoke -> 0
@@ -23,6 +26,9 @@ let kind_code = function
   | Mbox_depth -> 8
   | Fault -> 9
   | Drops -> 10
+  | Recover -> 11
+  | Catchup -> 12
+  | Checkpoint -> 13
 
 let kind_of_code = function
   | 0 -> Some Invoke
@@ -36,6 +42,9 @@ let kind_of_code = function
   | 8 -> Some Mbox_depth
   | 9 -> Some Fault
   | 10 -> Some Drops
+  | 11 -> Some Recover
+  | 12 -> Some Catchup
+  | 13 -> Some Checkpoint
   | _ -> None
 
 let kind_name = function
@@ -50,6 +59,9 @@ let kind_name = function
   | Mbox_depth -> "mbox_depth"
   | Fault -> "fault"
   | Drops -> "drops"
+  | Recover -> "recover"
+  | Catchup -> "catchup"
+  | Checkpoint -> "checkpoint"
 
 let class_mutator = 0
 let class_accessor = 1

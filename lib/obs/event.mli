@@ -33,6 +33,15 @@ type kind =
   | Drops
       (** drainer-emitted accounting record: [a] events were lost to
           ring-buffer wrap-around since the previous [Drops] (or start). *)
+  | Recover
+      (** replica recovered its durable prefix at boot. [a] = mutations
+          replayed (snapshot + WAL tail), [b] = recovery wall time in µs. *)
+  | Catchup
+      (** one anti-entropy exchange leg: emitted when a catch-up reply is
+          served or absorbed. [a] = entries transferred, [b] = peer pid. *)
+  | Checkpoint
+      (** durable snapshot written. [a] = WAL records folded into it,
+          [b] = new generation number. *)
 
 val kind_code : kind -> int
 val kind_of_code : int -> kind option

@@ -86,7 +86,7 @@ module Make (L : Workloads.LIVE) = struct
   (* ---- post-hoc check: segment the history at the quiescent cuts and run
      Wing–Gong on each segment, threading the witness state through. ---- *)
 
-  let check_history entries cuts =
+  let check_history ?initial entries cuts =
     let segment_of (e : Lin.entry) =
       let rec go i = function
         | [] -> i
@@ -112,7 +112,7 @@ module Make (L : Workloads.LIVE) = struct
           (Printf.sprintf "segment %d has %d ops (> 62, no quiescent cut)" i
              len)
     | None -> (
-        match Lin.check_segmented ~budget:2_000_000 segments with
+        match Lin.check_segmented ?initial ~budget:2_000_000 segments with
         | `Budget_exhausted ->
             Unchecked
               "checker budget exhausted (too much concurrent-mutator \
@@ -156,7 +156,7 @@ module Make (L : Workloads.LIVE) = struct
   let in_windows windows t =
     List.exists (fun (from_us, until_us) -> from_us <= t && t < until_us) windows
 
-  let worker_body cluster rng ~n ~mix ~total ~quota ~wid ~windows =
+  let worker_body cluster rng ~n ~mix ~total ~quota ~wid ~windows ~mint =
     let hists = Array.init 6 (fun _ -> Histogram.create ()) in
     for _ = 1 to quota do
       let op = draw rng mix total in
@@ -171,15 +171,63 @@ module Make (L : Workloads.LIVE) = struct
       let trace =
         if Obs.Recorder.active () then Obs.Trace_id.fresh ~origin:wid else 0
       in
-      ignore (R.Client.invoke ~trace cluster ~pid:(wid mod n) op);
+      (* In recovery mode each attempt carries the same op id, so a replay
+         the replica already holds is answered idempotently; a replay it
+         cannot answer yet asks us to back off (capped exponential, with
+         seeded jitter) and retry. *)
+      let op_id = mint () in
+      let rec attempt backoff =
+        match R.invoke ~trace ~op_id cluster ~pid:(wid mod n) op with
+        | r -> r
+        | exception R.Retry_later _ ->
+            let pause = backoff + Prelude.Rng.int rng (backoff + 1) in
+            Unix.sleepf (float_of_int pause /. 1e6);
+            attempt (min (backoff * 2) 200_000)
+      in
+      ignore (attempt 1_000);
       let slot = if in_windows windows t0_rel then slot + 3 else slot in
       Histogram.add hists.(slot) (Prelude.Mclock.now_us () - t0)
     done;
     hists
 
+  (* Replay the plan's crash/restart instants against a live cluster:
+     freeze the replica at the crash time (so it stops applying — the
+     in-process realisation of the process path's SIGKILL) and thaw it
+     through peer catch-up at the restart time.  Pairs without a restart
+     are skipped: an in-process replica that never recovers would wedge
+     its workers forever. *)
+  let crash_scheduler cluster crashes =
+    match
+      List.concat_map
+        (fun (pid, crash_at, restart_at) ->
+          if restart_at = max_int then []
+          else [ (crash_at, `Crash pid); (restart_at, `Recover pid) ])
+        crashes
+      |> List.sort compare
+    with
+    | [] -> None
+    | events ->
+        Some
+          (Domain.spawn (fun () ->
+               List.iter
+                 (fun (at, action) ->
+                   let rec wait () =
+                     let now = R.elapsed_us cluster in
+                     if now < at then begin
+                       Unix.sleepf
+                         (float_of_int (min 2_000 (at - now)) /. 1e6);
+                       wait ()
+                     end
+                   in
+                   wait ();
+                   match action with
+                   | `Crash pid -> R.crash cluster ~pid
+                   | `Recover pid -> R.recover cluster ~pid)
+                 events))
+
   let run ~n ~d ~u ?eps ?(x = 0) ?(slack = 5000) ?workers ?(round = 48)
       ?(mix = (50, 40, 10)) ?(loss = 0) ?skews ?wrap ?(fault_windows = [])
-      ~ops ~seed () =
+      ?(recovery = false) ?(crashes = []) ~ops ~seed () =
     if round < 1 || round > 62 then
       invalid_arg "Loadgen.run: round must be in [1, 62]";
     let m, a, o = mix in
@@ -217,7 +265,21 @@ module Make (L : Workloads.LIVE) = struct
       if loss > 0 then Sim.Delay.lossy base ~rng:rng_delay ~percent:loss
       else base
     in
-    let cluster = R.start ~params ~policy ~offsets ?wrap () in
+    let recovery_cfg =
+      if not recovery then None
+      else
+        Some
+          {
+            R.catchup_wait_us =
+              params.Core.Params.d + params.Core.Params.eps;
+            on_apply = (fun _ _ _ -> ());
+            recovered = None;
+          }
+    in
+    let cluster = R.start ~params ~policy ~offsets ?wrap ?recovery:recovery_cfg () in
+    let scheduler = crash_scheduler cluster crashes in
+    let op_ids = Atomic.make 1 in
+    let mint () = if recovery then Atomic.fetch_and_add op_ids 1 else 0 in
     let t0 = Prelude.Mclock.now_us () in
     let merged = Array.init 6 (fun _ -> Histogram.create ()) in
     let cuts = ref [] in
@@ -236,7 +298,7 @@ module Make (L : Workloads.LIVE) = struct
             in
             Domain.spawn (fun () ->
                 worker_body cluster mine ~n ~mix ~total ~quota:share ~wid
-                  ~windows:fault_windows))
+                  ~windows:fault_windows ~mint))
       in
       List.iter
         (fun dom ->
@@ -248,6 +310,7 @@ module Make (L : Workloads.LIVE) = struct
       cuts := R.elapsed_us cluster :: !cuts
     done;
     let wall_us = Prelude.Mclock.now_us () - t0 in
+    Option.iter Domain.join scheduler;
     R.stop cluster;
     let entries =
       List.map

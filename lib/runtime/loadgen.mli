@@ -63,12 +63,15 @@ val pp_report : Format.formatter -> report -> unit
 module Make (L : Workloads.LIVE) : sig
   module Lin : module type of Linearize.Make (L.D)
 
-  val check_history : Lin.entry list -> int list -> verdict
+  val check_history : ?initial:L.D.state -> Lin.entry list -> int list -> verdict
   (** [check_history entries cuts] splits the history (in invocation
       order, times on one µs timeline) at the quiescent [cuts] and runs
       Wing–Gong segment by segment, threading the witness state across
       cuts — shared by the in-process load generator and the TCP cluster
-      orchestrator ([Net.Cluster]). *)
+      orchestrator ([Net.Cluster]).  [initial] is the object state the
+      history starts from (default: fresh) — a durable cluster restarted
+      over existing directories serves the persisted history, so its
+      checker must start from the recovered state. *)
 
   val run :
     n:int ->
@@ -84,6 +87,8 @@ module Make (L : Workloads.LIVE) : sig
     ?skews:int array ->
     ?wrap:Transport_intf.wrapper ->
     ?fault_windows:(int * int) list ->
+    ?recovery:bool ->
+    ?crashes:(int * int * int) list ->
     ops:int ->
     seed:int ->
     unit ->
@@ -108,5 +113,15 @@ module Make (L : Workloads.LIVE) : sig
       - [fault_windows]: [(from, until)] µs intervals on the run timeline;
         ops invoked inside any of them are recorded into the [faulty]
         histograms so degraded latency is reported separately;
-      - [seed]: all randomness (delays, offsets, op draws). *)
+      - [recovery]: arm the replicas' crash/recover/catch-up machinery
+        (see {!Replica.Make}); workers then mint per-operation ids and
+        retry idempotently (capped exponential backoff) when a replica
+        asks them to back off;
+      - [crashes]: [(pid, crash_at, restart_at)] µs instants on the run
+        timeline (the plan's {!Fault.Fault_plan.crash_schedule}): freeze
+        the replica at the crash, thaw it through peer catch-up at the
+        restart.  Entries with [restart_at = max_int] are skipped — a
+        replica that never thaws would wedge its workers.  Only effective
+        together with [recovery];
+      - [seed]: all randomness (delays, offsets, op draws, backoff). *)
 end

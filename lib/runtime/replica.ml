@@ -1,12 +1,24 @@
 (** See the interface for the model mapping.  One domain per replica; all
     inter-domain communication goes through the transport's mailboxes and
     the per-invocation result cells — replica state itself is only ever
-    touched by its own domain. *)
+    touched by its own domain.
+
+    Recovery additions (PR 5): a replica can be {e frozen} — either [Down]
+    (an injected crash: it processes nothing, realising the fault the
+    process path realises with SIGKILL) or [Catching_up] (just restarted:
+    it broadcasts a catch-up request carrying its high-water mark, absorbs
+    replies, and thaws when every peer answered or a timeout fires).
+    While frozen, [Execute]/[Respond_*] timers are deferred (nothing
+    applies, so the high-water mark stays contiguous) and client invokes
+    are backlogged.  Operation ids ride on every broadcast entry, so a
+    replica can recognise a client's replay of an operation it already
+    holds and answer idempotently. *)
 
 module Make (D : Spec.Data_type.S) = struct
   module Alg = Core.Algorithm1.Make (D)
 
   exception Stopped
+  exception Retry_later of string
 
   type record = {
     pid : int;
@@ -18,7 +30,7 @@ module Make (D : Spec.Data_type.S) = struct
   }
 
   (* A one-shot synchronisation cell the invoking client blocks on. *)
-  type cell_state = Pending | Done of D.result | Cancelled
+  type cell_state = Pending | Done of D.result | Cancelled | Rejected of string
 
   type cell = {
     mutex : Mutex.t;
@@ -26,12 +38,63 @@ module Make (D : Spec.Data_type.S) = struct
     mutable value : cell_state;
   }
 
-  type event = Net of Alg.entry * int | Invoke of D.op * int * cell | Stop
+  type snapshot_view = {
+    v_obj : D.state;
+    v_hwm_time : int;
+    v_hwm_pid : int;
+    v_applied : (Alg.entry * D.result * int) list;  (** oldest first *)
+  }
 
-  let net ?(trace = 0) e = Net (e, trace)
+  type recovered_state = {
+    r_obj : D.state;
+    r_applied : (Alg.entry * D.result * int) list;  (** oldest first *)
+  }
+
+  type recovery = {
+    catchup_wait_us : int;
+    on_apply : Alg.entry -> D.result -> int -> unit;
+    recovered : recovered_state option;
+  }
+
+  type event =
+    | Net of Alg.entry * int * int  (** entry, trace, op id (0 = none) *)
+    | Catchup_req of { time : int; cpid : int }  (** asker's high-water mark *)
+    | Catchup_rep of {
+        entries : (Alg.entry * int) list;
+        time : int;
+        cpid : int;  (** replier's high-water mark *)
+      }
+    | Invoke of D.op * int * int * cell  (** op, trace, op id, cell *)
+    | Crash_now
+    | Recover_now
+    | Snap_req of (snapshot_view -> unit)
+    | Stop
+
+  type wire =
+    | Wire_entry of Alg.entry * int * int
+    | Wire_catchup_req of { time : int; cpid : int }
+    | Wire_catchup_rep of { entries : (Alg.entry * int) list; time : int; cpid : int }
+
+  let wire_view = function
+    | Net (e, trace, op_id) -> Some (Wire_entry (e, trace, op_id))
+    | Catchup_req { time; cpid } -> Some (Wire_catchup_req { time; cpid })
+    | Catchup_rep { entries; time; cpid } ->
+        Some (Wire_catchup_rep { entries; time; cpid })
+    | Invoke _ | Crash_now | Recover_now | Snap_req _ | Stop -> None
+
+  let of_wire = function
+    | Wire_entry (e, trace, op_id) -> Net (e, trace, op_id)
+    | Wire_catchup_req { time; cpid } -> Catchup_req { time; cpid }
+    | Wire_catchup_rep { entries; time; cpid } ->
+        Catchup_rep { entries; time; cpid }
+
+  let net ?(trace = 0) e = Net (e, trace, 0)
+
   let net_entry = function
-    | Net (e, trace) -> Some (e, trace)
-    | Invoke _ | Stop -> None
+    | Net (e, trace, _) -> Some (e, trace)
+    | Catchup_req _ | Catchup_rep _ | Invoke _ | Crash_now | Recover_now
+    | Snap_req _ | Stop ->
+        None
 
   let class_of op = Obs.Event.class_code (D.classify op)
 
@@ -43,7 +106,19 @@ module Make (D : Spec.Data_type.S) = struct
 
   (* ---- the per-replica event loop (runs inside the replica's domain) ---- *)
 
-  type timer_entry = { due : int; tseq : int; timer : Alg.timer; ttrace : int }
+  (* [Catchup_retry_t] re-asks the peers that still owe a catch-up reply:
+     over TCP the first write onto a connection whose remote died is
+     accepted by the kernel and lost (the error only surfaces on the next
+     write), so a one-shot request/reply exchange straddling a crash can
+     vanish silently — retrying until every peer answers (or the unfreeze
+     timeout lapses) makes anti-entropy immune to it. *)
+  type rtimer = A of Alg.timer | Unfreeze_t | Catchup_retry_t
+
+  type timer_entry = { due : int; tseq : int; timer : rtimer; ttrace : int }
+
+  type mode = Up | Down | Catching_up
+
+  type id_state = Queued | Applied_id of D.result
 
   type loop_state = {
     pid : int;
@@ -52,9 +127,22 @@ module Make (D : Spec.Data_type.S) = struct
     mutable tseq : int;
     mutable inflight : (cell * D.op * int * int * int) option;
         (** cell, op, invoke_us, seq, trace *)
-    backlog : (D.op * int * cell) Queue.t;  (** op, trace, cell *)
+    backlog : (D.op * int * int * cell) Queue.t;  (** op, trace, op id, cell *)
     mutable next_seq : int;
     mutable records : record list;  (** reversed *)
+    (* -- recovery machinery (only exercised when [rec_mode] is [Some]) -- *)
+    rec_mode : recovery option;
+    mutable mode : mode;
+    mutable deferred : timer_entry list;  (** newest first; replayed on thaw *)
+    mutable awaiting : int list;  (** peers owing a catch-up reply *)
+    mutable reply_hwms : (int * Prelude.Stamp.t) list;
+        (** replier high-water marks, pushed back to at thaw *)
+    seen : (Prelude.Stamp.t, unit) Hashtbl.t;
+    stamp_ids : (Prelude.Stamp.t, int) Hashtbl.t;
+    id_index : (int, id_state) Hashtbl.t;
+    mutable hwm : Prelude.Stamp.t;  (** max applied stamp; time −1 = none *)
+    mutable last_applied : (Alg.entry * D.result) list;
+        (** physical-equality cursor into [st.applied] *)
   }
 
   let rec insert_timer e = function
@@ -64,7 +152,9 @@ module Make (D : Spec.Data_type.S) = struct
           e :: hd :: tl
         else hd :: insert_timer e tl
 
-  let run_replica ~(params : Core.Params.t)
+  let no_hwm = Prelude.Stamp.make ~time:(-1) ~pid:0
+
+  let run_replica ~(params : Core.Params.t) ?recovery
       ~(transport : event Transport_intf.t) ~start_us ~offset pid =
     let cfg = params in
     let now_rel () = Prelude.Mclock.now_us () - start_us in
@@ -79,7 +169,106 @@ module Make (D : Spec.Data_type.S) = struct
         backlog = Queue.create ();
         next_seq = 0;
         records = [];
+        rec_mode = recovery;
+        mode = Up;
+        deferred = [];
+        awaiting = [];
+        reply_hwms = [];
+        seen = Hashtbl.create 256;
+        stamp_ids = Hashtbl.create 256;
+        id_index = Hashtbl.create 256;
+        hwm = no_hwm;
+        last_applied = [];
       }
+    in
+    (* Seed the protocol state from the durable prefix, if any: the object,
+       its applied history (so catch-up can serve it), the stamp/id tables
+       (so replayed broadcasts and retried clients are recognised) and the
+       high-water mark. *)
+    (match recovery with
+    | Some { recovered = Some rs; _ } ->
+        ls.st <-
+          {
+            ls.st with
+            Alg.local_obj = rs.r_obj;
+            applied = List.rev_map (fun (e, r, _) -> (e, r)) rs.r_applied;
+          };
+        List.iter
+          (fun ((e : Alg.entry), r, op_id) ->
+            Hashtbl.replace ls.seen e.ts ();
+            if op_id <> 0 then begin
+              Hashtbl.replace ls.stamp_ids e.ts op_id;
+              Hashtbl.replace ls.id_index op_id (Applied_id r)
+            end;
+            if Prelude.Stamp.( < ) ls.hwm e.ts then ls.hwm <- e.ts)
+          rs.r_applied
+    | _ -> ());
+    ls.last_applied <- ls.st.Alg.applied;
+    let dedup = Option.is_some recovery in
+    let register ts op_id =
+      if op_id <> 0 then begin
+        Hashtbl.replace ls.stamp_ids ts op_id;
+        if not (Hashtbl.mem ls.id_index op_id) then
+          Hashtbl.replace ls.id_index op_id Queued
+      end
+    in
+    (* Every mutation the algorithm applied since the last call, oldest
+       first: mark it seen, resolve its op id, advance the high-water mark
+       and hand it to the durability hook — before any action (a response
+       in particular) from the same protocol step is released. *)
+    let drain_applied () =
+      match ls.rec_mode with
+      | None -> ()
+      | Some rc ->
+          if not (ls.st.Alg.applied == ls.last_applied) then begin
+            let rec fresh acc = function
+              | l when l == ls.last_applied -> acc
+              | [] -> acc
+              | (e, r) :: tl -> fresh ((e, r) :: acc) tl
+            in
+            List.iter
+              (fun ((e : Alg.entry), r) ->
+                Hashtbl.replace ls.seen e.ts ();
+                let op_id =
+                  Option.value ~default:0 (Hashtbl.find_opt ls.stamp_ids e.ts)
+                in
+                if op_id <> 0 then
+                  Hashtbl.replace ls.id_index op_id (Applied_id r);
+                if Prelude.Stamp.( < ) ls.hwm e.ts then ls.hwm <- e.ts;
+                rc.on_apply e r op_id)
+              (fresh [] ls.st.Alg.applied);
+            ls.last_applied <- ls.st.Alg.applied
+          end
+    in
+    (* Applied and still-queued entries with a stamp above [after], in
+       stamp order, each with its op id — what catch-up serves. *)
+    let entries_after after =
+      let keep (e : Alg.entry) = Prelude.Stamp.( < ) after e.ts in
+      let applied =
+        List.filter_map
+          (fun ((e : Alg.entry), _) -> if keep e then Some e else None)
+          ls.st.Alg.applied
+      in
+      let queued =
+        List.filter keep (Alg.Queue.to_sorted_list ls.st.Alg.to_execute)
+      in
+      List.sort
+        (fun (a : Alg.entry) b -> Prelude.Stamp.compare a.ts b.ts)
+        (List.rev_append applied queued)
+      |> List.map (fun (e : Alg.entry) ->
+             (e, Option.value ~default:0 (Hashtbl.find_opt ls.stamp_ids e.ts)))
+    in
+    let push_back peer after =
+      let missing = entries_after after in
+      if missing <> [] then begin
+        Obs.Recorder.emit ~pid ~kind:Obs.Event.Catchup
+          ~a:(List.length missing) ~b:peer ();
+        List.iter
+          (fun ((e : Alg.entry), op_id) ->
+            Transport_intf.send transport ~trace:0 ~src:pid ~dst:peer
+              (Net (e, 0, op_id)))
+          missing
+      end
     in
     let respond r =
       match ls.inflight with
@@ -94,6 +283,27 @@ module Make (D : Spec.Data_type.S) = struct
             ~a:(class_of op) ~b:(response_us - invoke_us) ();
           fill cell (Done r)
     in
+    (* A client replaying an operation id this replica already knows must
+       not be executed twice.  Applied → answer from the recorded result;
+       still queued → a pure mutator's reply is state-independent (answer
+       now), anything else must wait for the first attempt (tell the
+       client to retry).  Accessors have no effect and are never deduped. *)
+    let dedup_check op op_id =
+      if (not dedup) || op_id = 0 then None
+      else
+        match D.classify op with
+        | Spec.Data_type.Pure_accessor -> None
+        | cls -> (
+            match Hashtbl.find_opt ls.id_index op_id with
+            | Some (Applied_id r) -> Some (Done r)
+            | Some Queued -> (
+                match cls with
+                | Spec.Data_type.Pure_mutator ->
+                    let _, r = D.apply ls.st.Alg.local_obj op in
+                    Some (Done r)
+                | _ -> Some (Rejected "in flight; retry"))
+            | None -> None)
+    in
     let rec handle_actions ~trace actions =
       List.iter
         (fun (a : (D.result, Alg.entry, Alg.timer) Sim.Action.t) ->
@@ -102,16 +312,23 @@ module Make (D : Spec.Data_type.S) = struct
               respond r;
               (* The model allows one pending operation per process;
                  queued client calls start once the previous responds. *)
-              if ls.inflight = None && not (Queue.is_empty ls.backlog) then begin
-                let op, qtrace, cell = Queue.pop ls.backlog in
-                start_invoke op qtrace cell
-              end
+              next_from_backlog ()
           | Sim.Action.Send (dst, m) ->
-              Transport_intf.send transport ~trace ~src:pid ~dst (Net (m, trace))
+              let op_id =
+                Option.value ~default:0
+                  (Hashtbl.find_opt ls.stamp_ids m.Alg.ts)
+              in
+              Transport_intf.send transport ~trace ~src:pid ~dst
+                (Net (m, trace, op_id))
           | Sim.Action.Broadcast m ->
               Obs.Recorder.emit ~pid ~kind:Obs.Event.Broadcast ~trace
                 ~a:(cfg.Core.Params.n - 1) ();
-              Transport_intf.broadcast transport ~trace ~src:pid (Net (m, trace))
+              let op_id =
+                Option.value ~default:0
+                  (Hashtbl.find_opt ls.stamp_ids m.Alg.ts)
+              in
+              Transport_intf.broadcast transport ~trace ~src:pid
+                (Net (m, trace, op_id))
           | Sim.Action.Set_timer (delay, t) ->
               (* Timer delays are clock-time delays; clocks advance at the
                  rate of real time, so a [δ]-delay timer is due at
@@ -119,15 +336,20 @@ module Make (D : Spec.Data_type.S) = struct
               Obs.Recorder.emit ~pid ~kind:Obs.Event.Hold_set ~trace ~a:delay ();
               let e =
                 { due = Prelude.Mclock.now_us () + delay; tseq = ls.tseq;
-                  timer = t; ttrace = trace }
+                  timer = A t; ttrace = trace }
               in
               ls.tseq <- ls.tseq + 1;
               ls.timers <- insert_timer e ls.timers
           | Sim.Action.Cancel_timer t ->
               ls.timers <-
-                List.filter (fun e -> not (Alg.equal_timer e.timer t)) ls.timers)
+                List.filter
+                  (fun e ->
+                    match e.timer with
+                    | A t' -> not (Alg.equal_timer t' t)
+                    | Unfreeze_t | Catchup_retry_t -> true)
+                  ls.timers)
         actions
-    and start_invoke op trace cell =
+    and start_invoke op trace op_id cell =
       let invoke_us = now_rel () in
       let seq = ls.next_seq in
       ls.next_seq <- ls.next_seq + 1;
@@ -135,7 +357,115 @@ module Make (D : Spec.Data_type.S) = struct
       Obs.Recorder.emit ~pid ~kind:Obs.Event.Invoke ~trace ~a:(class_of op) ();
       let st', actions = Alg.on_invoke cfg ls.st ~clock:(clock ()) op in
       ls.st <- st';
+      (* The broadcast below carries the op id, so every replica can tie
+         the entry's stamp back to the client's operation. *)
+      (if dedup then
+         match ls.st.Alg.pending with
+         | Alg.Waiting_mop e | Alg.Waiting_oop e ->
+             Hashtbl.replace ls.seen e.ts ();
+             register e.ts op_id
+         | Alg.Waiting_aop _ | Alg.Idle -> ());
       handle_actions ~trace actions
+    and submit op trace op_id cell =
+      match dedup_check op op_id with
+      | Some outcome -> fill cell outcome
+      | None ->
+          if ls.inflight = None then start_invoke op trace op_id cell
+          else Queue.push (op, trace, op_id, cell) ls.backlog
+    and next_from_backlog () =
+      if ls.inflight = None && ls.mode = Up && not (Queue.is_empty ls.backlog)
+      then begin
+        let op, trace, op_id, cell = Queue.pop ls.backlog in
+        submit op trace op_id cell;
+        next_from_backlog ()
+      end
+    and fire_alg_timer t ttrace =
+      let st', actions = Alg.on_timer cfg ls.st ~clock:(clock ()) t in
+      ls.st <- st';
+      drain_applied ();
+      handle_actions ~trace:ttrace actions
+    and do_unfreeze () =
+      ls.mode <- Up;
+      ls.timers <-
+        List.filter
+          (fun e ->
+            match e.timer with
+            | Unfreeze_t | Catchup_retry_t -> false
+            | A _ -> true)
+          ls.timers;
+      let replies = ls.reply_hwms in
+      ls.reply_hwms <- [];
+      ls.awaiting <- [];
+      (* Now that every reply is absorbed, send each replier whatever this
+         replica holds above that replier's high-water mark — anti-entropy
+         runs both ways, so a peer that itself missed broadcasts while this
+         one was down converges too. *)
+      List.iter (fun (peer, after) -> push_back peer after) replies;
+      let thaw = List.rev ls.deferred in
+      ls.deferred <- [];
+      List.iter
+        (fun te ->
+          match te.timer with
+          | A t -> fire_alg_timer t te.ttrace
+          | Unfreeze_t | Catchup_retry_t -> ())
+        thaw;
+      next_from_backlog ()
+    in
+    let absorb_catchup ~src entries =
+      let fresh =
+        List.filter
+          (fun ((e : Alg.entry), _) -> not (Hashtbl.mem ls.seen e.ts))
+          entries
+      in
+      List.iter
+        (fun ((e : Alg.entry), op_id) ->
+          Hashtbl.replace ls.seen e.ts ();
+          register e.ts op_id;
+          let st', actions =
+            Alg.on_message cfg ls.st ~clock:(clock ()) ~src e
+          in
+          ls.st <- st';
+          handle_actions ~trace:0 actions)
+        fresh;
+      if fresh <> [] then
+        Obs.Recorder.emit ~pid ~kind:Obs.Event.Catchup ~a:(List.length fresh)
+          ~b:src ()
+    in
+    let catchup_req () =
+      Catchup_req
+        { time = ls.hwm.Prelude.Stamp.time; cpid = ls.hwm.Prelude.Stamp.pid }
+    in
+    (* Re-ask often enough that a reply lost to a stale TCP connection (see
+       [Catchup_retry_t]) is recovered well inside the unfreeze window: the
+       failed first write makes the peer's link reconnect, so the retry's
+       reply rides a fresh connection. *)
+    let catchup_retry_us rc = max 1 (rc.catchup_wait_us / 4) in
+    let schedule_catchup_retry rc =
+      let e =
+        { due = Prelude.Mclock.now_us () + catchup_retry_us rc;
+          tseq = ls.tseq; timer = Catchup_retry_t; ttrace = 0 }
+      in
+      ls.tseq <- ls.tseq + 1;
+      ls.timers <- insert_timer e ls.timers
+    in
+    let start_catchup rc =
+      ls.mode <- Catching_up;
+      let peers =
+        List.filter (fun p -> p <> pid) (List.init cfg.Core.Params.n Fun.id)
+      in
+      if peers = [] then do_unfreeze ()
+      else begin
+        ls.awaiting <- peers;
+        ls.reply_hwms <- [];
+        Transport_intf.broadcast transport ~trace:0 ~src:pid (catchup_req ());
+        let e =
+          { due = Prelude.Mclock.now_us () + rc.catchup_wait_us;
+            tseq = ls.tseq; timer = Unfreeze_t; ttrace = 0 }
+        in
+        ls.tseq <- ls.tseq + 1;
+        ls.timers <- insert_timer e ls.timers;
+        schedule_catchup_retry rc
+      end
     in
     let drain_on_stop () =
       (* Wake every client still waiting: their operations will never
@@ -145,27 +475,102 @@ module Make (D : Spec.Data_type.S) = struct
       | None -> ()
       | Some (cell, _, _, _, _) -> fill cell Cancelled);
       ls.inflight <- None;
-      Queue.iter (fun (_, _, cell) -> fill cell Cancelled) ls.backlog;
+      Queue.iter (fun (_, _, _, cell) -> fill cell Cancelled) ls.backlog;
       Queue.clear ls.backlog;
       List.rev ls.records
     in
     let rec loop () =
       let deadline = match ls.timers with [] -> None | e :: _ -> Some e.due in
       match Transport_intf.recv transport ~me:pid ~deadline with
-      | Some (src, Net (m, trace)) ->
-          if Obs.Recorder.active () then
-            Obs.Recorder.emit ~pid ~kind:Obs.Event.Deliver ~trace ~a:src
-              ~b:(Transport_intf.depth transport ~me:pid) ();
-          let st', actions = Alg.on_message cfg ls.st ~clock:(clock ()) ~src m in
-          ls.st <- st';
-          (* [Apply] marks the entry's hand-off to the protocol state
-             machine; Algorithm 1 may defer its execution to ts order. *)
-          Obs.Recorder.emit ~pid ~kind:Obs.Event.Apply ~trace ~a:src ();
-          handle_actions ~trace actions;
+      | Some (src, Net (m, trace, op_id)) ->
+          (match ls.mode with
+          | Down -> ()  (* the replica is down: the message is lost *)
+          | Up | Catching_up ->
+              if dedup && Hashtbl.mem ls.seen m.Alg.ts then
+                ()  (* replayed entry (push-back or duplicate): drop *)
+              else begin
+                if dedup then begin
+                  Hashtbl.replace ls.seen m.Alg.ts ();
+                  register m.Alg.ts op_id
+                end;
+                if Obs.Recorder.active () then
+                  Obs.Recorder.emit ~pid ~kind:Obs.Event.Deliver ~trace ~a:src
+                    ~b:(Transport_intf.depth transport ~me:pid) ();
+                let st', actions =
+                  Alg.on_message cfg ls.st ~clock:(clock ()) ~src m
+                in
+                ls.st <- st';
+                drain_applied ();
+                (* [Apply] marks the entry's hand-off to the protocol state
+                   machine; Algorithm 1 may defer its execution to ts order. *)
+                Obs.Recorder.emit ~pid ~kind:Obs.Event.Apply ~trace ~a:src ();
+                handle_actions ~trace actions
+              end);
           loop ()
-      | Some (_, Invoke (op, trace, cell)) ->
-          if ls.inflight = None then start_invoke op trace cell
-          else Queue.push (op, trace, cell) ls.backlog;
+      | Some (src, Catchup_req { time; cpid }) ->
+          (match ls.mode with
+          | Down -> ()
+          | Up | Catching_up ->
+              let after = Prelude.Stamp.make ~time ~pid:cpid in
+              let entries = entries_after after in
+              Obs.Recorder.emit ~pid ~kind:Obs.Event.Catchup
+                ~a:(List.length entries) ~b:src ();
+              Transport_intf.send transport ~trace:0 ~src:pid ~dst:src
+                (Catchup_rep
+                   {
+                     entries;
+                     time = ls.hwm.Prelude.Stamp.time;
+                     cpid = ls.hwm.Prelude.Stamp.pid;
+                   }));
+          loop ()
+      | Some (src, Catchup_rep { entries; time; cpid }) ->
+          (match ls.mode with
+          | Down -> ()
+          | Up | Catching_up -> (
+              absorb_catchup ~src entries;
+              let rh = Prelude.Stamp.make ~time ~pid:cpid in
+              match ls.mode with
+              | Catching_up ->
+                  ls.reply_hwms <- (src, rh) :: ls.reply_hwms;
+                  ls.awaiting <- List.filter (fun p -> p <> src) ls.awaiting;
+                  if ls.awaiting = [] then do_unfreeze ()
+              | Up ->
+                  (* Late reply after the timeout already thawed us: push
+                     back immediately instead of at thaw. *)
+                  push_back src rh
+              | Down -> ()));
+          loop ()
+      | Some (_, Invoke (op, trace, op_id, cell)) ->
+          (if ls.mode <> Up then Queue.push (op, trace, op_id, cell) ls.backlog
+           else submit op trace op_id cell);
+          loop ()
+      | Some (_, Crash_now) ->
+          (match ls.rec_mode with
+          | None -> ()  (* crash realisation is transport isolation only *)
+          | Some _ -> ls.mode <- Down);
+          loop ()
+      | Some (_, Recover_now) ->
+          (match (ls.rec_mode, ls.mode) with
+          | None, _ | _, Catching_up -> ()
+          | Some rc, (Up | Down) -> start_catchup rc);
+          loop ()
+      | Some (_, Snap_req f) ->
+          let v_applied =
+            List.rev_map
+              (fun ((e : Alg.entry), r) ->
+                ( e,
+                  r,
+                  Option.value ~default:0 (Hashtbl.find_opt ls.stamp_ids e.ts)
+                ))
+              ls.st.Alg.applied
+          in
+          f
+            {
+              v_obj = ls.st.Alg.local_obj;
+              v_hwm_time = ls.hwm.Prelude.Stamp.time;
+              v_hwm_pid = ls.hwm.Prelude.Stamp.pid;
+              v_applied;
+            };
           loop ()
       | Some (_, Stop) -> drain_on_stop ()
       | None -> (
@@ -175,9 +580,27 @@ module Make (D : Spec.Data_type.S) = struct
           | [] -> loop ()
           | e :: rest ->
               ls.timers <- rest;
-              let st', actions = Alg.on_timer cfg ls.st ~clock:(clock ()) e.timer in
-              ls.st <- st';
-              handle_actions ~trace:e.ttrace actions;
+              (match e.timer with
+              | Unfreeze_t ->
+                  if ls.mode = Catching_up then do_unfreeze ()
+              | Catchup_retry_t ->
+                  (match ls.rec_mode with
+                  | Some rc when ls.mode = Catching_up && ls.awaiting <> [] ->
+                      List.iter
+                        (fun peer ->
+                          Transport_intf.send transport ~trace:0 ~src:pid
+                            ~dst:peer (catchup_req ()))
+                        ls.awaiting;
+                      schedule_catchup_retry rc
+                  | _ -> ())
+              | A (Alg.Add _ as t) ->
+                  (* Self-delivery of an already-broadcast entry: enqueue
+                     even while frozen, keeping the local queue consistent
+                     with what peers received. *)
+                  fire_alg_timer t e.ttrace
+              | A t ->
+                  if ls.mode = Up then fire_alg_timer t e.ttrace
+                  else ls.deferred <- e :: ls.deferred);
               loop ())
     in
     loop ()
@@ -192,7 +615,7 @@ module Make (D : Spec.Data_type.S) = struct
     mutable node_stopped : bool;
   }
 
-  let node ~params ~transport ~pid ?(offset = 0) ?start_us () =
+  let node ~params ~transport ~pid ?(offset = 0) ?start_us ?recovery () =
     let start_us =
       match start_us with Some s -> s | None -> Prelude.Mclock.now_us ()
     in
@@ -202,15 +625,16 @@ module Make (D : Spec.Data_type.S) = struct
       node_start_us = start_us;
       node_domain =
         Domain.spawn (fun () ->
-            run_replica ~params ~transport ~start_us ~offset pid);
+            run_replica ~params ?recovery ~transport ~start_us ~offset pid);
       node_stopped = false;
     }
 
-  let invoke_on ?(trace = 0) transport ~pid op =
+  let invoke_on ?(trace = 0) ?(op_id = 0) transport ~pid op =
     let cell =
       { mutex = Mutex.create (); cond = Condition.create (); value = Pending }
     in
-    Transport_intf.post transport ~src:pid ~dst:pid (Invoke (op, trace, cell));
+    Transport_intf.post transport ~src:pid ~dst:pid
+      (Invoke (op, trace, op_id, cell));
     Mutex.lock cell.mutex;
     while cell.value = Pending do
       Condition.wait cell.cond cell.mutex
@@ -220,10 +644,11 @@ module Make (D : Spec.Data_type.S) = struct
     match v with
     | Done r -> r
     | Cancelled -> raise Stopped
+    | Rejected why -> raise (Retry_later why)
     | Pending -> assert false
 
-  let node_invoke ?trace node op =
-    invoke_on ?trace node.node_transport ~pid:node.node_pid op
+  let node_invoke ?trace ?op_id node op =
+    invoke_on ?trace ?op_id node.node_transport ~pid:node.node_pid op
 
   let node_stop node =
     if node.node_stopped then []
@@ -236,6 +661,15 @@ module Make (D : Spec.Data_type.S) = struct
 
   let node_elapsed_us node = Prelude.Mclock.now_us () - node.node_start_us
 
+  let post_crash transport ~pid =
+    Transport_intf.post transport ~src:pid ~dst:pid Crash_now
+
+  let post_recover transport ~pid =
+    Transport_intf.post transport ~src:pid ~dst:pid Recover_now
+
+  let request_snapshot transport ~pid f =
+    Transport_intf.post transport ~src:pid ~dst:pid (Snap_req f)
+
   (* ---- in-process cluster: n nodes sharing one bus transport ---- *)
 
   type cluster = {
@@ -247,7 +681,7 @@ module Make (D : Spec.Data_type.S) = struct
     mutable records : record list;
   }
 
-  let start ~params ?policy ?offsets ?wrap () =
+  let start ~params ?policy ?offsets ?wrap ?recovery () =
     let n = params.Core.Params.n in
     let offsets =
       match offsets with Some o -> Array.copy o | None -> Array.make n 0
@@ -273,15 +707,20 @@ module Make (D : Spec.Data_type.S) = struct
       start_us;
       nodes =
         Array.init n (fun pid ->
-            node ~params ~transport ~pid ~offset:offsets.(pid) ~start_us ());
+            node ~params ~transport ~pid ~offset:offsets.(pid) ~start_us
+              ?recovery ());
       stopped = false;
       records = [];
     }
 
-  let invoke ?trace cluster ~pid op = node_invoke ?trace cluster.nodes.(pid) op
+  let invoke ?trace ?op_id cluster ~pid op =
+    invoke_on ?trace ?op_id cluster.transport ~pid op
+
+  let crash cluster ~pid = post_crash cluster.transport ~pid
+  let recover cluster ~pid = post_recover cluster.transport ~pid
 
   module Client = struct
-    let invoke = invoke
+    let invoke ?trace cluster ~pid op = invoke ?trace cluster ~pid op
   end
 
   let stop cluster =

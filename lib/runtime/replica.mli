@@ -24,7 +24,39 @@
     invocation/response times (µs since cluster start); these feed the
     post-hoc linearizability check.  Replica-side intervals are contained
     in the client-observed ones, so a history that passes the check with
-    them is also linearizable from the clients' point of view. *)
+    them is also linearizable from the clients' point of view.
+
+    {2 Crash recovery (PR 5)}
+
+    With a {!recovery} configuration a replica becomes restartable:
+
+    - Algorithm 1's (timestamp, origin) total order makes the applied
+      history replayable; the [on_apply] hook sees every mutation in
+      exactly that order, which is what [Net.Serve] appends to the WAL.
+    - A restarted replica seeds itself from {!recovered_state} (decoded
+      snapshot + WAL), then {e catches up from peers}: it freezes,
+      broadcasts a catch-up request carrying its high-water mark (the
+      largest applied stamp), absorbs replies, and thaws when every peer
+      answered or [catchup_wait_us] expires.  At thaw it also pushes back
+      anything it holds above each replier's own high-water mark, so
+      anti-entropy converges both ways.
+    - Operation ids ride on every broadcast entry.  A client replaying an
+      operation id the replica already applied gets the recorded result; a
+      replay of a still-queued pure mutator is answered immediately (its
+      result is state-independent); a replay of a still-queued OOP raises
+      {!Retry_later}.  Accessors have no effect and are never deduped.
+    - While frozen, [Execute]/[Respond] timers are deferred (nothing
+      applies, keeping the high-water mark contiguous) and invokes are
+      backlogged; [Add] timers still fire, since they only mirror an
+      already-broadcast entry into the local queue.
+
+    Known gap, documented in DESIGN.md §11: a MOP is acknowledged ε + X
+    after invocation but applied (and therefore logged) only at d + ε, so
+    a whole-cluster crash inside that window can lose an acked mutator —
+    single-replica crashes cannot, because the broadcast survives on
+    peers.  Likewise, an origin that dies {e mid}-broadcast can leave an
+    entry at a strict subset of peers; catch-up re-spreads it unless every
+    holder already applied past its stamp (a sub-µs window). *)
 
 module Make (D : Spec.Data_type.S) : sig
   module Alg : module type of Core.Algorithm1.Make (D)
@@ -32,6 +64,12 @@ module Make (D : Spec.Data_type.S) : sig
   exception Stopped
   (** Raised by {!invoke}/{!node_invoke} when the replica shut down before
       responding (the operation is lost, not retried). *)
+
+  exception Retry_later of string
+  (** Raised by {!invoke_on} when a replayed operation id is still in
+      flight and its result is state-dependent: the client must back off
+      and retry — the first attempt will land, and the retry will then be
+      answered from the recorded result. *)
 
   type record = {
     pid : int;
@@ -43,19 +81,68 @@ module Make (D : Spec.Data_type.S) : sig
   }
 
   type event
-  (** What flows through a replica's transport: network entries, local
-      client invocations (which carry an unserialisable completion cell)
-      and the stop signal.  Only {!net} events ever cross a wire. *)
+  (** What flows through a replica's transport: network entries, catch-up
+      requests/replies, local client invocations (which carry an
+      unserialisable completion cell), crash/recover injections, snapshot
+      requests and the stop signal.  Only events with a {!wire_view} ever
+      cross a wire. *)
+
+  type snapshot_view = {
+    v_obj : D.state;  (** the object right now *)
+    v_hwm_time : int;  (** high-water mark stamp (−1 = nothing applied) *)
+    v_hwm_pid : int;
+    v_applied : (Alg.entry * D.result * int) list;
+        (** applied history with op ids, oldest first *)
+  }
+  (** A consistent cut of a replica's durable state, taken inside its own
+      event loop (see {!request_snapshot}) — what a checkpoint encodes. *)
+
+  type recovered_state = {
+    r_obj : D.state;
+    r_applied : (Alg.entry * D.result * int) list;  (** oldest first *)
+  }
+  (** The durable prefix a restarted replica seeds itself from: decoded
+      snapshot fast-forwarded by the WAL tail. *)
+
+  type recovery = {
+    catchup_wait_us : int;
+        (** freeze at most this long waiting for peer catch-up replies;
+            thaws early once every peer answered *)
+    on_apply : Alg.entry -> D.result -> int -> unit;
+        (** called for every mutation, in applied (timestamp) order, with
+            its op id (0 = none), {e before} the same protocol step's
+            response is released — the WAL-append hook *)
+    recovered : recovered_state option;  (** [None] = fresh boot *)
+  }
+
+  (** {2 Wire mapping}
+
+      The codec sees events through {!wire}: protocol entries (now
+      carrying the op id) plus the two catch-up frames.  Local-only
+      events have no wire view and must never reach an encoder. *)
+
+  type wire =
+    | Wire_entry of Alg.entry * int * int  (** entry, trace, op id *)
+    | Wire_catchup_req of { time : int; cpid : int }
+        (** asker's high-water mark *)
+    | Wire_catchup_rep of {
+        entries : (Alg.entry * int) list;  (** (entry, op id), stamp order *)
+        time : int;
+        cpid : int;  (** replier's high-water mark *)
+      }
+
+  val wire_view : event -> wire option
+  val of_wire : wire -> event
 
   val net : ?trace:int -> Alg.entry -> event
   (** Wrap a protocol message — what a TCP transport's decoder builds.
       [trace] (default none) is the originating operation's id, carried in
-      the wire format since codec v2 so cross-process spans reassemble. *)
+      the wire format since codec v2 so cross-process spans reassemble.
+      Equivalent to [of_wire (Wire_entry (e, trace, 0))]. *)
 
   val net_entry : event -> (Alg.entry * int) option
-  (** The protocol message and trace id of a {!net} event; [None] for the
-      local-only invocation/stop events (which must never reach an
-      encoder). *)
+  (** The protocol message and trace id of a {!net} event; [None]
+      otherwise. *)
 
   (** {2 Single node (one replica, any transport)} *)
 
@@ -67,18 +154,23 @@ module Make (D : Spec.Data_type.S) : sig
     pid:int ->
     ?offset:int ->
     ?start_us:int ->
+    ?recovery:recovery ->
     unit ->
     node
   (** Spawn one replica domain with identity [pid] over [transport].
       [offset] (default 0) is its clock offset in µs; [start_us] (default
       now) is the origin of its record timeline — the in-process cluster
-      passes one shared origin so all records are comparable. *)
+      passes one shared origin so all records are comparable.  [recovery]
+      enables the durability machinery (see the module docs); pass
+      {!post_recover} after the transport is connected to trigger peer
+      catch-up. *)
 
-  val node_invoke : ?trace:int -> node -> D.op -> D.result
+  val node_invoke : ?trace:int -> ?op_id:int -> node -> D.op -> D.result
   (** Synchronous client call on this node; queued behind any pending
       operation (the model allows one per process).  [trace] tags every
-      [Obs] event and outgoing message of this operation.  @raise Stopped
-      if the node shuts down first. *)
+      [Obs] event and outgoing message of this operation; [op_id] is the
+      idempotence key (see {!invoke_on}).  @raise Stopped if the node
+      shuts down first.  @raise Retry_later if a replay must back off. *)
 
   val node_stop : node -> record list
   (** Post the stop signal, join the domain, and return the node's
@@ -86,6 +178,30 @@ module Make (D : Spec.Data_type.S) : sig
       waiting are woken with {!Stopped}.  Idempotent ([[]] thereafter). *)
 
   val node_elapsed_us : node -> int
+
+  val invoke_on :
+    ?trace:int -> ?op_id:int -> event Transport_intf.t -> pid:int -> D.op ->
+    D.result
+  (** Synchronous client call posted straight to a transport — what
+      [Net.Serve] uses.  [op_id] (default 0 = none) identifies the client
+      operation for idempotent retries: invoking twice with the same id
+      executes once.  @raise Retry_later if a replay must back off;
+      @raise Stopped if the replica shuts down first. *)
+
+  val post_crash : event Transport_intf.t -> pid:int -> unit
+  (** Freeze replica [pid] as if it crashed: it drops network traffic,
+      defers its response/execute timers and backlogs invokes until
+      {!post_recover}.  The in-process realisation of a crash fault —
+      pair it with the chaos layer's transport isolation. *)
+
+  val post_recover : event Transport_intf.t -> pid:int -> unit
+  (** Thaw replica [pid] through the catch-up protocol (no-op without a
+      [recovery] config, or if already catching up). *)
+
+  val request_snapshot :
+    event Transport_intf.t -> pid:int -> (snapshot_view -> unit) -> unit
+  (** Ask replica [pid] for a consistent cut; the callback runs inside the
+      replica's own event loop, so it must be quick and may not invoke. *)
 
   (** {2 In-process cluster (n nodes on one bus)} *)
 
@@ -96,6 +212,7 @@ module Make (D : Spec.Data_type.S) : sig
     ?policy:Sim.Delay.t ->
     ?offsets:int array ->
     ?wrap:Transport_intf.wrapper ->
+    ?recovery:recovery ->
     unit ->
     cluster
   (** Spawn [params.n] replica domains connected by an in-process bus —
@@ -105,12 +222,20 @@ module Make (D : Spec.Data_type.S) : sig
       the timing guarantees to be targets.  [wrap] decorates the assembled
       transport (applied outermost, after the delay policy) — the hook the
       chaos layer ([Fault.Chaos_transport]) uses to inject faults; the
-      cluster's start time is passed as the wrapper's [start_us]. *)
+      cluster's start time is passed as the wrapper's [start_us].
+      [recovery] (shared by all nodes; [recovered] should be [None]) arms
+      the crash/recover/catch-up machinery for {!crash}/{!recover}. *)
 
-  val invoke : ?trace:int -> cluster -> pid:int -> D.op -> D.result
+  val invoke : ?trace:int -> ?op_id:int -> cluster -> pid:int -> D.op -> D.result
   (** Synchronous client call: block until replica [pid] responds.
       Concurrent invocations on one replica are queued — the model allows
-      one pending operation per process. *)
+      one pending operation per process.  See {!invoke_on} for [op_id]. *)
+
+  val crash : cluster -> pid:int -> unit
+  (** {!post_crash} on replica [pid]. *)
+
+  val recover : cluster -> pid:int -> unit
+  (** {!post_recover} on replica [pid]. *)
 
   module Client : sig
     val invoke : ?trace:int -> cluster -> pid:int -> D.op -> D.result

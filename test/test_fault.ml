@@ -287,6 +287,26 @@ let test_fault_free_chaos_is_linearizable () =
       Alcotest.failf "expected clean Safety_held, got %s"
         (Format.asprintf "%a" Fault.Assumption_monitor.pp_assessment a)
 
+let test_crash_recovery_linearizable () =
+  (* Same plan as the isolation test, but with the durability machinery
+     on: the crashed replica freezes instead of losing state, catches up
+     from its peers at restart, and clients replay timed-out operations
+     under their op ids.  The run must now end LINEARIZABLE — checked,
+     not excused. *)
+  let plan = plan_of "crash(1)@60ms;restart(1)@200ms" ~seed:2 in
+  let r =
+    Fault.Chaos_run.run ~workload:kv ~n:3 ~d:2000 ~u:500 ~plan ~recovery:true
+      ~ops:200 ~seed:3 ()
+  in
+  Alcotest.(check bool) "linearizable with recovery enabled" true
+    (Runtime.Loadgen.is_linearizable r.Fault.Chaos_run.run);
+  (match r.Fault.Chaos_run.assessment with
+  | Fault.Assumption_monitor.Safety_held _ -> ()
+  | a ->
+      Alcotest.failf "expected Safety_held, got %s"
+        (Format.asprintf "%a" Fault.Assumption_monitor.pp_assessment a));
+  Alcotest.(check bool) "run passes" true (Fault.Chaos_run.ok r)
+
 let test_seeded_runs_reproduce () =
   (* The acceptance bar: same seed ⇒ the same injected-fault log, down to
      the per-link message indices.  One worker keeps the per-link send
@@ -349,7 +369,7 @@ let test_violation_windows_respect_slack () =
   let offsets = [| 0; 100; 300 |] in
   let windows spec =
     Fault.Assumption_monitor.violations ~plan:(plan_of spec ~seed:1) ~params
-      ~net_d:2000 ~offsets
+      ~net_d:2000 ~offsets ()
   in
   Alcotest.(check int) "3ms spike absorbed by slack" 0
     (List.length (windows "spike(3ms)"));
@@ -360,6 +380,7 @@ let test_violation_windows_respect_slack () =
     Fault.Assumption_monitor.violations ~plan:(plan_of "skew(2,5ms)" ~seed:1)
       ~params ~net_d:2000
       ~offsets:[| 0; 100; 5300 |]
+      ()
   in
   Alcotest.(check int) "offset spread past ε violates" 1 (List.length skewed)
 
@@ -400,6 +421,8 @@ let () =
             test_partition_heals_never_genuine;
           Alcotest.test_case "crash/restart isolation" `Quick
             test_crash_restart_in_process;
+          Alcotest.test_case "crash/restart with recovery linearizes" `Quick
+            test_crash_recovery_linearizable;
           Alcotest.test_case "seeded runs reproduce bit-for-bit" `Quick
             test_seeded_runs_reproduce;
         ] );

@@ -95,7 +95,7 @@ let test_version_rejected_by_decoder () =
             msg
       | Net.Codec.Got _ | Net.Codec.Need_more _ ->
           Alcotest.failf "version %d frame must be Corrupt" v)
-    [ 1; 3; 255 ]
+    [ 1; 2; 4; 255 ]
 
 (* An old (v1) peer connecting to a live replica stack: the handshake must
    be rejected cleanly — connection closed, replica healthy for current
@@ -117,6 +117,9 @@ let test_version_rejected_by_handshake () =
         offset = 0;
         start_us = None;
         trace = None;
+        durable = None;
+        fsync = Durable.Wal.Never;
+        snapshot_every = 0;
         log = (fun _ -> ());
       }
   in
@@ -189,11 +192,30 @@ let msg_roundtrip_tests () =
           let trace = seed * 2654435761 land ((1 lsl 56) - 1) in
           List.for_all
             (fun (op, result) ->
-              roundtrip (C.Invoke { op; trace })
-              && roundtrip (C.Invoke { op; trace = 0 })
+              roundtrip (C.Invoke { op; trace; op_id = seed * 31 })
+              && roundtrip (C.Invoke { op; trace = 0; op_id = 0 })
               && roundtrip (C.Result result)
               && roundtrip
-                   (C.Entry { op; time = seed * 7919; pid = seed mod 16; trace }))
+                   (C.Entry
+                      {
+                        op;
+                        time = seed * 7919;
+                        pid = seed mod 16;
+                        trace;
+                        op_id = seed * 13;
+                      })
+              && roundtrip
+                   (C.Catchup_req { time = seed * 7919; cpid = seed mod 16 })
+              && roundtrip
+                   (C.Catchup_rep
+                      {
+                        entries =
+                          [ (op, seed * 7919, seed mod 16, seed * 17) ];
+                        time = (seed * 7919) - 1;
+                        cpid = (seed + 1) mod 16;
+                      })
+              && roundtrip
+                   (C.Catchup_rep { entries = []; time = -1; cpid = 0 }))
             (sampled_pairs seed 20)
           && roundtrip
                (C.Hello
@@ -227,7 +249,7 @@ let msg_roundtrip_tests () =
 
 let msg_corrupt_payloads =
   QCheck.Test.make ~count:300 ~name:"corrupt payloads error out, never raise"
-    QCheck.(pair (int_bound 6) (string_of_size Gen.(0 -- 64)))
+    QCheck.(pair (int_bound 8) (string_of_size Gen.(0 -- 64)))
     (fun (kind, payload) ->
       let module C = Net.Codec.Make (Net.Wire.Kv_codec) in
       match C.decode_payload { Net.Codec.kind; payload } with
@@ -261,6 +283,9 @@ let test_tcp_cluster_in_process () =
             offset = pid * 100;
             start_us;
             trace = None;
+            durable = None;
+            fsync = Durable.Wal.Never;
+            snapshot_every = 0;
             log = (fun _ -> ());
           })
   in
@@ -354,7 +379,8 @@ let test_tcp_reconnect_backoff () =
   let addrs = [| ("127.0.0.1", l0.Net.Tcp_transport.port); ("127.0.0.1", port1) |] in
   let t0 = mk ~me:0 ~listener:l0 ~addrs in
   let entry =
-    C.Entry { op = Spec.Register.Write 42; time = 1; pid = 0; trace = 7 }
+    C.Entry
+      { op = Spec.Register.Write 42; time = 1; pid = 0; trace = 7; op_id = 9 }
   in
   Runtime.Transport_intf.send t0 ~src:0 ~dst:1 entry;
   Prelude.Mclock.sleep_us 150_000 (* let several connect attempts fail *);
@@ -383,6 +409,115 @@ let test_tcp_reconnect_backoff () =
   Runtime.Transport_intf.close t0;
   Runtime.Transport_intf.close t1
 
+(* ---- durable restart over TCP ---- *)
+
+(* One replica stack with a durable directory: mutate, stop, restart on
+   the same directory — the WAL must bring the object back, and a client
+   replaying an op id must get the recorded result without a re-apply. *)
+let test_tcp_durable_restart_recovers () =
+  let module S = Net.Serve.Make (Net.Wire.Kv_wired) in
+  let module Cl = Net.Client.Make (Net.Wire.Kv_wired) in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tb-net-durable-%d" (Unix.getpid ()))
+  in
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ()
+    end
+  in
+  cleanup ();
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let params = Core.Params.make ~n:1 ~d:7000 ~u:5500 ~eps:0 ~x:0 () in
+  let recovered_line = ref false in
+  let cfg port =
+    {
+      Net.Serve.pid = 0;
+      addrs = [| ("127.0.0.1", port) |];
+      params;
+      offset = 0;
+      start_us = None;
+      trace = None;
+      durable = Some dir;
+      fsync = Durable.Wal.Always;
+      snapshot_every = 0;
+      log =
+        (fun s ->
+          let has_sub sub =
+            let ls = String.length sub and le = String.length s in
+            let rec go i =
+              i + ls <= le && (String.sub s i ls = sub || go (i + 1))
+            in
+            go 0
+          in
+          if has_sub "recovered" then recovered_line := true);
+    }
+  in
+  let invoke ?op_id conn op =
+    match Cl.invoke ?op_id conn op with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "invoke: %s" e
+  in
+  let l1 = Net.Tcp_transport.listen ~host:"127.0.0.1" ~port:0 in
+  let port = l1.Net.Tcp_transport.port in
+  let h1 = S.start ~listener:l1 (cfg port) in
+  (match Cl.connect ~host:"127.0.0.1" ~port () with
+  | Error e -> Alcotest.failf "connect: %s" e
+  | Ok conn ->
+      Alcotest.(check bool) "put 1" true
+        (invoke ~op_id:1 conn (Spec.Kv_map.Put (1, 10)) = Spec.Kv_map.Ack);
+      Alcotest.(check bool) "put 2" true
+        (invoke ~op_id:2 conn (Spec.Kv_map.Put (2, 20)) = Spec.Kv_map.Ack);
+      (* a replay of op id 2 is answered from the dedup table, not
+         re-applied: key 2 must keep the original value *)
+      Alcotest.(check bool) "replayed op id answered" true
+        (invoke ~op_id:2 conn (Spec.Kv_map.Put (2, 999)) = Spec.Kv_map.Ack);
+      Alcotest.(check bool) "replay did not re-apply" true
+        (invoke conn (Spec.Kv_map.Get 2) = Spec.Kv_map.Found 20);
+      Cl.close conn);
+  (* let every mutation reach its Execute timer and hence the WAL *)
+  Prelude.Mclock.sleep_us 100_000;
+  ignore (S.stop h1);
+  Alcotest.(check bool) "first boot is genesis, no recovery line" false
+    !recovered_line;
+  (* restart on the same directory (and port): state must come back *)
+  let l2 = Net.Tcp_transport.listen ~host:"127.0.0.1" ~port in
+  let h2 = S.start ~listener:l2 (cfg port) in
+  Alcotest.(check bool) "restart logs recovery" true !recovered_line;
+  (match Cl.connect ~host:"127.0.0.1" ~port () with
+  | Error e -> Alcotest.failf "reconnect: %s" e
+  | Ok conn ->
+      Alcotest.(check bool) "key 1 recovered" true
+        (invoke conn (Spec.Kv_map.Get 1) = Spec.Kv_map.Found 10);
+      Alcotest.(check bool) "key 2 recovered" true
+        (invoke conn (Spec.Kv_map.Get 2) = Spec.Kv_map.Found 20);
+      (* dedup state is durable too: a replay from before the crash is
+         still recognised after the restart *)
+      Alcotest.(check bool) "pre-crash op id recognised" true
+        (invoke ~op_id:1 conn (Spec.Kv_map.Put (1, 777)) = Spec.Kv_map.Ack);
+      Alcotest.(check bool) "pre-crash replay not re-applied" true
+        (invoke conn (Spec.Kv_map.Get 1) = Spec.Kv_map.Found 10);
+      Cl.close conn);
+  ignore (S.stop h2)
+
+let test_client_retry_classification () =
+  let module Cl = Net.Client.Make (Net.Wire.Kv_wired) in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) (e ^ " is retryable") true (Cl.retryable e))
+    [
+      "timeout waiting for reply";
+      "connection lost";
+      "connection closed by replica";
+      "replica error: retry: operation 7 in flight";
+    ];
+  Alcotest.(check bool) "semantic errors are not retryable" false
+    (Cl.retryable "replica error: unknown op")
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -405,5 +540,12 @@ let () =
             test_tcp_cluster_in_process;
           Alcotest.test_case "reconnect with backoff" `Quick
             test_tcp_reconnect_backoff;
+        ] );
+      ( "durable",
+        [
+          Alcotest.test_case "restart recovers from the durable dir" `Quick
+            test_tcp_durable_restart_recovers;
+          Alcotest.test_case "retryable error classification" `Quick
+            test_client_retry_classification;
         ] );
     ]
