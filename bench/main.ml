@@ -143,6 +143,7 @@ module Codec_bench = struct
             pid = i mod 5;
             trace = i * 1_048_583;
             op_id = i + 1;
+            shard = i mod 8;
           })
 
   let blob = String.concat "" (List.map C.encode entries)
@@ -351,26 +352,134 @@ let durable_tests =
     Durable_bench.snapshot_test;
   ]
 
-let benchmark () =
+(* Shard group: the sharded namespace's hot paths.  [ring-route] and
+   [directory-locate] sit on every client invocation of a sharded cluster
+   (pure hashing + binary search — no directory service round-trip), and
+   [zipf-sample] on every loadgen draw; their throughput bounds the op
+   rate one client domain can source.  The aggregate/per-shard numbers a
+   `timebounds shards` run reports come from a cluster of these plus the
+   usual replica machinery. *)
+module Shard_bench = struct
+  let ring =
+    Shard.Ring.make ~vnodes:64 ~seed:42 ~members:(List.init 64 Fun.id) ()
+
+  let dir = Shard.Directory.make ~vnodes:64 ~seed:42 ~shards:64 ~n:5 ()
+  let zipf = Runtime.Workloads.Zipf.make ~n:1_000_000 ~theta:0.99
+
+  let route_test =
+    Test.make ~name:"ring-route-10k"
+      (Staged.stage (fun () ->
+           for i = 1 to 10_000 do
+             ignore (Shard.Ring.route ring (i * 2654435761))
+           done))
+
+  let locate_test =
+    Test.make ~name:"directory-locate-10k"
+      (Staged.stage (fun () ->
+           for i = 1 to 10_000 do
+             ignore (Shard.Directory.locate dir ~key:(i * 40503))
+           done))
+
+  let zipf_test =
+    Test.make ~name:"zipf-sample-10k"
+      (Staged.stage (fun () ->
+           let rng = Prelude.Rng.make 7 in
+           for _ = 1 to 10_000 do
+             ignore (Runtime.Workloads.Zipf.sample zipf rng)
+           done))
+
+  let rebuild_test =
+    Test.make ~name:"ring-add-member-64x64"
+      (Staged.stage (fun () -> ignore (Shard.Ring.add ring 64)))
+end
+
+let shard_tests =
+  [
+    Shard_bench.route_test;
+    Shard_bench.locate_test;
+    Shard_bench.zipf_test;
+    Shard_bench.rebuild_test;
+  ]
+
+let groups =
+  [
+    ("experiments", tests);
+    ("throughput", throughput_tests);
+    ("runtime", runtime_tests);
+    ("codec", codec_tests);
+    ("fault", fault_tests);
+    ("obs", obs_tests);
+    ("durable", durable_tests);
+    ("shard", shard_tests);
+  ]
+
+let benchmark_group (name, group_tests) =
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
   let instances = Instance.[ monotonic_clock ] in
-  let grouped =
-    Test.make_grouped ~name:"bench"
-      [
-        Test.make_grouped ~name:"experiments" tests;
-        Test.make_grouped ~name:"throughput" throughput_tests;
-        Test.make_grouped ~name:"runtime" runtime_tests;
-        Test.make_grouped ~name:"codec" codec_tests;
-        Test.make_grouped ~name:"fault" fault_tests;
-        Test.make_grouped ~name:"obs" obs_tests;
-        Test.make_grouped ~name:"durable" durable_tests;
-      ]
+  let raw =
+    Benchmark.all cfg instances (Test.make_grouped ~name group_tests)
   in
-  let raw = Benchmark.all cfg instances grouped in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   Analyze.all ols Instance.monotonic_clock raw
+
+(* Machine-readable results, one BENCH_<group>.json per group so CI can
+   diff a single subsystem's numbers without parsing the whole log. *)
+let rows_of_results results =
+  Hashtbl.fold
+    (fun name ols acc ->
+      let est =
+        match Analyze.OLS.estimates ols with Some [ e ] -> Some e | _ -> None
+      in
+      let r2 = Analyze.OLS.r_square ols in
+      (name, est, r2) :: acc)
+    results []
+  |> List.sort compare
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json group results =
+  let rows = rows_of_results results in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"group\": \"%s\", \"unit\": \"ns/run\", \"results\": ["
+       (json_escape group));
+  List.iteri
+    (fun i (name, est, r2) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf "{\"name\": \"%s\", \"ns_per_run\": %s, \"r2\": %s}"
+           (json_escape name)
+           (match est with
+           | Some e when Float.is_finite e -> Printf.sprintf "%.1f" e
+           | _ -> "null")
+           (match r2 with
+           | Some r when Float.is_finite r -> Printf.sprintf "%.4f" r
+           | _ -> "null")))
+    rows;
+  Buffer.add_string b "]}";
+  let json = Buffer.contents b in
+  let path = Printf.sprintf "BENCH_%s.json" group in
+  match Obs.Json.validate json with
+  | Ok () ->
+      Out_channel.with_open_bin path (fun oc -> output_string oc json);
+      Format.printf "  wrote %s@." path;
+      true
+  | Error e ->
+      Format.eprintf "internal error: %s would not be valid JSON: %s@." path e;
+      false
 
 let () =
   Format.printf "=== Paper artifacts (Tables I-IV, Figures 1-17) ===@.@.";
@@ -386,15 +495,20 @@ let () =
        ^ String.concat ", " (List.map (fun (r : Experiments.Report.t) -> r.id) bad)
        ^ ")");
   Format.printf "=== Wall-clock cost per experiment (Bechamel OLS) ===@.";
-  let results = benchmark () in
-  Hashtbl.iter
-    (fun name ols ->
-      match Analyze.OLS.estimates ols with
-      | Some [ est ] ->
-          Format.printf "  %-28s %10.3f ms/run (r²=%s)@." name (est /. 1e6)
-            (match Analyze.OLS.r_square ols with
-            | Some r2 -> Printf.sprintf "%.3f" r2
-            | None -> "n/a")
-      | _ -> Format.printf "  %-28s (no estimate)@." name)
-    results;
-  if bad <> [] then exit 1
+  let json_ok = ref true in
+  List.iter
+    (fun ((group, _) as g) ->
+      let results = benchmark_group g in
+      List.iter
+        (fun (name, est, r2) ->
+          match est with
+          | Some est ->
+              Format.printf "  %-36s %10.3f ms/run (r²=%s)@." name (est /. 1e6)
+                (match r2 with
+                | Some r2 -> Printf.sprintf "%.3f" r2
+                | None -> "n/a")
+          | None -> Format.printf "  %-36s (no estimate)@." name)
+        (rows_of_results results);
+      if not (write_bench_json group results) then json_ok := false)
+    groups;
+  if bad <> [] || not !json_ok then exit 1

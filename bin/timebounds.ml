@@ -793,6 +793,338 @@ let trace_cmd () =
           ~params:run.Runtime.Loadgen.params ~windows:[] (contents ())
       end
 
+(* ---- shards ---- *)
+
+(* [timebounds shards serve]: one replica process hosting [--shards]
+   independent Algorithm-1 instances multiplexed over the shared per-peer
+   TCP links (normally forked by [shards cluster]). *)
+let shards_serve argv =
+  let prog = "timebounds shards serve" in
+  let specs =
+    [
+      Cli.value "pid" "this replica's id, 0-based (required)";
+      Cli.value "peers"
+        "every replica's address as host:port,host:port,... (required; \
+         index = pid)";
+      Cli.value "shards" "number of shard instances to host (required)";
+      Cli.value "object"
+        (Printf.sprintf "wire object (%s; default kv)"
+           (String.concat "|" Net.Wire.names));
+    ]
+    @ timing_specs
+    @ [
+        Cli.value "offset" "this replica's clock offset, µs (default 0)";
+        Cli.value "epoch"
+          "shared clock epoch, µs on the wall clock (default: now)";
+        Cli.value "watch-parent" "exit when this OS pid disappears";
+        Cli.value "chaos"
+          "fault plan spec; scope a rule to one shard with %K, e.g. \
+           'drop(20)%3@0.2s-0.6s' (see `timebounds chaos --help`)";
+        Cli.value "chaos-seed" "seed for the fault plan (default 0)";
+        Cli.value "trace"
+          "write this replica's observability events to FILE";
+        Cli.value "durable"
+          "durable root directory; each shard persists under \
+           <root>/shard-<k>";
+        Cli.value "fsync"
+          "WAL fsync policy: always | interval[:N] | never (default \
+           interval)";
+        Cli.value "snapshot-every"
+          "checkpoint after this many WAL records (default 1024; 0 = never)";
+        Cli.flag "quiet" "suppress per-replica logging";
+      ]
+  in
+  let c = Cli.parse ~prog ~specs argv in
+  let pid =
+    match Cli.int_opt c "pid" with
+    | Some p -> p
+    | None -> Cli.fail c "--pid is required"
+  in
+  let addrs =
+    match Cli.str_opt c "peers" with
+    | Some v -> Cli.peers c "peers" v
+    | None -> Cli.fail c "--peers is required"
+  in
+  let n = Array.length addrs in
+  if pid < 0 || pid >= n then
+    Cli.fail c (Printf.sprintf "--pid %d out of range for %d peers" pid n);
+  let shards =
+    match Cli.int_opt c "shards" with
+    | Some s when s >= 1 -> s
+    | Some _ -> Cli.fail c "--shards must be >= 1"
+    | None -> Cli.fail c "--shards is required"
+  in
+  let obj = Cli.str c "object" ~default:"kv" in
+  match Net.Wire.find obj with
+  | None ->
+      Format.eprintf "unknown wire object %s (have: %s)@." obj
+        (String.concat ", " Net.Wire.names);
+      exit 1
+  | Some (module W : Net.Wire.WIRED) ->
+      let d, u, eps, x, slack = timing_args c in
+      let eps =
+        match eps with Some e -> e | None -> Core.Params.optimal_eps ~n ~u
+      in
+      let params =
+        Core.Params.make ~n ~d:(d + slack) ~u:(u + slack) ~eps ~x ()
+      in
+      let offset = Cli.int c "offset" ~default:0 in
+      let start_us = Cli.int_opt c "epoch" in
+      let watch_parent = Cli.int_opt c "watch-parent" in
+      let log =
+        if Cli.given c "quiet" then fun _ -> ()
+        else fun s -> Printf.eprintf "[shards] %s\n%!" s
+      in
+      let chaos =
+        match Cli.str_opt c "chaos" with
+        | None -> None
+        | Some spec -> (
+            let cseed = Cli.int c "chaos-seed" ~default:0 in
+            match Fault.Fault_plan.compile ~seed:cseed ~spec with
+            | Error e -> Cli.fail c ("bad --chaos plan: " ^ e)
+            | Ok plan -> Some plan)
+      in
+      let trace = Cli.str_opt c "trace" in
+      let durable = Cli.str_opt c "durable" in
+      let fsync =
+        match
+          Durable.Wal.fsync_of_string (Cli.str c "fsync" ~default:"interval")
+        with
+        | Ok f -> f
+        | Error e -> Cli.fail c ("bad --fsync: " ^ e)
+      in
+      let snapshot_every = Cli.int c "snapshot-every" ~default:1024 in
+      let module H = Shard.Host.Make (W) in
+      H.run_until_signalled ?watch_parent
+        {
+          Shard.Host.pid;
+          shards;
+          addrs;
+          params;
+          offset;
+          start_us;
+          trace;
+          durable;
+          fsync;
+          snapshot_every;
+          chaos;
+          log;
+        }
+
+(* Per-shard bound attribution over a sharded cluster's merged trace: the
+   load generator mints each trace id with the target shard in the origin
+   bits, so partitioning the event stream by [Trace_id.origin] and running
+   the analyzer per group attributes every latency to its shard. *)
+let shards_attribute ~params ~grace ~windows events =
+  let report = Obs.Analyze.check ~params ~grace_us:grace ~windows events in
+  Format.printf "%a@." Obs.Analyze.pp_report report;
+  let by_shard : (int, Obs.Event.t list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Obs.Event.t) ->
+      if e.Obs.Event.trace <> 0 then begin
+        let k = Obs.Trace_id.origin e.Obs.Event.trace in
+        Hashtbl.replace by_shard k
+          (e :: Option.value ~default:[] (Hashtbl.find_opt by_shard k))
+      end)
+    events;
+  Hashtbl.fold (fun k evs acc -> (k, List.rev evs) :: acc) by_shard []
+  |> List.sort compare
+  |> List.iter (fun (k, evs) ->
+         let r = Obs.Analyze.check ~params ~grace_us:grace ~windows evs in
+         Format.printf
+           "  shard %3d: %3d spans  %d within, %d violated, %d excused, %d \
+            incomplete@."
+           k r.Obs.Analyze.total
+           (r.Obs.Analyze.total - r.Obs.Analyze.violations
+          - r.Obs.Analyze.excused - r.Obs.Analyze.incomplete)
+           r.Obs.Analyze.violations r.Obs.Analyze.excused
+           r.Obs.Analyze.incomplete);
+  report
+
+let shards_load ~drive_only argv =
+  let prog =
+    if drive_only then "timebounds shards loadgen"
+    else "timebounds shards cluster"
+  in
+  let specs =
+    [
+      Cli.value "n" "number of replica processes (default 3)";
+      Cli.value "shards" "independent object instances (default 8)";
+      Cli.value "keys" "key-space size for the zipfian draw (default 100000)";
+      Cli.value "theta"
+        "zipfian skew in [0,1); 0 = uniform (default 0.99, YCSB-style)";
+      Cli.value "vnodes" "virtual nodes per ring member (default 64)";
+      Cli.value "ring-seed" "consistent-hash ring seed (default 42)";
+    ]
+    @ timing_specs
+    @ [
+        Cli.value "ops" "total operations (default 2000)";
+        Cli.value "mix" "mutator:accessor:other weights (default 50:40:10)";
+        Cli.value "workers" "closed-loop client domains; default n";
+        Cli.value "round" "operations per quiescent round (default 24)";
+        Cli.value "seed" "RNG seed (default 1)";
+        Cli.value "host" "bind/connect host (default 127.0.0.1)";
+        Cli.value "base-port" "first replica port (default 7800)";
+      ]
+    @ (if drive_only then []
+       else
+         [
+           Cli.value "chaos"
+             "fault plan forwarded to every host; scope rules to one shard \
+              with %K (see `timebounds chaos --help`)";
+           Cli.value "chaos-seed" "seed for the plan's coin flips (default: seed)";
+           Cli.value "trace-dir"
+             "record per-replica traces here; enables per-shard bound \
+              attribution";
+           Cli.value "grace"
+             "scheduling allowance over each bound, µs (default: slack)";
+           Cli.value "chrome" "export Chrome trace-event JSON to FILE";
+           Cli.value "prom" "export Prometheus text metrics to FILE";
+           Cli.value "durable"
+             "directory for durable state, per replica and shard; clients \
+              switch to idempotent retries";
+           Cli.value "fsync"
+             "WAL fsync policy: always | interval[:N] | never (default \
+              interval)";
+           Cli.value "snapshot-every"
+             "checkpoint after this many WAL records (default 1024; 0 = \
+              never)";
+         ])
+    @ [ Cli.flag "verbose" "log child lifecycle to stderr" ]
+  in
+  let c = Cli.parse ~prog ~specs argv in
+  let n = Cli.int c "n" ~default:3 in
+  let shards = Cli.int c "shards" ~default:8 in
+  let keys = Cli.int c "keys" ~default:100_000 in
+  let theta =
+    match float_of_string_opt (Cli.str c "theta" ~default:"0.99") with
+    | Some t when t >= 0. && t < 1. -> t
+    | _ -> Cli.fail c "--theta must be a float in [0, 1)"
+  in
+  let vnodes = Cli.int c "vnodes" ~default:64 in
+  let ring_seed = Cli.int c "ring-seed" ~default:42 in
+  let d, u, eps, x, slack = timing_args c in
+  let ops = Cli.int c "ops" ~default:2000 in
+  let mix = Cli.mix c "mix" ~default:(50, 40, 10) in
+  let workers = Cli.int_opt c "workers" in
+  let round = Cli.int c "round" ~default:24 in
+  let seed = Cli.int c "seed" ~default:1 in
+  let host = Cli.str c "host" ~default:"127.0.0.1" in
+  let base_port = Cli.int c "base-port" ~default:7800 in
+  let log =
+    if Cli.given c "verbose" then fun s -> Printf.eprintf "[shards] %s\n%!" s
+    else fun _ -> ()
+  in
+  let abort = Atomic.make false in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> Atomic.set abort true));
+  if drive_only then begin
+    let report =
+      Shard.Shard_cluster.drive ~n ~shards ~keys ~theta ~vnodes ~ring_seed ~d
+        ~u ?eps ~x ~slack ?workers ~round ~mix ~host ~base_port ~log ~abort
+        ~ops ~seed ()
+    in
+    Format.printf "%a@." Shard.Shard_cluster.pp_report report;
+    if not (Shard.Shard_cluster.ok report) then exit 1
+  end
+  else begin
+    let plan =
+      match Cli.str_opt c "chaos" with
+      | None -> None
+      | Some spec -> (
+          let cseed = Cli.int c "chaos-seed" ~default:seed in
+          match Fault.Fault_plan.compile ~seed:cseed ~spec with
+          | Error e -> Cli.fail c ("bad --chaos plan: " ^ e)
+          | Ok p -> Some p)
+    in
+    let trace_dir = Cli.str_opt c "trace-dir" in
+    let grace = Cli.int c "grace" ~default:slack in
+    let durable_dir = Cli.str_opt c "durable" in
+    let fsync = Cli.str c "fsync" ~default:"interval" in
+    (match Durable.Wal.fsync_of_string fsync with
+    | Ok _ -> ()
+    | Error e -> Cli.fail c ("bad --fsync: " ^ e));
+    let snapshot_every = Cli.int c "snapshot-every" ~default:1024 in
+    let report =
+      Shard.Shard_cluster.run ~n ~shards ~keys ~theta ~vnodes ~ring_seed ~d ~u
+        ?eps ~x ~slack ?workers ~round ~mix ~host ~base_port ~log ~abort ?plan
+        ?trace_dir ?durable_dir ~fsync ~snapshot_every ~ops ~seed ()
+    in
+    Format.printf "%a@." Shard.Shard_cluster.pp_report report;
+    let analysis_ok =
+      match trace_dir with
+      | None -> true
+      | Some tdir ->
+          let events =
+            List.concat_map
+              (fun i ->
+                let path =
+                  Filename.concat tdir (Printf.sprintf "replica-%d.trace" i)
+                in
+                if Sys.file_exists path then Obs.Recorder.read_file path
+                else [])
+              (List.init n Fun.id)
+            |> List.stable_sort (fun (a : Obs.Event.t) (b : Obs.Event.t) ->
+                   compare a.Obs.Event.t_us b.Obs.Event.t_us)
+          in
+          Format.printf "@.merged %d events from %s@." (List.length events)
+            tdir;
+          let windows =
+            match plan with
+            | None -> []
+            | Some p ->
+                Fault.Assumption_monitor.violations ~plan:p
+                  ~params:report.Shard.Shard_cluster.params ~net_d:d
+                  ~offsets:report.Shard.Shard_cluster.offsets ()
+                |> List.map (fun (v : Fault.Assumption_monitor.violation) ->
+                       ( v.Fault.Assumption_monitor.label,
+                         v.Fault.Assumption_monitor.v_from_us,
+                         v.Fault.Assumption_monitor.v_until_us ))
+          in
+          let analysis =
+            shards_attribute
+              ~params:report.Shard.Shard_cluster.params ~grace ~windows
+              events
+          in
+          let export_ok = ref true in
+          (match Cli.str_opt c "chrome" with
+          | None -> ()
+          | Some path -> (
+              let json = Obs.Export.chrome ~report:analysis ~events in
+              match Obs.Json.validate json with
+              | Ok () ->
+                  Out_channel.with_open_bin path (fun oc ->
+                      output_string oc json);
+                  Format.printf "chrome trace: %s (%d bytes)@." path
+                    (String.length json)
+              | Error e ->
+                  Format.eprintf
+                    "internal error: chrome export is not valid JSON: %s@." e;
+                  export_ok := false));
+          (match Cli.str_opt c "prom" with
+          | None -> ()
+          | Some path ->
+              let text = Obs.Export.prometheus ~report:analysis () in
+              Out_channel.with_open_bin path (fun oc -> output_string oc text);
+              Format.printf "metrics: %s@." path);
+          analysis.Obs.Analyze.violations = 0 && !export_ok
+    in
+    if not (Shard.Shard_cluster.ok report && analysis_ok) then exit 1
+  end
+
+let shards_cmd () =
+  match Array.to_list Sys.argv with
+  | _ :: _ :: "serve" :: rest -> shards_serve rest
+  | _ :: _ :: "cluster" :: rest -> shards_load ~drive_only:false rest
+  | _ :: _ :: "loadgen" :: rest -> shards_load ~drive_only:true rest
+  | _ :: _ :: mode :: _ when String.length mode > 0 && mode.[0] <> '-' ->
+      Format.eprintf
+        "unknown shards mode %s (expected serve, cluster or loadgen)@." mode;
+      exit 2
+  | _ :: _ :: rest ->
+      (* bare `timebounds shards [flags]` defaults to cluster mode *)
+      shards_load ~drive_only:false rest
+  | _ -> shards_load ~drive_only:false []
+
 (* ---- dispatch ---- *)
 
 let usage ?(status = 2) () =
@@ -811,6 +1143,9 @@ let usage ?(status = 2) () =
     \  chaos       run live/cluster under a seeded fault-injection plan\n\
     \  recover     inspect a replica's durable directory (WAL + snapshots)\n\
     \  trace       record a traced run, decompose latency, attribute bounds\n\
+    \  shards      sharded namespace: many instances behind a consistent-hash\n\
+    \              ring (modes: serve | cluster | loadgen; zipfian load,\n\
+    \              per-shard latency, verdicts and bound attribution)\n\
      run `timebounds <command> --help` for the command's options\n";
   exit status
 
@@ -829,6 +1164,7 @@ let () =
   | "chaos" -> chaos_cmd ()
   | "recover" -> recover_cmd ()
   | "trace" -> trace_cmd ()
+  | "shards" -> shards_cmd ()
   | "--help" | "-h" | "help" -> usage ~status:0 ()
   | other ->
       Format.eprintf "unknown command %s@." other;

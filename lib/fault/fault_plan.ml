@@ -19,6 +19,7 @@ type rule = {
   id : int;
   kind : kind;
   link : link_filter;
+  shard : int option;  (** [%k] scope: [None] = every shard *)
   from_us : int;
   until_us : int;
 }
@@ -184,6 +185,17 @@ let parse_rule id s =
             ( String.sub rest 0 i,
               Some (String.sub rest (i + 1) (String.length rest - i - 1)) )
       in
+      (* The shard scope sits between the link and the window:
+         name(args)[/link][%shard][@window]. *)
+      let link_part, shard_part =
+        match String.index_opt link_part '%' with
+        | None -> (link_part, None)
+        | Some i ->
+            ( String.sub link_part 0 i,
+              Some
+                (String.sub link_part (i + 1) (String.length link_part - i - 1))
+            )
+      in
       let link_part = String.trim link_part in
       let link =
         if link_part = "" then Ok any_link
@@ -191,15 +203,24 @@ let parse_rule id s =
           parse_link (String.sub link_part 1 (String.length link_part - 1))
         else Error (Printf.sprintf "unexpected %S after %s(...)" link_part name)
       in
+      let shard =
+        match shard_part with
+        | None -> Ok None
+        | Some s -> (
+            match int_of_string_opt (String.trim s) with
+            | Some k when k >= 0 -> Ok (Some k)
+            | _ -> Error (Printf.sprintf "bad shard scope %%%s" s))
+      in
       let window =
         match window_part with
         | None -> Ok (0, max_int)
         | Some w -> parse_window w
       in
-      match (parse_kind name args, link, window) with
-      | Ok kind, Ok link, Ok (from_us, until_us) ->
-          Ok { id; kind; link; from_us; until_us }
-      | Error e, _, _ | _, Error e, _ | _, _, Error e ->
+      match (parse_kind name args, link, shard, window) with
+      | Ok kind, Ok link, Ok shard, Ok (from_us, until_us) ->
+          Ok { id; kind; link; shard; from_us; until_us }
+      | Error e, _, _, _ | _, Error e, _, _ | _, _, Error e, _ | _, _, _, Error e
+        ->
           Error (Printf.sprintf "rule %d (%s): %s" (id + 1) s e))
   | _ -> Error (Printf.sprintf "rule %d: missing (...) in %S" (id + 1) s)
 
@@ -265,6 +286,28 @@ let rules t = t.plan_rules
 let is_empty t = t.plan_rules = []
 let crash_schedule t = t.crashes
 let rule_label = label
+
+(* Project the plan onto one shard of a sharded host: keep unscoped rules
+   and those scoped [%k].  Rule ids are preserved — they are hash salt, so
+   shard k's surviving rules make the same per-message coin flips they
+   would in the full plan — and the crash schedule is recomputed from the
+   survivors. *)
+let for_shard t k =
+  let plan_rules =
+    List.filter
+      (fun r -> match r.shard with None -> true | Some s -> s = k)
+      t.plan_rules
+  in
+  let crashes =
+    List.filter_map
+      (fun r ->
+        match r.kind with
+        | Crash p -> Some (p, r.from_us, r.until_us)
+        | _ -> None)
+      plan_rules
+    |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+  in
+  { t with plan_rules; crashes }
 
 (* ---- the decision function ---- *)
 
@@ -355,13 +398,18 @@ let pp fmt t =
                 (match f with None -> "*" | Some p -> string_of_int p)
                 (match to_ with None -> "*" | Some p -> string_of_int p)
         in
+        let scope =
+          match r.shard with
+          | None -> ""
+          | Some k -> Printf.sprintf " shard %d only" k
+        in
         let window =
           if r.from_us = 0 && r.until_us = max_int then " (whole run)"
           else if r.until_us = max_int then
             Printf.sprintf " @ %dµs.." r.from_us
           else Printf.sprintf " @ %d..%dµs" r.from_us r.until_us
         in
-        Format.fprintf fmt "  %s%s%s@," (label r) link window)
+        Format.fprintf fmt "  %s%s%s%s@," (label r) link scope window)
       t.plan_rules;
     Format.fprintf fmt "@]"
   end

@@ -12,9 +12,10 @@
 
     {v
     plan    := rule (';' rule)*
-    rule    := name '(' args ')' [ '/' link ] [ '@' window ]
+    rule    := name '(' args ')' [ '/' link ] [ '%' shard ] [ '@' window ]
     name    := drop | dup | spike | jitter | partition | crash | restart | skew
     link    := src '>' dst          src, dst := pid | '*'
+    shard   := shard id (sharded hosts only; see {!for_shard})
     window  := time [ '-' time ]    time := number ['us'|'ms'|'s']
     v}
 
@@ -55,6 +56,9 @@ type rule = {
   id : int;  (** position in the spec, part of the hash salt *)
   kind : kind;
   link : link_filter;
+  shard : int option;
+      (** [%k] scope: the rule only applies to shard [k]'s transport on a
+          sharded host; [None] = every shard (and every unsharded run) *)
   from_us : int;
   until_us : int;  (** [max_int] = open-ended *)
 }
@@ -76,6 +80,14 @@ val is_empty : t -> bool
 val rule_label : rule -> string
 (** Short stable label, e.g. ["drop(30%)#0"] — used in fault logs and
     violation windows. *)
+
+val for_shard : t -> int -> t
+(** The plan as seen by shard [k] of a sharded host: unscoped rules plus
+    those scoped [%k], with rule ids (the hash salt) preserved so the
+    surviving rules flip the same per-message coins as in the full plan.
+    A sharded host wraps shard [k]'s transport with
+    [Chaos_transport.create (for_shard plan k)] — and skips the wrapper
+    entirely when the projection {!is_empty}. *)
 
 type decision = {
   drop : string option;  (** [Some label] when the message must be lost *)

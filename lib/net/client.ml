@@ -89,10 +89,15 @@ module Make (W : Wire.WIRED) = struct
   let rpc t msg =
     match send t msg with Error e -> Error e | Ok () -> recv t
 
-  let invoke ?(trace = 0) ?(op_id = 0) ?timeout_us t op =
+  let invoke ?(trace = 0) ?(op_id = 0) ?(shard = 0) ?timeout_us t op =
     set_timeout t timeout_us;
-    match rpc t (C.Invoke { op; trace; op_id }) with
-    | Ok (C.Result r) -> Ok r
+    match rpc t (C.Invoke { op; trace; op_id; shard }) with
+    | Ok (C.Result { result; shard = rs }) ->
+        if rs = shard then Ok result
+        else
+          Error
+            (Printf.sprintf "replica error: shard mismatch (sent %d, got %d)"
+               shard rs)
     | Ok (C.Error_msg e) -> Error ("replica error: " ^ e)
     | Ok m -> Error (Format.asprintf "unexpected reply %a" C.pp_msg m)
     | Error e -> Error e

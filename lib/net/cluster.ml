@@ -762,29 +762,8 @@ module Make (W : Wire.WIRED) = struct
         Gen.check_history ?initial:durable_initial sorted
           (List.sort compare !cuts)
     in
-    let t = params.Core.Params.timing in
-    let faulty i = if fault_windows = [] then None else Some merged.(i + 3) in
     let classes =
-      [
-        {
-          Runtime.Loadgen.class_name = "MOP";
-          target_us = t.Core.Params.mutator_wait;
-          hist = merged.(0);
-          faulty = faulty 0;
-        };
-        {
-          Runtime.Loadgen.class_name = "AOP";
-          target_us = t.Core.Params.accessor_wait;
-          hist = merged.(1);
-          faulty = faulty 1;
-        };
-        {
-          Runtime.Loadgen.class_name = "OOP";
-          target_us = params.Core.Params.d + params.Core.Params.eps;
-          hist = merged.(2);
-          faulty = faulty 2;
-        };
-      ]
+      Runtime.Loadgen.classes_of ~params ~windowed:(fault_windows <> []) merged
     in
     {
       label = W.L.label;

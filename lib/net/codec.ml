@@ -15,10 +15,14 @@
    traces reassemble into cross-replica spans.  v3: Entry and Invoke also
    carry the client operation id (one varint, 0 = none) for idempotent
    retries, and two catch-up frame kinds (7, 8) implement peer
-   anti-entropy after a crash.  Peers speaking older versions are rejected
-   at decode ("unsupported version N"), which the handshake turns into a
-   clean [Error_msg] rather than a crash. *)
-let version = 3
+   anti-entropy after a crash.  v4: every op/ack/catch-up payload gains a
+   trailing shard id (one varint, 0 = the only shard) so many Algorithm 1
+   instances multiplex over one per-peer link, and the hello carries the
+   sender's shard count for handshake-time topology agreement.  Peers
+   speaking older versions are rejected at decode ("unsupported version
+   N"), which the handshake turns into a clean [Error_msg] rather than a
+   crash. *)
+let version = 4
 let header_len = 12
 let max_payload = 1 lsl 24  (* 16 MiB: far above any entry, guards length bombs *)
 let magic0 = 'T'
@@ -194,6 +198,7 @@ type hello = {
   eps : int;
   x : int;
   obj_tag : int;
+  shards : int;
 }
 
 (* frame kinds *)
@@ -210,18 +215,26 @@ let k_catchup_rep = 8
 module Make (O : OBJ_CODEC) = struct
   type msg =
     | Hello of hello
-    | Entry of { op : O.D.op; time : int; pid : int; trace : int; op_id : int }
-    | Invoke of { op : O.D.op; trace : int; op_id : int }
-    | Result of O.D.result
+    | Entry of {
+        op : O.D.op;
+        time : int;
+        pid : int;
+        trace : int;
+        op_id : int;
+        shard : int;
+      }
+    | Invoke of { op : O.D.op; trace : int; op_id : int; shard : int }
+    | Result of { result : O.D.result; shard : int }
     | Stats_req
     | Stats of Runtime.Transport_intf.stats
     | Error_msg of string
-    | Catchup_req of { time : int; cpid : int }
+    | Catchup_req of { time : int; cpid : int; shard : int }
     | Catchup_rep of {
         entries : (O.D.op * int * int * int) list;
             (** op, time, pid, op id — stamp order *)
         time : int;
         cpid : int;
+        shard : int;
       }
 
   let equal_msg a b =
@@ -229,16 +242,19 @@ module Make (O : OBJ_CODEC) = struct
     | Hello h1, Hello h2 -> h1 = h2
     | Entry e1, Entry e2 ->
         O.D.equal_op e1.op e2.op && e1.time = e2.time && e1.pid = e2.pid
-        && e1.trace = e2.trace && e1.op_id = e2.op_id
+        && e1.trace = e2.trace && e1.op_id = e2.op_id && e1.shard = e2.shard
     | Invoke i1, Invoke i2 ->
         O.D.equal_op i1.op i2.op && i1.trace = i2.trace && i1.op_id = i2.op_id
-    | Result r1, Result r2 -> O.D.equal_result r1 r2
+        && i1.shard = i2.shard
+    | Result r1, Result r2 ->
+        O.D.equal_result r1.result r2.result && r1.shard = r2.shard
     | Stats_req, Stats_req -> true
     | Stats s1, Stats s2 -> s1 = s2
     | Error_msg e1, Error_msg e2 -> String.equal e1 e2
-    | Catchup_req q1, Catchup_req q2 -> q1.time = q2.time && q1.cpid = q2.cpid
+    | Catchup_req q1, Catchup_req q2 ->
+        q1.time = q2.time && q1.cpid = q2.cpid && q1.shard = q2.shard
     | Catchup_rep p1, Catchup_rep p2 ->
-        p1.time = p2.time && p1.cpid = p2.cpid
+        p1.time = p2.time && p1.cpid = p2.cpid && p1.shard = p2.shard
         && List.length p1.entries = List.length p2.entries
         && List.for_all2
              (fun (o1, t1, p1, i1) (o2, t2, p2, i2) ->
@@ -248,24 +264,26 @@ module Make (O : OBJ_CODEC) = struct
 
   let pp_msg fmt = function
     | Hello h ->
-        Format.fprintf fmt "hello{pid=%d n=%d d=%d u=%d eps=%d x=%d obj=%d}"
-          h.pid h.n h.d h.u h.eps h.x h.obj_tag
+        Format.fprintf fmt
+          "hello{pid=%d n=%d d=%d u=%d eps=%d x=%d obj=%d shards=%d}" h.pid
+          h.n h.d h.u h.eps h.x h.obj_tag h.shards
     | Entry e ->
-        Format.fprintf fmt "entry{%a @@ ⟨%d,%d⟩ t=%x id=%d}" O.D.pp_op e.op
-          e.time e.pid e.trace e.op_id
+        Format.fprintf fmt "entry{%a @@ ⟨%d,%d⟩ t=%x id=%d s=%d}" O.D.pp_op
+          e.op e.time e.pid e.trace e.op_id e.shard
     | Invoke i ->
-        Format.fprintf fmt "invoke{%a t=%x id=%d}" O.D.pp_op i.op i.trace
-          i.op_id
-    | Result r -> Format.fprintf fmt "result{%a}" O.D.pp_result r
+        Format.fprintf fmt "invoke{%a t=%x id=%d s=%d}" O.D.pp_op i.op i.trace
+          i.op_id i.shard
+    | Result r ->
+        Format.fprintf fmt "result{%a s=%d}" O.D.pp_result r.result r.shard
     | Stats_req -> Format.pp_print_string fmt "stats?"
     | Stats s ->
         Format.fprintf fmt "stats{%a}" Runtime.Transport_intf.pp_stats s
     | Error_msg e -> Format.fprintf fmt "error{%s}" e
     | Catchup_req q ->
-        Format.fprintf fmt "catchup?{hwm=⟨%d,%d⟩}" q.time q.cpid
+        Format.fprintf fmt "catchup?{hwm=⟨%d,%d⟩ s=%d}" q.time q.cpid q.shard
     | Catchup_rep p ->
-        Format.fprintf fmt "catchup{%d entries, hwm=⟨%d,%d⟩}"
-          (List.length p.entries) p.time p.cpid
+        Format.fprintf fmt "catchup{%d entries, hwm=⟨%d,%d⟩ s=%d}"
+          (List.length p.entries) p.time p.cpid p.shard
 
   let encode msg =
     let b = Buffer.create 32 in
@@ -279,6 +297,7 @@ module Make (O : OBJ_CODEC) = struct
           Wr.int b h.eps;
           Wr.int b h.x;
           Wr.int b h.obj_tag;
+          Wr.int b h.shards;
           k_hello
       | Entry e ->
           O.write_op b e.op;
@@ -286,14 +305,17 @@ module Make (O : OBJ_CODEC) = struct
           Wr.int b e.pid;
           Wr.int b e.trace;
           Wr.int b e.op_id;
+          Wr.int b e.shard;
           k_entry
       | Invoke i ->
           O.write_op b i.op;
           Wr.int b i.trace;
           Wr.int b i.op_id;
+          Wr.int b i.shard;
           k_invoke
       | Result r ->
-          O.write_result b r;
+          O.write_result b r.result;
+          Wr.int b r.shard;
           k_result
       | Stats_req -> k_stats_req
       | Stats s ->
@@ -315,6 +337,7 @@ module Make (O : OBJ_CODEC) = struct
       | Catchup_req q ->
           Wr.int b q.time;
           Wr.int b q.cpid;
+          Wr.int b q.shard;
           k_catchup_req
       | Catchup_rep p ->
           Wr.int b (List.length p.entries);
@@ -327,6 +350,7 @@ module Make (O : OBJ_CODEC) = struct
             p.entries;
           Wr.int b p.time;
           Wr.int b p.cpid;
+          Wr.int b p.shard;
           k_catchup_rep
     in
     encode_frame ~kind ~payload:(Buffer.contents b)
@@ -343,22 +367,29 @@ module Make (O : OBJ_CODEC) = struct
           let eps = Rd.int r in
           let x = Rd.int r in
           let obj_tag = Rd.int r in
-          Hello { pid; n; d; u; eps; x; obj_tag }
+          let shards = Rd.int r in
+          Hello { pid; n; d; u; eps; x; obj_tag; shards }
         else if frame.kind = k_entry then begin
           let op = O.read_op r in
           let time = Rd.int r in
           let pid = Rd.int r in
           let trace = Rd.int r in
           let op_id = Rd.int r in
-          Entry { op; time; pid; trace; op_id }
+          let shard = Rd.int r in
+          Entry { op; time; pid; trace; op_id; shard }
         end
         else if frame.kind = k_invoke then begin
           let op = O.read_op r in
           let trace = Rd.int r in
           let op_id = Rd.int r in
-          Invoke { op; trace; op_id }
+          let shard = Rd.int r in
+          Invoke { op; trace; op_id; shard }
         end
-        else if frame.kind = k_result then Result (O.read_result r)
+        else if frame.kind = k_result then begin
+          let result = O.read_result r in
+          let shard = Rd.int r in
+          Result { result; shard }
+        end
         else if frame.kind = k_stats_req then Stats_req
         else if frame.kind = k_stats then begin
           let sent = Rd.int r in
@@ -388,7 +419,8 @@ module Make (O : OBJ_CODEC) = struct
         else if frame.kind = k_catchup_req then begin
           let time = Rd.int r in
           let cpid = Rd.int r in
-          Catchup_req { time; cpid }
+          let shard = Rd.int r in
+          Catchup_req { time; cpid; shard }
         end
         else if frame.kind = k_catchup_rep then begin
           let count = Rd.int r in
@@ -405,7 +437,8 @@ module Make (O : OBJ_CODEC) = struct
           let entries = List.rev !entries in
           let time = Rd.int r in
           let cpid = Rd.int r in
-          Catchup_rep { entries; time; cpid }
+          let shard = Rd.int r in
+          Catchup_rep { entries; time; cpid; shard }
         end
         else Rd.fail (Printf.sprintf "unknown frame kind %d" frame.kind)
       in

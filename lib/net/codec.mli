@@ -23,11 +23,14 @@
     [Tcp_transport] and README "Wire format". *)
 
 val version : int
-(** Current wire version (3 — v2 added the trace id to [Entry]/[Invoke]
+(** Current wire version (4 — v2 added the trace id to [Entry]/[Invoke]
     payloads; v3 added the client operation id to both, plus the
-    catch-up request/reply frames for post-crash peer anti-entropy).  A
-    decoder rejects every other version, so incompatible formats — older
-    peers included — fail the handshake cleanly instead of misparsing. *)
+    catch-up request/reply frames for post-crash peer anti-entropy; v4
+    added the shard id to every op/ack/catch-up payload and the shard
+    count to the handshake, so a sharded namespace multiplexes many
+    Algorithm 1 instances over one per-peer link).  A decoder rejects
+    every other version, so incompatible formats — older peers included —
+    fail the handshake cleanly instead of misparsing. *)
 
 val header_len : int
 val max_payload : int
@@ -108,33 +111,45 @@ type hello = {
   eps : int;
   x : int;
   obj_tag : int;
+  shards : int;  (** shard count of the sender's namespace; 0 = unsharded *)
 }
 (** The connect handshake: the sender's identity plus the parameters it
     runs Algorithm 1 with.  Receivers reject mismatches — a cluster whose
-    members disagree on [(n, d, u, ε, X)] or on the object would silently
-    violate the model's admissibility assumptions instead. *)
+    members disagree on [(n, d, u, ε, X)], on the object, or on the shard
+    topology would silently violate the model's admissibility assumptions
+    (or route operations to the wrong object) instead. *)
 
 module Make (O : OBJ_CODEC) : sig
   type msg =
     | Hello of hello  (** first frame on a replica→replica connection *)
-    | Entry of { op : O.D.op; time : int; pid : int; trace : int; op_id : int }
+    | Entry of {
+        op : O.D.op;
+        time : int;
+        pid : int;
+        trace : int;
+        op_id : int;
+        shard : int;
+      }
         (** an Algorithm 1 protocol message: operation + ⟨time, pid⟩ stamp
             + originating trace id (0 when untraced) + client operation id
-            (0 when the client did not ask for idempotence) *)
-    | Invoke of { op : O.D.op; trace : int; op_id : int }
+            (0 when the client did not ask for idempotence) + shard id of
+            the instance it belongs to (0 = the only shard) *)
+    | Invoke of { op : O.D.op; trace : int; op_id : int; shard : int }
         (** client → replica; a retry re-sends the same [op_id] *)
-    | Result of O.D.result  (** replica → client *)
+    | Result of { result : O.D.result; shard : int }
+        (** replica → client, echoing the invoking shard *)
     | Stats_req  (** client → replica: transport stats probe *)
     | Stats of Runtime.Transport_intf.stats  (** replica → client *)
     | Error_msg of string  (** replica → client: invocation failed *)
-    | Catchup_req of { time : int; cpid : int }
+    | Catchup_req of { time : int; cpid : int; shard : int }
         (** restarted replica → peers: "send me everything above my
-            high-water mark ⟨time, cpid⟩" (time −1 = empty) *)
+            high-water mark ⟨time, cpid⟩" (time −1 = empty), per shard *)
     | Catchup_rep of {
         entries : (O.D.op * int * int * int) list;
             (** (op, time, pid, op id) in stamp order *)
         time : int;
         cpid : int;  (** the replier's own high-water mark *)
+        shard : int;
       }
 
   val equal_msg : msg -> msg -> bool

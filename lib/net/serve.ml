@@ -75,6 +75,7 @@ module Make (W : Wire.WIRED) = struct
       eps = cfg.params.Core.Params.eps;
       x = cfg.params.Core.Params.x;
       obj_tag = W.C.obj_tag;
+      shards = 0;
     }
 
   (* Accept a peer iff it runs the same protocol instance: same object,
@@ -99,6 +100,10 @@ module Make (W : Wire.WIRED) = struct
             (Printf.sprintf
                "parameter mismatch: peer %d has (n=%d d=%d u=%d eps=%d x=%d)"
                h.Codec.pid h.Codec.n h.Codec.d h.Codec.u h.Codec.eps h.Codec.x)
+        else if h.Codec.shards <> mine.Codec.shards then
+          Tcp_transport.Reject
+            (Printf.sprintf "shard topology mismatch (peer %d, ours %d)"
+               h.Codec.shards mine.Codec.shards)
         else if h.Codec.pid < 0 || h.Codec.pid >= mine.Codec.n then
           Tcp_transport.Reject (Printf.sprintf "bad peer pid %d" h.Codec.pid)
         else Tcp_transport.Peer h.Codec.pid
@@ -108,14 +113,16 @@ module Make (W : Wire.WIRED) = struct
   let entry_of ~op ~time ~pid =
     { R.Alg.op; ts = Prelude.Stamp.make ~time ~pid }
 
+  (* An unsharded serve stack only hosts shard 0; frames tagged for any
+     other shard indicate a topology mismatch upstream and are dropped. *)
   let decode_peer ~me ~src frame =
     match C.decode_payload frame with
-    | Ok (C.Entry { op; time; pid; trace; op_id }) ->
+    | Ok (C.Entry { op; time; pid; trace; op_id; shard = 0 }) ->
         Obs.Recorder.emit ~pid:me ~kind:Obs.Event.Recv ~trace ~a:src ();
         Some (R.of_wire (R.Wire_entry (entry_of ~op ~time ~pid, trace, op_id)))
-    | Ok (C.Catchup_req { time; cpid }) ->
+    | Ok (C.Catchup_req { time; cpid; shard = 0 }) ->
         Some (R.of_wire (R.Wire_catchup_req { time; cpid }))
-    | Ok (C.Catchup_rep { entries; time; cpid }) ->
+    | Ok (C.Catchup_rep { entries; time; cpid; shard = 0 }) ->
         let entries =
           List.map
             (fun (op, time, pid, op_id) -> (entry_of ~op ~time ~pid, op_id))
@@ -135,9 +142,10 @@ module Make (W : Wire.WIRED) = struct
                pid = e.R.Alg.ts.Prelude.Stamp.pid;
                trace;
                op_id;
+               shard = 0;
              })
     | Some (R.Wire_catchup_req { time; cpid }) ->
-        C.encode (C.Catchup_req { time; cpid })
+        C.encode (C.Catchup_req { time; cpid; shard = 0 })
     | Some (R.Wire_catchup_rep { entries; time; cpid }) ->
         let entries =
           List.map
@@ -148,7 +156,7 @@ module Make (W : Wire.WIRED) = struct
                 op_id ))
             entries
         in
-        C.encode (C.Catchup_rep { entries; time; cpid })
+        C.encode (C.Catchup_rep { entries; time; cpid; shard = 0 })
     | None ->
         (* Invoke/Stop/… are local-only events; the replica never sends
            them, so reaching here is a wiring bug. *)
@@ -178,9 +186,9 @@ module Make (W : Wire.WIRED) = struct
       let reply msg = Tcp_transport.conn_write conn (C.encode msg) in
       let handle_frame frame =
         match C.decode_payload frame with
-        | Ok (C.Invoke { op; trace; op_id }) -> (
+        | Ok (C.Invoke { op; trace; op_id; shard }) -> (
             match R.node_invoke ~trace ~op_id (the_node ()) op with
-            | r -> reply (C.Result r)
+            | r -> reply (C.Result { result = r; shard })
             | exception R.Stopped -> reply (C.Error_msg "replica stopped")
             | exception R.Retry_later why ->
                 (* The client must back off and retry with the same op id;

@@ -19,6 +19,7 @@ type t = {
 }
 
 let complete s = s.t_resp <> None
+let shard s = Trace_id.origin s.trace
 
 let wire_us leg =
   match (leg.send_us, leg.recv_us, leg.deliver_us) with

@@ -29,6 +29,14 @@ type t = {
 
 val complete : t -> bool
 
+val shard : t -> int
+(** The shard label riding in the span's trace id: {!Trace_id.fresh}'s
+    [origin] bits, which the sharded load generator mints as the target
+    shard (unsharded tooling mints the worker id there instead — only
+    interpret this as a shard when the run was sharded).  Per-shard bound
+    attribution partitions a merged event stream on this label and runs
+    {!Analyze.check} per group. *)
+
 val wire_us : leg -> int option
 (** Receive (or, on the bus, delivery) minus send. *)
 

@@ -14,6 +14,43 @@ type class_report = {
   faulty : Histogram.t option;
 }
 
+(* The one place the 6-histogram worker layout (3 classes × clean/faulty)
+   is turned into named class reports with their paper targets — shared by
+   the in-process generator, the TCP cluster orchestrator and the sharded
+   cluster (which builds one list per shard). *)
+let classes_of ~(params : Core.Params.t) ~windowed hists =
+  let t = params.Core.Params.timing in
+  let faulty i = if windowed then Some hists.(i + 3) else None in
+  [
+    {
+      class_name = "MOP";
+      target_us = t.Core.Params.mutator_wait;
+      hist = hists.(0);
+      faulty = faulty 0;
+    };
+    {
+      class_name = "AOP";
+      target_us = t.Core.Params.accessor_wait;
+      hist = hists.(1);
+      faulty = faulty 1;
+    };
+    {
+      class_name = "OOP";
+      target_us = params.Core.Params.d + params.Core.Params.eps;
+      hist = hists.(2);
+      faulty = faulty 2;
+    };
+  ]
+
+type shard_report = {
+  shard : int;
+  shard_ops : int;  (** completed operations routed to this shard *)
+  shard_classes : class_report list;
+  shard_verdict : verdict;
+      (** this shard's own segmented Wing–Gong check — linearizability
+          composes, so the namespace verdict is the conjunction *)
+}
+
 type report = {
   label : string;
   params : Core.Params.t;
@@ -35,6 +72,29 @@ type report = {
 }
 
 let is_linearizable r = match r.verdict with Linearizable _ -> true | _ -> false
+
+(* One line per shard: enough to eyeball zipfian skew (ops column) and
+   per-shard bound health (p99 vs target per class) across 64 shards
+   without drowning the aggregate report. *)
+let pp_shard_report fmt s =
+  let pp_class fmt (c : class_report) =
+    if Histogram.count c.hist = 0 then
+      Format.fprintf fmt "%s —" c.class_name
+    else
+      Format.fprintf fmt "%s p99=%d/%dµs" c.class_name
+        (Histogram.percentile c.hist 99.)
+        c.target_us
+  in
+  let verdict_tag =
+    match s.shard_verdict with
+    | Linearizable _ -> "LINEARIZABLE"
+    | Violation { segment; _ } -> Printf.sprintf "VIOLATION(seg %d)" segment
+    | Unchecked _ -> "UNCHECKED"
+  in
+  Format.fprintf fmt "shard %3d: %6d ops  %a  %s" s.shard s.shard_ops
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt "  ")
+       pp_class)
+    s.shard_classes verdict_tag
 
 let pp_verdict fmt = function
   | Linearizable segments ->
@@ -332,31 +392,8 @@ module Make (L : Workloads.LIVE) = struct
              (List.length entries))
       else check_history entries (List.sort compare cuts)
     in
-    let t = params.Core.Params.timing in
-    let faulty i =
-      if fault_windows = [] then None else Some merged.(i + 3)
-    in
     let classes =
-      [
-        {
-          class_name = "MOP";
-          target_us = t.Core.Params.mutator_wait;
-          hist = merged.(0);
-          faulty = faulty 0;
-        };
-        {
-          class_name = "AOP";
-          target_us = t.Core.Params.accessor_wait;
-          hist = merged.(1);
-          faulty = faulty 1;
-        };
-        {
-          class_name = "OOP";
-          target_us = params.Core.Params.d + params.Core.Params.eps;
-          hist = merged.(2);
-          faulty = faulty 2;
-        };
-      ]
+      classes_of ~params ~windowed:(fault_windows <> []) merged
     in
     {
       label = L.label;

@@ -33,6 +33,30 @@ type class_report = {
           [None] when the run declared no windows *)
 }
 
+val classes_of :
+  params:Core.Params.t -> windowed:bool -> Histogram.t array -> class_report list
+(** Name the 6-histogram worker layout (slots 0–2 = clean MOP/AOP/OOP,
+    3–5 = their fault-window halves) and attach each class's paper target
+    under [params].  [windowed = false] drops the faulty halves.  Shared
+    by this module, [Net.Cluster] and the sharded cluster — which calls it
+    once per shard, so hot-shard latency is keyed by shard rather than
+    averaged away. *)
+
+type shard_report = {
+  shard : int;
+  shard_ops : int;  (** completed operations routed to this shard *)
+  shard_classes : class_report list;
+  shard_verdict : verdict;
+      (** this shard's own segmented Wing–Gong check — linearizability is
+          compositional, so the namespace verdict is the conjunction of
+          these *)
+}
+(** Per-shard slice of a sharded run's report ([Shard.Shard_cluster]). *)
+
+val pp_shard_report : Format.formatter -> shard_report -> unit
+(** One line: ops routed there, per-class p99 against target, verdict —
+    compact enough to print all 64 shards. *)
+
 type report = {
   label : string;
   params : Core.Params.t;  (** effective (slack included in [d], [u]) *)

@@ -611,21 +611,39 @@ module Make (D : Spec.Data_type.S) = struct
     node_pid : int;
     node_transport : event Transport_intf.t;
     node_start_us : int;
-    node_domain : record list Domain.t;
+    node_join : unit -> record list;
+        (** join the replica's execution vehicle (domain or thread) and
+            return its records; called exactly once, from [node_stop] *)
     mutable node_stopped : bool;
   }
 
-  let node ~params ~transport ~pid ?(offset = 0) ?start_us ?recovery () =
+  let node ~params ~transport ~pid ?(offset = 0) ?start_us ?(threaded = false)
+      ?recovery () =
     let start_us =
       match start_us with Some s -> s | None -> Prelude.Mclock.now_us ()
+    in
+    let body () = run_replica ~params ?recovery ~transport ~start_us ~offset pid in
+    let join =
+      if threaded then begin
+        (* Systhread vehicle: many replicas share one domain's runtime
+           lock, which the event loop releases whenever it blocks in
+           [Mailbox.take] — the right trade for a sharded host running
+           far more replicas than the ~128-domain ceiling allows. *)
+        let result = ref [] in
+        let t = Thread.create (fun () -> result := body ()) () in
+        fun () ->
+          Thread.join t;
+          !result
+      end
+      else
+        let d = Domain.spawn body in
+        fun () -> Domain.join d
     in
     {
       node_pid = pid;
       node_transport = transport;
       node_start_us = start_us;
-      node_domain =
-        Domain.spawn (fun () ->
-            run_replica ~params ?recovery ~transport ~start_us ~offset pid);
+      node_join = join;
       node_stopped = false;
     }
 
@@ -656,7 +674,7 @@ module Make (D : Spec.Data_type.S) = struct
       node.node_stopped <- true;
       Transport_intf.post node.node_transport ~src:node.node_pid
         ~dst:node.node_pid Stop;
-      Domain.join node.node_domain
+      node.node_join ()
     end
 
   let node_elapsed_us node = Prelude.Mclock.now_us () - node.node_start_us

@@ -154,16 +154,21 @@ module Make (D : Spec.Data_type.S) : sig
     pid:int ->
     ?offset:int ->
     ?start_us:int ->
+    ?threaded:bool ->
     ?recovery:recovery ->
     unit ->
     node
   (** Spawn one replica domain with identity [pid] over [transport].
       [offset] (default 0) is its clock offset in µs; [start_us] (default
       now) is the origin of its record timeline — the in-process cluster
-      passes one shared origin so all records are comparable.  [recovery]
-      enables the durability machinery (see the module docs); pass
-      {!post_recover} after the transport is connected to trigger peer
-      catch-up. *)
+      passes one shared origin so all records are comparable.  [threaded]
+      (default false) runs the event loop on a systhread instead of its
+      own domain: the loop blocks in [Mailbox.take] (releasing the runtime
+      lock) whenever idle, so a sharded host can run hundreds of replicas
+      in one process — far past the OCaml domain ceiling — at the cost of
+      serialising their CPU bursts.  [recovery] enables the durability
+      machinery (see the module docs); pass {!post_recover} after the
+      transport is connected to trigger peer catch-up. *)
 
   val node_invoke : ?trace:int -> ?op_id:int -> node -> D.op -> D.result
   (** Synchronous client call on this node; queued behind any pending

@@ -62,6 +62,58 @@ module Fifo_queue_live = struct
   let sample_other _ = Spec.Fifo_queue.Dequeue
 end
 
+(* Zipfian key popularity (Gray et al., "Quickly generating billion-record
+   synthetic databases"): rank r ∈ [0, n) is drawn with probability
+   ∝ 1/(r+1)^θ.  The ζ(n, θ) normaliser is the only O(n) part and is paid
+   once at [make]; each [sample] is O(1).  θ = 0 degenerates to uniform,
+   θ ≈ 0.99 is the YCSB default hot-key skew.  The sharded load generator
+   feeds sampled ranks straight into the consistent-hash ring: popular
+   ranks land on whichever shards their hashes pick, which is exactly the
+   hot-shard skew the per-shard histograms are there to expose. *)
+module Zipf = struct
+  type t = {
+    n : int;
+    theta : float;
+    alpha : float;
+    zetan : float;
+    eta : float;
+  }
+
+  let zeta ~n ~theta =
+    let z = ref 0. in
+    for i = 1 to n do
+      z := !z +. (1. /. Float.pow (float_of_int i) theta)
+    done;
+    !z
+
+  let make ~n ~theta =
+    if n <= 0 then invalid_arg "Zipf.make: n must be positive";
+    if theta < 0. || theta >= 1. then
+      invalid_arg "Zipf.make: theta must be in [0, 1)";
+    let zetan = zeta ~n ~theta in
+    let zeta2 = zeta ~n:(min n 2) ~theta in
+    let alpha = 1. /. (1. -. theta) in
+    let eta =
+      (1. -. Float.pow (2. /. float_of_int n) (1. -. theta))
+      /. (1. -. (zeta2 /. zetan))
+    in
+    { n; theta; alpha; zetan; eta }
+
+  let sample t rng =
+    let u = Prelude.Rng.float rng 1. in
+    let uz = u *. t.zetan in
+    if uz < 1. then 0
+    else if uz < 1. +. Float.pow 0.5 t.theta then 1
+    else
+      let r =
+        float_of_int t.n
+        *. Float.pow ((t.eta *. u) -. t.eta +. 1.) t.alpha
+      in
+      min (t.n - 1) (int_of_float r)
+
+  let size t = t.n
+end
+
 let register = (module Register_live : LIVE)
 let counter = (module Counter_live : LIVE)
 let kv_map = (module Kv_map_live : LIVE)

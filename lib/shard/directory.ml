@@ -1,0 +1,40 @@
+(** See the interface.  The two rings use derived seeds so the shard
+    placement of keys and the replica placement of shards are independent
+    hash streams of the one configured seed. *)
+
+type t = {
+  shards : int;
+  n : int;
+  seed : int;
+  key_ring : Ring.t;
+  home_ring : Ring.t;
+  all_replicas : int list;
+}
+
+type location = { shard : int; home : int; replicas : int list }
+
+let make ?(vnodes = 64) ~seed ~shards ~n () =
+  if shards < 1 then invalid_arg "Directory.make: shards must be >= 1";
+  if n < 1 then invalid_arg "Directory.make: n must be >= 1";
+  {
+    shards;
+    n;
+    seed;
+    key_ring = Ring.make ~vnodes ~seed ~members:(List.init shards Fun.id) ();
+    home_ring =
+      Ring.make ~vnodes ~seed:(seed lxor 0x686f6d65 (* "home" *))
+        ~members:(List.init n Fun.id) ();
+    all_replicas = List.init n Fun.id;
+  }
+
+let shard_of t ~key = Ring.route t.key_ring key
+let home_of t ~shard = Ring.route t.home_ring shard
+
+let locate t ~key =
+  let shard = shard_of t ~key in
+  { shard; home = home_of t ~shard; replicas = t.all_replicas }
+
+let shards t = t.shards
+let n t = t.n
+let seed t = t.seed
+let key_ring t = t.key_ring

@@ -1,0 +1,43 @@
+(** Client-side key→shard→replica resolution for the sharded namespace.
+
+    The directory is a pure computation over two {!Ring}s rebuilt from
+    three integers — [(ring seed, shard count, replica count)] — that every
+    process of a cluster already carries in its config:
+
+    - the {e key ring} maps a key to one of the [shards] independent
+      Algorithm 1 instances;
+    - the {e home ring} maps a shard to its {e home} replica — the replica
+      a client contacts first for that shard's operations, so client load
+      spreads over the replica set instead of hammering replica 0.
+
+    There is no directory {e service process}: resolution happens in the
+    caller, which is what keeps the hot path free of a central hop.  Every
+    shard is fully replicated on all [n] replicas (each replica hosts one
+    Algorithm 1 instance per shard), so [replicas] is the whole set and any
+    replica can serve any shard — the home is a load-spreading preference,
+    not a correctness requirement. *)
+
+type t
+
+type location = {
+  shard : int;  (** which Algorithm 1 instance owns the key *)
+  home : int;  (** preferred replica pid for client traffic *)
+  replicas : int list;  (** every replica hosting the shard (all of them) *)
+}
+
+val make : ?vnodes:int -> seed:int -> shards:int -> n:int -> unit -> t
+(** [shards] ≥ 1 namespace partitions over [n] ≥ 1 replicas; [vnodes]
+    (default 64) and [seed] parameterise both rings.
+    @raise Invalid_argument on a non-positive count. *)
+
+val locate : t -> key:int -> location
+(** Resolve a key.  O(log(shards·vnodes)). *)
+
+val shard_of : t -> key:int -> int
+val home_of : t -> shard:int -> int
+
+val shards : t -> int
+val n : t -> int
+val seed : t -> int
+val key_ring : t -> Ring.t
+(** The underlying key→shard ring, exposed for balance diagnostics. *)

@@ -1,0 +1,93 @@
+(** See the interface.  Points live in one sorted array; [route] is a
+    binary search for the successor point, wrapping to index 0 past the
+    top of the circle. *)
+
+(* Splitmix64 finalizer, as in [Fault.Fault_plan]: a pure function of its
+   inputs, folded over (seed, a, b).  The logical shift by 2 clears bits
+   63 *and* 62, so the result is a non-negative OCaml int. *)
+let mix (z : int64) =
+  let open Int64 in
+  let z = add z 0x9e3779b97f4a7c15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let hash2 ~seed a b =
+  let h =
+    List.fold_left
+      (fun acc v -> mix (Int64.add acc (Int64.of_int v)))
+      (mix (Int64.of_int seed))
+      [ a; b ]
+  in
+  Int64.to_int (Int64.shift_right_logical h 2)
+
+(* Distinct salts keep point hashes and key hashes off each other's
+   streams: a key must not be biased toward (or away from) the point of
+   the member sharing its integer value. *)
+let point_salt = 0x706f696e74 (* "point" *)
+let key_salt = 0x6b6579 (* "key" *)
+
+type t = {
+  seed : int;
+  vnodes : int;
+  members : int list;  (** ascending *)
+  points : (int * int) array;  (** (hash, member), ascending by hash *)
+}
+
+let hash_point ~seed member vnode = hash2 ~seed:(seed lxor point_salt) member vnode
+let hash_key ~seed key = hash2 ~seed:(seed lxor key_salt) key 0
+
+let build ~seed ~vnodes ~members =
+  let points =
+    List.concat_map
+      (fun m -> List.init vnodes (fun v -> (hash_point ~seed m v, m)))
+      members
+    |> Array.of_list
+  in
+  (* Ties (astronomically unlikely) break by member id, keeping the ring a
+     pure function of (seed, vnodes, member set). *)
+  Array.sort compare points;
+  { seed; vnodes; members; points }
+
+let make ?(vnodes = 64) ~seed ~members () =
+  if vnodes < 1 then invalid_arg "Ring.make: vnodes must be >= 1";
+  if members = [] then invalid_arg "Ring.make: members must be non-empty";
+  let uniq = List.sort_uniq compare members in
+  if List.length uniq <> List.length members then
+    invalid_arg "Ring.make: duplicate members";
+  build ~seed ~vnodes ~members:uniq
+
+let route t key =
+  let kh = hash_key ~seed:t.seed key in
+  let n = Array.length t.points in
+  (* First point with hash >= kh; past the last point the circle wraps. *)
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.points.(mid) < kh then lo := mid + 1 else hi := mid
+  done;
+  snd t.points.(if !lo = n then 0 else !lo)
+
+let add t m =
+  if List.mem m t.members then invalid_arg "Ring.add: member already present";
+  build ~seed:t.seed ~vnodes:t.vnodes
+    ~members:(List.sort compare (m :: t.members))
+
+let remove t m =
+  if not (List.mem m t.members) then invalid_arg "Ring.remove: no such member";
+  match List.filter (fun x -> x <> m) t.members with
+  | [] -> invalid_arg "Ring.remove: cannot remove the last member"
+  | members -> build ~seed:t.seed ~vnodes:t.vnodes ~members
+
+let members t = t.members
+let seed t = t.seed
+let vnodes t = t.vnodes
+
+let spread t ~keys =
+  let tbl = Hashtbl.create (List.length t.members) in
+  List.iter (fun m -> Hashtbl.replace tbl m 0) t.members;
+  for k = 0 to keys - 1 do
+    let m = route t k in
+    Hashtbl.replace tbl m (1 + Option.value ~default:0 (Hashtbl.find_opt tbl m))
+  done;
+  t.members |> List.map (fun m -> (m, Hashtbl.find tbl m)) |> Array.of_list

@@ -1,0 +1,49 @@
+(** Seeded consistent-hash ring — the key→member map under the sharded
+    namespace.
+
+    Each member owns [vnodes] points on a 62-bit hash circle; a key routes
+    to the owner of the first point at or clockwise of the key's hash.
+    Every point is a {e stateless} hash of [(seed, member, vnode)] — no
+    RNG stream — so two rings built from the same seed and member set are
+    identical regardless of construction order, and every process of a
+    cluster (clients included) can rebuild the routing table locally from
+    the three integers in its config.  That is what lets the {!Directory}
+    resolve key→shard→replica without a central hop.
+
+    The properties the qcheck suite pins down:
+
+    - {e balance}: with the default 64 vnodes per member, no member owns
+      more than ~2× its fair share of uniformly-hashed keys;
+    - {e minimal remapping}: adding a member moves only keys that now route
+      to it, and removing one moves only the keys it owned — both are
+      consequences of points being per-member and independent of the rest
+      of the ring, checked against explicit before/after routing. *)
+
+type t
+
+val make : ?vnodes:int -> seed:int -> members:int list -> unit -> t
+(** Build the ring. [vnodes] (default 64) is points per member; [members]
+    must be non-empty and duplicate-free.  @raise Invalid_argument
+    otherwise. *)
+
+val route : t -> int -> int
+(** [route t key] is the member owning [key]'s hash.  Total: every key
+    routes somewhere as long as the ring has members. *)
+
+val add : t -> int -> t
+(** Ring with one more member (same seed and vnodes).
+    @raise Invalid_argument if already present. *)
+
+val remove : t -> int -> t
+(** Ring with a member removed.  @raise Invalid_argument if absent or if
+    it is the last member. *)
+
+val members : t -> int list
+(** Ascending. *)
+
+val seed : t -> int
+val vnodes : t -> int
+
+val spread : t -> keys:int -> (int * int) array
+(** [(member, owned)] census over keys [0..keys-1] — the balance
+    diagnostic the bench group and the qcheck property both read. *)

@@ -95,7 +95,7 @@ let test_version_rejected_by_decoder () =
             msg
       | Net.Codec.Got _ | Net.Codec.Need_more _ ->
           Alcotest.failf "version %d frame must be Corrupt" v)
-    [ 1; 2; 4; 255 ]
+    [ 1; 2; 3; 5; 255 ]
 
 (* An old (v1) peer connecting to a live replica stack: the handshake must
    be rejected cleanly — connection closed, replica healthy for current
@@ -127,7 +127,7 @@ let test_version_rejected_by_handshake () =
     C.encode
       (C.Hello
          { Net.Codec.pid = 0; n = 1; d = 7000; u = 5500; eps = 0; x = 0;
-           obj_tag = Net.Wire.Kv_codec.obj_tag })
+           obj_tag = Net.Wire.Kv_codec.obj_tag; shards = 0 })
   in
   let old = forge_version hello ~version:1 in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -190,11 +190,13 @@ let msg_roundtrip_tests () =
           (* Trace ids span the whole 56-bit ⟨origin, counter⟩ layout, so
              the varint length varies across the samples. *)
           let trace = seed * 2654435761 land ((1 lsl 56) - 1) in
+          (* Shard ids span small and multi-byte varints. *)
+          let shard = seed * 37 mod 1024 in
           List.for_all
             (fun (op, result) ->
-              roundtrip (C.Invoke { op; trace; op_id = seed * 31 })
-              && roundtrip (C.Invoke { op; trace = 0; op_id = 0 })
-              && roundtrip (C.Result result)
+              roundtrip (C.Invoke { op; trace; op_id = seed * 31; shard })
+              && roundtrip (C.Invoke { op; trace = 0; op_id = 0; shard = 0 })
+              && roundtrip (C.Result { result; shard })
               && roundtrip
                    (C.Entry
                       {
@@ -203,9 +205,11 @@ let msg_roundtrip_tests () =
                         pid = seed mod 16;
                         trace;
                         op_id = seed * 13;
+                        shard;
                       })
               && roundtrip
-                   (C.Catchup_req { time = seed * 7919; cpid = seed mod 16 })
+                   (C.Catchup_req
+                      { time = seed * 7919; cpid = seed mod 16; shard })
               && roundtrip
                    (C.Catchup_rep
                       {
@@ -213,9 +217,11 @@ let msg_roundtrip_tests () =
                           [ (op, seed * 7919, seed mod 16, seed * 17) ];
                         time = (seed * 7919) - 1;
                         cpid = (seed + 1) mod 16;
+                        shard;
                       })
               && roundtrip
-                   (C.Catchup_rep { entries = []; time = -1; cpid = 0 }))
+                   (C.Catchup_rep
+                      { entries = []; time = -1; cpid = 0; shard = 0 }))
             (sampled_pairs seed 20)
           && roundtrip
                (C.Hello
@@ -227,6 +233,7 @@ let msg_roundtrip_tests () =
                     eps = 334;
                     x = seed mod 100;
                     obj_tag = W.C.obj_tag;
+                    shards = shard;
                   })
           && roundtrip C.Stats_req
           && roundtrip
@@ -351,7 +358,7 @@ let test_tcp_reconnect_backoff () =
     C.encode
       (C.Hello
          { Net.Codec.pid; n = 2; d = 7000; u = 5500; eps = 0; x = 0;
-           obj_tag = Net.Wire.Register_codec.obj_tag })
+           obj_tag = Net.Wire.Register_codec.obj_tag; shards = 0 })
   in
   let classify frame =
     match C.decode_payload frame with
@@ -380,7 +387,8 @@ let test_tcp_reconnect_backoff () =
   let t0 = mk ~me:0 ~listener:l0 ~addrs in
   let entry =
     C.Entry
-      { op = Spec.Register.Write 42; time = 1; pid = 0; trace = 7; op_id = 9 }
+      { op = Spec.Register.Write 42; time = 1; pid = 0; trace = 7; op_id = 9;
+        shard = 0 }
   in
   Runtime.Transport_intf.send t0 ~src:0 ~dst:1 entry;
   Prelude.Mclock.sleep_us 150_000 (* let several connect attempts fail *);
