@@ -401,6 +401,90 @@ let shard_tests =
     Shard_bench.rebuild_test;
   ]
 
+(* Quorum group: what the adaptive fallback costs.  The failure detector
+   and mode controller sit on every heartbeat, the ordered-commit log on
+   every degraded-mode operation; the live pair prices the two regimes
+   EXPERIMENTS.md quotes — the same closed-loop run with the fallback
+   armed but nobody dead (fast path, response gate up) vs pinned in
+   quorum mode by a permanent kill. *)
+module Quorum_bench = struct
+  let fd_test =
+    Test.make ~name:"fd-heard-tick-10k"
+      (Staged.stage (fun () ->
+           let fd =
+             Quorum.Failure_detector.make ~n:5 ~me:0 ~hb_us:1_000
+               ~suspect_after:10 ~now_us:0
+           in
+           for i = 1 to 10_000 do
+             ignore
+               (Quorum.Failure_detector.heard fd ~peer:(1 + (i mod 4))
+                  ~stamp:i ~now_us:(i * 10));
+             ignore (Quorum.Failure_detector.tick fd ~now_us:(i * 10))
+           done))
+
+  let mc_test =
+    Test.make ~name:"mode-era-cycle-10k"
+      (Staged.stage (fun () ->
+           let mc = Quorum.Mode_controller.make ~n:3 ~me:0 in
+           for i = 1 to 10_000 do
+             ignore (Quorum.Mode_controller.initiate_quorum mc);
+             ignore (Quorum.Mode_controller.initiate_fast mc ~floor:i);
+             ignore
+               (Quorum.Mode_controller.observe mc
+                  ~epoch:(Quorum.Mode_controller.epoch mc)
+                  ~quorum:false ~seq:0 ~floor:i)
+           done))
+
+  let log_test =
+    Test.make ~name:"log-commit-drain-1k"
+      (Staged.stage (fun () ->
+           let log = Quorum.Log.create ~n:3 ~epoch:1 in
+           for i = 0 to 999 do
+             let qseq = Quorum.Log.append log ~me:0 i in
+             if Quorum.Log.ack log ~qseq ~from:1 then
+               Quorum.Log.commit log ~qseq;
+             ignore (Quorum.Log.applyable log)
+           done))
+
+  let fallback =
+    { Quorum.Config.default with hb_us = 2_000; suspect_after = 15 }
+
+  let inert =
+    match Fault.Fault_plan.compile ~seed:11 ~spec:"drop(0)" with
+    | Ok p -> p
+    | Error e -> failwith e
+
+  let kill =
+    match Fault.Fault_plan.compile ~seed:11 ~spec:"crash(2)@1ms" with
+    | Ok p -> p
+    | Error e -> failwith e
+
+  let live_fast =
+    Test.make ~name:"fallback-fast-path-48ops"
+      (Staged.stage (fun () ->
+           ignore
+             (Fault.Chaos_run.run ~workload:Runtime.Workloads.register ~n:3
+                ~d:300 ~u:100 ~slack:2000 ~round:48 ~fallback ~plan:inert
+                ~ops:48 ~seed:7 ())))
+
+  let live_quorum =
+    Test.make ~name:"fallback-quorum-mode-48ops"
+      (Staged.stage (fun () ->
+           ignore
+             (Fault.Chaos_run.run ~workload:Runtime.Workloads.register ~n:3
+                ~d:300 ~u:100 ~slack:2000 ~round:48 ~fallback ~plan:kill
+                ~ops:48 ~seed:7 ())))
+end
+
+let quorum_tests =
+  [
+    Quorum_bench.fd_test;
+    Quorum_bench.mc_test;
+    Quorum_bench.log_test;
+    Quorum_bench.live_fast;
+    Quorum_bench.live_quorum;
+  ]
+
 let groups =
   [
     ("experiments", tests);
@@ -411,6 +495,7 @@ let groups =
     ("obs", obs_tests);
     ("durable", durable_tests);
     ("shard", shard_tests);
+    ("quorum", quorum_tests);
   ]
 
 let benchmark_group (name, group_tests) =
@@ -482,18 +567,41 @@ let write_bench_json group results =
       false
 
 let () =
-  Format.printf "=== Paper artifacts (Tables I-IV, Figures 1-17) ===@.@.";
-  let rs = reports () in
-  List.iter (fun r -> Format.printf "%a@." Experiments.Report.pp r) rs;
-  let bad = List.filter (fun (r : Experiments.Report.t) -> not r.ok) rs in
-  Format.printf "=== Experiment verdicts: %d/%d OK%s ===@.@."
-    (List.length rs - List.length bad)
-    (List.length rs)
-    (if bad = [] then ""
-     else
-       " (MISMATCH: "
-       ^ String.concat ", " (List.map (fun (r : Experiments.Report.t) -> r.id) bad)
-       ^ ")");
+  (* With group names on the command line, run only those benchmark groups
+     (and skip the paper-experiment sweep) — what CI uses to price a
+     single subsystem without paying for the whole artifact run. *)
+  let wanted = List.tl (Array.to_list Sys.argv) in
+  List.iter
+    (fun w ->
+      if not (List.mem_assoc w groups) then begin
+        Format.eprintf "unknown bench group %S (have: %s)@." w
+          (String.concat ", " (List.map fst groups));
+        exit 2
+      end)
+    wanted;
+  let selected =
+    if wanted = [] then groups
+    else List.filter (fun (g, _) -> List.mem g wanted) groups
+  in
+  let bad =
+    if wanted <> [] then []
+    else begin
+      Format.printf "=== Paper artifacts (Tables I-IV, Figures 1-17) ===@.@.";
+      let rs = reports () in
+      List.iter (fun r -> Format.printf "%a@." Experiments.Report.pp r) rs;
+      let bad = List.filter (fun (r : Experiments.Report.t) -> not r.ok) rs in
+      Format.printf "=== Experiment verdicts: %d/%d OK%s ===@.@."
+        (List.length rs - List.length bad)
+        (List.length rs)
+        (if bad = [] then ""
+         else
+           " (MISMATCH: "
+           ^ String.concat ", "
+               (List.map (fun (r : Experiments.Report.t) -> r.id) bad)
+           ^ ")");
+      bad
+    end
+  in
   Format.printf "=== Wall-clock cost per experiment (Bechamel OLS) ===@.";
   let json_ok = ref true in
   List.iter
@@ -510,5 +618,5 @@ let () =
           | None -> Format.printf "  %-36s (no estimate)@." name)
         (rows_of_results results);
       if not (write_bench_json group results) then json_ok := false)
-    groups;
+    selected;
   if bad <> [] || not !json_ok then exit 1

@@ -203,6 +203,42 @@ let timing_args c =
     Cli.int c "x" ~default:0,
     Cli.int c "slack" ~default:5000 )
 
+let fallback_specs =
+  [
+    Cli.value "fallback"
+      "degraded-mode policy: quorum (adaptive ABD fallback) or none \
+       (default none)";
+    Cli.value "hb-us" "fallback heartbeat interval, µs (default 2500)";
+    Cli.value "suspect-after"
+      "missed heartbeat intervals before suspecting a peer (default 40)";
+  ]
+
+let fallback_args c =
+  match Cli.str c "fallback" ~default:"none" with
+  | "none" -> None
+  | "quorum" ->
+      (* In-process runs have no [Net.Serve] hook composition, so verbose
+         mode/suspicion logging is attached here (processes log their own). *)
+      let verbose = Cli.given c "verbose" in
+      Some
+        {
+          Quorum.Config.hb_us = Cli.int c "hb-us" ~default:2_500;
+          suspect_after = Cli.int c "suspect-after" ~default:40;
+          on_mode =
+            (fun ~quorum ~epoch ~seq ->
+              if verbose then
+                Printf.eprintf "[fallback] mode: %s(epoch=%d seq=%d)\n%!"
+                  (if quorum then "quorum" else "fast")
+                  epoch seq);
+          on_suspect =
+            (fun ~peer ~suspected ->
+              if verbose then
+                Printf.eprintf "[fallback] %s peer %d\n%!"
+                  (if suspected then "suspecting" else "cleared")
+                  peer);
+        }
+  | other -> Cli.fail c (Printf.sprintf "bad --fallback %s (quorum|none)" other)
+
 (* ---- live ---- *)
 
 let live_cmd () =
@@ -281,8 +317,9 @@ let serve_cmd () =
            interval)";
         Cli.value "snapshot-every"
           "checkpoint after this many WAL records (default 1024; 0 = never)";
-        Cli.flag "quiet" "suppress per-replica logging";
       ]
+    @ fallback_specs
+    @ [ Cli.flag "quiet" "suppress per-replica logging" ]
   in
   let c = Cli.parse ~prog ~specs argv in
   let pid =
@@ -339,6 +376,7 @@ let serve_cmd () =
         | Error e -> Cli.fail c ("bad --fsync: " ^ e)
       in
       let snapshot_every = Cli.int c "snapshot-every" ~default:1024 in
+      let fallback = fallback_args c in
       let module S = Net.Serve.Make (W) in
       S.run_until_signalled ?watch_parent ?wrap
         {
@@ -351,6 +389,7 @@ let serve_cmd () =
           durable;
           fsync;
           snapshot_every;
+          fallback;
           log;
         }
 
@@ -382,8 +421,9 @@ let cluster_cmd () =
            interval)";
         Cli.value "snapshot-every"
           "checkpoint after this many WAL records (default 1024; 0 = never)";
-        Cli.flag "verbose" "log child lifecycle to stderr";
       ]
+    @ fallback_specs
+    @ [ Cli.flag "verbose" "log child lifecycle to stderr" ]
   in
   let c = Cli.parse ~prog ~specs argv in
   let obj = Cli.str c "object" ~default:"register" in
@@ -416,10 +456,12 @@ let cluster_cmd () =
       | Ok _ -> ()
       | Error e -> Cli.fail c ("bad --fsync: " ^ e));
       let snapshot_every = Cli.int c "snapshot-every" ~default:1024 in
+      let fallback = fallback_args c in
       let module Cl = Net.Cluster.Make (W) in
       let report =
         Cl.run ~n ~d ~u ?eps ~x ~slack ?workers ~round ~mix ~host ~base_port
-          ~log ~abort ?durable_dir ~fsync ~snapshot_every ~ops ~seed ()
+          ~log ~abort ?durable_dir ~fsync ~snapshot_every ?fallback ~ops ~seed
+          ()
       in
       Format.printf "%a@." Net.Cluster.pp_report report;
       if not (Net.Cluster.ok report) then exit 1
@@ -466,6 +508,9 @@ let chaos_cmd () =
            interval)";
         Cli.value "snapshot-every"
           "checkpoint after this many WAL records (default 1024; 0 = never)";
+      ]
+    @ fallback_specs
+    @ [
         Cli.flag "show-log" "print the canonical injected-fault log";
         Cli.flag "verbose" "log fault injection and child lifecycle";
       ]
@@ -491,6 +536,7 @@ let chaos_cmd () =
       | Error e -> Cli.fail c ("bad --plan: " ^ e)
       | Ok plan ->
           let recovery = Cli.given c "recovery" in
+          let fallback = fallback_args c in
           if Cli.given c "processes" then begin
             let host = Cli.str c "host" ~default:"127.0.0.1" in
             let base_port = Cli.int c "base-port" ~default:7650 in
@@ -523,7 +569,7 @@ let chaos_cmd () =
             let report =
               Cl.run ~n ~d ~u ?eps ~x ~slack ?workers ~round ~mix ~host
                 ~base_port ~log ~abort ~plan ?durable_dir ~fsync
-                ~snapshot_every ~ops ~seed ()
+                ~snapshot_every ?fallback ~ops ~seed ()
             in
             Format.printf "%a@." Net.Cluster.pp_report report;
             let violations =
@@ -548,7 +594,7 @@ let chaos_cmd () =
               Fault.Chaos_run.run
                 ~workload:(module W.L)
                 ~n ~d ~u ?eps ~x ~slack ?workers ~round ~mix ~plan ~recovery
-                ~ops ~seed ()
+                ?fallback ~ops ~seed ()
             in
             Format.printf "%a@." Fault.Chaos_run.pp_report report;
             if Cli.given c "show-log" then
@@ -831,8 +877,9 @@ let shards_serve argv =
            interval)";
         Cli.value "snapshot-every"
           "checkpoint after this many WAL records (default 1024; 0 = never)";
-        Cli.flag "quiet" "suppress per-replica logging";
       ]
+    @ fallback_specs
+    @ [ Cli.flag "quiet" "suppress per-replica logging" ]
   in
   let c = Cli.parse ~prog ~specs argv in
   let pid =
@@ -894,6 +941,7 @@ let shards_serve argv =
         | Error e -> Cli.fail c ("bad --fsync: " ^ e)
       in
       let snapshot_every = Cli.int c "snapshot-every" ~default:1024 in
+      let fallback = fallback_args c in
       let module H = Shard.Host.Make (W) in
       H.run_until_signalled ?watch_parent
         {
@@ -908,6 +956,7 @@ let shards_serve argv =
           fsync;
           snapshot_every;
           chaos;
+          fallback;
           log;
         }
 

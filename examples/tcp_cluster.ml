@@ -53,6 +53,7 @@ let () =
             durable = None;
             fsync = Durable.Wal.Never;
             snapshot_every = 0;
+            fallback = None;
             log = (fun _ -> ());
           })
   in

@@ -68,4 +68,16 @@ module Make (D : Data_type.S) : sig
        and type result = D.result
        and type msg = entry
        and type timer := timer
+
+  val execute_through :
+    state ->
+    upto:Prelude.Stamp.t ->
+    inclusive:bool ->
+    state * (D.result, entry, timer) Sim.Action.t list
+  (** Pop every queued entry with timestamp ≤ [upto] ([<] when [inclusive]
+      is false) and execute it on the local copy in timestamp order; a
+      [Respond] action is returned if one of them was the pending OOP.
+      Exposed for hosts that impose their own execution barriers — the
+      quorum fallback applies committed entries through this so every
+      straggler below them executes first, in order. *)
 end

@@ -16,18 +16,24 @@ let ok r =
       true
 
 let run ~workload:(module L : Runtime.Workloads.LIVE) ~n ~d ~u ?eps ?x ?slack
-    ?workers ?round ?mix ?(recovery = false) ~plan ~ops ~seed () =
+    ?workers ?round ?mix ?(recovery = false) ?fallback ~plan ~ops ~seed () =
   let module G = Runtime.Loadgen.Make (L) in
   let chaos = Chaos_transport.create plan in
   let skews = Fault_plan.skews plan ~n in
   let fault_windows =
     List.map (fun (_, f, u) -> (f, u)) (Fault_plan.windows plan)
   in
-  let crashes = if recovery then Fault_plan.crash_schedule plan else [] in
+  (* The fallback needs the crash schedule too: a permanent kill
+     ([restart_at = max_int]) is exactly the fault the degraded mode is
+     for, so it must actually be realised against the replicas. *)
+  let crashes =
+    if recovery || fallback <> None then Fault_plan.crash_schedule plan
+    else []
+  in
   let run =
     G.run ~n ~d ~u ?eps ?x ?slack ?workers ?round ?mix ~skews
       ~wrap:(Chaos_transport.wrapper chaos)
-      ~fault_windows ~recovery ~crashes ~ops ~seed ()
+      ~fault_windows ~recovery ~crashes ?fallback ~ops ~seed ()
   in
   let violations =
     Assumption_monitor.violations ~recovery ~plan
@@ -52,6 +58,33 @@ let pp_report fmt r =
   let drops, dups, delays = r.injected in
   Format.fprintf fmt "@[<v>%a@,%a@,injected: %d dropped, %d duplicated, %d delayed@,"
     Fault_plan.pp r.plan Runtime.Loadgen.pp_report r.run drops dups delays;
+  (* Availability under the fallback: when did the cluster first degrade
+     relative to the first planned kill (time-to-switch), and did it get
+     back to the fast path? *)
+  (match r.run.Runtime.Loadgen.mode_switches with
+  | [] -> ()
+  | switches ->
+      let entered = List.filter (fun (_, q, _) -> q) switches in
+      let first_crash =
+        List.fold_left
+          (fun acc (_, crash_at, _) -> min acc crash_at)
+          max_int
+          (Fault_plan.crash_schedule r.plan)
+      in
+      Format.fprintf fmt "availability: %d mode switch%s" (List.length switches)
+        (if List.length switches = 1 then "" else "es");
+      (match (entered, first_crash) with
+      | (at, _, _) :: _, c when c < max_int && at >= c ->
+          Format.fprintf fmt "; first quorum entry %dµs after the kill"
+            (at - c)
+      | (at, _, _) :: _, _ ->
+          Format.fprintf fmt "; first quorum entry at t=%dµs" at
+      | [], _ -> ());
+      let last_fast =
+        match List.rev switches with (_, q, _) :: _ -> not q | [] -> false
+      in
+      if last_fast then Format.fprintf fmt "; fast path re-entered";
+      Format.fprintf fmt "@,");
   (match r.violations with
   | [] -> Format.fprintf fmt "assumption violations: none@,"
   | vs ->

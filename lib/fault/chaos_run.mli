@@ -36,6 +36,7 @@ val run :
   ?round:int ->
   ?mix:int * int * int ->
   ?recovery:bool ->
+  ?fallback:Quorum.Config.t ->
   plan:Fault_plan.t ->
   ops:int ->
   seed:int ->
@@ -50,6 +51,13 @@ val run :
     thaw the replica itself (not just its links), workers retry
     idempotently, and the monitor labels crash windows with their
     recovery deadline.  A crash/restart plan that is merely [Excused]
-    without recovery is expected to come back [Safety_held] with it. *)
+    without recovery is expected to come back [Safety_held] with it.
+
+    [fallback] arms the adaptive quorum fallback on every replica (see
+    {!Runtime.Loadgen.Make.run}).  Unlike [recovery] alone, the plan's
+    {e permanent} kills ([restart_at = max_int]) are then realised too —
+    the surviving majority degrades to quorum mode and the run is expected
+    to stay linearizable and complete.  [pp_report] prints the resulting
+    availability line (mode switches, time-to-switch after the kill). *)
 
 val pp_report : Format.formatter -> report -> unit

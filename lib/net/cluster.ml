@@ -107,7 +107,7 @@ module Make (W : Wire.WIRED) = struct
      [trace] is the per-process trace file (appended across supervised
      restarts, so one file covers a replica's whole life). *)
   let serve_argv ~exe ~peers ~pid ~d ~u ~eps ~x ~slack ~offset ~epoch ~chaos
-      ~trace ~durable ~fsync ~snapshot_every =
+      ~trace ~durable ~fsync ~snapshot_every ~fallback =
     let base =
       [
         exe; "serve";
@@ -130,6 +130,14 @@ module Make (W : Wire.WIRED) = struct
       | Some (spec, cseed) ->
           [ "--chaos"; spec; "--chaos-seed"; string_of_int cseed ])
       @ (match trace with None -> [] | Some path -> [ "--trace"; path ])
+      @ (match fallback with
+        | None -> []
+        | Some (cfg : Quorum.Config.t) ->
+            [
+              "--fallback"; "quorum";
+              "--hb-us"; string_of_int cfg.Quorum.Config.hb_us;
+              "--suspect-after"; string_of_int cfg.Quorum.Config.suspect_after;
+            ])
       @
       match durable with
       | None -> []
@@ -159,14 +167,35 @@ module Make (W : Wire.WIRED) = struct
      not the round: the worker drops the connection, re-establishes it with
      the client's capped retries, and carries on — the path a crashed
      replica's clients take through its supervised restart.  Only a failed
-     reconnect (replica still gone after ~2 s of retries) aborts. *)
+     reconnect (replica still gone after ~2 s of retries) aborts.
+
+     In [rotate] mode (quorum fallback armed) the worker additionally fails
+     over: a replica that refuses a retryable op (permanently dead, or a
+     stalled minority asking clients to go elsewhere) rotates the worker to
+     the next port, and only exhausting every replica gives up. *)
   let worker_round ~host ~ports ~origin_us ~abort ?(resilient = false)
-      ?(traced = false) ?(windows = []) ?mint ?timeout_us rng ~mix ~total
-      ~quota ~wid =
+      ?(rotate = false) ?(traced = false) ?(windows = []) ?mint ?timeout_us
+      rng ~seed ~mix ~total ~quota ~wid =
     let hists = Array.init 6 (fun _ -> Runtime.Histogram.create ()) in
-    let port = ports.(wid mod Array.length ports) in
-    let attempts = if resilient then 40 else 3 in
-    let connect () = Cl.connect ~host ~port ~attempts ~retry_delay_us:50_000 () in
+    let nports = Array.length ports in
+    let shift = ref 0 in
+    (* Rotation keeps per-port retries short: failing over to a live
+       replica beats waiting ~2 s for a dead one to answer. *)
+    let attempts = if rotate then 10 else if resilient then 40 else 3 in
+    let connect () =
+      let rec go k =
+        let port = ports.((wid + !shift) mod nports) in
+        match Cl.connect ~host ~port ~attempts ~retry_delay_us:50_000 () with
+        | Ok c -> Ok c
+        | Error e ->
+            if rotate && k + 1 < nports then begin
+              incr shift;
+              go (k + 1)
+            end
+            else Error e
+      in
+      go 0
+    in
     let in_windows t = List.exists (fun (f, u) -> f <= t && t < u) windows in
     match connect () with
     | Error e ->
@@ -204,13 +233,16 @@ module Make (W : Wire.WIRED) = struct
               in
               let op_id = match mint with None -> 0 | Some m -> m () in
               let t0 = Prelude.Mclock.now_us () in
-              (* Idempotent path (durable clusters): a timed-out or dropped
-                 invocation is replayed with the {e same} op id on a fresh
-                 connection, with capped exponential backoff + jitter.  The
-                 replica dedups the replay, so the history records one
-                 operation spanning invoke at first attempt to response at
-                 the successful one — exactly the interval the client
-                 observed. *)
+              (* Idempotent path (durable or fallback clusters): a timed-out
+                 or dropped invocation is replayed with the {e same} op id
+                 on a fresh connection, with capped exponential backoff +
+                 jitter.  The replica dedups the replay, so the history
+                 records one operation spanning invoke at first attempt to
+                 response at the successful one — exactly the interval the
+                 client observed.  The jitter is hashed from the run seed
+                 and the retry site ([wid], [op_id], attempt), not drawn
+                 from the worker's generator: a retry must not perturb the
+                 op-draw sequence, so chaos runs replay bit-for-bit. *)
               let rec attempt c backoff tries =
                 match Cl.invoke ~trace ~op_id ?timeout_us c op with
                 | Ok r -> (Some c, Ok r)
@@ -218,8 +250,14 @@ module Make (W : Wire.WIRED) = struct
                   when op_id <> 0 && Cl.retryable e && tries < 25
                        && not (Atomic.get abort) -> (
                     Cl.close c;
-                    Prelude.Mclock.sleep_us
-                      (backoff + Prelude.Rng.int rng (1 + (backoff / 2)));
+                    let jitter =
+                      Prelude.Rng.hash [ seed; wid; op_id; tries ]
+                      mod (1 + (backoff / 2))
+                    in
+                    Prelude.Mclock.sleep_us (backoff + jitter);
+                    (* The refusing replica may be dead or a stalled
+                       minority — under the fallback, fail over. *)
+                    if rotate then incr shift;
                     match connect () with
                     | Ok c' -> attempt c' (min (2 * backoff) 400_000) (tries + 1)
                     | Error e' -> (None, Error e'))
@@ -284,11 +322,11 @@ module Make (W : Wire.WIRED) = struct
       durable_dir
 
   let spawn_one ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch ~chaos
-      ~trace_dir ~durable_dir ~fsync ~snapshot_every ~log i =
+      ~trace_dir ~durable_dir ~fsync ~snapshot_every ~fallback ~log i =
     let argv =
       serve_argv ~exe ~peers:(peers_of ~host ~ports) ~pid:i ~d ~u ~eps ~x
         ~slack ~offset:offsets.(i) ~epoch ~chaos ~trace:(trace_path trace_dir i)
-        ~durable:(durable_path durable_dir i) ~fsync ~snapshot_every
+        ~durable:(durable_path durable_dir i) ~fsync ~snapshot_every ~fallback
     in
     let os_pid =
       Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr
@@ -299,10 +337,10 @@ module Make (W : Wire.WIRED) = struct
     { child_pid = i; os_pid; port = ports.(i) }
 
   let spawn_children ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch
-      ~chaos ~trace_dir ~durable_dir ~fsync ~snapshot_every ~log =
+      ~chaos ~trace_dir ~durable_dir ~fsync ~snapshot_every ~fallback ~log =
     Array.init (Array.length ports)
       (spawn_one ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch ~chaos
-         ~trace_dir ~durable_dir ~fsync ~snapshot_every ~log)
+         ~trace_dir ~durable_dir ~fsync ~snapshot_every ~fallback ~log)
 
   (* The monitor thread is the sole reaper: everyone else consults the
      table.  [expected] is flipped before teardown so deliberate
@@ -452,8 +490,8 @@ module Make (W : Wire.WIRED) = struct
   let run ~n ~d ~u ?eps ?(x = 0) ?(slack = 5000) ?workers ?(round = 24)
       ?(mix = (50, 40, 10)) ?(host = "127.0.0.1") ?(base_port = 7600)
       ?(exe = Sys.executable_name) ?(log = fun _ -> ()) ?abort ?plan ?trace_dir
-      ?durable_dir ?(fsync = "interval") ?(snapshot_every = 1024) ~ops ~seed ()
-      =
+      ?durable_dir ?(fsync = "interval") ?(snapshot_every = 1024) ?fallback
+      ~ops ~seed () =
     if n < 1 then invalid_arg "Cluster.run: n must be >= 1";
     if round < 1 || round > 62 then
       invalid_arg "Cluster.run: round must be in [1, 62]";
@@ -532,15 +570,16 @@ module Make (W : Wire.WIRED) = struct
     let op_ids =
       Atomic.make (((epoch land ((1 lsl 38) - 1)) lsl 24) lor 1)
     in
+    (* Fallback clusters run the same idempotent-client protocol as durable
+       ones: an op refused by a dying (or degrading) replica is replayed —
+       possibly against a different replica — under one id. *)
+    let idempotent = durable_dir <> None || fallback <> None in
     let mint =
-      match durable_dir with
-      | None -> None
-      | Some _ -> Some (fun () -> Atomic.fetch_and_add op_ids 1)
+      if idempotent then Some (fun () -> Atomic.fetch_and_add op_ids 1)
+      else None
     in
     let timeout_us =
-      match durable_dir with
-      | None -> None
-      | Some _ -> Some ((2 * (d + slack + eps)) + 2_000_000)
+      if idempotent then Some ((2 * (d + slack + eps)) + 2_000_000) else None
     in
     (* A restart over existing durable directories serves the *persisted*
        history: the first [get] of the run may legitimately return a value
@@ -578,7 +617,7 @@ module Make (W : Wire.WIRED) = struct
     in
     let children =
       spawn_children ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch
-        ~chaos ~trace_dir ~durable_dir ~fsync ~snapshot_every ~log
+        ~chaos ~trace_dir ~durable_dir ~fsync ~snapshot_every ~fallback ~log
     in
     let mon = start_monitor children ~abort ~log in
     (* The crash scheduler: one supervisor thread per crash rule.  It
@@ -626,7 +665,7 @@ module Make (W : Wire.WIRED) = struct
                            match
                              spawn_one ~exe ~host ~ports ~d ~u ~eps ~x ~slack
                                ~offsets ~epoch ~chaos ~trace_dir ~durable_dir
-                               ~fsync ~snapshot_every ~log pid
+                               ~fsync ~snapshot_every ~fallback ~log pid
                            with
                            | fresh -> Some fresh
                            | exception (Unix.Unix_error _ | Sys_error _) ->
@@ -695,8 +734,8 @@ module Make (W : Wire.WIRED) = struct
             in
             Domain.spawn (fun () ->
                 worker_round ~host ~ports ~origin_us:epoch ~abort ~resilient
-                  ~traced ~windows:fault_windows ?mint ?timeout_us mine ~mix
-                  ~total ~quota:share ~wid))
+                  ~rotate:(fallback <> None) ~traced ~windows:fault_windows
+                  ?mint ?timeout_us mine ~seed ~mix ~total ~quota:share ~wid))
       in
       List.iter
         (fun dom ->

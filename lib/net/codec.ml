@@ -18,11 +18,13 @@
    anti-entropy after a crash.  v4: every op/ack/catch-up payload gains a
    trailing shard id (one varint, 0 = the only shard) so many Algorithm 1
    instances multiplex over one per-peer link, and the hello carries the
-   sender's shard count for handshake-time topology agreement.  Peers
-   speaking older versions are rejected at decode ("unsupported version
-   N"), which the handshake turns into a clean [Error_msg] rather than a
-   crash. *)
-let version = 4
+   sender's shard count for handshake-time topology agreement.  v5: seven
+   quorum-fallback frame kinds (9–15) — the heartbeat/mode announcement
+   and the forward/propose/ack/commit/nack/fill frames of the degraded
+   ABD mode — all shard-tagged like every other op frame.  Peers speaking
+   older versions are rejected at decode ("unsupported version N"), which
+   the handshake turns into a clean [Error_msg] rather than a crash. *)
+let version = 5
 let header_len = 12
 let max_payload = 1 lsl 24  (* 16 MiB: far above any entry, guards length bombs *)
 let magic0 = 'T'
@@ -211,6 +213,13 @@ let k_stats = 5
 let k_error = 6
 let k_catchup_req = 7
 let k_catchup_rep = 8
+let k_hb = 9
+let k_forward = 10
+let k_propose = 11
+let k_qack = 12
+let k_qcommit = 13
+let k_fnack = 14
+let k_qfill = 15
 
 module Make (O : OBJ_CODEC) = struct
   type msg =
@@ -236,6 +245,37 @@ module Make (O : OBJ_CODEC) = struct
         cpid : int;
         shard : int;
       }
+    | Hb of {
+        stamp : int;
+        epoch : int;
+        qmode : bool;
+        seq : int;
+        floor : int;
+        shard : int;
+      }
+    | Forward of {
+        qid : int;
+        origin : int;
+        op : O.D.op;
+        op_id : int;
+        trace : int;
+        shard : int;
+      }
+    | Propose of {
+        epoch : int;
+        qseq : int;
+        time : int;
+        origin : int;
+        qid : int;
+        op : O.D.op;
+        op_id : int;
+        trace : int;
+        shard : int;
+      }
+    | Qack of { epoch : int; qseq : int; shard : int }
+    | Qcommit of { epoch : int; qseq : int; shard : int }
+    | Fnack of { qid : int; shard : int }
+    | Qfill of { epoch : int; from_seq : int; shard : int }
 
   let equal_msg a b =
     match (a, b) with
@@ -260,6 +300,25 @@ module Make (O : OBJ_CODEC) = struct
              (fun (o1, t1, p1, i1) (o2, t2, p2, i2) ->
                O.D.equal_op o1 o2 && t1 = t2 && p1 = p2 && i1 = i2)
              p1.entries p2.entries
+    | Hb h1, Hb h2 ->
+        h1.stamp = h2.stamp && h1.epoch = h2.epoch && h1.qmode = h2.qmode
+        && h1.seq = h2.seq && h1.floor = h2.floor && h1.shard = h2.shard
+    | Forward f1, Forward f2 ->
+        f1.qid = f2.qid && f1.origin = f2.origin && O.D.equal_op f1.op f2.op
+        && f1.op_id = f2.op_id && f1.trace = f2.trace && f1.shard = f2.shard
+    | Propose p1, Propose p2 ->
+        p1.epoch = p2.epoch && p1.qseq = p2.qseq && p1.time = p2.time
+        && p1.origin = p2.origin && p1.qid = p2.qid
+        && O.D.equal_op p1.op p2.op && p1.op_id = p2.op_id
+        && p1.trace = p2.trace && p1.shard = p2.shard
+    | Qack a1, Qack a2 ->
+        a1.epoch = a2.epoch && a1.qseq = a2.qseq && a1.shard = a2.shard
+    | Qcommit c1, Qcommit c2 ->
+        c1.epoch = c2.epoch && c1.qseq = c2.qseq && c1.shard = c2.shard
+    | Fnack n1, Fnack n2 -> n1.qid = n2.qid && n1.shard = n2.shard
+    | Qfill q1, Qfill q2 ->
+        q1.epoch = q2.epoch && q1.from_seq = q2.from_seq
+        && q1.shard = q2.shard
     | _ -> false
 
   let pp_msg fmt = function
@@ -284,6 +343,24 @@ module Make (O : OBJ_CODEC) = struct
     | Catchup_rep p ->
         Format.fprintf fmt "catchup{%d entries, hwm=⟨%d,%d⟩ s=%d}"
           (List.length p.entries) p.time p.cpid p.shard
+    | Hb h ->
+        Format.fprintf fmt "hb{clk=%d e=%d %s seq=%d floor=%d s=%d}" h.stamp
+          h.epoch
+          (if h.qmode then "quorum" else "fast")
+          h.seq h.floor h.shard
+    | Forward f ->
+        Format.fprintf fmt "fwd{%a qid=%d from=%d id=%d t=%x s=%d}" O.D.pp_op
+          f.op f.qid f.origin f.op_id f.trace f.shard
+    | Propose p ->
+        Format.fprintf fmt "propose{e=%d #%d %a @@ ⟨%d,%d⟩ qid=%d id=%d s=%d}"
+          p.epoch p.qseq O.D.pp_op p.op p.time p.origin p.qid p.op_id p.shard
+    | Qack a -> Format.fprintf fmt "qack{e=%d #%d s=%d}" a.epoch a.qseq a.shard
+    | Qcommit c ->
+        Format.fprintf fmt "qcommit{e=%d #%d s=%d}" c.epoch c.qseq c.shard
+    | Fnack n -> Format.fprintf fmt "fnack{qid=%d s=%d}" n.qid n.shard
+    | Qfill q ->
+        Format.fprintf fmt "qfill{e=%d from=%d s=%d}" q.epoch q.from_seq
+          q.shard
 
   let encode msg =
     let b = Buffer.create 32 in
@@ -352,6 +429,52 @@ module Make (O : OBJ_CODEC) = struct
           Wr.int b p.cpid;
           Wr.int b p.shard;
           k_catchup_rep
+      | Hb h ->
+          Wr.int b h.stamp;
+          Wr.int b h.epoch;
+          Wr.int b (if h.qmode then 1 else 0);
+          Wr.int b h.seq;
+          Wr.int b h.floor;
+          Wr.int b h.shard;
+          k_hb
+      | Forward f ->
+          Wr.int b f.qid;
+          Wr.int b f.origin;
+          O.write_op b f.op;
+          Wr.int b f.op_id;
+          Wr.int b f.trace;
+          Wr.int b f.shard;
+          k_forward
+      | Propose p ->
+          Wr.int b p.epoch;
+          Wr.int b p.qseq;
+          Wr.int b p.time;
+          Wr.int b p.origin;
+          Wr.int b p.qid;
+          O.write_op b p.op;
+          Wr.int b p.op_id;
+          Wr.int b p.trace;
+          Wr.int b p.shard;
+          k_propose
+      | Qack a ->
+          Wr.int b a.epoch;
+          Wr.int b a.qseq;
+          Wr.int b a.shard;
+          k_qack
+      | Qcommit c ->
+          Wr.int b c.epoch;
+          Wr.int b c.qseq;
+          Wr.int b c.shard;
+          k_qcommit
+      | Fnack n ->
+          Wr.int b n.qid;
+          Wr.int b n.shard;
+          k_fnack
+      | Qfill q ->
+          Wr.int b q.epoch;
+          Wr.int b q.from_seq;
+          Wr.int b q.shard;
+          k_qfill
     in
     encode_frame ~kind ~payload:(Buffer.contents b)
 
@@ -439,6 +562,64 @@ module Make (O : OBJ_CODEC) = struct
           let cpid = Rd.int r in
           let shard = Rd.int r in
           Catchup_rep { entries; time; cpid; shard }
+        end
+        else if frame.kind = k_hb then begin
+          let stamp = Rd.int r in
+          let epoch = Rd.int r in
+          let qmode =
+            match Rd.int r with
+            | 0 -> false
+            | 1 -> true
+            | t -> Rd.fail (Printf.sprintf "hb: bad mode tag %d" t)
+          in
+          let seq = Rd.int r in
+          let floor = Rd.int r in
+          let shard = Rd.int r in
+          Hb { stamp; epoch; qmode; seq; floor; shard }
+        end
+        else if frame.kind = k_forward then begin
+          let qid = Rd.int r in
+          let origin = Rd.int r in
+          let op = O.read_op r in
+          let op_id = Rd.int r in
+          let trace = Rd.int r in
+          let shard = Rd.int r in
+          Forward { qid; origin; op; op_id; trace; shard }
+        end
+        else if frame.kind = k_propose then begin
+          let epoch = Rd.int r in
+          let qseq = Rd.int r in
+          let time = Rd.int r in
+          let origin = Rd.int r in
+          let qid = Rd.int r in
+          let op = O.read_op r in
+          let op_id = Rd.int r in
+          let trace = Rd.int r in
+          let shard = Rd.int r in
+          Propose { epoch; qseq; time; origin; qid; op; op_id; trace; shard }
+        end
+        else if frame.kind = k_qack then begin
+          let epoch = Rd.int r in
+          let qseq = Rd.int r in
+          let shard = Rd.int r in
+          Qack { epoch; qseq; shard }
+        end
+        else if frame.kind = k_qcommit then begin
+          let epoch = Rd.int r in
+          let qseq = Rd.int r in
+          let shard = Rd.int r in
+          Qcommit { epoch; qseq; shard }
+        end
+        else if frame.kind = k_fnack then begin
+          let qid = Rd.int r in
+          let shard = Rd.int r in
+          Fnack { qid; shard }
+        end
+        else if frame.kind = k_qfill then begin
+          let epoch = Rd.int r in
+          let from_seq = Rd.int r in
+          let shard = Rd.int r in
+          Qfill { epoch; from_seq; shard }
         end
         else Rd.fail (Printf.sprintf "unknown frame kind %d" frame.kind)
       in

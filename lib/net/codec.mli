@@ -23,14 +23,16 @@
     [Tcp_transport] and README "Wire format". *)
 
 val version : int
-(** Current wire version (4 — v2 added the trace id to [Entry]/[Invoke]
+(** Current wire version (5 — v2 added the trace id to [Entry]/[Invoke]
     payloads; v3 added the client operation id to both, plus the
     catch-up request/reply frames for post-crash peer anti-entropy; v4
     added the shard id to every op/ack/catch-up payload and the shard
     count to the handshake, so a sharded namespace multiplexes many
-    Algorithm 1 instances over one per-peer link).  A decoder rejects
-    every other version, so incompatible formats — older peers included —
-    fail the handshake cleanly instead of misparsing. *)
+    Algorithm 1 instances over one per-peer link; v5 added the quorum
+    fallback's frames — the heartbeat doubling as the mode announcement
+    plus forward/propose/ack/commit/nack/fill, all shard-tagged).  A
+    decoder rejects every other version, so incompatible formats — older
+    peers included — fail the handshake cleanly instead of misparsing. *)
 
 val header_len : int
 val max_payload : int
@@ -151,6 +153,44 @@ module Make (O : OBJ_CODEC) : sig
         cpid : int;  (** the replier's own high-water mark *)
         shard : int;
       }
+    | Hb of {
+        stamp : int;
+        epoch : int;
+        qmode : bool;
+        seq : int;
+        floor : int;
+        shard : int;
+      }
+        (** replica → replicas: failure-detector heartbeat carrying the
+            sender's clock, doubling as the mode announcement (epoch,
+            fast/quorum, sequencer pid, stamp floor) — see DESIGN.md §13 *)
+    | Forward of {
+        qid : int;
+        origin : int;
+        op : O.D.op;
+        op_id : int;
+        trace : int;
+        shard : int;
+      }  (** origin replica → sequencer: order this op in the quorum log *)
+    | Propose of {
+        epoch : int;
+        qseq : int;
+        time : int;  (** assigned stamp time; the stamp pid is [origin] *)
+        origin : int;
+        qid : int;
+        op : O.D.op;
+        op_id : int;
+        trace : int;
+        shard : int;
+      }  (** sequencer → replicas: slot [qseq] of era [epoch] holds this *)
+    | Qack of { epoch : int; qseq : int; shard : int }
+        (** follower → sequencer: slot stored *)
+    | Qcommit of { epoch : int; qseq : int; shard : int }
+        (** sequencer → replicas: majority reached; apply in slot order *)
+    | Fnack of { qid : int; shard : int }
+        (** addressee was not the sequencer: re-route the forward *)
+    | Qfill of { epoch : int; from_seq : int; shard : int }
+        (** follower → sequencer: re-send payloads from [from_seq] up *)
 
   val equal_msg : msg -> msg -> bool
   val pp_msg : Format.formatter -> msg -> unit

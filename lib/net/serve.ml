@@ -39,6 +39,13 @@ type config = {
   fsync : Durable.Wal.fsync;  (** WAL durability policy (when [durable]) *)
   snapshot_every : int;
       (** checkpoint after this many WAL records (≤ 0 = never snapshot) *)
+  fallback : Quorum.Config.t option;
+      (** arm the adaptive quorum fallback ([--fallback quorum]): the
+          replica heartbeats its peers, runs the fast path behind the
+          response release gate while timing holds, and degrades to the
+          sequencer/majority mode when a peer is suspected dead.  The
+          configured [on_mode]/[on_suspect] hooks are composed with this
+          stack's own logging (the "mode: quorum(...)" lines CI greps). *)
   log : string -> unit;
 }
 
@@ -129,6 +136,37 @@ module Make (W : Wire.WIRED) = struct
             entries
         in
         Some (R.of_wire (R.Wire_catchup_rep { entries; time; cpid }))
+    | Ok (C.Hb { stamp; epoch; qmode; seq; floor; shard = 0 }) ->
+        Some (R.of_wire (R.Wire_quorum (R.Hb { stamp; epoch; qmode; seq; floor })))
+    | Ok (C.Forward { qid; origin; op; op_id; trace; shard = 0 }) ->
+        Some (R.of_wire (R.Wire_quorum (R.Forward { qid; origin; op; op_id; trace })))
+    | Ok (C.Propose { epoch; qseq; time; origin; qid; op; op_id; trace; shard = 0 })
+      ->
+        Some
+          (R.of_wire
+             (R.Wire_quorum
+                (R.Propose
+                   {
+                     epoch;
+                     qseq;
+                     p =
+                       {
+                         R.q_time = time;
+                         q_op = op;
+                         q_origin = origin;
+                         q_qid = qid;
+                         q_op_id = op_id;
+                         q_trace = trace;
+                       };
+                   })))
+    | Ok (C.Qack { epoch; qseq; shard = 0 }) ->
+        Some (R.of_wire (R.Wire_quorum (R.Qack { epoch; qseq })))
+    | Ok (C.Qcommit { epoch; qseq; shard = 0 }) ->
+        Some (R.of_wire (R.Wire_quorum (R.Qcommit { epoch; qseq })))
+    | Ok (C.Fnack { qid; shard = 0 }) ->
+        Some (R.of_wire (R.Wire_quorum (R.Fnack { qid })))
+    | Ok (C.Qfill { epoch; from_seq; shard = 0 }) ->
+        Some (R.of_wire (R.Wire_quorum (R.Qfill { epoch; from_seq })))
     | Ok _ | Error _ -> None
 
   let encode_peer ev =
@@ -157,6 +195,31 @@ module Make (W : Wire.WIRED) = struct
             entries
         in
         C.encode (C.Catchup_rep { entries; time; cpid; shard = 0 })
+    | Some (R.Wire_quorum q) ->
+        C.encode
+          (match q with
+          | R.Hb { stamp; epoch; qmode; seq; floor } ->
+              C.Hb { stamp; epoch; qmode; seq; floor; shard = 0 }
+          | R.Forward { qid; origin; op; op_id; trace } ->
+              C.Forward { qid; origin; op; op_id; trace; shard = 0 }
+          | R.Propose { epoch; qseq; p } ->
+              C.Propose
+                {
+                  epoch;
+                  qseq;
+                  time = p.R.q_time;
+                  origin = p.R.q_origin;
+                  qid = p.R.q_qid;
+                  op = p.R.q_op;
+                  op_id = p.R.q_op_id;
+                  trace = p.R.q_trace;
+                  shard = 0;
+                }
+          | R.Qack { epoch; qseq } -> C.Qack { epoch; qseq; shard = 0 }
+          | R.Qcommit { epoch; qseq } -> C.Qcommit { epoch; qseq; shard = 0 }
+          | R.Fnack { qid } -> C.Fnack { qid; shard = 0 }
+          | R.Qfill { epoch; from_seq } ->
+              C.Qfill { epoch; from_seq; shard = 0 })
     | None ->
         (* Invoke/Stop/… are local-only events; the replica never sends
            them, so reaching here is a wiring bug. *)
@@ -317,9 +380,35 @@ module Make (W : Wire.WIRED) = struct
               Some (store, recovery, recovered.Durable.Store.r_fresh, replayed, took))
     in
     let recovery = Option.map (fun (_, r, _, _, _) -> r) durable in
+    (* Compose the caller's fallback hooks with this stack's own logging —
+       the "mode: quorum(...)" / "mode: fast(...)" lines are what the CI
+       permanent-kill smoke greps for. *)
+    let fallback =
+      Option.map
+        (fun (q : Quorum.Config.t) ->
+          {
+            q with
+            Quorum.Config.on_mode =
+              (fun ~quorum ~epoch ~seq ->
+                cfg.log
+                  (Printf.sprintf "replica %d: mode: %s(epoch=%d seq=%d)"
+                     cfg.pid
+                     (if quorum then "quorum" else "fast")
+                     epoch seq);
+                q.Quorum.Config.on_mode ~quorum ~epoch ~seq);
+            on_suspect =
+              (fun ~peer ~suspected ->
+                cfg.log
+                  (Printf.sprintf "replica %d: %s peer %d" cfg.pid
+                     (if suspected then "suspecting" else "cleared")
+                     peer);
+                q.Quorum.Config.on_suspect ~peer ~suspected);
+          })
+        cfg.fallback
+    in
     let node =
       R.node ~params:cfg.params ~transport ~pid:cfg.pid ~offset:cfg.offset
-        ?start_us:cfg.start_us ?recovery ()
+        ?start_us:cfg.start_us ?recovery ?fallback ()
     in
     node_ref := Some node;
     let store =

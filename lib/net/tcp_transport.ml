@@ -41,6 +41,11 @@ type link = {
   cond : Condition.t;
   mutable fd : Unix.file_descr option;
   mutable attempts : int;  (** connect attempts so far (for reconnects) *)
+  mutable backoff : int;
+      (** next reconnect delay, µs; doubles per failure up to the cap and
+          resets to the minimum once a connect + Hello succeeds, so a healed
+          link probes at full cadence again instead of staying pinned at the
+          maximum backoff (which would starve failure-detector recovery) *)
 }
 
 type counters = {
@@ -164,7 +169,7 @@ let ensure_connected st link =
     if waited > 0 then
       ignore (Atomic.fetch_and_add st.ctrs.disconnected_us waited)
   in
-  let rec go backoff =
+  let rec go () =
     if Atomic.get st.stopping then begin
       charge ();
       None
@@ -179,14 +184,17 @@ let ensure_connected st link =
           | Some fd ->
               Mutex.lock link.lock;
               link.fd <- Some fd;
+              link.backoff <- st.backoff_min_us;
               Mutex.unlock link.lock;
               charge ();
               Some fd
           | None ->
+              let backoff = link.backoff in
+              link.backoff <- min (2 * backoff) st.backoff_max_us;
               backoff_sleep st backoff;
-              go (min (2 * backoff) st.backoff_max_us))
+              go ())
   in
-  go st.backoff_min_us
+  go ()
 
 let drop_connection link =
   Mutex.lock link.lock;
@@ -350,6 +358,7 @@ let create (type msg) ~me ~addrs ~listener ~hello ~classify_hello
               cond = Condition.create ();
               fd = None;
               attempts = 0;
+              backoff = backoff_min_us;
             });
       ctrs =
         {

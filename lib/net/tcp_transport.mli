@@ -16,7 +16,9 @@
 
     Reconnect: when a link's connection fails, its writer reconnects with
     capped exponential backoff ([backoff_min_us] doubling up to
-    [backoff_max_us]); every attempt beyond a link's first is counted in
+    [backoff_max_us], per link, reset to the minimum whenever a connect +
+    Hello succeeds so a healed link probes at full cadence again); every
+    attempt beyond a link's first is counted in
     {!Runtime.Transport_intf.link_stats.reconnects}.  The frame being
     written when a connection fails is retransmitted after reconnecting
     (the receiver discards the truncated copy at EOF); frames queued while

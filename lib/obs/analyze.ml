@@ -29,6 +29,9 @@ type report = {
   excused : int;
   ring_drops : int;
   faults : int;
+  mode_switches : int;
+  suspect_transitions : int;
+  quorum_spans : int;
 }
 
 let bound_us (p : Core.Params.t) cls =
@@ -36,16 +39,54 @@ let bound_us (p : Core.Params.t) cls =
   else if cls = Event.class_accessor then p.timing.accessor_wait
   else p.d + p.eps
 
+(* In quorum mode every operation costs two round trips — forward to the
+   sequencer plus propose/ack — so the expectation is 4δ (δ ≤ d while the
+   link bound holds), not the paper's fast-path bounds. *)
+let quorum_bound_us (p : Core.Params.t) = (4 * p.d) + p.eps
+
+(* Intervals during which the recording replicas ran in quorum mode,
+   reconstructed from [Mode_switch] events.  Any replica being in quorum
+   mode opens the window: spans route through the sequencer then, whatever
+   pid recorded their invocation. *)
+let quorum_windows events =
+  let switches =
+    List.filter (fun (e : Event.t) -> e.kind = Event.Mode_switch) events
+    |> List.sort (fun (a : Event.t) b -> compare a.t_us b.t_us)
+  in
+  let rec go depth opened acc = function
+    | [] -> if depth > 0 then List.rev ((opened, max_int) :: acc) else List.rev acc
+    | (e : Event.t) :: rest ->
+        if e.a = 1 then
+          go (depth + 1) (if depth = 0 then e.t_us else opened) acc rest
+        else if depth > 1 then go (depth - 1) opened acc rest
+        else if depth = 1 then go 0 0 ((opened, e.t_us) :: acc) rest
+        else go 0 0 acc rest
+  in
+  go 0 0 [] switches
+
 let overlaps ~t_inv ~t_resp (_, from_us, until_us) =
   t_inv <= until_us && t_resp >= from_us
 
-let check_span ~params ~grace_us ~windows (s : Span.t) =
-  let bound = bound_us params s.cls in
+let check_span ~params ~grace_us ~windows ~qwindows (s : Span.t) =
+  let inside (from_us, until_us) = s.t_inv >= from_us && s.t_inv <= until_us in
+  let in_quorum = List.exists inside qwindows in
+  let bound =
+    if in_quorum then quorum_bound_us params else bound_us params s.cls
+  in
   let verdict =
     match (s.t_resp, s.latency_us) with
     | None, _ | _, None -> Incomplete
     | Some t_resp, Some lat ->
         if lat <= bound + grace_us then Within
+        else if
+          (* A span that straddles a mode boundary paid the switch barrier
+             (drain + re-route); neither mode's bound applies to it. *)
+          (not in_quorum)
+          && List.exists
+               (fun (from_us, until_us) ->
+                 t_resp >= from_us && s.t_inv <= until_us)
+               qwindows
+        then Excused "mode switch"
         else (
           match
             List.find_opt (overlaps ~t_inv:s.t_inv ~t_resp) windows
@@ -105,7 +146,10 @@ let class_stats_of cls checked =
 
 let check ~params ?(grace_us = 0) ?(windows = []) events =
   let spans = Span.assemble events in
-  let checked = List.map (check_span ~params ~grace_us ~windows) spans in
+  let qwindows = quorum_windows events in
+  let checked =
+    List.map (check_span ~params ~grace_us ~windows ~qwindows) spans
+  in
   let classes =
     List.sort_uniq compare (List.map (fun (s : Span.t) -> s.cls) spans)
     |> List.map (fun cls -> class_stats_of cls checked)
@@ -130,6 +174,21 @@ let check ~params ?(grace_us = 0) ?(windows = []) events =
     faults =
       List.length
         (List.filter (fun (e : Event.t) -> e.kind = Event.Fault) events);
+    mode_switches =
+      List.length
+        (List.filter (fun (e : Event.t) -> e.kind = Event.Mode_switch) events);
+    suspect_transitions =
+      List.length
+        (List.filter (fun (e : Event.t) -> e.kind = Event.Suspect) events);
+    quorum_spans =
+      List.length
+        (List.filter
+           (fun (c : checked) ->
+             List.exists
+               (fun (from_us, until_us) ->
+                 c.span.Span.t_inv >= from_us && c.span.Span.t_inv <= until_us)
+               qwindows)
+           checked);
   }
 
 let pp_verdict ppf = function
@@ -164,6 +223,16 @@ let pp_report ppf r =
     r.faults
     (if r.faults = 1 then "" else "s")
     r.grace_us;
+  if r.mode_switches > 0 then
+    Format.fprintf ppf
+      "quorum fallback: %d mode switch%s, %d suspicion transition%s, %d \
+       op%s checked against the 4d+eps quorum bound@,"
+      r.mode_switches
+      (if r.mode_switches = 1 then "" else "es")
+      r.suspect_transitions
+      (if r.suspect_transitions = 1 then "" else "s")
+      r.quorum_spans
+      (if r.quorum_spans = 1 then "" else "s");
   Format.fprintf ppf
     "  %-9s %5s %9s %8s %8s %8s %9s %9s %10s %10s %5s %7s@," "class" "ops"
     "bound" "p50" "p99" "max" "hold" "wire" "rqueue" "overshoot" "viol"

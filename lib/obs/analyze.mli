@@ -45,11 +45,25 @@ type report = {
   excused : int;
   ring_drops : int;  (** events lost to recorder wrap-around *)
   faults : int;  (** chaos injections seen in the stream *)
+  mode_switches : int;  (** [Mode_switch] events in the stream *)
+  suspect_transitions : int;  (** [Suspect] events in the stream *)
+  quorum_spans : int;  (** spans invoked while quorum mode was active *)
 }
 
 val bound_us : Core.Params.t -> int -> int
 (** The paper bound for a class code: mutator ↦ ε+X, accessor ↦ d+ε−X,
     other ↦ d+ε. *)
+
+val quorum_bound_us : Core.Params.t -> int
+(** The round-trip expectation while in quorum mode: 4d + ε (forward to
+    the sequencer plus propose/ack, two δ-bounded round trips). *)
+
+val quorum_windows : Event.t list -> (int * int) list
+(** Intervals during which any replica ran in quorum mode, reconstructed
+    from [Mode_switch] events; an unmatched entry switch yields an
+    interval closed at [max_int].  Spans invoked inside one are checked
+    against {!quorum_bound_us}; spans straddling a boundary are excused
+    as ["mode switch"]. *)
 
 val check :
   params:Core.Params.t ->

@@ -13,6 +13,8 @@ type kind =
   | Recover
   | Catchup
   | Checkpoint
+  | Mode_switch
+  | Suspect
 
 let kind_code = function
   | Invoke -> 0
@@ -29,6 +31,8 @@ let kind_code = function
   | Recover -> 11
   | Catchup -> 12
   | Checkpoint -> 13
+  | Mode_switch -> 14
+  | Suspect -> 15
 
 let kind_of_code = function
   | 0 -> Some Invoke
@@ -45,6 +49,8 @@ let kind_of_code = function
   | 11 -> Some Recover
   | 12 -> Some Catchup
   | 13 -> Some Checkpoint
+  | 14 -> Some Mode_switch
+  | 15 -> Some Suspect
   | _ -> None
 
 let kind_name = function
@@ -62,6 +68,8 @@ let kind_name = function
   | Recover -> "recover"
   | Catchup -> "catchup"
   | Checkpoint -> "checkpoint"
+  | Mode_switch -> "mode_switch"
+  | Suspect -> "suspect"
 
 let class_mutator = 0
 let class_accessor = 1

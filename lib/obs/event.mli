@@ -42,6 +42,12 @@ type kind =
   | Checkpoint
       (** durable snapshot written. [a] = WAL records folded into it,
           [b] = new generation number. *)
+  | Mode_switch
+      (** quorum fallback transition. [a] = 1 entering quorum mode,
+          0 returning to the fast path, [b] = new epoch. *)
+  | Suspect
+      (** failure-detector suspicion transition. [a] = peer pid,
+          [b] = 1 suspected, 0 cleared. *)
 
 val kind_code : kind -> int
 val kind_of_code : int -> kind option

@@ -161,6 +161,16 @@ let prometheus ~(report : Analyze.report) ?recorder () =
     report.Analyze.classes;
   header "timebounds_fault_injections_total" "counter" "chaos injections seen";
   line "timebounds_fault_injections_total %d" report.Analyze.faults;
+  header "timebounds_mode_switches_total" "counter"
+    "quorum fallback mode transitions";
+  line "timebounds_mode_switches_total %d" report.Analyze.mode_switches;
+  header "timebounds_suspect_transitions_total" "counter"
+    "failure-detector suspicion flips (suspect or clear)";
+  line "timebounds_suspect_transitions_total %d"
+    report.Analyze.suspect_transitions;
+  header "timebounds_quorum_ops_total" "counter"
+    "operations invoked while quorum mode was active";
+  line "timebounds_quorum_ops_total %d" report.Analyze.quorum_spans;
   header "timebounds_recorder_events_total" "counter"
     "events recorded and dropped by the ring";
   (match recorder with

@@ -37,6 +37,14 @@ let pick t = function
   | [] -> invalid_arg "Rng.pick: empty list"
   | xs -> List.nth xs (int t (List.length xs))
 
+let hash ints =
+  let z =
+    List.fold_left
+      (fun acc v -> mix (Int64.add (Int64.logxor acc (Int64.of_int v)) golden))
+      golden ints
+  in
+  Int64.to_int (Int64.shift_right_logical z 2)
+
 let shuffle t xs =
   let arr = Array.of_list xs in
   for i = Array.length arr - 1 downto 1 do

@@ -23,3 +23,9 @@ val bool : t -> bool
 val float : t -> float -> float
 val pick : t -> 'a list -> 'a
 val shuffle : t -> 'a list -> 'a list
+
+val hash : int list -> int
+(** Pure splitmix64 fold over the ints: the same deterministic-jitter
+    derivation [Fault.Fault_plan] uses, exposed so other layers (client
+    retry backoff, for one) can derive per-site randomness from a run
+    seed without sharing generator state.  Always non-negative. *)

@@ -1,0 +1,123 @@
+(** Ordered-commit log for the quorum era.
+
+    The sequencer assigns consecutive sequence numbers ([qseq]) to
+    operations and proposes them; followers store each proposal and ack
+    it back; a proposal acked by a majority commits, and every replica
+    applies the committed prefix {e in qseq order, with no gaps}.  The
+    log is generic in the payload so the no-drop / no-duplicate property
+    can be tested in isolation (see the qcheck suite): however stores,
+    acks and commits interleave, [applyable] yields each committed
+    sequence number exactly once, in order, and never before its
+    payload is present. *)
+
+type 'p slot = {
+  mutable payload : 'p option;
+  mutable acks : int list;
+  mutable committed : bool;
+}
+
+type 'p t = {
+  n : int;
+  mutable epoch : int;
+  slots : (int, 'p slot) Hashtbl.t;
+  mutable next : int;  (** sequencer: next qseq to assign *)
+  mutable applied : int;  (** highest qseq handed out by [applyable] *)
+  mutable max_known : int;  (** highest qseq ever mentioned *)
+}
+
+let create ~n ~epoch =
+  { n; epoch; slots = Hashtbl.create 64; next = 0; applied = -1; max_known = -1 }
+
+(* A new era invalidates everything uncommitted from the old one. *)
+let reset t ~epoch =
+  Hashtbl.reset t.slots;
+  t.epoch <- epoch;
+  t.next <- 0;
+  t.applied <- -1;
+  t.max_known <- -1
+
+let epoch t = t.epoch
+let majority t = (t.n / 2) + 1
+
+let slot t qseq =
+  match Hashtbl.find_opt t.slots qseq with
+  | Some s -> s
+  | None ->
+      let s = { payload = None; acks = []; committed = false } in
+      Hashtbl.replace t.slots qseq s;
+      if qseq > t.max_known then t.max_known <- qseq;
+      s
+
+(* Sequencer: assign the next qseq to [p], self-acknowledged. *)
+let append t ~me p =
+  let qseq = t.next in
+  t.next <- qseq + 1;
+  let s = slot t qseq in
+  s.payload <- Some p;
+  s.acks <- [ me ];
+  qseq
+
+(* Follower: store a proposal (idempotent — re-proposals after Qfill keep
+   the first payload). *)
+let store t ~qseq p =
+  let s = slot t qseq in
+  if s.payload = None then s.payload <- Some p
+
+(* Sequencer: record an ack.  Returns [true] exactly when this ack is the
+   one that reaches a majority — the caller then broadcasts Commit. *)
+let ack t ~qseq ~from =
+  let s = slot t qseq in
+  if s.committed || List.mem from s.acks then false
+  else begin
+    s.acks <- from :: s.acks;
+    List.length s.acks >= majority t
+  end
+
+let commit t ~qseq =
+  let s = slot t qseq in
+  s.committed <- true
+
+let committed t ~qseq =
+  match Hashtbl.find_opt t.slots qseq with
+  | Some s -> s.committed
+  | None -> false
+
+let payload t ~qseq =
+  match Hashtbl.find_opt t.slots qseq with
+  | Some s -> s.payload
+  | None -> None
+
+(* The committed contiguous prefix past the apply cursor, in order.  Each
+   qseq is yielded exactly once across the log's lifetime. *)
+let applyable t =
+  let rec go acc =
+    let nxt = t.applied + 1 in
+    match Hashtbl.find_opt t.slots nxt with
+    | Some { payload = Some p; committed = true; _ } ->
+        t.applied <- nxt;
+        go ((nxt, p) :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let applied t = t.applied
+let highest t = t.max_known
+
+(* Sequence numbers at or below something known but whose payload we lack
+   — the holes a follower asks the sequencer to Qfill. *)
+let missing t =
+  let rec go qseq acc =
+    if qseq > t.max_known then List.rev acc
+    else
+      let acc =
+        match Hashtbl.find_opt t.slots qseq with
+        | Some { payload = Some _; _ } -> acc
+        | _ -> qseq :: acc
+      in
+      go (qseq + 1) acc
+  in
+  go (t.applied + 1) []
+
+(* Is every assigned slot committed and applied?  The sequencer's
+   switch-back barrier. *)
+let drained t = t.applied = t.max_known

@@ -1,0 +1,44 @@
+(** Ordered-commit log for the quorum era: sequencer-assigned sequence
+    numbers, majority acknowledgement, gap-free in-order apply.  Generic
+    in the payload so the no-drop / no-duplicate property is qcheck-able
+    in isolation. *)
+
+type 'p t
+
+val create : n:int -> epoch:int -> 'p t
+
+val reset : 'p t -> epoch:int -> unit
+(** Start a new era: drop every slot and restart sequencing at 0. *)
+
+val epoch : 'p t -> int
+val majority : 'p t -> int
+
+val append : 'p t -> me:int -> 'p -> int
+(** Sequencer: assign the next qseq, self-acknowledged; returns it. *)
+
+val store : 'p t -> qseq:int -> 'p -> unit
+(** Follower: store a proposal (idempotent; first payload wins). *)
+
+val ack : 'p t -> qseq:int -> from:int -> bool
+(** Sequencer: record an ack.  [true] exactly when this ack reaches the
+    majority threshold — broadcast Commit then. *)
+
+val commit : 'p t -> qseq:int -> unit
+val committed : 'p t -> qseq:int -> bool
+val payload : 'p t -> qseq:int -> 'p option
+
+val applyable : 'p t -> (int * 'p) list
+(** Committed contiguous prefix past the apply cursor, in qseq order.
+    Advances the cursor: each qseq is yielded exactly once, ever. *)
+
+val applied : 'p t -> int
+(** Highest qseq handed out by [applyable] (-1 initially). *)
+
+val highest : 'p t -> int
+(** Highest qseq ever mentioned (-1 initially). *)
+
+val missing : 'p t -> int list
+(** Known sequence numbers whose payload we lack — the holes to Qfill. *)
+
+val drained : 'p t -> bool
+(** Every assigned slot applied — the sequencer's switch-back barrier. *)

@@ -1,0 +1,119 @@
+(** The per-object mode state machine: Algorithm-1 fast path vs ABD-style
+    quorum fallback.
+
+    Eras are numbered by a monotone [epoch].  Every switch — into quorum
+    mode or back to the fast path — bumps the epoch, and the switch is
+    {e announced} by piggybacking (epoch, mode, sequencer, floor) on every
+    heartbeat.  A replica adopts any announcement with a strictly higher
+    epoch than its own; ties and lower epochs are stale and ignored.  That
+    makes the protocol safe under the single-initiator rule used here (the
+    lowest non-suspected pid initiates switches), because two initiators
+    can only race when the failure detector disagrees, and then the higher
+    epoch deterministically wins on every replica that can still talk to
+    both.
+
+    The controller itself is pure bookkeeping: the replica feeds it
+    failure-detector summaries and announcements, and acts on the returned
+    decisions (draining in-flight fast-path ops before entering quorum
+    mode, draining the commit log before leaving it — those barriers live
+    in [Runtime.Replica], not here). *)
+
+type mode = Fast | Quorum
+
+type t = {
+  n : int;
+  me : int;
+  mutable epoch : int;
+  mutable mode : mode;
+  mutable seq_pid : int;  (** sequencer of the current quorum era *)
+  mutable floor : int;
+      (** largest quorum-assigned stamp of the last quorum era; after a
+          switch back, fast-path invocation stamps must clear this *)
+  mutable stalled : bool;  (** alive < majority: refuse client ops *)
+  mutable max_seen_epoch : int;
+}
+
+let make ~n ~me =
+  {
+    n;
+    me;
+    epoch = 0;
+    mode = Fast;
+    seq_pid = 0;
+    floor = min_int;
+    stalled = false;
+    max_seen_epoch = 0;
+  }
+
+let majority t = (t.n / 2) + 1
+let mode t = t.mode
+let epoch t = t.epoch
+let seq_pid t = t.seq_pid
+let floor t = t.floor
+let stalled t = t.stalled
+let is_sequencer t = t.mode = Quorum && t.seq_pid = t.me
+
+(** What this replica announces on each heartbeat. *)
+let announcement t = (t.epoch, t.mode = Quorum, t.seq_pid, t.floor)
+
+type observed = Adopted | Ignored
+
+(* An announcement arrived (piggybacked on a heartbeat).  Strictly higher
+   epochs win; everything else is stale. *)
+let observe t ~epoch ~quorum ~seq ~floor =
+  if epoch > t.max_seen_epoch then t.max_seen_epoch <- epoch;
+  if epoch > t.epoch then begin
+    t.epoch <- epoch;
+    t.mode <- (if quorum then Quorum else Fast);
+    t.seq_pid <- seq;
+    if floor > t.floor then t.floor <- floor;
+    Adopted
+  end
+  else Ignored
+
+type decision =
+  | Initiate_quorum  (** this replica should start a quorum era *)
+  | Initiate_fast  (** this replica (the sequencer) should end it *)
+  | Stall  (** alive < majority: stop serving *)
+  | Unstall  (** quorum of peers back: resume serving *)
+
+(* Poll after every failure-detector transition.  At most one decision per
+   call; the replica acts on it and polls again. *)
+let consider t ~alive ~all_alive ~suspects_any ~lowest =
+  if alive < majority t then if t.stalled then None else Some Stall
+  else if t.stalled then
+    (* Resuming from a stall must not fork history: in quorum mode a
+       majority suffices, but resuming the fast path is only safe once
+       every replica is back *and* no era we missed is in flight — a
+       higher announced epoch means our idea of the mode is stale, so we
+       wait for its announcement to adopt instead. *)
+    if t.mode = Quorum || (all_alive && t.max_seen_epoch = t.epoch) then
+      Some Unstall
+    else None
+  else
+    match t.mode with
+    | Fast when suspects_any && lowest = t.me -> Some Initiate_quorum
+    | Quorum when all_alive && t.seq_pid = t.me -> Some Initiate_fast
+    | _ -> None
+
+let stall t = t.stalled <- true
+let unstall t = t.stalled <- false
+
+(* Begin a quorum era with this replica as sequencer.  Bumping past
+   [max_seen_epoch] guarantees the announcement beats anything already in
+   flight. *)
+let initiate_quorum t =
+  t.epoch <- max t.epoch t.max_seen_epoch + 1;
+  t.max_seen_epoch <- t.epoch;
+  t.mode <- Quorum;
+  t.seq_pid <- t.me;
+  t.epoch
+
+(* End the quorum era (sequencer only, once the log is drained and every
+   replica is alive).  [floor] is the largest stamp the era assigned. *)
+let initiate_fast t ~floor =
+  t.epoch <- max t.epoch t.max_seen_epoch + 1;
+  t.max_seen_epoch <- t.epoch;
+  t.mode <- Fast;
+  if floor > t.floor then t.floor <- floor;
+  t.epoch

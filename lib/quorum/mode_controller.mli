@@ -1,0 +1,55 @@
+(** Fast-path / quorum-mode state machine (see DESIGN.md §13).
+
+    Eras are numbered by a monotone epoch; switches are announced on
+    heartbeats and strictly higher epochs win.  The controller is pure
+    bookkeeping — the drain barriers around a switch live in
+    [Runtime.Replica]. *)
+
+type mode = Fast | Quorum
+type t
+
+val make : n:int -> me:int -> t
+val majority : t -> int
+val mode : t -> mode
+val epoch : t -> int
+val seq_pid : t -> int
+
+val floor : t -> int
+(** Largest stamp assigned by any quorum era so far; fast-path invocation
+    stamps after a switch back must clear it. *)
+
+val stalled : t -> bool
+val is_sequencer : t -> bool
+
+val announcement : t -> int * bool * int * int
+(** [(epoch, quorum?, seq_pid, floor)] to piggyback on heartbeats. *)
+
+type observed = Adopted | Ignored
+
+val observe : t -> epoch:int -> quorum:bool -> seq:int -> floor:int -> observed
+(** Fold in a peer's announcement; [Adopted] iff its epoch was strictly
+    higher than ours (the caller must then run its switch barrier). *)
+
+type decision =
+  | Initiate_quorum  (** this replica should start a quorum era *)
+  | Initiate_fast  (** this replica (the sequencer) should end it *)
+  | Stall  (** alive < majority: stop serving *)
+  | Unstall  (** quorum of peers back: resume serving *)
+
+val consider :
+  t -> alive:int -> all_alive:bool -> suspects_any:bool -> lowest:int ->
+  decision option
+(** Poll after a failure-detector transition; at most one decision per
+    call.  Resuming the fast path from a stall additionally requires that
+    no higher epoch was ever observed (our mode might be stale). *)
+
+val stall : t -> unit
+val unstall : t -> unit
+
+val initiate_quorum : t -> int
+(** Enter quorum mode with this replica as sequencer; returns the new
+    epoch (strictly above every epoch ever seen). *)
+
+val initiate_fast : t -> floor:int -> int
+(** Leave quorum mode (sequencer only, log drained, all replicas alive);
+    [floor] is the largest stamp the era assigned. *)

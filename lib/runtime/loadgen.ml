@@ -68,6 +68,10 @@ type report = {
   net : Transport.stats;
   offsets : int array;
   cuts : int list;
+  mode_switches : (int * bool * int) list;
+      (** fallback availability log: [(µs since start, entered quorum?,
+          epoch)] per replica-local mode transition, in time order; empty
+          when no fallback was armed (or none switched) *)
   verdict : verdict;
 }
 
@@ -127,6 +131,17 @@ let pp_report fmt r =
       | Some h ->
           Format.fprintf fmt "      in fault windows: %a@," Histogram.pp h)
     r.classes;
+  (match r.mode_switches with
+  | [] -> ()
+  | switches ->
+      Format.fprintf fmt "  mode switches:";
+      List.iter
+        (fun (at, quorum, epoch) ->
+          Format.fprintf fmt " %s(e%d) t=%dµs"
+            (if quorum then "quorum" else "fast")
+            epoch at)
+        switches;
+      Format.fprintf fmt "@,");
   Format.fprintf fmt "post-hoc linearizability: %a@]" pp_verdict r.verdict
 
 module Make (L : Workloads.LIVE) = struct
@@ -216,7 +231,8 @@ module Make (L : Workloads.LIVE) = struct
   let in_windows windows t =
     List.exists (fun (from_us, until_us) -> from_us <= t && t < until_us) windows
 
-  let worker_body cluster rng ~n ~mix ~total ~quota ~wid ~windows ~mint =
+  let worker_body cluster rng ~n ~mix ~total ~quota ~wid ~windows ~mint
+      ~rotate =
     let hists = Array.init 6 (fun _ -> Histogram.create ()) in
     for _ = 1 to quota do
       let op = draw rng mix total in
@@ -236,15 +252,18 @@ module Make (L : Workloads.LIVE) = struct
          cannot answer yet asks us to back off (capped exponential, with
          seeded jitter) and retry. *)
       let op_id = mint () in
-      let rec attempt backoff =
-        match R.invoke ~trace ~op_id cluster ~pid:(wid mod n) op with
+      (* Under a quorum fallback a rejected replay also rotates to the next
+         replica: the one it was talking to may be permanently dead (or a
+         stalled minority), and the op id makes the hand-off idempotent. *)
+      let rec attempt backoff k =
+        match R.invoke ~trace ~op_id cluster ~pid:((wid + k) mod n) op with
         | r -> r
         | exception R.Retry_later _ ->
             let pause = backoff + Prelude.Rng.int rng (backoff + 1) in
             Unix.sleepf (float_of_int pause /. 1e6);
-            attempt (min (backoff * 2) 200_000)
+            attempt (min (backoff * 2) 200_000) (if rotate then k + 1 else k)
       in
-      ignore (attempt 1_000);
+      ignore (attempt 1_000 0);
       let slot = if in_windows windows t0_rel then slot + 3 else slot in
       Histogram.add hists.(slot) (Prelude.Mclock.now_us () - t0)
     done;
@@ -256,11 +275,15 @@ module Make (L : Workloads.LIVE) = struct
      through peer catch-up at the restart time.  Pairs without a restart
      are skipped: an in-process replica that never recovers would wedge
      its workers forever. *)
-  let crash_scheduler cluster crashes =
+  let crash_scheduler cluster ~permanent crashes =
     match
       List.concat_map
         (fun (pid, crash_at, restart_at) ->
-          if restart_at = max_int then []
+          if restart_at = max_int then
+            (* Permanent kills only make sense when the survivors can take
+               over (quorum fallback armed): without one, a replica that
+               never recovers would wedge its workers forever. *)
+            if permanent then [ (crash_at, `Crash pid) ] else []
           else [ (crash_at, `Crash pid); (restart_at, `Recover pid) ])
         crashes
       |> List.sort compare
@@ -287,7 +310,7 @@ module Make (L : Workloads.LIVE) = struct
 
   let run ~n ~d ~u ?eps ?(x = 0) ?(slack = 5000) ?workers ?(round = 48)
       ?(mix = (50, 40, 10)) ?(loss = 0) ?skews ?wrap ?(fault_windows = [])
-      ?(recovery = false) ?(crashes = []) ~ops ~seed () =
+      ?(recovery = false) ?(crashes = []) ?fallback ~ops ~seed () =
     if round < 1 || round > 62 then
       invalid_arg "Loadgen.run: round must be in [1, 62]";
     let m, a, o = mix in
@@ -336,10 +359,44 @@ module Make (L : Workloads.LIVE) = struct
             recovered = None;
           }
     in
-    let cluster = R.start ~params ~policy ~offsets ?wrap ?recovery:recovery_cfg () in
-    let scheduler = crash_scheduler cluster crashes in
+    (* The fallback's mode hook also feeds the availability log: every
+       replica-local transition is timestamped on the run timeline (the
+       cluster ref is filled right after [start]; transitions only fire
+       once the event loops run, well after). *)
+    let switches = ref [] in
+    let switches_lock = Mutex.create () in
+    let cluster_ref = ref None in
+    let fallback =
+      Option.map
+        (fun (cfg : Quorum.Config.t) ->
+          let outer = cfg.Quorum.Config.on_mode in
+          {
+            cfg with
+            Quorum.Config.on_mode =
+              (fun ~quorum ~epoch ~seq ->
+                let at =
+                  match !cluster_ref with
+                  | Some c -> R.elapsed_us c
+                  | None -> 0
+                in
+                Mutex.lock switches_lock;
+                switches := (at, quorum, epoch) :: !switches;
+                Mutex.unlock switches_lock;
+                outer ~quorum ~epoch ~seq);
+          })
+        fallback
+    in
+    let cluster =
+      R.start ~params ~policy ~offsets ?wrap ?recovery:recovery_cfg ?fallback ()
+    in
+    cluster_ref := Some cluster;
+    let scheduler =
+      crash_scheduler cluster ~permanent:(fallback <> None) crashes
+    in
     let op_ids = Atomic.make 1 in
-    let mint () = if recovery then Atomic.fetch_and_add op_ids 1 else 0 in
+    let mint () =
+      if recovery || fallback <> None then Atomic.fetch_and_add op_ids 1 else 0
+    in
     let t0 = Prelude.Mclock.now_us () in
     let merged = Array.init 6 (fun _ -> Histogram.create ()) in
     let cuts = ref [] in
@@ -358,7 +415,7 @@ module Make (L : Workloads.LIVE) = struct
             in
             Domain.spawn (fun () ->
                 worker_body cluster mine ~n ~mix ~total ~quota:share ~wid
-                  ~windows:fault_windows ~mint))
+                  ~windows:fault_windows ~mint ~rotate:(fallback <> None)))
       in
       List.iter
         (fun dom ->
@@ -414,6 +471,7 @@ module Make (L : Workloads.LIVE) = struct
       net = R.transport_stats cluster;
       offsets;
       cuts = List.sort compare cuts;
+      mode_switches = List.sort compare (List.rev !switches);
       verdict;
     }
 end

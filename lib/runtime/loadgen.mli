@@ -76,6 +76,10 @@ type report = {
       (** effective per-replica clock offsets (seeded draw + any injected
           skew) — spread > ε means the skew assumption was violated *)
   cuts : int list;  (** quiescent cut times, µs since cluster start *)
+  mode_switches : (int * bool * int) list;
+      (** fallback availability log: [(µs since start, entered quorum?,
+          epoch)] per replica-local mode transition, in time order; empty
+          when no fallback was armed (or no replica switched) *)
   verdict : verdict;
 }
 
@@ -113,6 +117,7 @@ module Make (L : Workloads.LIVE) : sig
     ?fault_windows:(int * int) list ->
     ?recovery:bool ->
     ?crashes:(int * int * int) list ->
+    ?fallback:Quorum.Config.t ->
     ops:int ->
     seed:int ->
     unit ->
@@ -144,8 +149,14 @@ module Make (L : Workloads.LIVE) : sig
       - [crashes]: [(pid, crash_at, restart_at)] µs instants on the run
         timeline (the plan's {!Fault.Fault_plan.crash_schedule}): freeze
         the replica at the crash, thaw it through peer catch-up at the
-        restart.  Entries with [restart_at = max_int] are skipped — a
+        restart.  Entries with [restart_at = max_int] (permanent kills) are
+        skipped unless [fallback] is armed — without a degraded mode a
         replica that never thaws would wedge its workers.  Only effective
-        together with [recovery];
+        together with [recovery] or [fallback];
+      - [fallback]: arm the adaptive quorum fallback ({!Replica.Make.node})
+        on every replica.  Workers then mint op ids, retry idempotently and
+        rotate to the next replica when one asks them to back off (it may
+        be permanently dead), and the report's [mode_switches] log records
+        every fast↔quorum transition;
       - [seed]: all randomness (delays, offsets, op draws, backoff). *)
 end

@@ -56,6 +56,36 @@ module Make (D : Spec.Data_type.S) = struct
     recovered : recovered_state option;
   }
 
+  (* ---- quorum fallback wire protocol (DESIGN.md §13) ---- *)
+
+  (* One operation as the quorum era carries it: the sequencer fills
+     [q_time] (the assigned stamp time; the stamp pid is [q_origin]), the
+     rest identifies the op and its invoking replica. *)
+  type qpayload = {
+    q_time : int;
+    q_op : D.op;
+    q_origin : int;
+    q_qid : int;  (** origin-local forward id, stable across retries *)
+    q_op_id : int;
+    q_trace : int;
+  }
+
+  type qwire =
+    | Hb of { stamp : int; epoch : int; qmode : bool; seq : int; floor : int }
+        (** heartbeat doubling as the mode announcement: sender clock
+            stamp plus the sender's (epoch, mode, sequencer, floor) *)
+    | Forward of { qid : int; origin : int; op : D.op; op_id : int; trace : int }
+        (** origin → sequencer: please order this op *)
+    | Propose of { epoch : int; qseq : int; p : qpayload }
+        (** sequencer → all: slot [qseq] of the era holds [p] *)
+    | Qack of { epoch : int; qseq : int }  (** follower → sequencer *)
+    | Qcommit of { epoch : int; qseq : int }
+        (** sequencer → all: a majority stored [qseq]; apply in order *)
+    | Fnack of { qid : int }
+        (** not the sequencer (or not in quorum mode): re-route *)
+    | Qfill of { epoch : int; from_seq : int }
+        (** follower → sequencer: re-send payloads from [from_seq] up *)
+
   type event =
     | Net of Alg.entry * int * int  (** entry, trace, op id (0 = none) *)
     | Catchup_req of { time : int; cpid : int }  (** asker's high-water mark *)
@@ -64,6 +94,7 @@ module Make (D : Spec.Data_type.S) = struct
         time : int;
         cpid : int;  (** replier's high-water mark *)
       }
+    | Quorum_msg of qwire
     | Invoke of D.op * int * int * cell  (** op, trace, op id, cell *)
     | Crash_now
     | Recover_now
@@ -74,12 +105,14 @@ module Make (D : Spec.Data_type.S) = struct
     | Wire_entry of Alg.entry * int * int
     | Wire_catchup_req of { time : int; cpid : int }
     | Wire_catchup_rep of { entries : (Alg.entry * int) list; time : int; cpid : int }
+    | Wire_quorum of qwire
 
   let wire_view = function
     | Net (e, trace, op_id) -> Some (Wire_entry (e, trace, op_id))
     | Catchup_req { time; cpid } -> Some (Wire_catchup_req { time; cpid })
     | Catchup_rep { entries; time; cpid } ->
         Some (Wire_catchup_rep { entries; time; cpid })
+    | Quorum_msg q -> Some (Wire_quorum q)
     | Invoke _ | Crash_now | Recover_now | Snap_req _ | Stop -> None
 
   let of_wire = function
@@ -87,13 +120,14 @@ module Make (D : Spec.Data_type.S) = struct
     | Wire_catchup_req { time; cpid } -> Catchup_req { time; cpid }
     | Wire_catchup_rep { entries; time; cpid } ->
         Catchup_rep { entries; time; cpid }
+    | Wire_quorum q -> Quorum_msg q
 
   let net ?(trace = 0) e = Net (e, trace, 0)
 
   let net_entry = function
     | Net (e, trace, _) -> Some (e, trace)
-    | Catchup_req _ | Catchup_rep _ | Invoke _ | Crash_now | Recover_now
-    | Snap_req _ | Stop ->
+    | Catchup_req _ | Catchup_rep _ | Quorum_msg _ | Invoke _ | Crash_now
+    | Recover_now | Snap_req _ | Stop ->
         None
 
   let class_of op = Obs.Event.class_code (D.classify op)
@@ -112,13 +146,60 @@ module Make (D : Spec.Data_type.S) = struct
      write), so a one-shot request/reply exchange straddling a crash can
      vanish silently — retrying until every peer answers (or the unfreeze
      timeout lapses) makes anti-entropy immune to it. *)
-  type rtimer = A of Alg.timer | Unfreeze_t | Catchup_retry_t
+  type rtimer =
+    | A of Alg.timer
+    | Unfreeze_t
+    | Catchup_retry_t
+    | Heartbeat_t  (** fallback: send a heartbeat, tick the detector *)
+    | Qdrain_t  (** fallback: the sequencer's switch barrier elapsed *)
+    | Qtick_t  (** fallback: re-send forwards, request Qfills *)
 
   type timer_entry = { due : int; tseq : int; timer : rtimer; ttrace : int }
 
   type mode = Up | Down | Catching_up
 
-  type id_state = Queued | Applied_id of D.result
+  type id_state =
+    | Queued
+    | Applied_id of D.result * int
+        (** recorded result and the µs-since-start instant it applied, so a
+            replay served from the table can log a history interval that
+            still brackets the original linearization point *)
+
+  (* The origin-side record of an operation routed through the quorum
+     path: enough to re-send the forward (same [f_qid], so the sequencer
+     recognises retries) or re-dispatch it down the fast path. *)
+  type fwd = {
+    f_qid : int;
+    f_op : D.op;
+    f_op_id : int;
+    f_trace : int;
+    mutable f_sent_us : int;
+    mutable f_proposed : bool;  (** a Propose for it was seen *)
+    mutable f_nacks : int;
+  }
+
+  type fallback_state = {
+    qcfg : Quorum.Config.t;
+    fd : Quorum.Failure_detector.t;
+    mc : Quorum.Mode_controller.t;
+    qlog : qpayload Quorum.Log.t;
+    fwd_seen : (int * int, int) Hashtbl.t;  (** (origin, qid) → qseq *)
+    mutable draining_until : int option;
+        (** sequencer only: switch barrier deadline (absolute µs) *)
+    mutable next_time : int;  (** sequencer: next stamp time to assign *)
+    mutable last_q_applied : int;  (** max quorum-applied stamp time *)
+    mutable pending_fwd : fwd option;
+    mutable buffered : qpayload list;
+        (** forwards held during the drain, reversed *)
+    mutable gated : (D.result * Prelude.Stamp.t) option;
+        (** a fast-path response the release gate is withholding *)
+    mutable next_qid : int;
+    mutable must_reconcile : bool;
+        (** this replica skipped at least one whole era (its announcements
+            never reached us), so the next switch back to the fast path
+            must resynchronise through catch-up even if the current era's
+            log looks drained *)
+  }
 
   type loop_state = {
     pid : int;
@@ -127,6 +208,8 @@ module Make (D : Spec.Data_type.S) = struct
     mutable tseq : int;
     mutable inflight : (cell * D.op * int * int * int) option;
         (** cell, op, invoke_us, seq, trace *)
+    mutable inflight_ts : Prelude.Stamp.t;
+        (** stamp of the in-flight fast-path op (what the gate keys on) *)
     backlog : (D.op * int * int * cell) Queue.t;  (** op, trace, op id, cell *)
     mutable next_seq : int;
     mutable records : record list;  (** reversed *)
@@ -154,7 +237,7 @@ module Make (D : Spec.Data_type.S) = struct
 
   let no_hwm = Prelude.Stamp.make ~time:(-1) ~pid:0
 
-  let run_replica ~(params : Core.Params.t) ?recovery
+  let run_replica ~(params : Core.Params.t) ?recovery ?fallback
       ~(transport : event Transport_intf.t) ~start_us ~offset pid =
     let cfg = params in
     let now_rel () = Prelude.Mclock.now_us () - start_us in
@@ -166,6 +249,7 @@ module Make (D : Spec.Data_type.S) = struct
         timers = [];
         tseq = 0;
         inflight = None;
+        inflight_ts = Prelude.Stamp.make ~time:(-1) ~pid:0;
         backlog = Queue.create ();
         next_seq = 0;
         records = [];
@@ -198,13 +282,50 @@ module Make (D : Spec.Data_type.S) = struct
             Hashtbl.replace ls.seen e.ts ();
             if op_id <> 0 then begin
               Hashtbl.replace ls.stamp_ids e.ts op_id;
-              Hashtbl.replace ls.id_index op_id (Applied_id r)
+              Hashtbl.replace ls.id_index op_id (Applied_id (r, 0))
             end;
             if Prelude.Stamp.( < ) ls.hwm e.ts then ls.hwm <- e.ts)
           rs.r_applied
     | _ -> ());
     ls.last_applied <- ls.st.Alg.applied;
-    let dedup = Option.is_some recovery in
+    let fb =
+      Option.map
+        (fun (qcfg : Quorum.Config.t) ->
+          {
+            qcfg;
+            fd =
+              Quorum.Failure_detector.make ~n:cfg.Core.Params.n ~me:pid
+                ~hb_us:qcfg.hb_us ~suspect_after:qcfg.suspect_after
+                ~now_us:(Prelude.Mclock.now_us ());
+            mc = Quorum.Mode_controller.make ~n:cfg.Core.Params.n ~me:pid;
+            qlog = Quorum.Log.create ~n:cfg.Core.Params.n ~epoch:0;
+            fwd_seen = Hashtbl.create 64;
+            draining_until = None;
+            next_time = 0;
+            last_q_applied = min_int;
+            pending_fwd = None;
+            buffered = [];
+            gated = None;
+            next_qid = 1;
+            must_reconcile = false;
+          })
+        fallback
+    in
+    (* The fallback leans on the same dedup tables recovery uses: op ids
+       are how a re-routed (or re-proposed) operation is recognised. *)
+    let dedup = Option.is_some recovery || Option.is_some fb in
+    (* Clocks feeding invocation stamps clear the last quorum era's stamp
+       floor: a fast-path op stamped below a quorum-ordered one would sort
+       into already-executed history. *)
+    let eff_clock () =
+      let c = clock () in
+      match fb with
+      | Some f ->
+          let fl = Quorum.Mode_controller.floor f.mc in
+          if fl = min_int then c
+          else Stdlib.max c (fl + cfg.Core.Params.timing.accessor_ts_back + 1)
+      | None -> c
+    in
     let register ts op_id =
       if op_id <> 0 then begin
         Hashtbl.replace ls.stamp_ids ts op_id;
@@ -217,28 +338,27 @@ module Make (D : Spec.Data_type.S) = struct
        and hand it to the durability hook — before any action (a response
        in particular) from the same protocol step is released. *)
     let drain_applied () =
-      match ls.rec_mode with
-      | None -> ()
-      | Some rc ->
-          if not (ls.st.Alg.applied == ls.last_applied) then begin
-            let rec fresh acc = function
-              | l when l == ls.last_applied -> acc
-              | [] -> acc
-              | (e, r) :: tl -> fresh ((e, r) :: acc) tl
+      if dedup && not (ls.st.Alg.applied == ls.last_applied) then begin
+        let rec fresh acc = function
+          | l when l == ls.last_applied -> acc
+          | [] -> acc
+          | (e, r) :: tl -> fresh ((e, r) :: acc) tl
+        in
+        List.iter
+          (fun ((e : Alg.entry), r) ->
+            Hashtbl.replace ls.seen e.ts ();
+            let op_id =
+              Option.value ~default:0 (Hashtbl.find_opt ls.stamp_ids e.ts)
             in
-            List.iter
-              (fun ((e : Alg.entry), r) ->
-                Hashtbl.replace ls.seen e.ts ();
-                let op_id =
-                  Option.value ~default:0 (Hashtbl.find_opt ls.stamp_ids e.ts)
-                in
-                if op_id <> 0 then
-                  Hashtbl.replace ls.id_index op_id (Applied_id r);
-                if Prelude.Stamp.( < ) ls.hwm e.ts then ls.hwm <- e.ts;
-                rc.on_apply e r op_id)
-              (fresh [] ls.st.Alg.applied);
-            ls.last_applied <- ls.st.Alg.applied
-          end
+            if op_id <> 0 then
+              Hashtbl.replace ls.id_index op_id (Applied_id (r, now_rel ()));
+            if Prelude.Stamp.( < ) ls.hwm e.ts then ls.hwm <- e.ts;
+            match ls.rec_mode with
+            | Some rc -> rc.on_apply e r op_id
+            | None -> ())
+          (fresh [] ls.st.Alg.applied);
+        ls.last_applied <- ls.st.Alg.applied
+      end
     in
     (* Applied and still-queued entries with a stamp above [after], in
        stamp order, each with its op id — what catch-up serves. *)
@@ -288,6 +408,11 @@ module Make (D : Spec.Data_type.S) = struct
        still queued → a pure mutator's reply is state-independent (answer
        now), anything else must wait for the first attempt (tell the
        client to retry).  Accessors have no effect and are never deduped. *)
+    (* Each [Done] comes with the invoke instant a history record for the
+       replayed completion should carry: the apply time for an applied op
+       (its linearization point lies between then and now), now for a
+       queued pure mutator (stamp order places it before anything invoked
+       later). *)
     let dedup_check op op_id =
       if (not dedup) || op_id = 0 then None
       else
@@ -295,24 +420,59 @@ module Make (D : Spec.Data_type.S) = struct
         | Spec.Data_type.Pure_accessor -> None
         | cls -> (
             match Hashtbl.find_opt ls.id_index op_id with
-            | Some (Applied_id r) -> Some (Done r)
+            | Some (Applied_id (r, at)) -> Some (Done r, at)
             | Some Queued -> (
                 match cls with
                 | Spec.Data_type.Pure_mutator ->
                     let _, r = D.apply ls.st.Alg.local_obj op in
-                    Some (Done r)
-                | _ -> Some (Rejected "in flight; retry"))
+                    Some (Done r, now_rel ())
+                | _ -> Some (Rejected "in flight; retry", 0))
             | None -> None)
+    in
+    let arm_timer timer delay_us =
+      let e =
+        { due = Prelude.Mclock.now_us () + delay_us; tseq = ls.tseq; timer;
+          ttrace = 0 }
+      in
+      ls.tseq <- ls.tseq + 1;
+      ls.timers <- insert_timer e ls.timers
+    in
+    (* The fast path's response release gate (armed only under fallback,
+       in fast mode): a response stamped [ts] may be released once every
+       peer's heartbeat clock has passed [ts + d + ε].  A peer whose
+       heartbeat carries that stamp either received our broadcast (its
+       clock reached ts+d+ε at least d after our send, links FIFO) or sits
+       behind a partition that would also have eaten the heartbeat — so a
+       released response is never lost to a peer we later abandon.  A dead
+       or partitioned peer stalls the gate until the failure detector
+       excuses it by switching the object into quorum mode. *)
+    let gate_passes f (ts : Prelude.Stamp.t) =
+      Quorum.Failure_detector.min_heard_stamp f.fd
+      >= ts.Prelude.Stamp.time + cfg.Core.Params.d + cfg.Core.Params.eps
+    in
+    let in_quorum f =
+      Quorum.Mode_controller.mode f.mc = Quorum.Mode_controller.Quorum
     in
     let rec handle_actions ~trace actions =
       List.iter
         (fun (a : (D.result, Alg.entry, Alg.timer) Sim.Action.t) ->
           match a with
-          | Sim.Action.Respond r ->
-              respond r;
-              (* The model allows one pending operation per process;
-                 queued client calls start once the previous responds. *)
-              next_from_backlog ()
+          | Sim.Action.Respond r -> (
+              match fb with
+              | Some f
+                when ls.inflight <> None
+                     && (not (in_quorum f))
+                     && (not (Quorum.Mode_controller.stalled f.mc))
+                     && not (gate_passes f ls.inflight_ts) ->
+                  (* Withhold until the gate passes (or a mode switch
+                     supersedes it); the single-inflight invariant means at
+                     most one response is ever held. *)
+                  f.gated <- Some (r, ls.inflight_ts)
+              | _ ->
+                  respond r;
+                  (* The model allows one pending operation per process;
+                     queued client calls start once the previous responds. *)
+                  next_from_backlog ())
           | Sim.Action.Send (dst, m) ->
               let op_id =
                 Option.value ~default:0
@@ -346,17 +506,25 @@ module Make (D : Spec.Data_type.S) = struct
                   (fun e ->
                     match e.timer with
                     | A t' -> not (Alg.equal_timer t' t)
-                    | Unfreeze_t | Catchup_retry_t -> true)
+                    | Unfreeze_t | Catchup_retry_t | Heartbeat_t | Qdrain_t
+                    | Qtick_t ->
+                        true)
                   ls.timers)
         actions
-    and start_invoke op trace op_id cell =
-      let invoke_us = now_rel () in
-      let seq = ls.next_seq in
-      ls.next_seq <- ls.next_seq + 1;
-      ls.inflight <- Some (cell, op, invoke_us, seq, trace);
-      Obs.Recorder.emit ~pid ~kind:Obs.Event.Invoke ~trace ~a:(class_of op) ();
-      let st', actions = Alg.on_invoke cfg ls.st ~clock:(clock ()) op in
+    and try_release_gate ~force f =
+      match f.gated with
+      | Some (r, ts) when ls.inflight <> None && (force || gate_passes f ts) ->
+          f.gated <- None;
+          respond r;
+          next_from_backlog ()
+      | _ -> ()
+    and dispatch_alg_invoke op trace op_id =
+      let st', actions = Alg.on_invoke cfg ls.st ~clock:(eff_clock ()) op in
       ls.st <- st';
+      (match ls.st.Alg.pending with
+      | Alg.Waiting_mop e | Alg.Waiting_oop e | Alg.Waiting_aop e ->
+          ls.inflight_ts <- e.ts
+      | Alg.Idle -> ());
       (* The broadcast below carries the op id, so every replica can tie
          the entry's stamp back to the client's operation. *)
       (if dedup then
@@ -366,12 +534,248 @@ module Make (D : Spec.Data_type.S) = struct
              register e.ts op_id
          | Alg.Waiting_aop _ | Alg.Idle -> ());
       handle_actions ~trace actions
+    and start_invoke op trace op_id cell =
+      let invoke_us = now_rel () in
+      let seq = ls.next_seq in
+      ls.next_seq <- ls.next_seq + 1;
+      ls.inflight <- Some (cell, op, invoke_us, seq, trace);
+      Obs.Recorder.emit ~pid ~kind:Obs.Event.Invoke ~trace ~a:(class_of op) ();
+      dispatch_alg_invoke op trace op_id
+    and start_quorum_invoke f op trace op_id cell =
+      let invoke_us = now_rel () in
+      let seq = ls.next_seq in
+      ls.next_seq <- ls.next_seq + 1;
+      ls.inflight <- Some (cell, op, invoke_us, seq, trace);
+      Obs.Recorder.emit ~pid ~kind:Obs.Event.Invoke ~trace ~a:(class_of op) ();
+      let qid = f.next_qid in
+      f.next_qid <- qid + 1;
+      f.pending_fwd <-
+        Some
+          { f_qid = qid; f_op = op; f_op_id = op_id; f_trace = trace;
+            f_sent_us = Prelude.Mclock.now_us (); f_proposed = false;
+            f_nacks = 0 };
+      dispatch_fwd f
+    and dispatch_fwd f =
+      match f.pending_fwd with
+      | None -> ()
+      | Some w ->
+          w.f_sent_us <- Prelude.Mclock.now_us ();
+          let p =
+            { q_time = 0; q_op = w.f_op; q_origin = pid; q_qid = w.f_qid;
+              q_op_id = w.f_op_id; q_trace = w.f_trace }
+          in
+          if Quorum.Mode_controller.is_sequencer f.mc then
+            sequencer_admit f p
+          else
+            Transport_intf.send transport ~trace:w.f_trace ~src:pid
+              ~dst:(Quorum.Mode_controller.seq_pid f.mc)
+              (Quorum_msg
+                 (Forward
+                    { qid = w.f_qid; origin = pid; op = w.f_op;
+                      op_id = w.f_op_id; trace = w.f_trace }))
+    and broadcast_propose f qseq p =
+      Transport_intf.broadcast transport ~trace:p.q_trace ~src:pid
+        (Quorum_msg (Propose { epoch = Quorum.Log.epoch f.qlog; qseq; p }))
+    and sequencer_admit f p =
+      match Hashtbl.find_opt f.fwd_seen (p.q_origin, p.q_qid) with
+      | Some qseq -> (
+          (* A retried forward for a slot we already assigned: re-send the
+             Propose (and the Qcommit, if it got that far) so a lost frame
+             cannot wedge the origin. *)
+          match Quorum.Log.payload f.qlog ~qseq with
+          | Some p' ->
+              broadcast_propose f qseq p';
+              if Quorum.Log.committed f.qlog ~qseq then
+                Transport_intf.broadcast transport ~trace:0 ~src:pid
+                  (Quorum_msg
+                     (Qcommit { epoch = Quorum.Log.epoch f.qlog; qseq }))
+          | None -> ())
+      | None ->
+          if f.draining_until <> None then f.buffered <- p :: f.buffered
+          else if
+            p.q_op_id <> 0
+            && Hashtbl.mem ls.id_index p.q_op_id
+            && D.classify p.q_op <> Spec.Data_type.Pure_accessor
+          then begin
+            (* The op already entered history under another stamp (fast
+               path before the switch, or an earlier era): never order it
+               twice — bounce it back through the origin's dedup tables. *)
+            if p.q_origin <> pid then
+              Transport_intf.send transport ~trace:p.q_trace ~src:pid
+                ~dst:p.q_origin (Quorum_msg (Fnack { qid = p.q_qid }))
+          end
+          else propose f p
+    and propose f p =
+      let time =
+        List.fold_left max
+          (eff_clock ())
+          [ f.next_time; f.last_q_applied + 1;
+            ls.hwm.Prelude.Stamp.time + 1 ]
+      in
+      f.next_time <- time + 1;
+      let p = { p with q_time = time } in
+      let qseq = Quorum.Log.append f.qlog ~me:pid p in
+      Hashtbl.replace f.fwd_seen (p.q_origin, p.q_qid) qseq;
+      register (Prelude.Stamp.make ~time ~pid:p.q_origin) p.q_op_id;
+      (if p.q_origin = pid then
+         match f.pending_fwd with
+         | Some w when w.f_qid = p.q_qid -> w.f_proposed <- true
+         | _ -> ());
+      broadcast_propose f qseq p;
+      if Quorum.Log.majority f.qlog <= 1 then do_commit f qseq
+    and do_commit f qseq =
+      Quorum.Log.commit f.qlog ~qseq;
+      Transport_intf.broadcast transport ~trace:0 ~src:pid
+        (Quorum_msg (Qcommit { epoch = Quorum.Log.epoch f.qlog; qseq }));
+      apply_committed f
+    and apply_committed f =
+      List.iter
+        (fun (_qseq, p) ->
+          let ts = Prelude.Stamp.make ~time:p.q_time ~pid:p.q_origin in
+          let st = ls.st in
+          let st =
+            if Hashtbl.mem ls.seen ts then st
+            else begin
+              register ts p.q_op_id;
+              {
+                st with
+                Alg.to_execute =
+                  Alg.Queue.insert { Alg.op = p.q_op; ts } st.Alg.to_execute;
+              }
+            end
+          in
+          (* Executing *through* the committed stamp is the follower
+             barrier: any straggler fast-path entry below it executes
+             first, in stamp order. *)
+          let st, actions = Alg.execute_through st ~upto:ts ~inclusive:true in
+          ls.st <- st;
+          f.last_q_applied <- max f.last_q_applied p.q_time;
+          drain_applied ();
+          handle_actions ~trace:p.q_trace actions;
+          match (f.pending_fwd, ls.inflight) with
+          | Some w, Some _ when p.q_origin = pid && w.f_qid = p.q_qid -> (
+              match
+                List.find_map
+                  (fun ((e : Alg.entry), r) ->
+                    if Prelude.Stamp.equal e.ts ts then Some r else None)
+                  ls.st.Alg.applied
+              with
+              | Some r ->
+                  f.pending_fwd <- None;
+                  respond r;
+                  next_from_backlog ()
+              | None -> ())
+          | _ -> ())
+        (Quorum.Log.applyable f.qlog)
+    and cancel_clients why =
+      (match fb with
+      | Some f ->
+          f.gated <- None;
+          f.pending_fwd <- None
+      | None -> ());
+      (match ls.inflight with
+      | None -> ()
+      | Some (cell, _, _, _, _) -> fill cell (Rejected why));
+      ls.inflight <- None;
+      Queue.iter (fun (_, _, _, cell) -> fill cell (Rejected why)) ls.backlog;
+      Queue.clear ls.backlog
+    and enter_quorum f ~epoch ~sequencer =
+      Quorum.Log.reset f.qlog ~epoch;
+      Hashtbl.reset f.fwd_seen;
+      f.buffered <- [];
+      Obs.Recorder.emit ~pid ~kind:Obs.Event.Mode_switch ~a:1 ~b:epoch ();
+      f.qcfg.Quorum.Config.on_mode ~quorum:true ~epoch
+        ~seq:(Quorum.Mode_controller.seq_pid f.mc);
+      (* A gate-held response is safe now: its entry was broadcast to every
+         live peer and sorts below the new era's base. *)
+      try_release_gate ~force:true f;
+      if sequencer then begin
+        let barrier = (2 * cfg.Core.Params.d) + cfg.Core.Params.eps in
+        f.draining_until <- Some (Prelude.Mclock.now_us () + barrier);
+        arm_timer Qdrain_t barrier
+      end
+      else begin
+        f.draining_until <- None;
+        (* Re-route an op forwarded to a previous era's sequencer. *)
+        dispatch_fwd f
+      end
+    and leave_quorum f ~epoch =
+      Obs.Recorder.emit ~pid ~kind:Obs.Event.Mode_switch ~a:0 ~b:epoch ();
+      f.qcfg.Quorum.Config.on_mode ~quorum:false ~epoch
+        ~seq:(Quorum.Mode_controller.seq_pid f.mc);
+      f.draining_until <- None;
+      (* A forward the old era never ordered re-enters the fast path; one
+         it did order completes when the (retained) log's commit arrives. *)
+      match f.pending_fwd with
+      | Some w when not w.f_proposed ->
+          f.pending_fwd <- None;
+          dispatch_alg_invoke w.f_op w.f_trace w.f_op_id
+      | _ -> ()
+    and run_decisions f =
+      let fd = f.fd in
+      if ls.mode <> Up then ()
+      else
+      match
+        Quorum.Mode_controller.consider f.mc
+          ~alive:(Quorum.Failure_detector.alive fd)
+          ~all_alive:(Quorum.Failure_detector.all_alive fd)
+          ~suspects_any:(Quorum.Failure_detector.suspects_any fd)
+          ~lowest:(Quorum.Failure_detector.lowest_alive fd)
+      with
+      | None -> ()
+      | Some Quorum.Mode_controller.Stall ->
+          Quorum.Mode_controller.stall f.mc;
+          cancel_clients "retry: minority stall";
+          run_decisions f
+      | Some Quorum.Mode_controller.Unstall ->
+          Quorum.Mode_controller.unstall f.mc;
+          next_from_backlog ();
+          run_decisions f
+      | Some Quorum.Mode_controller.Initiate_quorum ->
+          let epoch = Quorum.Mode_controller.initiate_quorum f.mc in
+          enter_quorum f ~epoch ~sequencer:true;
+          run_decisions f
+      | Some Quorum.Mode_controller.Initiate_fast ->
+          (* Only once the era is fully drained: every slot committed and
+             applied, no forward buffered or pending anywhere we know of.
+             Until then the decision simply re-fires on a later tick. *)
+          if
+            Quorum.Log.drained f.qlog
+            && f.buffered = []
+            && f.pending_fwd = None
+            && f.draining_until = None
+          then begin
+            let epoch =
+              Quorum.Mode_controller.initiate_fast f.mc ~floor:(f.next_time - 1)
+            in
+            leave_quorum f ~epoch
+          end
     and submit op trace op_id cell =
       match dedup_check op op_id with
-      | Some outcome -> fill cell outcome
+      | Some ((Done r as outcome), invoke_us) ->
+          (* A replay answered from the dedup table is a client-visible
+             completion like any other: without a record the history would
+             come up one op short (the bounced first attempt recorded
+             nothing).  The record rides a fresh virtual pid (≥ n, unique
+             per record): its [applied-at, now] interval overlaps this
+             replica's one-inflight-at-a-time sequence, so putting it on
+             [pid] would fabricate program-order constraints the checker
+             must not see — only real time orders a replayed completion. *)
+          let seq = ls.next_seq in
+          ls.next_seq <- ls.next_seq + 1;
+          ls.records <-
+            { pid = (cfg.Core.Params.n * (1 + seq)) + pid; seq; op;
+              result = r; invoke_us; response_us = now_rel () }
+            :: ls.records;
+          fill cell outcome
+      | Some (outcome, _) -> fill cell outcome
       | None ->
-          if ls.inflight = None then start_invoke op trace op_id cell
-          else Queue.push (op, trace, op_id, cell) ls.backlog
+          if ls.inflight <> None then
+            Queue.push (op, trace, op_id, cell) ls.backlog
+          else (
+            match fb with
+            | Some f when in_quorum f -> start_quorum_invoke f op trace op_id cell
+            | _ -> start_invoke op trace op_id cell)
     and next_from_backlog () =
       if ls.inflight = None && ls.mode = Up && not (Queue.is_empty ls.backlog)
       then begin
@@ -391,7 +795,7 @@ module Make (D : Spec.Data_type.S) = struct
           (fun e ->
             match e.timer with
             | Unfreeze_t | Catchup_retry_t -> false
-            | A _ -> true)
+            | A _ | Heartbeat_t | Qdrain_t | Qtick_t -> true)
           ls.timers;
       let replies = ls.reply_hwms in
       ls.reply_hwms <- [];
@@ -407,7 +811,8 @@ module Make (D : Spec.Data_type.S) = struct
         (fun te ->
           match te.timer with
           | A t -> fire_alg_timer t te.ttrace
-          | Unfreeze_t | Catchup_retry_t -> ())
+          | Unfreeze_t | Catchup_retry_t | Heartbeat_t | Qdrain_t | Qtick_t ->
+              ())
         thaw;
       next_from_backlog ()
     in
@@ -439,16 +844,23 @@ module Make (D : Spec.Data_type.S) = struct
        [Catchup_retry_t]) is recovered well inside the unfreeze window: the
        failed first write makes the peer's link reconnect, so the retry's
        reply rides a fresh connection. *)
-    let catchup_retry_us rc = max 1 (rc.catchup_wait_us / 4) in
-    let schedule_catchup_retry rc =
+    (* The catch-up wait: a recovery config's explicit allowance, else (for
+       the fallback's reconciliation, which has no recovery config) one
+       network round plus skew. *)
+    let catchup_wait_us () =
+      match recovery with
+      | Some rc -> rc.catchup_wait_us
+      | None -> cfg.Core.Params.d + cfg.Core.Params.eps
+    in
+    let schedule_catchup_retry ~wait_us =
       let e =
-        { due = Prelude.Mclock.now_us () + catchup_retry_us rc;
+        { due = Prelude.Mclock.now_us () + max 1 (wait_us / 4);
           tseq = ls.tseq; timer = Catchup_retry_t; ttrace = 0 }
       in
       ls.tseq <- ls.tseq + 1;
       ls.timers <- insert_timer e ls.timers
     in
-    let start_catchup rc =
+    let start_catchup ~wait_us =
       ls.mode <- Catching_up;
       let peers =
         List.filter (fun p -> p <> pid) (List.init cfg.Core.Params.n Fun.id)
@@ -459,13 +871,148 @@ module Make (D : Spec.Data_type.S) = struct
         ls.reply_hwms <- [];
         Transport_intf.broadcast transport ~trace:0 ~src:pid (catchup_req ());
         let e =
-          { due = Prelude.Mclock.now_us () + rc.catchup_wait_us;
+          { due = Prelude.Mclock.now_us () + wait_us;
             tseq = ls.tseq; timer = Unfreeze_t; ttrace = 0 }
         in
         ls.tseq <- ls.tseq + 1;
         ls.timers <- insert_timer e ls.timers;
-        schedule_catchup_retry rc
+        schedule_catchup_retry ~wait_us
       end
+    in
+    (* Adopted a fast-path announcement while behind: this replica joined
+       the quorum era late (its log has holes below the slots it saw) or
+       missed one or more eras outright.  The retained-log repair path is
+       dead — no sequencer remains interested in the old era — so
+       resynchronise through the recovery catch-up instead.  Waiting
+       clients are bounced to a caught-up replica; op ids make the replays
+       idempotent. *)
+    let reconcile_via_catchup f ~epoch =
+      Obs.Recorder.emit ~pid ~kind:Obs.Event.Mode_switch ~a:0 ~b:epoch ();
+      f.qcfg.Quorum.Config.on_mode ~quorum:false ~epoch
+        ~seq:(Quorum.Mode_controller.seq_pid f.mc);
+      f.draining_until <- None;
+      f.buffered <- [];
+      f.must_reconcile <- false;
+      cancel_clients "retry: reconciling";
+      start_catchup ~wait_us:(catchup_wait_us ())
+    in
+    (* Quorum-protocol frames.  Epoch discipline: Forward/Propose validate
+       against the mode controller's era; Qack/Qcommit/Qfill against the
+       log's (retained across a switch back, so a late commit for the old
+       era still applies). *)
+    let handle_quorum ~src q =
+      match fb with
+      | None -> ()
+      | Some f -> (
+          match q with
+          | Hb { stamp; epoch; qmode; seq; floor } ->
+              let cleared =
+                Quorum.Failure_detector.heard f.fd ~peer:src ~stamp
+                  ~now_us:(Prelude.Mclock.now_us ())
+              in
+              if cleared then begin
+                Obs.Recorder.emit ~pid ~kind:Obs.Event.Suspect ~a:src ~b:0 ();
+                f.qcfg.Quorum.Config.on_suspect ~peer:src ~suspected:false
+              end;
+              let prev_epoch = Quorum.Mode_controller.epoch f.mc in
+              (match
+                 Quorum.Mode_controller.observe f.mc ~epoch ~quorum:qmode ~seq
+                   ~floor
+               with
+              | Quorum.Mode_controller.Adopted ->
+                  (* An epoch jump of more than one means whole eras went by
+                     unseen — whatever they committed is missing here. *)
+                  let jumped = epoch - prev_epoch > 1 in
+                  if qmode then begin
+                    if jumped then f.must_reconcile <- true;
+                    enter_quorum f ~epoch ~sequencer:false
+                  end
+                  else if
+                    jumped || f.must_reconcile
+                    || not (Quorum.Log.drained f.qlog)
+                  then reconcile_via_catchup f ~epoch
+                  else leave_quorum f ~epoch
+              | Quorum.Mode_controller.Ignored -> ());
+              try_release_gate ~force:false f;
+              run_decisions f
+          | Forward { qid; origin; op; op_id; trace } ->
+              if
+                in_quorum f
+                && Quorum.Mode_controller.is_sequencer f.mc
+                && ls.mode = Up
+              then
+                sequencer_admit f
+                  { q_time = 0; q_op = op; q_origin = origin; q_qid = qid;
+                    q_op_id = op_id; q_trace = trace }
+              else
+                Transport_intf.send transport ~trace ~src:pid ~dst:origin
+                  (Quorum_msg (Fnack { qid }))
+          | Propose { epoch; qseq; p } ->
+              if epoch = Quorum.Mode_controller.epoch f.mc && in_quorum f
+              then begin
+                if Quorum.Log.epoch f.qlog <> epoch then begin
+                  Quorum.Log.reset f.qlog ~epoch;
+                  Hashtbl.reset f.fwd_seen
+                end;
+                Quorum.Log.store f.qlog ~qseq p;
+                register
+                  (Prelude.Stamp.make ~time:p.q_time ~pid:p.q_origin)
+                  p.q_op_id;
+                (if p.q_origin = pid then
+                   match f.pending_fwd with
+                   | Some w when w.f_qid = p.q_qid -> w.f_proposed <- true
+                   | _ -> ());
+                Transport_intf.send transport ~trace:p.q_trace ~src:pid
+                  ~dst:src (Quorum_msg (Qack { epoch; qseq }));
+                (* a Qfill-refilled hole may have unblocked the prefix *)
+                apply_committed f
+              end
+          | Qack { epoch; qseq } ->
+              if
+                epoch = Quorum.Log.epoch f.qlog
+                && Quorum.Log.ack f.qlog ~qseq ~from:src
+              then do_commit f qseq
+          | Qcommit { epoch; qseq } ->
+              if epoch = Quorum.Log.epoch f.qlog then begin
+                Quorum.Log.commit f.qlog ~qseq;
+                apply_committed f
+              end
+          | Fnack { qid } -> (
+              match f.pending_fwd with
+              | Some w when w.f_qid = qid && not w.f_proposed ->
+                  w.f_nacks <- w.f_nacks + 1;
+                  if w.f_nacks > 3 then begin
+                    (* Routing is flapping (sequencer handover storm):
+                       bounce the client rather than loop forever. *)
+                    f.pending_fwd <- None;
+                    match ls.inflight with
+                    | Some (cell, _, _, _, _) ->
+                        ls.inflight <- None;
+                        fill cell (Rejected "retry: quorum reroute");
+                        next_from_backlog ()
+                    | None -> ()
+                  end
+                  else if not (in_quorum f) then begin
+                    f.pending_fwd <- None;
+                    dispatch_alg_invoke w.f_op w.f_trace w.f_op_id
+                  end
+                  else dispatch_fwd f
+              | _ -> ())
+          | Qfill { epoch; from_seq } ->
+              if
+                epoch = Quorum.Log.epoch f.qlog
+                && Quorum.Mode_controller.is_sequencer f.mc
+              then
+                for qseq = from_seq to Quorum.Log.highest f.qlog do
+                  match Quorum.Log.payload f.qlog ~qseq with
+                  | Some p ->
+                      Transport_intf.send transport ~trace:p.q_trace ~src:pid
+                        ~dst:src (Quorum_msg (Propose { epoch; qseq; p }));
+                      if Quorum.Log.committed f.qlog ~qseq then
+                        Transport_intf.send transport ~trace:0 ~src:pid
+                          ~dst:src (Quorum_msg (Qcommit { epoch; qseq }))
+                  | None -> ()
+                done)
     in
     let drain_on_stop () =
       (* Wake every client still waiting: their operations will never
@@ -486,7 +1033,22 @@ module Make (D : Spec.Data_type.S) = struct
           (match ls.mode with
           | Down -> ()  (* the replica is down: the message is lost *)
           | Up | Catching_up ->
-              if dedup && Hashtbl.mem ls.seen m.Alg.ts then
+              (* Under fallback, a fresh fast-path entry stamped at or below
+                 this replica's own quorum-applied high-point is a healed
+                 straggler from before a switch: its origin never got a
+                 (gated) ack for it, and admitting it would order it into
+                 already-executed history.  Keyed on the *local*
+                 [last_q_applied] so a rejoining replica (whose own mark is
+                 still low) keeps accepting catch-up entries. *)
+              let stale_q =
+                match fb with
+                | Some f ->
+                    (not (Hashtbl.mem ls.seen m.Alg.ts))
+                    && m.Alg.ts.Prelude.Stamp.time <= f.last_q_applied
+                | None -> false
+              in
+              if stale_q then ()
+              else if dedup && Hashtbl.mem ls.seen m.Alg.ts then
                 ()  (* replayed entry (push-back or duplicate): drop *)
               else begin
                 if dedup then begin
@@ -540,19 +1102,40 @@ module Make (D : Spec.Data_type.S) = struct
                   push_back src rh
               | Down -> ()));
           loop ()
+      | Some (src, Quorum_msg q) ->
+          (match ls.mode with
+          | Down -> ()
+          | Up | Catching_up -> handle_quorum ~src q);
+          loop ()
       | Some (_, Invoke (op, trace, op_id, cell)) ->
-          (if ls.mode <> Up then Queue.push (op, trace, op_id, cell) ls.backlog
-           else submit op trace op_id cell);
+          (match fb with
+          | Some _ when ls.mode = Down ->
+              fill cell (Rejected "retry: replica down")
+          | Some f when Quorum.Mode_controller.stalled f.mc ->
+              fill cell (Rejected "retry: minority stall")
+          | _ ->
+              if ls.mode <> Up then
+                Queue.push (op, trace, op_id, cell) ls.backlog
+              else submit op trace op_id cell);
           loop ()
       | Some (_, Crash_now) ->
-          (match ls.rec_mode with
-          | None -> ()  (* crash realisation is transport isolation only *)
-          | Some _ -> ls.mode <- Down);
+          (match (ls.rec_mode, fb) with
+          | None, None -> ()  (* crash realisation is transport isolation *)
+          | _ ->
+              ls.mode <- Down;
+              if fb <> None then cancel_clients "retry: replica down");
           loop ()
       | Some (_, Recover_now) ->
           (match (ls.rec_mode, ls.mode) with
+          | None, Down when fb <> None ->
+              (* No durability layer: rejoin live and anti-entropy the gap
+                 (peers answer the catch-up request with what we missed). *)
+              ls.mode <- Up;
+              Transport_intf.broadcast transport ~trace:0 ~src:pid
+                (catchup_req ())
           | None, _ | _, Catching_up -> ()
-          | Some rc, (Up | Down) -> start_catchup rc);
+          | Some rc, (Up | Down) ->
+              start_catchup ~wait_us:rc.catchup_wait_us);
           loop ()
       | Some (_, Snap_req f) ->
           let v_applied =
@@ -584,15 +1167,144 @@ module Make (D : Spec.Data_type.S) = struct
               | Unfreeze_t ->
                   if ls.mode = Catching_up then do_unfreeze ()
               | Catchup_retry_t ->
-                  (match ls.rec_mode with
-                  | Some rc when ls.mode = Catching_up && ls.awaiting <> [] ->
-                      List.iter
-                        (fun peer ->
-                          Transport_intf.send transport ~trace:0 ~src:pid
-                            ~dst:peer (catchup_req ()))
-                        ls.awaiting;
-                      schedule_catchup_retry rc
+                  if ls.mode = Catching_up && ls.awaiting <> [] then begin
+                    List.iter
+                      (fun peer ->
+                        Transport_intf.send transport ~trace:0 ~src:pid
+                          ~dst:peer (catchup_req ()))
+                      ls.awaiting;
+                    schedule_catchup_retry ~wait_us:(catchup_wait_us ())
+                  end
+              | Heartbeat_t ->
+                  (match fb with
+                  | Some f ->
+                      (if ls.mode = Up then begin
+                         let epoch, qmode, seq, floor =
+                           Quorum.Mode_controller.announcement f.mc
+                         in
+                         Transport_intf.broadcast transport ~trace:0 ~src:pid
+                           (Quorum_msg
+                              (Hb { stamp = clock (); epoch; qmode; seq; floor }));
+                         let newly =
+                           Quorum.Failure_detector.tick f.fd
+                             ~now_us:(Prelude.Mclock.now_us ())
+                         in
+                         List.iter
+                           (fun peer ->
+                             Obs.Recorder.emit ~pid ~kind:Obs.Event.Suspect
+                               ~a:peer ~b:1 ();
+                             f.qcfg.Quorum.Config.on_suspect ~peer
+                               ~suspected:true)
+                           newly;
+                         run_decisions f
+                       end);
+                      arm_timer Heartbeat_t f.qcfg.Quorum.Config.hb_us
+                  | None -> ())
+              | Qdrain_t ->
+                  (match fb with
+                  | Some f
+                    when f.draining_until <> None
+                         && Quorum.Mode_controller.is_sequencer f.mc
+                         && in_quorum f ->
+                      (* The switch barrier: every fast-path entry broadcast
+                         before the era change has had 2d + ε to land.
+                         Execute everything below the era's stamp base, then
+                         admit the forwards buffered during the drain. *)
+                      f.draining_until <- None;
+                      let queued_max =
+                        List.fold_left
+                          (fun acc (e : Alg.entry) ->
+                            max acc e.ts.Prelude.Stamp.time)
+                          min_int
+                          (Alg.Queue.to_sorted_list ls.st.Alg.to_execute)
+                      in
+                      let base =
+                        1
+                        + List.fold_left max
+                            (clock () + cfg.Core.Params.eps)
+                            [ ls.hwm.Prelude.Stamp.time; queued_max;
+                              Quorum.Mode_controller.floor f.mc;
+                              f.last_q_applied ]
+                      in
+                      let st, actions =
+                        Alg.execute_through ls.st
+                          ~upto:(Prelude.Stamp.make ~time:base ~pid:(-1))
+                          ~inclusive:false
+                      in
+                      ls.st <- st;
+                      drain_applied ();
+                      handle_actions ~trace:0 actions;
+                      f.next_time <- base;
+                      let buffered = List.rev f.buffered in
+                      f.buffered <- [];
+                      List.iter (fun p -> sequencer_admit f p) buffered
                   | _ -> ())
+              | Qtick_t ->
+                  (match fb with
+                  | Some f ->
+                      (if ls.mode = Up && in_quorum f then begin
+                         let timeout = Quorum.Config.timeout_us f.qcfg in
+                         (match (f.pending_fwd, ls.inflight) with
+                         | Some w, Some (cell, _, _, _, _)
+                           when Prelude.Mclock.now_us () - w.f_sent_us
+                                > 2 * timeout ->
+                             f.pending_fwd <- None;
+                             ls.inflight <- None;
+                             fill cell (Rejected "retry: quorum timeout");
+                             next_from_backlog ()
+                         | Some w, _
+                           when (not w.f_proposed)
+                                && not
+                                     (Quorum.Mode_controller.is_sequencer f.mc)
+                           ->
+                             dispatch_fwd f
+                         | _ -> ());
+                         if not (Quorum.Mode_controller.is_sequencer f.mc)
+                         then
+                           match Quorum.Log.missing f.qlog with
+                           | [] -> ()
+                           | missing ->
+                               let from_seq =
+                                 List.fold_left min max_int missing
+                               in
+                               Transport_intf.send transport ~trace:0 ~src:pid
+                                 ~dst:(Quorum.Mode_controller.seq_pid f.mc)
+                                 (Quorum_msg
+                                    (Qfill
+                                       {
+                                         epoch = Quorum.Log.epoch f.qlog;
+                                         from_seq;
+                                       }))
+                       end);
+                      (* a switch back blocked on the drain retries here *)
+                      if ls.mode = Up then run_decisions f;
+                      if Sys.getenv_opt "TIMEBOUNDS_QDEBUG" <> None then
+                        Printf.eprintf
+                          "[qdbg %d] mode=%s up=%b epoch=%d seq=%b \
+                           inflight=%b gated=%b pend=%s backlog=%d \
+                           drained=%b buffered=%d draining=%b next_time=%d \
+                           last_q=%d queue=%d\n\
+                           %!"
+                          pid
+                          (if in_quorum f then "quorum" else "fast")
+                          (ls.mode = Up)
+                          (Quorum.Mode_controller.epoch f.mc)
+                          (Quorum.Mode_controller.is_sequencer f.mc)
+                          (ls.inflight <> None) (f.gated <> None)
+                          (match f.pending_fwd with
+                          | None -> "-"
+                          | Some w ->
+                              Printf.sprintf "qid=%d,prop=%b" w.f_qid
+                                w.f_proposed)
+                          (Queue.length ls.backlog)
+                          (Quorum.Log.drained f.qlog)
+                          (List.length f.buffered)
+                          (f.draining_until <> None)
+                          f.next_time f.last_q_applied
+                          (Alg.Queue.size ls.st.Alg.to_execute);
+                      arm_timer Qtick_t
+                        (max 1 (Quorum.Config.timeout_us f.qcfg / 2))
+                  | None -> ())
               | A (Alg.Add _ as t) ->
                   (* Self-delivery of an already-broadcast entry: enqueue
                      even while frozen, keeping the local queue consistent
@@ -603,6 +1315,11 @@ module Make (D : Spec.Data_type.S) = struct
                   else ls.deferred <- e :: ls.deferred);
               loop ())
     in
+    (match fb with
+    | Some f ->
+        arm_timer Heartbeat_t f.qcfg.Quorum.Config.hb_us;
+        arm_timer Qtick_t (max 1 (Quorum.Config.timeout_us f.qcfg / 2))
+    | None -> ());
     loop ()
 
   (* ---- single node: one replica on one domain, any transport ---- *)
@@ -618,11 +1335,13 @@ module Make (D : Spec.Data_type.S) = struct
   }
 
   let node ~params ~transport ~pid ?(offset = 0) ?start_us ?(threaded = false)
-      ?recovery () =
+      ?recovery ?fallback () =
     let start_us =
       match start_us with Some s -> s | None -> Prelude.Mclock.now_us ()
     in
-    let body () = run_replica ~params ?recovery ~transport ~start_us ~offset pid in
+    let body () =
+      run_replica ~params ?recovery ?fallback ~transport ~start_us ~offset pid
+    in
     let join =
       if threaded then begin
         (* Systhread vehicle: many replicas share one domain's runtime
@@ -699,7 +1418,7 @@ module Make (D : Spec.Data_type.S) = struct
     mutable records : record list;
   }
 
-  let start ~params ?policy ?offsets ?wrap ?recovery () =
+  let start ~params ?policy ?offsets ?wrap ?recovery ?fallback () =
     let n = params.Core.Params.n in
     let offsets =
       match offsets with Some o -> Array.copy o | None -> Array.make n 0
@@ -726,7 +1445,7 @@ module Make (D : Spec.Data_type.S) = struct
       nodes =
         Array.init n (fun pid ->
             node ~params ~transport ~pid ~offset:offsets.(pid) ~start_us
-              ?recovery ());
+              ?recovery ?fallback ());
       stopped = false;
       records = [];
     }

@@ -50,6 +50,28 @@
       backlogged; [Add] timers still fire, since they only mirror an
       already-broadcast entry into the local queue.
 
+    {2 Adaptive quorum fallback (DESIGN.md §13)}
+
+    With a {!Quorum.Config.t} a replica runs the adaptive degraded mode:
+    it exchanges heartbeats (doubling as mode announcements), feeds a
+    per-peer failure detector, and — while timing is intact — keeps
+    running Algorithm 1's fast path with one addition, the {e release
+    gate}: a response stamped [ts] is withheld until every peer's
+    heartbeat clock passed [ts + d + ε], proving the peer received the
+    entry's broadcast (or sits behind a partition that also ate its
+    heartbeats, in which case the gate stalls until the detector excuses
+    it).  When a peer is suspected dead, the lowest live pid bumps the
+    epoch and announces {e quorum mode}: operations are forwarded to that
+    sequencer, ordered into a majority-replicated log (Propose / Qack /
+    Qcommit — ABD-style two round trips, 4d + ε), and applied through an
+    execution barrier that first drains every straggling fast-path entry
+    below the committed stamp.  When the detector sees every peer again,
+    the sequencer drains its log and announces fast mode with a stamp
+    {e floor}; fast-path clocks clamp above the floor so the two eras
+    never interleave.  A minority partition {e stalls}: clients are
+    bounced with ["retry: …"] until quorum returns — safety over
+    availability on the minority side, availability on the majority's.
+
     Known gap, documented in DESIGN.md §11: a MOP is acknowledged ε + X
     after invocation but applied (and therefore logged) only at d + ε, so
     a whole-cluster crash inside that window can lose an acked mutator —
@@ -118,8 +140,35 @@ module Make (D : Spec.Data_type.S) : sig
   (** {2 Wire mapping}
 
       The codec sees events through {!wire}: protocol entries (now
-      carrying the op id) plus the two catch-up frames.  Local-only
-      events have no wire view and must never reach an encoder. *)
+      carrying the op id), the two catch-up frames and the quorum
+      frames.  Local-only events have no wire view and must never reach
+      an encoder. *)
+
+  type qpayload = {
+    q_time : int;  (** assigned stamp time (stamp pid is [q_origin]) *)
+    q_op : D.op;
+    q_origin : int;
+    q_qid : int;  (** origin-local forward id, stable across retries *)
+    q_op_id : int;
+    q_trace : int;
+  }
+  (** One operation as the quorum era's replicated log carries it. *)
+
+  type qwire =
+    | Hb of { stamp : int; epoch : int; qmode : bool; seq : int; floor : int }
+        (** heartbeat doubling as the mode announcement: the sender's
+            clock plus its (epoch, mode, sequencer pid, stamp floor) *)
+    | Forward of { qid : int; origin : int; op : D.op; op_id : int; trace : int }
+        (** origin → sequencer: please order this op *)
+    | Propose of { epoch : int; qseq : int; p : qpayload }
+        (** sequencer → all: slot [qseq] of the era holds [p] *)
+    | Qack of { epoch : int; qseq : int }  (** follower → sequencer *)
+    | Qcommit of { epoch : int; qseq : int }
+        (** sequencer → all: a majority stored [qseq]; apply in order *)
+    | Fnack of { qid : int }
+        (** addressee is not the sequencer (or left quorum mode): re-route *)
+    | Qfill of { epoch : int; from_seq : int }
+        (** follower → sequencer: re-send payloads from [from_seq] up *)
 
   type wire =
     | Wire_entry of Alg.entry * int * int  (** entry, trace, op id *)
@@ -130,6 +179,7 @@ module Make (D : Spec.Data_type.S) : sig
         time : int;
         cpid : int;  (** replier's high-water mark *)
       }
+    | Wire_quorum of qwire
 
   val wire_view : event -> wire option
   val of_wire : wire -> event
@@ -156,6 +206,7 @@ module Make (D : Spec.Data_type.S) : sig
     ?start_us:int ->
     ?threaded:bool ->
     ?recovery:recovery ->
+    ?fallback:Quorum.Config.t ->
     unit ->
     node
   (** Spawn one replica domain with identity [pid] over [transport].
@@ -168,7 +219,9 @@ module Make (D : Spec.Data_type.S) : sig
       in one process — far past the OCaml domain ceiling — at the cost of
       serialising their CPU bursts.  [recovery] enables the durability
       machinery (see the module docs); pass {!post_recover} after the
-      transport is connected to trigger peer catch-up. *)
+      transport is connected to trigger peer catch-up.  [fallback] arms
+      the adaptive quorum fallback (heartbeats, failure detection, the
+      degraded ABD mode — see the module docs and DESIGN.md §13). *)
 
   val node_invoke : ?trace:int -> ?op_id:int -> node -> D.op -> D.result
   (** Synchronous client call on this node; queued behind any pending
@@ -218,6 +271,7 @@ module Make (D : Spec.Data_type.S) : sig
     ?offsets:int array ->
     ?wrap:Transport_intf.wrapper ->
     ?recovery:recovery ->
+    ?fallback:Quorum.Config.t ->
     unit ->
     cluster
   (** Spawn [params.n] replica domains connected by an in-process bus —
@@ -229,7 +283,8 @@ module Make (D : Spec.Data_type.S) : sig
       chaos layer ([Fault.Chaos_transport]) uses to inject faults; the
       cluster's start time is passed as the wrapper's [start_us].
       [recovery] (shared by all nodes; [recovered] should be [None]) arms
-      the crash/recover/catch-up machinery for {!crash}/{!recover}. *)
+      the crash/recover/catch-up machinery for {!crash}/{!recover};
+      [fallback] (shared by all nodes) arms the quorum fallback. *)
 
   val invoke : ?trace:int -> ?op_id:int -> cluster -> pid:int -> D.op -> D.result
   (** Synchronous client call: block until replica [pid] responds.

@@ -42,6 +42,10 @@ type config = {
   fsync : Durable.Wal.fsync;
   snapshot_every : int;
   chaos : Fault.Fault_plan.t option;  (** projected per shard *)
+  fallback : Quorum.Config.t option;
+      (** arm the adaptive quorum fallback on every shard: each Algorithm 1
+          instance runs its own failure detector and mode controller, so
+          shards degrade (and recover) independently *)
   log : string -> unit;
 }
 
@@ -135,6 +139,44 @@ module Make (W : Net.Wire.WIRED) = struct
             entries
         in
         Some (shard, R.of_wire (R.Wire_catchup_rep { entries; time; cpid }))
+    | Ok (C.Hb { stamp; epoch; qmode; seq; floor; shard }) when ok shard ->
+        Some
+          ( shard,
+            R.of_wire (R.Wire_quorum (R.Hb { stamp; epoch; qmode; seq; floor }))
+          )
+    | Ok (C.Forward { qid; origin; op; op_id; trace; shard }) when ok shard ->
+        Some
+          ( shard,
+            R.of_wire
+              (R.Wire_quorum (R.Forward { qid; origin; op; op_id; trace })) )
+    | Ok (C.Propose { epoch; qseq; time; origin; qid; op; op_id; trace; shard })
+      when ok shard ->
+        Some
+          ( shard,
+            R.of_wire
+              (R.Wire_quorum
+                 (R.Propose
+                    {
+                      epoch;
+                      qseq;
+                      p =
+                        {
+                          R.q_time = time;
+                          q_op = op;
+                          q_origin = origin;
+                          q_qid = qid;
+                          q_op_id = op_id;
+                          q_trace = trace;
+                        };
+                    })) )
+    | Ok (C.Qack { epoch; qseq; shard }) when ok shard ->
+        Some (shard, R.of_wire (R.Wire_quorum (R.Qack { epoch; qseq })))
+    | Ok (C.Qcommit { epoch; qseq; shard }) when ok shard ->
+        Some (shard, R.of_wire (R.Wire_quorum (R.Qcommit { epoch; qseq })))
+    | Ok (C.Fnack { qid; shard }) when ok shard ->
+        Some (shard, R.of_wire (R.Wire_quorum (R.Fnack { qid })))
+    | Ok (C.Qfill { epoch; from_seq; shard }) when ok shard ->
+        Some (shard, R.of_wire (R.Wire_quorum (R.Qfill { epoch; from_seq })))
     | Ok _ | Error _ -> None
 
   let encode_peer (shard, ev) =
@@ -163,6 +205,30 @@ module Make (W : Net.Wire.WIRED) = struct
             entries
         in
         C.encode (C.Catchup_rep { entries; time; cpid; shard })
+    | Some (R.Wire_quorum q) ->
+        C.encode
+          (match q with
+          | R.Hb { stamp; epoch; qmode; seq; floor } ->
+              C.Hb { stamp; epoch; qmode; seq; floor; shard }
+          | R.Forward { qid; origin; op; op_id; trace } ->
+              C.Forward { qid; origin; op; op_id; trace; shard }
+          | R.Propose { epoch; qseq; p } ->
+              C.Propose
+                {
+                  epoch;
+                  qseq;
+                  time = p.R.q_time;
+                  origin = p.R.q_origin;
+                  qid = p.R.q_qid;
+                  op = p.R.q_op;
+                  op_id = p.R.q_op_id;
+                  trace = p.R.q_trace;
+                  shard;
+                }
+          | R.Qack { epoch; qseq } -> C.Qack { epoch; qseq; shard }
+          | R.Qcommit { epoch; qseq } -> C.Qcommit { epoch; qseq; shard }
+          | R.Fnack { qid } -> C.Fnack { qid; shard }
+          | R.Qfill { epoch; from_seq } -> C.Qfill { epoch; from_seq; shard })
     | None -> invalid_arg "Host.encode_peer: local event on the wire"
 
   (* Shard [k]'s view of the shared transport.  [send] rides the real
@@ -367,9 +433,26 @@ module Make (W : Net.Wire.WIRED) = struct
     let nodes =
       Array.init cfg.shards (fun k ->
           let recovery = Option.map (fun (_, r, _, _) -> r) durable.(k) in
+          let fallback =
+            Option.map
+              (fun (q : Quorum.Config.t) ->
+                {
+                  q with
+                  Quorum.Config.on_mode =
+                    (fun ~quorum ~epoch ~seq ->
+                      cfg.log
+                        (Printf.sprintf
+                           "replica %d shard %d: mode: %s(epoch=%d seq=%d)"
+                           cfg.pid k
+                           (if quorum then "quorum" else "fast")
+                           epoch seq);
+                      q.Quorum.Config.on_mode ~quorum ~epoch ~seq);
+                })
+              cfg.fallback
+          in
           R.node ~params:cfg.params ~transport:facades.(k) ~pid:cfg.pid
             ~offset:cfg.offset ?start_us:cfg.start_us ~threaded:true ?recovery
-            ())
+            ?fallback ())
     in
     facades_ref := Some facades;
     let stores =

@@ -95,7 +95,7 @@ let test_version_rejected_by_decoder () =
             msg
       | Net.Codec.Got _ | Net.Codec.Need_more _ ->
           Alcotest.failf "version %d frame must be Corrupt" v)
-    [ 1; 2; 3; 5; 255 ]
+    [ 1; 2; 3; 4; 6; 255 ]
 
 (* An old (v1) peer connecting to a live replica stack: the handshake must
    be rejected cleanly — connection closed, replica healthy for current
@@ -120,6 +120,7 @@ let test_version_rejected_by_handshake () =
         durable = None;
         fsync = Durable.Wal.Never;
         snapshot_every = 0;
+        fallback = None;
         log = (fun _ -> ());
       }
   in
@@ -293,6 +294,7 @@ let test_tcp_cluster_in_process () =
             durable = None;
             fsync = Durable.Wal.Never;
             snapshot_every = 0;
+            fallback = None;
             log = (fun _ -> ());
           })
   in
@@ -453,6 +455,7 @@ let test_tcp_durable_restart_recovers () =
       durable = Some dir;
       fsync = Durable.Wal.Always;
       snapshot_every = 0;
+      fallback = None;
       log =
         (fun s ->
           let has_sub sub =

@@ -1,0 +1,286 @@
+(* The adaptive quorum fallback's own contract:
+
+   - the failure detector grants boot grace, suspects only after
+     [suspect_after] silent heartbeat intervals, and clears on any frame;
+   - the mode controller's epoch discipline is "strictly higher wins":
+     adoption is exactly once per era, floors are monotone, and the
+     decision table matches DESIGN.md §13;
+   - the ordered-commit log never drops or duplicates an acknowledged
+     operation, however stores, acks and commits interleave (qcheck);
+   - end to end, a permanent crash and a healed minority partition both
+     leave the in-process cluster linearizable under [~fallback], with the
+     mode switches the availability report expects. *)
+
+let kv = Runtime.Workloads.kv_map
+
+let plan_of spec ~seed =
+  match Fault.Fault_plan.compile ~seed ~spec with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "compile %S: %s" spec e
+
+(* ---- failure detector ---- *)
+
+let test_fd_boot_grace_and_suspicion () =
+  let module FD = Quorum.Failure_detector in
+  let hb = 1_000 and after = 10 in
+  let fd = FD.make ~n:3 ~me:0 ~hb_us:hb ~suspect_after:after ~now_us:0 in
+  let timeout = hb * after in
+  Alcotest.(check (list int)) "boot grace: no suspicion at one timeout" []
+    (FD.tick fd ~now_us:timeout);
+  Alcotest.(check bool) "all alive through the grace" true (FD.all_alive fd);
+  (* peer 1 beats after the grace, peer 2 stays silent *)
+  ignore (FD.heard fd ~peer:1 ~stamp:500 ~now_us:(timeout + hb));
+  (match FD.tick fd ~now_us:(2 * timeout) with
+  | [ 2 ] -> ()
+  | l -> Alcotest.failf "expected [2] suspected, got %d pids" (List.length l));
+  Alcotest.(check bool) "peer 2 suspected" true (FD.suspected fd 2);
+  Alcotest.(check bool) "suspects_any" true (FD.suspects_any fd);
+  Alcotest.(check int) "alive counts me and peer 1" 2 (FD.alive fd);
+  Alcotest.(check int) "lowest alive is me" 0 (FD.lowest_alive fd);
+  (* a frame clears the suspicion, exactly once *)
+  Alcotest.(check bool) "heard clears" true
+    (FD.heard fd ~peer:2 ~stamp:77 ~now_us:(2 * timeout));
+  Alcotest.(check bool) "second frame is not a clear" false
+    (FD.heard fd ~peer:2 ~stamp:78 ~now_us:(2 * timeout));
+  Alcotest.(check bool) "no suspicion left" false (FD.suspects_any fd);
+  (* frames from self are ignored *)
+  Alcotest.(check bool) "self frames ignored" false
+    (FD.heard fd ~peer:0 ~stamp:1 ~now_us:0)
+
+let test_fd_knowledge_horizon () =
+  let module FD = Quorum.Failure_detector in
+  let fd = FD.make ~n:3 ~me:0 ~hb_us:1_000 ~suspect_after:5 ~now_us:0 in
+  Alcotest.(check int) "no frames yet: horizon at min_int" min_int
+    (FD.min_heard_stamp fd);
+  ignore (FD.heard fd ~peer:1 ~stamp:300 ~now_us:10);
+  ignore (FD.heard fd ~peer:2 ~stamp:120 ~now_us:10);
+  Alcotest.(check int) "horizon is the slowest peer" 120
+    (FD.min_heard_stamp fd);
+  (* stamps are monotone per peer: an out-of-order frame cannot regress *)
+  ignore (FD.heard fd ~peer:2 ~stamp:80 ~now_us:11);
+  Alcotest.(check int) "horizon never regresses" 120 (FD.min_heard_stamp fd);
+  ignore (FD.heard fd ~peer:2 ~stamp:400 ~now_us:12);
+  Alcotest.(check int) "horizon follows the laggard" 300
+    (FD.min_heard_stamp fd);
+  (* n = 1: the gate is vacuous *)
+  let solo = FD.make ~n:1 ~me:0 ~hb_us:1_000 ~suspect_after:5 ~now_us:0 in
+  Alcotest.(check int) "solo horizon is max_int" max_int
+    (FD.min_heard_stamp solo)
+
+(* ---- mode controller ---- *)
+
+let test_mc_epoch_discipline () =
+  let module MC = Quorum.Mode_controller in
+  let mc = MC.make ~n:3 ~me:1 in
+  Alcotest.(check bool) "starts fast, epoch 0" true
+    (MC.mode mc = MC.Fast && MC.epoch mc = 0);
+  (* equal epochs are stale *)
+  Alcotest.(check bool) "equal epoch ignored" true
+    (MC.observe mc ~epoch:0 ~quorum:true ~seq:0 ~floor:min_int = MC.Ignored);
+  (* strictly higher adopts: mode, sequencer and floor follow *)
+  Alcotest.(check bool) "higher epoch adopted" true
+    (MC.observe mc ~epoch:2 ~quorum:true ~seq:0 ~floor:41 = MC.Adopted);
+  Alcotest.(check bool) "quorum mode, seq 0, floor 41" true
+    (MC.mode mc = MC.Quorum && MC.seq_pid mc = 0 && MC.floor mc = 41);
+  (* lower epochs are stale; floors only ever ratchet up *)
+  Alcotest.(check bool) "lower epoch ignored" true
+    (MC.observe mc ~epoch:1 ~quorum:false ~seq:2 ~floor:99 = MC.Ignored);
+  Alcotest.(check bool) "floor kept" true (MC.floor mc = 41);
+  Alcotest.(check bool) "back to fast on the next era" true
+    (MC.observe mc ~epoch:3 ~quorum:false ~seq:0 ~floor:55 = MC.Adopted);
+  Alcotest.(check bool) "fast again, floor 55" true
+    (MC.mode mc = MC.Fast && MC.floor mc = 55);
+  (* initiating always beats every epoch ever seen *)
+  let e = MC.initiate_quorum mc in
+  Alcotest.(check int) "initiate_quorum bumps past max seen" 4 e;
+  Alcotest.(check bool) "sequencer is me" true (MC.is_sequencer mc);
+  let e' = MC.initiate_fast mc ~floor:70 in
+  Alcotest.(check int) "initiate_fast bumps again" 5 e';
+  Alcotest.(check bool) "fast, floor 70" true
+    (MC.mode mc = MC.Fast && MC.floor mc = 70);
+  let epoch, q, seq, floor = MC.announcement mc in
+  Alcotest.(check bool) "announcement mirrors state" true
+    (epoch = 5 && (not q) && seq = 1 && floor = 70)
+
+let test_mc_decisions () =
+  let module MC = Quorum.Mode_controller in
+  let mc = MC.make ~n:3 ~me:0 in
+  let consider ?(alive = 3) ?(all = true) ?(susp = false) ?(lowest = 0) () =
+    MC.consider mc ~alive ~all_alive:all ~suspects_any:susp ~lowest
+  in
+  Alcotest.(check bool) "healthy fast path: no decision" true
+    (consider () = None);
+  Alcotest.(check bool) "suspicion + lowest alive: initiate" true
+    (consider ~alive:2 ~all:false ~susp:true () = Some MC.Initiate_quorum);
+  Alcotest.(check bool) "suspicion but not lowest: wait for announcement"
+    true
+    (consider ~alive:2 ~all:false ~susp:true ~lowest:1 () = None);
+  ignore (MC.initiate_quorum mc);
+  Alcotest.(check bool) "quorum holds while a peer is out" true
+    (consider ~alive:2 ~all:false ~susp:true () = None);
+  Alcotest.(check bool) "all back + sequencer: end the era" true
+    (consider () = Some MC.Initiate_fast);
+  (* below majority: stall once, then hold *)
+  Alcotest.(check bool) "minority stalls" true
+    (consider ~alive:1 ~all:false ~susp:true () = Some MC.Stall);
+  MC.stall mc;
+  Alcotest.(check bool) "stall is edge-triggered" true
+    (consider ~alive:1 ~all:false ~susp:true () = None);
+  Alcotest.(check bool) "majority back in quorum mode: unstall" true
+    (consider ~alive:2 ~all:false ~susp:true () = Some MC.Unstall);
+  MC.unstall mc;
+  (* resuming the *fast* path from a stall needs every replica back *)
+  ignore (MC.observe mc ~epoch:99 ~quorum:false ~seq:1 ~floor:10);
+  MC.stall mc;
+  Alcotest.(check bool) "fast-path unstall waits for all replicas" true
+    (consider ~alive:2 ~all:false () = None);
+  Alcotest.(check bool) "fast-path unstall once every replica is back" true
+    (consider ~alive:3 ~all:true () = Some MC.Unstall)
+
+(* ---- ordered-commit log (qcheck) ---- *)
+
+(* However stores and commits interleave (commit-before-store included),
+   draining [applyable] after every event yields each sequence number
+   exactly once, in order, never before its payload arrived. *)
+let log_no_drop_no_dup =
+  QCheck.Test.make ~count:500 ~name:"log yields each qseq once, in order"
+    QCheck.(pair (int_range 1 15) int)
+    (fun (k, seed) ->
+      let log = Quorum.Log.create ~n:3 ~epoch:1 in
+      let events =
+        List.concat_map (fun q -> [ `Store q; `Commit q ]) (List.init k Fun.id)
+      in
+      let rng = Random.State.make [| seed |] in
+      let shuffled =
+        List.map (fun e -> (Random.State.bits rng, e)) events
+        |> List.sort compare |> List.map snd
+      in
+      let collected = ref [] in
+      let drain () =
+        List.iter
+          (fun (q, p) ->
+            if q <> p then QCheck.Test.fail_report "payload/qseq mismatch";
+            collected := q :: !collected)
+          (Quorum.Log.applyable log)
+      in
+      List.iter
+        (fun e ->
+          (match e with
+          | `Store q -> Quorum.Log.store log ~qseq:q q
+          | `Commit q -> Quorum.Log.commit log ~qseq:q);
+          drain ())
+        shuffled;
+      drain ();
+      List.rev !collected = List.init k Fun.id
+      && Quorum.Log.drained log
+      && Quorum.Log.missing log = [])
+
+(* The sequencer side: however (possibly duplicated) acks arrive, the
+   majority threshold fires exactly once per slot — the commit broadcast
+   is never repeated and never skipped. *)
+let log_majority_fires_once =
+  QCheck.Test.make ~count:500 ~name:"majority threshold fires exactly once"
+    QCheck.(pair (int_range 1 10) int)
+    (fun (k, seed) ->
+      let log = Quorum.Log.create ~n:5 ~epoch:1 in
+      for q = 0 to k - 1 do
+        ignore (Quorum.Log.append log ~me:0 q)
+      done;
+      let rng = Random.State.make [| seed |] in
+      let acks =
+        List.concat_map
+          (fun q -> List.map (fun p -> (q, p)) [ 1; 2; 3; 4; 1; 2 ])
+          (List.init k Fun.id)
+        |> List.map (fun e -> (Random.State.bits rng, e))
+        |> List.sort compare |> List.map snd
+      in
+      let commits = Array.make k 0 in
+      List.iter
+        (fun (q, p) ->
+          if Quorum.Log.ack log ~qseq:q ~from:p then begin
+            Quorum.Log.commit log ~qseq:q;
+            commits.(q) <- commits.(q) + 1
+          end)
+        acks;
+      Array.for_all (fun c -> c = 1) commits
+      && List.map snd (Quorum.Log.applyable log) = List.init k Fun.id)
+
+(* ---- end to end: in-process chaos under the fallback ---- *)
+
+let fallback_cfg =
+  (* a tight detector so the tests spend milliseconds, not seconds, in
+     the pre-switch outage *)
+  { Quorum.Config.default with hb_us = 2_000; suspect_after = 25 }
+
+let quorum_entries r =
+  List.filter (fun (_, q, _) -> q)
+    r.Fault.Chaos_run.run.Runtime.Loadgen.mode_switches
+
+let test_permanent_kill_linearizable () =
+  (* One replica of three dies for good mid-load.  Without the fallback
+     this plan cannot finish (the kill is forever); with it the surviving
+     majority must switch to quorum mode within the detector timeout and
+     the full history must verify — LINEARIZABLE, not excused. *)
+  let kill_at = 60_000 in
+  let plan = plan_of "crash(2)@60ms" ~seed:2 in
+  let r =
+    Fault.Chaos_run.run ~workload:kv ~n:3 ~d:2000 ~u:500
+      ~fallback:fallback_cfg ~plan ~ops:200 ~seed:3 ()
+  in
+  Alcotest.(check bool) "linearizable under a permanent kill" true
+    (Runtime.Loadgen.is_linearizable r.Fault.Chaos_run.run);
+  Alcotest.(check bool) "run passes" true (Fault.Chaos_run.ok r);
+  match quorum_entries r with
+  | (t, _, _) :: _ ->
+      Alcotest.(check bool) "switched after the kill, not before" true
+        (t >= kill_at)
+  | [] -> Alcotest.fail "no switch into quorum mode recorded"
+
+let test_minority_partition_heals_linearizable () =
+  (* A minority partition isolates one replica for 200 ms.  The majority
+     side degrades to quorum mode and keeps serving; once the partition
+     heals, the sequencer drains the era and the cluster re-enters the
+     fast path.  The whole history must verify. *)
+  let plan = plan_of "partition(0,1|2)@60ms-260ms" ~seed:5 in
+  let r =
+    Fault.Chaos_run.run ~workload:kv ~n:3 ~d:2000 ~u:500
+      ~fallback:fallback_cfg ~plan ~ops:250 ~seed:9 ()
+  in
+  Alcotest.(check bool) "linearizable across the partition" true
+    (Runtime.Loadgen.is_linearizable r.Fault.Chaos_run.run);
+  Alcotest.(check bool) "run passes" true (Fault.Chaos_run.ok r);
+  Alcotest.(check bool) "entered quorum mode" true (quorum_entries r <> []);
+  match
+    List.rev r.Fault.Chaos_run.run.Runtime.Loadgen.mode_switches
+  with
+  | (_, q, _) :: _ ->
+      Alcotest.(check bool) "fast path re-entered after the heal" false q
+  | [] -> Alcotest.fail "no mode switches recorded"
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "quorum"
+    [
+      ( "failure-detector",
+        [
+          Alcotest.test_case "boot grace and suspicion" `Quick
+            test_fd_boot_grace_and_suspicion;
+          Alcotest.test_case "knowledge horizon" `Quick
+            test_fd_knowledge_horizon;
+        ] );
+      ( "mode-controller",
+        [
+          Alcotest.test_case "epoch discipline" `Quick
+            test_mc_epoch_discipline;
+          Alcotest.test_case "decision table" `Quick test_mc_decisions;
+        ] );
+      ("log", qsuite [ log_no_drop_no_dup; log_majority_fires_once ]);
+      ( "fallback",
+        [
+          Alcotest.test_case "permanent kill stays linearizable" `Quick
+            test_permanent_kill_linearizable;
+          Alcotest.test_case "minority partition heals" `Quick
+            test_minority_partition_heals_linearizable;
+        ] );
+    ]

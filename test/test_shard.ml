@@ -208,6 +208,7 @@ let test_host_cluster_in_process () =
             fsync = Durable.Wal.Never;
             snapshot_every = 0;
             chaos = None;
+            fallback = None;
             log = (fun _ -> ());
           })
   in
