@@ -485,6 +485,95 @@ let quorum_tests =
     Quorum_bench.live_quorum;
   ]
 
+(* Sync group: what earning ε over the wire costs.  The estimator sits on
+   every heartbeat piggyback and probe echo, the slewed clock under every
+   timestamp the replica draws, and the probe frames ride the same codec
+   hot path as entries; [sync-live-3x10rounds] prices a full in-process
+   convergence — three ±2 ms-skewed bus replicas, ten probe rounds. *)
+module Sync_bench = struct
+  module C = Net.Codec.Make (Net.Wire.Kv_codec)
+
+  let probe_codec_test =
+    let pong =
+      C.Pong { seq = 7; t0 = 123_456; t_rx = 123_956; t_tx = 123_970; shard = 0 }
+    in
+    Test.make ~name:"sync-probe-roundtrip"
+      (Staged.stage (fun () ->
+           match C.decode (C.encode pong) with
+           | Net.Codec.Got _ -> ()
+           | Net.Codec.Need_more _ | Net.Codec.Corrupt _ ->
+               failwith "sync bench: pong frame must roundtrip"))
+
+  let estimator_test =
+    Test.make ~name:"estimator-observe-round-1k"
+      (Staged.stage (fun () ->
+           let est = Sync.Estimator.create ~n:5 ~me:0 () in
+           for i = 1 to 1_000 do
+             let now = i * 100 in
+             Sync.Estimator.observe_two_way est ~peer:(1 + (i mod 4)) ~now
+               ~t0:(now - 400) ~t1:now ~t_rx:(now - 150) ~t_tx:(now - 140);
+             ignore (Sync.Estimator.correction est);
+             ignore (Sync.Estimator.achieved_eps est ~now)
+           done))
+
+  let clock_test =
+    Test.make ~name:"clock-read-slew-10k"
+      (Staged.stage (fun () ->
+           let clk = Sync.Clock.create () in
+           for i = 1 to 10_000 do
+             if i mod 100 = 0 then
+               Sync.Clock.adjust clk ~delta:((i mod 7) - 3);
+             ignore (Sync.Clock.read clk ~now:(i * 13))
+           done))
+
+  let live_test =
+    Test.make ~name:"sync-live-3x10rounds"
+      (Staged.stage (fun () ->
+           let n = 3 in
+           let params =
+             Core.Params.make ~n ~d:2_000 ~u:500 ~eps:4_000 ~x:0 ()
+           in
+           let lock = Mutex.create () in
+           let counts = Array.make n 0 in
+           let sync_for pid =
+             Sync.Config.make ~interval_us:2_000 ~d:2_000 ~u:500
+               ~on_eps:(fun ~eps_us:_ ~peers:_ ->
+                 Mutex.lock lock;
+                 counts.(pid) <- counts.(pid) + 1;
+                 Mutex.unlock lock)
+               ()
+           in
+           let module R = Runtime.Replica.Make (Spec.Register) in
+           let bus = Runtime.Transport.bus ~n () in
+           let transport = Runtime.Transport.intf bus in
+           let start_us = Prelude.Mclock.now_us () in
+           let offsets = [| 2_000; 0; -2_000 |] in
+           let nodes =
+             Array.init n (fun pid ->
+                 R.node ~params ~transport ~pid ~offset:offsets.(pid)
+                   ~start_us ~sync:(sync_for pid) ())
+           in
+           let enough () =
+             Mutex.lock lock;
+             let k = Array.fold_left min max_int counts in
+             Mutex.unlock lock;
+             k >= 10
+           in
+           let deadline = Prelude.Mclock.now_us () + 1_000_000 in
+           while (not (enough ())) && Prelude.Mclock.now_us () < deadline do
+             Prelude.Mclock.sleep_us 1_000
+           done;
+           Array.iter (fun node -> ignore (R.node_stop node)) nodes))
+end
+
+let sync_tests =
+  [
+    Sync_bench.probe_codec_test;
+    Sync_bench.estimator_test;
+    Sync_bench.clock_test;
+    Sync_bench.live_test;
+  ]
+
 let groups =
   [
     ("experiments", tests);
@@ -496,6 +585,7 @@ let groups =
     ("durable", durable_tests);
     ("shard", shard_tests);
     ("quorum", quorum_tests);
+    ("sync", sync_tests);
   ]
 
 let benchmark_group (name, group_tests) =

@@ -239,6 +239,40 @@ let fallback_args c =
         }
   | other -> Cli.fail c (Printf.sprintf "bad --fallback %s (quorum|none)" other)
 
+let sync_specs =
+  [
+    Cli.value "sync"
+      "live clock synchronization: on (measure ε over the wire and slew \
+       each replica's clock toward the Lundelius-Lynch midpoint) or off \
+       (default off)";
+    Cli.value "sync-interval-us"
+      "clock-sync probe round interval, µs (default 50000)";
+    Cli.value "sync-u"
+      "one-way uncertainty bound for piggybacked heartbeat samples, µs \
+       (default: the effective u)";
+  ]
+
+(* [d]/[u] are the *effective* bounds (slack folded in) — the sync
+   estimator prices its one-way samples off them, exactly the bounds the
+   replicas time with. *)
+let sync_args c ~d ~u =
+  match Cli.str c "sync" ~default:"off" with
+  | "off" -> None
+  | "on" ->
+      let interval_us =
+        Cli.int c "sync-interval-us" ~default:Sync.Config.default_interval_us
+      in
+      let su = Cli.int c "sync-u" ~default:u in
+      (* In-process runs have no [Net.Serve] hook composition, so verbose
+         achieved-ε logging is attached here (processes log their own). *)
+      let verbose = Cli.given c "verbose" in
+      let on_eps ~eps_us ~peers =
+        if verbose then
+          Printf.eprintf "[sync] eps=%dus peers=%d\n%!" eps_us peers
+      in
+      Some (Sync.Config.make ~interval_us ~d ~u:su ~on_eps ())
+  | other -> Cli.fail c (Printf.sprintf "bad --sync %s (on|off)" other)
+
 (* ---- live ---- *)
 
 let live_cmd () =
@@ -281,6 +315,142 @@ let live_cmd () =
       Format.printf "%a@." Runtime.Loadgen.pp_report report;
       if not (Runtime.Loadgen.is_linearizable report) then exit 1
 
+(* ---- sync ---- *)
+
+(* In-process convergence demo for DESIGN.md §14: n replicas on one domain
+   bus, raw clocks skewed evenly across ±--skew, probing every
+   --sync-interval-us.  Nodes are assembled by hand rather than through
+   [R.start] so each replica gets its own [Sync.Config] whose [on_eps]
+   hook closes over the pid — the shared-config path cannot attribute
+   achieved-ε rounds to replicas. *)
+let sync_cmd () =
+  let prog, argv = args "sync" in
+  let specs =
+    [
+      Cli.value "n" "number of replicas (default 3)";
+      Cli.value "skew"
+        "initial clock offsets span ±SKEW µs across the replicas (default \
+         2000)";
+      Cli.value "rounds" "sync rounds to observe before judging (default 10)";
+    ]
+    @ timing_specs
+    @ [
+        Cli.value "sync-interval-us"
+          (Printf.sprintf "probe-round interval, µs (default %d)"
+             Sync.Config.default_interval_us);
+      ]
+  in
+  let c = Cli.parse ~prog ~specs argv in
+  let n = Cli.int c "n" ~default:3 in
+  if n < 2 then Cli.fail c "--n must be at least 2";
+  let skew = Cli.int c "skew" ~default:2000 in
+  if skew < 0 then Cli.fail c "--skew must be >= 0";
+  let rounds = Cli.int c "rounds" ~default:10 in
+  if rounds < 1 then Cli.fail c "--rounds must be >= 1";
+  let d, u, eps, x, slack = timing_args c in
+  (* Default the admissible bound to the injected spread: the demo starts
+     at the edge of admissibility and must earn its way below it. *)
+  let eps =
+    match eps with
+    | Some e -> e
+    | None -> max (2 * skew) (Core.Params.optimal_eps ~n ~u)
+  in
+  let params = Core.Params.make ~n ~d:(d + slack) ~u:(u + slack) ~eps ~x () in
+  let interval_us =
+    Cli.int c "sync-interval-us" ~default:Sync.Config.default_interval_us
+  in
+  (* Evenly-spaced offsets over [+skew, −skew]: pid 0 fastest, n−1 slowest. *)
+  let offsets = Array.init n (fun i -> skew - (2 * skew * i / (n - 1))) in
+  let lock = Mutex.create () in
+  (* Per pid: (achieved eps, contributing peers) per round, newest first. *)
+  let history = Array.make n [] in
+  let sync_for pid =
+    Sync.Config.make ~interval_us ~d:params.Core.Params.d
+      ~u:params.Core.Params.u
+      ~on_eps:(fun ~eps_us ~peers ->
+        Mutex.lock lock;
+        history.(pid) <- (eps_us, peers) :: history.(pid);
+        Mutex.unlock lock)
+      ()
+  in
+  let module R = Runtime.Replica.Make (Spec.Register) in
+  let bus = Runtime.Transport.bus ~n () in
+  let transport = Runtime.Transport.intf bus in
+  let start_us = Prelude.Mclock.now_us () in
+  let nodes =
+    Array.init n (fun pid ->
+        R.node ~params ~transport ~pid ~offset:offsets.(pid) ~start_us
+          ~sync:(sync_for pid) ())
+  in
+  let enough () =
+    Mutex.lock lock;
+    let k =
+      Array.fold_left (fun k h -> min k (List.length h)) max_int history
+    in
+    Mutex.unlock lock;
+    k >= rounds
+  in
+  let deadline =
+    Prelude.Mclock.now_us () + ((rounds + 5) * interval_us) + 2_000_000
+  in
+  while (not (enough ())) && Prelude.Mclock.now_us () < deadline do
+    Prelude.Mclock.sleep_us (max 1_000 (interval_us / 4))
+  done;
+  Array.iter (fun node -> ignore (R.node_stop node)) nodes;
+  let per_pid = Array.map (fun h -> Array.of_list (List.rev h)) history in
+  Format.printf
+    "clock sync: n=%d offsets ±%dus interval=%dus configured eps=%dus@." n
+    skew interval_us eps;
+  let shown =
+    Array.fold_left (fun k (h : _ array) -> max k (Array.length h)) 0 per_pid
+  in
+  Format.printf "%6s" "round";
+  for pid = 0 to n - 1 do
+    Format.printf "%10s" (Printf.sprintf "r%d" pid)
+  done;
+  Format.printf "%10s@." "max";
+  let first_below = ref 0 in
+  for r = 0 to shown - 1 do
+    Format.printf "%6d" (r + 1);
+    let mx = ref 0 and complete = ref true in
+    for pid = 0 to n - 1 do
+      if r < Array.length per_pid.(pid) then begin
+        let e, _ = per_pid.(pid).(r) in
+        mx := max !mx e;
+        Format.printf "%10s" (Printf.sprintf "%dus" e)
+      end
+      else begin
+        complete := false;
+        Format.printf "%10s" "-"
+      end
+    done;
+    Format.printf "%10s@." (Printf.sprintf "%dus" !mx);
+    if !first_below = 0 && !complete && !mx < eps then first_below := r + 1
+  done;
+  let final =
+    Array.fold_left
+      (fun acc (h : _ array) ->
+        if Array.length h = 0 then max_int
+        else
+          let e, _ = h.(Array.length h - 1) in
+          max acc e)
+      0 per_pid
+  in
+  if final = max_int then begin
+    Format.printf "no sync rounds observed — is the interval too long?@.";
+    exit 1
+  end
+  else if final < eps then
+    Format.printf
+      "converged: achieved eps %dus < configured %dus (first below at round \
+       %d of %d)@."
+      final eps !first_below shown
+  else begin
+    Format.printf "NOT CONVERGED: achieved eps %dus >= configured %dus@." final
+      eps;
+    exit 1
+  end
+
 (* ---- serve ---- *)
 
 let serve_cmd () =
@@ -318,7 +488,7 @@ let serve_cmd () =
         Cli.value "snapshot-every"
           "checkpoint after this many WAL records (default 1024; 0 = never)";
       ]
-    @ fallback_specs
+    @ fallback_specs @ sync_specs
     @ [ Cli.flag "quiet" "suppress per-replica logging" ]
   in
   let c = Cli.parse ~prog ~specs argv in
@@ -377,6 +547,9 @@ let serve_cmd () =
       in
       let snapshot_every = Cli.int c "snapshot-every" ~default:1024 in
       let fallback = fallback_args c in
+      let sync =
+        sync_args c ~d:params.Core.Params.d ~u:params.Core.Params.u
+      in
       let module S = Net.Serve.Make (W) in
       S.run_until_signalled ?watch_parent ?wrap
         {
@@ -390,6 +563,7 @@ let serve_cmd () =
           fsync;
           snapshot_every;
           fallback;
+          sync;
           log;
         }
 
@@ -422,7 +596,7 @@ let cluster_cmd () =
         Cli.value "snapshot-every"
           "checkpoint after this many WAL records (default 1024; 0 = never)";
       ]
-    @ fallback_specs
+    @ fallback_specs @ sync_specs
     @ [ Cli.flag "verbose" "log child lifecycle to stderr" ]
   in
   let c = Cli.parse ~prog ~specs argv in
@@ -457,11 +631,12 @@ let cluster_cmd () =
       | Error e -> Cli.fail c ("bad --fsync: " ^ e));
       let snapshot_every = Cli.int c "snapshot-every" ~default:1024 in
       let fallback = fallback_args c in
+      let sync = sync_args c ~d:(d + slack) ~u:(u + slack) in
       let module Cl = Net.Cluster.Make (W) in
       let report =
         Cl.run ~n ~d ~u ?eps ~x ~slack ?workers ~round ~mix ~host ~base_port
-          ~log ~abort ?durable_dir ~fsync ~snapshot_every ?fallback ~ops ~seed
-          ()
+          ~log ~abort ?durable_dir ~fsync ~snapshot_every ?fallback ?sync ~ops
+          ~seed ()
       in
       Format.printf "%a@." Net.Cluster.pp_report report;
       if not (Net.Cluster.ok report) then exit 1
@@ -509,7 +684,7 @@ let chaos_cmd () =
         Cli.value "snapshot-every"
           "checkpoint after this many WAL records (default 1024; 0 = never)";
       ]
-    @ fallback_specs
+    @ fallback_specs @ sync_specs
     @ [
         Cli.flag "show-log" "print the canonical injected-fault log";
         Cli.flag "verbose" "log fault injection and child lifecycle";
@@ -537,6 +712,7 @@ let chaos_cmd () =
       | Ok plan ->
           let recovery = Cli.given c "recovery" in
           let fallback = fallback_args c in
+          let sync = sync_args c ~d:(d + slack) ~u:(u + slack) in
           if Cli.given c "processes" then begin
             let host = Cli.str c "host" ~default:"127.0.0.1" in
             let base_port = Cli.int c "base-port" ~default:7650 in
@@ -569,7 +745,7 @@ let chaos_cmd () =
             let report =
               Cl.run ~n ~d ~u ?eps ~x ~slack ?workers ~round ~mix ~host
                 ~base_port ~log ~abort ~plan ?durable_dir ~fsync
-                ~snapshot_every ?fallback ~ops ~seed ()
+                ~snapshot_every ?fallback ?sync ~ops ~seed ()
             in
             Format.printf "%a@." Net.Cluster.pp_report report;
             let violations =
@@ -594,7 +770,7 @@ let chaos_cmd () =
               Fault.Chaos_run.run
                 ~workload:(module W.L)
                 ~n ~d ~u ?eps ~x ~slack ?workers ~round ~mix ~plan ~recovery
-                ?fallback ~ops ~seed ()
+                ?fallback ?sync ~ops ~seed ()
             in
             Format.printf "%a@." Fault.Chaos_run.pp_report report;
             if Cli.given c "show-log" then
@@ -699,6 +875,7 @@ let trace_cmd () =
         Cli.flag "show-spans" "print every checked span";
         Cli.flag "verbose" "log child lifecycle to stderr";
       ]
+    @ sync_specs
   in
   let c = Cli.parse ~prog ~specs argv in
   let obj = Cli.str c "object" ~default:"register" in
@@ -710,6 +887,7 @@ let trace_cmd () =
   | Some (module W : Net.Wire.WIRED) ->
       let n = Cli.int c "n" ~default:3 in
       let d, u, eps, x, slack = timing_args c in
+      let sync = sync_args c ~d:(d + slack) ~u:(u + slack) in
       let ops = Cli.int c "ops" ~default:300 in
       let mix = Cli.mix c "mix" ~default:(50, 40, 10) in
       let workers = Cli.int_opt c "workers" in
@@ -789,7 +967,7 @@ let trace_cmd () =
         let module Cl = Net.Cluster.Make (W) in
         let report =
           Cl.run ~n ~d ~u ?eps ~x ~slack ?workers ~round ~mix ~host ~base_port
-            ~log ~abort ?plan ~trace_dir ~ops ~seed ()
+            ~log ~abort ?plan ?sync ~trace_dir ~ops ~seed ()
         in
         Format.printf "%a@.@." Net.Cluster.pp_report report;
         let events =
@@ -828,7 +1006,8 @@ let trace_cmd () =
         in
         Obs.Recorder.install r;
         let run =
-          Gen.run ~n ~d ~u ?eps ~x ~slack ?workers ~round ~mix ~ops ~seed ()
+          Gen.run ~n ~d ~u ?eps ~x ~slack ?workers ~round ~mix ?sync ~ops
+            ~seed ()
         in
         Obs.Recorder.uninstall ();
         Obs.Recorder.stop r;
@@ -1187,6 +1366,8 @@ let usage ?(status = 2) () =
     \  derive      derive an object's bound table from its op algebra\n\
     \  graph       print an object's commutativity graph\n\
     \  live        Algorithm 1 on real domains (one process)\n\
+    \  sync        clock-sync convergence demo: skewed replicas earn their\n\
+    \              achieved ε over the wire (DESIGN.md par.14)\n\
     \  serve       one replica as an OS process over TCP\n\
     \  cluster     fork n local serve processes and drive them over TCP\n\
     \  chaos       run live/cluster under a seeded fault-injection plan\n\
@@ -1208,6 +1389,7 @@ let () =
   | "derive" -> derive_cmd ()
   | "graph" -> graph_cmd ()
   | "live" -> live_cmd ()
+  | "sync" -> sync_cmd ()
   | "serve" -> serve_cmd ()
   | "cluster" -> cluster_cmd ()
   | "chaos" -> chaos_cmd ()

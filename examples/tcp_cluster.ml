@@ -54,6 +54,7 @@ let () =
             fsync = Durable.Wal.Never;
             snapshot_every = 0;
             fallback = None;
+            sync = None;
             log = (fun _ -> ());
           })
   in

@@ -16,6 +16,15 @@
 
 type config = { d : int; u : int }
 
+(* The two formulas below are the whole algorithm; the simulator protocol
+   and the live runtime's [Sync] subsystem both call them, so there is
+   exactly one implementation to audit against the paper. *)
+
+let midpoint_estimate ~d ~u ~sent ~clock = sent + (d - (u / 2)) - clock
+
+let average_correction ~n ~estimates =
+  List.fold_left ( + ) 0 estimates / n
+
 module Protocol = struct
   type nonrec config = config
 
@@ -39,9 +48,10 @@ module Protocol = struct
     if st.pending && List.length st.estimates = st.n - 1 then
       (* Average of the estimated offsets to every process, self included
          as 0. *)
-      let sum = List.fold_left (fun acc (_, e) -> acc + e) 0 st.estimates in
-      ( { st with pending = false },
-        [ Sim.Action.Respond (Adjustment (sum / st.n)) ] )
+      let adj =
+        average_correction ~n:st.n ~estimates:(List.map snd st.estimates)
+      in
+      ({ st with pending = false }, [ Sim.Action.Respond (Adjustment adj) ])
     else (st, [])
 
   let on_invoke (_ : config) st ~clock Start =
@@ -54,7 +64,7 @@ module Protocol = struct
   let on_message (cfg : config) st ~clock ~src (Clock_reading sent) =
     (* If the message took exactly d − u/2, the sender's clock now reads
        sent + (d − u/2); the difference to our clock estimates its offset. *)
-    let estimate = sent + (cfg.d - (cfg.u / 2)) - clock in
+    let estimate = midpoint_estimate ~d:cfg.d ~u:cfg.u ~sent ~clock in
     finish { st with estimates = (src, estimate) :: st.estimates }
 
   let on_timer (_ : config) st ~clock:_ () = (st, [])

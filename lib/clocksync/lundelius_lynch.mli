@@ -12,6 +12,19 @@
 
 type config = { d : int; u : int }
 
+val midpoint_estimate : d:int -> u:int -> sent:int -> clock:int -> int
+(** [midpoint_estimate ~d ~u ~sent ~clock]: if a reading [sent] arrives
+    when the local clock reads [clock] and the message is assumed to have
+    taken the midpoint delay d − u/2, the sender's clock leads ours by
+    this much.  The per-pair error is at most u/2 in either direction.
+    Shared by {!Protocol} and the live runtime's [Sync.Estimator]. *)
+
+val average_correction : n:int -> estimates:int list -> int
+(** The Lundelius–Lynch correction: the average of the per-peer offset
+    estimates with self counted as 0, i.e. [sum estimates / n] for the
+    n−1 estimates of an n-process round (truncating division).  Shared by
+    {!Protocol} and the live runtime's [Sync.Estimator]. *)
+
 module Protocol : sig
   type op = Start
   type result = Adjustment of int

@@ -16,7 +16,8 @@ let ok r =
       true
 
 let run ~workload:(module L : Runtime.Workloads.LIVE) ~n ~d ~u ?eps ?x ?slack
-    ?workers ?round ?mix ?(recovery = false) ?fallback ~plan ~ops ~seed () =
+    ?workers ?round ?mix ?(recovery = false) ?fallback ?sync ~plan ~ops ~seed
+    () =
   let module G = Runtime.Loadgen.Make (L) in
   let chaos = Chaos_transport.create plan in
   let skews = Fault_plan.skews plan ~n in
@@ -33,7 +34,7 @@ let run ~workload:(module L : Runtime.Workloads.LIVE) ~n ~d ~u ?eps ?x ?slack
   let run =
     G.run ~n ~d ~u ?eps ?x ?slack ?workers ?round ?mix ~skews
       ~wrap:(Chaos_transport.wrapper chaos)
-      ~fault_windows ~recovery ~crashes ?fallback ~ops ~seed ()
+      ~fault_windows ~recovery ~crashes ?fallback ?sync ~ops ~seed ()
   in
   let violations =
     Assumption_monitor.violations ~recovery ~plan

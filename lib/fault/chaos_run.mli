@@ -37,6 +37,7 @@ val run :
   ?mix:int * int * int ->
   ?recovery:bool ->
   ?fallback:Quorum.Config.t ->
+  ?sync:Sync.Config.t ->
   plan:Fault_plan.t ->
   ops:int ->
   seed:int ->
@@ -58,6 +59,12 @@ val run :
     {e permanent} kills ([restart_at = max_int]) are then realised too —
     the surviving majority degrades to quorum mode and the run is expected
     to stay linearizable and complete.  [pp_report] prints the resulting
-    availability line (mode switches, time-to-switch after the kill). *)
+    availability line (mode switches, time-to-switch after the kill).
+
+    [sync] arms live clock synchronization on every replica (see
+    {!Runtime.Loadgen.Make.run}): a plan's [skew] rules then inject
+    exactly the clock error the estimator must measure — cut peers'
+    achieved ε widens with sample age under a partition while the
+    majority's stays tight. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -107,7 +107,7 @@ module Make (W : Wire.WIRED) = struct
      [trace] is the per-process trace file (appended across supervised
      restarts, so one file covers a replica's whole life). *)
   let serve_argv ~exe ~peers ~pid ~d ~u ~eps ~x ~slack ~offset ~epoch ~chaos
-      ~trace ~durable ~fsync ~snapshot_every ~fallback =
+      ~trace ~durable ~fsync ~snapshot_every ~fallback ~sync =
     let base =
       [
         exe; "serve";
@@ -137,6 +137,14 @@ module Make (W : Wire.WIRED) = struct
               "--fallback"; "quorum";
               "--hb-us"; string_of_int cfg.Quorum.Config.hb_us;
               "--suspect-after"; string_of_int cfg.Quorum.Config.suspect_after;
+            ])
+      @ (match sync with
+        | None -> []
+        | Some (cfg : Sync.Config.t) ->
+            [
+              "--sync"; "on";
+              "--sync-interval-us"; string_of_int cfg.Sync.Config.interval_us;
+              "--sync-u"; string_of_int cfg.Sync.Config.u;
             ])
       @
       match durable with
@@ -322,11 +330,12 @@ module Make (W : Wire.WIRED) = struct
       durable_dir
 
   let spawn_one ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch ~chaos
-      ~trace_dir ~durable_dir ~fsync ~snapshot_every ~fallback ~log i =
+      ~trace_dir ~durable_dir ~fsync ~snapshot_every ~fallback ~sync ~log i =
     let argv =
       serve_argv ~exe ~peers:(peers_of ~host ~ports) ~pid:i ~d ~u ~eps ~x
         ~slack ~offset:offsets.(i) ~epoch ~chaos ~trace:(trace_path trace_dir i)
         ~durable:(durable_path durable_dir i) ~fsync ~snapshot_every ~fallback
+        ~sync
     in
     let os_pid =
       Unix.create_process argv.(0) argv Unix.stdin Unix.stdout Unix.stderr
@@ -337,10 +346,11 @@ module Make (W : Wire.WIRED) = struct
     { child_pid = i; os_pid; port = ports.(i) }
 
   let spawn_children ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch
-      ~chaos ~trace_dir ~durable_dir ~fsync ~snapshot_every ~fallback ~log =
+      ~chaos ~trace_dir ~durable_dir ~fsync ~snapshot_every ~fallback ~sync
+      ~log =
     Array.init (Array.length ports)
       (spawn_one ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch ~chaos
-         ~trace_dir ~durable_dir ~fsync ~snapshot_every ~fallback ~log)
+         ~trace_dir ~durable_dir ~fsync ~snapshot_every ~fallback ~sync ~log)
 
   (* The monitor thread is the sole reaper: everyone else consults the
      table.  [expected] is flipped before teardown so deliberate
@@ -491,7 +501,7 @@ module Make (W : Wire.WIRED) = struct
       ?(mix = (50, 40, 10)) ?(host = "127.0.0.1") ?(base_port = 7600)
       ?(exe = Sys.executable_name) ?(log = fun _ -> ()) ?abort ?plan ?trace_dir
       ?durable_dir ?(fsync = "interval") ?(snapshot_every = 1024) ?fallback
-      ~ops ~seed () =
+      ?sync ~ops ~seed () =
     if n < 1 then invalid_arg "Cluster.run: n must be >= 1";
     if round < 1 || round > 62 then
       invalid_arg "Cluster.run: round must be in [1, 62]";
@@ -617,7 +627,8 @@ module Make (W : Wire.WIRED) = struct
     in
     let children =
       spawn_children ~exe ~host ~ports ~d ~u ~eps ~x ~slack ~offsets ~epoch
-        ~chaos ~trace_dir ~durable_dir ~fsync ~snapshot_every ~fallback ~log
+        ~chaos ~trace_dir ~durable_dir ~fsync ~snapshot_every ~fallback ~sync
+        ~log
     in
     let mon = start_monitor children ~abort ~log in
     (* The crash scheduler: one supervisor thread per crash rule.  It
@@ -665,7 +676,7 @@ module Make (W : Wire.WIRED) = struct
                            match
                              spawn_one ~exe ~host ~ports ~d ~u ~eps ~x ~slack
                                ~offsets ~epoch ~chaos ~trace_dir ~durable_dir
-                               ~fsync ~snapshot_every ~fallback ~log pid
+                               ~fsync ~snapshot_every ~fallback ~sync ~log pid
                            with
                            | fresh -> Some fresh
                            | exception (Unix.Unix_error _ | Sys_error _) ->

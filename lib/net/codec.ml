@@ -21,10 +21,14 @@
    sender's shard count for handshake-time topology agreement.  v5: seven
    quorum-fallback frame kinds (9–15) — the heartbeat/mode announcement
    and the forward/propose/ack/commit/nack/fill frames of the degraded
-   ABD mode — all shard-tagged like every other op frame.  Peers speaking
-   older versions are rejected at decode ("unsupported version N"), which
-   the handshake turns into a clean [Error_msg] rather than a crash. *)
-let version = 5
+   ABD mode — all shard-tagged like every other op frame.  v6: two
+   clock-synchronization frame kinds (16, 17) — the timestamped Ping and
+   its echo Pong carrying the receiver's rx/tx readings, from which the
+   prober estimates per-peer offset and uncertainty (NTP-style RTT
+   halves).  Peers speaking older versions are rejected at decode
+   ("unsupported version N"), which the handshake turns into a clean
+   [Error_msg] rather than a crash. *)
+let version = 6
 let header_len = 12
 let max_payload = 1 lsl 24  (* 16 MiB: far above any entry, guards length bombs *)
 let magic0 = 'T'
@@ -220,6 +224,8 @@ let k_qack = 12
 let k_qcommit = 13
 let k_fnack = 14
 let k_qfill = 15
+let k_ping = 16
+let k_pong = 17
 
 module Make (O : OBJ_CODEC) = struct
   type msg =
@@ -276,6 +282,8 @@ module Make (O : OBJ_CODEC) = struct
     | Qcommit of { epoch : int; qseq : int; shard : int }
     | Fnack of { qid : int; shard : int }
     | Qfill of { epoch : int; from_seq : int; shard : int }
+    | Ping of { seq : int; t0 : int; shard : int }
+    | Pong of { seq : int; t0 : int; t_rx : int; t_tx : int; shard : int }
 
   let equal_msg a b =
     match (a, b) with
@@ -319,6 +327,11 @@ module Make (O : OBJ_CODEC) = struct
     | Qfill q1, Qfill q2 ->
         q1.epoch = q2.epoch && q1.from_seq = q2.from_seq
         && q1.shard = q2.shard
+    | Ping p1, Ping p2 ->
+        p1.seq = p2.seq && p1.t0 = p2.t0 && p1.shard = p2.shard
+    | Pong p1, Pong p2 ->
+        p1.seq = p2.seq && p1.t0 = p2.t0 && p1.t_rx = p2.t_rx
+        && p1.t_tx = p2.t_tx && p1.shard = p2.shard
     | _ -> false
 
   let pp_msg fmt = function
@@ -361,6 +374,10 @@ module Make (O : OBJ_CODEC) = struct
     | Qfill q ->
         Format.fprintf fmt "qfill{e=%d from=%d s=%d}" q.epoch q.from_seq
           q.shard
+    | Ping p -> Format.fprintf fmt "ping{#%d t0=%d s=%d}" p.seq p.t0 p.shard
+    | Pong p ->
+        Format.fprintf fmt "pong{#%d t0=%d rx=%d tx=%d s=%d}" p.seq p.t0
+          p.t_rx p.t_tx p.shard
 
   let encode msg =
     let b = Buffer.create 32 in
@@ -475,6 +492,18 @@ module Make (O : OBJ_CODEC) = struct
           Wr.int b q.from_seq;
           Wr.int b q.shard;
           k_qfill
+      | Ping p ->
+          Wr.int b p.seq;
+          Wr.int b p.t0;
+          Wr.int b p.shard;
+          k_ping
+      | Pong p ->
+          Wr.int b p.seq;
+          Wr.int b p.t0;
+          Wr.int b p.t_rx;
+          Wr.int b p.t_tx;
+          Wr.int b p.shard;
+          k_pong
     in
     encode_frame ~kind ~payload:(Buffer.contents b)
 
@@ -620,6 +649,20 @@ module Make (O : OBJ_CODEC) = struct
           let from_seq = Rd.int r in
           let shard = Rd.int r in
           Qfill { epoch; from_seq; shard }
+        end
+        else if frame.kind = k_ping then begin
+          let seq = Rd.int r in
+          let t0 = Rd.int r in
+          let shard = Rd.int r in
+          Ping { seq; t0; shard }
+        end
+        else if frame.kind = k_pong then begin
+          let seq = Rd.int r in
+          let t0 = Rd.int r in
+          let t_rx = Rd.int r in
+          let t_tx = Rd.int r in
+          let shard = Rd.int r in
+          Pong { seq; t0; t_rx; t_tx; shard }
         end
         else Rd.fail (Printf.sprintf "unknown frame kind %d" frame.kind)
       in

@@ -23,14 +23,15 @@
     [Tcp_transport] and README "Wire format". *)
 
 val version : int
-(** Current wire version (5 — v2 added the trace id to [Entry]/[Invoke]
+(** Current wire version (6 — v2 added the trace id to [Entry]/[Invoke]
     payloads; v3 added the client operation id to both, plus the
     catch-up request/reply frames for post-crash peer anti-entropy; v4
     added the shard id to every op/ack/catch-up payload and the shard
     count to the handshake, so a sharded namespace multiplexes many
     Algorithm 1 instances over one per-peer link; v5 added the quorum
     fallback's frames — the heartbeat doubling as the mode announcement
-    plus forward/propose/ack/commit/nack/fill, all shard-tagged).  A
+    plus forward/propose/ack/commit/nack/fill, all shard-tagged; v6
+    added the clock-synchronization probe frames [Ping]/[Pong]).  A
     decoder rejects every other version, so incompatible formats — older
     peers included — fail the handshake cleanly instead of misparsing. *)
 
@@ -191,6 +192,13 @@ module Make (O : OBJ_CODEC) : sig
         (** addressee was not the sequencer: re-route the forward *)
     | Qfill of { epoch : int; from_seq : int; shard : int }
         (** follower → sequencer: re-send payloads from [from_seq] up *)
+    | Ping of { seq : int; t0 : int; shard : int }
+        (** replica → replicas: sync probe; [t0] is the prober's corrected
+            clock at send (µs) *)
+    | Pong of { seq : int; t0 : int; t_rx : int; t_tx : int; shard : int }
+        (** probe echo: [seq]/[t0] copied from the ping, [t_rx]/[t_tx] the
+            responder's corrected clock at receipt and reply — the four
+            NTP timestamps of a two-way offset sample *)
 
   val equal_msg : msg -> msg -> bool
   val pp_msg : Format.formatter -> msg -> unit

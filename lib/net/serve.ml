@@ -46,6 +46,13 @@ type config = {
           sequencer/majority mode when a peer is suspected dead.  The
           configured [on_mode]/[on_suspect] hooks are composed with this
           stack's own logging (the "mode: quorum(...)" lines CI greps). *)
+  sync : Sync.Config.t option;
+      (** arm live clock synchronization ([--sync on]): the replica
+          exchanges timestamped ping/pong probes with its peers, slews a
+          corrected clock toward the Lundelius–Lynch midpoint average, and
+          publishes its achieved ε each round.  The configured [on_eps]
+          hook is composed with this stack's own logging (the
+          "sync eps=..." lines the CI sync smoke greps). *)
   log : string -> unit;
 }
 
@@ -167,6 +174,10 @@ module Make (W : Wire.WIRED) = struct
         Some (R.of_wire (R.Wire_quorum (R.Fnack { qid })))
     | Ok (C.Qfill { epoch; from_seq; shard = 0 }) ->
         Some (R.of_wire (R.Wire_quorum (R.Qfill { epoch; from_seq })))
+    | Ok (C.Ping { seq; t0; shard = 0 }) ->
+        Some (R.of_wire (R.Wire_sync (R.Sping { seq; t0 })))
+    | Ok (C.Pong { seq; t0; t_rx; t_tx; shard = 0 }) ->
+        Some (R.of_wire (R.Wire_sync (R.Spong { seq; t0; t_rx; t_tx })))
     | Ok _ | Error _ -> None
 
   let encode_peer ev =
@@ -220,6 +231,12 @@ module Make (W : Wire.WIRED) = struct
           | R.Fnack { qid } -> C.Fnack { qid; shard = 0 }
           | R.Qfill { epoch; from_seq } ->
               C.Qfill { epoch; from_seq; shard = 0 })
+    | Some (R.Wire_sync s) ->
+        C.encode
+          (match s with
+          | R.Sping { seq; t0 } -> C.Ping { seq; t0; shard = 0 }
+          | R.Spong { seq; t0; t_rx; t_tx } ->
+              C.Pong { seq; t0; t_rx; t_tx; shard = 0 })
     | None ->
         (* Invoke/Stop/… are local-only events; the replica never sends
            them, so reaching here is a wiring bug. *)
@@ -406,9 +423,25 @@ module Make (W : Wire.WIRED) = struct
           })
         cfg.fallback
     in
+    (* Likewise for the sync hook — the "sync eps=..." line is what the CI
+       sync smoke greps for. *)
+    let sync =
+      Option.map
+        (fun (s : Sync.Config.t) ->
+          {
+            s with
+            Sync.Config.on_eps =
+              (fun ~eps_us ~peers ->
+                cfg.log
+                  (Printf.sprintf "replica %d: sync eps=%dus peers=%d"
+                     cfg.pid eps_us peers);
+                s.Sync.Config.on_eps ~eps_us ~peers);
+          })
+        cfg.sync
+    in
     let node =
       R.node ~params:cfg.params ~transport ~pid:cfg.pid ~offset:cfg.offset
-        ?start_us:cfg.start_us ?recovery ?fallback ()
+        ?start_us:cfg.start_us ?recovery ?fallback ?sync ()
     in
     node_ref := Some node;
     let store =

@@ -32,12 +32,63 @@ type report = {
   mode_switches : int;
   suspect_transitions : int;
   quorum_spans : int;
+  sync_rounds : int;
+  measured_eps_us : int option;
 }
 
 let bound_us (p : Core.Params.t) cls =
   if cls = Event.class_mutator then p.timing.mutator_wait
   else if cls = Event.class_accessor then p.timing.accessor_wait
   else p.d + p.eps
+
+(* The same three formulas with a measured skew substituted for the
+   configured ε — what the sync subsystem's [Sync_eps] stream attributes
+   against.  The waits in [p.timing] are ε-affine (mutator ε + X,
+   accessor d + ε − X), so substituting is a constant shift. *)
+let bound_with_eps (p : Core.Params.t) cls eps =
+  if cls = Event.class_mutator then p.timing.mutator_wait - p.eps + eps
+  else if cls = Event.class_accessor then p.timing.accessor_wait - p.eps + eps
+  else p.d + eps
+
+(* Per-pid achieved-ε timelines from the [Sync_eps] stream: each replica
+   publishes one sample per sync round; the checker interpolates between
+   adjacent samples to price the skew at a span's invocation instant. *)
+let sync_eps_timelines events =
+  let tbl : (int, (int * int) list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Event.t) ->
+      if e.kind = Event.Sync_eps then
+        let prev = try Hashtbl.find tbl e.pid with Not_found -> [] in
+        Hashtbl.replace tbl e.pid ((e.t_us, e.a) :: prev))
+    events;
+  Hashtbl.fold
+    (fun pid samples acc ->
+      let arr = Array.of_list samples in
+      Array.sort compare arr;
+      (pid, arr) :: acc)
+    tbl []
+  |> List.sort compare
+
+let measured_eps_at timelines ~pid ~t_us =
+  match List.assoc_opt pid timelines with
+  | None -> None
+  | Some samples when Array.length samples = 0 -> None
+  | Some samples ->
+      let n = Array.length samples in
+      let t0, e0 = samples.(0) and tn, en = samples.(n - 1) in
+      if t_us <= t0 then Some e0
+      else if t_us >= tn then Some en
+      else begin
+        (* Largest index with sample time ≤ t_us (n ≥ 2 here). *)
+        let lo = ref 0 and hi = ref (n - 1) in
+        while !hi - !lo > 1 do
+          let mid = (!lo + !hi) / 2 in
+          if fst samples.(mid) <= t_us then lo := mid else hi := mid
+        done;
+        let ta, ea = samples.(!lo) and tb, eb = samples.(!hi) in
+        if tb = ta then Some ea
+        else Some (ea + ((eb - ea) * (t_us - ta) / (tb - ta)))
+      end
 
 (* In quorum mode every operation costs two round trips — forward to the
    sequencer plus propose/ack — so the expectation is 4δ (δ ≤ d while the
@@ -67,11 +118,20 @@ let quorum_windows events =
 let overlaps ~t_inv ~t_resp (_, from_us, until_us) =
   t_inv <= until_us && t_resp >= from_us
 
-let check_span ~params ~grace_us ~windows ~qwindows (s : Span.t) =
+let check_span ~params ~grace_us ~windows ~qwindows ~timelines (s : Span.t) =
   let inside (from_us, until_us) = s.t_inv >= from_us && s.t_inv <= until_us in
   let in_quorum = List.exists inside qwindows in
+  (* Measured skew takes precedence over the configured ε whenever the
+     origin replica published sync rounds; replicas without sync events
+     (sync off, or a pre-v6 trace) keep the configured bound. *)
+  let eps =
+    match measured_eps_at timelines ~pid:s.origin ~t_us:s.t_inv with
+    | Some e -> e
+    | None -> params.Core.Params.eps
+  in
   let bound =
-    if in_quorum then quorum_bound_us params else bound_us params s.cls
+    if in_quorum then (4 * params.Core.Params.d) + eps
+    else bound_with_eps params s.cls eps
   in
   let verdict =
     match (s.t_resp, s.latency_us) with
@@ -147,8 +207,9 @@ let class_stats_of cls checked =
 let check ~params ?(grace_us = 0) ?(windows = []) events =
   let spans = Span.assemble events in
   let qwindows = quorum_windows events in
+  let timelines = sync_eps_timelines events in
   let checked =
-    List.map (check_span ~params ~grace_us ~windows ~qwindows) spans
+    List.map (check_span ~params ~grace_us ~windows ~qwindows ~timelines) spans
   in
   let classes =
     List.sort_uniq compare (List.map (fun (s : Span.t) -> s.cls) spans)
@@ -189,6 +250,17 @@ let check ~params ?(grace_us = 0) ?(windows = []) events =
                  c.span.Span.t_inv >= from_us && c.span.Span.t_inv <= until_us)
                qwindows)
            checked);
+    sync_rounds =
+      List.length
+        (List.filter (fun (e : Event.t) -> e.kind = Event.Sync_eps) events);
+    measured_eps_us =
+      List.fold_left
+        (fun acc (_, samples) ->
+          Array.fold_left
+            (fun acc (_, e) ->
+              match acc with None -> Some e | Some m -> Some (max m e))
+            acc samples)
+        None timelines;
   }
 
 let pp_verdict ppf = function
@@ -233,6 +305,19 @@ let pp_report ppf r =
       (if r.suspect_transitions = 1 then "" else "s")
       r.quorum_spans
       (if r.quorum_spans = 1 then "" else "s");
+  (match r.measured_eps_us with
+  | None -> ()
+  | Some m ->
+      Format.fprintf ppf
+        "clock sync: %d round%s, measured eps max=%dus (configured %dus); \
+         bounds attributed against the measured skew@,"
+        r.sync_rounds
+        (if r.sync_rounds = 1 then "" else "s")
+        m r.params.Core.Params.eps;
+      if m > r.params.Core.Params.eps then
+        Format.fprintf ppf
+          "WARNING: measured eps exceeds the configured bound — the \
+           cluster ran outside its admissibility assumption@,");
   Format.fprintf ppf
     "  %-9s %5s %9s %8s %8s %8s %9s %9s %10s %10s %5s %7s@," "class" "ops"
     "bound" "p50" "p99" "max" "hold" "wire" "rqueue" "overshoot" "viol"

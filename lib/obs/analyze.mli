@@ -7,7 +7,22 @@
     reason; the bounds themselves are model-time statements).  Under chaos,
     a violation whose span overlaps an assumption-violation window (as
     computed by [Fault.Assumption_monitor]) is {e excused} rather than
-    counted: the model's premises did not hold while it ran. *)
+    counted: the model's premises did not hold while it ran.
+
+    {2 Measured ε}
+
+    When the trace carries [Sync_eps] events (live clock synchronization
+    armed, DESIGN.md §14), the {e measured} skew takes precedence over
+    the configured ε: each span's bound substitutes the origin replica's
+    achieved-ε — interpolated between the sync rounds bracketing the
+    invocation — into the same formulas (mutator ε+X, accessor d+ε−X,
+    other d+ε, quorum 4d+ε).  Replicas that published no sync rounds
+    keep the configured bound.  Precedence with [grace_us]: the grace is
+    a scheduler-jitter allowance added {e on top of} whichever bound was
+    selected — it neither affects which ε is used nor is it scaled by
+    it.  When the measured ε exceeds the configured one the report
+    prints a warning: the cluster ran outside its admissibility
+    assumption, so the configured bounds were never targets. *)
 
 type verdict =
   | Within
@@ -48,11 +63,32 @@ type report = {
   mode_switches : int;  (** [Mode_switch] events in the stream *)
   suspect_transitions : int;  (** [Suspect] events in the stream *)
   quorum_spans : int;  (** spans invoked while quorum mode was active *)
+  sync_rounds : int;  (** [Sync_eps] events in the stream *)
+  measured_eps_us : int option;
+      (** max achieved ε over every replica's sync rounds; [None] when the
+          stream carries no [Sync_eps] events (bounds then use the
+          configured ε) *)
 }
 
 val bound_us : Core.Params.t -> int -> int
 (** The paper bound for a class code: mutator ↦ ε+X, accessor ↦ d+ε−X,
     other ↦ d+ε. *)
+
+val bound_with_eps : Core.Params.t -> int -> int -> int
+(** [bound_with_eps p cls eps] — the same formulas with [eps] substituted
+    for the configured skew: what a span is checked against when the sync
+    subsystem measured the actual ε at its invocation. *)
+
+val sync_eps_timelines : Event.t list -> (int * (int * int) array) list
+(** Per-pid achieved-ε timelines from the [Sync_eps] stream: [(pid,
+    samples)] with each sample [(t_us, eps_us)], time-sorted.  Empty when
+    sync was off. *)
+
+val measured_eps_at :
+  (int * (int * int) array) list -> pid:int -> t_us:int -> int option
+(** The replica's achieved ε at an instant, linearly interpolated between
+    the bracketing sync rounds (clamped to the first/last sample outside
+    them); [None] if the replica published no rounds. *)
 
 val quorum_bound_us : Core.Params.t -> int
 (** The round-trip expectation while in quorum mode: 4d + ε (forward to

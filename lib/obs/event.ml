@@ -15,6 +15,8 @@ type kind =
   | Checkpoint
   | Mode_switch
   | Suspect
+  | Sync_probe
+  | Sync_eps
 
 let kind_code = function
   | Invoke -> 0
@@ -33,6 +35,8 @@ let kind_code = function
   | Checkpoint -> 13
   | Mode_switch -> 14
   | Suspect -> 15
+  | Sync_probe -> 16
+  | Sync_eps -> 17
 
 let kind_of_code = function
   | 0 -> Some Invoke
@@ -51,6 +55,8 @@ let kind_of_code = function
   | 13 -> Some Checkpoint
   | 14 -> Some Mode_switch
   | 15 -> Some Suspect
+  | 16 -> Some Sync_probe
+  | 17 -> Some Sync_eps
   | _ -> None
 
 let kind_name = function
@@ -70,6 +76,8 @@ let kind_name = function
   | Checkpoint -> "checkpoint"
   | Mode_switch -> "mode_switch"
   | Suspect -> "suspect"
+  | Sync_probe -> "sync_probe"
+  | Sync_eps -> "sync_eps"
 
 let class_mutator = 0
 let class_accessor = 1

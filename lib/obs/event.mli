@@ -48,6 +48,15 @@ type kind =
   | Suspect
       (** failure-detector suspicion transition. [a] = peer pid,
           [b] = 1 suspected, 0 cleared. *)
+  | Sync_probe
+      (** one two-way sync sample completed. [a] = peer pid, [b] = raw
+          offset estimate in µs (peer clock − ours; may be negative). *)
+  | Sync_eps
+      (** per-round achieved-ε estimate published by the sync subsystem.
+          [a] = achieved ε in µs (max over sampled peers of |offset| +
+          age-widened uncertainty), [b] = peers contributing.  The
+          analyzer interpolates these per pid to attribute bounds against
+          the measured skew instead of the configured one. *)
 
 val kind_code : kind -> int
 val kind_of_code : int -> kind option

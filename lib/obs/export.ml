@@ -171,6 +171,16 @@ let prometheus ~(report : Analyze.report) ?recorder () =
   header "timebounds_quorum_ops_total" "counter"
     "operations invoked while quorum mode was active";
   line "timebounds_quorum_ops_total %d" report.Analyze.quorum_spans;
+  header "timebounds_sync_rounds_total" "counter"
+    "clock-sync rounds published (Sync_eps events)";
+  line "timebounds_sync_rounds_total %d" report.Analyze.sync_rounds;
+  header "timebounds_sync_eps_us" "gauge"
+    "clock-skew bound: configured vs max achieved over the wire";
+  line "timebounds_sync_eps_us{source=\"configured\"} %d"
+    report.Analyze.params.Core.Params.eps;
+  (match report.Analyze.measured_eps_us with
+  | Some m -> line "timebounds_sync_eps_us{source=\"measured\"} %d" m
+  | None -> ());
   header "timebounds_recorder_events_total" "counter"
     "events recorded and dropped by the ring";
   (match recorder with

@@ -310,7 +310,7 @@ module Make (L : Workloads.LIVE) = struct
 
   let run ~n ~d ~u ?eps ?(x = 0) ?(slack = 5000) ?workers ?(round = 48)
       ?(mix = (50, 40, 10)) ?(loss = 0) ?skews ?wrap ?(fault_windows = [])
-      ?(recovery = false) ?(crashes = []) ?fallback ~ops ~seed () =
+      ?(recovery = false) ?(crashes = []) ?fallback ?sync ~ops ~seed () =
     if round < 1 || round > 62 then
       invalid_arg "Loadgen.run: round must be in [1, 62]";
     let m, a, o = mix in
@@ -387,7 +387,8 @@ module Make (L : Workloads.LIVE) = struct
         fallback
     in
     let cluster =
-      R.start ~params ~policy ~offsets ?wrap ?recovery:recovery_cfg ?fallback ()
+      R.start ~params ~policy ~offsets ?wrap ?recovery:recovery_cfg ?fallback
+        ?sync ()
     in
     cluster_ref := Some cluster;
     let scheduler =

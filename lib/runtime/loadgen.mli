@@ -118,6 +118,7 @@ module Make (L : Workloads.LIVE) : sig
     ?recovery:bool ->
     ?crashes:(int * int * int) list ->
     ?fallback:Quorum.Config.t ->
+    ?sync:Sync.Config.t ->
     ops:int ->
     seed:int ->
     unit ->
@@ -158,5 +159,8 @@ module Make (L : Workloads.LIVE) : sig
         rotate to the next replica when one asks them to back off (it may
         be permanently dead), and the report's [mode_switches] log records
         every fast↔quorum transition;
+      - [sync]: arm live clock synchronization ({!Replica.Make.node}) on
+        every replica — each reads a slew-corrected clock and publishes
+        its achieved ε per round;
       - [seed]: all randomness (delays, offsets, op draws, backoff). *)
 end

@@ -86,6 +86,15 @@ module Make (D : Spec.Data_type.S) = struct
     | Qfill of { epoch : int; from_seq : int }
         (** follower → sequencer: re-send payloads from [from_seq] up *)
 
+  (* ---- clock-synchronization wire protocol (DESIGN.md §14) ---- *)
+
+  type swire =
+    | Sping of { seq : int; t0 : int }
+        (** prober → all: [t0] = the prober's corrected clock at send *)
+    | Spong of { seq : int; t0 : int; t_rx : int; t_tx : int }
+        (** echo: [seq]/[t0] copied back, [t_rx]/[t_tx] = the responder's
+            corrected clock at receipt and reply *)
+
   type event =
     | Net of Alg.entry * int * int  (** entry, trace, op id (0 = none) *)
     | Catchup_req of { time : int; cpid : int }  (** asker's high-water mark *)
@@ -95,6 +104,7 @@ module Make (D : Spec.Data_type.S) = struct
         cpid : int;  (** replier's high-water mark *)
       }
     | Quorum_msg of qwire
+    | Sync_msg of swire
     | Invoke of D.op * int * int * cell  (** op, trace, op id, cell *)
     | Crash_now
     | Recover_now
@@ -106,6 +116,7 @@ module Make (D : Spec.Data_type.S) = struct
     | Wire_catchup_req of { time : int; cpid : int }
     | Wire_catchup_rep of { entries : (Alg.entry * int) list; time : int; cpid : int }
     | Wire_quorum of qwire
+    | Wire_sync of swire
 
   let wire_view = function
     | Net (e, trace, op_id) -> Some (Wire_entry (e, trace, op_id))
@@ -113,6 +124,7 @@ module Make (D : Spec.Data_type.S) = struct
     | Catchup_rep { entries; time; cpid } ->
         Some (Wire_catchup_rep { entries; time; cpid })
     | Quorum_msg q -> Some (Wire_quorum q)
+    | Sync_msg s -> Some (Wire_sync s)
     | Invoke _ | Crash_now | Recover_now | Snap_req _ | Stop -> None
 
   let of_wire = function
@@ -121,13 +133,14 @@ module Make (D : Spec.Data_type.S) = struct
     | Wire_catchup_rep { entries; time; cpid } ->
         Catchup_rep { entries; time; cpid }
     | Wire_quorum q -> Quorum_msg q
+    | Wire_sync s -> Sync_msg s
 
   let net ?(trace = 0) e = Net (e, trace, 0)
 
   let net_entry = function
     | Net (e, trace, _) -> Some (e, trace)
-    | Catchup_req _ | Catchup_rep _ | Quorum_msg _ | Invoke _ | Crash_now
-    | Recover_now | Snap_req _ | Stop ->
+    | Catchup_req _ | Catchup_rep _ | Quorum_msg _ | Sync_msg _ | Invoke _
+    | Crash_now | Recover_now | Snap_req _ | Stop ->
         None
 
   let class_of op = Obs.Event.class_code (D.classify op)
@@ -153,6 +166,7 @@ module Make (D : Spec.Data_type.S) = struct
     | Heartbeat_t  (** fallback: send a heartbeat, tick the detector *)
     | Qdrain_t  (** fallback: the sequencer's switch barrier elapsed *)
     | Qtick_t  (** fallback: re-send forwards, request Qfills *)
+    | Sync_t  (** sync: apply the round's correction, broadcast pings *)
 
   type timer_entry = { due : int; tseq : int; timer : rtimer; ttrace : int }
 
@@ -237,11 +251,40 @@ module Make (D : Spec.Data_type.S) = struct
 
   let no_hwm = Prelude.Stamp.make ~time:(-1) ~pid:0
 
-  let run_replica ~(params : Core.Params.t) ?recovery ?fallback
+  (* Live clock synchronization (armed by [?sync]): the slewed corrected
+     clock every timestamp is drawn from, plus the per-peer estimator the
+     probe rounds feed. *)
+  type sync_state = {
+    scfg : Sync.Config.t;
+    sclock : Sync.Clock.t;
+    sest : Sync.Estimator.t;
+    mutable sseq : int;  (** probe sequence number *)
+  }
+
+  let run_replica ~(params : Core.Params.t) ?recovery ?fallback ?sync
       ~(transport : event Transport_intf.t) ~start_us ~offset pid =
     let cfg = params in
     let now_rel () = Prelude.Mclock.now_us () - start_us in
-    let clock () = now_rel () + offset in
+    let raw_clock () = now_rel () + offset in
+    let sy =
+      Option.map
+        (fun (scfg : Sync.Config.t) ->
+          {
+            scfg;
+            sclock = Sync.Clock.create ();
+            sest = Sync.Estimator.create ~n:cfg.Core.Params.n ~me:pid ();
+            sseq = 0;
+          })
+        sync
+    in
+    (* With sync on, every timestamp the replica draws — invocation stamps,
+       heartbeat stamps, probe timestamps — comes from the slewed corrected
+       clock, which is monotone across corrections by construction. *)
+    let clock () =
+      match sy with
+      | None -> raw_clock ()
+      | Some s -> Sync.Clock.read s.sclock ~now:(raw_clock ())
+    in
     let ls =
       {
         pid;
@@ -507,7 +550,7 @@ module Make (D : Spec.Data_type.S) = struct
                     match e.timer with
                     | A t' -> not (Alg.equal_timer t' t)
                     | Unfreeze_t | Catchup_retry_t | Heartbeat_t | Qdrain_t
-                    | Qtick_t ->
+                    | Qtick_t | Sync_t ->
                         true)
                   ls.timers)
         actions
@@ -795,7 +838,7 @@ module Make (D : Spec.Data_type.S) = struct
           (fun e ->
             match e.timer with
             | Unfreeze_t | Catchup_retry_t -> false
-            | A _ | Heartbeat_t | Qdrain_t | Qtick_t -> true)
+            | A _ | Heartbeat_t | Qdrain_t | Qtick_t | Sync_t -> true)
           ls.timers;
       let replies = ls.reply_hwms in
       ls.reply_hwms <- [];
@@ -811,7 +854,8 @@ module Make (D : Spec.Data_type.S) = struct
         (fun te ->
           match te.timer with
           | A t -> fire_alg_timer t te.ttrace
-          | Unfreeze_t | Catchup_retry_t | Heartbeat_t | Qdrain_t | Qtick_t ->
+          | Unfreeze_t | Catchup_retry_t | Heartbeat_t | Qdrain_t | Qtick_t
+          | Sync_t ->
               ())
         thaw;
       next_from_backlog ()
@@ -906,6 +950,15 @@ module Make (D : Spec.Data_type.S) = struct
       | Some f -> (
           match q with
           | Hb { stamp; epoch; qmode; seq; floor } ->
+              (* Heartbeats are timestamped: when sync is armed they double
+                 as free one-way offset samples (Lundelius–Lynch midpoint,
+                 uncertainty u/2) between probe rounds. *)
+              (match sy with
+              | Some s ->
+                  Sync.Estimator.observe_one_way s.sest ~peer:src
+                    ~now:(now_rel ()) ~d:s.scfg.Sync.Config.d
+                    ~u:s.scfg.Sync.Config.u ~sent:stamp ~clock:(clock ())
+              | None -> ());
               let cleared =
                 Quorum.Failure_detector.heard f.fd ~peer:src ~stamp
                   ~now_us:(Prelude.Mclock.now_us ())
@@ -1107,6 +1160,27 @@ module Make (D : Spec.Data_type.S) = struct
           | Down -> ()
           | Up | Catching_up -> handle_quorum ~src q);
           loop ()
+      | Some (src, Sync_msg sw) ->
+          (match (ls.mode, sy) with
+          | Down, _ | _, None -> ()  (* down replicas answer nothing *)
+          | (Up | Catching_up), Some s -> (
+              match sw with
+              | Sping { seq; t0 } ->
+                  (* Echo immediately: the responder's rx and tx readings
+                     coincide (one clock read), which only tightens the
+                     prober's RTT-asymmetry uncertainty. *)
+                  let t_rx = clock () in
+                  Transport_intf.send transport ~trace:0 ~src:pid ~dst:src
+                    (Sync_msg (Spong { seq; t0; t_rx; t_tx = t_rx }))
+              | Spong { seq = _; t0; t_rx; t_tx } ->
+                  let t1 = clock () in
+                  Sync.Estimator.observe_two_way s.sest ~peer:src
+                    ~now:(now_rel ()) ~t0 ~t1 ~t_rx ~t_tx;
+                  if Obs.Recorder.active () then
+                    Obs.Recorder.emit ~pid ~kind:Obs.Event.Sync_probe ~a:src
+                      ~b:(((t_rx - t0) + (t_tx - t1)) / 2)
+                      ()));
+          loop ()
       | Some (_, Invoke (op, trace, op_id, cell)) ->
           (match fb with
           | Some _ when ls.mode = Down ->
@@ -1305,6 +1379,36 @@ module Make (D : Spec.Data_type.S) = struct
                       arm_timer Qtick_t
                         (max 1 (Quorum.Config.timeout_us f.qcfg / 2))
                   | None -> ())
+              | Sync_t ->
+                  (match sy with
+                  | Some s ->
+                      (if ls.mode = Up then begin
+                         (* Absorb the round's samples: feed the Lundelius–
+                            Lynch average correction to the slewed clock,
+                            shift the estimator so it isn't re-applied, and
+                            publish the achieved-ε estimate before probing
+                            again. *)
+                         let c = Sync.Estimator.correction s.sest in
+                         if c <> 0 then begin
+                           Sync.Clock.adjust s.sclock ~delta:c;
+                           Sync.Estimator.shift s.sest ~by:c
+                         end;
+                         let peers = Sync.Estimator.peers s.sest in
+                         if peers > 0 then begin
+                           let eps_us =
+                             Sync.Estimator.achieved_eps s.sest
+                               ~now:(now_rel ())
+                           in
+                           Obs.Recorder.emit ~pid ~kind:Obs.Event.Sync_eps
+                             ~a:eps_us ~b:peers ();
+                           s.scfg.Sync.Config.on_eps ~eps_us ~peers
+                         end;
+                         s.sseq <- s.sseq + 1;
+                         Transport_intf.broadcast transport ~trace:0 ~src:pid
+                           (Sync_msg (Sping { seq = s.sseq; t0 = clock () }))
+                       end);
+                      arm_timer Sync_t s.scfg.Sync.Config.interval_us
+                  | None -> ())
               | A (Alg.Add _ as t) ->
                   (* Self-delivery of an already-broadcast entry: enqueue
                      even while frozen, keeping the local queue consistent
@@ -1319,6 +1423,12 @@ module Make (D : Spec.Data_type.S) = struct
     | Some f ->
         arm_timer Heartbeat_t f.qcfg.Quorum.Config.hb_us;
         arm_timer Qtick_t (max 1 (Quorum.Config.timeout_us f.qcfg / 2))
+    | None -> ());
+    (match sy with
+    | Some s ->
+        (* First round fires early so probing (and the first correction)
+           starts well before the load does. *)
+        arm_timer Sync_t (max 1 (s.scfg.Sync.Config.interval_us / 8))
     | None -> ());
     loop ()
 
@@ -1335,12 +1445,13 @@ module Make (D : Spec.Data_type.S) = struct
   }
 
   let node ~params ~transport ~pid ?(offset = 0) ?start_us ?(threaded = false)
-      ?recovery ?fallback () =
+      ?recovery ?fallback ?sync () =
     let start_us =
       match start_us with Some s -> s | None -> Prelude.Mclock.now_us ()
     in
     let body () =
-      run_replica ~params ?recovery ?fallback ~transport ~start_us ~offset pid
+      run_replica ~params ?recovery ?fallback ?sync ~transport ~start_us
+        ~offset pid
     in
     let join =
       if threaded then begin
@@ -1418,7 +1529,7 @@ module Make (D : Spec.Data_type.S) = struct
     mutable records : record list;
   }
 
-  let start ~params ?policy ?offsets ?wrap ?recovery ?fallback () =
+  let start ~params ?policy ?offsets ?wrap ?recovery ?fallback ?sync () =
     let n = params.Core.Params.n in
     let offsets =
       match offsets with Some o -> Array.copy o | None -> Array.make n 0
@@ -1445,7 +1556,7 @@ module Make (D : Spec.Data_type.S) = struct
       nodes =
         Array.init n (fun pid ->
             node ~params ~transport ~pid ~offset:offsets.(pid) ~start_us
-              ?recovery ?fallback ());
+              ?recovery ?fallback ?sync ());
       stopped = false;
       records = [];
     }

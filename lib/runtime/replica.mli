@@ -19,6 +19,16 @@
     time plus a fixed per-replica offset, exactly the thesis' clock model
     with skew [ε = max offset spread].  Timer delays are clock-time
     delays, and clocks run at the rate of real time, as in the model.
+    With a {!Sync.Config.t} (the [?sync] argument below) the replica
+    instead reads a {e corrected} clock: the raw clock plus a correction
+    earned over the wire by the clock-synchronization subsystem
+    (DESIGN.md §14).  Every [interval_us] the replica broadcasts
+    timestamped pings, folds the pong echoes into a per-peer offset
+    estimator ({!Sync.Estimator}), and slews the correction toward the
+    Lundelius–Lynch midpoint average ({!Sync.Clock} — rate-limited and
+    never stepped backward, so timer arithmetic stays monotone).  Each
+    round it publishes the achieved skew bound ε as an
+    {!Obs.Event.Sync_eps} event and through the config's [on_eps] hook.
 
     The cluster records every completed operation with its replica-side
     invocation/response times (µs since cluster start); these feed the
@@ -154,6 +164,14 @@ module Make (D : Spec.Data_type.S) : sig
   }
   (** One operation as the quorum era's replicated log carries it. *)
 
+  (** Clock-synchronization probe frames (DESIGN.md §14): a ping carries
+      the prober's corrected clock at send; the pong echoes it plus the
+      responder's receive/reply clocks — the four NTP timestamps of one
+      two-way offset sample. *)
+  type swire =
+    | Sping of { seq : int; t0 : int }
+    | Spong of { seq : int; t0 : int; t_rx : int; t_tx : int }
+
   type qwire =
     | Hb of { stamp : int; epoch : int; qmode : bool; seq : int; floor : int }
         (** heartbeat doubling as the mode announcement: the sender's
@@ -180,6 +198,7 @@ module Make (D : Spec.Data_type.S) : sig
         cpid : int;  (** replier's high-water mark *)
       }
     | Wire_quorum of qwire
+    | Wire_sync of swire
 
   val wire_view : event -> wire option
   val of_wire : wire -> event
@@ -207,6 +226,7 @@ module Make (D : Spec.Data_type.S) : sig
     ?threaded:bool ->
     ?recovery:recovery ->
     ?fallback:Quorum.Config.t ->
+    ?sync:Sync.Config.t ->
     unit ->
     node
   (** Spawn one replica domain with identity [pid] over [transport].
@@ -221,7 +241,10 @@ module Make (D : Spec.Data_type.S) : sig
       machinery (see the module docs); pass {!post_recover} after the
       transport is connected to trigger peer catch-up.  [fallback] arms
       the adaptive quorum fallback (heartbeats, failure detection, the
-      degraded ABD mode — see the module docs and DESIGN.md §13). *)
+      degraded ABD mode — see the module docs and DESIGN.md §13).
+      [sync] arms live clock synchronization: the replica reads a
+      slew-corrected clock and measures its achieved ε over the wire
+      (see the module docs and DESIGN.md §14). *)
 
   val node_invoke : ?trace:int -> ?op_id:int -> node -> D.op -> D.result
   (** Synchronous client call on this node; queued behind any pending
@@ -272,6 +295,7 @@ module Make (D : Spec.Data_type.S) : sig
     ?wrap:Transport_intf.wrapper ->
     ?recovery:recovery ->
     ?fallback:Quorum.Config.t ->
+    ?sync:Sync.Config.t ->
     unit ->
     cluster
   (** Spawn [params.n] replica domains connected by an in-process bus —
@@ -284,7 +308,9 @@ module Make (D : Spec.Data_type.S) : sig
       cluster's start time is passed as the wrapper's [start_us].
       [recovery] (shared by all nodes; [recovered] should be [None]) arms
       the crash/recover/catch-up machinery for {!crash}/{!recover};
-      [fallback] (shared by all nodes) arms the quorum fallback. *)
+      [fallback] (shared by all nodes) arms the quorum fallback; [sync]
+      (shared by all nodes) arms live clock synchronization, letting the
+      cluster measure and shrink the very skew [offsets] injects. *)
 
   val invoke : ?trace:int -> ?op_id:int -> cluster -> pid:int -> D.op -> D.result
   (** Synchronous client call: block until replica [pid] responds.

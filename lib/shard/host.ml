@@ -177,6 +177,10 @@ module Make (W : Net.Wire.WIRED) = struct
         Some (shard, R.of_wire (R.Wire_quorum (R.Fnack { qid })))
     | Ok (C.Qfill { epoch; from_seq; shard }) when ok shard ->
         Some (shard, R.of_wire (R.Wire_quorum (R.Qfill { epoch; from_seq })))
+    | Ok (C.Ping { seq; t0; shard }) when ok shard ->
+        Some (shard, R.of_wire (R.Wire_sync (R.Sping { seq; t0 })))
+    | Ok (C.Pong { seq; t0; t_rx; t_tx; shard }) when ok shard ->
+        Some (shard, R.of_wire (R.Wire_sync (R.Spong { seq; t0; t_rx; t_tx })))
     | Ok _ | Error _ -> None
 
   let encode_peer (shard, ev) =
@@ -229,6 +233,12 @@ module Make (W : Net.Wire.WIRED) = struct
           | R.Qcommit { epoch; qseq } -> C.Qcommit { epoch; qseq; shard }
           | R.Fnack { qid } -> C.Fnack { qid; shard }
           | R.Qfill { epoch; from_seq } -> C.Qfill { epoch; from_seq; shard })
+    | Some (R.Wire_sync s) ->
+        C.encode
+          (match s with
+          | R.Sping { seq; t0 } -> C.Ping { seq; t0; shard }
+          | R.Spong { seq; t0; t_rx; t_tx } ->
+              C.Pong { seq; t0; t_rx; t_tx; shard })
     | None -> invalid_arg "Host.encode_peer: local event on the wire"
 
   (* Shard [k]'s view of the shared transport.  [send] rides the real

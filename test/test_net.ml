@@ -95,7 +95,7 @@ let test_version_rejected_by_decoder () =
             msg
       | Net.Codec.Got _ | Net.Codec.Need_more _ ->
           Alcotest.failf "version %d frame must be Corrupt" v)
-    [ 1; 2; 3; 4; 6; 255 ]
+    [ 1; 2; 3; 4; 5; 7; 255 ]
 
 (* An old (v1) peer connecting to a live replica stack: the handshake must
    be rejected cleanly — connection closed, replica healthy for current
@@ -121,6 +121,7 @@ let test_version_rejected_by_handshake () =
         fsync = Durable.Wal.Never;
         snapshot_every = 0;
         fallback = None;
+        sync = None;
         log = (fun _ -> ());
       }
   in
@@ -252,7 +253,22 @@ let msg_roundtrip_tests () =
                           queue_hwm = seed mod 4096;
                         };
                   })
-          && roundtrip (C.Error_msg "boom")))
+          && roundtrip (C.Error_msg "boom")
+          && roundtrip (C.Ping { seq = seed; t0 = seed * 7919; shard })
+          && roundtrip
+               (C.Pong
+                  {
+                    seq = seed;
+                    t0 = seed * 7919;
+                    t_rx = (seed * 7919) + 3;
+                    t_tx = (seed * 7919) + 5;
+                    shard;
+                  })
+          && roundtrip
+               (* a corrected clock can briefly sit behind the epoch, so
+                  negative timestamps must survive the varint *)
+               (C.Pong
+                  { seq = 0; t0 = -(seed * 3); t_rx = -1; t_tx = 0; shard = 0 })))
     Net.Wire.all
 
 let msg_corrupt_payloads =
@@ -295,6 +311,7 @@ let test_tcp_cluster_in_process () =
             fsync = Durable.Wal.Never;
             snapshot_every = 0;
             fallback = None;
+            sync = None;
             log = (fun _ -> ());
           })
   in
@@ -456,6 +473,7 @@ let test_tcp_durable_restart_recovers () =
       fsync = Durable.Wal.Always;
       snapshot_every = 0;
       fallback = None;
+      sync = None;
       log =
         (fun s ->
           let has_sub sub =
