@@ -656,11 +656,130 @@ let write_bench_json group results =
       Format.eprintf "internal error: %s would not be valid JSON: %s@." path e;
       false
 
+(* ---- regression gate (--check) ---- *)
+
+(* The committed BENCH_<group>.json files are the baseline; [--check]
+   re-runs the selected groups and fails on any test that got more than
+   [--tolerance] percent slower (default 25%).  Faster is never a
+   failure, and a test with no baseline entry (or a group with no
+   baseline file) is reported as new, not failed — adding a bench must
+   not require committing its numbers in the same change. *)
+
+let find_sub s sub from =
+  let ls = String.length sub and n = String.length s in
+  let rec go i =
+    if i + ls > n then None
+    else if String.sub s i ls = sub then Some i
+    else go (i + 1)
+  in
+  go from
+
+(* Extract (name, ns_per_run) pairs from the fixed shape
+   [write_bench_json] emits; entries whose estimate was null are
+   skipped.  Bench names contain no JSON escapes, so a plain scan to the
+   closing quote is exact. *)
+let baseline_rows s =
+  let n = String.length s in
+  let rec go pos acc =
+    match find_sub s "\"name\": \"" pos with
+    | None -> List.rev acc
+    | Some i -> (
+        let start = i + 9 in
+        match String.index_from_opt s start '"' with
+        | None -> List.rev acc
+        | Some stop -> (
+            let name = String.sub s start (stop - start) in
+            match find_sub s "\"ns_per_run\": " stop with
+            | None -> List.rev acc
+            | Some j ->
+                let vstart = j + 14 in
+                let vend = ref vstart in
+                while
+                  !vend < n
+                  && (match s.[!vend] with
+                     | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+                     | _ -> false)
+                do
+                  incr vend
+                done;
+                let acc =
+                  if !vend = vstart then acc (* null estimate *)
+                  else
+                    match
+                      float_of_string_opt
+                        (String.sub s vstart (!vend - vstart))
+                    with
+                    | Some v -> (name, v) :: acc
+                    | None -> acc
+                in
+                go (max (!vend) (stop + 1)) acc))
+  in
+  go 0 []
+
+let check_group ~tolerance group results =
+  let path = Printf.sprintf "BENCH_%s.json" group in
+  if not (Sys.file_exists path) then begin
+    Format.printf "  [%s] no baseline (%s missing) — group skipped@." group
+      path;
+    true
+  end
+  else begin
+    let baseline =
+      baseline_rows (In_channel.with_open_bin path In_channel.input_all)
+    in
+    let ok = ref true in
+    List.iter
+      (fun (name, est, _) ->
+        match (est, List.assoc_opt name baseline) with
+        | Some now, Some base when base > 0.0 ->
+            let delta = ((now /. base) -. 1.0) *. 100.0 in
+            let regressed = delta > tolerance in
+            if regressed then ok := false;
+            Format.printf "  %-9s %-36s %12.1f -> %12.1f ns/run (%+.1f%%)@."
+              (if regressed then "REGRESSED" else "ok")
+              name base now delta
+        | Some _, Some _ | Some _, None ->
+            Format.printf "  %-9s %-36s (no baseline entry)@." "new" name
+        | None, _ ->
+            Format.printf "  %-9s %-36s (no estimate)@." "?" name)
+      (rows_of_results results);
+    if not !ok then
+      Format.printf "  [%s] REGRESSION past the %.0f%% tolerance@." group
+        tolerance;
+    !ok
+  end
+
+let usage () =
+  Format.eprintf
+    "usage: bench [--check] [--tolerance PCT] [group ...]@.groups: %s@."
+    (String.concat ", " (List.map fst groups));
+  exit 2
+
 let () =
   (* With group names on the command line, run only those benchmark groups
      (and skip the paper-experiment sweep) — what CI uses to price a
      single subsystem without paying for the whole artifact run. *)
-  let wanted = List.tl (Array.to_list Sys.argv) in
+  let check_mode = ref false and tolerance = ref 25.0 in
+  let rec parse_args args acc =
+    match args with
+    | [] -> List.rev acc
+    | "--check" :: rest ->
+        check_mode := true;
+        parse_args rest acc
+    | "--tolerance" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some t when t > 0.0 ->
+            tolerance := t;
+            parse_args rest acc
+        | _ ->
+            Format.eprintf "--tolerance wants a positive percentage, got %S@."
+              v;
+            usage ())
+    | "--tolerance" :: [] -> usage ()
+    | ("--help" | "-h") :: _ -> usage ()
+    | w :: rest -> parse_args rest (w :: acc)
+  in
+  let wanted = parse_args (List.tl (Array.to_list Sys.argv)) [] in
   List.iter
     (fun w ->
       if not (List.mem_assoc w groups) then begin
@@ -673,6 +792,22 @@ let () =
     if wanted = [] then groups
     else List.filter (fun (g, _) -> List.mem g wanted) groups
   in
+  if !check_mode then begin
+    (* Regression gate: benchmark the selected groups and compare against
+       the committed baselines; never rewrites them. *)
+    Format.printf "=== Bench regression check (tolerance %.0f%%) ===@."
+      !tolerance;
+    let all_ok =
+      List.fold_left
+        (fun acc ((group, _) as g) ->
+          let results = benchmark_group g in
+          check_group ~tolerance:!tolerance group results && acc)
+        true selected
+    in
+    if not all_ok then exit 1;
+    Format.printf "=== No regressions past tolerance ===@.";
+    exit 0
+  end;
   let bad =
     if wanted <> [] then []
     else begin

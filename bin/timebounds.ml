@@ -657,8 +657,8 @@ let chaos_cmd () =
         Cli.value "plan"
           "fault plan: rules name(args)[/src>dst][@from[-until]] joined by \
            ';'. Names: drop(P) dup(P) spike(E) jitter(M) \
-           partition(a,b|c,d) crash(P) restart(P) skew(P,OFF). Times take \
-           us/ms/s suffixes. Default 'spike(3ms)@0.2s-0.6s'";
+           partition(a,b|c,d) crash(P) restart(P) skew(P,OFF) flood(K). \
+           Times take us/ms/s suffixes. Default 'spike(3ms)@0.2s-0.6s'";
         Cli.value "chaos-seed" "seed for the plan's coin flips (default: seed)";
         Cli.value "ops" "total operations (default 600)";
         Cli.value "mix" "mutator:accessor:other weights (default 50:40:10)";

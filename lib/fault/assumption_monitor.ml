@@ -64,6 +64,12 @@ let violations ?(recovery = false) ~plan ~params ~net_d ~offsets () =
                if net_d + e > assumed_d then stretched (label ()) e else None
            | Fault_plan.Jitter m ->
                if net_d + m > assumed_d then stretched (label ()) m else None
+           | Fault_plan.Flood k ->
+               (* K× traffic saturates queues and mailboxes: deliveries can
+                  run arbitrarily late within the window, so the whole
+                  window is an assumption violation (like a partition, the
+                  model's admissibility simply does not hold there). *)
+               if k > 1 then window (label ()) else None
            | Fault_plan.Restart _ | Fault_plan.Skew _ -> None)
   in
   let skew_violation =

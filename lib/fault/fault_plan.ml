@@ -14,6 +14,11 @@ type kind =
   | Crash of int
   | Restart of int
   | Skew of int * int
+  | Flood of int
+      (** amplify every matching message ×K: a deterministic overload
+          generator — the receiver sees K copies of the real traffic, so a
+          [flood(10)] window is a 10× saturation attack on its mailbox,
+          links and admission budget *)
 
 type rule = {
   id : int;
@@ -47,6 +52,7 @@ let label r =
   | Crash p -> Printf.sprintf "crash(%d)#%d" p r.id
   | Restart p -> Printf.sprintf "restart(%d)#%d" p r.id
   | Skew (p, o) -> Printf.sprintf "skew(%d,+%dus)#%d" p o r.id
+  | Flood k -> Printf.sprintf "flood(x%d)#%d" k r.id
 
 (* ---- stateless pseudo-randomness (splitmix64 finalizer) ---- *)
 
@@ -158,6 +164,10 @@ let parse_kind name args =
               else Ok (Partition (ga, gb))
           | Error e, _ | _, Error e -> Error e)
       | _ -> Error "partition wants exactly two groups: partition(a,b|c)")
+  | "flood" -> (
+      match int_of_string_opt (String.trim args) with
+      | Some k when k >= 1 -> Ok (Flood k)
+      | _ -> Error (Printf.sprintf "flood: factor must be >= 1: %S" args))
   | "crash" -> Result.map (fun p -> Crash p) (parse_pid args)
   | "restart" -> Result.map (fun p -> Restart p) (parse_pid args)
   | "skew" -> (
@@ -354,6 +364,10 @@ let decide t ~now_us ~src ~dst ~index =
               then lose ()
               else acc
           | Crash p -> if src = p || dst = p then lose () else acc
+          | Flood k ->
+              (* Unconditional while active: every matching message fans
+                 out to K copies — saturation, not a coin flip. *)
+              { acc with copies = acc.copies + (k - 1) }
           | Restart _ | Skew _ -> acc)
       deliver t.plan_rules
 
@@ -380,7 +394,7 @@ let windows t =
       | Delay_spike e -> Some (label r, r.from_us, stretch e)
       | Jitter m -> Some (label r, r.from_us, stretch m)
       | Skew _ -> Some (label r, 0, max_int)
-      | Drop _ | Duplicate _ | Partition _ | Crash _ ->
+      | Drop _ | Duplicate _ | Partition _ | Crash _ | Flood _ ->
           Some (label r, r.from_us, r.until_us))
     t.plan_rules
 

@@ -13,7 +13,8 @@
     {v
     plan    := rule (';' rule)*
     rule    := name '(' args ')' [ '/' link ] [ '%' shard ] [ '@' window ]
-    name    := drop | dup | spike | jitter | partition | crash | restart | skew
+    name    := drop | dup | spike | jitter | partition | crash | restart
+             | skew | flood
     link    := src '>' dst          src, dst := pid | '*'
     shard   := shard id (sharded hosts only; see {!for_shard})
     window  := time [ '-' time ]    time := number ['us'|'ms'|'s']
@@ -34,7 +35,12 @@
     - [restart(P)] — replica P comes back at the window start (supervised
       respawn in the process cluster, end of isolation in-process);
     - [skew(P,O)] — add O µs to replica P's clock offset for the whole run
-      (windows are ignored: clocks do not jump in the model).
+      (windows are ignored: clocks do not jump in the model);
+    - [flood(K)] — deliver K copies of {e every} matching message while the
+      window is active: a deterministic K× saturation attack (not a coin
+      flip) on the receiver's links, mailbox and admission budget.  The
+      overload-protection layer must keep control traffic (heartbeats, sync
+      probes) flowing and shed data visibly — see DESIGN.md §15.
 
     A rule without [@window] is active for the whole run; [@t] alone marks
     an instant (used by crash/restart).  Times are run-relative µs. *)
@@ -51,6 +57,7 @@ type kind =
   | Crash of int  (** replica pid *)
   | Restart of int  (** replica pid *)
   | Skew of int * int  (** pid, extra clock offset µs *)
+  | Flood of int  (** amplification factor K ≥ 1; every message ×K *)
 
 type rule = {
   id : int;  (** position in the spec, part of the hash salt *)

@@ -89,23 +89,29 @@ module Make (W : Wire.WIRED) = struct
   let rpc t msg =
     match send t msg with Error e -> Error e | Ok () -> recv t
 
-  let invoke ?(trace = 0) ?(op_id = 0) ?(shard = 0) ?timeout_us t op =
+  let invoke ?(trace = 0) ?(op_id = 0) ?(shard = 0) ?(deadline = 0) ?timeout_us
+      t op =
     set_timeout t timeout_us;
-    match rpc t (C.Invoke { op; trace; op_id; shard }) with
+    match rpc t (C.Invoke { op; trace; op_id; shard; deadline }) with
     | Ok (C.Result { result; shard = rs }) ->
         if rs = shard then Ok result
         else
           Error
             (Printf.sprintf "replica error: shard mismatch (sent %d, got %d)"
                shard rs)
+    | Ok (C.Shed { reason; _ }) ->
+        (* Overload refusal: the op was *not* executed, so retrying (same
+           op id, same deadline, capped backoff) is always safe. *)
+        Error reason
     | Ok (C.Error_msg e) -> Error ("replica error: " ^ e)
     | Ok m -> Error (Format.asprintf "unexpected reply %a" C.pp_msg m)
     | Error e -> Error e
 
   (* Which invocation errors are safe and useful to retry (with the same
      op id)?  Timeouts and lost/closed connections — the op may or may not
-     have landed, which is what idempotence is for — and the replica's
-     explicit back-off answer for an in-flight replay. *)
+     have landed, which is what idempotence is for — the replica's explicit
+     back-off answer for an in-flight replay, and overload sheds (the op
+     was refused before execution). *)
   let retryable e =
     let has_sub sub =
       let ls = String.length sub and le = String.length e in
@@ -113,6 +119,7 @@ module Make (W : Wire.WIRED) = struct
       go 0
     in
     has_sub "timeout" || has_sub "connection" || has_sub "retry"
+    || has_sub "shed"
 
   let stats t =
     match rpc t C.Stats_req with

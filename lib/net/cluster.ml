@@ -39,6 +39,9 @@ type report = {
   ops : int;
   completed : int;
   failed : int;  (** invocations that errored (connection lost, …) *)
+  sheds : int;
+      (** overload refusals observed by clients (then retried under the
+          same op id and deadline) — the visible cost of protection *)
   wall_us : int;
   throughput : float;
   classes : Runtime.Loadgen.class_report list;
@@ -68,6 +71,10 @@ let pp_report fmt r =
     (float_of_int r.wall_us /. 1e6)
     r.throughput
     (if r.failed > 0 then Printf.sprintf "; %d FAILED" r.failed else "");
+  if r.sheds > 0 then
+    Format.fprintf fmt "overload: %d shed repl%s observed by clients@,"
+      r.sheds
+      (if r.sheds = 1 then "y" else "ies");
   (match r.aborted with
   | Some why -> Format.fprintf fmt "aborted: %s@," why
   | None -> ());
@@ -168,6 +175,7 @@ module Make (W : Wire.WIRED) = struct
     w_entries : Gen.Lin.entry list;  (** reverse invocation order *)
     w_hists : Runtime.Histogram.t array;  (** 6: 3 classes × clean/faulty *)
     w_failed : int;
+    w_sheds : int;  (** shed replies seen (each followed by a retry) *)
     w_error : string option;
   }
 
@@ -183,7 +191,7 @@ module Make (W : Wire.WIRED) = struct
      the next port, and only exhausting every replica gives up. *)
   let worker_round ~host ~ports ~origin_us ~abort ?(resilient = false)
       ?(rotate = false) ?(traced = false) ?(windows = []) ?mint ?timeout_us
-      rng ~seed ~mix ~total ~quota ~wid =
+      ?(deadline_budget_us = 0) rng ~seed ~mix ~total ~quota ~wid =
     let hists = Array.init 6 (fun _ -> Runtime.Histogram.create ()) in
     let nports = Array.length ports in
     let shift = ref 0 in
@@ -207,11 +215,18 @@ module Make (W : Wire.WIRED) = struct
     let in_windows t = List.exists (fun (f, u) -> f <= t && t < u) windows in
     match connect () with
     | Error e ->
-        { w_entries = []; w_hists = hists; w_failed = quota; w_error = Some e }
+        {
+          w_entries = [];
+          w_hists = hists;
+          w_failed = quota;
+          w_sheds = 0;
+          w_error = Some e;
+        }
     | Ok first_conn ->
         let conn = ref (Some first_conn) in
         let entries = ref [] in
         let failed = ref 0 in
+        let shed_count = ref 0 in
         let error = ref None in
         let gave_up = ref false in
         let i = ref 0 in
@@ -241,6 +256,17 @@ module Make (W : Wire.WIRED) = struct
               in
               let op_id = match mint with None -> 0 | Some m -> m () in
               let t0 = Prelude.Mclock.now_us () in
+              (* The deadline belongs to the operation, not the attempt:
+                 minted once, at first invocation, as the client's total
+                 willingness to wait — every retry re-sends it unchanged,
+                 so an overloaded replica's admission check measures real
+                 remaining patience, not a sliding window. *)
+              let deadline =
+                if deadline_budget_us > 0 then t0 + deadline_budget_us else 0
+              in
+              let shed e =
+                String.length e >= 4 && String.sub e 0 4 = "shed"
+              in
               (* Idempotent path (durable or fallback clusters): a timed-out
                  or dropped invocation is replayed with the {e same} op id
                  on a fresh connection, with capped exponential backoff +
@@ -252,11 +278,17 @@ module Make (W : Wire.WIRED) = struct
                  from the worker's generator: a retry must not perturb the
                  op-draw sequence, so chaos runs replay bit-for-bit. *)
               let rec attempt c backoff tries =
-                match Cl.invoke ~trace ~op_id ?timeout_us c op with
+                match Cl.invoke ~trace ~op_id ~deadline ?timeout_us c op with
                 | Ok r -> (Some c, Ok r)
                 | Error e
                   when op_id <> 0 && Cl.retryable e && tries < 25
+                       && (* a shed past the op's own deadline is final:
+                             every further attempt would be shed again *)
+                       ((not (shed e))
+                       || deadline = 0
+                       || Prelude.Mclock.now_us () < deadline)
                        && not (Atomic.get abort) -> (
+                    if shed e then incr shed_count;
                     Cl.close c;
                     let jitter =
                       Prelude.Rng.hash [ seed; wid; op_id; tries ]
@@ -269,7 +301,9 @@ module Make (W : Wire.WIRED) = struct
                     match connect () with
                     | Ok c' -> attempt c' (min (2 * backoff) 400_000) (tries + 1)
                     | Error e' -> (None, Error e'))
-                | Error e -> (Some c, Error e)
+                | Error e ->
+                    if shed e then incr shed_count;
+                    (Some c, Error e)
               in
               let conn', outcome = attempt c 20_000 0 in
               conn := conn';
@@ -306,6 +340,7 @@ module Make (W : Wire.WIRED) = struct
           w_entries = !entries;
           w_hists = hists;
           w_failed = !failed;
+          w_sheds = !shed_count;
           w_error = !error;
         }
 
@@ -582,14 +617,23 @@ module Make (W : Wire.WIRED) = struct
     in
     (* Fallback clusters run the same idempotent-client protocol as durable
        ones: an op refused by a dying (or degrading) replica is replayed —
-       possibly against a different replica — under one id. *)
-    let idempotent = durable_dir <> None || fallback <> None in
+       possibly against a different replica — under one id.  Chaos runs are
+       idempotent too: overload protection sheds ops under a [flood], and a
+       shed is only survivable if the client can replay it (same id, same
+       deadline) once the pressure clears. *)
+    let idempotent = durable_dir <> None || fallback <> None || plan <> None in
     let mint =
       if idempotent then Some (fun () -> Atomic.fetch_and_add op_ids 1)
       else None
     in
     let timeout_us =
       if idempotent then Some ((2 * (d + slack + eps)) + 2_000_000) else None
+    in
+    (* The op deadline covers the whole retry horizon (per-attempt timeout
+       plus the capped-backoff budget), so admission only sheds ops that
+       genuinely cannot make it — not every op that needed one retry. *)
+    let deadline_budget_us =
+      if idempotent then (2 * (d + slack + eps)) + 4_000_000 else 0
     in
     (* A restart over existing durable directories serves the *persisted*
        history: the first [get] of the run may legitimately return a value
@@ -730,6 +774,7 @@ module Make (W : Wire.WIRED) = struct
     let entries = ref [] in
     let cuts = ref [] in
     let failed = ref 0 in
+    let sheds = ref 0 in
     let first_error = ref None in
     let rng_workers = ref rng_workers in
     let remaining = ref ops in
@@ -746,13 +791,15 @@ module Make (W : Wire.WIRED) = struct
             Domain.spawn (fun () ->
                 worker_round ~host ~ports ~origin_us:epoch ~abort ~resilient
                   ~rotate:(fallback <> None) ~traced ~windows:fault_windows
-                  ?mint ?timeout_us mine ~seed ~mix ~total ~quota:share ~wid))
+                  ?mint ?timeout_us ~deadline_budget_us mine ~seed ~mix ~total
+                  ~quota:share ~wid))
       in
       List.iter
         (fun dom ->
           let out = Domain.join dom in
           entries := List.rev_append out.w_entries !entries;
           failed := !failed + out.w_failed;
+          sheds := !sheds + out.w_sheds;
           (match (out.w_error, !first_error) with
           | Some e, None -> first_error := Some e
           | _ -> ());
@@ -827,6 +874,7 @@ module Make (W : Wire.WIRED) = struct
       ops;
       completed;
       failed = !failed;
+      sheds = !sheds;
       wall_us;
       throughput =
         (if wall_us = 0 then 0.

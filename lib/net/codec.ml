@@ -25,10 +25,15 @@
    clock-synchronization frame kinds (16, 17) — the timestamped Ping and
    its echo Pong carrying the receiver's rx/tx readings, from which the
    prober estimates per-peer offset and uncertainty (NTP-style RTT
-   halves).  Peers speaking older versions are rejected at decode
-   ("unsupported version N"), which the handshake turns into a clean
-   [Error_msg] rather than a crash. *)
-let version = 6
+   halves).  v7: overload protection — the Invoke payload gains a trailing
+   absolute deadline (one varint µs on the shared monotonic timeline, 0 =
+   none) so servers can shed work that can no longer meet it, a Shed frame
+   kind (18) carries the refusal reason back to the client as a distinct
+   retryable class, and the Stats link payload gains the two-lane queue
+   counters (ctrl_hwm, lane_shed).  Peers speaking older versions are
+   rejected at decode ("unsupported version N"), which the handshake turns
+   into a clean [Error_msg] rather than a crash. *)
+let version = 7
 let header_len = 12
 let max_payload = 1 lsl 24  (* 16 MiB: far above any entry, guards length bombs *)
 let magic0 = 'T'
@@ -226,6 +231,7 @@ let k_fnack = 14
 let k_qfill = 15
 let k_ping = 16
 let k_pong = 17
+let k_shed = 18
 
 module Make (O : OBJ_CODEC) = struct
   type msg =
@@ -238,7 +244,14 @@ module Make (O : OBJ_CODEC) = struct
         op_id : int;
         shard : int;
       }
-    | Invoke of { op : O.D.op; trace : int; op_id : int; shard : int }
+    | Invoke of {
+        op : O.D.op;
+        trace : int;
+        op_id : int;
+        shard : int;
+        deadline : int;
+            (** absolute µs on the shared monotonic timeline; 0 = none *)
+      }
     | Result of { result : O.D.result; shard : int }
     | Stats_req
     | Stats of Runtime.Transport_intf.stats
@@ -284,6 +297,7 @@ module Make (O : OBJ_CODEC) = struct
     | Qfill of { epoch : int; from_seq : int; shard : int }
     | Ping of { seq : int; t0 : int; shard : int }
     | Pong of { seq : int; t0 : int; t_rx : int; t_tx : int; shard : int }
+    | Shed of { reason : string; shard : int }
 
   let equal_msg a b =
     match (a, b) with
@@ -293,7 +307,7 @@ module Make (O : OBJ_CODEC) = struct
         && e1.trace = e2.trace && e1.op_id = e2.op_id && e1.shard = e2.shard
     | Invoke i1, Invoke i2 ->
         O.D.equal_op i1.op i2.op && i1.trace = i2.trace && i1.op_id = i2.op_id
-        && i1.shard = i2.shard
+        && i1.shard = i2.shard && i1.deadline = i2.deadline
     | Result r1, Result r2 ->
         O.D.equal_result r1.result r2.result && r1.shard = r2.shard
     | Stats_req, Stats_req -> true
@@ -332,6 +346,8 @@ module Make (O : OBJ_CODEC) = struct
     | Pong p1, Pong p2 ->
         p1.seq = p2.seq && p1.t0 = p2.t0 && p1.t_rx = p2.t_rx
         && p1.t_tx = p2.t_tx && p1.shard = p2.shard
+    | Shed s1, Shed s2 ->
+        String.equal s1.reason s2.reason && s1.shard = s2.shard
     | _ -> false
 
   let pp_msg fmt = function
@@ -343,8 +359,8 @@ module Make (O : OBJ_CODEC) = struct
         Format.fprintf fmt "entry{%a @@ ⟨%d,%d⟩ t=%x id=%d s=%d}" O.D.pp_op
           e.op e.time e.pid e.trace e.op_id e.shard
     | Invoke i ->
-        Format.fprintf fmt "invoke{%a t=%x id=%d s=%d}" O.D.pp_op i.op i.trace
-          i.op_id i.shard
+        Format.fprintf fmt "invoke{%a t=%x id=%d s=%d dl=%d}" O.D.pp_op i.op
+          i.trace i.op_id i.shard i.deadline
     | Result r ->
         Format.fprintf fmt "result{%a s=%d}" O.D.pp_result r.result r.shard
     | Stats_req -> Format.pp_print_string fmt "stats?"
@@ -378,6 +394,7 @@ module Make (O : OBJ_CODEC) = struct
     | Pong p ->
         Format.fprintf fmt "pong{#%d t0=%d rx=%d tx=%d s=%d}" p.seq p.t0
           p.t_rx p.t_tx p.shard
+    | Shed s -> Format.fprintf fmt "shed{%s s=%d}" s.reason s.shard
 
   let encode msg =
     let b = Buffer.create 32 in
@@ -406,6 +423,7 @@ module Make (O : OBJ_CODEC) = struct
           Wr.int b i.trace;
           Wr.int b i.op_id;
           Wr.int b i.shard;
+          Wr.int b i.deadline;
           k_invoke
       | Result r ->
           O.write_result b r.result;
@@ -423,7 +441,9 @@ module Make (O : OBJ_CODEC) = struct
               Wr.int b l.bytes_out;
               Wr.int b l.bytes_in;
               Wr.int b l.disconnected_us;
-              Wr.int b l.queue_hwm);
+              Wr.int b l.queue_hwm;
+              Wr.int b l.ctrl_hwm;
+              Wr.int b l.lane_shed);
           k_stats
       | Error_msg e ->
           Wr.string b e;
@@ -504,6 +524,10 @@ module Make (O : OBJ_CODEC) = struct
           Wr.int b p.t_tx;
           Wr.int b p.shard;
           k_pong
+      | Shed s ->
+          Wr.string b s.reason;
+          Wr.int b s.shard;
+          k_shed
     in
     encode_frame ~kind ~payload:(Buffer.contents b)
 
@@ -535,7 +559,8 @@ module Make (O : OBJ_CODEC) = struct
           let trace = Rd.int r in
           let op_id = Rd.int r in
           let shard = Rd.int r in
-          Invoke { op; trace; op_id; shard }
+          let deadline = Rd.int r in
+          Invoke { op; trace; op_id; shard; deadline }
         end
         else if frame.kind = k_result then begin
           let result = O.read_result r in
@@ -555,6 +580,8 @@ module Make (O : OBJ_CODEC) = struct
                 let bytes_in = Rd.int r in
                 let disconnected_us = Rd.int r in
                 let queue_hwm = Rd.int r in
+                let ctrl_hwm = Rd.int r in
+                let lane_shed = Rd.int r in
                 Some
                   {
                     Runtime.Transport_intf.reconnects;
@@ -562,6 +589,8 @@ module Make (O : OBJ_CODEC) = struct
                     bytes_in;
                     disconnected_us;
                     queue_hwm;
+                    ctrl_hwm;
+                    lane_shed;
                   }
             | t -> Rd.fail (Printf.sprintf "stats: bad link tag %d" t)
           in
@@ -663,6 +692,11 @@ module Make (O : OBJ_CODEC) = struct
           let t_tx = Rd.int r in
           let shard = Rd.int r in
           Pong { seq; t0; t_rx; t_tx; shard }
+        end
+        else if frame.kind = k_shed then begin
+          let reason = Rd.string r in
+          let shard = Rd.int r in
+          Shed { reason; shard }
         end
         else Rd.fail (Printf.sprintf "unknown frame kind %d" frame.kind)
       in

@@ -23,7 +23,7 @@
     [Tcp_transport] and README "Wire format". *)
 
 val version : int
-(** Current wire version (6 — v2 added the trace id to [Entry]/[Invoke]
+(** Current wire version (7 — v2 added the trace id to [Entry]/[Invoke]
     payloads; v3 added the client operation id to both, plus the
     catch-up request/reply frames for post-crash peer anti-entropy; v4
     added the shard id to every op/ack/catch-up payload and the shard
@@ -31,7 +31,9 @@ val version : int
     Algorithm 1 instances over one per-peer link; v5 added the quorum
     fallback's frames — the heartbeat doubling as the mode announcement
     plus forward/propose/ack/commit/nack/fill, all shard-tagged; v6
-    added the clock-synchronization probe frames [Ping]/[Pong]).  A
+    added the clock-synchronization probe frames [Ping]/[Pong]; v7 added
+    overload protection — the client deadline on [Invoke], the [Shed]
+    refusal frame, and the two-lane queue counters on [Stats]).  A
     decoder rejects every other version, so incompatible formats — older
     peers included — fail the handshake cleanly instead of misparsing. *)
 
@@ -137,8 +139,20 @@ module Make (O : OBJ_CODEC) : sig
             + originating trace id (0 when untraced) + client operation id
             (0 when the client did not ask for idempotence) + shard id of
             the instance it belongs to (0 = the only shard) *)
-    | Invoke of { op : O.D.op; trace : int; op_id : int; shard : int }
-        (** client → replica; a retry re-sends the same [op_id] *)
+    | Invoke of {
+        op : O.D.op;
+        trace : int;
+        op_id : int;
+        shard : int;
+        deadline : int;
+            (** client-minted absolute deadline, µs on the shared
+                monotonic timeline ({!Prelude.Mclock}); 0 = none.  A
+                server sheds the op instead of starting work it cannot
+                finish in time. *)
+      }
+        (** client → replica; a retry re-sends the same [op_id] (and the
+            same deadline — the deadline belongs to the operation, not
+            the attempt) *)
     | Result of { result : O.D.result; shard : int }
         (** replica → client, echoing the invoking shard *)
     | Stats_req  (** client → replica: transport stats probe *)
@@ -199,6 +213,12 @@ module Make (O : OBJ_CODEC) : sig
         (** probe echo: [seq]/[t0] copied from the ping, [t_rx]/[t_tx] the
             responder's corrected clock at receipt and reply — the four
             NTP timestamps of a two-way offset sample *)
+    | Shed of { reason : string; shard : int }
+        (** replica → client: the op was refused (or abandoned) by
+            overload protection — deadline already passed, admission
+            control predicted a miss, or the inflight budget was full.
+            A distinct retryable class: the op was {e not} executed, so
+            an idempotent retry with capped backoff is always safe. *)
 
   val equal_msg : msg -> msg -> bool
   val pp_msg : Format.formatter -> msg -> unit

@@ -242,6 +242,20 @@ module Make (W : Wire.WIRED) = struct
            them, so reaching here is a wiring bug. *)
         invalid_arg "Serve.encode_peer: local event on the wire"
 
+  (* Wire-lane classification: heartbeats (doubling as mode announcements),
+     sync probes, and catch-up frames ride the control lane so the failure
+     detector and ε estimator stay live when data load saturates a link;
+     everything else (entries, quorum ordering traffic) is data and may be
+     shed under overload. *)
+  let lane_of ev =
+    match R.wire_view ev with
+    | Some (R.Wire_quorum (R.Hb _))
+    | Some (R.Wire_sync _)
+    | Some (R.Wire_catchup_req _)
+    | Some (R.Wire_catchup_rep _) ->
+        Lanes.Ctrl
+    | Some _ | None -> Lanes.Data
+
   (* [wrap] is the chaos layer's hook ({!Runtime.Transport_intf.wrapper}):
      applied outermost, around the TCP transport, with the cluster's shared
      clock epoch as the fault-window origin. *)
@@ -262,18 +276,52 @@ module Make (W : Wire.WIRED) = struct
           Prelude.Mclock.sleep_us 1_000;
           the_node ()
     in
+    let admission = Admission.create () in
     let on_client ~first conn =
       let reply msg = Tcp_transport.conn_write conn (C.encode msg) in
       let handle_frame frame =
         match C.decode_payload frame with
-        | Ok (C.Invoke { op; trace; op_id; shard }) -> (
-            match R.node_invoke ~trace ~op_id (the_node ()) op with
-            | r -> reply (C.Result { result = r; shard })
-            | exception R.Stopped -> reply (C.Error_msg "replica stopped")
-            | exception R.Retry_later why ->
-                (* The client must back off and retry with the same op id;
-                   [Client.retryable] recognises this answer. *)
-                reply (C.Error_msg ("retry: " ^ why)))
+        | Ok (C.Invoke { op; trace; op_id; shard; deadline }) -> (
+            let now = Prelude.Mclock.now_us () in
+            if deadline > 0 && now > deadline then begin
+              (* Already late at the door: executing it would be dead work
+                 the client stopped waiting for. *)
+              Obs.Recorder.emit ~pid:cfg.pid ~kind:Obs.Event.Shed ~trace
+                ~a:Obs.Event.shed_deadline ~b:shard ();
+              reply (C.Shed { reason = "shed: deadline passed"; shard })
+            end
+            else
+              match
+                Admission.try_admit admission ~now_us:now ~deadline_us:deadline
+              with
+              | Admission.Shed reason ->
+                  Obs.Recorder.emit ~pid:cfg.pid ~kind:Obs.Event.Shed ~trace
+                    ~a:Obs.Event.shed_admission ~b:shard ();
+                  reply (C.Shed { reason; shard })
+              | Admission.Admitted -> (
+                  let finish () =
+                    Admission.finish admission
+                      ~elapsed_us:(Prelude.Mclock.now_us () - now)
+                  in
+                  match
+                    R.node_invoke ~trace ~op_id ~deadline (the_node ()) op
+                  with
+                  | r ->
+                      finish ();
+                      reply (C.Result { result = r; shard })
+                  | exception R.Stopped ->
+                      finish ();
+                      reply (C.Error_msg "replica stopped")
+                  | exception R.Retry_later why ->
+                      finish ();
+                      (* The client must back off and retry with the same op
+                         id; [Client.retryable] recognises both answers.  A
+                         "shed: ..." refusal (replica-side deadline check)
+                         travels as the dedicated frame — the replica already
+                         emitted its own [Shed] event. *)
+                      if String.length why >= 4 && String.sub why 0 4 = "shed"
+                      then reply (C.Shed { reason = why; shard })
+                      else reply (C.Error_msg ("retry: " ^ why))))
         | Ok C.Stats_req ->
             let stats =
               match !transport_ref with
@@ -327,7 +375,7 @@ module Make (W : Wire.WIRED) = struct
         ~hello:(C.encode (C.Hello (hello_of cfg)))
         ~classify_hello:(classify_hello cfg)
         ~decode_peer:(decode_peer ~me:cfg.pid) ~encode_peer ~on_client
-        ~log:cfg.log ()
+        ~lane_of ~log:cfg.log ()
     in
     let transport =
       match wrap with

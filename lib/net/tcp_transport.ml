@@ -36,7 +36,10 @@ type hello_verdict = Peer of int | Client | Reject of string
 
 type link = {
   dst : int;
-  queue : string Queue.t;
+  lanes : string Lanes.t;
+      (** two-lane write queue: control frames (heartbeats, sync probes,
+          catch-up) always preempt data frames, and the data lane sheds —
+          counted — instead of buffering without bound *)
   lock : Mutex.t;
   cond : Condition.t;
   mutable fd : Unix.file_descr option;
@@ -56,7 +59,12 @@ type counters = {
   bytes_in : int Atomic.t;
   disconnected_us : int Atomic.t;
       (** cumulative µs links spent wanting a connection they did not have *)
-  queue_hwm : int Atomic.t;  (** write-queue high-water mark, max over links *)
+  queue_hwm : int Atomic.t;
+      (** data-lane write-queue high-water mark, max over links *)
+  ctrl_hwm : int Atomic.t;
+      (** control-lane high-water mark, max over links *)
+  lane_shed : int Atomic.t;
+      (** frames shed from full data lanes, summed over links *)
 }
 
 let atomic_max a v =
@@ -72,16 +80,39 @@ type client_conn = {
   ctrs : counters;
 }
 
-let write_all fd s =
+(* Sockets carry SO_SNDTIMEO, so a blocking [write] to a wedged peer
+   returns [EAGAIN] every slice instead of parking the thread on the
+   kernel's send buffer indefinitely.  [write_all] resumes from the same
+   offset (never restarting the frame mid-stream) and converts a stall
+   longer than [stall_after_us] into [ETIMEDOUT], which callers already
+   treat as a dead connection — the frame is retransmitted whole on the
+   next connection, and a stopping transport's writer gets back to its
+   loop head (where it checks the flag) within one slice. *)
+let write_all ?(stall_after_us = max_int) fd s =
   let len = String.length s in
   let b = Bytes.unsafe_of_string s in
+  let started = Prelude.Mclock.now_us () in
   let rec go off =
-    if off < len then go (off + Unix.write fd b off (len - off))
+    if off < len then
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+          if Prelude.Mclock.now_us () - started >= stall_after_us then
+            raise (Unix.Unix_error (Unix.ETIMEDOUT, "write", ""))
+          else go off
   in
   go 0
 
+let send_timeout_slice_s = 0.25
+
+let set_send_timeout fd =
+  try Unix.setsockopt_float fd Unix.SO_SNDTIMEO send_timeout_slice_s
+  with Unix.Unix_error _ -> ()
+
 let conn_write conn s =
-  match write_all conn.conn_fd s with
+  match write_all ~stall_after_us:2_000_000 conn.conn_fd s with
   | () ->
       ignore (Atomic.fetch_and_add conn.ctrs.bytes_out (String.length s));
       true
@@ -119,7 +150,7 @@ type 'msg state = {
   stopping : bool Atomic.t;
   accepted : Unix.file_descr list ref;
   accepted_lock : Mutex.t;
-  max_queue : int;
+  write_stall_us : int;
   backoff_min_us : int;
   backoff_max_us : int;
   log : string -> unit;
@@ -148,7 +179,8 @@ let try_connect st link =
   match
     Unix.connect fd (Unix.ADDR_INET (resolve host, port));
     Unix.setsockopt fd Unix.TCP_NODELAY true;
-    write_all fd st.hello
+    set_send_timeout fd;
+    write_all ~stall_after_us:st.write_stall_us fd st.hello
   with
   | () ->
       ignore (Atomic.fetch_and_add st.ctrs.bytes_out (String.length st.hello));
@@ -209,25 +241,31 @@ let drop_connection link =
 let writer_loop st link =
   let rec loop () =
     Mutex.lock link.lock;
-    while Queue.is_empty link.queue && not (Atomic.get st.stopping) do
+    while Lanes.is_empty link.lanes && not (Atomic.get st.stopping) do
       Condition.wait link.cond link.lock
     done;
     if Atomic.get st.stopping then Mutex.unlock link.lock
     else begin
-      (* Peek, write, then pop: a frame interrupted by a connection
+      (* Peek, write, then drop: a frame interrupted by a connection
          failure is retransmitted on the fresh connection (the receiver
-         discarded the truncated copy at EOF). *)
-      let frame = Queue.peek link.queue in
+         discarded the truncated copy at EOF).  The drop names the lane the
+         peek returned, so a control frame arriving during the write never
+         gets removed in place of the data frame just written. *)
+      let lane, frame =
+        match Lanes.peek link.lanes with
+        | Some lf -> lf
+        | None -> assert false
+      in
       Mutex.unlock link.lock;
       (match ensure_connected st link with
       | None -> ()
       | Some fd -> (
-          match write_all fd frame with
+          match write_all ~stall_after_us:st.write_stall_us fd frame with
           | () ->
               ignore
                 (Atomic.fetch_and_add st.ctrs.bytes_out (String.length frame));
               Mutex.lock link.lock;
-              ignore (Queue.pop link.queue);
+              Lanes.drop link.lanes lane;
               Mutex.unlock link.lock
           | exception (Unix.Unix_error _ | Sys_error _) ->
               drop_connection link));
@@ -318,6 +356,7 @@ let acceptor_loop st classify_hello decode_peer on_client =
           | fd, _ ->
               (try Unix.setsockopt fd Unix.TCP_NODELAY true
                with Unix.Unix_error _ -> ());
+              set_send_timeout fd;
               Mutex.lock st.accepted_lock;
               st.accepted := fd :: !(st.accepted);
               Mutex.unlock st.accepted_lock;
@@ -337,10 +376,13 @@ let acceptor_loop st classify_hello decode_peer on_client =
 let create (type msg) ~me ~addrs ~listener ~hello ~classify_hello
     ~(decode_peer : src:int -> Codec.frame -> msg option)
     ~(encode_peer : msg -> string) ?on_client ?(max_queue = 4096)
-    ?(backoff_min_us = 20_000) ?(backoff_max_us = 1_000_000)
-    ?(log = fun s -> prerr_endline s) () : msg Runtime.Transport_intf.t =
+    ?(max_lane_bytes = 4 lsl 20) ?(lane_of : (msg -> Lanes.lane) option)
+    ?(write_stall_us = 2_000_000) ?(backoff_min_us = 20_000)
+    ?(backoff_max_us = 1_000_000) ?(log = fun s -> prerr_endline s) () :
+    msg Runtime.Transport_intf.t =
   let n = Array.length addrs in
   if me < 0 || me >= n then invalid_arg "Tcp_transport.create: me out of range";
+  let lane_of = match lane_of with Some f -> f | None -> fun _ -> Lanes.Data in
   let st =
     {
       me;
@@ -353,7 +395,9 @@ let create (type msg) ~me ~addrs ~listener ~hello ~classify_hello
         Array.init n (fun dst ->
             {
               dst;
-              queue = Queue.create ();
+              lanes =
+                Lanes.create ~max_data_frames:max_queue
+                  ~max_data_bytes:max_lane_bytes ~size_of:String.length ();
               lock = Mutex.create ();
               cond = Condition.create ();
               fd = None;
@@ -369,11 +413,13 @@ let create (type msg) ~me ~addrs ~listener ~hello ~classify_hello
           bytes_in = Atomic.make 0;
           disconnected_us = Atomic.make 0;
           queue_hwm = Atomic.make 0;
+          ctrl_hwm = Atomic.make 0;
+          lane_shed = Atomic.make 0;
         };
       stopping = Atomic.make false;
       accepted = ref [];
       accepted_lock = Mutex.create ();
-      max_queue;
+      write_stall_us;
       backoff_min_us;
       backoff_max_us;
       log;
@@ -397,17 +443,37 @@ let create (type msg) ~me ~addrs ~listener ~hello ~classify_hello
       invalid_arg "Tcp_transport.send: dst out of range"
     else begin
       let frame = encode_peer msg in
+      let lane = lane_of msg in
       let link = st.links.(dst) in
       Mutex.lock link.lock;
-      if Queue.length link.queue >= st.max_queue then begin
-        ignore (Queue.pop link.queue);
-        Atomic.incr st.ctrs.dropped
-      end;
-      Queue.push frame link.queue;
-      let depth = Queue.length link.queue in
+      let shed = Lanes.push link.lanes lane frame in
+      let ctrl_depth = Lanes.ctrl_length link.lanes in
+      let data_depth = Lanes.data_length link.lanes in
       Condition.signal link.cond;
       Mutex.unlock link.lock;
-      atomic_max st.ctrs.queue_hwm depth
+      if shed > 0 then begin
+        ignore (Atomic.fetch_and_add st.ctrs.dropped shed);
+        ignore (Atomic.fetch_and_add st.ctrs.lane_shed shed);
+        if Obs.Recorder.active () then
+          for _ = 1 to shed do
+            Obs.Recorder.emit ~pid:me ~kind:Obs.Event.Shed ~trace
+              ~a:Obs.Event.shed_queue ~b:dst ()
+          done
+      end;
+      let prev_ctrl = Atomic.get st.ctrs.ctrl_hwm in
+      let prev_data = Atomic.get st.ctrs.queue_hwm in
+      atomic_max st.ctrs.ctrl_hwm ctrl_depth;
+      atomic_max st.ctrs.queue_hwm data_depth;
+      (* Sample lane depths into the trace only when a lane sets a new
+         high-water mark — a counter per send would double event volume. *)
+      if Obs.Recorder.active () then begin
+        if ctrl_depth > prev_ctrl then
+          Obs.Recorder.emit ~pid:me ~kind:Obs.Event.Queue_depth
+            ~a:Obs.Event.lane_ctrl ~b:ctrl_depth ();
+        if data_depth > prev_data then
+          Obs.Recorder.emit ~pid:me ~kind:Obs.Event.Queue_depth
+            ~a:Obs.Event.lane_data ~b:data_depth ()
+      end
     end
   in
   let post ~src ~dst:_ msg =
@@ -427,6 +493,8 @@ let create (type msg) ~me ~addrs ~listener ~hello ~classify_hello
             bytes_in = Atomic.get st.ctrs.bytes_in;
             disconnected_us = Atomic.get st.ctrs.disconnected_us;
             queue_hwm = Atomic.get st.ctrs.queue_hwm;
+            ctrl_hwm = Atomic.get st.ctrs.ctrl_hwm;
+            lane_shed = Atomic.get st.ctrs.lane_shed;
           };
     }
   in

@@ -21,12 +21,25 @@
     attempt beyond a link's first is counted in
     {!Runtime.Transport_intf.link_stats.reconnects}.  The frame being
     written when a connection fails is retransmitted after reconnecting
-    (the receiver discards the truncated copy at EOF); frames queued while
-    a peer is down are kept up to [max_queue] per link, then shed
-    oldest-first and counted as dropped.  As in the paper's model the
-    links are FIFO; across a crash/reconnect, delivery is not guaranteed —
-    Algorithm 1 assumes reliable links, and a run that loses frames is
-    caught by the post-hoc linearizability check.
+    (the receiver discards the truncated copy at EOF).
+
+    Overload: each link's write queue is a two-lane priority queue
+    ({!Lanes}).  [lane_of] classifies each outgoing message; control
+    frames (heartbeats, sync probes, catch-up) always preempt data frames,
+    so the failure detector and ε estimator stay live at saturation.  The
+    data lane is bounded ([max_queue] frames and [max_lane_bytes] bytes
+    per link); overflow sheds oldest-first, counted in [dropped] and
+    [lane_shed] and emitted as [Obs.Event.Shed] events — never silent.
+    Within a lane the links stay FIFO, as in the paper's model; across a
+    crash/reconnect or a shed, delivery is not guaranteed — Algorithm 1
+    assumes reliable links, and a run that loses frames is caught by the
+    post-hoc linearizability check.
+
+    Every socket carries a bounded send timeout, so a writer blocked
+    against a dead peer's full kernel buffer observes transport shutdown
+    within one timeout slice (and gives up on the connection after
+    [write_stall_us], falling back to the reconnect path) instead of
+    relying on reconnect backoff alone.
 
     [post] and [recv] are purely local (the process's own mailbox), as in
     the bus transport. *)
@@ -71,6 +84,9 @@ val create :
   encode_peer:('msg -> string) ->
   ?on_client:(first:Codec.frame -> client_conn -> unit) ->
   ?max_queue:int ->
+  ?max_lane_bytes:int ->
+  ?lane_of:('msg -> Lanes.lane) ->
+  ?write_stall_us:int ->
   ?backoff_min_us:int ->
   ?backoff_max_us:int ->
   ?log:(string -> unit) ->
@@ -88,6 +104,10 @@ val create :
     connection until it returns; invocations may block there without
     stalling peer traffic.
 
-    Defaults: [max_queue] 4096 frames/link, backoff 20 ms → 1 s, [log]
-    writes to [stderr].  [close] shuts down every socket and joins the
-    acceptor and writer threads. *)
+    [lane_of] assigns each message a {!Lanes.lane}; when omitted every
+    message rides the (bounded) data lane.
+
+    Defaults: [max_queue] 4096 frames/link, [max_lane_bytes] 4 MiB/link,
+    [write_stall_us] 2 s, backoff 20 ms → 1 s, [log] writes to [stderr].
+    [close] shuts down every socket and joins the acceptor and writer
+    threads. *)

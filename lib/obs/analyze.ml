@@ -34,6 +34,9 @@ type report = {
   quorum_spans : int;
   sync_rounds : int;
   measured_eps_us : int option;
+  sheds : (string * int) list;
+  shed_spans : int;
+  lane_hwm : (string * int) list;
 }
 
 let bound_us (p : Core.Params.t) cls =
@@ -118,7 +121,22 @@ let quorum_windows events =
 let overlaps ~t_inv ~t_resp (_, from_us, until_us) =
   t_inv <= until_us && t_resp >= from_us
 
-let check_span ~params ~grace_us ~windows ~qwindows ~timelines (s : Span.t) =
+(* Traces that were shed at least once: the op still completed (the client
+   replayed it), but its interval includes refusal round-trips and backoff
+   the model's bounds never priced in — the lateness is the protection
+   layer working, not a timing violation.  The sheds themselves are counted
+   separately in the report, so nothing is silently dropped. *)
+let shed_traces events =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Event.t) ->
+      if e.kind = Event.Shed && e.trace <> 0 then
+        Hashtbl.replace tbl e.trace ())
+    events;
+  tbl
+
+let check_span ~params ~grace_us ~windows ~qwindows ~timelines ~shed (s : Span.t)
+    =
   let inside (from_us, until_us) = s.t_inv >= from_us && s.t_inv <= until_us in
   let in_quorum = List.exists inside qwindows in
   (* Measured skew takes precedence over the configured ε whenever the
@@ -152,7 +170,9 @@ let check_span ~params ~grace_us ~windows ~qwindows ~timelines (s : Span.t) =
             List.find_opt (overlaps ~t_inv:s.t_inv ~t_resp) windows
           with
           | Some (label, _, _) -> Excused label
-          | None -> Violated (lat - bound - grace_us))
+          | None ->
+              if Hashtbl.mem shed s.trace then Excused "shed"
+              else Violated (lat - bound - grace_us))
   in
   { span = s; bound_us = bound; verdict }
 
@@ -208,8 +228,11 @@ let check ~params ?(grace_us = 0) ?(windows = []) events =
   let spans = Span.assemble events in
   let qwindows = quorum_windows events in
   let timelines = sync_eps_timelines events in
+  let shed = shed_traces events in
   let checked =
-    List.map (check_span ~params ~grace_us ~windows ~qwindows ~timelines) spans
+    List.map
+      (check_span ~params ~grace_us ~windows ~qwindows ~timelines ~shed)
+      spans
   in
   let classes =
     List.sort_uniq compare (List.map (fun (s : Span.t) -> s.cls) spans)
@@ -261,6 +284,33 @@ let check ~params ?(grace_us = 0) ?(windows = []) events =
               match acc with None -> Some e | Some m -> Some (max m e))
             acc samples)
         None timelines;
+    sheds =
+      (let per_reason = Array.make 3 0 in
+       List.iter
+         (fun (e : Event.t) ->
+           if e.kind = Event.Shed then
+             let r = if e.a >= 0 && e.a < 3 then e.a else 2 in
+             per_reason.(r) <- per_reason.(r) + 1)
+         events;
+       List.filter_map
+         (fun r ->
+           if per_reason.(r) = 0 then None
+           else Some (Event.shed_reason_name r, per_reason.(r)))
+         [ 0; 1; 2 ]);
+    shed_spans =
+      List.length (List.filter (fun c -> c.verdict = Excused "shed") checked);
+    lane_hwm =
+      (let hwm = Array.make 2 0 in
+       List.iter
+         (fun (e : Event.t) ->
+           if e.kind = Event.Queue_depth then
+             let l = if e.a = Event.lane_ctrl then 0 else 1 in
+             hwm.(l) <- max hwm.(l) e.b)
+         events;
+       List.filter_map
+         (fun l ->
+           if hwm.(l) = 0 then None else Some (Event.lane_name l, hwm.(l)))
+         [ 0; 1 ]);
   }
 
 let pp_verdict ppf = function
@@ -305,6 +355,23 @@ let pp_report ppf r =
       (if r.suspect_transitions = 1 then "" else "s")
       r.quorum_spans
       (if r.quorum_spans = 1 then "" else "s");
+  (if r.sheds <> [] || r.lane_hwm <> [] then
+     let total = List.fold_left (fun k (_, c) -> k + c) 0 r.sheds in
+     Format.fprintf ppf
+       "overload: %d shed event%s (%s)%s; %d completed span%s excused as \
+        shed-then-retried@,"
+       total
+       (if total = 1 then "" else "s")
+       (String.concat ", "
+          (List.map (fun (w, c) -> Printf.sprintf "%s=%d" w c) r.sheds))
+       (match r.lane_hwm with
+       | [] -> ""
+       | hwm ->
+           "; lane hwm "
+           ^ String.concat ", "
+               (List.map (fun (l, d) -> Printf.sprintf "%s=%d" l d) hwm))
+       r.shed_spans
+       (if r.shed_spans = 1 then "" else "s"));
   (match r.measured_eps_us with
   | None -> ()
   | Some m ->

@@ -68,6 +68,17 @@ type report = {
       (** max achieved ε over every replica's sync rounds; [None] when the
           stream carries no [Sync_eps] events (bounds then use the
           configured ε) *)
+  sheds : (string * int) list;
+      (** [Shed] events by reason ("deadline" / "admission" / "queue");
+          only non-zero reasons appear.  Sheds are refusals, not losses:
+          the op was never executed, and an idempotent client replays it *)
+  shed_spans : int;
+      (** completed spans excused from bound checks because their trace was
+          shed at least once — the interval includes refusal round-trips
+          and client backoff the model's bounds never priced in *)
+  lane_hwm : (string * int) list;
+      (** per-lane ("ctrl" / "data") peak transport queue depth, from
+          [Queue_depth] events; empty when the transport emitted none *)
 }
 
 val bound_us : Core.Params.t -> int -> int

@@ -17,6 +17,8 @@ type kind =
   | Suspect
   | Sync_probe
   | Sync_eps
+  | Shed
+  | Queue_depth
 
 let kind_code = function
   | Invoke -> 0
@@ -37,6 +39,8 @@ let kind_code = function
   | Suspect -> 15
   | Sync_probe -> 16
   | Sync_eps -> 17
+  | Shed -> 18
+  | Queue_depth -> 19
 
 let kind_of_code = function
   | 0 -> Some Invoke
@@ -57,6 +61,8 @@ let kind_of_code = function
   | 15 -> Some Suspect
   | 16 -> Some Sync_probe
   | 17 -> Some Sync_eps
+  | 18 -> Some Shed
+  | 19 -> Some Queue_depth
   | _ -> None
 
 let kind_name = function
@@ -78,6 +84,8 @@ let kind_name = function
   | Suspect -> "suspect"
   | Sync_probe -> "sync_probe"
   | Sync_eps -> "sync_eps"
+  | Shed -> "shed"
+  | Queue_depth -> "queue_depth"
 
 let class_mutator = 0
 let class_accessor = 1
@@ -92,6 +100,19 @@ let class_name = function
   | 0 -> "mutator"
   | 1 -> "accessor"
   | _ -> "other"
+
+let shed_deadline = 0
+let shed_admission = 1
+let shed_queue = 2
+
+let shed_reason_name = function
+  | 0 -> "deadline"
+  | 1 -> "admission"
+  | _ -> "queue"
+
+let lane_ctrl = 0
+let lane_data = 1
+let lane_name = function 0 -> "ctrl" | _ -> "data"
 
 type t = { t_us : int; pid : int; kind : kind; trace : int; a : int; b : int }
 

@@ -57,6 +57,17 @@ type kind =
           age-widened uncertainty), [b] = peers contributing.  The
           analyzer interpolates these per pid to attribute bounds against
           the measured skew instead of the configured one. *)
+  | Shed
+      (** overload protection refused or abandoned work instead of doing
+          it late. [a] = reason code ({!shed_deadline} the op's deadline
+          had already passed, {!shed_admission} the admission controller
+          predicted a deadline miss or the inflight budget was full,
+          {!shed_queue} a full data-lane write queue dropped a frame),
+          [b] = shard (deadline/admission) or destination pid (queue). *)
+  | Queue_depth
+      (** ambient write-queue depth sample from the two-lane transport.
+          [a] = lane code ({!lane_ctrl} or {!lane_data}), [b] = depth in
+          frames. *)
 
 val kind_code : kind -> int
 val kind_of_code : int -> kind option
@@ -70,6 +81,16 @@ val class_other : int
 
 val class_code : Spec.Data_type.kind -> int
 val class_name : int -> string
+
+(** Reason codes carried in [Shed.a] and lane codes in [Queue_depth.a]. *)
+
+val shed_deadline : int
+val shed_admission : int
+val shed_queue : int
+val shed_reason_name : int -> string
+val lane_ctrl : int
+val lane_data : int
+val lane_name : int -> string
 
 type t = {
   t_us : int;  (** microseconds since the recorder's epoch *)

@@ -84,6 +84,31 @@ let chrome ~(report : Analyze.report) ~events =
               ( "args",
                 Printf.sprintf "{\"extra_us\":%d}" e.b );
             ]
+      | Event.Shed ->
+          add_event buf ~first
+            [
+              ("name", str ("shed:" ^ Event.shed_reason_name e.a));
+              ("cat", str "overload");
+              ("ph", str "i");
+              ("ts", string_of_int e.t_us);
+              ("pid", string_of_int e.pid);
+              ("tid", string_of_int 2);
+              ("s", str "p");
+              ( "args",
+                Printf.sprintf "{\"trace\":%s,\"target\":%d}"
+                  (str (Printf.sprintf "%x" e.trace))
+                  e.b );
+            ]
+      | Event.Queue_depth ->
+          add_event buf ~first
+            [
+              ("name", str ("lane:" ^ Event.lane_name e.a));
+              ("cat", str "overload");
+              ("ph", str "C");
+              ("ts", string_of_int e.t_us);
+              ("pid", string_of_int e.pid);
+              ("args", Printf.sprintf "{\"depth\":%d}" e.b);
+            ]
       | Event.Mbox_depth | Event.Deliver ->
           add_event buf ~first
             [
@@ -181,6 +206,19 @@ let prometheus ~(report : Analyze.report) ?recorder () =
   (match report.Analyze.measured_eps_us with
   | Some m -> line "timebounds_sync_eps_us{source=\"measured\"} %d" m
   | None -> ());
+  header "timebounds_shed_total" "counter"
+    "operations refused by overload protection, by reason";
+  List.iter
+    (fun (reason, count) ->
+      line "timebounds_shed_total{reason=\"%s\"} %d" reason count)
+    report.Analyze.sheds;
+  if report.Analyze.sheds = [] then line "timebounds_shed_total 0";
+  header "timebounds_queue_depth" "gauge"
+    "peak transport write-queue depth per lane (frames)";
+  List.iter
+    (fun (lane, depth) ->
+      line "timebounds_queue_depth{lane=\"%s\"} %d" lane depth)
+    report.Analyze.lane_hwm;
   header "timebounds_recorder_events_total" "counter"
     "events recorded and dropped by the ring";
   (match recorder with

@@ -105,7 +105,8 @@ module Make (D : Spec.Data_type.S) = struct
       }
     | Quorum_msg of qwire
     | Sync_msg of swire
-    | Invoke of D.op * int * int * cell  (** op, trace, op id, cell *)
+    | Invoke of D.op * int * int * int * cell
+        (** op, trace, op id, deadline (absolute µs, 0 = none), cell *)
     | Crash_now
     | Recover_now
     | Snap_req of (snapshot_view -> unit)
@@ -224,7 +225,8 @@ module Make (D : Spec.Data_type.S) = struct
         (** cell, op, invoke_us, seq, trace *)
     mutable inflight_ts : Prelude.Stamp.t;
         (** stamp of the in-flight fast-path op (what the gate keys on) *)
-    backlog : (D.op * int * int * cell) Queue.t;  (** op, trace, op id, cell *)
+    backlog : (D.op * int * int * int * cell) Queue.t;
+        (** op, trace, op id, deadline, cell *)
     mutable next_seq : int;
     mutable records : record list;  (** reversed *)
     (* -- recovery machinery (only exercised when [rec_mode] is [Some]) -- *)
@@ -720,7 +722,7 @@ module Make (D : Spec.Data_type.S) = struct
       | None -> ()
       | Some (cell, _, _, _, _) -> fill cell (Rejected why));
       ls.inflight <- None;
-      Queue.iter (fun (_, _, _, cell) -> fill cell (Rejected why)) ls.backlog;
+      Queue.iter (fun (_, _, _, _, cell) -> fill cell (Rejected why)) ls.backlog;
       Queue.clear ls.backlog
     and enter_quorum f ~epoch ~sequencer =
       Quorum.Log.reset f.qlog ~epoch;
@@ -793,7 +795,7 @@ module Make (D : Spec.Data_type.S) = struct
             in
             leave_quorum f ~epoch
           end
-    and submit op trace op_id cell =
+    and submit op trace op_id deadline cell =
       match dedup_check op op_id with
       | Some ((Done r as outcome), invoke_us) ->
           (* A replay answered from the dedup table is a client-visible
@@ -814,17 +816,32 @@ module Make (D : Spec.Data_type.S) = struct
       | Some (outcome, _) -> fill cell outcome
       | None ->
           if ls.inflight <> None then
-            Queue.push (op, trace, op_id, cell) ls.backlog
+            Queue.push (op, trace, op_id, deadline, cell) ls.backlog
           else (
             match fb with
             | Some f when in_quorum f -> start_quorum_invoke f op trace op_id cell
             | _ -> start_invoke op trace op_id cell)
+    and shed_expired trace cell =
+      (* The deadline already passed: doing the work now is dead work the
+         client stopped waiting for — refuse it (visibly, as a counted
+         [Shed] event) instead of adding it to the queue ahead of ops that
+         can still meet theirs.  The op was never executed, so the
+         idempotent retry path is always safe. *)
+      Obs.Recorder.emit ~pid ~kind:Obs.Event.Shed ~trace
+        ~a:Obs.Event.shed_deadline ();
+      fill cell (Rejected "shed: deadline passed")
     and next_from_backlog () =
       if ls.inflight = None && ls.mode = Up && not (Queue.is_empty ls.backlog)
       then begin
-        let op, trace, op_id, cell = Queue.pop ls.backlog in
-        submit op trace op_id cell;
-        next_from_backlog ()
+        let op, trace, op_id, deadline, cell = Queue.pop ls.backlog in
+        if deadline > 0 && Prelude.Mclock.now_us () > deadline then begin
+          shed_expired trace cell;
+          next_from_backlog ()
+        end
+        else begin
+          submit op trace op_id deadline cell;
+          next_from_backlog ()
+        end
       end
     and fire_alg_timer t ttrace =
       let st', actions = Alg.on_timer cfg ls.st ~clock:(clock ()) t in
@@ -1075,7 +1092,7 @@ module Make (D : Spec.Data_type.S) = struct
       | None -> ()
       | Some (cell, _, _, _, _) -> fill cell Cancelled);
       ls.inflight <- None;
-      Queue.iter (fun (_, _, _, cell) -> fill cell Cancelled) ls.backlog;
+      Queue.iter (fun (_, _, _, _, cell) -> fill cell Cancelled) ls.backlog;
       Queue.clear ls.backlog;
       List.rev ls.records
     in
@@ -1181,16 +1198,19 @@ module Make (D : Spec.Data_type.S) = struct
                       ~b:(((t_rx - t0) + (t_tx - t1)) / 2)
                       ()));
           loop ()
-      | Some (_, Invoke (op, trace, op_id, cell)) ->
-          (match fb with
-          | Some _ when ls.mode = Down ->
-              fill cell (Rejected "retry: replica down")
-          | Some f when Quorum.Mode_controller.stalled f.mc ->
-              fill cell (Rejected "retry: minority stall")
-          | _ ->
-              if ls.mode <> Up then
-                Queue.push (op, trace, op_id, cell) ls.backlog
-              else submit op trace op_id cell);
+      | Some (_, Invoke (op, trace, op_id, deadline, cell)) ->
+          (if deadline > 0 && Prelude.Mclock.now_us () > deadline then
+             shed_expired trace cell
+           else
+             match fb with
+             | Some _ when ls.mode = Down ->
+                 fill cell (Rejected "retry: replica down")
+             | Some f when Quorum.Mode_controller.stalled f.mc ->
+                 fill cell (Rejected "retry: minority stall")
+             | _ ->
+                 if ls.mode <> Up then
+                   Queue.push (op, trace, op_id, deadline, cell) ls.backlog
+                 else submit op trace op_id deadline cell);
           loop ()
       | Some (_, Crash_now) ->
           (match (ls.rec_mode, fb) with
@@ -1477,12 +1497,12 @@ module Make (D : Spec.Data_type.S) = struct
       node_stopped = false;
     }
 
-  let invoke_on ?(trace = 0) ?(op_id = 0) transport ~pid op =
+  let invoke_on ?(trace = 0) ?(op_id = 0) ?(deadline = 0) transport ~pid op =
     let cell =
       { mutex = Mutex.create (); cond = Condition.create (); value = Pending }
     in
     Transport_intf.post transport ~src:pid ~dst:pid
-      (Invoke (op, trace, op_id, cell));
+      (Invoke (op, trace, op_id, deadline, cell));
     Mutex.lock cell.mutex;
     while cell.value = Pending do
       Condition.wait cell.cond cell.mutex
@@ -1495,8 +1515,8 @@ module Make (D : Spec.Data_type.S) = struct
     | Rejected why -> raise (Retry_later why)
     | Pending -> assert false
 
-  let node_invoke ?trace ?op_id node op =
-    invoke_on ?trace ?op_id node.node_transport ~pid:node.node_pid op
+  let node_invoke ?trace ?op_id ?deadline node op =
+    invoke_on ?trace ?op_id ?deadline node.node_transport ~pid:node.node_pid op
 
   let node_stop node =
     if node.node_stopped then []

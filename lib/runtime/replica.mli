@@ -246,11 +246,13 @@ module Make (D : Spec.Data_type.S) : sig
       slew-corrected clock and measures its achieved ε over the wire
       (see the module docs and DESIGN.md §14). *)
 
-  val node_invoke : ?trace:int -> ?op_id:int -> node -> D.op -> D.result
+  val node_invoke :
+    ?trace:int -> ?op_id:int -> ?deadline:int -> node -> D.op -> D.result
   (** Synchronous client call on this node; queued behind any pending
       operation (the model allows one per process).  [trace] tags every
       [Obs] event and outgoing message of this operation; [op_id] is the
-      idempotence key (see {!invoke_on}).  @raise Stopped if the node
+      idempotence key (see {!invoke_on}); [deadline] the op's absolute
+      deadline (see {!invoke_on}).  @raise Stopped if the node
       shuts down first.  @raise Retry_later if a replay must back off. *)
 
   val node_stop : node -> record list
@@ -261,12 +263,17 @@ module Make (D : Spec.Data_type.S) : sig
   val node_elapsed_us : node -> int
 
   val invoke_on :
-    ?trace:int -> ?op_id:int -> event Transport_intf.t -> pid:int -> D.op ->
-    D.result
+    ?trace:int -> ?op_id:int -> ?deadline:int -> event Transport_intf.t ->
+    pid:int -> D.op -> D.result
   (** Synchronous client call posted straight to a transport — what
       [Net.Serve] uses.  [op_id] (default 0 = none) identifies the client
       operation for idempotent retries: invoking twice with the same id
-      executes once.  @raise Retry_later if a replay must back off;
+      executes once.  [deadline] (default 0 = none) is the op's absolute
+      deadline in µs on the {!Prelude.Mclock} timeline: a replica sheds
+      an op whose deadline already passed — at arrival or when it surfaces
+      from the backlog — with [Retry_later "shed: ..."] and a counted
+      [Obs.Event.Shed] event, instead of doing dead work.
+      @raise Retry_later if a replay must back off or the op was shed;
       @raise Stopped if the replica shuts down first. *)
 
   val post_crash : event Transport_intf.t -> pid:int -> unit

@@ -31,8 +31,16 @@ type link_stats = {
           not have, summed over links — the raw material for attributing an
           UNCHECKED verdict to a partition rather than to checker limits *)
   queue_hwm : int;
-      (** high-water mark of the per-link write queues (frames), max over
-          links — how close a wedged peer came to the drop-oldest cap *)
+      (** high-water mark of the per-link data-lane write queues (frames),
+          max over links — how close a wedged peer came to the shed cap *)
+  ctrl_hwm : int;
+      (** high-water mark of the per-link control-lane write queues
+          (frames), max over links — the lane heartbeats, mode
+          announcements, sync probes, and catch-up ride; it preempts the
+          data lane so this should stay near zero even at saturation *)
+  lane_shed : int;
+      (** frames shed from full data lanes, summed over links — counted
+          overload, never silent (each shed also emits an Obs event) *)
 }
 
 type stats = {
@@ -90,6 +98,8 @@ let no_links =
     bytes_in = 0;
     disconnected_us = 0;
     queue_hwm = 0;
+    ctrl_hwm = 0;
+    lane_shed = 0;
   }
 
 let pp_stats fmt s =
@@ -101,4 +111,6 @@ let pp_stats fmt s =
         l.reconnects l.bytes_out l.bytes_in;
       if l.disconnected_us > 0 then
         Format.fprintf fmt " disconnected=%dµs" l.disconnected_us;
-      if l.queue_hwm > 0 then Format.fprintf fmt " queue_hwm=%d" l.queue_hwm
+      if l.queue_hwm > 0 then Format.fprintf fmt " queue_hwm=%d" l.queue_hwm;
+      if l.ctrl_hwm > 0 then Format.fprintf fmt " ctrl_hwm=%d" l.ctrl_hwm;
+      if l.lane_shed > 0 then Format.fprintf fmt " lane_shed=%d" l.lane_shed

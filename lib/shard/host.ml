@@ -241,6 +241,19 @@ module Make (W : Net.Wire.WIRED) = struct
               C.Pong { seq; t0; t_rx; t_tx; shard })
     | None -> invalid_arg "Host.encode_peer: local event on the wire"
 
+  (* Same lane policy as [Net.Serve], applied to the multiplexed (shard,
+     event) frames: control traffic (heartbeats, sync probes, catch-up)
+     preempts data so every shard's failure detector stays live when one
+     shard's load saturates the shared links. *)
+  let lane_of (_shard, ev) =
+    match R.wire_view ev with
+    | Some (R.Wire_quorum (R.Hb _))
+    | Some (R.Wire_sync _)
+    | Some (R.Wire_catchup_req _)
+    | Some (R.Wire_catchup_rep _) ->
+        Net.Lanes.Ctrl
+    | Some _ | None -> Net.Lanes.Data
+
   (* Shard [k]'s view of the shared transport.  [send] rides the real
      links with the shard tag; [post]/[recv]/[depth] are the shard's own
      mailbox (the dispatcher feeds it); [close] is a no-op — the host owns
@@ -294,23 +307,61 @@ module Make (W : Net.Wire.WIRED) = struct
           Prelude.Mclock.sleep_us 1_000;
           the_facades ()
     in
+    (* One admission controller per shard: shards have independent service
+       rates (their own nodes, stores, quorum modes), so one saturated
+       shard sheds without starving its siblings' budgets. *)
+    let admissions =
+      Array.init cfg.shards (fun _ -> Net.Admission.create ())
+    in
     let on_client ~first conn =
       let reply msg = Net.Tcp_transport.conn_write conn (C.encode msg) in
       let handle_frame frame =
         match C.decode_payload frame with
-        | Ok (C.Invoke { op; trace; op_id; shard }) -> (
+        | Ok (C.Invoke { op; trace; op_id; shard; deadline }) -> (
             if shard < 0 || shard >= cfg.shards then
               reply
                 (C.Error_msg
                    (Printf.sprintf "no shard %d here (host has %d)" shard
                       cfg.shards))
             else
-              let facades = the_facades () in
-              match R.invoke_on ~trace ~op_id facades.(shard) ~pid:cfg.pid op with
-              | r -> reply (C.Result { result = r; shard })
-              | exception R.Stopped -> reply (C.Error_msg "replica stopped")
-              | exception R.Retry_later why ->
-                  reply (C.Error_msg ("retry: " ^ why)))
+              let now = Prelude.Mclock.now_us () in
+              if deadline > 0 && now > deadline then begin
+                Obs.Recorder.emit ~pid:cfg.pid ~kind:Obs.Event.Shed ~trace
+                  ~a:Obs.Event.shed_deadline ~b:shard ();
+                reply (C.Shed { reason = "shed: deadline passed"; shard })
+              end
+              else
+                match
+                  Net.Admission.try_admit admissions.(shard) ~now_us:now
+                    ~deadline_us:deadline
+                with
+                | Net.Admission.Shed reason ->
+                    Obs.Recorder.emit ~pid:cfg.pid ~kind:Obs.Event.Shed ~trace
+                      ~a:Obs.Event.shed_admission ~b:shard ();
+                    reply (C.Shed { reason; shard })
+                | Net.Admission.Admitted -> (
+                    let facades = the_facades () in
+                    let finish () =
+                      Net.Admission.finish admissions.(shard)
+                        ~elapsed_us:(Prelude.Mclock.now_us () - now)
+                    in
+                    match
+                      R.invoke_on ~trace ~op_id ~deadline facades.(shard)
+                        ~pid:cfg.pid op
+                    with
+                    | r ->
+                        finish ();
+                        reply (C.Result { result = r; shard })
+                    | exception R.Stopped ->
+                        finish ();
+                        reply (C.Error_msg "replica stopped")
+                    | exception R.Retry_later why ->
+                        finish ();
+                        if
+                          String.length why >= 4
+                          && String.sub why 0 4 = "shed"
+                        then reply (C.Shed { reason = why; shard })
+                        else reply (C.Error_msg ("retry: " ^ why))))
         | Ok C.Stats_req ->
             let stats =
               match !facades_ref with
@@ -355,7 +406,7 @@ module Make (W : Net.Wire.WIRED) = struct
         ~hello:(C.encode (C.Hello (hello_of cfg)))
         ~classify_hello:(classify_hello cfg)
         ~decode_peer:(decode_peer ~shards:cfg.shards ~me:cfg.pid)
-        ~encode_peer ~on_client ~log:cfg.log ()
+        ~encode_peer ~on_client ~lane_of ~log:cfg.log ()
     in
     let mboxes = Array.init cfg.shards (fun _ -> Runtime.Mailbox.create ()) in
     (* The dispatcher is the only consumer of the shared transport's

@@ -135,8 +135,8 @@ type worker_out = {
 }
 
 let worker_round ~host ~ports ~dir ~zipf ~origin_us ~abort ?(resilient = false)
-    ?(traced = false) ?(windows = []) ?mint ?timeout_us rng ~mix ~total ~quota
-    ~wid =
+    ?(traced = false) ?(windows = []) ?mint ?timeout_us
+    ?(deadline_budget_us = 0) rng ~mix ~total ~quota ~wid =
   let hists : (int, Runtime.Histogram.t array) Hashtbl.t = Hashtbl.create 16 in
   let hists_for shard =
     match Hashtbl.find_opt hists shard with
@@ -185,6 +185,11 @@ let worker_round ~host ~ports ~dir ~zipf ~origin_us ~abort ?(resilient = false)
     let trace = if traced then Obs.Trace_id.fresh ~origin:shard else 0 in
     let op_id = match mint with None -> 0 | Some m -> m () in
     let t0 = Prelude.Mclock.now_us () in
+    (* Minted once per operation, re-sent unchanged on every retry. *)
+    let deadline =
+      if deadline_budget_us > 0 then t0 + deadline_budget_us else 0
+    in
+    let shed e = String.length e >= 4 && String.sub e 0 4 = "shed" in
     let rec attempt pid backoff tries =
       match get_conn pid with
       | Error e ->
@@ -195,10 +200,13 @@ let worker_round ~host ~ports ~dir ~zipf ~origin_us ~abort ?(resilient = false)
           end
           else Error e
       | Ok c -> (
-          match Cl.invoke ~trace ~op_id ~shard ?timeout_us c op with
+          match Cl.invoke ~trace ~op_id ~shard ~deadline ?timeout_us c op with
           | Ok r -> Ok r
           | Error e
             when op_id <> 0 && Cl.retryable e && tries < 25
+                 && ((not (shed e))
+                    || deadline = 0
+                    || Prelude.Mclock.now_us () < deadline)
                  && not (Atomic.get abort) ->
               drop_conn pid;
               Prelude.Mclock.sleep_us
@@ -246,7 +254,8 @@ type drive_out = {
 }
 
 let drive_rounds ~host ~ports ~dir ~zipf ~epoch ~abort ~resilient ~traced
-    ~windows ~mint ~timeout_us ~workers ~round ~mix ~total ~ops rng_workers =
+    ~windows ~mint ~timeout_us ?(deadline_budget_us = 0) ~workers ~round ~mix
+    ~total ~ops rng_workers =
   let t0 = Prelude.Mclock.now_us () in
   let matrix : (int, Runtime.Histogram.t array) Hashtbl.t = Hashtbl.create 64 in
   let entries = ref [] in
@@ -267,8 +276,8 @@ let drive_rounds ~host ~ports ~dir ~zipf ~epoch ~abort ~resilient ~traced
           in
           Domain.spawn (fun () ->
               worker_round ~host ~ports ~dir ~zipf ~origin_us:epoch ~abort
-                ~resilient ~traced ~windows ?mint ?timeout_us mine ~mix ~total
-                ~quota:share ~wid))
+                ~resilient ~traced ~windows ?mint ?timeout_us
+                ~deadline_budget_us mine ~mix ~total ~quota:share ~wid))
     in
     List.iter
       (fun dom ->
@@ -734,15 +743,18 @@ let run ~n ~shards ~keys ~theta ~vnodes ~ring_seed ~d ~u ?eps ?(x = 0)
   | None -> ());
   let traced = trace_dir <> None in
   let op_ids = Atomic.make (((epoch land ((1 lsl 38) - 1)) lsl 24) lor 1) in
+  (* Chaos runs are idempotent like durable ones: a [flood]'s overload
+     sheds are survivable only if the client replays (same op id, same
+     deadline) once the pressure clears. *)
+  let idempotent = durable_dir <> None || plan <> None in
   let mint =
-    match durable_dir with
-    | None -> None
-    | Some _ -> Some (fun () -> Atomic.fetch_and_add op_ids 1)
+    if idempotent then Some (fun () -> Atomic.fetch_and_add op_ids 1) else None
   in
   let timeout_us =
-    match durable_dir with
-    | None -> None
-    | Some _ -> Some ((2 * (d + slack + eps)) + 2_000_000)
+    if idempotent then Some ((2 * (d + slack + eps)) + 2_000_000) else None
+  in
+  let deadline_budget_us =
+    if idempotent then (2 * (d + slack + eps)) + 4_000_000 else 0
   in
   let initials = durable_initials durable_dir ~n ~shards in
   let children =
@@ -778,8 +790,8 @@ let run ~n ~shards ~keys ~theta ~vnodes ~ring_seed ~d ~u ?eps ?(x = 0)
   in
   let out =
     drive_rounds ~host ~ports ~dir ~zipf ~epoch ~abort ~resilient ~traced
-      ~windows:fault_windows ~mint ~timeout_us ~workers ~round ~mix ~total
-      ~ops rng_workers
+      ~windows:fault_windows ~mint ~timeout_us ~deadline_budget_us ~workers
+      ~round ~mix ~total ~ops rng_workers
   in
   let replica_stats =
     Array.to_list admin

@@ -323,6 +323,85 @@ let test_seeded_runs_reproduce () =
   Alcotest.(check bool) "faults were injected" true (a <> []);
   Alcotest.(check (list string)) "canonical fault logs identical" a b
 
+(* ---- flood (overload) ---- *)
+
+let test_flood_parse_and_decide () =
+  (match Fault.Fault_plan.parse "flood(10)@0.2s-0.6s" with
+  | Ok [ r ] ->
+      Alcotest.(check bool)
+        "flood kind" true
+        (r.Fault.Fault_plan.kind = Fault.Fault_plan.Flood 10);
+      Alcotest.(check int) "window from" 200_000 r.Fault.Fault_plan.from_us;
+      Alcotest.(check int) "window until" 600_000 r.Fault.Fault_plan.until_us
+  | Ok rules -> Alcotest.failf "expected 1 rule, got %d" (List.length rules)
+  | Error e -> Alcotest.failf "parse flood: %s" e);
+  let err spec =
+    match Fault.Fault_plan.parse spec with
+    | Ok _ -> Alcotest.failf "parse %S should fail" spec
+    | Error _ -> ()
+  in
+  err "flood(0)" (* factor below 1 *);
+  err "flood(x)" (* not a number *);
+  err "flood()" (* missing factor *);
+  (* decide: ×K copies inside the window, untouched outside — and
+     deterministic (no per-message randomness to keep seeds relevant) *)
+  let p = plan_of "flood(8)@0.1s-0.3s" ~seed:4 in
+  let copies_at t =
+    (Fault.Fault_plan.decide p ~now_us:t ~src:0 ~dst:1 ~index:0)
+      .Fault.Fault_plan.copies
+  in
+  Alcotest.(check int) "before window: 1 copy" 1 (copies_at 50_000);
+  Alcotest.(check int) "inside window: K copies" 8 (copies_at 200_000);
+  Alcotest.(check int) "after window: 1 copy" 1 (copies_at 400_000);
+  (* the monitor files the whole flood window as an assumption violation *)
+  let params = Core.Params.make ~n:3 ~d:7000 ~u:6000 ~eps:400 ~x:0 () in
+  let windows =
+    Fault.Assumption_monitor.violations ~plan:p ~params ~net_d:2000
+      ~offsets:[| 0; 0; 0 |] ()
+  in
+  Alcotest.(check int) "flood window is a violation window" 1
+    (List.length windows)
+
+let fallback_cfg =
+  (* same tight detector as test_quorum: milliseconds, not seconds *)
+  { Quorum.Config.default with hb_us = 2_000; suspect_after = 25 }
+
+let test_flood_no_false_suspicions () =
+  (* ISSUE acceptance: a 3-replica cluster under ×8 message amplification
+     with the failure detector armed must keep heartbeats flowing — zero
+     false suspicions, zero mode switches — because control frames are
+     never queued behind the data flood.  The in-process transport has no
+     lanes, but the mailbox path and the detector cadence must still
+     absorb the amplification.  Sheds (if any) are retried by the
+     idempotent clients, so the run must stay linearizable or excused. *)
+  let sink, contents = Obs.Recorder.memory_sink () in
+  let rec_ = Obs.Recorder.start ~epoch_us:(Prelude.Mclock.now_us ()) ~sink () in
+  Obs.Recorder.install rec_;
+  let plan = plan_of "flood(8)@30ms-200ms" ~seed:6 in
+  let r =
+    Fault.Chaos_run.run ~workload:kv ~n:3 ~d:2000 ~u:500
+      ~fallback:fallback_cfg ~plan ~ops:200 ~seed:17 ()
+  in
+  Obs.Recorder.uninstall ();
+  Obs.Recorder.stop rec_;
+  let _, dups, _ = r.Fault.Chaos_run.injected in
+  Alcotest.(check bool) "flood actually amplified traffic" true (dups > 0);
+  let false_suspicions =
+    List.length
+      (List.filter
+         (fun (e : Obs.Event.t) -> e.kind = Obs.Event.Suspect && e.b = 1)
+         (contents ()))
+  in
+  Alcotest.(check int) "zero false suspicions under flood" 0 false_suspicions;
+  Alcotest.(check (list (triple int bool int)))
+    "no mode switches (fast path held)" []
+    r.Fault.Chaos_run.run.Runtime.Loadgen.mode_switches;
+  (match r.Fault.Chaos_run.assessment with
+  | Fault.Assumption_monitor.Genuine _ ->
+      Alcotest.fail "flood fallout misfiled as genuine"
+  | _ -> ());
+  Alcotest.(check bool) "run passes" true (Fault.Chaos_run.ok r)
+
 (* ---- assumption monitor ---- *)
 
 let test_assess_correlation () =
@@ -425,5 +504,12 @@ let () =
             test_crash_recovery_linearizable;
           Alcotest.test_case "seeded runs reproduce bit-for-bit" `Quick
             test_seeded_runs_reproduce;
+        ] );
+      ( "flood",
+        [
+          Alcotest.test_case "parse, decide, violation window" `Quick
+            test_flood_parse_and_decide;
+          Alcotest.test_case "no false suspicions under x8 flood" `Quick
+            test_flood_no_false_suspicions;
         ] );
     ]

@@ -95,7 +95,7 @@ let test_version_rejected_by_decoder () =
             msg
       | Net.Codec.Got _ | Net.Codec.Need_more _ ->
           Alcotest.failf "version %d frame must be Corrupt" v)
-    [ 1; 2; 3; 4; 5; 7; 255 ]
+    [ 1; 2; 3; 4; 5; 6; 8; 255 ]
 
 (* An old (v1) peer connecting to a live replica stack: the handshake must
    be rejected cleanly — connection closed, replica healthy for current
@@ -196,9 +196,26 @@ let msg_roundtrip_tests () =
           let shard = seed * 37 mod 1024 in
           List.for_all
             (fun (op, result) ->
-              roundtrip (C.Invoke { op; trace; op_id = seed * 31; shard })
-              && roundtrip (C.Invoke { op; trace = 0; op_id = 0; shard = 0 })
+              roundtrip
+                (C.Invoke
+                   {
+                     op;
+                     trace;
+                     op_id = seed * 31;
+                     shard;
+                     deadline = seed * 7919;
+                   })
+              && roundtrip
+                   (C.Invoke
+                      { op; trace = 0; op_id = 0; shard = 0; deadline = 0 })
               && roundtrip (C.Result { result; shard })
+              && roundtrip
+                   (C.Shed
+                      {
+                        reason =
+                          Printf.sprintf "shed: deadline unmeetable (%d)" seed;
+                        shard;
+                      })
               && roundtrip
                    (C.Entry
                       {
@@ -251,6 +268,8 @@ let msg_roundtrip_tests () =
                           bytes_in = seed * 5;
                           disconnected_us = seed * 7;
                           queue_hwm = seed mod 4096;
+                          ctrl_hwm = seed mod 64;
+                          lane_shed = seed mod 17;
                         };
                   })
           && roundtrip (C.Error_msg "boom")
@@ -543,9 +562,120 @@ let test_client_retry_classification () =
       "connection lost";
       "connection closed by replica";
       "replica error: retry: operation 7 in flight";
+      "shed: inflight budget full (64/64)";
+      "shed: deadline passed";
     ];
   Alcotest.(check bool) "semantic errors are not retryable" false
     (Cl.retryable "replica error: unknown op")
+
+(* ---- overload protection: lanes + admission ---- *)
+
+(* Random pushes/pops against the two-lane queue.  Frames are (id, bytes);
+   the checks are the queue's contract, not a re-implementation of its
+   shed policy:
+   - a data frame is never served while control frames are queued;
+   - within each lane, popped ids are strictly increasing (FIFO survives
+     even shedding, which only ever removes the *oldest* data frames);
+   - the data lane never exceeds its frame or byte bound;
+   - conservation — every pushed frame is popped, still queued, or
+     counted shed; control is never shed. *)
+let lanes_priority_and_bounds =
+  QCheck.Test.make ~count:400
+    ~name:"lanes: ctrl never behind data, bounds hold, sheds counted"
+    QCheck.(list_of_size Gen.(1 -- 150) (pair bool (int_bound 3)))
+    (fun ops ->
+      let max_frames = 6 and max_bytes = 900 in
+      let q =
+        Net.Lanes.create ~max_data_frames:max_frames ~max_data_bytes:max_bytes
+          ~size_of:snd ()
+      in
+      let next = ref 0 in
+      let pushed_ctrl = ref 0 and pushed_data = ref 0 in
+      let popped_ctrl = ref 0 and popped_data = ref 0 in
+      let last_ctrl = ref (-1) and last_data = ref (-1) in
+      let ok = ref true in
+      let ensure c = if not c then ok := false in
+      List.iter
+        (fun (ctrl, code) ->
+          (if code = 2 then
+             match Net.Lanes.peek q with
+             | None -> ensure (Net.Lanes.is_empty q)
+             | Some (lane, (id, _)) ->
+                 (match lane with
+                 | Net.Lanes.Ctrl ->
+                     ensure (id > !last_ctrl);
+                     last_ctrl := id;
+                     incr popped_ctrl
+                 | Net.Lanes.Data ->
+                     ensure (Net.Lanes.ctrl_length q = 0);
+                     ensure (id > !last_data);
+                     last_data := id;
+                     incr popped_data);
+                 Net.Lanes.drop q lane
+           else begin
+             let id = !next in
+             incr next;
+             (* code 3 = a frame bigger than the whole byte budget: it
+                must be shed itself, not empty the lane *)
+             let size = match code with 0 -> 64 | 1 -> 300 | _ -> 1200 in
+             let lane = if ctrl then Net.Lanes.Ctrl else Net.Lanes.Data in
+             let shed = Net.Lanes.push q lane (id, size) in
+             if ctrl then begin
+               ensure (shed = 0);
+               incr pushed_ctrl
+             end
+             else incr pushed_data
+           end);
+          ensure (Net.Lanes.data_length q <= max_frames);
+          ensure (Net.Lanes.data_bytes q <= max_bytes))
+        ops;
+      ensure (!pushed_ctrl = !popped_ctrl + Net.Lanes.ctrl_length q);
+      ensure
+        (!pushed_data
+        = !popped_data + Net.Lanes.data_length q + Net.Lanes.shed q);
+      !ok)
+
+let test_admission_control () =
+  let a = Net.Admission.create ~budget:2 () in
+  let now = 1_000_000 in
+  let is_shed reason =
+    String.length reason >= 4 && String.sub reason 0 4 = "shed"
+  in
+  (* a fresh estimator admits even a tight deadline: it has no basis to
+     refuse, and learns from the first completions instead of guessing *)
+  (match Net.Admission.try_admit a ~now_us:now ~deadline_us:(now + 10) with
+  | Net.Admission.Admitted -> ()
+  | Net.Admission.Shed r -> Alcotest.failf "fresh estimator shed: %s" r);
+  (match Net.Admission.try_admit a ~now_us:now ~deadline_us:0 with
+  | Net.Admission.Admitted -> ()
+  | Net.Admission.Shed r -> Alcotest.failf "budget not full yet: %s" r);
+  (* budget full: refuse, with the retryable "shed" prefix *)
+  (match Net.Admission.try_admit a ~now_us:now ~deadline_us:0 with
+  | Net.Admission.Shed reason ->
+      Alcotest.(check bool) "budget reason carries shed prefix" true
+        (is_shed reason)
+  | Net.Admission.Admitted -> Alcotest.fail "budget overrun");
+  (* completions release slots and teach the EWMA *)
+  Net.Admission.finish a ~elapsed_us:50_000;
+  Net.Admission.finish a ~elapsed_us:50_000;
+  Alcotest.(check int) "slots released" 0 (Net.Admission.inflight a);
+  Alcotest.(check bool) "ewma learned" true (Net.Admission.ewma_us a > 10_000);
+  (* a learned estimator refuses a deadline it cannot meet... *)
+  (match Net.Admission.try_admit a ~now_us:now ~deadline_us:(now + 1_000) with
+  | Net.Admission.Shed reason ->
+      Alcotest.(check bool) "deadline reason carries shed prefix" true
+        (is_shed reason)
+  | Net.Admission.Admitted -> Alcotest.fail "unmeetable deadline admitted");
+  (* ...but still admits a comfortable one, and deadline 0 = none *)
+  (match
+     Net.Admission.try_admit a ~now_us:now ~deadline_us:(now + 10_000_000)
+   with
+  | Net.Admission.Admitted -> Net.Admission.finish a ~elapsed_us:40_000
+  | Net.Admission.Shed r -> Alcotest.failf "meetable deadline shed: %s" r);
+  let t = Net.Admission.totals a in
+  Alcotest.(check int) "admissions counted" 3 t.Net.Admission.admitted;
+  Alcotest.(check int) "budget sheds counted" 1 t.Net.Admission.shed_budget;
+  Alcotest.(check int) "deadline sheds counted" 1 t.Net.Admission.shed_deadline
 
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
@@ -577,4 +707,10 @@ let () =
           Alcotest.test_case "retryable error classification" `Quick
             test_client_retry_classification;
         ] );
+      ( "overload",
+        qsuite [ lanes_priority_and_bounds ]
+        @ [
+            Alcotest.test_case "admission budget and deadlines" `Quick
+              test_admission_control;
+          ] );
     ]

@@ -13,6 +13,7 @@ let all_kinds =
     Obs.Event.Invoke; Obs.Event.Hold_set; Obs.Event.Broadcast; Obs.Event.Send;
     Obs.Event.Recv; Obs.Event.Deliver; Obs.Event.Apply; Obs.Event.Respond;
     Obs.Event.Mbox_depth; Obs.Event.Fault; Obs.Event.Drops;
+    Obs.Event.Shed; Obs.Event.Queue_depth;
   ]
 
 (* ---- event binary codec ---- *)
@@ -299,6 +300,84 @@ let test_bound_attribution () =
   Alcotest.(check int) "disjoint window excuses nothing" 1
     disjoint.Obs.Analyze.violations
 
+(* ---- overload: shed excusal, counters, exports ---- *)
+
+let test_shed_excusal_and_exports () =
+  (* A span whose trace carries a [Shed] event completed only after a
+     refusal round-trip plus client backoff, so the analyzer excuses it
+     from the bound check — but counts every shed by reason and every
+     lane high-water mark, so nothing disappears from the report. *)
+  let events =
+    span_events ~trace:1 ~t0:0 ~latency:150 ~cls:Obs.Event.class_mutator
+    (* trace 2: shed at admission, replayed, finished way over ε + X *)
+    @ [
+        ev Obs.Event.Shed ~t:5_100 ~pid:1 ~trace:2
+          ~a:Obs.Event.shed_admission;
+      ]
+    @ span_events ~trace:2 ~t0:5_000 ~latency:5_000
+        ~cls:Obs.Event.class_mutator
+    (* an untraced deadline shed still counts by reason *)
+    @ [
+        ev Obs.Event.Shed ~t:6_000 ~pid:2 ~a:Obs.Event.shed_deadline;
+        ev Obs.Event.Queue_depth ~t:100 ~pid:0 ~a:Obs.Event.lane_data ~b:5;
+        ev Obs.Event.Queue_depth ~t:200 ~pid:0 ~a:Obs.Event.lane_data ~b:9;
+        ev Obs.Event.Queue_depth ~t:300 ~pid:1 ~a:Obs.Event.lane_ctrl ~b:2;
+      ]
+  in
+  let report = Obs.Analyze.check ~params:attribution_params events in
+  (match verdict_of report 1 with
+  | Obs.Analyze.Within -> ()
+  | _ -> Alcotest.fail "unshed trace is checked normally");
+  (match verdict_of report 2 with
+  | Obs.Analyze.Excused label ->
+      Alcotest.(check string) "excused as shed" "shed" label
+  | _ -> Alcotest.fail "shed trace must be excused, not violated");
+  Alcotest.(check int) "no unexcused violations" 0
+    report.Obs.Analyze.violations;
+  Alcotest.(check int) "one shed span" 1 report.Obs.Analyze.shed_spans;
+  Alcotest.(check (list (pair string int)))
+    "sheds by reason"
+    [ ("deadline", 1); ("admission", 1) ]
+    report.Obs.Analyze.sheds;
+  Alcotest.(check (list (pair string int)))
+    "lane high-water marks"
+    [ ("ctrl", 2); ("data", 9) ]
+    report.Obs.Analyze.lane_hwm;
+  (* both exports carry the new counters and stay well-formed *)
+  let chrome = Obs.Export.chrome ~report ~events in
+  (match Obs.Json.validate chrome with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "chrome export invalid: %s" e);
+  let contains_sub hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i =
+      i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "chrome has shed instants" true
+    (contains_sub chrome "shed:admission");
+  Alcotest.(check bool) "chrome has lane counters" true
+    (contains_sub chrome "lane:data");
+  let prom = Obs.Export.prometheus ~report () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " exported") true
+        (contains_sub prom needle))
+    [
+      "timebounds_shed_total{reason=\"deadline\"} 1";
+      "timebounds_shed_total{reason=\"admission\"} 1";
+      "timebounds_queue_depth{lane=\"ctrl\"} 2";
+      "timebounds_queue_depth{lane=\"data\"} 9";
+    ];
+  (* a shed-free report still exports the counter, at zero *)
+  let clean =
+    Obs.Analyze.check ~params:attribution_params
+      (span_events ~trace:9 ~t0:0 ~latency:100 ~cls:Obs.Event.class_mutator)
+  in
+  Alcotest.(check bool) "zero line when nothing shed" true
+    (contains_sub (Obs.Export.prometheus ~report:clean ()) "timebounds_shed_total 0")
+
 (* ---- JSON validator ---- *)
 
 let test_json_validator () =
@@ -413,6 +492,8 @@ let () =
           Alcotest.test_case "span assembly" `Quick test_span_assembly;
           Alcotest.test_case "bound attribution + excusal" `Quick
             test_bound_attribution;
+          Alcotest.test_case "shed excusal, counters, exports" `Quick
+            test_shed_excusal_and_exports;
           Alcotest.test_case "trace ids" `Quick test_trace_ids;
         ] );
       ("json", [ Alcotest.test_case "validator" `Quick test_json_validator ]);
